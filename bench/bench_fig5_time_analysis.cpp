@@ -1,0 +1,81 @@
+// Figure 5: time analysis at Te = 3m core-days, N_star = 1m cores.
+//
+// For each of the six failure cases and each of the four solutions, runs the
+// planner and 100 Monte-Carlo simulations, and prints the four wall-clock
+// portions (productive / checkpoint / restart / rollback) plus the total.
+// Paper headline: ML(opt-scale) shortens wall-clock by 58-84% vs
+// SL(opt-scale), 7-26% vs ML(ori-scale), 79-88% vs SL(ori-scale).
+#include "bench_util.h"
+
+namespace {
+
+using namespace mlcr;
+
+void run(double te_core_days) {
+  bench::print_header(common::strf(
+      "Figure %s — time analysis (Te=%.0fm core-days, N_star=1m cores)",
+      te_core_days == 3e6 ? "5" : "6", te_core_days / 1e6));
+
+  common::Table table({"case", "solution", "N used", "productive(d)",
+                       "checkpoint(d)", "restart(d)", "rollback(d)",
+                       "wall-clock(d)"});
+  // Improvement of ML(opt-scale) over the other three, aggregated per case.
+  std::vector<double> improvement_sl_opt, improvement_ml_ori,
+      improvement_sl_ori;
+
+  for (const auto& failure_case : exp::paper_failure_cases()) {
+    const auto cfg = exp::make_fti_system(te_core_days, failure_case);
+    double ml_opt_wct = 0.0;
+    for (const auto solution : opt::all_solutions()) {
+      const auto eval = bench::evaluate(cfg, solution);
+      const auto portions = eval.simulated.mean_portions();
+      const double wct = eval.simulated.wallclock.mean();
+      table.add_row(
+          {failure_case.name, opt::to_string(solution),
+           common::format_count(eval.planned.full_plan.scale),
+           common::strf("%.2f", common::seconds_to_days(portions.productive)),
+           common::strf("%.2f", common::seconds_to_days(portions.checkpoint)),
+           common::strf("%.2f", common::seconds_to_days(portions.restart)),
+           common::strf("%.2f", common::seconds_to_days(portions.rollback)),
+           common::strf("%.2f", common::seconds_to_days(wct))});
+      switch (solution) {
+        case opt::Solution::kMultilevelOptScale: ml_opt_wct = wct; break;
+        case opt::Solution::kSingleLevelOptScale:
+          improvement_sl_opt.push_back(100.0 * (1.0 - ml_opt_wct / wct));
+          break;
+        case opt::Solution::kMultilevelOriScale:
+          improvement_ml_ori.push_back(100.0 * (1.0 - ml_opt_wct / wct));
+          break;
+        case opt::Solution::kSingleLevelOriScale:
+          improvement_sl_ori.push_back(100.0 * (1.0 - ml_opt_wct / wct));
+          break;
+      }
+    }
+  }
+  table.print();
+
+  auto band = [](const std::vector<double>& v) {
+    double lo = v.front(), hi = v.front();
+    for (double x : v) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    return common::strf("%.1f-%.1f%%", lo, hi);
+  };
+  std::printf("\n  ML(opt-scale) wall-clock reduction vs SL(opt-scale): %s"
+              " (paper: 58-84%% at Te=3m)\n",
+              band(improvement_sl_opt).c_str());
+  std::printf("  ML(opt-scale) wall-clock reduction vs ML(ori-scale): %s"
+              " (paper: 7-26%% at Te=3m)\n",
+              band(improvement_ml_ori).c_str());
+  std::printf("  ML(opt-scale) wall-clock reduction vs SL(ori-scale): %s"
+              " (paper: 79-88%% at Te=3m)\n",
+              band(improvement_sl_ori).c_str());
+}
+
+}  // namespace
+
+int main() {
+  run(3e6);
+  return 0;
+}

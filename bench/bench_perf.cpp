@@ -1,0 +1,183 @@
+// Google-benchmark micro-benchmarks of the library itself: planner latency,
+// simulator event throughput, and the numeric kernels.  These quantify the
+// paper's "our algorithm works very efficiently" claim in wall-clock terms.
+#include <benchmark/benchmark.h>
+
+#include "apps/heat.h"
+#include "common/rng.h"
+#include "exp/cases.h"
+#include "num/least_squares.h"
+#include "opt/level_selection.h"
+#include "opt/planner.h"
+#include "opt/single_level.h"
+#include "rs/reed_solomon.h"
+#include "sim/event_sim.h"
+
+namespace {
+
+using namespace mlcr;
+
+void BM_Algorithm1_MultilevelOptScale(benchmark::State& state) {
+  const auto cfg =
+      exp::make_fti_system(3e6, exp::FailureCase{"16-12-8-4", {16, 12, 8, 4}});
+  for (auto _ : state) {
+    auto r = opt::optimize_multilevel(cfg);
+    benchmark::DoNotOptimize(r.wallclock);
+  }
+}
+BENCHMARK(BM_Algorithm1_MultilevelOptScale);
+
+void BM_Algorithm1_SingleLevelOptScale(benchmark::State& state) {
+  const auto cfg =
+      exp::make_fti_system(3e6, exp::FailureCase{"16-12-8-4", {16, 12, 8, 4}})
+          .single_level_view();
+  for (auto _ : state) {
+    auto r = opt::optimize_single_level(cfg);
+    benchmark::DoNotOptimize(r.wallclock);
+  }
+}
+BENCHMARK(BM_Algorithm1_SingleLevelOptScale);
+
+void BM_Fig3FixedPoint(benchmark::State& state) {
+  const auto cfg = exp::make_fig3_system(false);
+  const auto mu = exp::fig3_mu();
+  for (auto _ : state) {
+    auto s = opt::solve_single_level(cfg, mu);
+    benchmark::DoNotOptimize(s.n);
+  }
+}
+BENCHMARK(BM_Fig3FixedPoint);
+
+void BM_SimulateOneRun(benchmark::State& state) {
+  const auto cfg =
+      exp::make_fti_system(3e6, exp::FailureCase{"16-12-8-4", {16, 12, 8, 4}});
+  const auto planned = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
+  const auto schedule = sim::Schedule::from_plan(
+      cfg, planned.full_plan, planned.level_enabled);
+  std::uint64_t seed = 0;
+  long events = 0;
+  for (auto _ : state) {
+    common::Rng rng(seed++);
+    auto r = sim::simulate(cfg, schedule, rng);
+    events += r.checkpoints_per_level[0];
+    benchmark::DoNotOptimize(r.wallclock);
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_SimulateOneRun);
+
+void BM_ExpectedWallclockEvaluation(benchmark::State& state) {
+  const auto cfg =
+      exp::make_fti_system(3e6, exp::FailureCase{"16-12-8-4", {16, 12, 8, 4}});
+  const auto mu = model::MuModel::from_rates(cfg.rates(), 3e6);
+  const model::Plan plan{{9000, 4500, 3000, 50}, 5e5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::expected_wallclock(cfg, mu, plan));
+  }
+}
+BENCHMARK(BM_ExpectedWallclockEvaluation);
+
+void BM_LeastSquaresQuadraticFit(benchmark::State& state) {
+  std::vector<double> n, g;
+  for (double v = 16; v <= 1024; v += 16) {
+    n.push_back(v);
+    g.push_back(-0.46 / 2e5 * v * v + 0.46 * v);
+  }
+  for (auto _ : state) {
+    auto fit = num::fit_quadratic_through_origin(n, g);
+    benchmark::DoNotOptimize(fit.coefficients);
+  }
+}
+BENCHMARK(BM_LeastSquaresQuadraticFit);
+
+void BM_LevelSelectionExhaustive(benchmark::State& state) {
+  const auto cfg =
+      exp::make_fti_system(3e6, exp::FailureCase{"16-12-8-4", {16, 12, 8, 4}});
+  for (auto _ : state) {
+    auto r = opt::optimize_with_level_selection(cfg);
+    benchmark::DoNotOptimize(r.optimization.wallclock);
+  }
+}
+BENCHMARK(BM_LevelSelectionExhaustive);
+
+void BM_ReedSolomonEncode(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int m = 2;
+  const std::size_t shard_size = 64 * 1024;
+  rs::ReedSolomon code(k, m);
+  common::Rng rng(1);
+  std::vector<std::vector<std::uint8_t>> shards(
+      static_cast<std::size_t>(k + m));
+  for (int i = 0; i < k + m; ++i) {
+    shards[static_cast<std::size_t>(i)].resize(shard_size);
+    if (i < k) {
+      for (auto& b : shards[static_cast<std::size_t>(i)]) {
+        b = static_cast<std::uint8_t>(rng.next());
+      }
+    }
+  }
+  for (auto _ : state) {
+    code.encode(shards);
+    benchmark::DoNotOptimize(shards.back().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k) *
+                          static_cast<std::int64_t>(shard_size));
+}
+BENCHMARK(BM_ReedSolomonEncode)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ReedSolomonReconstructTwoLosses(benchmark::State& state) {
+  const int k = 8, m = 2;
+  const std::size_t shard_size = 64 * 1024;
+  rs::ReedSolomon code(k, m);
+  common::Rng rng(2);
+  std::vector<std::vector<std::uint8_t>> pristine(
+      static_cast<std::size_t>(k + m));
+  for (int i = 0; i < k + m; ++i) {
+    pristine[static_cast<std::size_t>(i)].resize(shard_size);
+    if (i < k) {
+      for (auto& b : pristine[static_cast<std::size_t>(i)]) {
+        b = static_cast<std::uint8_t>(rng.next());
+      }
+    }
+  }
+  code.encode(pristine);
+  for (auto _ : state) {
+    auto shards = pristine;
+    std::vector<bool> present(static_cast<std::size_t>(k + m), true);
+    present[1] = present[5] = false;
+    shards[1].clear();
+    shards[5].clear();
+    const bool ok = code.reconstruct(shards, present);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(shard_size));
+}
+BENCHMARK(BM_ReedSolomonReconstructTwoLosses);
+
+void BM_HeatSolverIteration(benchmark::State& state) {
+  apps::HeatConfig config;
+  config.rows = 258;
+  config.cols = 256;
+  config.iterations = 5;
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = apps::run_heat(config, ranks);
+    benchmark::DoNotOptimize(result.residual);
+  }
+  state.SetItemsProcessed(state.iterations() * config.iterations * ranks);
+}
+BENCHMARK(BM_HeatSolverIteration)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FtiCheckpointCharacterization(benchmark::State& state) {
+  for (auto _ : state) {
+    auto costs = exp::measure_fti_costs(128);
+    benchmark::DoNotOptimize(costs[3]);
+  }
+}
+BENCHMARK(BM_FtiCheckpointCharacterization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Table II: characterization of the four FTI checkpoint levels on the
+// (virtual) Fusion cluster, 128-1024 ranks, followed by the least-squares
+// fit of Formula (19) that the rest of the paper consumes:
+//   paper fit: eps = (0.866, 2.586, 3.886, 5.5), alpha = (0, 0, 0, 0.0212).
+#include "bench_util.h"
+
+#include "num/least_squares.h"
+
+int main() {
+  using namespace mlcr;
+  bench::print_header("Table II — FTI checkpoint cost characterization");
+
+  const int scales[] = {128, 256, 384, 512, 1024};
+  common::Table table({"scale", "L1 ours", "L1 paper", "L2 ours", "L2 paper",
+                       "L3 ours", "L3 paper", "L4 ours", "L4 paper"});
+  std::vector<double> level_cost[4];
+  std::vector<double> ranks_h;
+  const auto& paper = exp::table2_data();
+
+  for (std::size_t i = 0; i < std::size(scales); ++i) {
+    const int ranks = scales[i];
+    const auto costs = exp::measure_fti_costs(ranks);
+    ranks_h.push_back(ranks);
+    std::vector<std::string> row{common::strf("%d", ranks)};
+    for (int level = 0; level < 4; ++level) {
+      level_cost[level].push_back(costs[static_cast<std::size_t>(level)]);
+      row.push_back(
+          common::strf("%.2f", costs[static_cast<std::size_t>(level)]));
+      row.push_back(common::strf("%.2f", paper[i].cost[level]));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  bench::print_header("Table II — Formula (19) least-squares fits");
+  const auto reference = exp::fti_coefficients();
+  const std::vector<double> zero_h(ranks_h.size(), 0.0);
+  for (int level = 0; level < 4; ++level) {
+    const bool scale_dependent = level == 3;  // only the PFS level grows
+    const auto fit = num::fit_affine_in(scale_dependent ? ranks_h : zero_h,
+                                        level_cost[level]);
+    if (!fit.ok) {
+      std::printf("  level %d: fit failed\n", level + 1);
+      continue;
+    }
+    bench::print_comparison(
+        common::strf("level %d eps (s)", level + 1),
+        reference.eps[level], fit.coefficients[0]);
+    if (scale_dependent) {
+      bench::print_comparison("level 4 alpha (s/rank)",
+                              reference.alpha[level], fit.coefficients[1]);
+    }
+  }
+  return 0;
+}

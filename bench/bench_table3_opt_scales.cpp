@@ -1,0 +1,35 @@
+// Table III: optimized execution scales of ML(opt-scale) and SL(opt-scale)
+// for the six failure cases (Te = 3m core-days, N_star = 1m cores).
+//
+// Paper row values (thousands of cores):
+//   ML(opt-scale): 472k 564k 658k 563k 657k 734k
+//   SL(opt-scale):  41k 78.6k 36.7k 53.6k 325k 399k
+#include "bench_util.h"
+
+int main() {
+  using namespace mlcr;
+  bench::print_header(
+      "Table III — optimized scales (Te=3m core-days, N_star=1m cores)");
+
+  const double paper_ml[6] = {472e3, 564e3, 658e3, 563e3, 657e3, 734e3};
+  const double paper_sl[6] = {41e3, 78.6e3, 36.7e3, 53.6e3, 325e3, 399e3};
+
+  common::Table table(
+      {"case", "ML(opt-scale) paper", "ML(opt-scale) ours",
+       "SL(opt-scale) paper", "SL(opt-scale) ours"});
+  const auto cases = exp::paper_failure_cases();
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto cfg = exp::make_fti_system(3e6, cases[i]);
+    const auto ml = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
+    const auto sl = opt::plan(opt::Solution::kSingleLevelOptScale, cfg);
+    table.add_row({cases[i].name, common::format_count(paper_ml[i]),
+                   common::format_count(ml.full_plan.scale),
+                   common::format_count(paper_sl[i]),
+                   common::format_count(sl.full_plan.scale)});
+  }
+  table.print();
+  std::printf(
+      "\n  Paper claim: the optimized scale uses 40-79%% of the 1m cores in\n"
+      "  the ML model, and failure-heavier cases use fewer cores.\n");
+  return 0;
+}

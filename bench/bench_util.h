@@ -1,0 +1,50 @@
+// Shared helpers for the paper-reproduction bench binaries.  Each binary
+// regenerates one table or figure of the paper (see DESIGN.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "exp/cases.h"
+#include "opt/planner.h"
+#include "sim/monte_carlo.h"
+
+namespace mlcr::bench {
+
+/// One (solution, failure-case) evaluation: plan analytically, then run the
+/// Monte-Carlo simulation of the planned schedule.
+struct CaseEvaluation {
+  opt::PlannerResult planned;
+  sim::MonteCarloResult simulated;
+};
+
+inline CaseEvaluation evaluate(const model::SystemConfig& cfg,
+                               opt::Solution solution, int runs = 100,
+                               std::uint64_t seed = 0x5eed) {
+  CaseEvaluation eval;
+  eval.planned = opt::plan(solution, cfg);
+  const auto schedule = sim::Schedule::from_plan(
+      cfg, eval.planned.full_plan, eval.planned.level_enabled);
+  sim::MonteCarloOptions options;
+  options.runs = runs;
+  options.seed = seed;
+  eval.simulated = sim::monte_carlo(cfg, schedule, options);
+  return eval;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n===== %s =====\n", title.c_str());
+}
+
+/// Prints "paper vs measured" single-line comparisons for EXPERIMENTS.md.
+inline void print_comparison(const std::string& what, double paper,
+                             double measured) {
+  std::printf("  %-46s paper=%-12.4g measured=%-12.4g ratio=%.3f\n",
+              what.c_str(), paper, measured,
+              paper != 0.0 ? measured / paper : 0.0);
+}
+
+}  // namespace mlcr::bench

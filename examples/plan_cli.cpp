@@ -1,0 +1,161 @@
+// Command-line planner: describe your system in flags, get the optimized
+// checkpoint intervals and execution scale for all four solution families.
+//
+//   ./plan_cli --te 3e6 --kappa 0.46 --nstar 1e6 \
+//              --rates 16,12,8,4 --costs 0.9,2.5,3.9,5.5 --pfs-slope 0.0212 \
+//              --allocation 60 --simulate
+//
+// Every flag has the paper's defaults; run with no arguments for the
+// Figure 5 headline case.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "model/system.h"
+#include "opt/level_selection.h"
+#include "opt/planner.h"
+#include "sim/monte_carlo.h"
+
+namespace {
+
+using namespace mlcr;
+
+std::vector<double> parse_list(const std::string& text) {
+  std::vector<double> values;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!item.empty()) values.push_back(std::atof(item.c_str()));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+struct Options {
+  double te_core_days = 3e6;
+  double kappa = 0.46;
+  double n_star = 1e6;
+  std::vector<double> rates{16, 12, 8, 4};
+  std::vector<double> costs{0.9, 2.5, 3.9, 5.5};
+  double pfs_slope = 0.0212;
+  double allocation = 60.0;
+  bool simulate = false;
+  bool select_levels = false;
+};
+
+void usage() {
+  std::puts(
+      "usage: plan_cli [--te CORE_DAYS] [--kappa K] [--nstar N]\n"
+      "                [--rates r1,r2,...] [--costs c1,c2,...]\n"
+      "                [--pfs-slope S] [--allocation A]\n"
+      "                [--simulate] [--select-levels]\n"
+      "rates are events/day at the N_star baseline; costs are per-level\n"
+      "checkpoint seconds (the last level also grows by S per core).");
+}
+
+bool parse(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--help" || flag == "-h") return false;
+    if (flag == "--simulate") {
+      options->simulate = true;
+    } else if (flag == "--select-levels") {
+      options->select_levels = true;
+    } else {
+      const char* value = next();
+      if (value == nullptr) return false;
+      if (flag == "--te") options->te_core_days = std::atof(value);
+      else if (flag == "--kappa") options->kappa = std::atof(value);
+      else if (flag == "--nstar") options->n_star = std::atof(value);
+      else if (flag == "--rates") options->rates = parse_list(value);
+      else if (flag == "--costs") options->costs = parse_list(value);
+      else if (flag == "--pfs-slope") options->pfs_slope = std::atof(value);
+      else if (flag == "--allocation") options->allocation = std::atof(value);
+      else return false;
+    }
+  }
+  return options->rates.size() == options->costs.size() &&
+         !options->rates.empty();
+}
+
+model::SystemConfig build_system(const Options& options) {
+  std::vector<model::LevelOverheads> levels;
+  for (std::size_t i = 0; i < options.costs.size(); ++i) {
+    const bool top = i + 1 == options.costs.size();
+    model::Overhead checkpoint =
+        top && options.pfs_slope > 0.0
+            ? model::Overhead::linear(options.costs[i], options.pfs_slope)
+            : model::Overhead::constant(options.costs[i]);
+    levels.push_back({checkpoint, model::Overhead::constant(options.costs[i])});
+  }
+  model::FailureRates rates(options.rates, options.n_star);
+  return model::SystemConfig(
+      common::core_days_to_seconds(options.te_core_days),
+      std::make_unique<model::QuadraticSpeedup>(options.kappa,
+                                                options.n_star),
+      std::move(levels), std::move(rates), options.allocation);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse(argc, argv, &options)) {
+    usage();
+    return 1;
+  }
+  const auto system = build_system(options);
+
+  common::Table table({"solution", "N", "intervals x_i", "E(Tw)",
+                       "efficiency", "sim mean"});
+  for (const auto solution : opt::all_solutions()) {
+    const auto planned = opt::plan(solution, system);
+    std::string intervals;
+    for (std::size_t i = 0; i < planned.full_plan.intervals.size(); ++i) {
+      if (!planned.level_enabled[i]) continue;
+      if (!intervals.empty()) intervals += " ";
+      intervals += common::strf("%.0f", planned.full_plan.intervals[i]);
+    }
+    std::string simulated = "-";
+    if (options.simulate) {
+      const auto schedule = sim::Schedule::from_plan(
+          system, planned.full_plan, planned.level_enabled);
+      const auto result = sim::monte_carlo(system, schedule);
+      simulated = common::format_duration(result.wallclock.mean());
+    }
+    table.add_row(
+        {opt::to_string(solution),
+         common::format_count(planned.full_plan.scale), intervals,
+         common::format_duration(planned.optimization.wallclock),
+         common::strf("%.3f",
+                      model::efficiency(system.te(),
+                                        planned.optimization.wallclock,
+                                        planned.full_plan.scale)),
+         simulated});
+  }
+  table.print();
+
+  if (options.select_levels) {
+    const auto selected = opt::optimize_with_level_selection(system);
+    std::string subset;
+    for (std::size_t i = 0; i < selected.enabled.size(); ++i) {
+      if (selected.enabled[i]) subset += std::to_string(i + 1) + " ";
+    }
+    std::printf("\nbest level subset: %swith E(Tw) %s\n", subset.c_str(),
+                common::format_duration(
+                    selected.optimization.wallclock)
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: describe an HPC system, co-optimize the checkpoint intervals
+// and the execution scale (the paper's ML(opt-scale) solution), and verify
+// the plan by Monte-Carlo simulation.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "model/system.h"
+#include "opt/planner.h"
+#include "sim/monte_carlo.h"
+
+int main() {
+  using namespace mlcr;
+
+  // 1. Describe the application and machine.
+  //    - 3 million core-days of work,
+  //    - quadratic speedup peaking at 1M cores (kappa = 0.46),
+  //    - four FTI-style checkpoint levels (local / partner / RS / PFS),
+  //    - failure rates 8-6-4-2 events/day at the 1M-core baseline.
+  std::vector<model::LevelOverheads> levels{
+      {model::Overhead::constant(0.9), model::Overhead::constant(0.9)},
+      {model::Overhead::constant(2.5), model::Overhead::constant(2.5)},
+      {model::Overhead::constant(3.9), model::Overhead::constant(3.9)},
+      {model::Overhead::linear(5.5, 0.0212), model::Overhead::constant(5.5)}};
+  model::FailureRates rates({8, 6, 4, 2}, /*baseline_scale=*/1e6);
+  model::SystemConfig system(common::core_days_to_seconds(3e6),
+                             std::make_unique<model::QuadraticSpeedup>(0.46,
+                                                                       1e6),
+                             std::move(levels), std::move(rates),
+                             /*allocation=*/60.0);
+
+  // 2. Optimize: intervals x_1..x_4 and the scale N, simultaneously.
+  const auto planned = opt::plan(opt::Solution::kMultilevelOptScale, system);
+  const auto& result = planned.optimization;
+  std::printf("converged in %d outer iterations\n", result.outer_iterations);
+  std::printf("optimal scale N* = %s of 1m cores\n",
+              common::format_count(planned.full_plan.scale).c_str());
+  for (std::size_t level = 0; level < 4; ++level) {
+    std::printf("level %zu: %7.0f checkpoint intervals (every %s of work)\n",
+                level + 1, planned.full_plan.intervals[level],
+                common::format_duration(
+                    system.productive_time(planned.full_plan.scale) /
+                    planned.full_plan.intervals[level])
+                    .c_str());
+  }
+  std::printf("predicted wall-clock: %s\n",
+              common::format_duration(result.wallclock).c_str());
+
+  // 3. Verify by simulation (100 runs with random failures).
+  const auto schedule = sim::Schedule::from_plan(
+      system, planned.full_plan, planned.level_enabled);
+  const auto simulated = sim::monte_carlo(system, schedule);
+  std::printf("simulated wall-clock: %s (+-%s over %llu runs)\n",
+              common::format_duration(simulated.wallclock.mean()).c_str(),
+              common::format_duration(
+                  simulated.wallclock.ci95_half_width())
+                  .c_str(),
+              static_cast<unsigned long long>(simulated.wallclock.count()));
+
+  // 4. Compare with classic Young's formula at full scale.
+  const auto young = opt::plan(opt::Solution::kSingleLevelOriScale, system);
+  const auto young_schedule =
+      sim::Schedule::from_plan(system, young.full_plan, young.level_enabled);
+  const auto young_sim = sim::monte_carlo(system, young_schedule);
+  std::printf(
+      "classic Young at 1m cores: %s — the optimized plan is %.0f%% "
+      "faster\n",
+      common::format_duration(young_sim.wallclock.mean()).c_str(),
+      100.0 * (1.0 - simulated.wallclock.mean() / young_sim.wallclock.mean()));
+  return 0;
+}

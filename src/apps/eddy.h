@@ -1,0 +1,33 @@
+// A communication-bound synthetic kernel in the mold of Nek5000's eddy_uv
+// (paper Figure 2(b)): per-iteration neighbour exchanges whose volume grows
+// with the rank count, so the speedup peaks at a moderate scale and then
+// declines — the shape the paper fits with a quadratic on the initial range.
+#pragma once
+
+#include "vmpi/comm.h"
+
+namespace mlcr::apps {
+
+struct EddyConfig {
+  double work_flops = 4e9;       ///< total flops per iteration
+  int iterations = 10;
+  double core_gflops = 1.0;
+  /// bytes; the per-neighbour message is base * ranks, so communication
+  /// grows linearly with scale and the speedup peaks near
+  /// sqrt(work_flops * bandwidth / (base * core_gflops * 1e9)).
+  std::size_t base_message = 1'000'000;
+  vmpi::NetworkModel network;
+};
+
+struct EddyResult {
+  double wallclock = 0.0;
+  double checksum = 0.0;  ///< deterministic reduction over the fake field
+};
+
+/// Runs the kernel on `ranks` virtual ranks.
+[[nodiscard]] EddyResult run_eddy(const EddyConfig& config, int ranks);
+
+/// Analytic single-core time (for speedup curves).
+[[nodiscard]] double eddy_single_core_time(const EddyConfig& config);
+
+}  // namespace mlcr::apps

@@ -1,0 +1,214 @@
+#include "apps/heat.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+#include "vmpi/task.h"
+
+namespace mlcr::apps {
+
+std::pair<int, int> heat_partition(int rows, int ranks, int rank) {
+  MLCR_EXPECT(ranks >= 1 && rank >= 0 && rank < ranks,
+              "heat_partition: bad rank");
+  // Interior rows 1..rows-2 are distributed; boundary rows are fixed and
+  // owned by the first/last rank for storage purposes.
+  const int interior = rows - 2;
+  MLCR_EXPECT(interior >= ranks, "heat_partition: more ranks than rows");
+  const int base = interior / ranks;
+  const int extra = interior % ranks;
+  const int first =
+      1 + rank * base + std::min(rank, extra);
+  const int count = base + (rank < extra ? 1 : 0);
+  return {first, count};
+}
+
+HeatBlock::HeatBlock(const HeatConfig& config, int rank, int ranks)
+    : rank_(rank), ranks_(ranks), cols_(config.cols) {
+  const auto [first, count] = heat_partition(config.rows, ranks, rank);
+  first_row_ = first;
+  row_count_ = count;
+  cells_.assign(static_cast<std::size_t>(row_count_ + 2) * cols_, 0.0);
+  next_ = cells_;
+  // Ghost rows adjacent to the global boundary carry the fixed boundary
+  // values: the top edge is the heat source.
+  if (first_row_ == 1) {
+    for (int c = 0; c < cols_; ++c) at(-1, c) = config.top_temperature;
+  }
+}
+
+double& HeatBlock::at(int local_row, int col) {
+  return cells_[static_cast<std::size_t>(local_row + 1) * cols_ + col];
+}
+
+double HeatBlock::at(int local_row, int col) const {
+  return cells_[static_cast<std::size_t>(local_row + 1) * cols_ + col];
+}
+
+std::vector<double> HeatBlock::ghost_row_up() const {
+  return {cells_.begin() + cols_, cells_.begin() + 2 * cols_};
+}
+
+std::vector<double> HeatBlock::ghost_row_down() const {
+  return {cells_.end() - 2 * cols_, cells_.end() - cols_};
+}
+
+void HeatBlock::set_ghost_up(const std::vector<double>& row) {
+  MLCR_EXPECT(static_cast<int>(row.size()) == cols_, "ghost size mismatch");
+  std::copy(row.begin(), row.end(), cells_.begin());
+}
+
+void HeatBlock::set_ghost_down(const std::vector<double>& row) {
+  MLCR_EXPECT(static_cast<int>(row.size()) == cols_, "ghost size mismatch");
+  std::copy(row.begin(), row.end(), cells_.end() - cols_);
+}
+
+double HeatBlock::sweep(const HeatConfig&) {
+  double residual = 0.0;
+  for (int r = 0; r < row_count_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      double updated;
+      if (c == 0 || c == cols_ - 1) {
+        updated = at(r, c);  // fixed side boundary
+      } else {
+        updated = 0.25 * (at(r - 1, c) + at(r + 1, c) + at(r, c - 1) +
+                          at(r, c + 1));
+      }
+      next_[static_cast<std::size_t>(r + 1) * cols_ + c] = updated;
+      residual += std::fabs(updated - at(r, c));
+    }
+  }
+  // Commit the sweep; ghost rows keep their exchanged values.
+  std::copy(next_.begin() + cols_, next_.end() - cols_,
+            cells_.begin() + cols_);
+  return residual;
+}
+
+long HeatBlock::owned_cells(const HeatConfig& config) const {
+  return static_cast<long>(row_count_) * config.cols;
+}
+
+std::vector<std::uint8_t> HeatBlock::serialize() const {
+  std::vector<std::uint8_t> bytes(cells_.size() * sizeof(double));
+  std::memcpy(bytes.data(), cells_.data(), bytes.size());
+  return bytes;
+}
+
+void HeatBlock::deserialize(const std::vector<std::uint8_t>& bytes) {
+  MLCR_EXPECT(bytes.size() == cells_.size() * sizeof(double),
+              "HeatBlock: checkpoint size mismatch");
+  std::memcpy(cells_.data(), bytes.data(), bytes.size());
+}
+
+double heat_single_core_time(const HeatConfig& config) {
+  const double cells =
+      static_cast<double>(config.rows - 2) * config.cols;
+  return cells * config.flops_per_cell * config.iterations /
+         (config.core_gflops * 1e9);
+}
+
+namespace {
+
+using vmpi::Bytes;
+using vmpi::Comm;
+using vmpi::Engine;
+using vmpi::RankTask;
+
+Bytes pack(const std::vector<double>& row) {
+  Bytes bytes(row.size() * sizeof(double));
+  std::memcpy(bytes.data(), row.data(), bytes.size());
+  return bytes;
+}
+
+std::vector<double> unpack(const Bytes& bytes) {
+  std::vector<double> row(bytes.size() / sizeof(double));
+  std::memcpy(row.data(), bytes.data(), bytes.size());
+  return row;
+}
+
+constexpr int kTagDown = 1;  // data flowing to the next rank
+constexpr int kTagUp = 2;    // data flowing to the previous rank
+
+struct SharedState {
+  const HeatConfig* config;
+  int ranks;
+  std::vector<HeatBlock>* blocks;
+  double residual = 0.0;
+};
+
+RankTask heat_rank(Engine& engine, Comm& comm, SharedState& shared,
+                   int rank) {
+  const HeatConfig& config = *shared.config;
+  HeatBlock& block = (*shared.blocks)[static_cast<std::size_t>(rank)];
+  const double compute_seconds =
+      static_cast<double>(block.owned_cells(config)) *
+      config.flops_per_cell / (config.core_gflops * 1e9);
+
+  for (int iteration = 0; iteration < config.iterations; ++iteration) {
+    // Ghost exchange with neighbours (eager sends avoid ordering deadlock).
+    if (rank + 1 < shared.ranks) {
+      co_await comm.send(rank, rank + 1, kTagDown,
+                         pack(block.ghost_row_down()));
+    }
+    if (rank > 0) {
+      co_await comm.send(rank, rank - 1, kTagUp, pack(block.ghost_row_up()));
+    }
+    if (rank > 0) {
+      Bytes bytes = co_await comm.recv(rank, rank - 1, kTagDown);
+      block.set_ghost_up(unpack(bytes));
+    }
+    if (rank + 1 < shared.ranks) {
+      Bytes bytes = co_await comm.recv(rank, rank + 1, kTagUp);
+      block.set_ghost_down(unpack(bytes));
+    }
+
+    // Real numerics + modeled compute time.
+    const double local_residual = block.sweep(config);
+    co_await engine.sleep(compute_seconds);
+
+    // Global residual (the paper's MPI_Allreduce).
+    const double total = co_await comm.allreduce_sum(rank, local_residual);
+    if (rank == 0) shared.residual = total;
+  }
+}
+
+}  // namespace
+
+HeatResult run_heat(const HeatConfig& config, int ranks) {
+  MLCR_EXPECT(ranks >= 1, "run_heat: need at least one rank");
+  Engine engine;
+  Comm comm(engine, ranks, config.network);
+  std::vector<HeatBlock> blocks;
+  blocks.reserve(static_cast<std::size_t>(ranks));
+  for (int rank = 0; rank < ranks; ++rank) {
+    blocks.emplace_back(config, rank, ranks);
+  }
+  SharedState shared{&config, ranks, &blocks, 0.0};
+  for (int rank = 0; rank < ranks; ++rank) {
+    engine.spawn(heat_rank(engine, comm, shared, rank));
+  }
+  engine.run();
+
+  HeatResult result;
+  result.completed = true;
+  result.wallclock = engine.now();
+  result.residual = shared.residual;
+  // Assemble the global grid (fixed boundary + owned rows).
+  result.grid.assign(static_cast<std::size_t>(config.rows) * config.cols,
+                     0.0);
+  for (int c = 0; c < config.cols; ++c) {
+    result.grid[static_cast<std::size_t>(c)] = config.top_temperature;
+  }
+  for (const auto& block : blocks) {
+    for (int r = 0; r < block.row_count(); ++r) {
+      for (int c = 0; c < config.cols; ++c) {
+        result.grid[static_cast<std::size_t>(block.first_row() + r) *
+                        config.cols +
+                    c] = block.at(r, c);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mlcr::apps

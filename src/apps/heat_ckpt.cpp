@@ -1,0 +1,266 @@
+#include "apps/heat_ckpt.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "vmpi/task.h"
+
+namespace mlcr::apps {
+
+namespace {
+
+using cluster::Payload;
+using vmpi::Bytes;
+using vmpi::Comm;
+using vmpi::Engine;
+using vmpi::RankTask;
+
+constexpr int kTagDown = 1;
+constexpr int kTagUp = 2;
+
+Bytes pack(const std::vector<double>& row) {
+  Bytes bytes(row.size() * sizeof(double));
+  std::memcpy(bytes.data(), row.data(), bytes.size());
+  return bytes;
+}
+
+std::vector<double> unpack(const Bytes& bytes) {
+  std::vector<double> row(bytes.size() / sizeof(double));
+  std::memcpy(row.data(), bytes.data(), bytes.size());
+  return row;
+}
+
+struct Shared {
+  const HeatCkptConfig* config;
+  cluster::Cluster* cluster;
+  fti::Fti* fti;
+  std::vector<HeatBlock>* blocks;
+  int ranks = 0;
+
+  // Failure injection (raised by the injector coroutine, consumed by the
+  // collective recovery vote).
+  bool failure_flag = false;
+
+  // Metrics.
+  int checkpoints_taken = 0;
+  int recoveries = 0;
+  int failures_hit = 0;
+  double checkpoint_time = 0.0;
+  double residual = 0.0;
+};
+
+/// Iteration checkpointed in record `version` (encoded in payload header).
+struct PayloadHeader {
+  std::int32_t iteration = 0;
+};
+
+Payload make_payload(const Shared& shared, const HeatBlock& block,
+                     int iteration) {
+  Payload payload;
+  PayloadHeader header{iteration};
+  const auto body = block.serialize();
+  payload.bytes.resize(sizeof(header) + body.size());
+  std::memcpy(payload.bytes.data(), &header, sizeof(header));
+  std::memcpy(payload.bytes.data() + sizeof(header), body.data(),
+              body.size());
+  payload.logical_size = shared.config->logical_checkpoint_bytes;
+  return payload;
+}
+
+int apply_payload(HeatBlock& block, const Payload& payload) {
+  PayloadHeader header;
+  MLCR_EXPECT(payload.bytes.size() >= sizeof(header),
+              "heat_ckpt: corrupt checkpoint payload");
+  std::memcpy(&header, payload.bytes.data(), sizeof(header));
+  std::vector<std::uint8_t> body(payload.bytes.begin() + sizeof(header),
+                                 payload.bytes.end());
+  block.deserialize(body);
+  return header.iteration;
+}
+
+/// Highest level due at this iteration, or 0 when none.
+int due_level(const HeatCkptConfig& config, int iteration) {
+  if (iteration == 0) return 0;
+  int level = 0;
+  for (int l = 0; l < 4; ++l) {
+    const int interval = config.interval_iterations[static_cast<std::size_t>(l)];
+    if (interval > 0 && iteration % interval == 0) level = l + 1;
+  }
+  return level;
+}
+
+RankTask failure_injector(Engine& engine, Shared& shared) {
+  const auto& failures = shared.config->failures;
+  for (const auto& failure : failures) {
+    const double wait = failure.at - engine.now();
+    if (wait > 0.0) co_await engine.sleep(wait);
+    if (failure.level >= 2) {
+      shared.cluster->kill_node(failure.node);
+      shared.cluster->revive_node(failure.node);  // replacement in place
+    }
+    shared.failure_flag = true;
+    ++shared.failures_hit;
+  }
+}
+
+RankTask heat_ckpt_rank(Engine& engine, Comm& comm, Shared& shared,
+                        int rank) {
+  const HeatCkptConfig& config = *shared.config;
+  const HeatConfig& heat = config.heat;
+  HeatBlock& block = (*shared.blocks)[static_cast<std::size_t>(rank)];
+  const double compute_seconds =
+      static_cast<double>(block.owned_cells(heat)) * heat.flops_per_cell /
+      (heat.core_gflops * 1e9);
+  int iteration = 0;
+  while (iteration < heat.iterations) {
+    // --- coordinated recovery check at the iteration boundary ---
+    // The decision is itself a collective (everyone acts on the same sum),
+    // so a failure flag raised mid-boundary cannot split the ranks.
+    const double votes =
+        co_await comm.allreduce_sum(rank, shared.failure_flag ? 1.0 : 0.0);
+    if (votes > 0.0) {
+      if (rank == 0) {
+        shared.failure_flag = false;
+        ++shared.recoveries;
+      }
+      co_await comm.barrier(rank);  // flag cleared before anyone re-votes
+      // Re-allocation period, then a coordinated restore: walk records
+      // newest-first and commit the first one recoverable by EVERY rank
+      // (a per-rank newest pick would mix iterations across ranks).
+      co_await engine.sleep(config.allocation);
+      const auto records = shared.fti->records();  // copy: stable view
+      bool restored_ok = false;
+      for (auto it = records.rbegin(); it != records.rend(); ++it) {
+        auto payload = co_await shared.fti->restore_record(rank, *it);
+        const double vote = payload.has_value() ? 1.0 : 0.0;
+        const double agreed = co_await comm.allreduce_sum(rank, vote);
+        if (agreed == static_cast<double>(shared.ranks)) {
+          iteration = apply_payload(block, *payload);
+          restored_ok = true;
+          break;
+        }
+      }
+      MLCR_EXPECT(restored_ok, "heat_ckpt: no globally recoverable checkpoint");
+      co_await comm.barrier(rank);
+      continue;
+    }
+
+    // --- ghost exchange ---
+    if (rank + 1 < shared.ranks) {
+      co_await comm.send(rank, rank + 1, kTagDown,
+                         pack(block.ghost_row_down()));
+    }
+    if (rank > 0) {
+      co_await comm.send(rank, rank - 1, kTagUp, pack(block.ghost_row_up()));
+    }
+    if (rank > 0) {
+      Bytes bytes = co_await comm.recv(rank, rank - 1, kTagDown);
+      block.set_ghost_up(unpack(bytes));
+    }
+    if (rank + 1 < shared.ranks) {
+      Bytes bytes = co_await comm.recv(rank, rank + 1, kTagUp);
+      block.set_ghost_down(unpack(bytes));
+    }
+
+    // --- compute ---
+    const double local_residual = block.sweep(heat);
+    co_await engine.sleep(compute_seconds);
+    const double total = co_await comm.allreduce_sum(rank, local_residual);
+    if (rank == 0) shared.residual = total;
+    ++iteration;
+
+    // --- checkpoint when due (never at the final iteration: a checkpoint
+    // of a finished run protects nothing, and the analytic model's x
+    // intervals imply x-1 interior checkpoints) ---
+    const int level =
+        iteration < heat.iterations ? due_level(config, iteration) : 0;
+    if (level > 0) {
+      co_await comm.barrier(rank);
+      const double t0 = engine.now();
+      co_await shared.fti->checkpoint(rank, level,
+                                      make_payload(shared, block, iteration));
+      co_await comm.barrier(rank);
+      if (rank == 0) {
+        ++shared.checkpoints_taken;
+        shared.checkpoint_time += engine.now() - t0;
+      }
+    }
+  }
+}
+
+RankTask initial_checkpoint(fti::Fti& fti, Shared& shared, int rank) {
+  co_await fti.checkpoint(
+      rank, 4,
+      make_payload(shared, (*shared.blocks)[static_cast<std::size_t>(rank)],
+                   0));
+}
+
+}  // namespace
+
+HeatCkptResult run_heat_checkpointed(const HeatCkptConfig& config) {
+  Engine engine;
+  cluster::Cluster cluster(config.cluster);
+  const int ranks = cluster.rank_count();
+  MLCR_EXPECT(config.heat.rows - 2 >= ranks,
+              "heat_ckpt: more ranks than interior rows");
+  fti::Fti fti(engine, cluster, config.fti);
+  Comm comm(engine, ranks, config.heat.network);
+
+  std::vector<HeatBlock> blocks;
+  blocks.reserve(static_cast<std::size_t>(ranks));
+  for (int rank = 0; rank < ranks; ++rank) {
+    blocks.emplace_back(config.heat, rank, ranks);
+  }
+
+  Shared shared;
+  shared.config = &config;
+  shared.cluster = &cluster;
+  shared.fti = &fti;
+  shared.blocks = &blocks;
+  shared.ranks = ranks;
+
+  // An iteration-0 baseline checkpoint guarantees recoverability of early
+  // failures (FTI applications take an initial checkpoint as well).
+  // It is written as a level-4 round before the run starts.
+  for (int rank = 0; rank < ranks; ++rank) {
+    engine.spawn(initial_checkpoint(fti, shared, rank));
+  }
+  engine.run();
+  // The baseline write is setup (the model treats the initial state as
+  // recoverable for free); the measured wall-clock starts here.
+  const double start = engine.now();
+
+  for (int rank = 0; rank < ranks; ++rank) {
+    engine.spawn(heat_ckpt_rank(engine, comm, shared, rank));
+  }
+  engine.spawn(failure_injector(engine, shared));
+  engine.run();
+
+  HeatCkptResult result;
+  result.completed = true;
+  result.wallclock = engine.now() - start;
+  result.checkpoint_time = shared.checkpoint_time;
+  result.checkpoints_taken = shared.checkpoints_taken;
+  result.recoveries = shared.recoveries;
+  result.failures_hit = shared.failures_hit;
+  result.residual = shared.residual;
+
+  result.grid.assign(
+      static_cast<std::size_t>(config.heat.rows) * config.heat.cols, 0.0);
+  for (int c = 0; c < config.heat.cols; ++c) {
+    result.grid[static_cast<std::size_t>(c)] = config.heat.top_temperature;
+  }
+  for (const auto& block : blocks) {
+    for (int r = 0; r < block.row_count(); ++r) {
+      for (int c = 0; c < config.heat.cols; ++c) {
+        result.grid[static_cast<std::size_t>(block.first_row() + r) *
+                        config.heat.cols +
+                    c] = block.at(r, c);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mlcr::apps

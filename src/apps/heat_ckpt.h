@@ -1,0 +1,60 @@
+// Checkpointed Heat Distribution: the full integration of the solver with
+// the FTI-like multilevel checkpoint library on the virtual cluster, with
+// node-failure injection — the paper's "practical experiments deployed with
+// FTI and real MPI programs on Fusion" (Section IV-A, Figure 4, Table II).
+//
+// Checkpoints follow an FTI-style cyclic schedule: every `interval[level]`
+// iterations the level is due; when several are due the highest wins.
+// Failures are injected at virtual times; they kill a node (wiping its
+// local checkpoints).  At the next iteration boundary every rank pays the
+// re-allocation period, restores the newest recoverable checkpoint (lost
+// blocks are rebuilt from the partner copy or by Reed-Solomon), rolls back
+// to the checkpointed iteration and continues.  The final grid must be
+// bit-exact with an uninterrupted run — tests assert exactly that.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "apps/heat.h"
+#include "cluster/cluster.h"
+#include "fti/fti.h"
+
+namespace mlcr::apps {
+
+struct InjectedFailure {
+  double at = 0.0;  ///< virtual time
+  int node = 0;     ///< node to kill
+  int level = 2;    ///< failure level (1 = software: nothing wiped)
+};
+
+struct HeatCkptConfig {
+  HeatConfig heat;
+  cluster::ClusterConfig cluster;
+  fti::FtiConfig fti;
+  /// Checkpoint every interval[l] iterations at level l+1; 0 disables.
+  std::array<int, 4> interval_iterations{5, 10, 20, 40};
+  double allocation = 10.0;  ///< re-allocation period A, seconds
+  std::vector<InjectedFailure> failures;
+  /// Logical checkpoint size per rank (cost model); 0 = real payload size.
+  std::uint64_t logical_checkpoint_bytes = 0;
+};
+
+struct HeatCkptResult {
+  bool completed = false;
+  double wallclock = 0.0;
+  double checkpoint_time = 0.0;  ///< summed over ranks' max per round
+  int checkpoints_taken = 0;     ///< collective rounds
+  int recoveries = 0;            ///< coordinated restarts
+  int failures_hit = 0;
+  double residual = 0.0;
+  std::vector<double> grid;  ///< final global grid
+};
+
+/// Runs the checkpointed solver end to end.  `config.cluster` must host at
+/// least as many ranks as the run uses (ranks = cluster.rank_count()).
+[[nodiscard]] HeatCkptResult run_heat_checkpointed(
+    const HeatCkptConfig& config);
+
+}  // namespace mlcr::apps

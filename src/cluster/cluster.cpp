@@ -1,0 +1,73 @@
+#include "cluster/cluster.h"
+
+namespace mlcr::cluster {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)), pfs_(config_.storage) {
+  MLCR_EXPECT(config_.nodes >= 1, "Cluster: need at least one node");
+  MLCR_EXPECT(config_.ranks_per_node >= 1, "Cluster: ranks_per_node >= 1");
+  MLCR_EXPECT(config_.rs_group_size >= 2,
+              "Cluster: RS groups need at least two nodes");
+  nodes_.reserve(static_cast<std::size_t>(config_.nodes));
+  for (int id = 0; id < config_.nodes; ++id) {
+    nodes_.emplace_back(id, config_.storage);
+  }
+}
+
+Node& Cluster::node(int id) {
+  MLCR_EXPECT(id >= 0 && id < node_count(), "Cluster: node out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const Node& Cluster::node(int id) const {
+  MLCR_EXPECT(id >= 0 && id < node_count(), "Cluster: node out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+int Cluster::node_of_rank(int rank) const {
+  MLCR_EXPECT(rank >= 0 && rank < rank_count(), "Cluster: rank out of range");
+  return rank / config_.ranks_per_node;
+}
+
+int Cluster::first_rank_of(int node) const {
+  MLCR_EXPECT(node >= 0 && node < node_count(), "Cluster: node out of range");
+  return node * config_.ranks_per_node;
+}
+
+int Cluster::partner_of(int node) const {
+  MLCR_EXPECT(node >= 0 && node < node_count(), "Cluster: node out of range");
+  return (node + 1) % node_count();
+}
+
+int Cluster::rs_group_of(int node) const {
+  MLCR_EXPECT(node >= 0 && node < node_count(), "Cluster: node out of range");
+  return node / config_.rs_group_size;
+}
+
+std::vector<int> Cluster::rs_group_members(int group) const {
+  std::vector<int> members;
+  for (int node = group * config_.rs_group_size;
+       node < (group + 1) * config_.rs_group_size && node < node_count();
+       ++node) {
+    members.push_back(node);
+  }
+  MLCR_EXPECT(!members.empty(), "Cluster: RS group out of range");
+  return members;
+}
+
+void Cluster::kill_node(int id) {
+  Node& n = node(id);
+  n.alive_ = false;
+  ++n.incarnation_;
+  n.store_.wipe();
+}
+
+void Cluster::revive_node(int id) { node(id).alive_ = true; }
+
+int Cluster::alive_nodes() const {
+  int count = 0;
+  for (const auto& n : nodes_) count += n.alive() ? 1 : 0;
+  return count;
+}
+
+}  // namespace mlcr::cluster

@@ -1,0 +1,81 @@
+// The virtual cluster: nodes with local storage, a shared PFS, the partner
+// ring and Reed-Solomon group topology, and node-failure injection.
+#pragma once
+
+#include <vector>
+
+#include "cluster/storage.h"
+#include "common/error.h"
+
+namespace mlcr::cluster {
+
+struct ClusterConfig {
+  int nodes = 16;
+  int ranks_per_node = 8;  ///< Fusion has 8 cores per node
+  int rs_group_size = 4;   ///< nodes per Reed-Solomon group
+  StorageModel storage;
+};
+
+/// A compute node: local storage plus liveness/incarnation state.
+class Node {
+ public:
+  Node(int id, const StorageModel& model) : id_(id), store_(model) {}
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  [[nodiscard]] int incarnation() const noexcept { return incarnation_; }
+  [[nodiscard]] LocalStore& store() noexcept { return store_; }
+  [[nodiscard]] const LocalStore& store() const noexcept { return store_; }
+
+ private:
+  friend class Cluster;
+  int id_;
+  bool alive_ = true;
+  int incarnation_ = 0;
+  LocalStore store_;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] int rank_count() const noexcept {
+    return node_count() * config_.ranks_per_node;
+  }
+  [[nodiscard]] Node& node(int id);
+  [[nodiscard]] const Node& node(int id) const;
+  [[nodiscard]] Pfs& pfs() noexcept { return pfs_; }
+
+  /// Node hosting a given rank (block placement).
+  [[nodiscard]] int node_of_rank(int rank) const;
+  /// First rank hosted on a node.
+  [[nodiscard]] int first_rank_of(int node) const;
+
+  /// Partner topology: the node holding copies of this node's checkpoints.
+  [[nodiscard]] int partner_of(int node) const;
+
+  /// Reed-Solomon group topology: `rs_group_size` consecutive nodes.
+  [[nodiscard]] int rs_group_of(int node) const;
+  [[nodiscard]] std::vector<int> rs_group_members(int group) const;
+
+  /// Kills a node: wipes its local storage and bumps its incarnation.
+  /// (The replacement node is logically in place immediately; the resource
+  /// allocation delay A is charged by the caller, matching the paper.)
+  void kill_node(int id);
+  /// Marks a killed node usable again (after re-allocation).
+  void revive_node(int id);
+  [[nodiscard]] int alive_nodes() const;
+
+ private:
+  ClusterConfig config_;
+  std::vector<Node> nodes_;
+  Pfs pfs_;
+};
+
+}  // namespace mlcr::cluster

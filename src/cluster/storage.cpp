@@ -1,0 +1,76 @@
+#include "cluster/storage.h"
+
+#include <algorithm>
+
+namespace mlcr::cluster {
+
+vmpi::Task<void> LocalStore::write(vmpi::Engine& engine, std::string key,
+                                   Payload payload) {
+  const double duration =
+      model_->local_latency +
+      static_cast<double>(payload.cost_size()) / model_->local_bandwidth;
+  co_await engine.sleep(duration);
+  objects_[std::move(key)] = std::move(payload);
+}
+
+vmpi::Task<std::optional<Payload>> LocalStore::read(vmpi::Engine& engine,
+                                                    std::string key) {
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    co_await engine.sleep(model_->local_latency);
+    co_return std::nullopt;
+  }
+  const double duration =
+      model_->local_latency +
+      static_cast<double>(it->second.cost_size()) / model_->local_bandwidth;
+  co_await engine.sleep(duration);
+  // Re-find: the map may have changed while suspended (e.g. node wiped).
+  const auto again = objects_.find(key);
+  co_return again == objects_.end() ? std::nullopt
+                                    : std::optional<Payload>(again->second);
+}
+
+bool LocalStore::contains(const std::string& key) const {
+  return objects_.count(key) > 0;
+}
+
+void LocalStore::erase(const std::string& key) { objects_.erase(key); }
+
+void LocalStore::wipe() { objects_.clear(); }
+
+vmpi::Task<void> Pfs::write(vmpi::Engine& engine, std::string key,
+                            Payload payload) {
+  const double transfer =
+      static_cast<double>(payload.cost_size()) / model_->pfs_write_bandwidth;
+  const double start = std::max(engine.now(), write_busy_until_);
+  write_busy_until_ = start + transfer;
+  const double done = write_busy_until_ + model_->pfs_latency;
+  co_await engine.sleep(done - engine.now());
+  objects_[std::move(key)] = std::move(payload);
+}
+
+vmpi::Task<std::optional<Payload>> Pfs::read(vmpi::Engine& engine,
+                                             std::string key) {
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    co_await engine.sleep(model_->pfs_latency);
+    co_return std::nullopt;
+  }
+  const double transfer =
+      static_cast<double>(it->second.cost_size()) / model_->pfs_read_bandwidth;
+  const double start = std::max(engine.now(), read_busy_until_);
+  read_busy_until_ = start + transfer;
+  const double done = read_busy_until_ + model_->pfs_latency;
+  co_await engine.sleep(done - engine.now());
+  const auto again = objects_.find(key);
+  co_return again == objects_.end() ? std::nullopt
+                                    : std::optional<Payload>(again->second);
+}
+
+bool Pfs::contains(const std::string& key) const {
+  return objects_.count(key) > 0;
+}
+
+void Pfs::erase(const std::string& key) { objects_.erase(key); }
+
+}  // namespace mlcr::cluster

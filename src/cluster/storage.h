@@ -1,0 +1,95 @@
+// Storage substrate of the virtual cluster: per-node local stores and a
+// bandwidth-contended parallel file system.
+//
+// Payloads carry real bytes (for end-to-end integrity checks through
+// partner-copy and Reed-Solomon recovery) plus a logical size used by the
+// cost model, so exascale-sized checkpoints can be simulated without
+// allocating exascale memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vmpi/engine.h"
+#include "vmpi/task.h"
+
+namespace mlcr::cluster {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// A stored object: real content plus the size the cost model charges for.
+struct Payload {
+  Bytes bytes;
+  std::uint64_t logical_size = 0;  ///< 0 means bytes.size()
+
+  [[nodiscard]] std::uint64_t cost_size() const noexcept {
+    return logical_size != 0 ? logical_size : bytes.size();
+  }
+  bool operator==(const Payload& other) const = default;
+};
+
+/// Cost parameters, calibrated against the paper's Table II (see
+/// exp::fusion_storage()).
+struct StorageModel {
+  double local_latency = 0.05;      ///< seconds per local operation
+  double local_bandwidth = 75e6;    ///< bytes/s per node-local device
+  double pfs_latency = 2.0;         ///< per-operation metadata cost, seconds
+  double pfs_write_bandwidth = 3e9; ///< aggregate bytes/s shared by writers
+  double pfs_read_bandwidth = 6e9;  ///< aggregate bytes/s shared by readers
+};
+
+/// Node-local storage device: zero-contention across nodes.
+class LocalStore {
+ public:
+  explicit LocalStore(const StorageModel& model) : model_(&model) {}
+
+  /// Charges the write time, then commits the object.
+  [[nodiscard]] vmpi::Task<void> write(vmpi::Engine& engine, std::string key,
+                                       Payload payload);
+  /// Charges the read time; returns nullopt if the key is absent.
+  [[nodiscard]] vmpi::Task<std::optional<Payload>> read(vmpi::Engine& engine,
+                                                        std::string key);
+  /// Instantaneous metadata check.
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Deletes one object (instant metadata operation).
+  void erase(const std::string& key);
+  /// Wipes the device (a node crash destroys its local checkpoints).
+  void wipe();
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return objects_.size();
+  }
+
+ private:
+  const StorageModel* model_;
+  std::map<std::string, Payload> objects_;
+};
+
+/// Parallel file system: writes are FIFO-serialized through the aggregate
+/// bandwidth, so N concurrent clients writing S bytes each see a makespan
+/// of ~ latency + N*S/bandwidth — the linear-in-N level-4 cost the paper
+/// measures in Table II.
+class Pfs {
+ public:
+  explicit Pfs(const StorageModel& model) : model_(&model) {}
+
+  [[nodiscard]] vmpi::Task<void> write(vmpi::Engine& engine, std::string key,
+                                       Payload payload);
+  [[nodiscard]] vmpi::Task<std::optional<Payload>> read(vmpi::Engine& engine,
+                                                        std::string key);
+  [[nodiscard]] bool contains(const std::string& key) const;
+  void erase(const std::string& key);
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return objects_.size();
+  }
+
+ private:
+  const StorageModel* model_;
+  double write_busy_until_ = 0.0;
+  double read_busy_until_ = 0.0;
+  std::map<std::string, Payload> objects_;
+};
+
+}  // namespace mlcr::cluster

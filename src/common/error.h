@@ -1,0 +1,33 @@
+// Error-handling conventions.
+//
+// Library code throws `mlcr::common::Error` for configuration mistakes that a
+// caller can prevent (bad parameters), and uses MLCR_EXPECT for internal
+// invariants.  Numeric routines that can legitimately fail (non-bracketing
+// intervals, non-convergence) return std::optional / status structs instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mlcr::common {
+
+/// Thrown on invalid configuration or arguments.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& message) {
+  throw Error(message);
+}
+
+}  // namespace mlcr::common
+
+/// Precondition check: throws mlcr::common::Error with location info.
+#define MLCR_EXPECT(cond, message)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::mlcr::common::fail(std::string(__FILE__) + ":" +                    \
+                           std::to_string(__LINE__) + ": " + (message));    \
+    }                                                                       \
+  } while (false)

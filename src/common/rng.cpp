@@ -1,0 +1,76 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace mlcr::common {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : Rng(seed, /*stream=*/0) {}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Mix the stream id into the seed chain so streams are decorrelated.
+  std::uint64_t sm = seed;
+  (void)splitmix64(sm);
+  sm ^= 0x6a09e667f3bcc909ULL * (stream + 1);
+  for (auto& word : s_) word = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless bounded sampling (rejection on the edge).
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next();
+    const unsigned __int128 m = static_cast<unsigned __int128>(r) * n;
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::exponential(double rate) noexcept {
+  // Inverse transform on (0, 1]; 1-uniform() avoids log(0).
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+Rng Rng::fork() noexcept {
+  const std::uint64_t a = next();
+  const std::uint64_t b = next();
+  return Rng(a, b);
+}
+
+}  // namespace mlcr::common

@@ -1,0 +1,69 @@
+#include "common/table.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace mlcr::common {
+
+std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::string& label, const std::vector<double>& values,
+                    const char* fmt) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(strf(fmt, v));
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i >= width.size()) width.resize(i + 1, 0);
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      line += "| ";
+      line += cell;
+      line.append(width[i] - cell.size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string out = render(header_);
+  std::string rule;
+  for (std::size_t w : width) rule += "|" + std::string(w + 2, '-');
+  out += rule + "|\n";
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace mlcr::common

@@ -1,0 +1,38 @@
+// ASCII table rendering used by benches to print paper-style tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlcr::common {
+
+/// Accumulates rows of cells and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; it may have fewer cells than the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with the given printf format.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               const char* fmt = "%.3g");
+
+  /// Renders with column alignment and a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+[[nodiscard]] std::string strf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace mlcr::common

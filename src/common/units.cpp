@@ -1,0 +1,36 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mlcr::common {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  const double abs = std::fabs(seconds);
+  if (abs >= kSecondsPerDay) {
+    std::snprintf(buf, sizeof buf, "%.2fd", seconds / kSecondsPerDay);
+  } else if (abs >= 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.2fh", seconds / 3600.0);
+  } else if (abs >= 60.0) {
+    std::snprintf(buf, sizeof buf, "%.2fm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  }
+  return buf;
+}
+
+std::string format_count(double value) {
+  char buf[64];
+  const double abs = std::fabs(value);
+  if (abs >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3gm", value / 1e6);
+  } else if (abs >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3gk", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%g", value);
+  }
+  return buf;
+}
+
+}  // namespace mlcr::common

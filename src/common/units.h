@@ -1,0 +1,35 @@
+// Unit conventions and conversions used across the library.
+//
+// The paper quotes workloads in "core-days" (single-core productive time) and
+// overheads in seconds.  Internally everything is carried in seconds as
+// `double`; these helpers make call-sites explicit about intent.
+#pragma once
+
+#include <string>
+
+namespace mlcr::common {
+
+inline constexpr double kSecondsPerDay = 86400.0;
+
+/// Converts core-days (paper's workload unit) to core-seconds.
+[[nodiscard]] constexpr double core_days_to_seconds(double core_days) noexcept {
+  return core_days * kSecondsPerDay;
+}
+
+/// Converts seconds to days (used when printing paper-style tables).
+[[nodiscard]] constexpr double seconds_to_days(double seconds) noexcept {
+  return seconds / kSecondsPerDay;
+}
+
+/// Converts a per-day event rate to a per-second rate.
+[[nodiscard]] constexpr double per_day_to_per_second(double per_day) noexcept {
+  return per_day / kSecondsPerDay;
+}
+
+/// Human-readable duration, e.g. "13.0d", "2.1h", "35s".
+[[nodiscard]] std::string format_duration(double seconds);
+
+/// Human-readable count with k/m suffix, e.g. "81.7k", "1m".
+[[nodiscard]] std::string format_count(double value);
+
+}  // namespace mlcr::common

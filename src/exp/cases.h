@@ -1,0 +1,121 @@
+// Canonical experiment configurations from the paper's evaluation
+// (Section IV).  Every bench and integration test builds its systems here so
+// the parameters are stated exactly once.
+//
+// Documented assumptions (the paper is silent on these):
+//  * Recovery overheads are constant per level, R_i(N) = eta_i with eta_i
+//    equal to the Table II base fit (0.866/2.586/3.886/5.5 s).  They cannot
+//    scale like the PFS *write* path: with R_4(1e6) ~ 21,000 s and 4
+//    level-4 failures/day the expected wall-clock diverges
+//    (lambda_4 R_4 ~ 0.98), contradicting the paper's finite ML(ori-scale)
+//    results; FTI restarts read checkpoints without the metadata-heavy
+//    write congestion.
+//  * The resource allocation period is A = 60 s (paper cites 1-2 minute
+//    correlated-failure windows; Figure 3's numbers imply A ~ 0 there, so
+//    the Fig. 3 builders use A = 0).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "fti/fti.h"
+#include "model/system.h"
+
+namespace mlcr::exp {
+
+/// One of the paper's "r1-r2-r3-r4" failure-rate cases (events/day at the
+/// baseline scale N_b = 1e6).
+struct FailureCase {
+  std::string name;
+  std::vector<double> per_day;
+};
+
+/// The six cases of Figures 5-7 / Table III, in paper order.
+[[nodiscard]] std::vector<FailureCase> paper_failure_cases();
+
+/// The three cases of Table IV.
+[[nodiscard]] std::vector<FailureCase> table4_failure_cases();
+
+/// Raw Table II data: checkpoint cost (seconds) per level at 128-1024 cores.
+struct Table2Row {
+  double cores;
+  double cost[4];
+};
+[[nodiscard]] const std::vector<Table2Row>& table2_data();
+
+/// Least-squares (eps_i, alpha_i) fits of Table II used throughout the
+/// paper: (0.866,0) (2.586,0) (3.886,0) (5.5,0.0212).
+struct FtiCoefficients {
+  double eps[4];
+  double alpha[4];
+};
+[[nodiscard]] FtiCoefficients fti_coefficients();
+
+/// FTI-characterized 4-level overheads: checkpoint per the Table II fits,
+/// recovery constant per level (see file comment).
+[[nodiscard]] std::vector<model::LevelOverheads> fti_level_overheads();
+
+/// The exascale system of Figures 5-7 / Table III: Te in core-days,
+/// quadratic speedup (kappa = 0.46, N_star = n_star), FTI overheads,
+/// A = 60 s, failure rates at baseline N_b = n_star.
+[[nodiscard]] model::SystemConfig make_fti_system(
+    double te_core_days, const FailureCase& failure_case,
+    double n_star = 1e6);
+
+/// Table IV's system: constant per-level checkpoint costs (50/100/200/2000 s,
+/// "Blue Waters"-style constant PFS), recovery = recovery_factor * cost,
+/// Te = 2m core-days by default.
+[[nodiscard]] model::SystemConfig make_constant_pfs_system(
+    const FailureCase& failure_case, double recovery_factor = 1.0,
+    double te_core_days = 2e6, double n_star = 1e6);
+
+/// Figure 3's single-level system: Te = 4000 core-days, quadratic speedup
+/// (kappa = 0.46, N_star = 1e5), cost either constant 5 s or 5 + 0.005 N,
+/// A = 0.  The matching mu model is mu(N) = 0.005 N.
+[[nodiscard]] model::SystemConfig make_fig3_system(bool linear_cost);
+[[nodiscard]] model::MuModel fig3_mu();
+
+/// Measured Heat Distribution speedups on Fusion (Figure 2(a) shape):
+/// reconstructed from the paper's quoted points (speedup 77 at 160 cores,
+/// kappa ~ 0.46, flattening toward 1,024 cores).
+struct SpeedupSample {
+  double cores;
+  double speedup;
+};
+[[nodiscard]] std::vector<SpeedupSample> heat_speedup_samples();
+
+/// Synthetic eddy_uv-style speedups that peak near 100 cores then decline
+/// (Figure 2(b) shape).
+[[nodiscard]] std::vector<SpeedupSample> eddy_speedup_samples();
+
+// ---- Fusion-calibrated virtual cluster (Table II / Figure 4) ----------
+//
+// Storage/network constants chosen so that the virtual cluster's measured
+// per-level checkpoint makespans land on the paper's Table II values for a
+// 64 MB-per-rank payload and 8 ranks per node:
+//   L1 ~ 0.9 s (local write), L2 ~ 2.53 s (local + partner copy),
+//   L3 ~ 3.9 s (local + RS group of 3 nodes, 1 parity),
+//   L4 ~ 5.5 + 0.0212 * ranks (FIFO-contended PFS aggregate bandwidth).
+
+/// Logical checkpoint size per rank used in the calibration.
+[[nodiscard]] constexpr std::uint64_t fusion_payload_bytes() {
+  return 64'000'000;
+}
+
+/// Calibrated storage constants.
+[[nodiscard]] cluster::StorageModel fusion_storage();
+
+/// Cluster of `ranks` (8 per node) with the calibrated storage.
+[[nodiscard]] cluster::ClusterConfig fusion_cluster(int ranks);
+
+/// FTI configuration matching the calibration (RS group of 3, 1 parity).
+[[nodiscard]] fti::FtiConfig fusion_fti();
+
+/// Runs one collective checkpoint round per level on the calibrated
+/// cluster and returns the four makespans in seconds — the measurement
+/// behind Table II.
+[[nodiscard]] std::array<double, 4> measure_fti_costs(int ranks);
+
+}  // namespace mlcr::exp

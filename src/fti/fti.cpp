@@ -1,0 +1,352 @@
+#include "fti/fti.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace mlcr::fti {
+
+Fti::Fti(vmpi::Engine& engine, cluster::Cluster& cluster, FtiConfig config)
+    : engine_(engine), cluster_(cluster), config_(std::move(config)) {
+  MLCR_EXPECT(config_.parity_shards >= 1, "Fti: need at least one parity");
+  MLCR_EXPECT(config_.encode_bandwidth > 0.0, "Fti: bad encode bandwidth");
+}
+
+std::string Fti::key(int level, int version, int rank) {
+  return common::strf("L%d/v%d/r%d", level, version, rank);
+}
+
+std::string Fti::parity_key(int version, const std::string& group_tag,
+                            int shard) {
+  return common::strf("L3par/v%d/%s/p%d", version, group_tag.c_str(), shard);
+}
+
+std::vector<int> Fti::rs_rank_group(int rank) const {
+  const int rpn = cluster_.config().ranks_per_node;
+  const int slot = rank % rpn;
+  const int node = cluster_.node_of_rank(rank);
+  const int group = cluster_.rs_group_of(node);
+  std::vector<int> members;
+  for (int member_node : cluster_.rs_group_members(group)) {
+    members.push_back(member_node * rpn + slot);
+  }
+  return members;
+}
+
+std::string Fti::group_tag(int rank) const {
+  const int rpn = cluster_.config().ranks_per_node;
+  return common::strf("g%d_s%d",
+                      cluster_.rs_group_of(cluster_.node_of_rank(rank)),
+                      rank % rpn);
+}
+
+vmpi::Task<void> Fti::checkpoint(int rank, int level, cluster::Payload data) {
+  MLCR_EXPECT(level >= 1 && level <= 4, "Fti: level must be 1..4");
+  MLCR_EXPECT(rank >= 0 && rank < cluster_.rank_count(),
+              "Fti: rank out of range");
+  // Collective round bookkeeping: the first caller opens a round and fixes
+  // its version; the round closes when every rank has called.
+  if (round_arrivals_ == 0) {
+    current_version_ = next_version_++;
+    records_.push_back(CheckpointRecord{current_version_, level});
+  }
+  MLCR_EXPECT(records_.back().level == level,
+              "Fti: mismatched level within one collective checkpoint");
+  const int version = current_version_;
+  if (++round_arrivals_ == cluster_.rank_count()) round_arrivals_ = 0;
+
+  switch (level) {
+    case 1: co_await checkpoint_l1(rank, version, std::move(data)); break;
+    case 2: co_await checkpoint_l2(rank, version, std::move(data)); break;
+    case 3: co_await checkpoint_l3(rank, version, std::move(data)); break;
+    default: co_await checkpoint_l4(rank, version, std::move(data)); break;
+  }
+}
+
+vmpi::Task<void> Fti::checkpoint_l1(int rank, int version,
+                                    cluster::Payload data) {
+  auto& store = cluster_.node(cluster_.node_of_rank(rank)).store();
+  co_await store.write(engine_, key(1, version, rank), std::move(data));
+}
+
+vmpi::Task<void> Fti::checkpoint_l2(int rank, int version,
+                                    cluster::Payload data) {
+  const int node = cluster_.node_of_rank(rank);
+  const int partner = cluster_.partner_of(node);
+  // Local copy first, then ship a replica to the partner node.
+  co_await cluster_.node(node).store().write(engine_, key(2, version, rank),
+                                             data);
+  co_await engine_.sleep(config_.network.transfer_time(data.cost_size()));
+  co_await cluster_.node(partner).store().write(
+      engine_, common::strf("L2copy/v%d/r%d", version, rank),
+      std::move(data));
+}
+
+vmpi::Task<void> Fti::checkpoint_l3(int rank, int version,
+                                    cluster::Payload data) {
+  const int node = cluster_.node_of_rank(rank);
+  // Everyone persists their own data shard locally first.
+  co_await cluster_.node(node).store().write(engine_, key(3, version, rank),
+                                             data);
+
+  // Group staging: the last member to arrive performs the encode for the
+  // whole group and releases everyone.
+  const std::string tag = group_tag(rank) + common::strf("/v%d", version);
+  const auto members = rs_rank_group(rank);
+  GroupStage& stage = stages_[tag];
+  stage.payloads[rank] = std::move(data);
+  ++stage.arrived;
+
+  if (stage.arrived < static_cast<int>(members.size())) {
+    co_await StageWait{&stage.waiters};
+    co_return;
+  }
+
+  // Last arriver: real Reed-Solomon encode over the staged bytes.
+  const int k = static_cast<int>(members.size());
+  const int m = config_.parity_shards;
+  std::size_t shard_size = 0;
+  std::uint64_t logical = 0;
+  for (const auto& [r, payload] : stage.payloads) {
+    shard_size = std::max(shard_size, payload.bytes.size());
+    logical = std::max<std::uint64_t>(logical, payload.cost_size());
+  }
+  shard_size = std::max<std::size_t>(shard_size, 1);
+
+  std::vector<std::vector<std::uint8_t>> shards(
+      static_cast<std::size_t>(k + m));
+  for (int i = 0; i < k; ++i) {
+    auto& shard = shards[static_cast<std::size_t>(i)];
+    shard = stage.payloads[members[static_cast<std::size_t>(i)]].bytes;
+    shard.resize(shard_size, 0);
+  }
+  for (int i = 0; i < m; ++i) {
+    shards[static_cast<std::size_t>(k + i)].resize(shard_size);
+  }
+  rs::ReedSolomon code(k, m);
+  code.encode(shards);
+
+  // Cost model: gather (k-1 shards to the encoder), the encode itself, and
+  // scatter of m parity shards — a makespan charged to the whole group.
+  const double gather =
+      (k - 1) * config_.network.transfer_time(static_cast<std::size_t>(logical));
+  const double encode = static_cast<double>(k) *
+                        static_cast<double>(logical) /
+                        config_.encode_bandwidth;
+  const double scatter =
+      m * config_.network.transfer_time(static_cast<std::size_t>(logical));
+  co_await engine_.sleep(gather + encode + scatter);
+
+  // Persist parity shards cyclically across the member nodes.
+  for (int i = 0; i < m; ++i) {
+    const int holder_rank = members[static_cast<std::size_t>(i % k)];
+    const int holder_node = cluster_.node_of_rank(holder_rank);
+    cluster::Payload parity;
+    parity.bytes = std::move(shards[static_cast<std::size_t>(k + i)]);
+    parity.logical_size = logical;
+    co_await cluster_.node(holder_node).store().write(
+        engine_, parity_key(version, group_tag(rank), i), std::move(parity));
+  }
+
+  // Record geometry for reconstruction.
+  GroupMeta meta;
+  meta.shard_size = shard_size;
+  meta.logical_size = logical;
+  for (const auto& [r, payload] : stage.payloads) {
+    meta.original_sizes[r] = payload.bytes.size();
+    meta.logical_sizes[r] = payload.cost_size();
+  }
+  group_meta_[tag] = std::move(meta);
+
+  auto waiters = std::move(stage.waiters);
+  stages_.erase(tag);
+  for (auto handle : waiters) engine_.schedule(0.0, handle);
+}
+
+vmpi::Task<void> Fti::checkpoint_l4(int rank, int version,
+                                    cluster::Payload data) {
+  co_await cluster_.pfs().write(engine_, key(4, version, rank),
+                                std::move(data));
+}
+
+void Fti::prune(int keep_last) {
+  MLCR_EXPECT(keep_last >= 1, "Fti::prune: must keep at least one record");
+  if (static_cast<int>(records_.size()) <= keep_last) return;
+  const std::size_t drop = records_.size() - static_cast<std::size_t>(keep_last);
+  const int rpn = cluster_.config().ranks_per_node;
+  for (std::size_t i = 0; i < drop; ++i) {
+    const CheckpointRecord& record = records_[i];
+    for (int rank = 0; rank < cluster_.rank_count(); ++rank) {
+      const int node = cluster_.node_of_rank(rank);
+      auto& store = cluster_.node(node).store();
+      store.erase(key(record.level, record.version, rank));
+      if (record.level == 2) {
+        cluster_.node(cluster_.partner_of(node))
+            .store()
+            .erase(common::strf("L2copy/v%d/r%d", record.version, rank));
+      }
+      if (record.level == 4) {
+        cluster_.pfs().erase(key(4, record.version, rank));
+      }
+    }
+    if (record.level == 3) {
+      // Parity shards + group metadata, per (group, slot).
+      for (int node = 0; node < cluster_.node_count();
+           node += cluster_.config().rs_group_size) {
+        for (int slot = 0; slot < rpn; ++slot) {
+          const int rank = node * rpn + slot;
+          if (rank >= cluster_.rank_count()) continue;
+          const auto members = rs_rank_group(rank);
+          for (int p = 0; p < config_.parity_shards; ++p) {
+            const int holder = cluster_.node_of_rank(
+                members[static_cast<std::size_t>(
+                    p % static_cast<int>(members.size()))]);
+            cluster_.node(holder).store().erase(
+                parity_key(record.version, group_tag(rank), p));
+          }
+          group_meta_.erase(group_tag(rank) +
+                            common::strf("/v%d", record.version));
+        }
+      }
+    }
+  }
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(drop));
+}
+
+std::size_t Fti::stored_objects() const {
+  std::size_t total = cluster_.pfs().object_count();
+  for (int node = 0; node < cluster_.node_count(); ++node) {
+    total += cluster_.node(node).store().object_count();
+  }
+  return total;
+}
+
+vmpi::Task<std::optional<cluster::Payload>> Fti::restore(int rank) {
+  // Newest first; the first recoverable record wins.
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    auto restored = co_await try_restore(rank, *it);
+    if (restored.has_value()) co_return restored;
+  }
+  co_return std::nullopt;
+}
+
+vmpi::Task<std::optional<cluster::Payload>> Fti::restore_record(
+    int rank, const CheckpointRecord& record) {
+  co_return co_await try_restore(rank, record);
+}
+
+vmpi::Task<std::optional<cluster::Payload>> Fti::try_restore(
+    int rank, const CheckpointRecord& record) {
+  const int node = cluster_.node_of_rank(rank);
+  switch (record.level) {
+    case 1: {
+      co_return co_await cluster_.node(node).store().read(
+          engine_, key(1, record.version, rank));
+    }
+    case 2: {
+      auto local = co_await cluster_.node(node).store().read(
+          engine_, key(2, record.version, rank));
+      if (local.has_value()) co_return local;
+      // Fetch the replica back from the partner node.
+      const int partner = cluster_.partner_of(node);
+      auto remote = co_await cluster_.node(partner).store().read(
+          engine_, common::strf("L2copy/v%d/r%d", record.version, rank));
+      if (remote.has_value()) {
+        co_await engine_.sleep(
+            config_.network.transfer_time(remote->cost_size()));
+      }
+      co_return remote;
+    }
+    case 3:
+      co_return co_await restore_l3(rank, record.version);
+    default: {
+      co_return co_await cluster_.pfs().read(engine_,
+                                             key(4, record.version, rank));
+    }
+  }
+}
+
+vmpi::Task<std::optional<cluster::Payload>> Fti::restore_l3(int rank,
+                                                            int version) {
+  const int node = cluster_.node_of_rank(rank);
+  // Fast path: the local shard survived.
+  auto local = co_await cluster_.node(node).store().read(
+      engine_, key(3, version, rank));
+  if (local.has_value()) co_return local;
+
+  const std::string tag = group_tag(rank) + common::strf("/v%d", version);
+  const auto meta_it = group_meta_.find(tag);
+  if (meta_it == group_meta_.end()) co_return std::nullopt;
+  const GroupMeta& meta = meta_it->second;
+
+  const auto members = rs_rank_group(rank);
+  const int k = static_cast<int>(members.size());
+  const int m = config_.parity_shards;
+  std::vector<std::vector<std::uint8_t>> shards(
+      static_cast<std::size_t>(k + m));
+  std::vector<bool> present(static_cast<std::size_t>(k + m), false);
+
+  double gather_cost = 0.0;
+  for (int i = 0; i < k; ++i) {
+    const int member = members[static_cast<std::size_t>(i)];
+    auto shard = co_await cluster_.node(cluster_.node_of_rank(member))
+                     .store()
+                     .read(engine_, key(3, version, member));
+    if (shard.has_value()) {
+      auto padded = std::move(shard->bytes);
+      padded.resize(meta.shard_size, 0);
+      shards[static_cast<std::size_t>(i)] = std::move(padded);
+      present[static_cast<std::size_t>(i)] = true;
+      gather_cost += config_.network.transfer_time(
+          static_cast<std::size_t>(meta.logical_size));
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    const int holder_rank = members[static_cast<std::size_t>(i % k)];
+    const int holder_node = cluster_.node_of_rank(holder_rank);
+    auto parity = co_await cluster_.node(holder_node).store().read(
+        engine_, parity_key(version, group_tag(rank), i));
+    if (parity.has_value()) {
+      shards[static_cast<std::size_t>(k + i)] = std::move(parity->bytes);
+      present[static_cast<std::size_t>(k + i)] = true;
+      gather_cost += config_.network.transfer_time(
+          static_cast<std::size_t>(meta.logical_size));
+    } else {
+      shards[static_cast<std::size_t>(k + i)].resize(meta.shard_size);
+    }
+  }
+  for (int i = 0; i < k; ++i) {
+    if (!present[static_cast<std::size_t>(i)]) {
+      shards[static_cast<std::size_t>(i)].resize(meta.shard_size);
+    }
+  }
+
+  rs::ReedSolomon code(k, m);
+  if (!code.reconstruct(shards, present)) co_return std::nullopt;
+
+  const double decode = static_cast<double>(k) *
+                        static_cast<double>(meta.logical_size) /
+                        config_.encode_bandwidth;
+  co_await engine_.sleep(gather_cost + decode);
+
+  // Locate this rank's shard and trim the padding.
+  int index = -1;
+  for (int i = 0; i < k; ++i) {
+    if (members[static_cast<std::size_t>(i)] == rank) index = i;
+  }
+  MLCR_EXPECT(index >= 0, "Fti: rank not in its own RS group");
+  cluster::Payload payload;
+  payload.bytes = std::move(shards[static_cast<std::size_t>(index)]);
+  const auto size_it = meta.original_sizes.find(rank);
+  if (size_it != meta.original_sizes.end()) {
+    payload.bytes.resize(size_it->second);
+  }
+  const auto logical_it = meta.logical_sizes.find(rank);
+  payload.logical_size =
+      logical_it != meta.logical_sizes.end() ? logical_it->second : 0;
+  co_return payload;
+}
+
+}  // namespace mlcr::fti

@@ -1,0 +1,142 @@
+// A from-scratch multilevel checkpoint/restart library in the mold of FTI
+// (paper reference [13]), running on the virtual cluster:
+//
+//   level 1 — node-local store write (survives software faults);
+//   level 2 — local write + full copy on the partner node (survives
+//             non-adjacent node failures);
+//   level 3 — local write + Reed-Solomon group encoding over GF(2^8)
+//             (survives up to parity_shards/2 node losses per group, since
+//             one node loss costs its data shard plus one parity shard);
+//   level 4 — parallel file system write (survives anything).
+//
+// Checkpoints are collective (every rank calls with the same level); level
+// 3 synchronizes each encoding group internally, performs a REAL
+// Reed-Solomon encode over the ranks' payload bytes, and distributes parity
+// shards cyclically across the group's nodes.  restore() walks checkpoint
+// records from newest to oldest and returns the first bit-exact recoverable
+// payload, reconstructing lost shards from partners or parity as needed.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "rs/reed_solomon.h"
+#include "vmpi/comm.h"
+#include "vmpi/engine.h"
+#include "vmpi/task.h"
+
+namespace mlcr::fti {
+
+struct FtiConfig {
+  int parity_shards = 2;          ///< per RS group (tolerates m/2 node losses)
+  double encode_bandwidth = 1e9;  ///< bytes/s of RS encode/decode compute
+  vmpi::NetworkModel network;     ///< partner/RS transfer cost model
+};
+
+/// One collective checkpoint instance.
+struct CheckpointRecord {
+  int version = 0;
+  int level = 0;  ///< 1..4
+};
+
+class Fti {
+ public:
+  Fti(vmpi::Engine& engine, cluster::Cluster& cluster, FtiConfig config);
+
+  /// Collective checkpoint: every rank must call with the same `level`
+  /// (1..4).  Returns when this rank's contribution is durable.
+  [[nodiscard]] vmpi::Task<void> checkpoint(int rank, int level,
+                                            cluster::Payload data);
+
+  /// Restores the most recent recoverable payload for `rank`, trying
+  /// records from newest to oldest.  Lost level-2 data is re-fetched from
+  /// the partner node; lost level-3 shards are rebuilt by a real
+  /// Reed-Solomon reconstruction from the surviving group members.
+  [[nodiscard]] vmpi::Task<std::optional<cluster::Payload>> restore(int rank);
+
+  /// Attempts recovery of one specific checkpoint record for `rank`.
+  /// Coordinated restarts use this to find the newest record recoverable by
+  /// EVERY rank (a per-rank "newest recoverable" would mix iterations).
+  [[nodiscard]] vmpi::Task<std::optional<cluster::Payload>> restore_record(
+      int rank, const CheckpointRecord& record);
+
+  /// Checkpoint history, oldest first.
+  [[nodiscard]] const std::vector<CheckpointRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Garbage collection: keeps the newest `keep_last` checkpoint records
+  /// and deletes the storage objects of everything older (FTI similarly
+  /// retires superseded checkpoints to bound device usage).  Instant
+  /// metadata operation.
+  void prune(int keep_last);
+
+  /// Total stored objects across all node-local stores and the PFS — the
+  /// footprint prune() bounds.
+  [[nodiscard]] std::size_t stored_objects() const;
+
+  /// The group of ranks that share one RS encoding (node-disjoint: rank
+  /// slots aligned across `rs_group_size` consecutive nodes).
+  [[nodiscard]] std::vector<int> rs_rank_group(int rank) const;
+
+ private:
+  struct GroupStage {
+    int arrived = 0;
+    std::map<int, cluster::Payload> payloads;  // by rank
+    std::vector<std::coroutine_handle<>> waiters;
+  };
+
+  [[nodiscard]] static std::string key(int level, int version, int rank);
+  [[nodiscard]] static std::string parity_key(int version,
+                                              const std::string& group_tag,
+                                              int shard);
+  [[nodiscard]] std::string group_tag(int rank) const;
+
+  [[nodiscard]] vmpi::Task<void> checkpoint_l1(int rank, int version,
+                                               cluster::Payload data);
+  [[nodiscard]] vmpi::Task<void> checkpoint_l2(int rank, int version,
+                                               cluster::Payload data);
+  [[nodiscard]] vmpi::Task<void> checkpoint_l3(int rank, int version,
+                                               cluster::Payload data);
+  [[nodiscard]] vmpi::Task<void> checkpoint_l4(int rank, int version,
+                                               cluster::Payload data);
+
+  [[nodiscard]] vmpi::Task<std::optional<cluster::Payload>> try_restore(
+      int rank, const CheckpointRecord& record);
+  [[nodiscard]] vmpi::Task<std::optional<cluster::Payload>> restore_l3(
+      int rank, int version);
+
+  /// Geometry of one group encoding, kept as library metadata (real FTI
+  /// stores this in per-checkpoint metadata files that survive failures).
+  struct GroupMeta {
+    std::size_t shard_size = 0;
+    std::uint64_t logical_size = 0;
+    std::map<int, std::size_t> original_sizes;  // by rank
+    std::map<int, std::uint64_t> logical_sizes;
+  };
+
+  vmpi::Engine& engine_;
+  cluster::Cluster& cluster_;
+  FtiConfig config_;
+  int next_version_ = 1;
+  int current_version_ = 0;
+  int round_arrivals_ = 0;
+  std::vector<CheckpointRecord> records_;
+  std::map<std::string, GroupStage> stages_;  // keyed by group_tag + version
+  std::map<std::string, GroupMeta> group_meta_;
+};
+
+/// Awaitable that suspends the caller and stores the handle in `slot`.
+struct StageWait {
+  std::vector<std::coroutine_handle<>>* waiters;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle) {
+    waiters->push_back(handle);
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace mlcr::fti

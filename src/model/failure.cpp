@@ -1,0 +1,65 @@
+#include "model/failure.h"
+
+#include <cmath>
+
+namespace mlcr::model {
+
+FailureRates::FailureRates(std::vector<double> per_day_at_baseline,
+                           double baseline_scale, double scale_exponent)
+    : per_day_at_baseline_(std::move(per_day_at_baseline)),
+      baseline_scale_(baseline_scale),
+      scale_exponent_(scale_exponent) {
+  MLCR_EXPECT(!per_day_at_baseline_.empty(), "FailureRates: no levels");
+  MLCR_EXPECT(baseline_scale_ > 0.0, "FailureRates: baseline must be > 0");
+  for (double r : per_day_at_baseline_) {
+    MLCR_EXPECT(r >= 0.0, "FailureRates: negative rate");
+  }
+}
+
+double FailureRates::rate_per_second(std::size_t level, double n) const {
+  MLCR_EXPECT(level < per_day_at_baseline_.size(), "level out of range");
+  const double scale = std::pow(n / baseline_scale_, scale_exponent_);
+  return common::per_day_to_per_second(per_day_at_baseline_[level]) * scale;
+}
+
+double FailureRates::rate_derivative(std::size_t level, double n) const {
+  MLCR_EXPECT(level < per_day_at_baseline_.size(), "level out of range");
+  const double base = common::per_day_to_per_second(per_day_at_baseline_[level]);
+  return base * scale_exponent_ *
+         std::pow(n / baseline_scale_, scale_exponent_ - 1.0) /
+         baseline_scale_;
+}
+
+double FailureRates::expected_failures(std::size_t level, double n,
+                                       double wallclock_seconds) const {
+  return rate_per_second(level, n) * wallclock_seconds;
+}
+
+MuModel::MuModel(std::vector<double> b, double exponent)
+    : b_(std::move(b)), exponent_(exponent) {
+  MLCR_EXPECT(!b_.empty(), "MuModel: no levels");
+  for (double v : b_) MLCR_EXPECT(v >= 0.0, "MuModel: negative coefficient");
+}
+
+MuModel MuModel::from_rates(const FailureRates& rates,
+                            double wallclock_estimate) {
+  MLCR_EXPECT(wallclock_estimate > 0.0, "MuModel: wallclock must be > 0");
+  std::vector<double> b(rates.levels());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    // mu_i(N) = lambda_i(N) * Tw = [r_i/(day * N_b^p)] * Tw * N^p  =>  b_i.
+    b[i] = rates.rate_per_second(i, 1.0) * wallclock_estimate;
+  }
+  return MuModel(std::move(b), rates.scale_exponent());
+}
+
+double MuModel::mu(std::size_t level, double n) const {
+  MLCR_EXPECT(level < b_.size(), "level out of range");
+  return b_[level] * std::pow(n, exponent_);
+}
+
+double MuModel::mu_derivative(std::size_t level, double n) const {
+  MLCR_EXPECT(level < b_.size(), "level out of range");
+  return b_[level] * exponent_ * std::pow(n, exponent_ - 1.0);
+}
+
+}  // namespace mlcr::model

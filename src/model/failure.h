@@ -1,0 +1,81 @@
+// Failure-rate model.  The paper specifies per-level failure rates as
+// "r_1-r_2-...-r_L failures per day at the baseline scale N_b", with real
+// rates growing proportionally to the execution scale:
+//   lambda_i(N) = (r_i / 86400) * (N / N_b)^p   [per second],  p = 1 default.
+//
+// Algorithm 1's inner problem freezes the expected failure *count* per level
+// to a function of N only: mu_i(N) = lambda_i(N) * Tw_hat, i.e. the linear
+// model mu_i(N) = b_i N with b_i = r_i Tw_hat / (86400 N_b) when p = 1.
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mlcr::model {
+
+/// Per-level failure rates, scale-proportional (exponent p configurable).
+class FailureRates {
+ public:
+  /// `per_day_at_baseline[i]` is the level-(i+1) rate (events/day) observed
+  /// when running on `baseline_scale` cores.
+  FailureRates(std::vector<double> per_day_at_baseline, double baseline_scale,
+               double scale_exponent = 1.0);
+
+  [[nodiscard]] std::size_t levels() const noexcept {
+    return per_day_at_baseline_.size();
+  }
+
+  /// lambda_i(N): failures per second at level i (0-based) when running on N.
+  [[nodiscard]] double rate_per_second(std::size_t level, double n) const;
+
+  /// d lambda_i / dN.
+  [[nodiscard]] double rate_derivative(std::size_t level, double n) const;
+
+  /// Expected failure count at level i over a wall-clock span.
+  [[nodiscard]] double expected_failures(std::size_t level, double n,
+                                         double wallclock_seconds) const;
+
+  [[nodiscard]] double baseline_scale() const noexcept {
+    return baseline_scale_;
+  }
+  [[nodiscard]] double per_day_at_baseline(std::size_t level) const {
+    MLCR_EXPECT(level < per_day_at_baseline_.size(), "level out of range");
+    return per_day_at_baseline_[level];
+  }
+  [[nodiscard]] double scale_exponent() const noexcept {
+    return scale_exponent_;
+  }
+
+ private:
+  std::vector<double> per_day_at_baseline_;
+  double baseline_scale_;
+  double scale_exponent_;
+};
+
+/// The inner-problem failure-count model mu_i(N) (paper Section III-B):
+/// mu depends only on N.  Linear form mu_i(N) = b_i * N^p (p = 1 default).
+class MuModel {
+ public:
+  MuModel(std::vector<double> b, double exponent = 1.0);
+
+  /// Builds b_i from failure rates and a wall-clock estimate Tw_hat:
+  /// mu_i(N) = lambda_i(N) * Tw_hat.
+  [[nodiscard]] static MuModel from_rates(const FailureRates& rates,
+                                          double wallclock_estimate);
+
+  [[nodiscard]] std::size_t levels() const noexcept { return b_.size(); }
+  [[nodiscard]] double mu(std::size_t level, double n) const;
+  [[nodiscard]] double mu_derivative(std::size_t level, double n) const;
+  [[nodiscard]] double b(std::size_t level) const {
+    MLCR_EXPECT(level < b_.size(), "level out of range");
+    return b_[level];
+  }
+
+ private:
+  std::vector<double> b_;
+  double exponent_;
+};
+
+}  // namespace mlcr::model

@@ -1,0 +1,37 @@
+#include "model/overhead.h"
+
+#include <cmath>
+
+namespace mlcr::model {
+
+double scaling_value(Scaling scaling, double n) noexcept {
+  switch (scaling) {
+    case Scaling::kConstant: return 0.0;
+    case Scaling::kLinear: return n;
+    case Scaling::kSqrt: return std::sqrt(n);
+    case Scaling::kLog: return std::log1p(n);
+  }
+  return 0.0;
+}
+
+double scaling_derivative(Scaling scaling, double n) noexcept {
+  switch (scaling) {
+    case Scaling::kConstant: return 0.0;
+    case Scaling::kLinear: return 1.0;
+    case Scaling::kSqrt: return n > 0.0 ? 0.5 / std::sqrt(n) : 0.0;
+    case Scaling::kLog: return 1.0 / (1.0 + n);
+  }
+  return 0.0;
+}
+
+std::string to_string(Scaling scaling) {
+  switch (scaling) {
+    case Scaling::kConstant: return "constant";
+    case Scaling::kLinear: return "linear";
+    case Scaling::kSqrt: return "sqrt";
+    case Scaling::kLog: return "log";
+  }
+  return "?";
+}
+
+}  // namespace mlcr::model

@@ -1,0 +1,52 @@
+// Checkpoint / recovery overhead models (paper Formulas (19)/(20)):
+//   C_i(N) = eps_i + alpha_i * Hc(N),   R_i(N) = eta_i + beta_i * Hr(N)
+// where Hc/Hr are baseline functions through the origin.  The paper uses
+// Hc = 0 (constant cost; FTI levels 1-3, Table II) and Hc = N (linear; FTI
+// level 4 on the PFS).  Sqrt and Log shapes are provided for sensitivity
+// studies of partially-congested storage.
+#pragma once
+
+#include <string>
+
+namespace mlcr::model {
+
+/// Shape of the scale-dependent term H(N).
+enum class Scaling {
+  kConstant,  ///< H(N) = 0   — overhead independent of scale
+  kLinear,    ///< H(N) = N
+  kSqrt,      ///< H(N) = sqrt(N)
+  kLog,       ///< H(N) = ln(1 + N)
+};
+
+[[nodiscard]] double scaling_value(Scaling scaling, double n) noexcept;
+[[nodiscard]] double scaling_derivative(Scaling scaling, double n) noexcept;
+[[nodiscard]] std::string to_string(Scaling scaling);
+
+/// One overhead curve: base + slope * H(N).
+struct Overhead {
+  double base = 0.0;   ///< eps_i (or eta_i), seconds
+  double slope = 0.0;  ///< alpha_i (or beta_i), seconds per unit of H(N)
+  Scaling scaling = Scaling::kConstant;
+
+  [[nodiscard]] double value(double n) const noexcept {
+    return base + slope * scaling_value(scaling, n);
+  }
+  [[nodiscard]] double derivative(double n) const noexcept {
+    return slope * scaling_derivative(scaling, n);
+  }
+
+  [[nodiscard]] static Overhead constant(double seconds) noexcept {
+    return {seconds, 0.0, Scaling::kConstant};
+  }
+  [[nodiscard]] static Overhead linear(double base, double slope) noexcept {
+    return {base, slope, Scaling::kLinear};
+  }
+};
+
+/// Per-level pair of checkpoint + recovery overheads.
+struct LevelOverheads {
+  Overhead checkpoint;
+  Overhead recovery;
+};
+
+}  // namespace mlcr::model

@@ -1,0 +1,126 @@
+#include "model/speedup.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace mlcr::model {
+
+LinearSpeedup::LinearSpeedup(double kappa) : kappa_(kappa) {
+  MLCR_EXPECT(kappa > 0.0, "LinearSpeedup: kappa must be positive");
+}
+
+double LinearSpeedup::value(double n) const { return kappa_ * n; }
+double LinearSpeedup::derivative(double) const { return kappa_; }
+double LinearSpeedup::ideal_scale() const {
+  return std::numeric_limits<double>::infinity();
+}
+std::unique_ptr<Speedup> LinearSpeedup::clone() const {
+  return std::make_unique<LinearSpeedup>(*this);
+}
+
+QuadraticSpeedup::QuadraticSpeedup(double kappa, double n_symmetry)
+    : kappa_(kappa), n_symmetry_(n_symmetry) {
+  MLCR_EXPECT(kappa > 0.0, "QuadraticSpeedup: kappa must be positive");
+  MLCR_EXPECT(n_symmetry > 0.0, "QuadraticSpeedup: N_sym must be positive");
+}
+
+double QuadraticSpeedup::value(double n) const {
+  return -kappa_ / (2.0 * n_symmetry_) * n * n + kappa_ * n;
+}
+
+double QuadraticSpeedup::derivative(double n) const {
+  return kappa_ * (1.0 - n / n_symmetry_);
+}
+
+double QuadraticSpeedup::ideal_scale() const { return n_symmetry_; }
+
+std::unique_ptr<Speedup> QuadraticSpeedup::clone() const {
+  return std::make_unique<QuadraticSpeedup>(*this);
+}
+
+QuadraticSpeedup QuadraticSpeedup::from_coefficients(double a1, double a2) {
+  MLCR_EXPECT(a1 > 0.0, "from_coefficients: slope at origin must be positive");
+  MLCR_EXPECT(a2 < 0.0, "from_coefficients: quadratic term must be negative");
+  // g = a1 N + a2 N^2 = -kappa/(2 N_sym) N^2 + kappa N
+  // => kappa = a1, N_sym = -a1 / (2 a2).
+  return QuadraticSpeedup(a1, -a1 / (2.0 * a2));
+}
+
+AmdahlSpeedup::AmdahlSpeedup(double serial_fraction)
+    : serial_fraction_(serial_fraction) {
+  MLCR_EXPECT(serial_fraction > 0.0 && serial_fraction <= 1.0,
+              "AmdahlSpeedup: serial fraction must be in (0, 1]");
+}
+
+double AmdahlSpeedup::value(double n) const {
+  return 1.0 / (serial_fraction_ + (1.0 - serial_fraction_) / n);
+}
+
+double AmdahlSpeedup::derivative(double n) const {
+  const double denom = serial_fraction_ + (1.0 - serial_fraction_) / n;
+  return (1.0 - serial_fraction_) / (n * n * denom * denom);
+}
+
+double AmdahlSpeedup::ideal_scale() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+std::unique_ptr<Speedup> AmdahlSpeedup::clone() const {
+  return std::make_unique<AmdahlSpeedup>(*this);
+}
+
+TabulatedSpeedup::TabulatedSpeedup(std::span<const double> scales,
+                                   std::span<const double> speedups)
+    : scales_(scales.begin(), scales.end()),
+      speedups_(speedups.begin(), speedups.end()) {
+  MLCR_EXPECT(scales_.size() == speedups_.size(),
+              "TabulatedSpeedup: size mismatch");
+  MLCR_EXPECT(scales_.size() >= 2, "TabulatedSpeedup: need >= 2 points");
+  MLCR_EXPECT(std::is_sorted(scales_.begin(), scales_.end()) &&
+                  std::adjacent_find(scales_.begin(), scales_.end()) ==
+                      scales_.end(),
+              "TabulatedSpeedup: scales must be strictly increasing");
+  MLCR_EXPECT(scales_.front() > 0.0, "TabulatedSpeedup: scales must be > 0");
+}
+
+double TabulatedSpeedup::value(double n) const {
+  // Below the first point, interpolate toward the origin (g(0) = 0).
+  if (n <= scales_.front()) {
+    return speedups_.front() * n / scales_.front();
+  }
+  auto it = std::lower_bound(scales_.begin(), scales_.end(), n);
+  std::size_t hi = it == scales_.end() ? scales_.size() - 1
+                                       : static_cast<std::size_t>(
+                                             std::distance(scales_.begin(), it));
+  if (hi == 0) hi = 1;
+  const std::size_t lo = hi - 1;
+  const double t = (n - scales_[lo]) / (scales_[hi] - scales_[lo]);
+  return speedups_[lo] + t * (speedups_[hi] - speedups_[lo]);
+}
+
+double TabulatedSpeedup::derivative(double n) const {
+  if (n <= scales_.front()) return speedups_.front() / scales_.front();
+  auto it = std::lower_bound(scales_.begin(), scales_.end(), n);
+  std::size_t hi = it == scales_.end() ? scales_.size() - 1
+                                       : static_cast<std::size_t>(
+                                             std::distance(scales_.begin(), it));
+  if (hi == 0) hi = 1;
+  const std::size_t lo = hi - 1;
+  return (speedups_[hi] - speedups_[lo]) / (scales_[hi] - scales_[lo]);
+}
+
+double TabulatedSpeedup::ideal_scale() const {
+  // First local maximum: the scale of the largest tabulated speedup.
+  const auto it = std::max_element(speedups_.begin(), speedups_.end());
+  return scales_[static_cast<std::size_t>(
+      std::distance(speedups_.begin(), it))];
+}
+
+std::unique_ptr<Speedup> TabulatedSpeedup::clone() const {
+  return std::make_unique<TabulatedSpeedup>(*this);
+}
+
+}  // namespace mlcr::model

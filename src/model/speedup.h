@@ -1,0 +1,102 @@
+// Speedup functions g(N) (paper Section II / Formula (12)).
+//
+// The paper's optimizer only needs g(N), g'(N) and the "ideal scale" N_star
+// (the largest N at which g is still non-decreasing): the optimum N* is
+// always searched in (0, N_star].  Four shapes are provided:
+//   * Linear        g(N) = kappa * N                      (Section III-C.1)
+//   * Quadratic     g(N) = -kappa/(2 N_sym) N^2 + kappa N  (Formula (12))
+//   * Amdahl        g(N) = 1 / (s + (1-s)/N)               (ref [31])
+//   * Tabulated     piecewise-linear through measured points (Figure 2 data)
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace mlcr::model {
+
+/// Interface: differentiable speedup curve through the origin.
+class Speedup {
+ public:
+  virtual ~Speedup() = default;
+
+  /// g(N); requires N > 0.
+  [[nodiscard]] virtual double value(double n) const = 0;
+
+  /// g'(N).
+  [[nodiscard]] virtual double derivative(double n) const = 0;
+
+  /// Largest scale at which the curve is still non-decreasing ("original
+  /// optimal scale" N^(*) in the paper).  Infinity for strictly increasing
+  /// curves capped only by machine size.
+  [[nodiscard]] virtual double ideal_scale() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<Speedup> clone() const = 0;
+};
+
+/// g(N) = kappa * N.
+class LinearSpeedup final : public Speedup {
+ public:
+  explicit LinearSpeedup(double kappa);
+  [[nodiscard]] double value(double n) const override;
+  [[nodiscard]] double derivative(double n) const override;
+  [[nodiscard]] double ideal_scale() const override;
+  [[nodiscard]] std::unique_ptr<Speedup> clone() const override;
+  [[nodiscard]] double kappa() const noexcept { return kappa_; }
+
+ private:
+  double kappa_;
+};
+
+/// Paper Formula (12): g(N) = -kappa/(2 N_sym) N^2 + kappa N.
+/// The symmetry axis N_sym is the ideal scale (g peaks there).
+class QuadraticSpeedup final : public Speedup {
+ public:
+  QuadraticSpeedup(double kappa, double n_symmetry);
+  [[nodiscard]] double value(double n) const override;
+  [[nodiscard]] double derivative(double n) const override;
+  [[nodiscard]] double ideal_scale() const override;
+  [[nodiscard]] std::unique_ptr<Speedup> clone() const override;
+  [[nodiscard]] double kappa() const noexcept { return kappa_; }
+  [[nodiscard]] double n_symmetry() const noexcept { return n_symmetry_; }
+
+  /// Builds from general through-origin coefficients g = a1 N + a2 N^2
+  /// (the output of num::fit_quadratic_through_origin); requires a2 < 0.
+  [[nodiscard]] static QuadraticSpeedup from_coefficients(double a1, double a2);
+
+ private:
+  double kappa_;
+  double n_symmetry_;
+};
+
+/// Amdahl's law with serial fraction s in (0, 1]: g(N) = 1/(s + (1-s)/N).
+class AmdahlSpeedup final : public Speedup {
+ public:
+  explicit AmdahlSpeedup(double serial_fraction);
+  [[nodiscard]] double value(double n) const override;
+  [[nodiscard]] double derivative(double n) const override;
+  [[nodiscard]] double ideal_scale() const override;
+  [[nodiscard]] std::unique_ptr<Speedup> clone() const override;
+
+ private:
+  double serial_fraction_;
+};
+
+/// Piecewise-linear interpolation through measured (N, speedup) points.
+/// Points must have strictly increasing N; the curve is extended linearly
+/// beyond the last segment.
+class TabulatedSpeedup final : public Speedup {
+ public:
+  TabulatedSpeedup(std::span<const double> scales,
+                   std::span<const double> speedups);
+  [[nodiscard]] double value(double n) const override;
+  [[nodiscard]] double derivative(double n) const override;
+  [[nodiscard]] double ideal_scale() const override;
+  [[nodiscard]] std::unique_ptr<Speedup> clone() const override;
+
+ private:
+  std::vector<double> scales_;
+  std::vector<double> speedups_;
+};
+
+}  // namespace mlcr::model

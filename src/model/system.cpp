@@ -1,0 +1,96 @@
+#include "model/system.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace mlcr::model {
+
+SystemConfig::SystemConfig(double te_seconds, std::unique_ptr<Speedup> speedup,
+                           std::vector<LevelOverheads> levels,
+                           FailureRates rates, double allocation_seconds,
+                           double max_scale)
+    : te_seconds_(te_seconds),
+      speedup_(std::move(speedup)),
+      levels_(std::move(levels)),
+      rates_(std::move(rates)),
+      allocation_(allocation_seconds),
+      max_scale_(max_scale) {
+  MLCR_EXPECT(te_seconds_ > 0.0, "SystemConfig: Te must be positive");
+  MLCR_EXPECT(speedup_ != nullptr, "SystemConfig: speedup required");
+  MLCR_EXPECT(!levels_.empty(), "SystemConfig: at least one level required");
+  MLCR_EXPECT(rates_.levels() == levels_.size(),
+              "SystemConfig: failure rates / levels mismatch");
+  MLCR_EXPECT(allocation_ >= 0.0, "SystemConfig: A must be non-negative");
+  MLCR_EXPECT(max_scale_ >= 0.0, "SystemConfig: capacity must be >= 0");
+}
+
+SystemConfig::SystemConfig(const SystemConfig& other)
+    : te_seconds_(other.te_seconds_),
+      speedup_(other.speedup_->clone()),
+      levels_(other.levels_),
+      rates_(other.rates_),
+      allocation_(other.allocation_),
+      max_scale_(other.max_scale_) {}
+
+SystemConfig& SystemConfig::operator=(const SystemConfig& other) {
+  if (this != &other) {
+    te_seconds_ = other.te_seconds_;
+    speedup_ = other.speedup_->clone();
+    levels_ = other.levels_;
+    rates_ = other.rates_;
+    allocation_ = other.allocation_;
+    max_scale_ = other.max_scale_;
+  }
+  return *this;
+}
+
+const LevelOverheads& SystemConfig::level(std::size_t i) const {
+  MLCR_EXPECT(i < levels_.size(), "SystemConfig: level out of range");
+  return levels_[i];
+}
+
+double SystemConfig::scale_upper_bound() const noexcept {
+  const double ideal = speedup_->ideal_scale();
+  if (max_scale_ <= 0.0) return ideal;
+  return std::min(max_scale_, ideal);
+}
+
+double SystemConfig::productive_time(double n) const {
+  const double g = speedup_->value(n);
+  MLCR_EXPECT(g > 0.0, "SystemConfig: non-positive speedup at this scale");
+  return te_seconds_ / g;
+}
+
+double SystemConfig::ckpt_cost(std::size_t level, double n) const {
+  return this->level(level).checkpoint.value(n);
+}
+
+double SystemConfig::ckpt_cost_derivative(std::size_t level, double n) const {
+  return this->level(level).checkpoint.derivative(n);
+}
+
+double SystemConfig::recovery_cost(std::size_t level, double n) const {
+  return this->level(level).recovery.value(n);
+}
+
+double SystemConfig::recovery_cost_derivative(std::size_t level,
+                                              double n) const {
+  return this->level(level).recovery.derivative(n);
+}
+
+SystemConfig SystemConfig::single_level_view() const {
+  // All failures must be recovered from the top-level (PFS) checkpoint, so
+  // the merged rate is the sum of the per-level rates.
+  double merged = 0.0;
+  for (std::size_t i = 0; i < rates_.levels(); ++i) {
+    merged += rates_.per_day_at_baseline(i);
+  }
+  FailureRates single({merged}, rates_.baseline_scale(),
+                      rates_.scale_exponent());
+  return SystemConfig(te_seconds_, speedup_->clone(), {levels_.back()},
+                      std::move(single), allocation_, max_scale_);
+}
+
+}  // namespace mlcr::model

@@ -1,0 +1,71 @@
+// SystemConfig: the full input of the optimization problem — workload,
+// speedup curve, per-level checkpoint/recovery overheads, failure rates,
+// resource-allocation period A, and the machine capacity.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/failure.h"
+#include "model/overhead.h"
+#include "model/speedup.h"
+
+namespace mlcr::model {
+
+class SystemConfig {
+ public:
+  /// `te_seconds`   — single-core productive time Te (seconds).
+  /// `speedup`      — speedup curve g(N) (owned).
+  /// `levels`       — per-level checkpoint/recovery overheads, level 1 first.
+  /// `rates`        — per-level failure rates; must have levels.size() levels.
+  /// `allocation`   — resource (re)allocation period A in seconds.
+  /// `max_scale`    — machine capacity (upper bound on N); 0 = use the
+  ///                  speedup's ideal scale.
+  SystemConfig(double te_seconds, std::unique_ptr<Speedup> speedup,
+               std::vector<LevelOverheads> levels, FailureRates rates,
+               double allocation_seconds, double max_scale = 0.0);
+
+  SystemConfig(const SystemConfig& other);
+  SystemConfig& operator=(const SystemConfig& other);
+  SystemConfig(SystemConfig&&) noexcept = default;
+  SystemConfig& operator=(SystemConfig&&) noexcept = default;
+
+  [[nodiscard]] double te() const noexcept { return te_seconds_; }
+  [[nodiscard]] const Speedup& speedup() const noexcept { return *speedup_; }
+  [[nodiscard]] std::size_t levels() const noexcept { return levels_.size(); }
+  [[nodiscard]] const LevelOverheads& level(std::size_t i) const;
+  [[nodiscard]] const std::vector<LevelOverheads>& all_levels() const noexcept {
+    return levels_;
+  }
+  [[nodiscard]] const FailureRates& rates() const noexcept { return rates_; }
+  [[nodiscard]] double allocation() const noexcept { return allocation_; }
+
+  /// Search upper bound for N: min(max_scale, speedup ideal scale).
+  [[nodiscard]] double scale_upper_bound() const noexcept;
+
+  /// Parallel productive time f(Te, N) = Te / g(N).
+  [[nodiscard]] double productive_time(double n) const;
+
+  /// Convenience: checkpoint / recovery overhead of level i at scale N.
+  [[nodiscard]] double ckpt_cost(std::size_t level, double n) const;
+  [[nodiscard]] double ckpt_cost_derivative(std::size_t level, double n) const;
+  [[nodiscard]] double recovery_cost(std::size_t level, double n) const;
+  [[nodiscard]] double recovery_cost_derivative(std::size_t level,
+                                                double n) const;
+
+  /// Returns a copy restricted to the top (PFS) level only — the
+  /// "single-level" view used by the SL baselines.  Failure rates of all
+  /// levels are merged into one, since a single-level scheme must recover
+  /// every failure from the PFS checkpoint.
+  [[nodiscard]] SystemConfig single_level_view() const;
+
+ private:
+  double te_seconds_;
+  std::unique_ptr<Speedup> speedup_;
+  std::vector<LevelOverheads> levels_;
+  FailureRates rates_;
+  double allocation_;
+  double max_scale_;
+};
+
+}  // namespace mlcr::model

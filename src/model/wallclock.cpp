@@ -1,0 +1,183 @@
+#include "model/wallclock.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlcr::model {
+
+namespace {
+
+void check_shapes(const SystemConfig& cfg, const MuModel& mu,
+                  const Plan& plan) {
+  MLCR_EXPECT(plan.levels() == cfg.levels(),
+              "wallclock: plan/config level mismatch");
+  MLCR_EXPECT(mu.levels() == cfg.levels(),
+              "wallclock: mu/config level mismatch");
+  MLCR_EXPECT(plan.scale > 0.0, "wallclock: scale must be positive");
+  for (double x : plan.intervals) {
+    MLCR_EXPECT(x >= 1.0, "wallclock: interval counts must be >= 1");
+  }
+}
+
+}  // namespace
+
+TimePortions expected_portions(const SystemConfig& cfg, const MuModel& mu,
+                               const Plan& plan) {
+  check_shapes(cfg, mu, plan);
+  const double n = plan.scale;
+  const double productive = cfg.productive_time(n);
+  const std::size_t levels = cfg.levels();
+
+  TimePortions portions;
+  portions.productive = productive;
+
+  for (std::size_t i = 0; i < levels; ++i) {
+    const double ci = cfg.ckpt_cost(i, n);
+    const double xi = plan.intervals[i];
+    portions.checkpoint += ci * (xi - 1.0);
+  }
+
+  for (std::size_t i = 0; i < levels; ++i) {
+    const double mi = mu.mu(i, n);
+    const double xi = plan.intervals[i];
+    // Expected rollback per failure at level i (Formula (18)): half an
+    // interval of productive work plus half of every lower-or-equal level's
+    // checkpoint overhead spent inside that interval.
+    double rollback = productive / (2.0 * xi);
+    for (std::size_t k = 0; k <= i; ++k) {
+      rollback += cfg.ckpt_cost(k, n) * plan.intervals[k] / (2.0 * xi);
+    }
+    portions.rollback += mi * rollback;
+    portions.restart += mi * (cfg.allocation() + cfg.recovery_cost(i, n));
+  }
+  return portions;
+}
+
+double expected_wallclock(const SystemConfig& cfg, const MuModel& mu,
+                          const Plan& plan) {
+  return expected_portions(cfg, mu, plan).total();
+}
+
+double wallclock_dx(const SystemConfig& cfg, const MuModel& mu,
+                    const Plan& plan, std::size_t level) {
+  check_shapes(cfg, mu, plan);
+  MLCR_EXPECT(level < cfg.levels(), "wallclock_dx: level out of range");
+  const double n = plan.scale;
+  const double productive = cfg.productive_time(n);
+  const double ci = cfg.ckpt_cost(level, n);
+  const double xi = plan.intervals[level];
+
+  // Formula (23):
+  //   C_i  -  mu_i/(2 x_i^2) (Te/g + sum_{j<i} C_j x_j)
+  //        +  (C_i/2) sum_{j>i} mu_j / x_j
+  double lower = productive;
+  for (std::size_t j = 0; j < level; ++j) {
+    lower += cfg.ckpt_cost(j, n) * plan.intervals[j];
+  }
+  double upper = 0.0;
+  for (std::size_t j = level + 1; j < cfg.levels(); ++j) {
+    upper += mu.mu(j, n) / plan.intervals[j];
+  }
+  return ci - mu.mu(level, n) / (2.0 * xi * xi) * lower + 0.5 * ci * upper;
+}
+
+double wallclock_dn(const SystemConfig& cfg, const MuModel& mu,
+                    const Plan& plan) {
+  check_shapes(cfg, mu, plan);
+  const double n = plan.scale;
+  const double te = cfg.te();
+  const double g = cfg.speedup().value(n);
+  const double dg = cfg.speedup().derivative(n);
+  MLCR_EXPECT(g > 0.0, "wallclock_dn: non-positive speedup");
+  const std::size_t levels = cfg.levels();
+
+  // Formula (24), expanded term by term.
+  // d/dN [Te/g] = -Te g' / g^2
+  double result = -te * dg / (g * g);
+
+  for (std::size_t i = 0; i < levels; ++i) {
+    const double xi = plan.intervals[i];
+    const double mi = mu.mu(i, n);
+    const double dmi = mu.mu_derivative(i, n);
+    const double dci = cfg.ckpt_cost_derivative(i, n);
+
+    // d/dN [C_i (x_i - 1)]
+    result += dci * (xi - 1.0);
+
+    // mu_i * (Te/(2 x_i g)): both mu_i and 1/g depend on N.
+    result += dmi * te / (2.0 * xi * g);
+    result -= mi * te * dg / (2.0 * xi * g * g);
+
+    // mu_i * sum_{k<=i} C_k x_k / (2 x_i)
+    double chain = 0.0;
+    double dchain = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) {
+      chain += cfg.ckpt_cost(k, n) * plan.intervals[k] / (2.0 * xi);
+      dchain += cfg.ckpt_cost_derivative(k, n) * plan.intervals[k] / (2.0 * xi);
+    }
+    result += dmi * chain + mi * dchain;
+
+    // mu_i * (A + R_i)
+    result += dmi * (cfg.allocation() + cfg.recovery_cost(i, n));
+    result += mi * cfg.recovery_cost_derivative(i, n);
+  }
+  return result;
+}
+
+namespace {
+
+void check_single(const SystemConfig& cfg, const MuModel& mu, double x,
+                  double n) {
+  MLCR_EXPECT(cfg.levels() == 1, "single-level evaluator needs L == 1");
+  MLCR_EXPECT(mu.levels() == 1, "single-level evaluator needs one mu level");
+  MLCR_EXPECT(x >= 1.0, "single-level: interval count must be >= 1");
+  MLCR_EXPECT(n > 0.0, "single-level: scale must be positive");
+}
+
+}  // namespace
+
+double expected_wallclock_single(const SystemConfig& cfg, const MuModel& mu,
+                                 double x, double n) {
+  check_single(cfg, mu, x, n);
+  const double productive = cfg.productive_time(n);
+  const double c = cfg.ckpt_cost(0, n);
+  const double r = cfg.recovery_cost(0, n);
+  return productive + c * (x - 1.0) +
+         mu.mu(0, n) * (productive / (2.0 * x) + r + cfg.allocation());
+}
+
+double single_dx(const SystemConfig& cfg, const MuModel& mu, double x,
+                 double n) {
+  check_single(cfg, mu, x, n);
+  // Formula (14): C(N) - mu(N) Te / (2 g(N) x^2).
+  return cfg.ckpt_cost(0, n) -
+         mu.mu(0, n) * cfg.te() / (2.0 * cfg.speedup().value(n) * x * x);
+}
+
+double single_dn(const SystemConfig& cfg, const MuModel& mu, double x,
+                 double n) {
+  check_single(cfg, mu, x, n);
+  const double te = cfg.te();
+  const double g = cfg.speedup().value(n);
+  const double dg = cfg.speedup().derivative(n);
+  const double m = mu.mu(0, n);
+  const double dm = mu.mu_derivative(0, n);
+  const double r = cfg.recovery_cost(0, n);
+  const double dr = cfg.recovery_cost_derivative(0, n);
+  const double dc = cfg.ckpt_cost_derivative(0, n);
+  // Formula (15) generalized to scale-dependent C/R:
+  //   -Te g'/g^2 + C'(x-1)
+  //   + mu' (Te/(2 x g) + R + A) + mu (-Te g'/(2 x g^2) + R')
+  return -te * dg / (g * g) + dc * (x - 1.0) +
+         dm * (te / (2.0 * x * g) + r + cfg.allocation()) +
+         m * (-te * dg / (2.0 * x * g * g) + dr);
+}
+
+double efficiency(double te_seconds, double wallclock_seconds,
+                  double scale) noexcept {
+  if (wallclock_seconds <= 0.0 || scale <= 0.0) return 0.0;
+  return (te_seconds / wallclock_seconds) / scale;
+}
+
+}  // namespace mlcr::model

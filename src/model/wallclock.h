@@ -1,0 +1,90 @@
+// Expected wall-clock evaluators — the paper's target function.
+//
+// Formula (21):
+//   E(Tw) = Te/g(N) + sum_i C_i(N) (x_i - 1)
+//         + sum_i mu_i [ Te/g(N)/(2 x_i) + sum_{k<=i} C_k x_k/(2 x_i)
+//                        + A + R_i(N) ]
+// with the frozen failure-count model mu_i = mu_i(N) (MuModel).
+//
+// Also provides the closed-form partial derivatives used by the optimizer:
+//   d E / d x_i  — Formula (23)
+//   d E / d N    — Formula (24)
+// and the analytic breakdown into the four time portions reported in
+// Figures 5/6 (productive, checkpoint, restart, rollback).
+#pragma once
+
+#include <vector>
+
+#include "model/failure.h"
+#include "model/system.h"
+
+namespace mlcr::model {
+
+/// A candidate solution: per-level checkpoint-interval counts and the scale.
+struct Plan {
+  std::vector<double> intervals;  ///< x_i >= 1 per level (level 1 first)
+  double scale = 0.0;             ///< N > 0
+
+  [[nodiscard]] std::size_t levels() const noexcept {
+    return intervals.size();
+  }
+};
+
+/// Analytic expectation of the four time portions (seconds).
+struct TimePortions {
+  double productive = 0.0;  ///< Te / g(N)
+  double checkpoint = 0.0;  ///< sum_i C_i (x_i - 1)
+  double restart = 0.0;     ///< sum_i mu_i (A + R_i)
+  double rollback = 0.0;    ///< sum_i mu_i (Te/g/(2x_i) + sum C_k x_k/(2x_i))
+
+  [[nodiscard]] double total() const noexcept {
+    return productive + checkpoint + restart + rollback;
+  }
+};
+
+/// E(Tw) per Formula (21).  Requires plan.levels() == cfg.levels() ==
+/// mu.levels() and every x_i >= 1.
+[[nodiscard]] double expected_wallclock(const SystemConfig& cfg,
+                                        const MuModel& mu, const Plan& plan);
+
+/// Same expectation, split into the paper's four portions.
+[[nodiscard]] TimePortions expected_portions(const SystemConfig& cfg,
+                                             const MuModel& mu,
+                                             const Plan& plan);
+
+/// Formula (23): d E(Tw) / d x_i at the given plan (level index 0-based).
+[[nodiscard]] double wallclock_dx(const SystemConfig& cfg, const MuModel& mu,
+                                  const Plan& plan, std::size_t level);
+
+/// Formula (24): d E(Tw) / d N at the given plan.
+[[nodiscard]] double wallclock_dn(const SystemConfig& cfg, const MuModel& mu,
+                                  const Plan& plan);
+
+// --- Single-level model, Formula (13) ---------------------------------
+//
+// The paper's single-level derivation (Formulas (7)/(13)) differs slightly
+// from the L=1 specialization of Formula (21): it does NOT charge the
+// half-checkpoint redo term C/2 per failure that Formula (18) adds.  The
+// Figure 3 reference optima (x*=797/N*=81746 and x*=140/N*=20215) are
+// stationary points of THIS target.  The SL baselines use these evaluators.
+
+/// Formula (13): Te/g + C(N)(x-1) + mu(N) (Te/(2 x g(N)) + R(N) + A).
+/// Requires cfg.levels() == 1 and mu.levels() == 1.
+[[nodiscard]] double expected_wallclock_single(const SystemConfig& cfg,
+                                               const MuModel& mu, double x,
+                                               double n);
+
+/// Formula (14): d/dx of the single-level target.
+[[nodiscard]] double single_dx(const SystemConfig& cfg, const MuModel& mu,
+                               double x, double n);
+
+/// Formula (15): d/dN of the single-level target.
+[[nodiscard]] double single_dn(const SystemConfig& cfg, const MuModel& mu,
+                               double x, double n);
+
+/// Wall-clock "efficiency" (processor utilization, Section IV-A):
+/// (Te / wallclock) / N.
+[[nodiscard]] double efficiency(double te_seconds, double wallclock_seconds,
+                                double scale) noexcept;
+
+}  // namespace mlcr::model

@@ -1,0 +1,41 @@
+#include "num/derivative.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlcr::num {
+
+double derivative(const std::function<double(double)>& f, double x,
+                  double relative_step) {
+  const double h = relative_step * std::max(1.0, std::fabs(x));
+  return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+double second_derivative(const std::function<double(double)>& f, double x,
+                         double relative_step) {
+  const double h = relative_step * std::max(1.0, std::fabs(x));
+  return (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
+}
+
+bool is_convex_on(const std::function<double(double)>& f, double lo, double hi,
+                  int samples, double relative_slack) {
+  MLCR_EXPECT(samples >= 3, "is_convex_on: need at least 3 samples");
+  MLCR_EXPECT(lo < hi, "is_convex_on: empty interval");
+  std::vector<double> values(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const double x = lo + (hi - lo) * i / (samples - 1);
+    values[static_cast<std::size_t>(i)] = f(x);
+  }
+  for (int i = 1; i + 1 < samples; ++i) {
+    const double mid = values[static_cast<std::size_t>(i)];
+    const double chord = 0.5 * (values[static_cast<std::size_t>(i - 1)] +
+                                values[static_cast<std::size_t>(i + 1)]);
+    const double slack =
+        relative_slack * std::max({1.0, std::fabs(mid), std::fabs(chord)});
+    if (mid > chord + slack) return false;
+  }
+  return true;
+}
+
+}  // namespace mlcr::num

@@ -1,0 +1,24 @@
+// Numerical differentiation and convexity probes.  Used by tests to check
+// the paper's claims (e.g. d2 E(Tw)/dx^2 > 0 near the optimum) and by the
+// grid verifier to confirm stationarity of optimizer outputs.
+#pragma once
+
+#include <functional>
+
+namespace mlcr::num {
+
+/// Central-difference first derivative with relative step.
+[[nodiscard]] double derivative(const std::function<double(double)>& f,
+                                double x, double relative_step = 1e-6);
+
+/// Central-difference second derivative.
+[[nodiscard]] double second_derivative(const std::function<double(double)>& f,
+                                       double x, double relative_step = 1e-5);
+
+/// Samples f on [lo, hi] at `samples` points and checks midpoint convexity:
+/// f((a+b)/2) <= (f(a)+f(b))/2 + slack for every adjacent triple.
+[[nodiscard]] bool is_convex_on(const std::function<double(double)>& f,
+                                double lo, double hi, int samples = 64,
+                                double relative_slack = 1e-9);
+
+}  // namespace mlcr::num

@@ -1,0 +1,50 @@
+// Generic fixed-point iteration driver used by the paper's optimizers:
+// the inner loop of Section III-C.2 (Formulas (16)/(17)) and Section III-D
+// (Formulas (23)/(24)), and the outer loop of Algorithm 1.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace mlcr::num {
+
+struct FixedPointResult {
+  bool converged = false;
+  std::vector<double> value;
+  int iterations = 0;
+  double final_change = 0.0;  ///< max |x_new - x_old| at the last step
+};
+
+struct FixedPointOptions {
+  double tolerance = 1e-9;  ///< max-norm change below which we stop
+  int max_iterations = 10000;
+};
+
+/// Iterates x <- step(x) until the max-norm change drops below tolerance.
+/// `step` receives the current iterate and returns the next one (same size).
+[[nodiscard]] inline FixedPointResult fixed_point(
+    const std::function<std::vector<double>(const std::vector<double>&)>& step,
+    std::vector<double> x0, const FixedPointOptions& options = {}) {
+  FixedPointResult result;
+  result.value = std::move(x0);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    std::vector<double> next = step(result.value);
+    double change = 0.0;
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      const double prev = i < result.value.size() ? result.value[i] : 0.0;
+      change = std::max(change, std::fabs(next[i] - prev));
+    }
+    result.value = std::move(next);
+    result.iterations = it + 1;
+    result.final_change = change;
+    if (change <= options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace mlcr::num

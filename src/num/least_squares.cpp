@@ -1,0 +1,149 @@
+#include "num/least_squares.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlcr::num {
+
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b) {
+  const std::size_t n = b.size();
+  MLCR_EXPECT(a.size() == n * n, "solve_linear_system: shape mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // partial pivot
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row * n + col]) > std::fabs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (a[pivot * n + col] == 0.0) return {};
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a[pivot * n + k], a[col * n + k]);
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    const double d = a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / d;
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= a[i * n + k] * x[k];
+    if (a[i * n + i] == 0.0) return {};
+    x[i] = sum / a[i * n + i];
+  }
+  return x;
+}
+
+FitResult linear_least_squares(std::span<const double> design,
+                               std::size_t columns,
+                               std::span<const double> y) {
+  FitResult result;
+  const std::size_t rows = y.size();
+  if (columns == 0 || rows < columns || design.size() != rows * columns) {
+    return result;
+  }
+  // Normal equations: (X^T X) beta = X^T y.
+  std::vector<double> xtx(columns * columns, 0.0);
+  std::vector<double> xty(columns, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const double xi = design[r * columns + i];
+      xty[i] += xi * y[r];
+      for (std::size_t j = 0; j < columns; ++j) {
+        xtx[i * columns + j] += xi * design[r * columns + j];
+      }
+    }
+  }
+  std::vector<double> beta = solve_linear_system(std::move(xtx), std::move(xty));
+  if (beta.empty()) return result;
+
+  double rss = 0.0;
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(rows);
+  double tss = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    double pred = 0.0;
+    for (std::size_t i = 0; i < columns; ++i) {
+      pred += beta[i] * design[r * columns + i];
+    }
+    rss += (y[r] - pred) * (y[r] - pred);
+    tss += (y[r] - mean) * (y[r] - mean);
+  }
+  result.ok = true;
+  result.coefficients = std::move(beta);
+  result.residual_sum_squares = rss;
+  result.r_squared = tss > 0.0 ? 1.0 - rss / tss : 1.0;
+  return result;
+}
+
+FitResult fit_polynomial(std::span<const double> x, std::span<const double> y,
+                         int degree) {
+  MLCR_EXPECT(x.size() == y.size(), "fit_polynomial: size mismatch");
+  MLCR_EXPECT(degree >= 0, "fit_polynomial: negative degree");
+  const std::size_t columns = static_cast<std::size_t>(degree) + 1;
+  std::vector<double> design(x.size() * columns);
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    double p = 1.0;
+    for (std::size_t c = 0; c < columns; ++c) {
+      design[r * columns + c] = p;
+      p *= x[r];
+    }
+  }
+  return linear_least_squares(design, columns, y);
+}
+
+FitResult fit_affine_in(std::span<const double> h, std::span<const double> y) {
+  MLCR_EXPECT(h.size() == y.size(), "fit_affine_in: size mismatch");
+  // Degenerate case: h identically zero -> eps = mean(y), alpha = 0.
+  bool all_zero = true;
+  for (double v : h) {
+    if (v != 0.0) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) {
+    FitResult result;
+    double mean = 0.0;
+    for (double v : y) mean += v;
+    mean /= y.empty() ? 1.0 : static_cast<double>(y.size());
+    double rss = 0.0;
+    for (double v : y) rss += (v - mean) * (v - mean);
+    result.ok = !y.empty();
+    result.coefficients = {mean, 0.0};
+    result.residual_sum_squares = rss;
+    result.r_squared = rss == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  std::vector<double> design(h.size() * 2);
+  for (std::size_t r = 0; r < h.size(); ++r) {
+    design[r * 2] = 1.0;
+    design[r * 2 + 1] = h[r];
+  }
+  return linear_least_squares(design, 2, y);
+}
+
+FitResult fit_quadratic_through_origin(std::span<const double> n,
+                                       std::span<const double> g) {
+  MLCR_EXPECT(n.size() == g.size(), "fit_quadratic_through_origin: size mismatch");
+  std::vector<double> design(n.size() * 2);
+  for (std::size_t r = 0; r < n.size(); ++r) {
+    design[r * 2] = n[r];
+    design[r * 2 + 1] = n[r] * n[r];
+  }
+  return linear_least_squares(design, 2, g);
+}
+
+}  // namespace mlcr::num

@@ -1,0 +1,46 @@
+// Linear least squares.  The paper uses LSQ twice: fitting the per-level
+// checkpoint-cost coefficients (eps_i, alpha_i) from Table II-style
+// characterizations (Formulas (19)/(20)), and fitting the quadratic speedup
+// curve of Formula (12) from measured speedups (Figure 2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mlcr::num {
+
+struct FitResult {
+  bool ok = false;
+  std::vector<double> coefficients;
+  double residual_sum_squares = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Solves min ||X beta - y||^2 via normal equations with partial pivoting.
+/// `design` is row-major with `columns` entries per row; rows = y.size().
+[[nodiscard]] FitResult linear_least_squares(std::span<const double> design,
+                                             std::size_t columns,
+                                             std::span<const double> y);
+
+/// Fits y ~ c0 + c1 x + ... + c_degree x^degree.
+[[nodiscard]] FitResult fit_polynomial(std::span<const double> x,
+                                       std::span<const double> y, int degree);
+
+/// Fits the paper's Formula (19)/(20) shape y ~ eps + alpha * h(x), returning
+/// {eps, alpha}.  `h` values must be precomputed per sample (h=0 for all
+/// samples degenerates to a mean fit with alpha=0).
+[[nodiscard]] FitResult fit_affine_in(std::span<const double> h,
+                                      std::span<const double> y);
+
+/// Fits the paper's Formula (12) quadratic-through-origin speedup
+/// g(N) = a2 N^2 + a1 N (no constant term), returning {a1, a2}.
+/// From (a1, a2): kappa = a1 and N_symmetry = -a1 / (2 a2) when a2 < 0.
+[[nodiscard]] FitResult fit_quadratic_through_origin(std::span<const double> n,
+                                                     std::span<const double> g);
+
+/// Solves the square system A x = b by Gaussian elimination with partial
+/// pivoting.  Returns empty on singular systems.  `a` is row-major n x n.
+[[nodiscard]] std::vector<double> solve_linear_system(std::vector<double> a,
+                                                      std::vector<double> b);
+
+}  // namespace mlcr::num

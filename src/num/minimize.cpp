@@ -1,0 +1,61 @@
+#include "num/minimize.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlcr::num {
+
+MinimizeResult golden_section(const std::function<double(double)>& f,
+                              double lo, double hi, double x_tolerance,
+                              int max_iterations) {
+  MLCR_EXPECT(lo < hi, "golden_section: empty interval");
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c), fd = f(d);
+  MinimizeResult result;
+  for (int it = 0; it < max_iterations; ++it) {
+    result.iterations = it + 1;
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+    if (b - a <= x_tolerance) break;
+  }
+  result.converged = (b - a) <= x_tolerance * 4.0;
+  result.x = 0.5 * (a + b);
+  result.f = f(result.x);
+  return result;
+}
+
+MinimizeResult grid_min(const std::function<double(double)>& f, double lo,
+                        double hi, int samples) {
+  MLCR_EXPECT(samples >= 2, "grid_min: need at least 2 samples");
+  MLCR_EXPECT(lo < hi, "grid_min: empty interval");
+  MinimizeResult result;
+  result.f = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < samples; ++i) {
+    const double x = lo + (hi - lo) * i / (samples - 1);
+    const double v = f(x);
+    if (v < result.f) {
+      result.f = v;
+      result.x = x;
+    }
+  }
+  result.converged = std::isfinite(result.f);
+  result.iterations = samples;
+  return result;
+}
+
+}  // namespace mlcr::num

@@ -1,0 +1,28 @@
+// 1-D minimization (golden section) and small grid utilities, used by the
+// brute-force verifier that cross-checks the analytic optimizers, and by the
+// ablation bench (bisection-on-derivative vs direct golden-section search).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace mlcr::num {
+
+struct MinimizeResult {
+  bool converged = false;
+  double x = 0.0;
+  double f = 0.0;
+  int iterations = 0;
+};
+
+/// Golden-section search for the minimum of a unimodal f on [lo, hi].
+[[nodiscard]] MinimizeResult golden_section(
+    const std::function<double(double)>& f, double lo, double hi,
+    double x_tolerance = 1e-9, int max_iterations = 500);
+
+/// Evaluates f on a geometric grid over [lo, hi] and returns the argmin.
+/// Cheap global sanity check for non-unimodal landscapes.
+[[nodiscard]] MinimizeResult grid_min(const std::function<double(double)>& f,
+                                      double lo, double hi, int samples);
+
+}  // namespace mlcr::num

@@ -1,0 +1,143 @@
+#include "num/roots.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlcr::num {
+
+bool brackets_root(const Fn& f, double lo, double hi) {
+  const double flo = f(lo);
+  const double fhi = f(hi);
+  return (flo < 0.0 && fhi > 0.0) || (flo > 0.0 && fhi < 0.0);
+}
+
+RootResult bisect(const Fn& f, double lo, double hi,
+                  const RootOptions& options) {
+  MLCR_EXPECT(lo <= hi, "bisect: empty interval");
+  RootResult result;
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {true, lo, 0.0, 0};
+  if (fhi == 0.0) return {true, hi, 0.0, 0};
+  if ((flo < 0.0) == (fhi < 0.0)) return result;  // not bracketing
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    result.iterations = it + 1;
+    if ((fmid < 0.0) == (flo < 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+      fhi = fmid;
+    }
+    if (hi - lo <= options.x_tolerance ||
+        (options.f_tolerance > 0.0 && std::fabs(fmid) <= options.f_tolerance)) {
+      result.converged = true;
+      result.root = 0.5 * (lo + hi);
+      result.f_at_root = f(result.root);
+      return result;
+    }
+  }
+  result.converged = true;  // bracket shrank every step; report the midpoint
+  result.root = 0.5 * (lo + hi);
+  result.f_at_root = f(result.root);
+  return result;
+}
+
+RootResult newton(const Fn& f, const Fn& df, double x0,
+                  const RootOptions& options) {
+  RootResult result;
+  double x = x0;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    const double fx = f(x);
+    const double dfx = df(x);
+    result.iterations = it + 1;
+    if (dfx == 0.0 || !std::isfinite(dfx)) return result;
+    const double step = fx / dfx;
+    x -= step;
+    if (!std::isfinite(x)) return result;
+    if (std::fabs(step) <= options.x_tolerance ||
+        (options.f_tolerance > 0.0 && std::fabs(fx) <= options.f_tolerance)) {
+      result.converged = true;
+      result.root = x;
+      result.f_at_root = f(x);
+      return result;
+    }
+  }
+  return result;
+}
+
+RootResult brent(const Fn& f, double lo, double hi,
+                 const RootOptions& options) {
+  RootResult result;
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (fa == 0.0) return {true, a, 0.0, 0};
+  if (fb == 0.0) return {true, b, 0.0, 0};
+  if ((fa < 0.0) == (fb < 0.0)) return result;
+
+  if (std::fabs(fa) < std::fabs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  bool mflag = true;
+  double d = 0.0;
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it + 1;
+    double s;
+    if (fa != fc && fb != fc) {
+      // inverse quadratic interpolation
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // secant
+      s = b - fb * (b - a) / (fb - fa);
+    }
+    const double mid = 0.5 * (a + b);
+    const bool cond1 = (s < std::min(mid, b) || s > std::max(mid, b));
+    const bool cond2 = mflag && std::fabs(s - b) >= std::fabs(b - c) / 2.0;
+    const bool cond3 = !mflag && std::fabs(s - b) >= std::fabs(c - d) / 2.0;
+    const bool cond4 = mflag && std::fabs(b - c) < options.x_tolerance;
+    const bool cond5 = !mflag && std::fabs(c - d) < options.x_tolerance;
+    if (cond1 || cond2 || cond3 || cond4 || cond5) {
+      s = mid;
+      mflag = true;
+    } else {
+      mflag = false;
+    }
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if ((fa < 0.0) != (fs < 0.0)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::fabs(fa) < std::fabs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+    if (fb == 0.0 || std::fabs(b - a) <= options.x_tolerance ||
+        (options.f_tolerance > 0.0 && std::fabs(fb) <= options.f_tolerance)) {
+      result.converged = true;
+      result.root = b;
+      result.f_at_root = fb;
+      return result;
+    }
+  }
+  result.converged = true;
+  result.root = b;
+  result.f_at_root = fb;
+  return result;
+}
+
+}  // namespace mlcr::num

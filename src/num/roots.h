@@ -1,0 +1,43 @@
+// Scalar root finding: bisection (the paper's method for Formula (17)/(24)),
+// Newton, and Brent's method.  All return a RootResult rather than throwing,
+// because non-bracketing intervals are an expected outcome in the optimizer
+// (paper: "if no root exists in [0, N_star], the optimum is N_star").
+#pragma once
+
+#include <functional>
+
+namespace mlcr::num {
+
+struct RootResult {
+  bool converged = false;
+  double root = 0.0;
+  double f_at_root = 0.0;
+  int iterations = 0;
+};
+
+struct RootOptions {
+  double x_tolerance = 1e-9;   ///< stop when bracket/step is below this
+  double f_tolerance = 0.0;    ///< stop when |f| is below this (0 = ignore)
+  int max_iterations = 200;
+};
+
+using Fn = std::function<double(double)>;
+
+/// Bisection on [lo, hi]; requires f(lo) and f(hi) of opposite sign, else
+/// returns converged=false.  The paper stops when the bracket is < 0.5 when
+/// solving for an integer N; express that via options.x_tolerance.
+[[nodiscard]] RootResult bisect(const Fn& f, double lo, double hi,
+                                const RootOptions& options = {});
+
+/// Newton iteration with numerical or user-supplied derivative.
+[[nodiscard]] RootResult newton(const Fn& f, const Fn& df, double x0,
+                                const RootOptions& options = {});
+
+/// Brent's method (bracketing + inverse quadratic interpolation).
+[[nodiscard]] RootResult brent(const Fn& f, double lo, double hi,
+                               const RootOptions& options = {});
+
+/// True iff f(lo) and f(hi) have strictly opposite signs.
+[[nodiscard]] bool brackets_root(const Fn& f, double lo, double hi);
+
+}  // namespace mlcr::num

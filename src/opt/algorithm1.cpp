@@ -1,0 +1,162 @@
+#include "opt/algorithm1.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/table.h"
+#include "opt/multilevel.h"
+#include "opt/single_level.h"
+
+namespace mlcr::opt {
+
+namespace {
+
+/// Shared outer loop.  `solve_inner` maps a MuModel to (plan, wallclock,
+/// inner iterations); `evaluate` recomputes E(Tw) for a mu/plan pair.
+Algorithm1Result outer_loop(
+    const model::SystemConfig& cfg, const Algorithm1Options& options,
+    const std::function<MultilevelSolution(const model::MuModel&)>&
+        solve_inner,
+    const std::function<double(const model::MuModel&, const model::Plan&)>&
+        evaluate) {
+  Algorithm1Result result;
+
+  // Line 1-3 of Algorithm 1: initialize the expected failure counts from the
+  // failure-free parallel run length at the starting scale.
+  const double start_scale = options.optimize_scale
+                                 ? cfg.scale_upper_bound()
+                                 : options.fixed_scale;
+  MLCR_EXPECT(std::isfinite(start_scale) && start_scale > 0.0,
+              "algorithm1: needs a finite positive starting scale");
+  double wallclock_estimate = cfg.productive_time(start_scale);
+
+  std::vector<double> mu_at_solution(cfg.levels(), 0.0);
+  std::vector<double> wallclock_history;
+  for (int outer = 0; outer < options.max_outer_iterations; ++outer) {
+    result.outer_iterations = outer + 1;
+    const auto mu = model::MuModel::from_rates(cfg.rates(), wallclock_estimate);
+
+    // Line 5: inner convex problem at frozen mu.
+    const MultilevelSolution inner = solve_inner(mu);
+    result.inner_iterations += inner.iterations;
+    result.plan = inner.plan;
+
+    // Line 6: expected wall-clock under the new plan.
+    const double wallclock = evaluate(mu, inner.plan);
+    MLCR_EXPECT(std::isfinite(wallclock) && wallclock > 0.0,
+                "algorithm1: inner solution produced invalid wall-clock");
+
+    // Lines 7-10: recompute mu from the achieved wall-clock; the convergence
+    // test compares expected failure counts at the solution scale.
+    double mu_change = 0.0;
+    for (std::size_t i = 0; i < cfg.levels(); ++i) {
+      const double updated =
+          cfg.rates().expected_failures(i, inner.plan.scale, wallclock);
+      mu_change = std::max(mu_change, std::fabs(updated - mu_at_solution[i]));
+      mu_at_solution[i] = updated;
+    }
+    result.final_mu_change = mu_change;
+    result.wallclock = wallclock;
+
+    // Divergence guard (paper: only under extremely high failure rates).
+    if (!std::isfinite(mu_change) || mu_change > 1e12) {
+      common::log_warn("algorithm1: diverging failure estimates; aborting");
+      return result;
+    }
+    if (mu_change <= options.delta) {
+      result.converged = true;
+      break;
+    }
+    // Aitken delta-squared: with estimates (w0 -> w1 -> w2) of a geometric
+    // contraction, w* ~ w2 - (w2 - w1)^2 / ((w2 - w1) - (w1 - w0)).
+    if (options.aitken) {
+      wallclock_history.push_back(wallclock);
+      if (wallclock_history.size() >= 3) {
+        const double w0 = wallclock_history[wallclock_history.size() - 3];
+        const double w1 = wallclock_history[wallclock_history.size() - 2];
+        const double w2 = wallclock_history.back();
+        const double denominator = (w2 - w1) - (w1 - w0);
+        if (std::fabs(denominator) > 1e-12 * std::fabs(w2)) {
+          const double extrapolated = w2 - (w2 - w1) * (w2 - w1) / denominator;
+          if (std::isfinite(extrapolated) && extrapolated > 0.0) {
+            wallclock_estimate = extrapolated;
+            wallclock_history.clear();  // restart the window after a jump
+            continue;
+          }
+        }
+      }
+    }
+    wallclock_estimate = wallclock;
+  }
+  return result;
+}
+
+}  // namespace
+
+Algorithm1Result optimize_multilevel(const model::SystemConfig& cfg,
+                                     const Algorithm1Options& options) {
+  MultilevelOptions inner_options;
+  inner_options.tolerance = options.inner_tolerance;
+  inner_options.max_iterations = options.inner_max_iterations;
+  inner_options.optimize_scale = options.optimize_scale;
+  inner_options.fixed_scale = options.fixed_scale;
+
+  auto solve_inner = [&](const model::MuModel& mu) {
+    return solve_multilevel(cfg, mu, inner_options);
+  };
+  auto evaluate = [&](const model::MuModel& mu, const model::Plan& plan) {
+    return model::expected_wallclock(cfg, mu, plan);
+  };
+  Algorithm1Result result = outer_loop(cfg, options, solve_inner, evaluate);
+  const auto mu = model::MuModel::from_rates(
+      cfg.rates(), result.wallclock > 0.0 ? result.wallclock
+                                          : cfg.productive_time(
+                                                result.plan.scale));
+  result.portions = model::expected_portions(cfg, mu, result.plan);
+  return result;
+}
+
+Algorithm1Result optimize_single_level(const model::SystemConfig& cfg,
+                                       const Algorithm1Options& options) {
+  MLCR_EXPECT(cfg.levels() == 1, "optimize_single_level: L must be 1");
+  SingleLevelOptions inner_options;
+  inner_options.tolerance = options.inner_tolerance;
+  inner_options.max_iterations = options.inner_max_iterations;
+
+  auto solve_inner = [&](const model::MuModel& mu) {
+    const SingleLevelSolution s =
+        options.optimize_scale
+            ? solve_single_level(cfg, mu, inner_options)
+            : solve_single_level_fixed_scale(cfg, mu, options.fixed_scale);
+    MultilevelSolution wrapped;
+    wrapped.converged = s.converged;
+    wrapped.plan = model::Plan{{s.x}, s.n};
+    wrapped.wallclock = s.wallclock;
+    wrapped.iterations = s.iterations;
+    return wrapped;
+  };
+  auto evaluate = [&](const model::MuModel& mu, const model::Plan& plan) {
+    return model::expected_wallclock_single(cfg, mu, plan.intervals[0],
+                                            plan.scale);
+  };
+  Algorithm1Result result = outer_loop(cfg, options, solve_inner, evaluate);
+
+  // Portions under the Formula (13) target: no half-checkpoint redo term.
+  const auto mu = model::MuModel::from_rates(
+      cfg.rates(), result.wallclock > 0.0 ? result.wallclock
+                                          : cfg.productive_time(
+                                                result.plan.scale));
+  const double n = result.plan.scale;
+  const double x = result.plan.intervals[0];
+  const double productive = cfg.productive_time(n);
+  result.portions.productive = productive;
+  result.portions.checkpoint = cfg.ckpt_cost(0, n) * (x - 1.0);
+  result.portions.restart =
+      mu.mu(0, n) * (cfg.allocation() + cfg.recovery_cost(0, n));
+  result.portions.rollback = mu.mu(0, n) * productive / (2.0 * x);
+  return result;
+}
+
+}  // namespace mlcr::opt

@@ -1,0 +1,118 @@
+#include "opt/grid_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlcr::opt {
+
+namespace {
+
+/// Geometric grid over [lo, hi].
+std::vector<double> geometric_grid(double lo, double hi, int samples) {
+  std::vector<double> grid(static_cast<std::size_t>(samples));
+  const double ratio = std::log(hi / lo);
+  for (int i = 0; i < samples; ++i) {
+    grid[static_cast<std::size_t>(i)] =
+        lo * std::exp(ratio * i / (samples - 1));
+  }
+  return grid;
+}
+
+}  // namespace
+
+GridResult grid_search_single(const model::SystemConfig& cfg,
+                              const model::MuModel& mu,
+                              const GridOptions& options) {
+  MLCR_EXPECT(cfg.levels() == 1, "grid_search_single: L must be 1");
+  const double n_cap = cfg.scale_upper_bound();
+  MLCR_EXPECT(std::isfinite(n_cap), "grid_search_single: need finite N bound");
+
+  GridResult result;
+  result.best_value = std::numeric_limits<double>::infinity();
+  double x_lo = options.x_min, x_hi = options.x_max;
+  double n_lo = 1.0, n_hi = n_cap;
+
+  for (int round = 0; round <= options.refine_rounds; ++round) {
+    const auto xs = geometric_grid(x_lo, x_hi, options.x_samples);
+    const auto ns = geometric_grid(n_lo, n_hi, options.n_samples);
+    double best_x = xs.front(), best_n = ns.front();
+    for (double x : xs) {
+      for (double n : ns) {
+        const double v = model::expected_wallclock_single(cfg, mu, x, n);
+        ++result.evaluations;
+        if (v < result.best_value) {
+          result.best_value = v;
+          best_x = x;
+          best_n = n;
+        }
+      }
+    }
+    result.best_plan = model::Plan{{best_x}, best_n};
+    // Zoom in around the incumbent for the next round.
+    const double x_span = std::sqrt(x_hi / x_lo);
+    const double n_span = std::sqrt(n_hi / n_lo);
+    x_lo = std::max(options.x_min, best_x / std::sqrt(x_span));
+    x_hi = std::min(options.x_max, best_x * std::sqrt(x_span));
+    n_lo = std::max(1.0, best_n / std::sqrt(n_span));
+    n_hi = std::min(n_cap, best_n * std::sqrt(n_span));
+    if (x_lo >= x_hi || n_lo >= n_hi) break;
+  }
+  return result;
+}
+
+GridResult coordinate_descent_multilevel(const model::SystemConfig& cfg,
+                                         const model::MuModel& mu,
+                                         model::Plan initial,
+                                         const GridOptions& options) {
+  MLCR_EXPECT(initial.levels() == cfg.levels(),
+              "coordinate_descent: plan/config mismatch");
+  const double n_cap = cfg.scale_upper_bound();
+
+  GridResult result;
+  result.best_plan = std::move(initial);
+  result.best_value = model::expected_wallclock(cfg, mu, result.best_plan);
+  ++result.evaluations;
+
+  // Line-scan each coordinate on a local geometric neighbourhood; repeat
+  // with shrinking span until nothing improves.
+  double span = 4.0;
+  for (int round = 0; round < 60; ++round) {
+    bool improved = false;
+    for (std::size_t coord = 0; coord <= cfg.levels(); ++coord) {
+      const bool is_scale = coord == cfg.levels();
+      const double current = is_scale ? result.best_plan.scale
+                                      : result.best_plan.intervals[coord];
+      double lo = current / span;
+      double hi = current * span;
+      if (is_scale && std::isfinite(n_cap)) hi = std::min(hi, n_cap);
+      if (!is_scale) lo = std::max(lo, options.x_min);
+      if (is_scale) lo = std::max(lo, 1.0);
+      if (lo >= hi) continue;
+      const auto grid = geometric_grid(lo, hi, options.x_samples);
+      for (double v : grid) {
+        model::Plan candidate = result.best_plan;
+        if (is_scale) {
+          candidate.scale = v;
+        } else {
+          candidate.intervals[coord] = std::max(1.0, v);
+        }
+        const double value = model::expected_wallclock(cfg, mu, candidate);
+        ++result.evaluations;
+        if (value < result.best_value) {
+          result.best_value = value;
+          result.best_plan = candidate;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) {
+      span = std::sqrt(span);
+      if (span < 1.0005) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace mlcr::opt

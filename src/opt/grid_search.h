@@ -1,0 +1,38 @@
+// Brute-force verifiers.  These exist to validate the analytic optimizers:
+// a coarse-to-fine grid scan over (x, N) for the single-level target and a
+// coordinate-descent scan for the multilevel target.  Tests assert that the
+// fixed-point optima are no worse than anything the scans find.
+#pragma once
+
+#include "model/failure.h"
+#include "model/system.h"
+#include "model/wallclock.h"
+
+namespace mlcr::opt {
+
+struct GridResult {
+  double best_value = 0.0;
+  model::Plan best_plan;
+  long evaluations = 0;
+};
+
+struct GridOptions {
+  int x_samples = 200;
+  int n_samples = 200;
+  int refine_rounds = 3;  ///< zoom-in rounds around the incumbent
+  double x_min = 1.0;
+  double x_max = 1e6;
+};
+
+/// Scans the single-level Formula (13) target over (x, N).
+[[nodiscard]] GridResult grid_search_single(const model::SystemConfig& cfg,
+                                            const model::MuModel& mu,
+                                            const GridOptions& options = {});
+
+/// Coordinate-descent over the multilevel Formula (21) target: repeatedly
+/// line-scans each x_i and N until no coordinate improves.
+[[nodiscard]] GridResult coordinate_descent_multilevel(
+    const model::SystemConfig& cfg, const model::MuModel& mu,
+    model::Plan initial, const GridOptions& options = {});
+
+}  // namespace mlcr::opt

@@ -1,0 +1,80 @@
+#include "opt/level_selection.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace mlcr::opt {
+
+model::SystemConfig reduce_to_levels(const model::SystemConfig& cfg,
+                                     const std::vector<bool>& enabled) {
+  MLCR_EXPECT(enabled.size() == cfg.levels(),
+              "reduce_to_levels: mask size mismatch");
+  MLCR_EXPECT(enabled.back(), "reduce_to_levels: top level must stay enabled");
+
+  std::vector<model::LevelOverheads> levels;
+  std::vector<double> merged_rates;
+  double pending_rate = 0.0;  // rates of disabled types waiting to merge up
+  for (std::size_t i = 0; i < cfg.levels(); ++i) {
+    pending_rate += cfg.rates().per_day_at_baseline(i);
+    if (!enabled[i]) continue;
+    levels.push_back(cfg.level(i));
+    merged_rates.push_back(pending_rate);
+    pending_rate = 0.0;
+  }
+  MLCR_EXPECT(pending_rate == 0.0, "reduce_to_levels: unreachable");
+
+  model::FailureRates rates(std::move(merged_rates),
+                            cfg.rates().baseline_scale(),
+                            cfg.rates().scale_exponent());
+  return model::SystemConfig(cfg.te(), cfg.speedup().clone(),
+                             std::move(levels), std::move(rates),
+                             cfg.allocation(), cfg.scale_upper_bound());
+}
+
+LevelSelectionResult optimize_with_level_selection(
+    const model::SystemConfig& cfg, const Algorithm1Options& options) {
+  const std::size_t levels = cfg.levels();
+  MLCR_EXPECT(levels >= 1 && levels <= 16,
+              "optimize_with_level_selection: 1..16 levels supported");
+
+  LevelSelectionResult best;
+  double best_wallclock = std::numeric_limits<double>::infinity();
+  const unsigned subsets = 1u << (levels - 1);
+  best.subset_wallclocks.assign(subsets,
+                                std::numeric_limits<double>::infinity());
+
+  for (unsigned mask = 0; mask < subsets; ++mask) {
+    std::vector<bool> enabled(levels, false);
+    enabled[levels - 1] = true;
+    for (std::size_t i = 0; i + 1 < levels; ++i) {
+      enabled[i] = (mask >> i) & 1u;
+    }
+    const auto reduced = reduce_to_levels(cfg, enabled);
+    const auto result = optimize_multilevel(reduced, options);
+    if (!result.converged) continue;
+    best.subset_wallclocks[mask] = result.wallclock;
+    if (result.wallclock < best_wallclock) {
+      best_wallclock = result.wallclock;
+      best.enabled = enabled;
+      best.optimization = result;
+    }
+  }
+  MLCR_EXPECT(std::isfinite(best_wallclock),
+              "optimize_with_level_selection: no subset converged");
+
+  // Lift the reduced plan back to the full level space.
+  best.full_plan.scale = best.optimization.plan.scale;
+  best.full_plan.intervals.assign(levels, 1.0);
+  std::size_t reduced_index = 0;
+  for (std::size_t i = 0; i < levels; ++i) {
+    if (best.enabled[i]) {
+      best.full_plan.intervals[i] =
+          best.optimization.plan.intervals[reduced_index++];
+    }
+  }
+  return best;
+}
+
+}  // namespace mlcr::opt

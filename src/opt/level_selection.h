@@ -1,0 +1,47 @@
+// Checkpoint-level selection (the companion decision the paper's earlier
+// work [22] optimizes and this paper inherits: "optimize the selection of
+// levels for each HPC application").
+//
+// Each failure TYPE i is fixed by the environment; each checkpoint LEVEL
+// may be enabled or disabled.  A type-i failure recovers from the lowest
+// enabled checkpoint level >= i, so disabling a level redirects its failure
+// types to the next enabled level above.  The top (PFS) level can never be
+// disabled — some level must cover catastrophic failures.
+//
+// The optimizer enumerates all 2^(L-1) admissible subsets, reduces the
+// system to the enabled levels (merging failure rates upward), runs
+// Algorithm 1 on each reduction, and returns the subset with the smallest
+// expected wall-clock.
+#pragma once
+
+#include <vector>
+
+#include "model/system.h"
+#include "opt/algorithm1.h"
+
+namespace mlcr::opt {
+
+struct LevelSelectionResult {
+  /// Which original levels the winning configuration checkpoints at.
+  std::vector<bool> enabled;
+  /// Optimization result in the reduced (enabled-levels-only) space.
+  Algorithm1Result optimization;
+  /// Plan lifted back to the full L-level space (disabled levels get
+  /// x = 1, i.e. no checkpoints).
+  model::Plan full_plan;
+  /// Expected wall-clock per evaluated subset, for reporting (indexed by
+  /// the subset bitmask over levels 1..L-1; the top level is always on).
+  std::vector<double> subset_wallclocks;
+};
+
+/// Builds the reduced system for an enabled-mask (must include the top
+/// level): enabled levels keep their overheads; each disabled level's
+/// failure rate is merged into the next enabled level above it.
+[[nodiscard]] model::SystemConfig reduce_to_levels(
+    const model::SystemConfig& cfg, const std::vector<bool>& enabled);
+
+/// Exhaustive search over level subsets; cfg.levels() <= 16.
+[[nodiscard]] LevelSelectionResult optimize_with_level_selection(
+    const model::SystemConfig& cfg, const Algorithm1Options& options = {});
+
+}  // namespace mlcr::opt

@@ -1,0 +1,93 @@
+#include "opt/multilevel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "num/roots.h"
+#include "opt/young.h"
+
+namespace mlcr::opt {
+
+namespace {
+
+/// One Gauss-Seidel sweep of the x_i update from Formula (23).
+void sweep_intervals(const model::SystemConfig& cfg, const model::MuModel& mu,
+                     model::Plan& plan) {
+  const double n = plan.scale;
+  const double productive = cfg.productive_time(n);
+  const std::size_t levels = cfg.levels();
+  for (std::size_t i = 0; i < levels; ++i) {
+    const double ci = cfg.ckpt_cost(i, n);
+    double lower = productive;
+    for (std::size_t j = 0; j < i; ++j) {
+      lower += cfg.ckpt_cost(j, n) * plan.intervals[j];
+    }
+    double upper = 0.0;
+    for (std::size_t j = i + 1; j < levels; ++j) {
+      upper += mu.mu(j, n) / (2.0 * plan.intervals[j]);
+    }
+    const double numerator = mu.mu(i, n) * lower;
+    const double denominator = 2.0 * ci * (1.0 + upper);
+    plan.intervals[i] =
+        std::max(1.0, std::sqrt(numerator / denominator));
+  }
+}
+
+/// Solves wallclock_dn = 0 for N at the current intervals, by bisection.
+double optimal_scale(const model::SystemConfig& cfg, const model::MuModel& mu,
+                     const model::Plan& plan, double n_lower, double n_upper) {
+  auto dn = [&](double n) {
+    model::Plan candidate = plan;
+    candidate.scale = n;
+    return model::wallclock_dn(cfg, mu, candidate);
+  };
+  const double at_hi = dn(n_upper);
+  const double at_lo = dn(n_lower);
+  if (at_hi <= 0.0) return n_upper;  // wall-clock still decreasing at N_star
+  if (at_lo >= 0.0) return n_lower;  // adding cores never pays off
+  num::RootOptions opts;
+  opts.x_tolerance = 0.5;  // integer N; paper stops when the bracket < 0.5
+  const auto root = num::bisect(dn, n_lower, n_upper, opts);
+  return root.converged ? root.root : n_upper;
+}
+
+}  // namespace
+
+MultilevelSolution solve_multilevel(const model::SystemConfig& cfg,
+                                    const model::MuModel& mu,
+                                    const MultilevelOptions& options) {
+  MLCR_EXPECT(mu.levels() == cfg.levels(), "solve_multilevel: level mismatch");
+  const double n_upper = cfg.scale_upper_bound();
+  MLCR_EXPECT(options.optimize_scale ? std::isfinite(n_upper)
+                                     : options.fixed_scale > 0.0,
+              "solve_multilevel: needs a finite scale bound, or a fixed scale");
+
+  MultilevelSolution solution;
+  model::Plan plan;
+  plan.scale = options.optimize_scale ? n_upper : options.fixed_scale;
+  plan.intervals = young_interval_counts(cfg, mu, plan.scale);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    solution.iterations = it + 1;
+    const model::Plan previous = plan;
+    sweep_intervals(cfg, mu, plan);
+    if (options.optimize_scale) {
+      plan.scale = optimal_scale(cfg, mu, plan, options.n_lower, n_upper);
+    }
+    double change = std::fabs(plan.scale - previous.scale);
+    for (std::size_t i = 0; i < plan.intervals.size(); ++i) {
+      change = std::max(change,
+                        std::fabs(plan.intervals[i] - previous.intervals[i]));
+    }
+    if (change <= options.tolerance) {
+      solution.converged = true;
+      break;
+    }
+  }
+  solution.plan = std::move(plan);
+  solution.wallclock = model::expected_wallclock(cfg, mu, solution.plan);
+  return solution;
+}
+
+}  // namespace mlcr::opt

@@ -1,0 +1,41 @@
+// Inner solver for the multilevel model (paper Section III-D).
+//
+// Given a frozen failure-count model mu_i(N), minimizes Formula (21) over
+// {x_1..x_L, N} by fixed-point iteration:
+//   * every x_i from the stationarity condition (23) rearranged to
+//       x_i = sqrt( mu_i (Te/g + sum_{j<i} C_j x_j)
+//                   / (2 C_i (1 + sum_{j>i} mu_j/(2 x_j))) )
+//     swept Gauss-Seidel style (level 1 upward, using fresh values);
+//   * N from bisection on the stationarity condition (24) over
+//     [n_lower, N_star] (unique root because d2E/dN2 > 0 on that range;
+//     when no root is bracketed the optimum sits on the boundary).
+// Initial x values come from the generalized Young formula (25).
+#pragma once
+
+#include "model/failure.h"
+#include "model/system.h"
+#include "model/wallclock.h"
+
+namespace mlcr::opt {
+
+struct MultilevelSolution {
+  bool converged = false;
+  model::Plan plan;        ///< optimal interval counts and scale
+  double wallclock = 0.0;  ///< Formula (21) value at the plan
+  int iterations = 0;      ///< fixed-point sweeps used
+};
+
+struct MultilevelOptions {
+  double tolerance = 1e-6;  ///< max-norm change (x and N) to stop
+  int max_iterations = 500;
+  double n_lower = 1.0;
+  bool optimize_scale = true;  ///< false: keep N at `fixed_scale`
+  double fixed_scale = 0.0;    ///< used when optimize_scale is false
+};
+
+/// Solves the inner (frozen-mu) problem.  cfg and mu must agree on L.
+[[nodiscard]] MultilevelSolution solve_multilevel(
+    const model::SystemConfig& cfg, const model::MuModel& mu,
+    const MultilevelOptions& options = {});
+
+}  // namespace mlcr::opt

@@ -1,0 +1,63 @@
+#include "opt/planner.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlcr::opt {
+
+std::string to_string(Solution solution) {
+  switch (solution) {
+    case Solution::kMultilevelOptScale: return "ML(opt-scale)";
+    case Solution::kSingleLevelOptScale: return "SL(opt-scale)";
+    case Solution::kMultilevelOriScale: return "ML(ori-scale)";
+    case Solution::kSingleLevelOriScale: return "SL(ori-scale)";
+  }
+  return "?";
+}
+
+std::vector<Solution> all_solutions() {
+  return {Solution::kMultilevelOptScale, Solution::kSingleLevelOptScale,
+          Solution::kMultilevelOriScale, Solution::kSingleLevelOriScale};
+}
+
+PlannerResult plan(Solution solution, const model::SystemConfig& cfg,
+                   const Algorithm1Options& base_options) {
+  PlannerResult result;
+  result.solution = solution;
+
+  Algorithm1Options options = base_options;
+  const bool multilevel = solution == Solution::kMultilevelOptScale ||
+                          solution == Solution::kMultilevelOriScale;
+  const bool optimize_scale = solution == Solution::kMultilevelOptScale ||
+                              solution == Solution::kSingleLevelOptScale;
+  options.optimize_scale = optimize_scale;
+  if (!optimize_scale) {
+    // "ori-scale": run at the application's original optimal scale N_star
+    // (capped by the machine size), exactly as the paper's baselines do.
+    const double n_star = cfg.scale_upper_bound();
+    MLCR_EXPECT(std::isfinite(n_star),
+                "planner: ori-scale solutions need a finite N_star");
+    options.fixed_scale = options.fixed_scale > 0.0 ? options.fixed_scale
+                                                    : n_star;
+  }
+
+  if (multilevel) {
+    result.optimization = optimize_multilevel(cfg, options);
+    result.level_enabled.assign(cfg.levels(), true);
+    result.full_plan = result.optimization.plan;
+  } else {
+    const model::SystemConfig single = cfg.single_level_view();
+    result.optimization = optimize_single_level(single, options);
+    // Expand the 1-level plan into the full space: only the top level is
+    // used; lower levels take no checkpoints.
+    result.level_enabled.assign(cfg.levels(), false);
+    result.level_enabled.back() = true;
+    result.full_plan.scale = result.optimization.plan.scale;
+    result.full_plan.intervals.assign(cfg.levels(), 1.0);
+    result.full_plan.intervals.back() = result.optimization.plan.intervals[0];
+  }
+  return result;
+}
+
+}  // namespace mlcr::opt

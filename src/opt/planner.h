@@ -1,0 +1,48 @@
+// Front-ends for the four solutions compared in the paper's evaluation
+// (Section IV-A):
+//   ML(opt-scale) — this paper: multilevel intervals + optimized scale
+//   SL(opt-scale) — Jin et al.-style: single level, optimized x and N
+//   ML(ori-scale) — prior work [22]: multilevel intervals, N = N_star
+//   SL(ori-scale) — classic Young: single level, N = N_star
+// Each planner returns the plan in the full L-level space so the simulator
+// can execute any of them on the same system: single-level planners emit a
+// plan whose lower levels are disabled (x_i = 1 means "no intermediate
+// checkpoints at that level" is approximated by taking none; see
+// `level_enabled`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/system.h"
+#include "opt/algorithm1.h"
+
+namespace mlcr::opt {
+
+enum class Solution {
+  kMultilevelOptScale,
+  kSingleLevelOptScale,
+  kMultilevelOriScale,
+  kSingleLevelOriScale,
+};
+
+[[nodiscard]] std::string to_string(Solution solution);
+[[nodiscard]] std::vector<Solution> all_solutions();
+
+struct PlannerResult {
+  Solution solution = Solution::kMultilevelOptScale;
+  Algorithm1Result optimization;
+  /// Which levels of the original system the plan actually checkpoints at.
+  /// Single-level planners only use the top (PFS) level.
+  std::vector<bool> level_enabled;
+  /// Interval counts in the full L-level space (disabled levels get x = 1,
+  /// i.e. no checkpoints taken there besides the implicit end of run).
+  model::Plan full_plan;
+};
+
+/// Plans with the given solution on the L-level system `cfg`.
+[[nodiscard]] PlannerResult plan(Solution solution,
+                                 const model::SystemConfig& cfg,
+                                 const Algorithm1Options& base_options = {});
+
+}  // namespace mlcr::opt

@@ -1,0 +1,119 @@
+#include "opt/single_level.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "model/wallclock.h"
+#include "num/roots.h"
+
+namespace mlcr::opt {
+
+namespace {
+
+/// Solves single_dn(cfg, mu, x, .) = 0 over [n_lower, n_upper] by bisection
+/// (paper: "there must be at most one root in [0, N_star]").  When no root
+/// is bracketed, the optimum sits on a boundary: N_star if the target is
+/// still decreasing there, n_lower otherwise.
+double optimal_scale_for_x(const model::SystemConfig& cfg,
+                           const model::MuModel& mu, double x, double n_lower,
+                           double n_upper) {
+  auto dn = [&](double n) { return model::single_dn(cfg, mu, x, n); };
+  const double at_hi = dn(n_upper);
+  const double at_lo = dn(n_lower);
+  if (at_hi <= 0.0) return n_upper;  // still improving at full scale
+  if (at_lo >= 0.0) return n_lower;  // more cores never help
+  num::RootOptions opts;
+  opts.x_tolerance = 0.5;  // N is an integer; paper stops at bracket < 0.5
+  const auto root = num::bisect(dn, n_lower, n_upper, opts);
+  return root.converged ? root.root : n_upper;
+}
+
+}  // namespace
+
+SingleLevelSolution solve_single_level_linear(const model::SystemConfig& cfg,
+                                              const model::MuModel& mu) {
+  MLCR_EXPECT(cfg.levels() == 1, "solve_single_level_linear: L must be 1");
+  MLCR_EXPECT(mu.levels() == 1, "solve_single_level_linear: one mu level");
+  const auto* linear =
+      dynamic_cast<const model::LinearSpeedup*>(&cfg.speedup());
+  MLCR_EXPECT(linear != nullptr,
+              "solve_single_level_linear: requires a linear speedup");
+  const double kappa = linear->kappa();
+  const double b = mu.b(0);
+  MLCR_EXPECT(b > 0.0, "solve_single_level_linear: b must be positive");
+  const double eps0 = cfg.ckpt_cost(0, 1.0);
+  const double eta0 = cfg.recovery_cost(0, 1.0);
+  MLCR_EXPECT(cfg.ckpt_cost_derivative(0, 1.0) == 0.0 &&
+                  cfg.recovery_cost_derivative(0, 1.0) == 0.0,
+              "solve_single_level_linear: requires constant overheads");
+
+  SingleLevelSolution solution;
+  solution.converged = true;
+  // Formulas (10) and (11).
+  solution.x = std::max(1.0, std::sqrt(b * cfg.te() / (2.0 * kappa * eps0)));
+  solution.n =
+      std::sqrt(cfg.te() / (kappa * b * (eta0 + cfg.allocation())));
+  const double cap = cfg.scale_upper_bound();
+  if (std::isfinite(cap)) solution.n = std::min(solution.n, cap);
+  solution.wallclock =
+      model::expected_wallclock_single(cfg, mu, solution.x, solution.n);
+  return solution;
+}
+
+SingleLevelSolution solve_single_level(const model::SystemConfig& cfg,
+                                       const model::MuModel& mu,
+                                       const SingleLevelOptions& options) {
+  MLCR_EXPECT(cfg.levels() == 1, "solve_single_level: L must be 1");
+  MLCR_EXPECT(mu.levels() == 1, "solve_single_level: one mu level");
+  const double n_upper = cfg.scale_upper_bound();
+  MLCR_EXPECT(std::isfinite(n_upper),
+              "solve_single_level: needs a finite scale bound "
+              "(quadratic/tabulated speedup or max_scale)");
+
+  SingleLevelSolution solution;
+  double x = options.x_initial;
+  double n = n_upper;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    solution.iterations = it + 1;
+    // Formula (16): closed-form x at the current N.
+    const double g = cfg.speedup().value(n);
+    const double c = cfg.ckpt_cost(0, n);
+    const double x_next =
+        std::max(1.0, std::sqrt(mu.mu(0, n) * cfg.te() / (2.0 * c * g)));
+    // Formula (17): bisection for N at the updated x.
+    const double n_next =
+        optimal_scale_for_x(cfg, mu, x_next, options.n_lower, n_upper);
+    const double change =
+        std::max(std::fabs(x_next - x), std::fabs(n_next - n));
+    x = x_next;
+    n = n_next;
+    if (change <= options.tolerance) {
+      solution.converged = true;
+      break;
+    }
+  }
+  solution.x = x;
+  solution.n = n;
+  solution.wallclock = model::expected_wallclock_single(cfg, mu, x, n);
+  return solution;
+}
+
+SingleLevelSolution solve_single_level_fixed_scale(
+    const model::SystemConfig& cfg, const model::MuModel& mu, double n) {
+  MLCR_EXPECT(cfg.levels() == 1, "solve_single_level_fixed_scale: L must be 1");
+  MLCR_EXPECT(n > 0.0, "solve_single_level_fixed_scale: N must be positive");
+  SingleLevelSolution solution;
+  solution.converged = true;
+  solution.iterations = 1;
+  // Formula (14) solved for x — exactly Young's rule (25) for L = 1.
+  const double g = cfg.speedup().value(n);
+  const double c = cfg.ckpt_cost(0, n);
+  solution.x = std::max(1.0, std::sqrt(mu.mu(0, n) * cfg.te() / (2.0 * c * g)));
+  solution.n = n;
+  solution.wallclock =
+      model::expected_wallclock_single(cfg, mu, solution.x, n);
+  return solution;
+}
+
+}  // namespace mlcr::opt

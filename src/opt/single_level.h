@@ -1,0 +1,47 @@
+// Single-level optimizers (paper Section III-C).
+//
+// Linear speedup + constant costs has closed forms (Formulas (10)/(11)):
+//   x* = sqrt( b Te / (2 kappa eps0) ),   N* = sqrt( Te / (kappa b (eta0+A)) ).
+//
+// Nonlinear (quadratic) speedup uses the fixed-point iteration of Formulas
+// (16)/(17): x from the closed form at the current N, then N from bisection
+// on d E/d N = 0 over (0, N_star]; repeated until x converges.
+#pragma once
+
+#include "model/failure.h"
+#include "model/system.h"
+
+namespace mlcr::opt {
+
+struct SingleLevelSolution {
+  bool converged = false;
+  double x = 1.0;          ///< optimal number of checkpoint intervals
+  double n = 1.0;          ///< optimal scale
+  double wallclock = 0.0;  ///< Formula (13) value at (x, n)
+  int iterations = 0;      ///< fixed-point iterations used
+};
+
+struct SingleLevelOptions {
+  double x_initial = 100000.0;  ///< paper: "x's initial value is set to 100,000"
+  double tolerance = 1e-6;      ///< paper's error threshold for Figure 3
+  int max_iterations = 500;
+  double n_lower = 1.0;  ///< lower end of the bisection bracket for N
+};
+
+/// Closed forms (10)/(11).  Requires a LinearSpeedup config with constant
+/// overheads and a 1-level mu model mu(N) = b N.
+[[nodiscard]] SingleLevelSolution solve_single_level_linear(
+    const model::SystemConfig& cfg, const model::MuModel& mu);
+
+/// Fixed-point iteration (16)/(17) for general (e.g. quadratic) speedups.
+/// Optimizes both x and N.  cfg must have exactly one level.
+[[nodiscard]] SingleLevelSolution solve_single_level(
+    const model::SystemConfig& cfg, const model::MuModel& mu,
+    const SingleLevelOptions& options = {});
+
+/// Optimizes x only, with N frozen (the SL(ori-scale) baseline, i.e. classic
+/// Young's formula expressed through Formula (14)).
+[[nodiscard]] SingleLevelSolution solve_single_level_fixed_scale(
+    const model::SystemConfig& cfg, const model::MuModel& mu, double n);
+
+}  // namespace mlcr::opt

@@ -1,0 +1,46 @@
+#include "opt/young.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlcr::opt {
+
+double young_interval(double checkpoint_seconds, double mtbf_seconds) {
+  MLCR_EXPECT(checkpoint_seconds > 0.0, "young: C must be positive");
+  MLCR_EXPECT(mtbf_seconds > 0.0, "young: MTBF must be positive");
+  return std::sqrt(2.0 * checkpoint_seconds * mtbf_seconds);
+}
+
+double daly_interval(double checkpoint_seconds, double mtbf_seconds) {
+  MLCR_EXPECT(checkpoint_seconds > 0.0, "daly: C must be positive");
+  MLCR_EXPECT(mtbf_seconds > 0.0, "daly: MTBF must be positive");
+  const double c = checkpoint_seconds;
+  const double m = mtbf_seconds;
+  if (c >= 2.0 * m) return m;
+  const double ratio = c / (2.0 * m);
+  return std::sqrt(2.0 * c * m) *
+             (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) -
+         c;
+}
+
+std::vector<double> young_interval_counts(const model::SystemConfig& cfg,
+                                          const model::MuModel& mu, double n) {
+  MLCR_EXPECT(mu.levels() == cfg.levels(), "young: level mismatch");
+  const double productive = cfg.productive_time(n);
+  std::vector<double> x(cfg.levels());
+  for (std::size_t i = 0; i < cfg.levels(); ++i) {
+    const double c = cfg.ckpt_cost(i, n);
+    MLCR_EXPECT(c > 0.0, "young: non-positive checkpoint cost");
+    x[i] = std::max(1.0, std::sqrt(mu.mu(i, n) * productive / (2.0 * c)));
+  }
+  return x;
+}
+
+double interval_length(const model::SystemConfig& cfg, double x, double n) {
+  MLCR_EXPECT(x >= 1.0, "interval_length: x must be >= 1");
+  return cfg.productive_time(n) / x;
+}
+
+}  // namespace mlcr::opt

@@ -1,0 +1,38 @@
+// Young's formula and Daly's refinement for checkpoint intervals.
+//
+// Paper Formula (25) generalizes Young's first-order rule to the multilevel
+// setting: the (sub-optimal) number of intervals at level i, ignoring the
+// other levels, is
+//     x_i = sqrt( mu_i(N) * (Te/g(N)) / (2 C_i(N)) ).
+// The classic forms (interval tau = sqrt(2 C M), M = MTBF) are provided for
+// the SL(ori-scale) baseline and for cross-checks.
+#pragma once
+
+#include <vector>
+
+#include "model/failure.h"
+#include "model/system.h"
+
+namespace mlcr::opt {
+
+/// Classic Young interval: tau = sqrt(2 * C * MTBF) (seconds of productive
+/// time between checkpoints).  Requires positive inputs.
+[[nodiscard]] double young_interval(double checkpoint_seconds,
+                                    double mtbf_seconds);
+
+/// Daly's higher-order interval: tau = sqrt(2 C M) * [1 + sqrt(C/(2M))/3 +
+/// (1/9)(C/(2M))] - C, valid for C < 2M; falls back to M when C >= 2M.
+[[nodiscard]] double daly_interval(double checkpoint_seconds,
+                                   double mtbf_seconds);
+
+/// Paper Formula (25): per-level interval counts for a given scale.
+/// Values are clamped to >= 1.
+[[nodiscard]] std::vector<double> young_interval_counts(
+    const model::SystemConfig& cfg, const model::MuModel& mu, double n);
+
+/// Converts an interval count x at scale N to the productive-time interval
+/// length tau = (Te/g(N)) / x.
+[[nodiscard]] double interval_length(const model::SystemConfig& cfg, double x,
+                                     double n);
+
+}  // namespace mlcr::opt

@@ -1,0 +1,85 @@
+#include "rs/gf256.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace mlcr::rs {
+
+namespace {
+
+struct Tables {
+  std::array<std::uint8_t, 512> exp{};  // doubled to skip a mod in mul
+  std::array<std::uint8_t, 256> log{};
+
+  Tables() {
+    // alpha = 2 is primitive for the Reed-Solomon polynomial 0x11d and
+    // spans all 255 non-zero elements.
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log[static_cast<std::uint8_t>(x)] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<std::size_t>(i)] =
+          exp[static_cast<std::size_t>(i - 255)];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+}
+
+std::uint8_t gf_inv(std::uint8_t a) {
+  MLCR_EXPECT(a != 0, "gf_inv: zero has no inverse");
+  const auto& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t gf_div(std::uint8_t a, std::uint8_t b) {
+  MLCR_EXPECT(b != 0, "gf_div: division by zero");
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + 255 - t.log[b]];
+}
+
+std::uint8_t gf_pow(std::uint8_t a, int power) noexcept {
+  if (power == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  const int exponent = (t.log[a] * power) % 255;
+  return t.exp[static_cast<std::size_t>(exponent < 0 ? exponent + 255
+                                                     : exponent)];
+}
+
+void gf_mul_add(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src,
+                std::uint8_t coefficient) {
+  MLCR_EXPECT(dst.size() == src.size(), "gf_mul_add: size mismatch");
+  if (coefficient == 0) return;
+  if (coefficient == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& t = tables();
+  const int log_c = t.log[coefficient];
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) {
+      dst[i] ^= t.exp[static_cast<std::size_t>(log_c) + t.log[s]];
+    }
+  }
+}
+
+}  // namespace mlcr::rs

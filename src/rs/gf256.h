@@ -1,0 +1,34 @@
+// GF(2^8) arithmetic for the Reed-Solomon checkpoint level (paper level 3;
+// FTI's RS-encoding uses exactly this field [Reed & Solomon 1960, Plank's
+// Jerasure]).  Uses the AES polynomial x^8+x^4+x^3+x+1 (0x11d generator
+// tables built at static-init time).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mlcr::rs {
+
+/// Addition/subtraction in GF(2^8) is XOR.
+[[nodiscard]] constexpr std::uint8_t gf_add(std::uint8_t a,
+                                            std::uint8_t b) noexcept {
+  return a ^ b;
+}
+
+/// Multiplication via log/antilog tables.
+[[nodiscard]] std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) noexcept;
+
+/// Multiplicative inverse; requires a != 0.
+[[nodiscard]] std::uint8_t gf_inv(std::uint8_t a);
+
+/// a / b; requires b != 0.
+[[nodiscard]] std::uint8_t gf_div(std::uint8_t a, std::uint8_t b);
+
+/// a^power (power >= 0).
+[[nodiscard]] std::uint8_t gf_pow(std::uint8_t a, int power) noexcept;
+
+/// dst[i] ^= coefficient * src[i] — the inner loop of encode/decode.
+void gf_mul_add(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src,
+                std::uint8_t coefficient);
+
+}  // namespace mlcr::rs

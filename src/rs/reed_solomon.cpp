@@ -1,0 +1,177 @@
+#include "rs/reed_solomon.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "rs/gf256.h"
+
+namespace mlcr::rs {
+
+ReedSolomon::ReedSolomon(int data_shards, int parity_shards)
+    : k_(data_shards), m_(parity_shards) {
+  MLCR_EXPECT(k_ >= 1, "ReedSolomon: need at least one data shard");
+  MLCR_EXPECT(m_ >= 1, "ReedSolomon: need at least one parity shard");
+  MLCR_EXPECT(k_ + m_ <= 256, "ReedSolomon: at most 256 shards in GF(256)");
+  // Cauchy matrix with x_i = i (parity points) and y_j = m + j (data
+  // points); all 2^8 field points are distinct so x_i + y_j != 0.
+  encode_matrix_.resize(static_cast<std::size_t>(m_ * k_));
+  for (int i = 0; i < m_; ++i) {
+    for (int j = 0; j < k_; ++j) {
+      const auto x = static_cast<std::uint8_t>(i);
+      const auto y = static_cast<std::uint8_t>(m_ + j);
+      encode_matrix_[static_cast<std::size_t>(i * k_ + j)] =
+          gf_inv(gf_add(x, y));
+    }
+  }
+}
+
+void ReedSolomon::encode(
+    std::vector<std::vector<std::uint8_t>>& shards) const {
+  MLCR_EXPECT(static_cast<int>(shards.size()) == k_ + m_,
+              "encode: wrong shard count");
+  const std::size_t size = shards[0].size();
+  for (const auto& shard : shards) {
+    MLCR_EXPECT(shard.size() == size, "encode: shard size mismatch");
+  }
+  for (int i = 0; i < m_; ++i) {
+    auto& parity = shards[static_cast<std::size_t>(k_ + i)];
+    std::fill(parity.begin(), parity.end(), 0);
+    for (int j = 0; j < k_; ++j) {
+      gf_mul_add(parity, shards[static_cast<std::size_t>(j)],
+                 encode_matrix_[static_cast<std::size_t>(i * k_ + j)]);
+    }
+  }
+}
+
+bool ReedSolomon::reconstruct(std::vector<std::vector<std::uint8_t>>& shards,
+                              std::vector<bool>& present) const {
+  MLCR_EXPECT(static_cast<int>(shards.size()) == k_ + m_,
+              "reconstruct: wrong shard count");
+  MLCR_EXPECT(present.size() == shards.size(),
+              "reconstruct: present mask size mismatch");
+
+  int available = 0;
+  std::size_t shard_size = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (present[i]) {
+      ++available;
+      shard_size = shards[i].size();
+    }
+  }
+  if (available < k_) return false;  // unrecoverable
+  bool any_missing = false;
+  for (bool p : present) any_missing |= !p;
+  if (!any_missing) return true;
+
+  // Build the k x k system: rows of the generalized generator matrix
+  // [I; C] for k available shards.  Row for data shard j is unit row e_j;
+  // row for parity shard i is the Cauchy row i.
+  std::vector<std::uint8_t> matrix(static_cast<std::size_t>(k_ * k_), 0);
+  std::vector<const std::vector<std::uint8_t>*> rhs(
+      static_cast<std::size_t>(k_));
+  int row = 0;
+  for (int s = 0; s < k_ + m_ && row < k_; ++s) {
+    if (!present[static_cast<std::size_t>(s)]) continue;
+    if (s < k_) {
+      matrix[static_cast<std::size_t>(row * k_ + s)] = 1;
+    } else {
+      for (int j = 0; j < k_; ++j) {
+        matrix[static_cast<std::size_t>(row * k_ + j)] =
+            encode_matrix_[static_cast<std::size_t>((s - k_) * k_ + j)];
+      }
+    }
+    rhs[static_cast<std::size_t>(row)] = &shards[static_cast<std::size_t>(s)];
+    ++row;
+  }
+
+  // Invert `matrix` over GF(256) by Gauss-Jordan.
+  std::vector<std::uint8_t> inverse(static_cast<std::size_t>(k_ * k_), 0);
+  for (int i = 0; i < k_; ++i) {
+    inverse[static_cast<std::size_t>(i * k_ + i)] = 1;
+  }
+  for (int col = 0; col < k_; ++col) {
+    int pivot = -1;
+    for (int r = col; r < k_; ++r) {
+      if (matrix[static_cast<std::size_t>(r * k_ + col)] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    // Cauchy structure guarantees invertibility; a zero column would be a
+    // logic error rather than an input condition.
+    MLCR_EXPECT(pivot >= 0, "reconstruct: singular decode matrix");
+    if (pivot != col) {
+      for (int c = 0; c < k_; ++c) {
+        std::swap(matrix[static_cast<std::size_t>(pivot * k_ + c)],
+                  matrix[static_cast<std::size_t>(col * k_ + c)]);
+        std::swap(inverse[static_cast<std::size_t>(pivot * k_ + c)],
+                  inverse[static_cast<std::size_t>(col * k_ + c)]);
+      }
+    }
+    const std::uint8_t inv_pivot =
+        gf_inv(matrix[static_cast<std::size_t>(col * k_ + col)]);
+    for (int c = 0; c < k_; ++c) {
+      matrix[static_cast<std::size_t>(col * k_ + c)] =
+          gf_mul(matrix[static_cast<std::size_t>(col * k_ + c)], inv_pivot);
+      inverse[static_cast<std::size_t>(col * k_ + c)] =
+          gf_mul(inverse[static_cast<std::size_t>(col * k_ + c)], inv_pivot);
+    }
+    for (int r = 0; r < k_; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor =
+          matrix[static_cast<std::size_t>(r * k_ + col)];
+      if (factor == 0) continue;
+      for (int c = 0; c < k_; ++c) {
+        matrix[static_cast<std::size_t>(r * k_ + c)] = gf_add(
+            matrix[static_cast<std::size_t>(r * k_ + c)],
+            gf_mul(factor, matrix[static_cast<std::size_t>(col * k_ + c)]));
+        inverse[static_cast<std::size_t>(r * k_ + c)] = gf_add(
+            inverse[static_cast<std::size_t>(r * k_ + c)],
+            gf_mul(factor, inverse[static_cast<std::size_t>(col * k_ + c)]));
+      }
+    }
+  }
+
+  // Rebuild every missing data shard: data_j = sum_r inverse[j][r] * rhs[r].
+  for (int j = 0; j < k_; ++j) {
+    if (present[static_cast<std::size_t>(j)]) continue;
+    auto& shard = shards[static_cast<std::size_t>(j)];
+    shard.assign(shard_size, 0);
+    for (int r = 0; r < k_; ++r) {
+      gf_mul_add(shard, *rhs[static_cast<std::size_t>(r)],
+                 inverse[static_cast<std::size_t>(j * k_ + r)]);
+    }
+    present[static_cast<std::size_t>(j)] = true;
+  }
+  // Re-derive any missing parity from the (now complete) data.
+  for (int i = 0; i < m_; ++i) {
+    if (present[static_cast<std::size_t>(k_ + i)]) continue;
+    auto& parity = shards[static_cast<std::size_t>(k_ + i)];
+    parity.assign(shard_size, 0);
+    for (int j = 0; j < k_; ++j) {
+      gf_mul_add(parity, shards[static_cast<std::size_t>(j)],
+                 encode_matrix_[static_cast<std::size_t>(i * k_ + j)]);
+    }
+    present[static_cast<std::size_t>(k_ + i)] = true;
+  }
+  return true;
+}
+
+bool ReedSolomon::verify(
+    const std::vector<std::vector<std::uint8_t>>& shards) const {
+  MLCR_EXPECT(static_cast<int>(shards.size()) == k_ + m_,
+              "verify: wrong shard count");
+  const std::size_t size = shards[0].size();
+  std::vector<std::uint8_t> expected(size);
+  for (int i = 0; i < m_; ++i) {
+    std::fill(expected.begin(), expected.end(), 0);
+    for (int j = 0; j < k_; ++j) {
+      gf_mul_add(expected, shards[static_cast<std::size_t>(j)],
+                 encode_matrix_[static_cast<std::size_t>(i * k_ + j)]);
+    }
+    if (expected != shards[static_cast<std::size_t>(k_ + i)]) return false;
+  }
+  return true;
+}
+
+}  // namespace mlcr::rs

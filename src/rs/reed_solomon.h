@@ -1,0 +1,50 @@
+// Systematic Reed-Solomon erasure coding over GF(2^8) — the engine behind
+// the level-3 checkpoints (FTI's RS-encoding): a group of k nodes holds k
+// data shards plus m parity shards, and any m shard losses are recoverable.
+//
+// The code uses a Cauchy matrix a_ij = 1/(x_i + y_j) with distinct field
+// points, whose every square submatrix is invertible — the property that
+// guarantees recovery from ANY erasure pattern of up to m shards.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mlcr::rs {
+
+/// Encoder/decoder for a fixed (data_shards, parity_shards) geometry.
+class ReedSolomon {
+ public:
+  /// Requires 1 <= data_shards, 1 <= parity_shards, and
+  /// data_shards + parity_shards <= 256.
+  ReedSolomon(int data_shards, int parity_shards);
+
+  [[nodiscard]] int data_shards() const noexcept { return k_; }
+  [[nodiscard]] int parity_shards() const noexcept { return m_; }
+  [[nodiscard]] int total_shards() const noexcept { return k_ + m_; }
+
+  /// Computes the m parity shards from the k data shards.  All shards must
+  /// have the same size; `shards` has k data entries followed by m parity
+  /// entries (parity contents are overwritten).
+  void encode(std::vector<std::vector<std::uint8_t>>& shards) const;
+
+  /// Reconstructs missing shards in place.  `present[i]` says whether
+  /// shards[i] currently holds valid data.  Returns false when more than m
+  /// shards are missing (unrecoverable); on success every shard (data and
+  /// parity) is filled and `present` is all-true.
+  [[nodiscard]] bool reconstruct(std::vector<std::vector<std::uint8_t>>& shards,
+                                 std::vector<bool>& present) const;
+
+  /// Verifies that the parity shards match the data shards.
+  [[nodiscard]] bool verify(
+      const std::vector<std::vector<std::uint8_t>>& shards) const;
+
+ private:
+  int k_;
+  int m_;
+  /// m_ x k_ Cauchy encoding matrix, row-major.
+  std::vector<std::uint8_t> encode_matrix_;
+};
+
+}  // namespace mlcr::rs

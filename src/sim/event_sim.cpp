@@ -1,0 +1,318 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/error.h"
+
+namespace mlcr::sim {
+
+Schedule Schedule::from_plan(const model::SystemConfig& cfg,
+                             const model::Plan& plan,
+                             const std::vector<bool>& enabled) {
+  MLCR_EXPECT(plan.levels() == cfg.levels(), "Schedule: plan/config mismatch");
+  MLCR_EXPECT(enabled.size() == cfg.levels(), "Schedule: enabled mask size");
+  Schedule schedule;
+  schedule.scale = plan.scale;
+  const double work = cfg.productive_time(plan.scale);
+  schedule.period_seconds.resize(cfg.levels());
+  for (std::size_t i = 0; i < cfg.levels(); ++i) {
+    // x_i intermediate checkpoints split the work into x_i intervals; x_i
+    // rounds to >= 2 to actually place interior checkpoints.
+    const double x = std::round(plan.intervals[i]);
+    schedule.period_seconds[i] =
+        (enabled[i] && x >= 2.0) ? work / x : 0.0;
+  }
+  return schedule;
+}
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// A failure that has arrived but not yet been processed.
+struct PendingFailure {
+  double arrived_at = 0.0;
+  std::size_t level = 0;
+};
+
+/// The full mutable simulation state.
+struct State {
+  double now = 0.0;         ///< wall-clock seconds
+  double position = 0.0;    ///< current work position (seconds of progress)
+  double high_water = 0.0;  ///< furthest position ever reached
+  model::TimePortions portions;
+  std::vector<double> next_arrival;  ///< per-level Poisson clocks (absolute)
+  std::deque<PendingFailure> pending;
+};
+
+enum class Portion { kExecution, kCheckpoint, kRestart };
+
+}  // namespace
+
+namespace {
+
+RunResult simulate_impl(const model::SystemConfig& cfg,
+                        const Schedule& schedule, common::Rng& rng,
+                        const SimOptions& options,
+                        const FailureTrace* trace) {
+  const std::size_t levels = cfg.levels();
+  MLCR_EXPECT(schedule.period_seconds.size() == levels,
+              "simulate: schedule/config level mismatch");
+  MLCR_EXPECT(schedule.scale > 0.0, "simulate: scale must be positive");
+  MLCR_EXPECT(trace == nullptr ||
+                  trace->arrivals_per_level.size() == levels,
+              "simulate: trace/config level mismatch");
+  MLCR_EXPECT(options.weibull_shape > 0.0,
+              "simulate: weibull shape must be positive");
+
+  const double n = schedule.scale;
+  const double work_target = cfg.productive_time(n);
+
+  RunResult result;
+  result.failures_per_level.assign(levels, 0);
+  result.checkpoints_per_level.assign(levels, 0);
+
+  State st;
+  st.next_arrival.assign(levels, kInfinity);
+  // Renewal-process inter-arrival sampler: exponential (paper default) or
+  // mean-preserving Weibull.
+  std::vector<double> rate(levels, 0.0);
+  std::vector<double> weibull_scale(levels, 0.0);
+  const bool weibull = options.weibull_shape != 1.0;
+  auto draw_gap = [&](std::size_t level) {
+    if (!weibull) return rng.exponential(rate[level]);
+    const double u = rng.uniform();
+    return weibull_scale[level] *
+           std::pow(-std::log(1.0 - u), 1.0 / options.weibull_shape);
+  };
+
+  std::vector<std::size_t> trace_index(levels, 0);
+  for (std::size_t i = 0; i < levels; ++i) {
+    if (trace != nullptr) {
+      const auto& arrivals = trace->arrivals_per_level[i];
+      if (!arrivals.empty()) st.next_arrival[i] = arrivals.front();
+      continue;
+    }
+    rate[i] = cfg.rates().rate_per_second(i, n);
+    if (rate[i] > 0.0) {
+      if (weibull) {
+        // mean = scale * Gamma(1 + 1/shape) = 1/rate.
+        weibull_scale[i] =
+            1.0 / (rate[i] * std::tgamma(1.0 + 1.0 / options.weibull_shape));
+      }
+      st.next_arrival[i] = draw_gap(i);
+    }
+  }
+  // Most recent surviving checkpoint position per level; the initial state
+  // (position 0) is always recoverable from every level.
+  std::vector<double> cp_position(levels, 0.0);
+
+  auto jitter = [&]() {
+    return options.jitter_ratio > 0.0
+               ? 1.0 + rng.uniform(-options.jitter_ratio, options.jitter_ratio)
+               : 1.0;
+  };
+
+  // Advances a level's arrival clock past its current arrival.
+  auto consume_arrival = [&](std::size_t level) {
+    if (trace != nullptr) {
+      const auto& arrivals = trace->arrivals_per_level[level];
+      const std::size_t next = ++trace_index[level];
+      st.next_arrival[level] =
+          next < arrivals.size() ? arrivals[next] : kInfinity;
+      return;
+    }
+    st.next_arrival[level] += draw_gap(level);
+  };
+
+  auto account = [&](Portion kind, double spent, bool advance_work) {
+    switch (kind) {
+      case Portion::kExecution: {
+        if (advance_work) {
+          const double new_position = st.position + spent;
+          const double productive_part =
+              std::max(0.0, std::min(new_position, work_target) -
+                                std::max(st.position, st.high_water));
+          st.portions.productive += productive_part;
+          st.portions.rollback += spent - productive_part;
+          st.position = new_position;
+          st.high_water = std::max(st.high_water, st.position);
+        } else {
+          st.portions.rollback += spent;
+        }
+        break;
+      }
+      case Portion::kCheckpoint: {
+        // Checkpoint writes below the high-water mark are re-taken ones and
+        // count as rollback loss (paper Formula (18)).
+        if (st.position < st.high_water - 1e-9) {
+          st.portions.rollback += spent;
+        } else {
+          st.portions.checkpoint += spent;
+        }
+        break;
+      }
+      case Portion::kRestart: {
+        st.portions.restart += spent;
+        break;
+      }
+    }
+  };
+
+  // Elapses `duration` of the given activity, stopping at the first failure
+  // arrival inside the window.  Returns true if the activity completed,
+  // false if it was interrupted (the arrival is queued in st.pending).
+  auto elapse_interruptible = [&](double duration, Portion kind,
+                                  bool advance_work) -> bool {
+    const double end = st.now + duration;
+    std::size_t level = levels;
+    double earliest = end;
+    for (std::size_t i = 0; i < levels; ++i) {
+      if (st.next_arrival[i] < earliest) {
+        earliest = st.next_arrival[i];
+        level = i;
+      }
+    }
+    const double stop = level < levels ? std::max(earliest, st.now) : end;
+    account(kind, stop - st.now, advance_work);
+    st.now = stop;
+    if (level < levels) {
+      st.pending.push_back({earliest, level});
+      consume_arrival(level);
+      return false;
+    }
+    return true;
+  };
+
+  // Elapses `duration` without interruption (durable checkpoint writes and
+  // serial recoveries); arrivals inside the window are queued afterwards in
+  // arrival order, preserving the Poisson process.
+  auto elapse_uninterruptible = [&](double duration, Portion kind) {
+    account(kind, duration, false);
+    st.now += duration;
+    for (;;) {
+      std::size_t level = levels;
+      double earliest = st.now;
+      for (std::size_t i = 0; i < levels; ++i) {
+        if (st.next_arrival[i] <= earliest) {
+          earliest = st.next_arrival[i];
+          level = i;
+        }
+      }
+      if (level >= levels) break;
+      st.pending.push_back({earliest, level});
+      consume_arrival(level);
+    }
+    std::sort(st.pending.begin(), st.pending.end(),
+              [](const PendingFailure& a, const PendingFailure& b) {
+                return a.arrived_at < b.arrived_at;
+              });
+  };
+
+  // Next checkpoint trigger strictly beyond the current position; ties go
+  // to the highest level (one combined checkpoint).
+  auto next_trigger = [&](std::size_t* out_level) -> double {
+    double best = kInfinity;
+    std::size_t best_level = levels;
+    for (std::size_t i = 0; i < levels; ++i) {
+      const double period = schedule.period_seconds[i];
+      if (period <= 0.0) continue;
+      const double k = std::floor(st.position / period + 1e-9) + 1.0;
+      const double at = k * period;
+      if (at >= work_target - 1e-9) continue;  // no checkpoint at the very end
+      if (at < best - 1e-9) {
+        best = at;
+        best_level = i;
+      } else if (std::fabs(at - best) <= 1e-9 && i > best_level) {
+        best_level = i;
+      }
+    }
+    *out_level = best_level;
+    return best;
+  };
+
+  long events = 0;
+  while (st.position < work_target - 1e-9) {
+    if (++events > options.max_events) return result;  // completed = false
+
+    if (!st.pending.empty()) {
+      const PendingFailure failure = st.pending.front();
+      st.pending.pop_front();
+      const std::size_t j = failure.level;
+      ++result.failures_per_level[j];
+      // Roll back to the best surviving checkpoint of level >= j.
+      double restore = 0.0;
+      for (std::size_t k = j; k < levels; ++k) {
+        restore = std::max(restore, cp_position[k]);
+      }
+      // Checkpoints of levels below j are lost by this failure.
+      for (std::size_t k = 0; k < j; ++k) {
+        cp_position[k] = std::min(cp_position[k], restore);
+      }
+      st.position = restore;
+      const double cost =
+          cfg.allocation() + cfg.recovery_cost(j, n) * jitter();
+      if (options.serial_recovery) {
+        // Paper Formula (1): every failure pays its own A + R_i; failures
+        // arriving during a recovery queue up behind it.
+        elapse_uninterruptible(cost, Portion::kRestart);
+      } else {
+        // Collapse mode: a failure arriving during the recovery aborts it
+        // (the new failure's own recovery subsumes the remainder).
+        (void)elapse_interruptible(cost, Portion::kRestart, false);
+      }
+      continue;
+    }
+
+    std::size_t trigger_level = levels;
+    const double trigger_at = next_trigger(&trigger_level);
+    const double segment_end = std::min(trigger_at, work_target);
+
+    // Execute up to the next checkpoint (or completion).
+    if (!elapse_interruptible(segment_end - st.position, Portion::kExecution,
+                              true)) {
+      continue;
+    }
+    if (trigger_level >= levels || st.position >= work_target - 1e-9) break;
+
+    // Take the checkpoint at `trigger_level`.
+    ++result.checkpoints_per_level[trigger_level];
+    if (st.position < st.high_water - 1e-9) ++result.rolled_back_checkpoints;
+    const double cost = cfg.ckpt_cost(trigger_level, n) * jitter();
+    if (options.atomic_checkpoints) {
+      // Paper-faithful: the write runs to completion at full cost; failures
+      // that arrived meanwhile are handled right after (and recover from
+      // this very checkpoint when its level covers them).
+      elapse_uninterruptible(cost, Portion::kCheckpoint);
+      cp_position[trigger_level] = st.position;
+    } else {
+      // Strict mode: a failure interrupts and discards the in-flight write.
+      if (elapse_interruptible(cost, Portion::kCheckpoint, false)) {
+        cp_position[trigger_level] = st.position;
+      }
+    }
+  }
+
+  result.completed = st.position >= work_target - 1e-9;
+  result.wallclock = st.now;
+  result.portions = st.portions;
+  return result;
+}
+
+}  // namespace
+
+RunResult simulate(const model::SystemConfig& cfg, const Schedule& schedule,
+                   common::Rng& rng, const SimOptions& options) {
+  return simulate_impl(cfg, schedule, rng, options, nullptr);
+}
+
+RunResult simulate_trace(const model::SystemConfig& cfg,
+                         const Schedule& schedule, const FailureTrace& trace,
+                         common::Rng& rng, const SimOptions& options) {
+  return simulate_impl(cfg, schedule, rng, options, &trace);
+}
+
+}  // namespace mlcr::sim

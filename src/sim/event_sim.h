@@ -1,0 +1,107 @@
+// Event-driven simulator of a checkpointed parallel execution
+// (paper Section IV-A: "exascale simulation ... driven by ticks").
+//
+// We simulate in continuous time (equivalent to a 1-second tick driver but
+// O(#events) instead of O(#seconds)):
+//   * the application must complete W = Te/g(N) seconds of parallel work;
+//   * each enabled level i takes a checkpoint every tau_i seconds of
+//     productive progress; when several levels trigger together the highest
+//     level wins;
+//   * per-level failures arrive as Poisson processes in *wall-clock* time
+//     (rates lambda_i(N)); failures can strike during checkpoints and
+//     recoveries, exactly as the paper's simulator allows;
+//   * a level-j failure rolls execution back to the most recent checkpoint
+//     of level >= j (position 0 — the initial state — always survives), and
+//     charges the allocation period A plus the recovery overhead R_j;
+//   * checkpoint/recovery overheads are jittered by a uniform error ratio
+//     (paper: "random error ratio up to 30%").
+//
+// Time accounting matches the paper's four portions: first-pass execution is
+// `productive`; re-executed work and re-taken checkpoints below the
+// high-water mark are `rollback`; first-pass checkpoint writes are
+// `checkpoint`; A + R per failure is `restart`.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "model/system.h"
+#include "model/wallclock.h"
+
+namespace mlcr::sim {
+
+/// An executable checkpoint schedule derived from a planner's output.
+struct Schedule {
+  double scale = 0.0;  ///< N: number of processes/cores
+  /// Checkpoint period per level in productive seconds; <= 0 disables the
+  /// level (no checkpoints taken there).
+  std::vector<double> period_seconds;
+
+  /// Builds the schedule implied by a plan: tau_i = (Te/g(N)) / x_i for
+  /// enabled levels (x_i > 1 after rounding; x_i == 1 means "no intermediate
+  /// checkpoints" and disables the level).
+  [[nodiscard]] static Schedule from_plan(const model::SystemConfig& cfg,
+                                          const model::Plan& plan,
+                                          const std::vector<bool>& enabled);
+};
+
+struct SimOptions {
+  double jitter_ratio = 0.3;  ///< +-30% uniform jitter on C and R
+  long max_events = 500'000'000;  ///< runaway guard
+  /// Paper-faithful semantics (default): checkpoint writes always complete
+  /// at full cost, and failures that arrive during the write are processed
+  /// at write completion (they then recover from the just-written
+  /// checkpoint).  The paper's analytic model never loses checkpoints to
+  /// in-flight failures, and its finite SL(ori-scale) results at 1e6 cores
+  /// — where the PFS write takes ~21,000 s against a ~2,000 s MTBF — are
+  /// only reachable this way.  Set false for the realistic strict mode
+  /// where a failure interrupts and discards the in-flight write; see the
+  /// checkpoint-atomicity ablation bench for the consequences (livelock
+  /// when C exceeds the MTBF).
+  bool atomic_checkpoints = true;
+  /// Paper-faithful semantics (default): every failure pays its own
+  /// allocation + recovery serially (Formula (1) sums A + R_i over all
+  /// failures), so failures arriving during a recovery queue behind it —
+  /// this is what makes the paper's Table IV SL(ori-scale) rows explode to
+  /// ~890 days when lambda (A + R) approaches 1.  Set false for the
+  /// realistic collapse mode where a failure arriving mid-recovery aborts
+  /// and subsumes it (correlated failures share one recovery).
+  bool serial_recovery = true;
+  /// Shape of the Weibull inter-arrival distribution; 1.0 (default) is the
+  /// paper's exponential assumption.  < 1 models infant mortality, > 1
+  /// wear-out.  The scale is set per level so the mean inter-arrival time
+  /// stays 1/lambda_i(N) — a like-for-like sensitivity knob.
+  double weibull_shape = 1.0;
+};
+
+/// Pre-drawn failure arrivals (absolute wall-clock seconds, per level).
+/// Lets tests inject deterministic failures and benches replay recorded
+/// system traces instead of sampling a renewal process.
+struct FailureTrace {
+  std::vector<std::vector<double>> arrivals_per_level;  ///< each ascending
+};
+
+struct RunResult {
+  bool completed = false;
+  double wallclock = 0.0;
+  model::TimePortions portions;
+  std::vector<long> failures_per_level;
+  std::vector<long> checkpoints_per_level;  ///< includes re-taken ones
+  long rolled_back_checkpoints = 0;         ///< re-taken during rollback
+};
+
+/// Simulates one execution of `cfg` under `schedule`, drawing failures and
+/// jitter from `rng`.
+[[nodiscard]] RunResult simulate(const model::SystemConfig& cfg,
+                                 const Schedule& schedule, common::Rng& rng,
+                                 const SimOptions& options = {});
+
+/// Same execution but with failures replayed from `trace` instead of being
+/// sampled (rng is still used for checkpoint/recovery jitter).
+[[nodiscard]] RunResult simulate_trace(const model::SystemConfig& cfg,
+                                       const Schedule& schedule,
+                                       const FailureTrace& trace,
+                                       common::Rng& rng,
+                                       const SimOptions& options = {});
+
+}  // namespace mlcr::sim

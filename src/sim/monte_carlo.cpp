@@ -1,0 +1,42 @@
+#include "sim/monte_carlo.h"
+
+#include "common/error.h"
+
+namespace mlcr::sim {
+
+model::TimePortions MonteCarloResult::mean_portions() const {
+  model::TimePortions portions;
+  portions.productive = productive.mean();
+  portions.checkpoint = checkpoint.mean();
+  portions.restart = restart.mean();
+  portions.rollback = rollback.mean();
+  return portions;
+}
+
+MonteCarloResult monte_carlo(const model::SystemConfig& cfg,
+                             const Schedule& schedule,
+                             const MonteCarloOptions& options) {
+  MLCR_EXPECT(options.runs > 0, "monte_carlo: runs must be positive");
+  MonteCarloResult result;
+  for (int run = 0; run < options.runs; ++run) {
+    common::Rng rng(options.seed, static_cast<std::uint64_t>(run));
+    const RunResult r = simulate(cfg, schedule, rng, options.sim);
+    if (!r.completed) {
+      ++result.incomplete_runs;
+      continue;
+    }
+    result.wallclock.add(r.wallclock);
+    result.productive.add(r.portions.productive);
+    result.checkpoint.add(r.portions.checkpoint);
+    result.restart.add(r.portions.restart);
+    result.rollback.add(r.portions.rollback);
+    result.efficiency.add(
+        model::efficiency(cfg.te(), r.wallclock, schedule.scale));
+    long failures = 0;
+    for (long f : r.failures_per_level) failures += f;
+    result.failures.add(static_cast<double>(failures));
+  }
+  return result;
+}
+
+}  // namespace mlcr::sim

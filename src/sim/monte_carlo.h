@@ -1,0 +1,38 @@
+// Monte-Carlo driver: repeats the event simulation with independent random
+// streams and aggregates the paper's reported metrics (mean wall-clock, the
+// four time portions, efficiency).  The paper reports means of 100 runs.
+#pragma once
+
+#include <cstdint>
+
+#include "model/wallclock.h"
+#include "sim/event_sim.h"
+#include "stat/summary.h"
+
+namespace mlcr::sim {
+
+struct MonteCarloResult {
+  stat::Summary wallclock;
+  stat::Summary productive;
+  stat::Summary checkpoint;
+  stat::Summary restart;
+  stat::Summary rollback;
+  stat::Summary efficiency;
+  stat::Summary failures;  ///< total failures per run
+  long incomplete_runs = 0;
+
+  /// Mean portions, convenient for table printing.
+  [[nodiscard]] model::TimePortions mean_portions() const;
+};
+
+struct MonteCarloOptions {
+  int runs = 100;  ///< paper: "mean values based on 100 runs"
+  std::uint64_t seed = 0x5eed;
+  SimOptions sim;
+};
+
+[[nodiscard]] MonteCarloResult monte_carlo(
+    const model::SystemConfig& cfg, const Schedule& schedule,
+    const MonteCarloOptions& options = {});
+
+}  // namespace mlcr::sim

@@ -1,0 +1,107 @@
+#include "sim/trace_io.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mlcr::sim {
+
+namespace {
+constexpr const char* kHeader = "# mlcr failure trace v1";
+}
+
+FailureTrace draw_poisson_trace(const model::FailureRates& rates, double n,
+                                double horizon, common::Rng& rng) {
+  MLCR_EXPECT(horizon > 0.0, "draw_poisson_trace: horizon must be positive");
+  FailureTrace trace;
+  trace.arrivals_per_level.resize(rates.levels());
+  for (std::size_t level = 0; level < rates.levels(); ++level) {
+    const double rate = rates.rate_per_second(level, n);
+    if (rate <= 0.0) continue;
+    double t = rng.exponential(rate);
+    while (t < horizon) {
+      trace.arrivals_per_level[level].push_back(t);
+      t += rng.exponential(rate);
+    }
+  }
+  return trace;
+}
+
+void write_trace(std::ostream& out, const FailureTrace& trace) {
+  out << kHeader << '\n';
+  // Merge levels in time order for human-readable output.
+  std::vector<std::pair<double, std::size_t>> events;
+  for (std::size_t level = 0; level < trace.arrivals_per_level.size();
+       ++level) {
+    for (double t : trace.arrivals_per_level[level]) {
+      events.emplace_back(t, level + 1);
+    }
+  }
+  std::sort(events.begin(), events.end());
+  for (const auto& [t, level] : events) {
+    out << t << ' ' << level << '\n';
+  }
+}
+
+std::string trace_to_string(const FailureTrace& trace) {
+  std::ostringstream out;
+  out.precision(17);
+  write_trace(out, trace);
+  return out.str();
+}
+
+FailureTrace read_trace(std::istream& in, std::size_t levels) {
+  MLCR_EXPECT(levels >= 1, "read_trace: need at least one level");
+  FailureTrace trace;
+  trace.arrivals_per_level.resize(levels);
+  std::string line;
+  bool saw_header = false;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      saw_header = saw_header || line == kHeader;
+      continue;
+    }
+    std::istringstream fields(line);
+    double at = 0.0;
+    long level = 0;
+    if (!(fields >> at >> level)) {
+      common::fail("read_trace: malformed line " +
+                   std::to_string(line_number) + ": '" + line + "'");
+    }
+    if (level < 1 || static_cast<std::size_t>(level) > levels) {
+      common::fail("read_trace: level out of range on line " +
+                   std::to_string(line_number));
+    }
+    if (at < 0.0) {
+      common::fail("read_trace: negative time on line " +
+                   std::to_string(line_number));
+    }
+    auto& arrivals =
+        trace.arrivals_per_level[static_cast<std::size_t>(level - 1)];
+    if (!arrivals.empty() && at < arrivals.back()) {
+      common::fail("read_trace: times not ascending for level " +
+                   std::to_string(level));
+    }
+    arrivals.push_back(at);
+  }
+  return trace;
+}
+
+FailureTrace trace_from_string(const std::string& text, std::size_t levels) {
+  std::istringstream in(text);
+  return read_trace(in, levels);
+}
+
+std::size_t trace_event_count(const FailureTrace& trace) {
+  std::size_t count = 0;
+  for (const auto& arrivals : trace.arrivals_per_level) {
+    count += arrivals.size();
+  }
+  return count;
+}
+
+}  // namespace mlcr::sim

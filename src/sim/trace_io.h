@@ -1,0 +1,34 @@
+// Failure-trace utilities: generate synthetic Poisson traces, and persist
+// traces in a simple text format so recorded system logs (one event per
+// line: "<seconds> <level>") can drive the simulator deterministically.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/rng.h"
+#include "model/failure.h"
+#include "sim/event_sim.h"
+
+namespace mlcr::sim {
+
+/// Draws Poisson arrivals for every level over [0, horizon) at scale N.
+[[nodiscard]] FailureTrace draw_poisson_trace(const model::FailureRates& rates,
+                                              double n, double horizon,
+                                              common::Rng& rng);
+
+/// Serializes as text: header line, then "<seconds> <level>" per event in
+/// time order (level is 1-based in the file).
+void write_trace(std::ostream& out, const FailureTrace& trace);
+[[nodiscard]] std::string trace_to_string(const FailureTrace& trace);
+
+/// Parses the text format; throws common::Error on malformed input,
+/// non-ascending times within a level, or levels outside [1, levels].
+[[nodiscard]] FailureTrace read_trace(std::istream& in, std::size_t levels);
+[[nodiscard]] FailureTrace trace_from_string(const std::string& text,
+                                             std::size_t levels);
+
+/// Total number of events in the trace.
+[[nodiscard]] std::size_t trace_event_count(const FailureTrace& trace);
+
+}  // namespace mlcr::sim

@@ -1,0 +1,42 @@
+#include "stat/distributions.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlcr::stat {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  MLCR_EXPECT(rate > 0.0, "Exponential: rate must be positive");
+}
+
+double Exponential::sample(common::Rng& rng) const {
+  return rng.exponential(rate_);
+}
+
+double Exponential::mean() const { return 1.0 / rate_; }
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  MLCR_EXPECT(shape > 0.0, "Weibull: shape must be positive");
+  MLCR_EXPECT(scale > 0.0, "Weibull: scale must be positive");
+}
+
+double Weibull::sample(common::Rng& rng) const {
+  // Inverse transform: scale * (-ln(1-u))^(1/shape).
+  const double u = rng.uniform();
+  return scale_ * std::pow(-std::log(1.0 - u), 1.0 / shape_);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+std::unique_ptr<IntervalDistribution> make_exponential(double rate) {
+  return std::make_unique<Exponential>(rate);
+}
+
+std::unique_ptr<IntervalDistribution> make_weibull(double shape, double scale) {
+  return std::make_unique<Weibull>(shape, scale);
+}
+
+}  // namespace mlcr::stat

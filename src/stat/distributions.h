@@ -1,0 +1,55 @@
+// Failure-interval distributions.  The paper's evaluation draws failure
+// inter-arrival times from an exponential distribution ("the behavior of the
+// system for most of its lifetime" [Snyder & Miller]); Weibull is provided
+// for sensitivity studies (infant-mortality / wear-out phases).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+
+namespace mlcr::stat {
+
+/// Interface for sampling positive inter-arrival times.
+class IntervalDistribution {
+ public:
+  virtual ~IntervalDistribution() = default;
+
+  /// Draws the next inter-arrival time (seconds).
+  [[nodiscard]] virtual double sample(common::Rng& rng) const = 0;
+
+  /// Mean inter-arrival time (seconds).
+  [[nodiscard]] virtual double mean() const = 0;
+};
+
+/// Exponential(rate): memoryless, mean 1/rate.
+class Exponential final : public IntervalDistribution {
+ public:
+  explicit Exponential(double rate);
+  [[nodiscard]] double sample(common::Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Weibull(shape, scale).  shape < 1: infant mortality; shape > 1: wear-out.
+class Weibull final : public IntervalDistribution {
+ public:
+  Weibull(double shape, double scale);
+  [[nodiscard]] double sample(common::Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Factory helpers.
+[[nodiscard]] std::unique_ptr<IntervalDistribution> make_exponential(
+    double rate);
+[[nodiscard]] std::unique_ptr<IntervalDistribution> make_weibull(double shape,
+                                                                 double scale);
+
+}  // namespace mlcr::stat

@@ -1,0 +1,51 @@
+#include "stat/summary.h"
+
+#include <cmath>
+
+namespace mlcr::stat {
+
+void Summary::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void Summary::merge(const Summary& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double Summary::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Summary::standard_error() const noexcept {
+  return count_ > 0 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+}
+
+double Summary::ci95_half_width() const noexcept {
+  return 1.96 * standard_error();
+}
+
+}  // namespace mlcr::stat

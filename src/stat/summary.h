@@ -1,0 +1,35 @@
+// Running summary statistics (Welford) and normal-approximation confidence
+// intervals.  Used by the Monte-Carlo runner: the paper reports "mean values
+// based on 100 runs for each case".
+#pragma once
+
+#include <cstdint>
+
+namespace mlcr::stat {
+
+/// Numerically stable running mean/variance/min/max accumulator.
+class Summary {
+ public:
+  void add(double value) noexcept;
+  void merge(const Summary& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double standard_error() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_half_width() const noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mlcr::stat

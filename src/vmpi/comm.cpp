@@ -1,0 +1,217 @@
+#include "vmpi/comm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlcr::vmpi {
+
+double NetworkModel::collective_time(int n, std::size_t bytes) const {
+  if (n <= 1) return latency;
+  const double hops = std::ceil(std::log2(static_cast<double>(n)));
+  return hops * transfer_time(bytes);
+}
+
+Comm::Comm(Engine& engine, int size, NetworkModel network)
+    : engine_(engine), size_(size), network_(network) {
+  MLCR_EXPECT(size_ >= 1, "Comm: size must be >= 1");
+}
+
+Comm::Key Comm::key(int from, int to, int tag) noexcept {
+  return (static_cast<Key>(static_cast<std::uint32_t>(from)) << 40) ^
+         (static_cast<Key>(static_cast<std::uint32_t>(to)) << 16) ^
+         static_cast<Key>(static_cast<std::uint16_t>(tag));
+}
+
+void Comm::check_rank(int rank) const {
+  MLCR_EXPECT(rank >= 0 && rank < size_, "Comm: rank out of range");
+}
+
+void Comm::complete_transfer(PendingSend send, PendingRecv recv) {
+  const double wire = network_.transfer_time(send.data.size());
+  if (recv.slot != nullptr) {
+    *recv.slot = std::move(send.data);
+    engine_.schedule(wire, recv.handle);
+  } else {
+    // Nonblocking receiver: deliver into the request when the wire time
+    // has elapsed.
+    auto request = recv.request;
+    auto payload = std::make_shared<Bytes>(std::move(send.data));
+    engine_.call_later(wire, [request, payload]() {
+      request->data = std::move(*payload);
+      request->complete();
+    });
+  }
+  // Send side: blocking sender resumes, nonblocking sender completes its
+  // request; eager buffered sends (neither) already returned.
+  if (send.handle) {
+    engine_.schedule(wire, send.handle);
+  } else if (send.request) {
+    auto request = send.request;
+    engine_.call_later(wire, [request]() { request->complete(); });
+  }
+}
+
+void Comm::collective_arrive(Collective& c, std::coroutine_handle<> handle,
+                             std::size_t wire_bytes) {
+  c.waiters.push_back(handle);
+  ++c.arrived;
+  if (c.arrived < size_) return;
+  // Last arriver releases everyone after the tree traversal time.
+  const double cost = network_.collective_time(size_, wire_bytes);
+  for (std::size_t i = 0; i < c.waiters.size(); ++i) {
+    if (i < c.result_slots.size() && c.result_slots[i].second != nullptr) {
+      // Rooted reductions deliver the sum only to the root.
+      if (c.root < 0 || c.result_slots[i].first == c.root) {
+        *c.result_slots[i].second = c.sum;
+      }
+    }
+    if (i < c.payload_slots.size() && c.payload_slots[i] != nullptr) {
+      *c.payload_slots[i] = c.payload;
+    }
+    engine_.schedule(cost, c.waiters[i]);
+  }
+  c = Collective{};  // reset for the next generation
+}
+
+void SendAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  comm.check_rank(from);
+  comm.check_rank(to);
+  const auto k = Comm::key(from, to, tag);
+  auto& recv_queue = comm.recvs_[k];
+  if (!recv_queue.empty()) {
+    Comm::PendingRecv recv = std::move(recv_queue.front());
+    recv_queue.pop_front();
+    comm.complete_transfer(Comm::PendingSend{std::move(data), handle, {}},
+                           std::move(recv));
+    return;
+  }
+  if (data.size() <= comm.network_.eager_limit) {
+    // Eager path: buffer the payload and let the sender continue after the
+    // wire time; the matching recv completes whenever it is posted.
+    const double wire = comm.network_.transfer_time(data.size());
+    comm.sends_[k].push_back(Comm::PendingSend{std::move(data), nullptr, {}});
+    comm.engine_.schedule(wire, handle);
+    return;
+  }
+  comm.sends_[k].push_back(Comm::PendingSend{std::move(data), handle, {}});
+}
+
+void RecvAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  comm.check_rank(at);
+  comm.check_rank(from);
+  const auto k = Comm::key(from, at, tag);
+  auto& send_queue = comm.sends_[k];
+  if (!send_queue.empty()) {
+    Comm::PendingSend send = std::move(send_queue.front());
+    send_queue.pop_front();
+    comm.complete_transfer(std::move(send),
+                           Comm::PendingRecv{&received, handle, {}});
+    return;
+  }
+  comm.recvs_[k].push_back(Comm::PendingRecv{&received, handle, {}});
+}
+
+Request Comm::isend(int from, int to, int tag, Bytes data) {
+  check_rank(from);
+  check_rank(to);
+  auto state = std::make_shared<RequestState>();
+  state->engine = &engine_;
+  const auto k = key(from, to, tag);
+  auto& recv_queue = recvs_[k];
+  if (!recv_queue.empty()) {
+    PendingRecv recv = std::move(recv_queue.front());
+    recv_queue.pop_front();
+    complete_transfer(PendingSend{std::move(data), nullptr, state},
+                      std::move(recv));
+  } else {
+    // Buffered like an eager send regardless of size: the request is the
+    // completion signal, there is no coroutine to block.
+    const double wire = network_.transfer_time(data.size());
+    sends_[k].push_back(PendingSend{std::move(data), nullptr, {}});
+    engine_.call_later(wire, [state]() { state->complete(); });
+  }
+  return Request(state);
+}
+
+Request Comm::irecv(int at, int from, int tag) {
+  check_rank(at);
+  check_rank(from);
+  auto state = std::make_shared<RequestState>();
+  state->engine = &engine_;
+  const auto k = key(from, at, tag);
+  auto& send_queue = sends_[k];
+  if (!send_queue.empty()) {
+    PendingSend send = std::move(send_queue.front());
+    send_queue.pop_front();
+    complete_transfer(std::move(send), PendingRecv{nullptr, nullptr, state});
+  } else {
+    recvs_[k].push_back(PendingRecv{nullptr, nullptr, state});
+  }
+  return Request(state);
+}
+
+void BarrierAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  comm.check_rank(rank);
+  comm.collective_arrive(comm.barrier_state_, handle, /*wire_bytes=*/8);
+}
+
+void AllreduceAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  comm.check_rank(rank);
+  auto& c = comm.allreduce_state_;
+  c.sum += value;
+  c.result_slots.emplace_back(rank, &result);
+  comm.collective_arrive(c, handle, /*wire_bytes=*/8);
+}
+
+void ReduceAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  comm.check_rank(rank);
+  comm.check_rank(root);
+  auto& c = comm.reduce_state_;
+  c.sum += value;
+  c.root = root;
+  c.result_slots.emplace_back(rank, &result);
+  comm.collective_arrive(c, handle, /*wire_bytes=*/8);
+}
+
+void GatherAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  comm.check_rank(rank);
+  comm.check_rank(root);
+  auto& c = comm.gather_state_;
+  c.root = root;
+  c.contributions[rank] = std::move(data);
+  c.slots.emplace_back(rank, &received);
+  c.waiters.push_back(handle);
+  if (++c.arrived < comm.size_) return;
+
+  // Release: the root pays for receiving all contributions.
+  std::size_t total_bytes = 0;
+  for (const auto& [r, payload] : c.contributions) {
+    total_bytes += payload.size();
+  }
+  const double cost =
+      comm.network_.collective_time(comm.size_, 8) +
+      static_cast<double>(total_bytes) / comm.network_.bandwidth;
+  std::vector<Bytes> ordered;
+  ordered.reserve(c.contributions.size());
+  for (auto& [r, payload] : c.contributions) {
+    ordered.push_back(std::move(payload));  // std::map: ascending rank order
+  }
+  for (auto& [r, slot] : c.slots) {
+    if (r == c.root) *slot = ordered;
+  }
+  for (auto waiter : c.waiters) comm.engine_.schedule(cost, waiter);
+  c = Comm::GatherCollective{};
+}
+
+void BcastAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  comm.check_rank(rank);
+  comm.check_rank(root);
+  auto& c = comm.bcast_state_;
+  if (rank == root) c.payload = std::move(data);
+  c.payload_slots.push_back(&received);
+  const std::size_t bytes = c.payload.empty() ? 64 : c.payload.size();
+  comm.collective_arrive(c, handle, bytes);
+}
+
+}  // namespace mlcr::vmpi

@@ -1,0 +1,273 @@
+// Virtual-MPI communicator: point-to-point rendezvous messaging and the
+// collectives the paper's Heat Distribution program uses (Bcast, Barrier,
+// Allreduce), all with a latency/bandwidth cost model.
+//
+// Every operation is an awaitable used from rank coroutines:
+//   co_await comm.send(me, dst, tag, bytes);
+//   auto data = co_await comm.recv(me, src, tag);
+//   double sum = co_await comm.allreduce_sum(me, local);
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "vmpi/engine.h"
+
+namespace mlcr::vmpi {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Shared completion state of a nonblocking operation.
+struct RequestState {
+  Engine* engine = nullptr;
+  bool done = false;
+  Bytes data;  ///< irecv payload once completed
+  std::coroutine_handle<> waiter;
+
+  void complete() {
+    done = true;
+    if (waiter) {
+      engine->schedule(0.0, waiter);
+      waiter = nullptr;
+    }
+  }
+};
+
+/// Handle of a nonblocking operation (MPI_Request analogue).  Await its
+/// completion with Comm::wait; for irecv, take() moves the payload out.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<RequestState> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] bool done() const noexcept { return state_ && state_->done; }
+  [[nodiscard]] Bytes take() { return std::move(state_->data); }
+  [[nodiscard]] const std::shared_ptr<RequestState>& state() const noexcept {
+    return state_;
+  }
+
+ private:
+  std::shared_ptr<RequestState> state_;
+};
+
+/// Link cost model: transfer(bytes) = latency + bytes / bandwidth.
+struct NetworkModel {
+  double latency = 2e-6;     ///< seconds per message
+  double bandwidth = 5e9;    ///< bytes per second per link
+  /// Messages up to this size are sent eagerly (buffered): the sender
+  /// completes after the wire time without waiting for the receiver, like
+  /// small-message MPI_Send.  Larger messages use rendezvous.
+  std::size_t eager_limit = 64 * 1024;
+
+  [[nodiscard]] double transfer_time(std::size_t bytes) const noexcept {
+    return latency + static_cast<double>(bytes) / bandwidth;
+  }
+  /// Tree-based collective over n ranks moving `bytes` per hop.
+  [[nodiscard]] double collective_time(int n, std::size_t bytes) const;
+};
+
+class Comm {
+ public:
+  Comm(Engine& engine, int size, NetworkModel network = {});
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const NetworkModel& network() const noexcept {
+    return network_;
+  }
+
+  /// Point-to-point: rendezvous semantics — both sides complete one
+  /// transfer-time after the match.
+  [[nodiscard]] auto send(int from, int to, int tag, Bytes data);
+  [[nodiscard]] auto recv(int at, int from, int tag);
+
+  /// Nonblocking variants (MPI_Isend/Irecv): return immediately; await the
+  /// Request with wait().  waitall == sequential waits (identical virtual
+  /// completion time, since waits don't consume time themselves).
+  [[nodiscard]] Request isend(int from, int to, int tag, Bytes data);
+  [[nodiscard]] Request irecv(int at, int from, int tag);
+  [[nodiscard]] auto wait(Request& request);
+
+  /// Barrier over all ranks.
+  [[nodiscard]] auto barrier(int rank);
+
+  /// Allreduce (sum) of one double over all ranks.
+  [[nodiscard]] auto allreduce_sum(int rank, double value);
+
+  /// Broadcast from `root`; the root passes the payload, everyone receives
+  /// a copy after the collective completes.
+  [[nodiscard]] auto bcast(int rank, int root, Bytes data);
+
+  /// Reduce (sum) toward `root`: only the root's awaited value carries the
+  /// global sum; other ranks receive 0.
+  [[nodiscard]] auto reduce_sum(int rank, int root, double value);
+
+  /// Gather: every rank contributes a payload; the root receives them
+  /// ordered by rank, the others receive an empty vector.
+  [[nodiscard]] auto gather(int rank, int root, Bytes data);
+
+ private:
+  friend struct SendAwaiter;
+  friend struct RecvAwaiter;
+  friend struct BarrierAwaiter;
+  friend struct AllreduceAwaiter;
+  friend struct BcastAwaiter;
+  friend struct ReduceAwaiter;
+  friend struct GatherAwaiter;
+
+  struct PendingSend {
+    Bytes data;
+    std::coroutine_handle<> handle;          // blocking sender, or
+    std::shared_ptr<RequestState> request;   // nonblocking sender (or null)
+  };
+  struct PendingRecv {
+    Bytes* slot;                             // blocking receiver target
+    std::coroutine_handle<> handle;
+    std::shared_ptr<RequestState> request;   // nonblocking receiver
+  };
+  struct Collective {
+    int arrived = 0;
+    double sum = 0.0;
+    int root = -1;  ///< -1: deliver the sum to everyone (allreduce)
+    Bytes payload;
+    std::vector<std::coroutine_handle<>> waiters;
+    std::vector<std::pair<int, double*>> result_slots;  // (rank, out)
+    std::vector<Bytes*> payload_slots;
+  };
+  struct GatherCollective {
+    int arrived = 0;
+    int root = 0;
+    std::map<int, Bytes> contributions;
+    std::vector<std::coroutine_handle<>> waiters;
+    std::vector<std::pair<int, std::vector<Bytes>*>> slots;  // (rank, out)
+  };
+
+  using Key = std::uint64_t;  // (from, to, tag) packed
+  [[nodiscard]] static Key key(int from, int to, int tag) noexcept;
+  void check_rank(int rank) const;
+
+  /// Completes a matched transfer: resumes both ends after the wire time.
+  void complete_transfer(PendingSend send, PendingRecv recv);
+
+  /// Collective arrival; releases everyone when the last rank arrives.
+  void collective_arrive(Collective& c, std::coroutine_handle<> handle,
+                         std::size_t wire_bytes);
+
+  Engine& engine_;
+  int size_;
+  NetworkModel network_;
+  std::map<Key, std::deque<PendingSend>> sends_;
+  std::map<Key, std::deque<PendingRecv>> recvs_;
+  Collective barrier_state_;
+  Collective allreduce_state_;
+  Collective bcast_state_;
+  Collective reduce_state_;
+  GatherCollective gather_state_;
+};
+
+// ---- awaitable definitions (header-only: they capture Comm&) ----
+
+struct SendAwaiter {
+  Comm& comm;
+  int from, to, tag;
+  Bytes data;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  void await_resume() const noexcept {}
+};
+
+struct RecvAwaiter {
+  Comm& comm;
+  int at, from, tag;
+  Bytes received;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  Bytes await_resume() noexcept { return std::move(received); }
+};
+
+struct BarrierAwaiter {
+  Comm& comm;
+  int rank;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  void await_resume() const noexcept {}
+};
+
+struct AllreduceAwaiter {
+  Comm& comm;
+  int rank;
+  double value;
+  double result = 0.0;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  double await_resume() const noexcept { return result; }
+};
+
+struct BcastAwaiter {
+  Comm& comm;
+  int rank, root;
+  Bytes data;
+  Bytes received;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  Bytes await_resume() noexcept { return std::move(received); }
+};
+
+struct ReduceAwaiter {
+  Comm& comm;
+  int rank, root;
+  double value;
+  double result = 0.0;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  double await_resume() const noexcept { return result; }
+};
+
+struct GatherAwaiter {
+  Comm& comm;
+  int rank, root;
+  Bytes data;
+  std::vector<Bytes> received;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  std::vector<Bytes> await_resume() noexcept { return std::move(received); }
+};
+
+struct RequestWaitAwaiter {
+  std::shared_ptr<RequestState> state;
+  bool await_ready() const noexcept { return state->done; }
+  void await_suspend(std::coroutine_handle<> handle) {
+    state->waiter = handle;
+  }
+  void await_resume() const noexcept {}
+};
+
+inline auto Comm::send(int from, int to, int tag, Bytes data) {
+  return SendAwaiter{*this, from, to, tag, std::move(data)};
+}
+inline auto Comm::recv(int at, int from, int tag) {
+  return RecvAwaiter{*this, at, from, tag, {}};
+}
+inline auto Comm::barrier(int rank) { return BarrierAwaiter{*this, rank}; }
+inline auto Comm::allreduce_sum(int rank, double value) {
+  return AllreduceAwaiter{*this, rank, value};
+}
+inline auto Comm::bcast(int rank, int root, Bytes data) {
+  return BcastAwaiter{*this, rank, root, std::move(data), {}};
+}
+inline auto Comm::reduce_sum(int rank, int root, double value) {
+  return ReduceAwaiter{*this, rank, root, value};
+}
+inline auto Comm::gather(int rank, int root, Bytes data) {
+  return GatherAwaiter{*this, rank, root, std::move(data), {}};
+}
+inline auto Comm::wait(Request& request) {
+  return RequestWaitAwaiter{request.state()};
+}
+
+}  // namespace mlcr::vmpi

@@ -1,0 +1,64 @@
+#include "vmpi/engine.h"
+
+#include "common/error.h"
+
+namespace mlcr::vmpi {
+
+Engine::~Engine() {
+  for (auto handle : tasks_) {
+    if (handle) handle.destroy();
+  }
+}
+
+void Engine::schedule(double delay, std::coroutine_handle<> handle) {
+  MLCR_EXPECT(delay >= 0.0, "Engine: cannot schedule into the past");
+  queue_.push(Event{now_ + delay, next_seq_++, handle, {}});
+}
+
+void Engine::call_later(double delay, std::function<void()> callback) {
+  MLCR_EXPECT(delay >= 0.0, "Engine: cannot schedule into the past");
+  queue_.push(Event{now_ + delay, next_seq_++, {}, std::move(callback)});
+}
+
+void Engine::spawn(RankTask task) {
+  auto handle = task.release();
+  MLCR_EXPECT(handle, "Engine: spawn of empty task");
+  tasks_.push_back(handle);
+  schedule(0.0, handle);  // initial_suspend is suspend_always
+}
+
+std::size_t Engine::unfinished_tasks() const {
+  std::size_t unfinished = 0;
+  for (auto handle : tasks_) {
+    if (handle && !handle.done()) ++unfinished;
+  }
+  return unfinished;
+}
+
+void Engine::run() {
+  started_ = true;
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    MLCR_EXPECT(event.at >= now_ - 1e-9, "Engine: time went backwards");
+    now_ = std::max(now_, event.at);
+    if (event.handle) {
+      event.handle.resume();
+    } else if (event.callback) {
+      event.callback();
+    }
+  }
+  // Surface rank failures (checked once at quiescence: an exception kills
+  // its rank, which either ends the run or deadlocks its communicator).
+  for (auto handle : tasks_) {
+    if (handle && handle.done() && handle.promise().exception) {
+      std::rethrow_exception(handle.promise().exception);
+    }
+  }
+  if (unfinished_tasks() > 0) {
+    common::fail("Engine: deadlock — " + std::to_string(unfinished_tasks()) +
+                 " task(s) blocked with no pending events");
+  }
+}
+
+}  // namespace mlcr::vmpi

@@ -1,0 +1,77 @@
+// Discrete-event engine: a virtual clock plus a queue of scheduled
+// coroutine resumptions.  Rank coroutines never block the host thread; they
+// suspend on awaitables that re-schedule them at a later virtual time (or
+// when a communication partner arrives).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "vmpi/task.h"
+
+namespace mlcr::vmpi {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current virtual time (seconds).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Schedules `handle` to resume `delay` seconds from now.  delay >= 0.
+  void schedule(double delay, std::coroutine_handle<> handle);
+
+  /// Schedules a plain callback (used by nonblocking-operation completions
+  /// that have no coroutine to resume).
+  void call_later(double delay, std::function<void()> callback);
+
+  /// Registers a top-level rank coroutine; it starts when run() begins.
+  void spawn(RankTask task);
+
+  /// Awaitable: suspends the caller for `seconds` of virtual time.
+  [[nodiscard]] auto sleep(double seconds) {
+    struct Awaiter {
+      Engine& engine;
+      double seconds;
+      bool await_ready() const noexcept { return seconds <= 0.0; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        engine.schedule(seconds, handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, seconds};
+  }
+
+  /// Runs until every spawned task completes.  Throws common::Error on
+  /// deadlock (no runnable event but unfinished tasks) and rethrows the
+  /// first exception escaping a rank coroutine.
+  void run();
+
+  /// Number of spawned tasks that have not finished yet.
+  [[nodiscard]] std::size_t unfinished_tasks() const;
+
+ private:
+  struct Event {
+    double at;
+    std::uint64_t seq;  // FIFO among simultaneous events
+    std::coroutine_handle<> handle;
+    std::function<void()> callback;  // used when handle is null
+    bool operator>(const Event& other) const noexcept {
+      return at != other.at ? at > other.at : seq > other.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::coroutine_handle<RankTask::promise_type>> tasks_;
+  bool started_ = false;
+};
+
+}  // namespace mlcr::vmpi

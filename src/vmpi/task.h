@@ -1,0 +1,160 @@
+// Coroutine task types for the virtual-MPI runtime.
+//
+// Rank programs are written as ordinary sequential coroutines that co_await
+// communication and time; the discrete-event engine advances virtual time
+// between resumptions.  Two task kinds:
+//   * Task<T>  — a lazy async function with a typed result, awaited by
+//     another coroutine (continuation via symmetric transfer);
+//   * RankTask — a top-level coroutine owned by the Engine (a rank's main).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace mlcr::vmpi {
+
+namespace detail {
+
+/// Final awaitable that resumes the awaiting coroutine (if any).
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> handle) noexcept {
+    auto continuation = handle.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+  void await_resume() noexcept {}
+};
+
+}  // namespace detail
+
+/// Lazy, single-awaiter async task with a typed result.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::optional<T> value;
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    detail::FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;  // start the task (symmetric transfer)
+  }
+  T await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+    return std::move(*handle_.promise().value);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// void specialization.
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    detail::FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Top-level coroutine for a rank's main program.  Owned by the Engine;
+/// suspends at the final point so the engine can observe done() and destroy
+/// the frame.
+class RankTask {
+ public:
+  struct promise_type {
+    std::exception_ptr exception;
+
+    RankTask get_return_object() {
+      return RankTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  RankTask(RankTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  RankTask(const RankTask&) = delete;
+  RankTask& operator=(const RankTask&) = delete;
+  RankTask& operator=(RankTask&&) = delete;
+  ~RankTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  [[nodiscard]] std::coroutine_handle<promise_type> handle() const noexcept {
+    return handle_;
+  }
+  /// Transfers frame ownership to the caller (used by Engine::spawn).
+  [[nodiscard]] std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  explicit RankTask(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace mlcr::vmpi

@@ -1,0 +1,167 @@
+#include "opt/algorithm1.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "exp/cases.h"
+#include "opt/planner.h"
+
+namespace {
+
+using namespace mlcr;
+using namespace mlcr::opt;
+
+model::SystemConfig fti_config(std::vector<double> rates_per_day,
+                               double te_core_days = 3e6) {
+  return exp::make_fti_system(te_core_days,
+                              exp::FailureCase{"case", std::move(rates_per_day)});
+}
+
+TEST(Algorithm1, ConvergesAtPaperDelta) {
+  const auto cfg = fti_config({16, 12, 8, 4});
+  Algorithm1Options options;
+  options.delta = 1e-12;
+  const auto r = optimize_multilevel(cfg, options);
+  ASSERT_TRUE(r.converged);
+  // Paper: 7-15 outer iterations; allow headroom for our exact variant.
+  EXPECT_LE(r.outer_iterations, 60);
+  EXPECT_GT(r.wallclock, 0.0);
+}
+
+TEST(Algorithm1, SelfConsistentFailureCounts) {
+  // At convergence, mu_i == lambda_i(N*) * E(Tw) and the wall-clock equals
+  // the Formula (21) evaluation under exactly those counts.
+  const auto cfg = fti_config({16, 12, 8, 4});
+  const auto r = optimize_multilevel(cfg);
+  ASSERT_TRUE(r.converged);
+  const auto mu = model::MuModel::from_rates(cfg.rates(), r.wallclock);
+  EXPECT_NEAR(model::expected_wallclock(cfg, mu, r.plan), r.wallclock,
+              r.wallclock * 1e-6);
+}
+
+TEST(Algorithm1, PortionsSumToWallclock) {
+  const auto cfg = fti_config({8, 6, 4, 2});
+  const auto r = optimize_multilevel(cfg);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.portions.total(), r.wallclock, r.wallclock * 1e-6);
+}
+
+TEST(Algorithm1, HighestPaperRateStillConverges) {
+  // Paper: "the failure rate is set up to 16+12+8+4 = 40 failures per day,
+  // which is already very high.  Algorithm 1 can still converge quickly."
+  const auto cfg = fti_config({16, 12, 8, 4});
+  const auto r = optimize_multilevel(cfg);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Algorithm1, FixedScaleVariant) {
+  const auto cfg = fti_config({16, 12, 8, 4});
+  Algorithm1Options options;
+  options.optimize_scale = false;
+  options.fixed_scale = 1e6;
+  const auto r = optimize_multilevel(cfg, options);
+  ASSERT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.plan.scale, 1e6);
+}
+
+TEST(Algorithm1, OptimizedScaleInPaperBand) {
+  // Paper Table III: ML(opt-scale) uses 472k-734k cores (40-79% of 1m)
+  // across the six failure cases.  Check the extreme cases land in a
+  // compatible band.
+  const auto high = optimize_multilevel(fti_config({16, 12, 8, 4}));
+  const auto low = optimize_multilevel(fti_config({4, 2, 1, 0.5}));
+  ASSERT_TRUE(high.converged);
+  ASSERT_TRUE(low.converged);
+  EXPECT_GT(high.plan.scale, 2e5);
+  EXPECT_LT(high.plan.scale, 7e5);
+  EXPECT_GT(low.plan.scale, high.plan.scale);
+  EXPECT_LT(low.plan.scale, 9.5e5);
+}
+
+TEST(Algorithm1, SingleLevelVariantConverges) {
+  const auto cfg = fti_config({16, 12, 8, 4}).single_level_view();
+  const auto r = optimize_single_level(cfg);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.plan.intervals.size(), 1u);
+  // SL(opt-scale) shrinks the scale drastically (paper Table III: 41k).
+  EXPECT_LT(r.plan.scale, 3e5);
+}
+
+TEST(Algorithm1, SingleLevelRejectsMultilevelConfig) {
+  const auto cfg = fti_config({16, 12, 8, 4});
+  EXPECT_THROW((void)optimize_single_level(cfg), common::Error);
+}
+
+TEST(Planner, FourSolutionsHaveExpectedShapes) {
+  const auto cfg = fti_config({16, 12, 8, 4});
+  for (const auto solution : all_solutions()) {
+    const auto r = plan(solution, cfg);
+    ASSERT_TRUE(r.optimization.converged) << to_string(solution);
+    EXPECT_EQ(r.full_plan.intervals.size(), 4u) << to_string(solution);
+    EXPECT_EQ(r.level_enabled.size(), 4u) << to_string(solution);
+    EXPECT_TRUE(r.level_enabled.back()) << to_string(solution);
+  }
+}
+
+TEST(Planner, OriScaleSolutionsUseFullMachine) {
+  const auto cfg = fti_config({16, 12, 8, 4});
+  const auto ml = plan(Solution::kMultilevelOriScale, cfg);
+  const auto sl = plan(Solution::kSingleLevelOriScale, cfg);
+  EXPECT_DOUBLE_EQ(ml.full_plan.scale, 1e6);
+  EXPECT_DOUBLE_EQ(sl.full_plan.scale, 1e6);
+}
+
+TEST(Planner, SingleLevelPlannersDisableLowerLevels) {
+  const auto cfg = fti_config({16, 12, 8, 4});
+  const auto sl = plan(Solution::kSingleLevelOptScale, cfg);
+  EXPECT_FALSE(sl.level_enabled[0]);
+  EXPECT_FALSE(sl.level_enabled[1]);
+  EXPECT_FALSE(sl.level_enabled[2]);
+  EXPECT_TRUE(sl.level_enabled[3]);
+}
+
+TEST(Planner, MultilevelOptScaleUsesFewerCoresThanOriScale) {
+  const auto cfg = fti_config({16, 12, 8, 4});
+  const auto opt = plan(Solution::kMultilevelOptScale, cfg);
+  const auto ori = plan(Solution::kMultilevelOriScale, cfg);
+  EXPECT_LT(opt.full_plan.scale, ori.full_plan.scale);
+}
+
+TEST(Planner, PredictedWallclockOrderingMatchesPaper) {
+  // Under the analytic model, ML(opt-scale) <= ML(ori-scale) and
+  // SL(opt-scale) <= SL(ori-scale) on their respective targets.
+  const auto cfg = fti_config({16, 12, 8, 4});
+  const auto ml_opt = plan(Solution::kMultilevelOptScale, cfg);
+  const auto ml_ori = plan(Solution::kMultilevelOriScale, cfg);
+  const auto sl_opt = plan(Solution::kSingleLevelOptScale, cfg);
+  const auto sl_ori = plan(Solution::kSingleLevelOriScale, cfg);
+  EXPECT_LE(ml_opt.optimization.wallclock,
+            ml_ori.optimization.wallclock * 1.0001);
+  EXPECT_LE(sl_opt.optimization.wallclock,
+            sl_ori.optimization.wallclock * 1.0001);
+  // And the multilevel optimum beats the single-level optimum overall.
+  EXPECT_LT(ml_opt.optimization.wallclock, sl_opt.optimization.wallclock);
+}
+
+class Algorithm1CaseSweep
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(Algorithm1CaseSweep, ConvergesOnEveryPaperCase) {
+  const auto cfg = fti_config(GetParam());
+  Algorithm1Options options;
+  options.delta = 1e-12;
+  const auto r = optimize_multilevel(cfg, options);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.plan.scale, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCases, Algorithm1CaseSweep,
+    ::testing::Values(std::vector<double>{16, 12, 8, 4},
+                      std::vector<double>{8, 6, 4, 2},
+                      std::vector<double>{4, 3, 2, 1},
+                      std::vector<double>{16, 8, 4, 2},
+                      std::vector<double>{8, 4, 2, 1},
+                      std::vector<double>{4, 2, 1, 0.5}));
+
+}  // namespace

@@ -1,0 +1,163 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace {
+
+using namespace mlcr;
+using namespace mlcr::cluster;
+using mlcr::vmpi::Engine;
+using mlcr::vmpi::RankTask;
+
+ClusterConfig small_config() {
+  ClusterConfig config;
+  config.nodes = 8;
+  config.ranks_per_node = 4;
+  config.rs_group_size = 4;
+  return config;
+}
+
+TEST(Cluster, RankToNodeMapping) {
+  Cluster c(small_config());
+  EXPECT_EQ(c.rank_count(), 32);
+  EXPECT_EQ(c.node_of_rank(0), 0);
+  EXPECT_EQ(c.node_of_rank(3), 0);
+  EXPECT_EQ(c.node_of_rank(4), 1);
+  EXPECT_EQ(c.node_of_rank(31), 7);
+  EXPECT_EQ(c.first_rank_of(2), 8);
+}
+
+TEST(Cluster, PartnerRingWraps) {
+  Cluster c(small_config());
+  EXPECT_EQ(c.partner_of(0), 1);
+  EXPECT_EQ(c.partner_of(7), 0);
+}
+
+TEST(Cluster, RsGroups) {
+  Cluster c(small_config());
+  EXPECT_EQ(c.rs_group_of(0), 0);
+  EXPECT_EQ(c.rs_group_of(3), 0);
+  EXPECT_EQ(c.rs_group_of(4), 1);
+  EXPECT_EQ(c.rs_group_members(0), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(c.rs_group_members(1), (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(Cluster, KillWipesLocalStoreAndBumpsIncarnation) {
+  Cluster c(small_config());
+  Engine engine;
+  auto writer = [](Engine& e, Cluster& cl) -> RankTask {
+    Payload p;
+    p.bytes = Bytes(3, 7);
+    co_await cl.node(2).store().write(e, "k", std::move(p));
+  };
+  engine.spawn(writer(engine, c));
+  engine.run();
+  EXPECT_TRUE(c.node(2).store().contains("k"));
+  c.kill_node(2);
+  EXPECT_FALSE(c.node(2).alive());
+  EXPECT_FALSE(c.node(2).store().contains("k"));
+  EXPECT_EQ(c.node(2).incarnation(), 1);
+  EXPECT_EQ(c.alive_nodes(), 7);
+  c.revive_node(2);
+  EXPECT_EQ(c.alive_nodes(), 8);
+}
+
+TEST(Cluster, RejectsBadIndices) {
+  Cluster c(small_config());
+  EXPECT_THROW((void)c.node(8), common::Error);
+  EXPECT_THROW((void)c.node_of_rank(32), common::Error);
+  EXPECT_THROW((void)c.partner_of(-1), common::Error);
+}
+
+TEST(Payload, CostSizeUsesLogicalWhenSet) {
+  Payload p{{1, 2, 3}, 0};
+  EXPECT_EQ(p.cost_size(), 3u);
+  p.logical_size = 1'000'000;
+  EXPECT_EQ(p.cost_size(), 1'000'000u);
+}
+
+RankTask write_and_read_local(Engine& e, LocalStore& store, double* duration,
+                              Payload* out) {
+  const double t0 = e.now();
+  Payload p;
+  p.bytes = Bytes(2, 5);
+  p.logical_size = 75'000'000;
+  co_await store.write(e, "obj", std::move(p));
+  *duration = e.now() - t0;
+  auto read = co_await store.read(e, "obj");
+  *out = read.value_or(Payload{});
+}
+
+TEST(LocalStore, ChargesBandwidthOnLogicalSize) {
+  StorageModel model;  // 75 MB/s, 0.05 s latency
+  LocalStore store(model);
+  Engine engine;
+  double write_duration = 0.0;
+  Payload read_back;
+  engine.spawn(write_and_read_local(engine, store, &write_duration,
+                                    &read_back));
+  engine.run();
+  EXPECT_NEAR(write_duration, 0.05 + 75e6 / 75e6, 1e-9);
+  EXPECT_EQ(read_back.bytes, Bytes(2, 5));
+}
+
+RankTask read_missing(Engine& e, LocalStore& store, bool* found) {
+  auto read = co_await store.read(e, "nope");
+  *found = read.has_value();
+}
+
+TEST(LocalStore, MissingKeyReturnsNullopt) {
+  StorageModel model;
+  LocalStore store(model);
+  Engine engine;
+  bool found = true;
+  engine.spawn(read_missing(engine, store, &found));
+  engine.run();
+  EXPECT_FALSE(found);
+}
+
+RankTask pfs_writer(Engine& e, Pfs& pfs, int id, double* done_at) {
+  Payload p;
+  p.bytes = Bytes(1, static_cast<std::uint8_t>(id));
+  p.logical_size = 3'000'000'000;
+  co_await pfs.write(e, "w" + std::to_string(id), std::move(p));
+  *done_at = e.now();
+}
+
+TEST(Pfs, ConcurrentWritersSerializeThroughAggregateBandwidth) {
+  StorageModel model;  // 3 GB/s aggregate write, 2 s latency
+  Pfs pfs(model);
+  Engine engine;
+  double done[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) engine.spawn(pfs_writer(engine, pfs, i, &done[i]));
+  engine.run();
+  // Each write moves 3 GB = 1 s of aggregate bandwidth; FIFO makespan is
+  // 4 s + latency.  Completion times step linearly — Table II's linear L4.
+  std::sort(done, done + 4);
+  EXPECT_NEAR(done[0], 1.0 + 2.0, 1e-6);
+  EXPECT_NEAR(done[3], 4.0 + 2.0, 1e-6);
+  EXPECT_NEAR(done[3] - done[2], 1.0, 1e-6);
+}
+
+RankTask pfs_read_one(Engine& e, Pfs& pfs, Payload* out) {
+  auto read = co_await pfs.read(e, "w1");
+  *out = read.value_or(Payload{});
+}
+
+TEST(Pfs, ReadReturnsWrittenObject) {
+  StorageModel model;
+  Pfs pfs(model);
+  Engine engine;
+  double done = 0.0;
+  engine.spawn(pfs_writer(engine, pfs, 1, &done));
+  engine.run();
+  Engine engine2;
+  Payload out;
+  engine2.spawn(pfs_read_one(engine2, pfs, &out));
+  engine2.run();
+  EXPECT_EQ(out.bytes, Bytes{1});
+}
+
+}  // namespace

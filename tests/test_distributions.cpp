@@ -1,0 +1,91 @@
+#include "stat/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace mlcr::stat;
+using mlcr::common::Rng;
+
+TEST(Exponential, MeanMatches) {
+  Rng rng(1);
+  Exponential d(0.5);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / kSamples, 2.0, 0.05);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(Exponential, Memoryless) {
+  // P(X > s + t | X > s) == P(X > t): compare tail fractions.
+  Rng rng(2);
+  Exponential d(1.0);
+  int beyond1 = 0, beyond2_given1 = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = d.sample(rng);
+    if (x > 1.0) {
+      ++beyond1;
+      if (x > 2.0) ++beyond2_given1;
+    }
+  }
+  const double conditional = static_cast<double>(beyond2_given1) / beyond1;
+  EXPECT_NEAR(conditional, std::exp(-1.0), 0.01);
+}
+
+TEST(Exponential, RejectsNonPositiveRate) {
+  EXPECT_THROW(Exponential(0.0), mlcr::common::Error);
+  EXPECT_THROW(Exponential(-1.0), mlcr::common::Error);
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  Rng rng(3);
+  Weibull w(1.0, 4.0);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += w.sample(rng);
+  EXPECT_NEAR(sum / kSamples, 4.0, 0.1);
+}
+
+TEST(Weibull, MeanUsesGamma) {
+  Weibull w(2.0, 1.0);
+  // mean = scale * Gamma(1.5) = sqrt(pi)/2
+  EXPECT_NEAR(w.mean(), std::sqrt(std::acos(-1.0)) / 2.0, 1e-9);
+}
+
+TEST(Weibull, RejectsBadParameters) {
+  EXPECT_THROW(Weibull(0.0, 1.0), mlcr::common::Error);
+  EXPECT_THROW(Weibull(1.0, 0.0), mlcr::common::Error);
+}
+
+TEST(Factories, ProduceWorkingDistributions) {
+  Rng rng(4);
+  const auto e = make_exponential(2.0);
+  const auto w = make_weibull(1.5, 3.0);
+  EXPECT_GT(e->sample(rng), 0.0);
+  EXPECT_GT(w->sample(rng), 0.0);
+  EXPECT_DOUBLE_EQ(e->mean(), 0.5);
+}
+
+class ExponentialRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialRateSweep, SampleMeanTracksRate) {
+  Rng rng(42);
+  Exponential d(GetParam());
+  double sum = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) sum += d.sample(rng);
+  const double mean = sum / kSamples;
+  EXPECT_NEAR(mean, d.mean(), d.mean() * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ExponentialRateSweep,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0, 1000.0));
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Engine callback events (used by nonblocking-operation completions) and
+// their interleaving with coroutine resumptions.
+#include "vmpi/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "vmpi/task.h"
+
+namespace {
+
+using namespace mlcr::vmpi;
+
+RankTask sleeper(Engine& engine, std::vector<int>* log, int id,
+                 double delay) {
+  co_await engine.sleep(delay);
+  log->push_back(id);
+}
+
+TEST(EngineCallbacks, CallbacksFireAtScheduledTime) {
+  Engine engine;
+  std::vector<double> fired;
+  engine.call_later(2.0, [&]() { fired.push_back(engine.now()); });
+  engine.call_later(1.0, [&]() { fired.push_back(engine.now()); });
+  engine.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[0], 1.0);
+  EXPECT_DOUBLE_EQ(fired[1], 2.0);
+}
+
+TEST(EngineCallbacks, CallbacksInterleaveWithCoroutines) {
+  Engine engine;
+  std::vector<int> log;
+  engine.spawn(sleeper(engine, &log, 1, 1.5));
+  engine.call_later(1.0, [&]() { log.push_back(100); });
+  engine.call_later(2.0, [&]() { log.push_back(200); });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<int>{100, 1, 200}));
+}
+
+TEST(EngineCallbacks, CallbackMayScheduleFurtherWork) {
+  Engine engine;
+  std::vector<double> fired;
+  engine.call_later(1.0, [&]() {
+    fired.push_back(engine.now());
+    engine.call_later(1.0, [&]() { fired.push_back(engine.now()); });
+  });
+  engine.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[1], 2.0);
+}
+
+TEST(EngineCallbacks, SimultaneousEventsRunInScheduleOrder) {
+  Engine engine;
+  std::vector<int> log;
+  engine.call_later(1.0, [&]() { log.push_back(1); });
+  engine.call_later(1.0, [&]() { log.push_back(2); });
+  engine.call_later(1.0, [&]() { log.push_back(3); });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineCallbacks, RejectsNegativeDelay) {
+  Engine engine;
+  EXPECT_THROW(engine.call_later(-1.0, []() {}), mlcr::common::Error);
+}
+
+}  // namespace

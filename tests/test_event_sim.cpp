@@ -1,0 +1,194 @@
+#include "sim/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "exp/cases.h"
+
+namespace {
+
+using namespace mlcr;
+using namespace mlcr::sim;
+
+// Small two-level system for fast deterministic checks.
+model::SystemConfig small_system(std::vector<double> rates_per_day,
+                                 double te_core_days = 100.0) {
+  std::vector<model::LevelOverheads> levels{
+      {model::Overhead::constant(2.0), model::Overhead::constant(2.0)},
+      {model::Overhead::constant(10.0), model::Overhead::constant(10.0)}};
+  model::FailureRates rates(std::move(rates_per_day), 1000.0);
+  return model::SystemConfig(common::core_days_to_seconds(te_core_days),
+                             std::make_unique<model::QuadraticSpeedup>(0.5,
+                                                                       1000.0),
+                             std::move(levels), std::move(rates),
+                             /*allocation=*/30.0);
+}
+
+Schedule make_schedule(const model::SystemConfig& cfg, double n,
+                       std::vector<double> x) {
+  model::Plan plan{std::move(x), n};
+  return Schedule::from_plan(cfg, plan, std::vector<bool>(cfg.levels(), true));
+}
+
+TEST(Schedule, FromPlanComputesPeriods) {
+  const auto cfg = small_system({1, 1});
+  const auto s = make_schedule(cfg, 500.0, {10.0, 5.0});
+  const double work = cfg.productive_time(500.0);
+  EXPECT_NEAR(s.period_seconds[0], work / 10.0, 1e-9);
+  EXPECT_NEAR(s.period_seconds[1], work / 5.0, 1e-9);
+}
+
+TEST(Schedule, IntervalCountOneDisablesLevel) {
+  const auto cfg = small_system({1, 1});
+  const auto s = make_schedule(cfg, 500.0, {1.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.period_seconds[0], 0.0);
+  EXPECT_GT(s.period_seconds[1], 0.0);
+}
+
+TEST(EventSim, NoFailuresNoCheckpointsGivesBareProductiveTime) {
+  auto cfg = small_system({0, 0});
+  const auto schedule = make_schedule(cfg, 500.0, {1.0, 1.0});
+  common::Rng rng(1);
+  const auto r = simulate(cfg, schedule, rng);
+  ASSERT_TRUE(r.completed);
+  EXPECT_NEAR(r.wallclock, cfg.productive_time(500.0), 1e-6);
+  EXPECT_NEAR(r.portions.productive, r.wallclock, 1e-6);
+  EXPECT_DOUBLE_EQ(r.portions.checkpoint, 0.0);
+  EXPECT_DOUBLE_EQ(r.portions.restart, 0.0);
+  EXPECT_DOUBLE_EQ(r.portions.rollback, 0.0);
+}
+
+TEST(EventSim, NoFailuresChargesExactCheckpointOverhead) {
+  auto cfg = small_system({0, 0});
+  const auto schedule = make_schedule(cfg, 500.0, {10.0, 5.0});
+  common::Rng rng(1);
+  SimOptions options;
+  options.jitter_ratio = 0.0;
+  const auto r = simulate(cfg, schedule, rng, options);
+  ASSERT_TRUE(r.completed);
+  // 9 interior level-1 triggers, 4 interior level-2 triggers; positions that
+  // coincide (every 2nd level-2 grid point) are taken at level 2 only.
+  // level-1 grid: k/10 (k=1..9); level-2 grid: k/5 (k=1..4) == 2k/10, so the
+  // level-1 checkpoints at 2/10, 4/10, 6/10, 8/10 are superseded.
+  EXPECT_EQ(r.checkpoints_per_level[0], 5);
+  EXPECT_EQ(r.checkpoints_per_level[1], 4);
+  EXPECT_NEAR(r.portions.checkpoint, 5 * 2.0 + 4 * 10.0, 1e-6);
+  EXPECT_NEAR(r.wallclock, cfg.productive_time(500.0) + 50.0, 1e-6);
+}
+
+TEST(EventSim, PortionsAlwaysSumToWallclock) {
+  auto cfg = small_system({400, 100});  // very high failure rates
+  const auto schedule = make_schedule(cfg, 1000.0, {50.0, 10.0});
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    common::Rng rng(seed);
+    const auto r = simulate(cfg, schedule, rng);
+    ASSERT_TRUE(r.completed) << "seed " << seed;
+    EXPECT_NEAR(r.portions.total(), r.wallclock, r.wallclock * 1e-12 + 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(EventSim, FailuresForceRollbackAndRestart) {
+  auto cfg = small_system({400, 100});
+  const auto schedule = make_schedule(cfg, 1000.0, {50.0, 10.0});
+  common::Rng rng(7);
+  const auto r = simulate(cfg, schedule, rng);
+  ASSERT_TRUE(r.completed);
+  const long failures = r.failures_per_level[0] + r.failures_per_level[1];
+  EXPECT_GT(failures, 0);
+  EXPECT_GT(r.portions.restart, 0.0);
+  EXPECT_GT(r.portions.rollback, 0.0);
+  // Productive time is invariant: the work must be done exactly once.
+  EXPECT_NEAR(r.portions.productive, cfg.productive_time(1000.0), 1e-6);
+}
+
+TEST(EventSim, DeterministicGivenSeed) {
+  auto cfg = small_system({100, 20});
+  const auto schedule = make_schedule(cfg, 1000.0, {50.0, 10.0});
+  common::Rng rng1(99), rng2(99);
+  const auto a = simulate(cfg, schedule, rng1);
+  const auto b = simulate(cfg, schedule, rng2);
+  EXPECT_DOUBLE_EQ(a.wallclock, b.wallclock);
+  EXPECT_EQ(a.failures_per_level, b.failures_per_level);
+}
+
+TEST(EventSim, Level2FailureSurvivesOnlyLevel2Checkpoints) {
+  // Deterministic scenario: disable level 1, rely on level 2 checkpoints;
+  // a level-2 failure must roll back to the last level-2 checkpoint, not
+  // further.
+  auto cfg = small_system({0, 500});  // only level-2 failures
+  const auto schedule = make_schedule(cfg, 1000.0, {1.0, 20.0});
+  common::Rng rng(3);
+  const auto r = simulate(cfg, schedule, rng);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.failures_per_level[1], 0);
+  // Rollback loss per failure is bounded by one level-2 period plus the
+  // checkpoint costs inside it (all re-execution is below the high-water
+  // mark).  Sanity: mean rollback per failure < 2 periods.
+  const double period = schedule.period_seconds[1];
+  EXPECT_LT(r.portions.rollback /
+                static_cast<double>(r.failures_per_level[1]),
+            2.0 * period);
+}
+
+TEST(EventSim, HigherLevelCheckpointServesLowerLevelFailure) {
+  // Only level-2 checkpoints enabled; level-1 failures must recover from
+  // them (checkpoint level >= failure level).
+  auto cfg = small_system({200, 0});
+  const auto schedule = make_schedule(cfg, 1000.0, {1.0, 20.0});
+  common::Rng rng(11);
+  const auto r = simulate(cfg, schedule, rng);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.failures_per_level[0], 0);
+  const double period = schedule.period_seconds[1];
+  EXPECT_LT(r.portions.rollback /
+                static_cast<double>(r.failures_per_level[0]),
+            2.5 * period);
+}
+
+TEST(EventSim, Level1CheckpointDoesNotSurviveLevel2Failure) {
+  // Only level-1 checkpoints enabled; every level-2 failure restarts from
+  // scratch (position 0), so rollback dominates and wall-clock far exceeds
+  // the failure-free time.
+  auto cfg = small_system({0, 50}, /*te_core_days=*/20.0);
+  const auto schedule = make_schedule(cfg, 1000.0, {20.0, 1.0});
+  common::Rng rng(5);
+  const auto r = simulate(cfg, schedule, rng);
+  ASSERT_TRUE(r.completed);
+  if (r.failures_per_level[1] > 0) {
+    EXPECT_GT(r.portions.rollback, 0.0);
+  }
+}
+
+TEST(EventSim, JitterChangesCostsButNotWork) {
+  auto cfg = small_system({0, 0});
+  const auto schedule = make_schedule(cfg, 500.0, {10.0, 5.0});
+  common::Rng rng(42);
+  SimOptions jittered;
+  jittered.jitter_ratio = 0.3;
+  const auto r = simulate(cfg, schedule, rng, jittered);
+  ASSERT_TRUE(r.completed);
+  EXPECT_NEAR(r.portions.productive, cfg.productive_time(500.0), 1e-6);
+  // Jittered checkpoint total within +-30% of nominal.
+  EXPECT_GT(r.portions.checkpoint, 50.0 * 0.7);
+  EXPECT_LT(r.portions.checkpoint, 50.0 * 1.3);
+}
+
+TEST(EventSim, MeanFailureCountMatchesPoissonRate) {
+  auto cfg = small_system({100, 0});
+  const auto schedule = make_schedule(cfg, 1000.0, {20.0, 1.0});
+  double total_failures = 0.0, total_wallclock = 0.0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    common::Rng rng(seed);
+    const auto r = simulate(cfg, schedule, rng);
+    ASSERT_TRUE(r.completed);
+    total_failures += static_cast<double>(r.failures_per_level[0]);
+    total_wallclock += r.wallclock;
+  }
+  const double rate = cfg.rates().rate_per_second(0, 1000.0);
+  EXPECT_NEAR(total_failures / (total_wallclock * rate), 1.0, 0.15);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Tests of the canonical experiment configurations, including the key
+// cross-check that the Fusion-calibrated virtual cluster reproduces the
+// paper's Table II costs by measurement.
+#include "exp/cases.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace {
+
+using namespace mlcr;
+
+TEST(ExpCases, SixPaperFailureCasesInOrder) {
+  const auto cases = exp::paper_failure_cases();
+  ASSERT_EQ(cases.size(), 6u);
+  EXPECT_EQ(cases[0].name, "16-12-8-4");
+  EXPECT_EQ(cases[5].name, "4-2-1-0.5");
+  for (const auto& c : cases) {
+    ASSERT_EQ(c.per_day.size(), 4u) << c.name;
+    // Rates decrease with the level in every case.
+    for (std::size_t i = 1; i < 4; ++i) {
+      EXPECT_LE(c.per_day[i], c.per_day[i - 1]) << c.name;
+    }
+  }
+}
+
+TEST(ExpCases, Table2DataMatchesPaper) {
+  const auto& data = exp::table2_data();
+  ASSERT_EQ(data.size(), 5u);
+  EXPECT_DOUBLE_EQ(data[0].cores, 128.0);
+  EXPECT_DOUBLE_EQ(data[0].cost[3], 7.0);
+  EXPECT_DOUBLE_EQ(data[4].cores, 1024.0);
+  EXPECT_DOUBLE_EQ(data[4].cost[3], 25.15);
+}
+
+TEST(ExpCases, FtiCoefficientsAsPublished) {
+  const auto c = exp::fti_coefficients();
+  EXPECT_DOUBLE_EQ(c.eps[0], 0.866);
+  EXPECT_DOUBLE_EQ(c.eps[3], 5.5);
+  EXPECT_DOUBLE_EQ(c.alpha[3], 0.0212);
+  EXPECT_DOUBLE_EQ(c.alpha[0], 0.0);
+}
+
+TEST(ExpCases, FtiSystemShape) {
+  const auto cfg =
+      exp::make_fti_system(3e6, exp::FailureCase{"t", {16, 12, 8, 4}});
+  EXPECT_EQ(cfg.levels(), 4u);
+  EXPECT_DOUBLE_EQ(cfg.te(), 3e6 * 86400.0);
+  EXPECT_DOUBLE_EQ(cfg.allocation(), 60.0);
+  EXPECT_DOUBLE_EQ(cfg.scale_upper_bound(), 1e6);
+  // Checkpoint costs ordered by level at any scale.
+  for (double n : {1e4, 1e5, 1e6}) {
+    EXPECT_LT(cfg.ckpt_cost(0, n), cfg.ckpt_cost(1, n));
+    EXPECT_LT(cfg.ckpt_cost(1, n), cfg.ckpt_cost(2, n));
+    EXPECT_LT(cfg.ckpt_cost(2, n), cfg.ckpt_cost(3, n));
+  }
+  // Recovery is constant per level (documented assumption).
+  EXPECT_DOUBLE_EQ(cfg.recovery_cost(3, 1e6), cfg.recovery_cost(3, 128.0));
+}
+
+TEST(ExpCases, ConstantPfsSystemUsesGivenRecoveryFactor) {
+  const auto full = exp::make_constant_pfs_system(
+      exp::FailureCase{"t", {16, 12, 8, 4}}, /*recovery_factor=*/1.0);
+  const auto half = exp::make_constant_pfs_system(
+      exp::FailureCase{"t", {16, 12, 8, 4}}, /*recovery_factor=*/0.5);
+  EXPECT_DOUBLE_EQ(full.recovery_cost(3, 1e6), 2000.0);
+  EXPECT_DOUBLE_EQ(half.recovery_cost(3, 1e6), 1000.0);
+  EXPECT_DOUBLE_EQ(full.ckpt_cost(0, 1e6), 50.0);
+}
+
+TEST(ExpCases, Fig3SystemMatchesVerifiedUnits) {
+  const auto cfg = exp::make_fig3_system(false);
+  EXPECT_DOUBLE_EQ(cfg.te(), 4000.0 * 86400.0);
+  EXPECT_DOUBLE_EQ(cfg.allocation(), 0.0);
+  EXPECT_DOUBLE_EQ(cfg.scale_upper_bound(), 1e5);
+  EXPECT_DOUBLE_EQ(exp::fig3_mu().mu(0, 81746.0), 0.005 * 81746.0);
+}
+
+TEST(ExpCases, MeasuredFtiCostsMatchTable2Fits) {
+  // The headline calibration check: measured per-level makespans on the
+  // virtual cluster land on the paper's fitted coefficients.
+  const auto at_128 = exp::measure_fti_costs(128);
+  EXPECT_NEAR(at_128[0], 0.9, 0.05);
+  EXPECT_NEAR(at_128[1], 2.53, 0.1);
+  EXPECT_NEAR(at_128[2], 3.9, 0.3);
+  EXPECT_NEAR(at_128[3], 5.5 + 0.0212 * 128, 0.1);
+
+  const auto at_1024 = exp::measure_fti_costs(1024);
+  // Levels 1-3 stay constant with scale; level 4 grows linearly.
+  EXPECT_NEAR(at_1024[0], at_128[0], 0.05);
+  EXPECT_NEAR(at_1024[1], at_128[1], 0.1);
+  EXPECT_NEAR(at_1024[2], at_128[2], 0.3);
+  EXPECT_NEAR(at_1024[3], 5.5 + 0.0212 * 1024, 0.5);
+}
+
+TEST(ExpCases, SpeedupSamplesHaveTheRightShapes) {
+  const auto heat = exp::heat_speedup_samples();
+  ASSERT_GE(heat.size(), 5u);
+  // Monotone increasing over the measured range (Figure 2(a)).
+  for (std::size_t i = 1; i < heat.size(); ++i) {
+    EXPECT_GT(heat[i].speedup, heat[i - 1].speedup);
+  }
+  const auto eddy = exp::eddy_speedup_samples();
+  double peak = 0.0;
+  std::size_t peak_index = 0;
+  for (std::size_t i = 0; i < eddy.size(); ++i) {
+    if (eddy[i].speedup > peak) {
+      peak = eddy[i].speedup;
+      peak_index = i;
+    }
+  }
+  // Peak strictly inside the range (Figure 2(b): decline after ~100).
+  EXPECT_GT(peak_index, 0u);
+  EXPECT_LT(peak_index, eddy.size() - 1);
+}
+
+TEST(ExpCases, FusionClusterGeometry) {
+  const auto config = exp::fusion_cluster(1024);
+  EXPECT_EQ(config.nodes, 128);
+  EXPECT_EQ(config.ranks_per_node, 8);
+  EXPECT_EQ(config.rs_group_size, 3);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+#include "model/failure.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace {
+
+using namespace mlcr::model;
+
+FailureRates paper_rates() {
+  // "16-12-8-4" case at baseline N_b = 1e6 cores.
+  return FailureRates({16, 12, 8, 4}, 1e6);
+}
+
+TEST(FailureRates, BaselineRateMatchesPerDay) {
+  const auto r = paper_rates();
+  EXPECT_NEAR(r.rate_per_second(0, 1e6), 16.0 / 86400.0, 1e-15);
+  EXPECT_NEAR(r.rate_per_second(3, 1e6), 4.0 / 86400.0, 1e-15);
+}
+
+TEST(FailureRates, ProportionalToScale) {
+  const auto r = paper_rates();
+  // half the cores -> half the failure rate (paper Section IV-A)
+  EXPECT_NEAR(r.rate_per_second(0, 5e5), 8.0 / 86400.0, 1e-15);
+  EXPECT_NEAR(r.rate_per_second(1, 2e6), 24.0 / 86400.0, 1e-15);
+}
+
+TEST(FailureRates, ExpectedFailuresOverWindow) {
+  const auto r = paper_rates();
+  // 16/day at baseline over 2 days -> 32 expected failures.
+  EXPECT_NEAR(r.expected_failures(0, 1e6, 2 * 86400.0), 32.0, 1e-9);
+}
+
+TEST(FailureRates, DerivativeMatchesProportionality) {
+  const auto r = paper_rates();
+  // lambda(N) = c N  =>  dlambda/dN = c = lambda(N)/N
+  const double n = 3e5;
+  EXPECT_NEAR(r.rate_derivative(0, n), r.rate_per_second(0, n) / n, 1e-18);
+}
+
+TEST(FailureRates, SuperlinearExponent) {
+  FailureRates r({8}, 1e6, 2.0);
+  EXPECT_NEAR(r.rate_per_second(0, 2e6), 4.0 * 8.0 / 86400.0, 1e-12);
+}
+
+TEST(FailureRates, RejectsBadInputs) {
+  EXPECT_THROW(FailureRates({}, 1e6), mlcr::common::Error);
+  EXPECT_THROW(FailureRates({1.0}, 0.0), mlcr::common::Error);
+  EXPECT_THROW(FailureRates({-1.0}, 1e6), mlcr::common::Error);
+}
+
+TEST(MuModel, LinearInScale) {
+  MuModel mu({0.005});
+  EXPECT_DOUBLE_EQ(mu.mu(0, 81746.0), 0.005 * 81746.0);
+  EXPECT_DOUBLE_EQ(mu.mu_derivative(0, 81746.0), 0.005);
+}
+
+TEST(MuModel, FromRatesMatchesLambdaTimesWallclock) {
+  const auto r = paper_rates();
+  const double wallclock = 13.0 * 86400.0;
+  const auto mu = MuModel::from_rates(r, wallclock);
+  for (std::size_t level = 0; level < 4; ++level) {
+    for (double n : {1e5, 5e5, 1e6}) {
+      EXPECT_NEAR(mu.mu(level, n), r.expected_failures(level, n, wallclock),
+                  1e-9)
+          << "level " << level << " N " << n;
+    }
+  }
+}
+
+TEST(MuModel, FromRatesPreservesExponent) {
+  FailureRates r({8}, 1e6, 1.5);
+  const auto mu = MuModel::from_rates(r, 86400.0);
+  EXPECT_NEAR(mu.mu(0, 1e6), 8.0, 1e-9);
+  EXPECT_NEAR(mu.mu(0, 4e6), 8.0 * 8.0, 1e-6);  // 4^1.5 = 8
+}
+
+TEST(MuModel, RejectsNegativeCoefficients) {
+  EXPECT_THROW(MuModel({-0.1}), mlcr::common::Error);
+  EXPECT_THROW(MuModel({}), mlcr::common::Error);
+}
+
+}  // namespace

@@ -1,0 +1,263 @@
+// End-to-end tests of the FTI-like multilevel checkpoint library: durability
+// and bit-exact recovery per level, including real Reed-Solomon rebuilds of
+// lost shards and partner-copy fetches after node crashes.
+#include "fti/fti.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace {
+
+using namespace mlcr;
+using namespace mlcr::fti;
+using cluster::Bytes;
+using cluster::Payload;
+using vmpi::Engine;
+using vmpi::RankTask;
+
+cluster::ClusterConfig small_cluster() {
+  cluster::ClusterConfig config;
+  config.nodes = 8;
+  config.ranks_per_node = 2;
+  config.rs_group_size = 4;
+  return config;
+}
+
+Payload payload_for(int rank, int version) {
+  Payload p;
+  p.bytes.resize(64);
+  for (std::size_t i = 0; i < p.bytes.size(); ++i) {
+    p.bytes[i] = static_cast<std::uint8_t>(rank * 37 + version * 11 + i);
+  }
+  return p;
+}
+
+RankTask do_checkpoint(Fti& fti, int rank, int level, int version) {
+  co_await fti.checkpoint(rank, level, payload_for(rank, version));
+}
+
+RankTask do_restore(Fti& fti, int rank, std::optional<Payload>* out) {
+  *out = co_await fti.restore(rank);
+}
+
+/// Runs one collective checkpoint of all ranks at `level`.
+void run_checkpoint(Engine& engine, cluster::Cluster& cl, Fti& fti, int level,
+                    int version) {
+  for (int rank = 0; rank < cl.rank_count(); ++rank) {
+    engine.spawn(do_checkpoint(fti, rank, level, version));
+  }
+  engine.run();
+}
+
+std::optional<Payload> run_restore(Engine& engine, Fti& fti, int rank) {
+  std::optional<Payload> out;
+  engine.spawn(do_restore(fti, rank, &out));
+  engine.run();
+  return out;
+}
+
+class FtiTest : public ::testing::Test {
+ protected:
+  FtiTest() : cluster_(small_cluster()), fti_(engine_, cluster_, FtiConfig{}) {}
+
+  Engine engine_;
+  cluster::Cluster cluster_;
+  Fti fti_;
+};
+
+TEST_F(FtiTest, Level1RoundTrip) {
+  run_checkpoint(engine_, cluster_, fti_, 1, 1);
+  for (int rank : {0, 7, 15}) {
+    const auto restored = run_restore(engine_, fti_, rank);
+    ASSERT_TRUE(restored.has_value()) << rank;
+    EXPECT_EQ(restored->bytes, payload_for(rank, 1).bytes) << rank;
+  }
+}
+
+TEST_F(FtiTest, Level1LostOnNodeCrash) {
+  run_checkpoint(engine_, cluster_, fti_, 1, 1);
+  cluster_.kill_node(0);
+  cluster_.revive_node(0);
+  const auto restored = run_restore(engine_, fti_, 0);
+  EXPECT_FALSE(restored.has_value());
+}
+
+TEST_F(FtiTest, Level2SurvivesSingleNodeCrash) {
+  run_checkpoint(engine_, cluster_, fti_, 2, 1);
+  cluster_.kill_node(0);
+  cluster_.revive_node(0);
+  // Ranks 0 and 1 live on node 0; their replicas sit on node 1.
+  for (int rank : {0, 1}) {
+    const auto restored = run_restore(engine_, fti_, rank);
+    ASSERT_TRUE(restored.has_value()) << rank;
+    EXPECT_EQ(restored->bytes, payload_for(rank, 1).bytes) << rank;
+  }
+}
+
+TEST_F(FtiTest, Level2LostWhenPartnerAlsoCrashes) {
+  run_checkpoint(engine_, cluster_, fti_, 2, 1);
+  cluster_.kill_node(0);
+  cluster_.kill_node(1);  // adjacent partner
+  cluster_.revive_node(0);
+  cluster_.revive_node(1);
+  const auto restored = run_restore(engine_, fti_, 0);
+  EXPECT_FALSE(restored.has_value());
+}
+
+TEST_F(FtiTest, Level3RebuildsLostShardViaReedSolomon) {
+  run_checkpoint(engine_, cluster_, fti_, 3, 1);
+  cluster_.kill_node(2);
+  cluster_.revive_node(2);
+  // Both ranks of node 2 must be rebuilt bit-exactly from group survivors.
+  for (int rank : {4, 5}) {
+    const auto restored = run_restore(engine_, fti_, rank);
+    ASSERT_TRUE(restored.has_value()) << rank;
+    EXPECT_EQ(restored->bytes, payload_for(rank, 1).bytes) << rank;
+  }
+}
+
+TEST_F(FtiTest, Level3SurvivesNonAdjacentCrashesInDifferentGroups) {
+  run_checkpoint(engine_, cluster_, fti_, 3, 1);
+  cluster_.kill_node(1);  // group 0
+  cluster_.kill_node(5);  // group 1
+  cluster_.revive_node(1);
+  cluster_.revive_node(5);
+  for (int rank : {2, 3, 10, 11}) {
+    const auto restored = run_restore(engine_, fti_, rank);
+    ASSERT_TRUE(restored.has_value()) << rank;
+    EXPECT_EQ(restored->bytes, payload_for(rank, 1).bytes) << rank;
+  }
+}
+
+TEST_F(FtiTest, Level3FailsWhenTooManyGroupNodesDie) {
+  run_checkpoint(engine_, cluster_, fti_, 3, 1);
+  // Two dead nodes in group 0 lose 2 data + up to 2 parity shards, which
+  // exceeds the default m = 2.
+  cluster_.kill_node(0);
+  cluster_.kill_node(1);
+  cluster_.revive_node(0);
+  cluster_.revive_node(1);
+  const auto restored = run_restore(engine_, fti_, 0);
+  EXPECT_FALSE(restored.has_value());
+}
+
+TEST_F(FtiTest, Level4SurvivesEverything) {
+  run_checkpoint(engine_, cluster_, fti_, 4, 1);
+  for (int node = 0; node < cluster_.node_count(); ++node) {
+    cluster_.kill_node(node);
+    cluster_.revive_node(node);
+  }
+  for (int rank : {0, 9, 15}) {
+    const auto restored = run_restore(engine_, fti_, rank);
+    ASSERT_TRUE(restored.has_value()) << rank;
+    EXPECT_EQ(restored->bytes, payload_for(rank, 1).bytes) << rank;
+  }
+}
+
+TEST_F(FtiTest, RestorePrefersNewestRecoverableRecord) {
+  run_checkpoint(engine_, cluster_, fti_, 4, 1);  // old, durable
+  run_checkpoint(engine_, cluster_, fti_, 1, 2);  // new, fragile
+  // Without failures the newest (level-1, version 2) wins.
+  auto restored = run_restore(engine_, fti_, 3);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->bytes, payload_for(3, 2).bytes);
+  // After the node crash the library falls back to the older PFS copy.
+  cluster_.kill_node(1);
+  cluster_.revive_node(1);
+  restored = run_restore(engine_, fti_, 3);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->bytes, payload_for(3, 1).bytes);
+}
+
+TEST_F(FtiTest, CheckpointCostsOrderedByLevel) {
+  // C1 <= C2 <= C3 <= C4 for equal payloads (paper Section II).
+  double cost[5] = {0, 0, 0, 0, 0};
+  for (int level = 1; level <= 4; ++level) {
+    cluster::Cluster cl(small_cluster());
+    Engine engine;
+    Fti fti(engine, cl, FtiConfig{});
+    const double t0 = engine.now();
+    for (int rank = 0; rank < cl.rank_count(); ++rank) {
+      engine.spawn(do_checkpoint(fti, rank, level, 1));
+    }
+    engine.run();
+    cost[level] = engine.now() - t0;
+  }
+  EXPECT_LE(cost[1], cost[2]);
+  EXPECT_LE(cost[2], cost[3]);
+  EXPECT_LE(cost[3], cost[4]);
+}
+
+TEST_F(FtiTest, RsRankGroupsAreNodeDisjoint) {
+  for (int rank = 0; rank < cluster_.rank_count(); ++rank) {
+    const auto group = fti_.rs_rank_group(rank);
+    std::set<int> nodes;
+    for (int member : group) nodes.insert(cluster_.node_of_rank(member));
+    EXPECT_EQ(nodes.size(), group.size()) << "rank " << rank;
+  }
+}
+
+TEST_F(FtiTest, RejectsBadLevels) {
+  Engine engine;
+  cluster::Cluster cl(small_cluster());
+  Fti fti(engine, cl, FtiConfig{});
+  auto bad = [](Fti& f) -> RankTask {
+    Payload p;
+    p.bytes = Bytes(1, 1);
+    co_await f.checkpoint(0, 5, std::move(p));
+  };
+  engine.spawn(bad(fti));
+  EXPECT_THROW(engine.run(), common::Error);
+}
+
+TEST_F(FtiTest, PruneBoundsStorageFootprint) {
+  for (int round = 1; round <= 6; ++round) {
+    run_checkpoint(engine_, cluster_, fti_, ((round - 1) % 4) + 1, round);
+  }
+  const std::size_t before = fti_.stored_objects();
+  fti_.prune(2);
+  EXPECT_EQ(fti_.records().size(), 2u);
+  EXPECT_LT(fti_.stored_objects(), before);
+  // The retained records still restore bit-exactly.
+  const auto restored = run_restore(engine_, fti_, 5);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->bytes, payload_for(5, 6).bytes);
+}
+
+TEST_F(FtiTest, PruneRemovesEveryObjectOfDroppedLevels) {
+  // One round per level, prune to the last record: only level-4 objects
+  // (plus nothing else) should remain.
+  for (int level = 1; level <= 4; ++level) {
+    run_checkpoint(engine_, cluster_, fti_, level, level);
+  }
+  fti_.prune(1);
+  ASSERT_EQ(fti_.records().size(), 1u);
+  EXPECT_EQ(fti_.records()[0].level, 4);
+  // Remaining objects: exactly one PFS object per rank.
+  EXPECT_EQ(fti_.stored_objects(),
+            static_cast<std::size_t>(cluster_.rank_count()));
+}
+
+TEST_F(FtiTest, PruneKeepingEverythingIsNoop) {
+  run_checkpoint(engine_, cluster_, fti_, 1, 1);
+  const std::size_t before = fti_.stored_objects();
+  fti_.prune(5);
+  EXPECT_EQ(fti_.stored_objects(), before);
+  EXPECT_EQ(fti_.records().size(), 1u);
+}
+
+TEST_F(FtiTest, PruneRejectsZero) {
+  EXPECT_THROW(fti_.prune(0), common::Error);
+}
+
+TEST_F(FtiTest, RecordsTrackVersionsAndLevels) {
+  run_checkpoint(engine_, cluster_, fti_, 1, 1);
+  run_checkpoint(engine_, cluster_, fti_, 3, 2);
+  ASSERT_EQ(fti_.records().size(), 2u);
+  EXPECT_EQ(fti_.records()[0].level, 1);
+  EXPECT_EQ(fti_.records()[1].level, 3);
+  EXPECT_LT(fti_.records()[0].version, fti_.records()[1].version);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include "apps/heat.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/eddy.h"
+#include "common/error.h"
+
+namespace {
+
+using namespace mlcr;
+using namespace mlcr::apps;
+
+HeatConfig small_config(int iterations = 30) {
+  HeatConfig config;
+  config.rows = 34;  // 32 interior rows
+  config.cols = 16;
+  config.iterations = iterations;
+  return config;
+}
+
+TEST(HeatPartition, CoversAllInteriorRowsExactlyOnce) {
+  for (int ranks : {1, 2, 3, 5, 8}) {
+    std::vector<int> owner(32, -1);
+    for (int rank = 0; rank < ranks; ++rank) {
+      const auto [first, count] = heat_partition(34, ranks, rank);
+      for (int r = first; r < first + count; ++r) {
+        EXPECT_EQ(owner[static_cast<std::size_t>(r - 1)], -1);
+        owner[static_cast<std::size_t>(r - 1)] = rank;
+      }
+    }
+    for (int o : owner) EXPECT_NE(o, -1) << "ranks " << ranks;
+  }
+}
+
+TEST(HeatPartition, RejectsMoreRanksThanRows) {
+  EXPECT_THROW((void)heat_partition(6, 10, 0), common::Error);
+}
+
+TEST(Heat, HeatFlowsDownFromSource) {
+  const auto result = run_heat(small_config(100), 2);
+  ASSERT_TRUE(result.completed);
+  const int cols = 16;
+  // Temperature decreases monotonically away from the source for a mid
+  // column after enough iterations.
+  const double near = result.grid[static_cast<std::size_t>(1 * cols + 8)];
+  const double mid = result.grid[static_cast<std::size_t>(8 * cols + 8)];
+  const double far = result.grid[static_cast<std::size_t>(20 * cols + 8)];
+  EXPECT_GT(near, mid);
+  EXPECT_GT(mid, far);
+  EXPECT_GT(near, 0.0);
+}
+
+TEST(Heat, DecompositionInvariant) {
+  // The whole point of the ghost-exchange protocol: the final grid must be
+  // bit-identical regardless of the number of ranks.
+  const auto reference = run_heat(small_config(), 1);
+  for (int ranks : {2, 4, 7}) {
+    const auto result = run_heat(small_config(), ranks);
+    ASSERT_EQ(result.grid.size(), reference.grid.size()) << ranks;
+    for (std::size_t i = 0; i < reference.grid.size(); ++i) {
+      ASSERT_EQ(result.grid[i], reference.grid[i])
+          << "ranks " << ranks << " cell " << i;
+    }
+  }
+}
+
+TEST(Heat, ResidualShrinksOverIterations) {
+  const auto short_run = run_heat(small_config(10), 2);
+  const auto long_run = run_heat(small_config(200), 2);
+  EXPECT_LT(long_run.residual, short_run.residual);
+}
+
+TEST(Heat, MoreRanksRunFaster) {
+  HeatConfig config = small_config();
+  config.rows = 130;
+  config.cols = 128;
+  const auto t1 = run_heat(config, 1).wallclock;
+  const auto t4 = run_heat(config, 4).wallclock;
+  const auto t16 = run_heat(config, 16).wallclock;
+  EXPECT_GT(t1, t4);
+  EXPECT_GT(t4, t16);
+}
+
+TEST(Heat, SpeedupIsSubLinear) {
+  HeatConfig config = small_config();
+  config.rows = 130;
+  config.cols = 128;
+  const double single = heat_single_core_time(config);
+  const auto t16 = run_heat(config, 16).wallclock;
+  const double speedup = single / t16;
+  EXPECT_GT(speedup, 4.0);
+  EXPECT_LT(speedup, 16.0);  // communication keeps it below ideal
+}
+
+TEST(Heat, SerializeRoundTrip) {
+  HeatConfig config = small_config();
+  HeatBlock block(config, 0, 2);
+  // run a couple of sweeps to get non-trivial state
+  (void)block.sweep(config);
+  (void)block.sweep(config);
+  const auto bytes = block.serialize();
+  HeatBlock other(config, 0, 2);
+  other.deserialize(bytes);
+  EXPECT_EQ(other.serialize(), bytes);
+}
+
+TEST(Heat, SerializeRejectsWrongSize) {
+  HeatConfig config = small_config();
+  HeatBlock block(config, 0, 2);
+  std::vector<std::uint8_t> junk(7);
+  EXPECT_THROW(block.deserialize(junk), common::Error);
+}
+
+TEST(Eddy, SpeedupPeaksThenDeclines) {
+  EddyConfig config;
+  config.network.latency = 5e-5;
+  config.network.bandwidth = 1e9;
+  const double single = eddy_single_core_time(config);
+  double previous_speedup = 0.0;
+  double peak = 0.0;
+  int peak_at = 0;
+  for (int ranks : {2, 4, 8, 16, 32, 64, 128}) {
+    const auto result = run_eddy(config, ranks);
+    const double speedup = single / result.wallclock;
+    if (speedup > peak) {
+      peak = speedup;
+      peak_at = ranks;
+    }
+    previous_speedup = speedup;
+  }
+  (void)previous_speedup;
+  // Peak strictly inside the sweep: the largest scale is not the best.
+  EXPECT_GT(peak_at, 2);
+  EXPECT_LT(peak_at, 128);
+}
+
+TEST(Eddy, DeterministicChecksum) {
+  EddyConfig config;
+  const auto a = run_eddy(config, 8);
+  const auto b = run_eddy(config, 8);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+  EXPECT_DOUBLE_EQ(a.wallclock, b.wallclock);
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Integration tests: the checkpointed heat solver survives injected node
+// failures and still produces the bit-exact result of an uninterrupted run,
+// through every recovery path (local, partner-copy, Reed-Solomon, PFS).
+#include "apps/heat_ckpt.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/heat.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace mlcr;
+using namespace mlcr::apps;
+
+HeatCkptConfig base_config() {
+  HeatCkptConfig config;
+  config.heat.rows = 34;
+  config.heat.cols = 16;
+  config.heat.iterations = 40;
+  config.cluster.nodes = 8;
+  config.cluster.ranks_per_node = 2;
+  config.cluster.rs_group_size = 4;
+  // Fast storage so the tests stay quick.
+  config.cluster.storage.local_latency = 0.01;
+  config.cluster.storage.pfs_latency = 0.05;
+  config.interval_iterations = {5, 10, 20, 40};
+  config.allocation = 1.0;
+  return config;
+}
+
+std::vector<double> reference_grid(const HeatCkptConfig& config) {
+  HeatConfig heat = config.heat;
+  return run_heat(heat, config.cluster.nodes * config.cluster.ranks_per_node)
+      .grid;
+}
+
+/// Virtual duration of the failure-free run, used to aim injections.
+double clean_wallclock(HeatCkptConfig config) {
+  config.failures.clear();
+  return run_heat_checkpointed(config).wallclock;
+}
+
+TEST(HeatCkpt, FailureFreeRunMatchesPlainSolver) {
+  const auto config = base_config();
+  const auto result = run_heat_checkpointed(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.recoveries, 0);
+  EXPECT_GT(result.checkpoints_taken, 0);
+  EXPECT_EQ(result.grid, reference_grid(config));
+}
+
+TEST(HeatCkpt, ChecksFollowCyclicLevelSchedule) {
+  auto config = base_config();
+  config.heat.iterations = 40;
+  const auto result = run_heat_checkpointed(config);
+  // Iterations 5..35 step 5 -> 7 rounds (10/20/30 promote the level, they
+  // do not add rounds; no checkpoint is taken at the final iteration).
+  EXPECT_EQ(result.checkpoints_taken, 7);
+}
+
+TEST(HeatCkpt, RecoversFromSoftwareFailure) {
+  auto config = base_config();
+  config.failures.push_back(
+      {/*at=*/0.4 * clean_wallclock(config), /*node=*/0, /*level=*/1});
+  const auto result = run_heat_checkpointed(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.recoveries, 1);
+  EXPECT_EQ(result.grid, reference_grid(config));
+}
+
+TEST(HeatCkpt, RecoversFromNodeCrashViaPartnerCopy) {
+  auto config = base_config();
+  // Level-1 every 5 iters only; level-2 every 10.  Crash node 3 mid-run:
+  // its local checkpoints are wiped, recovery must use the partner copies
+  // (or older PFS baseline) — and the final grid must still be exact.
+  config.failures.push_back(
+      {/*at=*/0.5 * clean_wallclock(config), /*node=*/3, /*level=*/2});
+  const auto result = run_heat_checkpointed(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.recoveries, 1);
+  EXPECT_EQ(result.failures_hit, 1);
+  EXPECT_EQ(result.grid, reference_grid(config));
+}
+
+TEST(HeatCkpt, RecoversViaReedSolomonWhenPartnerChainBroken) {
+  auto config = base_config();
+  config.interval_iterations = {0, 0, 5, 0};  // level-3 checkpoints only
+  config.failures.push_back(
+      {/*at=*/0.5 * clean_wallclock(config), /*node=*/2, /*level=*/3});
+  const auto result = run_heat_checkpointed(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.recoveries, 1);
+  EXPECT_EQ(result.grid, reference_grid(config));
+}
+
+TEST(HeatCkpt, SurvivesMultipleFailures) {
+  auto config = base_config();
+  config.heat.iterations = 60;
+  const double clean = clean_wallclock(config);
+  config.failures.push_back({/*at=*/0.2 * clean, /*node=*/1, /*level=*/2});
+  config.failures.push_back({/*at=*/0.5 * clean, /*node=*/5, /*level=*/2});
+  config.failures.push_back({/*at=*/0.8 * clean, /*node=*/0, /*level=*/1});
+  const auto result = run_heat_checkpointed(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.failures_hit, 3);
+  EXPECT_GE(result.recoveries, 1);
+  EXPECT_EQ(result.grid, reference_grid(config));
+}
+
+TEST(HeatCkpt, FailuresMakeRunsLonger) {
+  auto clean = base_config();
+  const auto clean_result = run_heat_checkpointed(clean);
+  auto faulty = base_config();
+  faulty.failures.push_back(
+      {/*at=*/0.5 * clean_wallclock(faulty), /*node=*/3, /*level=*/2});
+  const auto faulty_result = run_heat_checkpointed(faulty);
+  EXPECT_GT(faulty_result.wallclock, clean_result.wallclock);
+}
+
+TEST(HeatCkpt, CheckpointTimeGrowsWithFrequency) {
+  auto sparse = base_config();
+  sparse.interval_iterations = {20, 0, 0, 40};
+  const auto sparse_result = run_heat_checkpointed(sparse);
+  auto dense = base_config();
+  dense.interval_iterations = {2, 10, 20, 40};
+  const auto dense_result = run_heat_checkpointed(dense);
+  EXPECT_GT(dense_result.checkpoints_taken, sparse_result.checkpoints_taken);
+  EXPECT_GT(dense_result.checkpoint_time, sparse_result.checkpoint_time);
+}
+
+// Randomized whole-stack property: ANY storm of software faults, node
+// crashes and partner-pair crashes must leave the final grid bit-exact.
+class HeatCkptStorm : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeatCkptStorm, RandomFailureStormStaysBitExact) {
+  auto config = base_config();
+  config.heat.iterations = 50;
+  const double clean = clean_wallclock(config);
+
+  common::Rng rng(GetParam());
+  const int storms = 2 + static_cast<int>(rng.below(4));  // 2-5 failures
+  for (int i = 0; i < storms; ++i) {
+    const double at = rng.uniform(0.05, 0.9) * clean;
+    const int node =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(
+            config.cluster.nodes)));
+    const int level = 1 + static_cast<int>(rng.below(3));
+    config.failures.push_back({at, node, level});
+    if (level == 3) {
+      // adjacent pair: breaks the partner chain, forcing RS or PFS paths
+      config.failures.push_back(
+          {at, (node + 1) % config.cluster.nodes, 2});
+    }
+  }
+  std::sort(config.failures.begin(), config.failures.end(),
+            [](const auto& a, const auto& b) { return a.at < b.at; });
+
+  const auto result = run_heat_checkpointed(config);
+  ASSERT_TRUE(result.completed) << "seed " << GetParam();
+  EXPECT_EQ(result.failures_hit, static_cast<int>(config.failures.size()));
+  EXPECT_EQ(result.grid, reference_grid(config)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Storms, HeatCkptStorm,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u));
+
+TEST(HeatCkpt, LogicalPayloadInflatesCheckpointCost) {
+  auto small = base_config();
+  const auto small_result = run_heat_checkpointed(small);
+  auto big = base_config();
+  big.logical_checkpoint_bytes = 500'000'000;  // pretend 500 MB per rank
+  const auto big_result = run_heat_checkpointed(big);
+  EXPECT_GT(big_result.checkpoint_time, small_result.checkpoint_time * 2);
+  // Costs are inflated but the numerics are untouched.
+  EXPECT_EQ(big_result.grid, small_result.grid);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+#include "num/least_squares.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace mlcr::num;
+
+TEST(SolveLinearSystem, TwoByTwo) {
+  // 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+  const auto x = solve_linear_system({2, 1, 1, -1}, {5, 1});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularReturnsEmpty) {
+  const auto x = solve_linear_system({1, 2, 2, 4}, {3, 6});
+  EXPECT_TRUE(x.empty());
+}
+
+TEST(SolveLinearSystem, NeedsPivoting) {
+  // First pivot is zero; partial pivoting must handle it.
+  const auto x = solve_linear_system({0, 1, 1, 0}, {2, 3});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(FitPolynomial, RecoversExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.0 + 2.0 * v);
+  const auto fit = fit_polynomial(x, y, 1);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitPolynomial, RecoversQuadratic) {
+  const std::vector<double> x{-2, -1, 0, 1, 2, 3};
+  std::vector<double> y;
+  for (double v : x) y.push_back(1.0 - 0.5 * v + 0.25 * v * v);
+  const auto fit = fit_polynomial(x, y, 2);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], 1.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], -0.5, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], 0.25, 1e-9);
+}
+
+TEST(FitAffineIn, RecoversTable2Level4Shape) {
+  // Paper Table II level 4 fit: eps = 5.5, alpha = 0.0212 over H(N) = N.
+  const std::vector<double> n{128, 256, 384, 512, 1024};
+  std::vector<double> y;
+  for (double v : n) y.push_back(5.5 + 0.0212 * v);
+  const auto fit = fit_affine_in(n, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], 5.5, 1e-6);
+  EXPECT_NEAR(fit.coefficients[1], 0.0212, 1e-9);
+}
+
+TEST(FitAffineIn, ConstantLevelDegeneratesToMean) {
+  // Levels 1-3 of Table II: H(N) = 0 for all samples -> mean fit.
+  const std::vector<double> h{0, 0, 0, 0, 0};
+  const std::vector<double> y{0.9, 0.67, 0.67, 0.99, 1.1};
+  const auto fit = fit_affine_in(h, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], (0.9 + 0.67 + 0.67 + 0.99 + 1.1) / 5.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(fit.coefficients[1], 0.0);
+}
+
+TEST(FitQuadraticThroughOrigin, RecoversFormula12) {
+  // g(N) = -kappa/(2 Nsym) N^2 + kappa N with kappa=0.46, Nsym=1e5.
+  const double kappa = 0.46, nsym = 1e5;
+  std::vector<double> n, g;
+  for (double v = 1000; v <= 60000; v += 1000) {
+    n.push_back(v);
+    g.push_back(-kappa / (2 * nsym) * v * v + kappa * v);
+  }
+  const auto fit = fit_quadratic_through_origin(n, g);
+  ASSERT_TRUE(fit.ok);
+  const double a1 = fit.coefficients[0];
+  const double a2 = fit.coefficients[1];
+  EXPECT_NEAR(a1, kappa, 1e-6);
+  EXPECT_NEAR(-a1 / (2 * a2), nsym, 1.0);
+}
+
+TEST(FitQuadraticThroughOrigin, NoConstantLeakage) {
+  // Data with a constant offset cannot be matched exactly; the fit must
+  // still pass through the origin (prediction at N=0 is 0 by construction).
+  const std::vector<double> n{1, 2, 3};
+  const std::vector<double> g{11, 12, 13};
+  const auto fit = fit_quadratic_through_origin(n, g);
+  ASSERT_TRUE(fit.ok);
+  ASSERT_EQ(fit.coefficients.size(), 2u);
+  EXPECT_GT(fit.residual_sum_squares, 0.0);
+}
+
+TEST(LinearLeastSquares, RejectsUnderdeterminedSystems) {
+  const std::vector<double> design{1.0, 2.0};  // 1 row, 2 cols
+  const std::vector<double> y{1.0};
+  const auto fit = linear_least_squares(design, 2, y);
+  EXPECT_FALSE(fit.ok);
+}
+
+TEST(LinearLeastSquares, NoisyFitHasReasonableR2) {
+  std::vector<double> design;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.1;
+    design.push_back(1.0);
+    design.push_back(x);
+    y.push_back(2.0 + 0.7 * x + ((i % 2 == 0) ? 0.01 : -0.01));
+  }
+  const auto fit = linear_least_squares(design, 2, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+}  // namespace

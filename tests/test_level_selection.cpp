@@ -1,0 +1,131 @@
+#include "opt/level_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "exp/cases.h"
+
+namespace {
+
+using namespace mlcr;
+using namespace mlcr::opt;
+
+TEST(ReduceToLevels, KeepsAllWhenAllEnabled) {
+  const auto cfg =
+      exp::make_fti_system(3e6, exp::FailureCase{"t", {16, 12, 8, 4}});
+  const auto reduced = reduce_to_levels(cfg, {true, true, true, true});
+  EXPECT_EQ(reduced.levels(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(reduced.rates().per_day_at_baseline(i),
+                     cfg.rates().per_day_at_baseline(i));
+  }
+}
+
+TEST(ReduceToLevels, MergesDisabledRatesUpward) {
+  const auto cfg =
+      exp::make_fti_system(3e6, exp::FailureCase{"t", {16, 12, 8, 4}});
+  // Disable levels 2 and 3: their failure types recover from level 4.
+  const auto reduced = reduce_to_levels(cfg, {true, false, false, true});
+  ASSERT_EQ(reduced.levels(), 2u);
+  EXPECT_DOUBLE_EQ(reduced.rates().per_day_at_baseline(0), 16.0);
+  EXPECT_DOUBLE_EQ(reduced.rates().per_day_at_baseline(1), 12.0 + 8.0 + 4.0);
+  // The surviving levels keep their own overheads.
+  EXPECT_DOUBLE_EQ(reduced.ckpt_cost(0, 1000.0), cfg.ckpt_cost(0, 1000.0));
+  EXPECT_DOUBLE_EQ(reduced.ckpt_cost(1, 1000.0), cfg.ckpt_cost(3, 1000.0));
+}
+
+TEST(ReduceToLevels, DisablingLevelOneMergesIntoLevelTwo) {
+  const auto cfg =
+      exp::make_fti_system(3e6, exp::FailureCase{"t", {16, 12, 8, 4}});
+  const auto reduced = reduce_to_levels(cfg, {false, true, true, true});
+  ASSERT_EQ(reduced.levels(), 3u);
+  EXPECT_DOUBLE_EQ(reduced.rates().per_day_at_baseline(0), 28.0);
+}
+
+TEST(ReduceToLevels, RejectsDisabledTopLevel) {
+  const auto cfg =
+      exp::make_fti_system(3e6, exp::FailureCase{"t", {16, 12, 8, 4}});
+  EXPECT_THROW((void)reduce_to_levels(cfg, {true, true, true, false}),
+               common::Error);
+}
+
+TEST(LevelSelection, FtiSystemNearTieWithAllLevels) {
+  // A subtle model effect: frequent cheap level-1 checkpoints inflate the
+  // rollback of every HIGHER-level failure (the redo term
+  // sum C_k x_k / (2 x_i) of Formula (18)), so selection prefers the
+  // {3, 4} subset by a hair (<2%) over enabling everything.  The top two
+  // levels must always survive selection here.
+  const auto cfg =
+      exp::make_fti_system(3e6, exp::FailureCase{"t", {16, 12, 8, 4}});
+  const auto r = optimize_with_level_selection(cfg);
+  EXPECT_TRUE(r.enabled[2]);
+  EXPECT_TRUE(r.enabled[3]);
+  const double all_levels = r.subset_wallclocks.back();  // mask 0b111
+  EXPECT_LE(r.optimization.wallclock, all_levels);
+  EXPECT_GT(r.optimization.wallclock, all_levels * 0.98);
+}
+
+TEST(LevelSelection, DropsUselessExpensiveLevel) {
+  // Level 2: enormous checkpoint cost, (almost) no failures of its type —
+  // paying for its checkpoints buys nothing, so selection must disable it.
+  std::vector<model::LevelOverheads> levels{
+      {model::Overhead::constant(0.9), model::Overhead::constant(0.9)},
+      {model::Overhead::constant(800.0), model::Overhead::constant(800.0)},
+      {model::Overhead::constant(3.9), model::Overhead::constant(3.9)},
+      {model::Overhead::linear(5.5, 0.0212), model::Overhead::constant(5.5)}};
+  model::FailureRates rates({16, 0.001, 8, 4}, 1e6);
+  model::SystemConfig cfg(common::core_days_to_seconds(3e6),
+                          std::make_unique<model::QuadraticSpeedup>(0.46, 1e6),
+                          std::move(levels), std::move(rates), 60.0);
+  const auto r = optimize_with_level_selection(cfg);
+  EXPECT_FALSE(r.enabled[1]);
+  EXPECT_TRUE(r.enabled[0]);
+  EXPECT_TRUE(r.enabled[3]);
+}
+
+TEST(LevelSelection, NeverWorseThanAllLevels) {
+  for (const auto& failure_case : exp::paper_failure_cases()) {
+    const auto cfg = exp::make_fti_system(3e6, failure_case);
+    const auto all = optimize_multilevel(cfg);
+    const auto selected = optimize_with_level_selection(cfg);
+    ASSERT_TRUE(all.converged) << failure_case.name;
+    EXPECT_LE(selected.optimization.wallclock, all.wallclock * 1.0001)
+        << failure_case.name;
+  }
+}
+
+TEST(LevelSelection, FullPlanDisablesUnselectedLevels) {
+  std::vector<model::LevelOverheads> levels{
+      {model::Overhead::constant(0.9), model::Overhead::constant(0.9)},
+      {model::Overhead::constant(800.0), model::Overhead::constant(800.0)},
+      {model::Overhead::constant(3.9), model::Overhead::constant(3.9)},
+      {model::Overhead::linear(5.5, 0.0212), model::Overhead::constant(5.5)}};
+  model::FailureRates rates({16, 0.001, 8, 4}, 1e6);
+  model::SystemConfig cfg(common::core_days_to_seconds(3e6),
+                          std::make_unique<model::QuadraticSpeedup>(0.46, 1e6),
+                          std::move(levels), std::move(rates), 60.0);
+  const auto r = optimize_with_level_selection(cfg);
+  ASSERT_EQ(r.full_plan.intervals.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.full_plan.intervals[1], 1.0);  // disabled -> x = 1
+  EXPECT_GT(r.full_plan.intervals[0], 1.0);
+  EXPECT_GT(r.full_plan.intervals[3], 1.0);
+}
+
+TEST(LevelSelection, ReportsEverySubset) {
+  const auto cfg =
+      exp::make_fti_system(3e6, exp::FailureCase{"t", {8, 6, 4, 2}});
+  const auto r = optimize_with_level_selection(cfg);
+  ASSERT_EQ(r.subset_wallclocks.size(), 8u);  // 2^(4-1)
+  double minimum = r.subset_wallclocks[0];
+  for (double w : r.subset_wallclocks) {
+    EXPECT_TRUE(std::isfinite(w));
+    minimum = std::min(minimum, w);
+  }
+  // The winner is exactly the subset minimum.
+  EXPECT_DOUBLE_EQ(minimum, r.optimization.wallclock);
+}
+
+}  // namespace

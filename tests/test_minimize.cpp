@@ -1,0 +1,82 @@
+#include "num/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "num/derivative.h"
+#include "num/fixed_point.h"
+
+namespace {
+
+using namespace mlcr::num;
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const auto r =
+      golden_section([](double x) { return (x - 3.0) * (x - 3.0); }, 0.0, 10.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 3.0, 1e-6);
+}
+
+TEST(GoldenSection, HandlesBoundaryMinimum) {
+  const auto r = golden_section([](double x) { return x; }, 2.0, 5.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 2.0, 1e-4);
+}
+
+TEST(GridMin, FindsGlobalOnMultimodal) {
+  // Two dips; the deeper one is near x = 8.
+  auto f = [](double x) {
+    return std::min((x - 2) * (x - 2) + 1.0, (x - 8) * (x - 8));
+  };
+  const auto r = grid_min(f, 0.0, 10.0, 1001);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 8.0, 0.02);
+}
+
+TEST(Derivative, MatchesAnalytic) {
+  auto f = [](double x) { return x * x * x; };
+  EXPECT_NEAR(derivative(f, 2.0), 12.0, 1e-4);
+  EXPECT_NEAR(second_derivative(f, 2.0), 12.0, 1e-3);
+}
+
+TEST(Convexity, DetectsConvexAndConcave) {
+  EXPECT_TRUE(is_convex_on([](double x) { return x * x; }, -5.0, 5.0));
+  EXPECT_FALSE(is_convex_on([](double x) { return -x * x; }, -5.0, 5.0));
+  EXPECT_TRUE(is_convex_on([](double x) { return 2.0 * x + 1.0; }, 0.0, 9.0));
+}
+
+TEST(FixedPoint, ConvergesToSqrt) {
+  // Babylonian iteration for sqrt(2) as a 1-vector fixed point.
+  auto step = [](const std::vector<double>& v) {
+    return std::vector<double>{0.5 * (v[0] + 2.0 / v[0])};
+  };
+  const auto r = fixed_point(step, {1.0});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.value[0], std::sqrt(2.0), 1e-8);
+  EXPECT_LT(r.iterations, 20);
+}
+
+TEST(FixedPoint, ReportsNonConvergence) {
+  auto step = [](const std::vector<double>& v) {
+    return std::vector<double>{-v[0]};  // oscillates forever
+  };
+  FixedPointOptions opts;
+  opts.max_iterations = 50;
+  const auto r = fixed_point(step, {1.0}, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 50);
+}
+
+TEST(FixedPoint, MultiDimensional) {
+  // x <- (y+1)/2, y <- x/2 converges to x = 2/3, y = 1/3.
+  auto step = [](const std::vector<double>& v) {
+    return std::vector<double>{(v[1] + 1.0) / 2.0, v[0] / 2.0};
+  };
+  const auto r = fixed_point(step, {0.0, 0.0});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.value[0], 2.0 / 3.0, 1e-7);
+  EXPECT_NEAR(r.value[1], 1.0 / 3.0, 1e-7);
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Property-style invariants of the analytic model and the optimizer,
+// swept over the paper's failure cases.  These encode the qualitative laws
+// the paper argues from: costs can only hurt, more failures can only hurt,
+// heavier failure environments shrink the optimal scale, and the optimizer
+// output always dominates sensible hand-picked baselines.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "exp/cases.h"
+#include "model/wallclock.h"
+#include "opt/algorithm1.h"
+#include "opt/planner.h"
+
+namespace {
+
+using namespace mlcr;
+
+class CaseSweep : public ::testing::TestWithParam<exp::FailureCase> {};
+
+TEST_P(CaseSweep, HigherCheckpointCostNeverHelps) {
+  const auto base_cfg = exp::make_fti_system(3e6, GetParam());
+  const auto mu = model::MuModel::from_rates(base_cfg.rates(), 30 * 86400.0);
+  const model::Plan plan{{9000, 4500, 3000, 50}, 5e5};
+  const double base = model::expected_wallclock(base_cfg, mu, plan);
+
+  // Inflate each level's checkpoint cost by 2x in turn.
+  for (std::size_t level = 0; level < 4; ++level) {
+    auto levels = exp::fti_level_overheads();
+    levels[level].checkpoint.base *= 2.0;
+    levels[level].checkpoint.slope *= 2.0;
+    model::FailureRates rates(GetParam().per_day, 1e6);
+    model::SystemConfig cfg(common::core_days_to_seconds(3e6),
+                            std::make_unique<model::QuadraticSpeedup>(0.46,
+                                                                      1e6),
+                            std::move(levels), std::move(rates), 60.0);
+    EXPECT_GT(model::expected_wallclock(cfg, mu, plan), base)
+        << "level " << level;
+  }
+}
+
+TEST_P(CaseSweep, LongerAllocationNeverHelps) {
+  const auto cfg = exp::make_fti_system(3e6, GetParam());
+  const auto mu = model::MuModel::from_rates(cfg.rates(), 30 * 86400.0);
+  const model::Plan plan{{9000, 4500, 3000, 50}, 5e5};
+  model::FailureRates rates(GetParam().per_day, 1e6);
+  model::SystemConfig slow(common::core_days_to_seconds(3e6),
+                           std::make_unique<model::QuadraticSpeedup>(0.46,
+                                                                     1e6),
+                           exp::fti_level_overheads(), std::move(rates),
+                           /*allocation=*/600.0);
+  EXPECT_GT(model::expected_wallclock(slow, mu, plan),
+            model::expected_wallclock(cfg, mu, plan));
+}
+
+TEST_P(CaseSweep, OptimizerBeatsUniformHandPickedPlans) {
+  const auto cfg = exp::make_fti_system(3e6, GetParam());
+  const auto r = opt::optimize_multilevel(cfg);
+  ASSERT_TRUE(r.converged);
+  const auto mu = model::MuModel::from_rates(cfg.rates(), r.wallclock);
+
+  // A selection of plausible hand plans at various scales.
+  for (const double n : {2e5, 5e5, 8e5, 1e6}) {
+    for (const double x : {100.0, 1000.0, 10000.0}) {
+      const model::Plan hand{{x, x, x, std::max(2.0, x / 100.0)}, n};
+      const double hand_mu_wallclock =
+          model::expected_wallclock(cfg, mu, hand);
+      EXPECT_LE(r.wallclock, hand_mu_wallclock * 1.001)
+          << "N=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST_P(CaseSweep, DoublingWorkloadLessThanDoublesWallclock) {
+  // Overheads scale sub-linearly with Te (checkpoint counts grow ~sqrt),
+  // so E(Tw) grows by less than 2x... but at least by ~2x productive.
+  const auto small = opt::optimize_multilevel(exp::make_fti_system(
+      3e6, GetParam()));
+  const auto large = opt::optimize_multilevel(exp::make_fti_system(
+      6e6, GetParam()));
+  ASSERT_TRUE(small.converged);
+  ASSERT_TRUE(large.converged);
+  EXPECT_GT(large.wallclock, small.wallclock * 1.5);
+  EXPECT_LT(large.wallclock, small.wallclock * 2.5);
+}
+
+TEST_P(CaseSweep, EfficiencyBelowIdealAboveZero) {
+  const auto cfg = exp::make_fti_system(3e6, GetParam());
+  const auto r = opt::optimize_multilevel(cfg);
+  ASSERT_TRUE(r.converged);
+  const double eff =
+      model::efficiency(cfg.te(), r.wallclock, r.plan.scale);
+  EXPECT_GT(eff, 0.0);
+  EXPECT_LT(eff, 0.46);  // cannot beat the failure-free kappa
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCases, CaseSweep,
+    ::testing::ValuesIn(exp::paper_failure_cases()),
+    [](const ::testing::TestParamInfo<exp::FailureCase>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-' || c == '.') c = '_';
+      }
+      return name;
+    });
+
+TEST(ModelProperties, OptimalScaleMonotoneInFailureRates) {
+  // Scaling ALL rates by a factor can only shrink the optimal scale.
+  double previous = 1e18;
+  for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    std::vector<double> rates{16 * factor, 12 * factor, 8 * factor,
+                              4 * factor};
+    const auto cfg =
+        exp::make_fti_system(3e6, exp::FailureCase{"scaled", rates});
+    const auto r = opt::optimize_multilevel(cfg);
+    ASSERT_TRUE(r.converged) << factor;
+    EXPECT_LE(r.plan.scale, previous * 1.0001) << factor;
+    previous = r.plan.scale;
+  }
+}
+
+TEST(ModelProperties, WallclockMonotoneInFailureRates) {
+  double previous = 0.0;
+  for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    std::vector<double> rates{16 * factor, 12 * factor, 8 * factor,
+                              4 * factor};
+    const auto cfg =
+        exp::make_fti_system(3e6, exp::FailureCase{"scaled", rates});
+    const auto r = opt::optimize_multilevel(cfg);
+    ASSERT_TRUE(r.converged) << factor;
+    EXPECT_GE(r.wallclock, previous) << factor;
+    previous = r.wallclock;
+  }
+}
+
+TEST(ModelProperties, CheaperPfsGrowsOptimalScale) {
+  // Halving the PFS slope (less congestion) should let the optimizer use
+  // more cores.
+  const exp::FailureCase heavy{"16-12-8-4", {16, 12, 8, 4}};
+  const auto base = opt::optimize_multilevel(exp::make_fti_system(3e6, heavy));
+
+  auto levels = exp::fti_level_overheads();
+  levels[3].checkpoint.slope *= 0.25;
+  model::FailureRates rates(heavy.per_day, 1e6);
+  model::SystemConfig cheap(common::core_days_to_seconds(3e6),
+                            std::make_unique<model::QuadraticSpeedup>(0.46,
+                                                                      1e6),
+                            std::move(levels), std::move(rates), 60.0);
+  const auto improved = opt::optimize_multilevel(cheap);
+  ASSERT_TRUE(base.converged);
+  ASSERT_TRUE(improved.converged);
+  EXPECT_GT(improved.plan.scale, base.plan.scale);
+  EXPECT_LT(improved.wallclock, base.wallclock);
+}
+
+TEST(ModelProperties, CapacityCapBindsWhenBelowOptimum) {
+  // With the machine capped below the unconstrained optimum, the optimizer
+  // sits exactly on the cap.
+  const exp::FailureCase light{"4-2-1-0.5", {4, 2, 1, 0.5}};
+  const auto unconstrained =
+      opt::optimize_multilevel(exp::make_fti_system(3e6, light));
+  ASSERT_TRUE(unconstrained.converged);
+
+  model::FailureRates rates(light.per_day, 1e6);
+  const double cap = unconstrained.plan.scale * 0.5;
+  model::SystemConfig capped(common::core_days_to_seconds(3e6),
+                             std::make_unique<model::QuadraticSpeedup>(0.46,
+                                                                       1e6),
+                             exp::fti_level_overheads(), std::move(rates),
+                             60.0, /*max_scale=*/cap);
+  const auto r = opt::optimize_multilevel(capped);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.plan.scale, cap, cap * 1e-6);
+}
+
+}  // namespace

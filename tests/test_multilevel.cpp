@@ -1,0 +1,190 @@
+#include "opt/multilevel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "opt/grid_search.h"
+#include "opt/young.h"
+
+namespace {
+
+using namespace mlcr;
+using namespace mlcr::opt;
+
+// Four-level FTI system (Table II fits) at exascale (N_star = 1e6).
+model::SystemConfig fti_config(double te_core_days = 3e6) {
+  std::vector<model::LevelOverheads> levels{
+      {model::Overhead::constant(0.866), model::Overhead::constant(0.866)},
+      {model::Overhead::constant(2.586), model::Overhead::constant(2.586)},
+      {model::Overhead::constant(3.886), model::Overhead::constant(3.886)},
+      {model::Overhead::linear(5.5, 0.0212),
+       model::Overhead::linear(5.5, 0.0212)}};
+  model::FailureRates rates({16, 12, 8, 4}, 1e6);
+  return model::SystemConfig(common::core_days_to_seconds(te_core_days),
+                             std::make_unique<model::QuadraticSpeedup>(0.46,
+                                                                       1e6),
+                             std::move(levels), std::move(rates), 60.0);
+}
+
+// A mu model of realistic magnitude: ~13 days at 1e6 cores, rates 16-12-8-4
+// per day => mu ~ (208, 156, 104, 52) at N = 1e6.
+model::MuModel realistic_mu() {
+  const double days = 13.0;
+  return model::MuModel(
+      {16 * days / 1e6, 12 * days / 1e6, 8 * days / 1e6, 4 * days / 1e6});
+}
+
+TEST(Multilevel, ConvergesOnFtiSystem) {
+  const auto cfg = fti_config();
+  const auto mu = realistic_mu();
+  const auto s = solve_multilevel(cfg, mu);
+  ASSERT_TRUE(s.converged);
+  EXPECT_GT(s.plan.scale, 1e5);
+  EXPECT_LE(s.plan.scale, 1e6);
+  for (double x : s.plan.intervals) EXPECT_GE(x, 1.0);
+}
+
+TEST(Multilevel, StationarityOfIntervals) {
+  const auto cfg = fti_config();
+  const auto mu = realistic_mu();
+  const auto s = solve_multilevel(cfg, mu);
+  ASSERT_TRUE(s.converged);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (s.plan.intervals[i] <= 1.0) continue;  // clamped at the bound
+    const double dx = model::wallclock_dx(cfg, mu, s.plan, i);
+    EXPECT_NEAR(dx / cfg.ckpt_cost(i, s.plan.scale), 0.0, 1e-5)
+        << "level " << i;
+  }
+}
+
+TEST(Multilevel, StationarityOfScale) {
+  const auto cfg = fti_config();
+  const auto mu = realistic_mu();
+  const auto s = solve_multilevel(cfg, mu);
+  ASSERT_TRUE(s.converged);
+  if (s.plan.scale < cfg.scale_upper_bound() * 0.999) {
+    const double dn = model::wallclock_dn(cfg, mu, s.plan);
+    const double magnitude =
+        cfg.productive_time(s.plan.scale) / s.plan.scale;
+    EXPECT_NEAR(dn / magnitude, 0.0, 1e-3);
+  }
+}
+
+TEST(Multilevel, CoordinateDescentCannotImprove) {
+  const auto cfg = fti_config();
+  const auto mu = realistic_mu();
+  const auto s = solve_multilevel(cfg, mu);
+  ASSERT_TRUE(s.converged);
+  const auto refined = coordinate_descent_multilevel(cfg, mu, s.plan);
+  EXPECT_LE(s.wallclock, refined.best_value * 1.0005);
+}
+
+TEST(Multilevel, BeatsYoungInitialization) {
+  const auto cfg = fti_config();
+  const auto mu = realistic_mu();
+  const auto s = solve_multilevel(cfg, mu);
+  model::Plan young_plan;
+  young_plan.scale = cfg.scale_upper_bound();
+  young_plan.intervals = young_interval_counts(cfg, mu, young_plan.scale);
+  EXPECT_LT(s.wallclock, model::expected_wallclock(cfg, mu, young_plan));
+}
+
+TEST(Multilevel, FixedScaleKeepsScale) {
+  const auto cfg = fti_config();
+  const auto mu = realistic_mu();
+  MultilevelOptions options;
+  options.optimize_scale = false;
+  options.fixed_scale = 1e6;
+  const auto s = solve_multilevel(cfg, mu, options);
+  ASSERT_TRUE(s.converged);
+  EXPECT_DOUBLE_EQ(s.plan.scale, 1e6);
+}
+
+TEST(Multilevel, OptScaleAtLeastAsGoodAsFixed) {
+  const auto cfg = fti_config();
+  const auto mu = realistic_mu();
+  const auto opt = solve_multilevel(cfg, mu);
+  MultilevelOptions fixed_options;
+  fixed_options.optimize_scale = false;
+  fixed_options.fixed_scale = 1e6;
+  const auto fixed = solve_multilevel(cfg, mu, fixed_options);
+  EXPECT_LE(opt.wallclock, fixed.wallclock + 1e-9);
+}
+
+TEST(Multilevel, LowerLevelsCheckpointMoreOften) {
+  // With higher failure rates and cheaper checkpoints at lower levels, the
+  // optimal interval counts decrease with the level index.
+  const auto cfg = fti_config();
+  const auto mu = realistic_mu();
+  const auto s = solve_multilevel(cfg, mu);
+  ASSERT_TRUE(s.converged);
+  EXPECT_GT(s.plan.intervals[0], s.plan.intervals[1]);
+  EXPECT_GT(s.plan.intervals[1], s.plan.intervals[2]);
+  EXPECT_GT(s.plan.intervals[2], s.plan.intervals[3]);
+}
+
+TEST(Multilevel, FewerFailuresLargerScale) {
+  // Paper Table III trend: as rates drop from 16-12-8-4 to 4-3-2-1, the
+  // optimized scale grows toward N_star.
+  const auto cfg = fti_config();
+  const auto high = solve_multilevel(cfg, realistic_mu());
+  const double days = 13.0;
+  const model::MuModel low_mu(
+      {4 * days / 1e6, 3 * days / 1e6, 2 * days / 1e6, 1 * days / 1e6});
+  const auto low = solve_multilevel(cfg, low_mu);
+  ASSERT_TRUE(high.converged);
+  ASSERT_TRUE(low.converged);
+  EXPECT_GT(low.plan.scale, high.plan.scale);
+}
+
+TEST(Multilevel, TinyFailureRatesPushScaleToNstar) {
+  // Paper: "if no root exists in [0, N_star], the optimal N equals N_star;
+  // this occurs with very few failures or small checkpoint overhead".
+  const auto cfg = fti_config();
+  const model::MuModel mu({1e-10, 1e-10, 1e-10, 1e-10});
+  const auto s = solve_multilevel(cfg, mu);
+  ASSERT_TRUE(s.converged);
+  // The root of Formula (24) sits within a few cores of N_star because the
+  // residual failure terms are ~1e-6 of the speedup gradient.
+  EXPECT_NEAR(s.plan.scale, 1e6, 100.0);
+}
+
+class MultilevelRateSweep
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(MultilevelRateSweep, SolutionDominatesPerturbations) {
+  const auto cfg = fti_config();
+  const double days = 13.0;
+  std::vector<double> b;
+  for (double r : GetParam()) b.push_back(r * days / 1e6);
+  const model::MuModel mu(b);
+  const auto s = solve_multilevel(cfg, mu);
+  ASSERT_TRUE(s.converged);
+  const double base = model::expected_wallclock(cfg, mu, s.plan);
+  // Perturb each coordinate by +-10%; the objective must not improve.
+  for (std::size_t i = 0; i <= 4; ++i) {
+    for (double factor : {0.9, 1.1}) {
+      model::Plan p = s.plan;
+      if (i < 4) {
+        p.intervals[i] = std::max(1.0, p.intervals[i] * factor);
+      } else {
+        p.scale = std::min(cfg.scale_upper_bound(), p.scale * factor);
+      }
+      EXPECT_GE(model::expected_wallclock(cfg, mu, p), base * (1 - 1e-9))
+          << "coordinate " << i << " factor " << factor;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCases, MultilevelRateSweep,
+    ::testing::Values(std::vector<double>{16, 12, 8, 4},
+                      std::vector<double>{8, 6, 4, 2},
+                      std::vector<double>{4, 3, 2, 1},
+                      std::vector<double>{16, 8, 4, 2},
+                      std::vector<double>{8, 4, 2, 1},
+                      std::vector<double>{4, 2, 1, 0.5}));
+
+}  // namespace

@@ -1,0 +1,59 @@
+#include "model/overhead.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace mlcr::model;
+
+TEST(Overhead, ConstantIgnoresScale) {
+  const auto c = Overhead::constant(5.0);
+  EXPECT_DOUBLE_EQ(c.value(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.value(1e6), 5.0);
+  EXPECT_DOUBLE_EQ(c.derivative(1e6), 0.0);
+}
+
+TEST(Overhead, LinearMatchesPaperPfsFit) {
+  // Table II level 4: eps = 5.5, alpha = 0.0212.
+  const auto c = Overhead::linear(5.5, 0.0212);
+  EXPECT_NEAR(c.value(1024.0), 5.5 + 0.0212 * 1024.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.derivative(1e6), 0.0212);
+}
+
+TEST(Overhead, SqrtShape) {
+  const Overhead c{1.0, 2.0, Scaling::kSqrt};
+  EXPECT_DOUBLE_EQ(c.value(100.0), 21.0);
+  EXPECT_NEAR(c.derivative(100.0), 2.0 * 0.5 / 10.0, 1e-12);
+}
+
+TEST(Overhead, LogShape) {
+  const Overhead c{0.0, 1.0, Scaling::kLog};
+  EXPECT_NEAR(c.value(std::exp(1.0) - 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(c.derivative(0.0), 1.0, 1e-12);
+}
+
+TEST(Scaling, AllShapesVanishAtOrigin) {
+  for (auto s : {Scaling::kConstant, Scaling::kLinear, Scaling::kSqrt,
+                 Scaling::kLog}) {
+    EXPECT_DOUBLE_EQ(scaling_value(s, 0.0), 0.0) << to_string(s);
+  }
+}
+
+TEST(Scaling, DerivativeConsistentWithValue) {
+  for (auto s : {Scaling::kLinear, Scaling::kSqrt, Scaling::kLog}) {
+    const double n = 500.0, h = 1e-4;
+    const double numeric =
+        (scaling_value(s, n + h) - scaling_value(s, n - h)) / (2 * h);
+    EXPECT_NEAR(scaling_derivative(s, n), numeric, 1e-6) << to_string(s);
+  }
+}
+
+TEST(LevelOverheads, AggregatesCheckpointAndRecovery) {
+  LevelOverheads level{Overhead::constant(2.586), Overhead::constant(3.0)};
+  EXPECT_DOUBLE_EQ(level.checkpoint.value(512.0), 2.586);
+  EXPECT_DOUBLE_EQ(level.recovery.value(512.0), 3.0);
+}
+
+}  // namespace

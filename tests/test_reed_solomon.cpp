@@ -1,0 +1,164 @@
+#include "rs/reed_solomon.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace mlcr::rs;
+
+std::vector<std::vector<std::uint8_t>> random_shards(int total, int data,
+                                                     std::size_t size,
+                                                     std::uint64_t seed) {
+  mlcr::common::Rng rng(seed);
+  std::vector<std::vector<std::uint8_t>> shards(
+      static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    shards[static_cast<std::size_t>(i)].resize(size);
+    if (i < data) {
+      for (auto& byte : shards[static_cast<std::size_t>(i)]) {
+        byte = static_cast<std::uint8_t>(rng.next());
+      }
+    }
+  }
+  return shards;
+}
+
+TEST(ReedSolomon, EncodeThenVerify) {
+  ReedSolomon rs(4, 2);
+  auto shards = random_shards(6, 4, 1024, 1);
+  rs.encode(shards);
+  EXPECT_TRUE(rs.verify(shards));
+}
+
+TEST(ReedSolomon, VerifyDetectsCorruption) {
+  ReedSolomon rs(4, 2);
+  auto shards = random_shards(6, 4, 256, 2);
+  rs.encode(shards);
+  shards[1][100] ^= 0x40;
+  EXPECT_FALSE(rs.verify(shards));
+}
+
+TEST(ReedSolomon, RecoversSingleDataLoss) {
+  ReedSolomon rs(5, 2);
+  auto shards = random_shards(7, 5, 512, 3);
+  rs.encode(shards);
+  const auto original = shards;
+  shards[2].clear();
+  std::vector<bool> present(7, true);
+  present[2] = false;
+  ASSERT_TRUE(rs.reconstruct(shards, present));
+  EXPECT_EQ(shards[2], original[2]);
+  EXPECT_TRUE(rs.verify(shards));
+}
+
+TEST(ReedSolomon, RecoversParityLoss) {
+  ReedSolomon rs(3, 2);
+  auto shards = random_shards(5, 3, 128, 4);
+  rs.encode(shards);
+  const auto original = shards;
+  shards[4].clear();
+  std::vector<bool> present(5, true);
+  present[4] = false;
+  ASSERT_TRUE(rs.reconstruct(shards, present));
+  EXPECT_EQ(shards[4], original[4]);
+}
+
+TEST(ReedSolomon, FailsBeyondParityCount) {
+  ReedSolomon rs(4, 2);
+  auto shards = random_shards(6, 4, 64, 5);
+  rs.encode(shards);
+  std::vector<bool> present(6, true);
+  present[0] = present[1] = present[2] = false;  // 3 losses > m = 2
+  EXPECT_FALSE(rs.reconstruct(shards, present));
+}
+
+TEST(ReedSolomon, AllErasurePatternsUpToParityRecover) {
+  // Exhaustive property: every pattern of <= m erasures must reconstruct
+  // bit-exactly.  (4+3 choose <=3) patterns.
+  const int k = 4, m = 3, total = k + m;
+  ReedSolomon rs(k, m);
+  auto pristine = random_shards(total, k, 96, 6);
+  rs.encode(pristine);
+
+  for (int mask = 0; mask < (1 << total); ++mask) {
+    const int losses = __builtin_popcount(static_cast<unsigned>(mask));
+    if (losses == 0 || losses > m) continue;
+    auto shards = pristine;
+    std::vector<bool> present(static_cast<std::size_t>(total), true);
+    for (int i = 0; i < total; ++i) {
+      if (mask & (1 << i)) {
+        shards[static_cast<std::size_t>(i)].assign(96, 0xEE);  // garbage
+        present[static_cast<std::size_t>(i)] = false;
+      }
+    }
+    ASSERT_TRUE(rs.reconstruct(shards, present)) << "mask " << mask;
+    for (int i = 0; i < total; ++i) {
+      EXPECT_EQ(shards[static_cast<std::size_t>(i)],
+                pristine[static_cast<std::size_t>(i)])
+          << "mask " << mask << " shard " << i;
+    }
+  }
+}
+
+TEST(ReedSolomon, NoMissingShardsIsNoop) {
+  ReedSolomon rs(4, 2);
+  auto shards = random_shards(6, 4, 32, 7);
+  rs.encode(shards);
+  const auto original = shards;
+  std::vector<bool> present(6, true);
+  ASSERT_TRUE(rs.reconstruct(shards, present));
+  EXPECT_EQ(shards, original);
+}
+
+TEST(ReedSolomon, SingleParityActsLikeXor) {
+  // m = 1 reduces to a parity stripe: losing any one shard must recover.
+  ReedSolomon rs(6, 1);
+  auto shards = random_shards(7, 6, 64, 8);
+  rs.encode(shards);
+  const auto original = shards;
+  for (int lost = 0; lost < 7; ++lost) {
+    auto copy = original;
+    copy[static_cast<std::size_t>(lost)].assign(64, 0);
+    std::vector<bool> present(7, true);
+    present[static_cast<std::size_t>(lost)] = false;
+    ASSERT_TRUE(rs.reconstruct(copy, present)) << lost;
+    EXPECT_EQ(copy, original) << lost;
+  }
+}
+
+TEST(ReedSolomon, RejectsBadGeometry) {
+  EXPECT_THROW(ReedSolomon(0, 2), mlcr::common::Error);
+  EXPECT_THROW(ReedSolomon(2, 0), mlcr::common::Error);
+  EXPECT_THROW(ReedSolomon(200, 100), mlcr::common::Error);
+}
+
+class RsGeometrySweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RsGeometrySweep, WorstCaseErasureRecovers) {
+  const auto [k, m] = GetParam();
+  ReedSolomon rs(k, m);
+  auto shards = random_shards(k + m, k, 200, 99);
+  rs.encode(shards);
+  const auto original = shards;
+  // Lose the first m shards (all-data erasure where possible: hardest case
+  // since every lost shard needs the parity rows).
+  std::vector<bool> present(static_cast<std::size_t>(k + m), true);
+  for (int i = 0; i < m && i < k; ++i) {
+    shards[static_cast<std::size_t>(i)].clear();
+    present[static_cast<std::size_t>(i)] = false;
+  }
+  ASSERT_TRUE(rs.reconstruct(shards, present));
+  EXPECT_EQ(shards, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RsGeometrySweep,
+    ::testing::Values(std::pair{2, 1}, std::pair{4, 2}, std::pair{8, 2},
+                      std::pair{8, 4}, std::pair{16, 4}, std::pair{32, 8},
+                      std::pair{100, 28}));
+
+}  // namespace

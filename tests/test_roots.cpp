@@ -1,0 +1,93 @@
+#include "num/roots.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace mlcr::num;
+
+TEST(Bisect, FindsSqrtTwo) {
+  const auto r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, std::sqrt(2.0), 1e-8);
+}
+
+TEST(Bisect, ReportsNonBracketing) {
+  const auto r = bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Bisect, ExactEndpointRoot) {
+  const auto r = bisect([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.root, 0.0);
+}
+
+TEST(Bisect, RespectsCoarseTolerance) {
+  // The paper stops bisection on N when the bracket is below 0.5.
+  RootOptions opts;
+  opts.x_tolerance = 0.5;
+  const auto r =
+      bisect([](double x) { return x - 1234.567; }, 0.0, 1e6, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 1234.567, 0.5);
+  EXPECT_LT(r.iterations, 40);
+}
+
+TEST(Bisect, DecreasingFunction) {
+  const auto r = bisect([](double x) { return 5.0 - x; }, 0.0, 10.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 5.0, 1e-8);
+}
+
+TEST(Newton, QuadraticConvergence) {
+  const auto r = newton([](double x) { return x * x - 2.0; },
+                        [](double x) { return 2.0 * x; }, 1.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, std::sqrt(2.0), 1e-10);
+  EXPECT_LT(r.iterations, 10);
+}
+
+TEST(Newton, FailsOnZeroDerivative) {
+  const auto r = newton([](double x) { return x * x + 1.0; },
+                        [](double) { return 0.0; }, 0.0);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Brent, FindsRootFasterThanBisect) {
+  auto f = [](double x) { return std::cos(x) - x; };
+  const auto rb = brent(f, 0.0, 1.0);
+  ASSERT_TRUE(rb.converged);
+  EXPECT_NEAR(rb.root, 0.7390851332151607, 1e-8);
+  const auto ri = bisect(f, 0.0, 1.0);
+  ASSERT_TRUE(ri.converged);
+  EXPECT_LE(rb.iterations, ri.iterations);
+}
+
+TEST(Brent, NonBracketingReturnsFalse) {
+  const auto r = brent([](double x) { return x * x + 1.0; }, -2.0, 2.0);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(BracketsRoot, DetectsSignChange) {
+  EXPECT_TRUE(brackets_root([](double x) { return x - 0.5; }, 0.0, 1.0));
+  EXPECT_FALSE(brackets_root([](double x) { return x + 2.0; }, 0.0, 1.0));
+}
+
+class PolynomialRootTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolynomialRootTest, BisectFindsShiftedRoot) {
+  const double root = GetParam();
+  const auto r = bisect([root](double x) { return (x - root) * 3.0; },
+                        root - 10.0, root + 10.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, root, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepRoots, PolynomialRootTest,
+                         ::testing::Values(-1e6, -3.25, 0.0, 1.5, 797.0,
+                                           81746.0));
+
+}  // namespace

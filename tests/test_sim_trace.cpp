@@ -1,0 +1,211 @@
+// Deterministic trace-driven simulation tests: with failures injected at
+// exact times, every rollback and restart is predictable to the second.
+#include "sim/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "exp/cases.h"
+#include "stat/summary.h"
+
+namespace {
+
+using namespace mlcr;
+using namespace mlcr::sim;
+
+// Two-level system: C1 = R1 = 2 s, C2 = R2 = 10 s, A = 30 s, work = 1000 s.
+model::SystemConfig two_level() {
+  std::vector<model::LevelOverheads> levels{
+      {model::Overhead::constant(2.0), model::Overhead::constant(2.0)},
+      {model::Overhead::constant(10.0), model::Overhead::constant(10.0)}};
+  model::FailureRates rates({1, 1}, 1000.0);
+  return model::SystemConfig(/*te=*/500'000.0,
+                             std::make_unique<model::LinearSpeedup>(1.0),
+                             std::move(levels), std::move(rates),
+                             /*allocation=*/30.0,
+                             /*max_scale=*/500.0);
+}
+
+Schedule schedule_for(const model::SystemConfig& cfg, double x1, double x2) {
+  model::Plan plan{{x1, x2}, 500.0};  // work = 500000/500 = 1000 s
+  return Schedule::from_plan(cfg, plan, {true, true});
+}
+
+// High-rate variant for statistical tests (several level-1 failures per run).
+model::SystemConfig two_level_hot() {
+  std::vector<model::LevelOverheads> levels{
+      {model::Overhead::constant(2.0), model::Overhead::constant(2.0)},
+      {model::Overhead::constant(10.0), model::Overhead::constant(10.0)}};
+  model::FailureRates rates({600, 0.001}, 1000.0);
+  return model::SystemConfig(/*te=*/500'000.0,
+                             std::make_unique<model::LinearSpeedup>(1.0),
+                             std::move(levels), std::move(rates),
+                             /*allocation=*/30.0,
+                             /*max_scale=*/500.0);
+}
+
+SimOptions no_jitter() {
+  SimOptions options;
+  options.jitter_ratio = 0.0;
+  return options;
+}
+
+TEST(SimTrace, NoFailuresExactArithmetic) {
+  const auto cfg = two_level();
+  const auto schedule = schedule_for(cfg, 10.0, 5.0);
+  FailureTrace trace{{{}, {}}};
+  common::Rng rng(1);
+  const auto r = simulate_trace(cfg, schedule, trace, rng, no_jitter());
+  ASSERT_TRUE(r.completed);
+  // 9 level-1 grid points, of which 4 coincide with level-2 (every 200 s);
+  // 4 level-2 checkpoints.  5 * 2 + 4 * 10 = 50 s overhead.
+  EXPECT_EQ(r.checkpoints_per_level[0], 5);
+  EXPECT_EQ(r.checkpoints_per_level[1], 4);
+  EXPECT_NEAR(r.wallclock, 1000.0 + 50.0, 1e-9);
+}
+
+TEST(SimTrace, SingleLevel1FailureRollsBackToLastCheckpoint) {
+  const auto cfg = two_level();
+  const auto schedule = schedule_for(cfg, 10.0, 5.0);
+  // Fail at t = 350 s.  Timeline: work 100 + ckpt(L1) 2, work to 200 (+2
+  // in ckpts)... position at t=350: grid: each 100 s of work plus
+  // overheads; by t = 350 the run is mid third interval.
+  FailureTrace trace{{{350.0}, {}}};
+  common::Rng rng(1);
+  const auto r = simulate_trace(cfg, schedule, trace, rng, no_jitter());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.failures_per_level[0], 1);
+  // Restart = A + R1 = 32 s; rollback = re-executed work.
+  EXPECT_NEAR(r.portions.restart, 32.0, 1e-9);
+  EXPECT_GT(r.portions.rollback, 0.0);
+  EXPECT_LT(r.portions.rollback, 110.0);  // less than one interval + ckpt
+  // total = work + first-pass ckpts (50) + restart + rollback
+  EXPECT_NEAR(r.wallclock,
+              1000.0 + 50.0 + 32.0 + r.portions.rollback, 1e-9);
+}
+
+TEST(SimTrace, Level2FailureDestroysLevel1Checkpoints) {
+  const auto cfg = two_level();
+  const auto schedule = schedule_for(cfg, 10.0, 5.0);
+  // Level-2 failure at t = 350 s: rollback to the last LEVEL-2 checkpoint
+  // (position 200), not the later level-1 checkpoint (position 300).
+  FailureTrace trace{{{}, {350.0}}};
+  common::Rng rng(1);
+  const auto r = simulate_trace(cfg, schedule, trace, rng, no_jitter());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.failures_per_level[1], 1);
+  EXPECT_NEAR(r.portions.restart, 40.0, 1e-9);  // A + R2
+  // Re-executed work >= 100 s (position 200 -> ~344 minus overhead).
+  EXPECT_GT(r.portions.rollback, 100.0);
+}
+
+TEST(SimTrace, FailureDuringCheckpointDefersUnderAtomicSemantics) {
+  const auto cfg = two_level();
+  const auto schedule = schedule_for(cfg, 10.0, 5.0);
+  // The first level-1 checkpoint spans [100, 102).  A failure at 101 is
+  // processed at 102, after the write persisted; the rollback target is
+  // the just-written checkpoint, so no work is lost.
+  FailureTrace trace{{{101.0}, {}}};
+  common::Rng rng(1);
+  const auto r = simulate_trace(cfg, schedule, trace, rng, no_jitter());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.failures_per_level[0], 1);
+  EXPECT_NEAR(r.portions.rollback, 0.0, 1e-9);
+  EXPECT_NEAR(r.wallclock, 1000.0 + 50.0 + 32.0, 1e-9);
+}
+
+TEST(SimTrace, FailureDuringCheckpointKillsWriteUnderStrictSemantics) {
+  const auto cfg = two_level();
+  const auto schedule = schedule_for(cfg, 10.0, 5.0);
+  FailureTrace trace{{{101.0}, {}}};
+  common::Rng rng(1);
+  SimOptions options = no_jitter();
+  options.atomic_checkpoints = false;
+  const auto r = simulate_trace(cfg, schedule, trace, rng, options);
+  ASSERT_TRUE(r.completed);
+  // The interrupted write is discarded: rollback goes to position 0 and
+  // the 100 s of work re-execute.
+  EXPECT_NEAR(r.portions.rollback, 100.0 + 1.0, 1.5);
+}
+
+TEST(SimTrace, QueuedFailuresEachPayRecoveryUnderSerialSemantics) {
+  const auto cfg = two_level();
+  const auto schedule = schedule_for(cfg, 10.0, 5.0);
+  // Two level-1 failures 5 s apart; the second arrives during the first
+  // recovery (A + R1 = 32 s) and queues behind it.
+  FailureTrace trace{{{150.0, 155.0}, {}}};
+  common::Rng rng(1);
+  const auto r = simulate_trace(cfg, schedule, trace, rng, no_jitter());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.failures_per_level[0], 2);
+  EXPECT_NEAR(r.portions.restart, 64.0, 1e-9);  // 2 x (A + R1)
+}
+
+TEST(SimTrace, CollapseSemanticsShareTheRecovery) {
+  const auto cfg = two_level();
+  const auto schedule = schedule_for(cfg, 10.0, 5.0);
+  FailureTrace trace{{{150.0, 155.0}, {}}};
+  common::Rng rng(1);
+  SimOptions options = no_jitter();
+  options.serial_recovery = false;
+  const auto r = simulate_trace(cfg, schedule, trace, rng, options);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.failures_per_level[0], 2);
+  // First recovery runs 5 s, is aborted, second runs to completion:
+  // 5 + 32 = 37 s in restart, less than the serial 64 s.
+  EXPECT_NEAR(r.portions.restart, 37.0, 1e-9);
+}
+
+TEST(SimTrace, FailureAfterCompletionIsIgnored) {
+  const auto cfg = two_level();
+  const auto schedule = schedule_for(cfg, 10.0, 5.0);
+  FailureTrace trace{{{5000.0}, {}}};
+  common::Rng rng(1);
+  const auto r = simulate_trace(cfg, schedule, trace, rng, no_jitter());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.failures_per_level[0], 0);
+  EXPECT_NEAR(r.wallclock, 1050.0, 1e-9);
+}
+
+TEST(SimWeibull, ShapeOnePreservesExponentialStatistics) {
+  const auto cfg = two_level_hot();
+  const auto schedule = schedule_for(cfg, 10.0, 5.0);
+  // weibull_shape = 1 must sample the same distribution family as the
+  // default; means over many runs agree within Monte-Carlo noise.
+  double mean_default = 0.0, mean_weibull = 0.0;
+  constexpr int kRuns = 60;
+  for (int seed = 0; seed < kRuns; ++seed) {
+    common::Rng rng1(static_cast<std::uint64_t>(seed));
+    mean_default += simulate(cfg, schedule, rng1, no_jitter()).wallclock;
+    common::Rng rng2(static_cast<std::uint64_t>(seed) + 1000);
+    SimOptions weibull = no_jitter();
+    weibull.weibull_shape = 1.0;
+    mean_weibull += simulate(cfg, schedule, rng2, weibull).wallclock;
+  }
+  EXPECT_NEAR(mean_weibull / mean_default, 1.0, 0.05);
+}
+
+TEST(SimWeibull, WearOutShapeChangesFailureClustering) {
+  // Same mean rate but shape 3 (wear-out): inter-arrival variance shrinks,
+  // so failure counts per run concentrate around the mean.
+  const auto cfg = two_level_hot();
+  const auto schedule = schedule_for(cfg, 10.0, 5.0);
+  stat::Summary exponential_counts, weibull_counts;
+  for (int seed = 0; seed < 80; ++seed) {
+    common::Rng rng1(static_cast<std::uint64_t>(seed));
+    const auto a = simulate(cfg, schedule, rng1, no_jitter());
+    exponential_counts.add(static_cast<double>(a.failures_per_level[0]));
+    common::Rng rng2(static_cast<std::uint64_t>(seed));
+    SimOptions weibull = no_jitter();
+    weibull.weibull_shape = 3.0;
+    const auto b = simulate(cfg, schedule, rng2, weibull);
+    weibull_counts.add(static_cast<double>(b.failures_per_level[0]));
+  }
+  // Comparable means...
+  EXPECT_NEAR(weibull_counts.mean() / std::max(1.0, exponential_counts.mean()),
+              1.0, 0.35);
+  // ...but lower dispersion for the wear-out shape.
+  EXPECT_LT(weibull_counts.variance(), exponential_counts.variance());
+}
+
+}  // namespace

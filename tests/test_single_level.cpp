@@ -1,0 +1,162 @@
+// Golden tests against the paper's Figure 3 reference optima, plus
+// cross-validation against a brute-force grid search.
+#include "opt/single_level.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "model/wallclock.h"
+#include "opt/grid_search.h"
+
+namespace {
+
+using namespace mlcr;
+using namespace mlcr::opt;
+
+// Figure 3 setting: Te = 4000 core-days, quadratic speedup (kappa = 0.46,
+// N_star = 1e5), mu(N) = 0.005 N, eta0 + A = 5 s.
+model::SystemConfig fig3_config(model::Overhead cost) {
+  std::vector<model::LevelOverheads> levels{{cost, cost}};
+  model::FailureRates rates({1.0}, 1e5);
+  return model::SystemConfig(common::core_days_to_seconds(4000.0),
+                             std::make_unique<model::QuadraticSpeedup>(0.46,
+                                                                       1e5),
+                             std::move(levels), std::move(rates),
+                             /*allocation=*/0.0);
+}
+
+TEST(Fig3ConstantCost, ReproducesPaperOptimum) {
+  // Paper: x* = 797, N* = 81,746 for C(N) = R(N) = 5 s.
+  const auto cfg = fig3_config(model::Overhead::constant(5.0));
+  const model::MuModel mu({0.005});
+  const auto s = solve_single_level(cfg, mu);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.x, 797.0, 2.0);
+  EXPECT_NEAR(s.n, 81746.0, 100.0);
+}
+
+TEST(Fig3LinearCost, ReproducesPaperOptimum) {
+  // Paper: x* = 140, N* = 20,215 for C(N) = R(N) = 5 + 0.005 N.
+  const auto cfg = fig3_config(model::Overhead::linear(5.0, 0.005));
+  const model::MuModel mu({0.005});
+  const auto s = solve_single_level(cfg, mu);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.x, 140.0, 2.0);
+  EXPECT_NEAR(s.n, 20215.0, 100.0);
+}
+
+TEST(Fig3ConstantCost, ConvergesInTensOfIterations) {
+  // Paper: "our iterative method needs just 30-40 iterations" (threshold
+  // 1e-6, x0 = 100,000).  Allow a small margin around that band.
+  const auto cfg = fig3_config(model::Overhead::constant(5.0));
+  const model::MuModel mu({0.005});
+  const auto s = solve_single_level(cfg, mu);
+  ASSERT_TRUE(s.converged);
+  EXPECT_LE(s.iterations, 60);
+}
+
+TEST(Fig3ConstantCost, GridSearchConfirmsOptimum) {
+  const auto cfg = fig3_config(model::Overhead::constant(5.0));
+  const model::MuModel mu({0.005});
+  const auto s = solve_single_level(cfg, mu);
+  const auto grid = grid_search_single(cfg, mu);
+  // The analytic optimum must not be beaten by more than grid resolution.
+  EXPECT_LE(s.wallclock, grid.best_value * 1.0005);
+}
+
+TEST(Fig3LinearCost, GridSearchConfirmsOptimum) {
+  const auto cfg = fig3_config(model::Overhead::linear(5.0, 0.005));
+  const model::MuModel mu({0.005});
+  const auto s = solve_single_level(cfg, mu);
+  const auto grid = grid_search_single(cfg, mu);
+  EXPECT_LE(s.wallclock, grid.best_value * 1.0005);
+}
+
+TEST(ClosedFormLinear, MatchesFormulas10And11) {
+  // Linear speedup, constant costs: x* = sqrt(b Te/(2 kappa eps0)),
+  // N* = sqrt(Te / (kappa b (eta0 + A))).
+  const double kappa = 0.5, b = 1e-4, eps0 = 10.0, eta0 = 12.0, a = 8.0;
+  const double te = common::core_days_to_seconds(100.0);
+  std::vector<model::LevelOverheads> levels{
+      {model::Overhead::constant(eps0), model::Overhead::constant(eta0)}};
+  model::FailureRates rates({1.0}, 1e5);
+  model::SystemConfig cfg(te, std::make_unique<model::LinearSpeedup>(kappa),
+                          std::move(levels), std::move(rates), a);
+  const model::MuModel mu({b});
+  const auto s = solve_single_level_linear(cfg, mu);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.x, std::sqrt(b * te / (2.0 * kappa * eps0)), 1e-6);
+  EXPECT_NEAR(s.n, std::sqrt(te / (kappa * b * (eta0 + a))), 1e-6);
+}
+
+TEST(ClosedFormLinear, StationaryUnderFormula13) {
+  const double kappa = 0.5, b = 1e-4;
+  const double te = common::core_days_to_seconds(100.0);
+  std::vector<model::LevelOverheads> levels{
+      {model::Overhead::constant(10.0), model::Overhead::constant(12.0)}};
+  model::FailureRates rates({1.0}, 1e5);
+  model::SystemConfig cfg(te, std::make_unique<model::LinearSpeedup>(kappa),
+                          std::move(levels), std::move(rates), 8.0);
+  const model::MuModel mu({b});
+  const auto s = solve_single_level_linear(cfg, mu);
+  EXPECT_NEAR(model::single_dx(cfg, mu, s.x, s.n), 0.0, 1e-8);
+  EXPECT_NEAR(model::single_dn(cfg, mu, s.x, s.n), 0.0, 1e-10);
+}
+
+TEST(ClosedFormLinear, RejectsNonlinearSpeedup) {
+  std::vector<model::LevelOverheads> levels{
+      {model::Overhead::constant(5.0), model::Overhead::constant(5.0)}};
+  model::FailureRates rates({1.0}, 1e5);
+  model::SystemConfig cfg(86400.0,
+                          std::make_unique<model::QuadraticSpeedup>(0.46, 1e5),
+                          std::move(levels), std::move(rates), 0.0);
+  EXPECT_THROW((void)solve_single_level_linear(cfg, model::MuModel({0.005})),
+               common::Error);
+}
+
+TEST(FixedScale, MatchesYoungAtGivenScale) {
+  const auto cfg = fig3_config(model::Overhead::constant(5.0));
+  const model::MuModel mu({0.005});
+  const double n = 1e5;
+  const auto s = solve_single_level_fixed_scale(cfg, mu, n);
+  ASSERT_TRUE(s.converged);
+  EXPECT_DOUBLE_EQ(s.n, n);
+  const double expected = std::sqrt(mu.mu(0, n) * cfg.te() /
+                                    (2.0 * 5.0 * cfg.speedup().value(n)));
+  EXPECT_NEAR(s.x, expected, 1e-9);
+}
+
+TEST(FixedScale, OptScaleBeatsOriScale) {
+  // Optimizing the scale can only improve the Formula (13) objective.
+  const auto cfg = fig3_config(model::Overhead::constant(5.0));
+  const model::MuModel mu({0.005});
+  const auto opt = solve_single_level(cfg, mu);
+  const auto ori = solve_single_level_fixed_scale(cfg, mu, 1e5);
+  EXPECT_LT(opt.wallclock, ori.wallclock);
+}
+
+// Property sweep: for several failure intensities, the fixed-point optimum
+// matches the grid search and gradients vanish.
+class SingleLevelSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SingleLevelSweep, StationaryAndGridConfirmed) {
+  const double b = GetParam();
+  const auto cfg = fig3_config(model::Overhead::constant(5.0));
+  const model::MuModel mu({b});
+  const auto s = solve_single_level(cfg, mu);
+  ASSERT_TRUE(s.converged) << "b=" << b;
+  // Interior optimum: gradients vanish (normalized); boundary: skip dx/dn.
+  if (s.n < cfg.scale_upper_bound() * 0.999) {
+    EXPECT_NEAR(model::single_dx(cfg, mu, s.x, s.n) / cfg.ckpt_cost(0, s.n),
+                0.0, 1e-2);
+  }
+  const auto grid = grid_search_single(cfg, mu);
+  EXPECT_LE(s.wallclock, grid.best_value * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(FailureIntensities, SingleLevelSweep,
+                         ::testing::Values(1e-4, 1e-3, 0.005, 0.02, 0.1));
+
+}  // namespace

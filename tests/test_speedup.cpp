@@ -1,0 +1,136 @@
+#include "model/speedup.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "num/derivative.h"
+
+namespace {
+
+using namespace mlcr::model;
+
+TEST(LinearSpeedup, ValueAndDerivative) {
+  LinearSpeedup s(0.46);
+  EXPECT_DOUBLE_EQ(s.value(100.0), 46.0);
+  EXPECT_DOUBLE_EQ(s.derivative(12345.0), 0.46);
+  EXPECT_TRUE(std::isinf(s.ideal_scale()));
+}
+
+TEST(LinearSpeedup, RejectsNonPositiveKappa) {
+  EXPECT_THROW(LinearSpeedup(0.0), mlcr::common::Error);
+}
+
+TEST(QuadraticSpeedup, MatchesFormula12) {
+  // g(N) = -kappa/(2 Nsym) N^2 + kappa N; paper example kappa=0.46, Nsym=1e5.
+  QuadraticSpeedup s(0.46, 1e5);
+  const double n = 81746.0;
+  const double expected = -0.46 / 2e5 * n * n + 0.46 * n;
+  EXPECT_NEAR(s.value(n), expected, 1e-9);
+  EXPECT_NEAR(s.value(n), 22233.0, 1.0);  // hand-checked from the paper
+}
+
+TEST(QuadraticSpeedup, DerivativeZeroAtSymmetryAxis) {
+  QuadraticSpeedup s(0.46, 1e5);
+  EXPECT_NEAR(s.derivative(1e5), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.ideal_scale(), 1e5);
+  EXPECT_GT(s.derivative(5e4), 0.0);
+  EXPECT_LT(s.derivative(1.5e5), 0.0);
+}
+
+TEST(QuadraticSpeedup, AnalyticDerivativeMatchesNumeric) {
+  QuadraticSpeedup s(0.46, 1e5);
+  for (double n : {1e3, 2e4, 8e4}) {
+    const double numeric =
+        mlcr::num::derivative([&](double v) { return s.value(v); }, n);
+    EXPECT_NEAR(s.derivative(n), numeric, 1e-6 * std::fabs(numeric) + 1e-9);
+  }
+}
+
+TEST(QuadraticSpeedup, FromCoefficientsRoundTrip) {
+  QuadraticSpeedup original(0.46, 1e5);
+  // g = a1 N + a2 N^2 with a1 = kappa, a2 = -kappa/(2 Nsym)
+  const auto rebuilt =
+      QuadraticSpeedup::from_coefficients(0.46, -0.46 / (2.0 * 1e5));
+  EXPECT_NEAR(rebuilt.kappa(), original.kappa(), 1e-12);
+  EXPECT_NEAR(rebuilt.n_symmetry(), original.n_symmetry(), 1e-6);
+}
+
+TEST(QuadraticSpeedup, FromCoefficientsRejectsConvex) {
+  EXPECT_THROW(QuadraticSpeedup::from_coefficients(0.46, 0.001),
+               mlcr::common::Error);
+}
+
+TEST(AmdahlSpeedup, CapsAtInverseSerialFraction) {
+  AmdahlSpeedup s(0.01);
+  EXPECT_NEAR(s.value(1.0), 1.0, 1e-12);
+  EXPECT_LT(s.value(1e9), 100.0);
+  EXPECT_GT(s.value(1e9), 99.0);
+}
+
+TEST(AmdahlSpeedup, DerivativeMatchesNumeric) {
+  AmdahlSpeedup s(0.05);
+  for (double n : {2.0, 10.0, 100.0, 1e4}) {
+    const double numeric =
+        mlcr::num::derivative([&](double v) { return s.value(v); }, n);
+    EXPECT_NEAR(s.derivative(n), numeric,
+                1e-5 * std::fabs(numeric) + 1e-12);
+  }
+}
+
+TEST(TabulatedSpeedup, InterpolatesMeasuredPoints) {
+  const std::vector<double> n{128, 256, 512, 1024};
+  const std::vector<double> g{60, 110, 190, 300};
+  TabulatedSpeedup s(n, g);
+  EXPECT_DOUBLE_EQ(s.value(256), 110.0);
+  EXPECT_DOUBLE_EQ(s.value(384), 150.0);  // midpoint of 110 and 190
+  // below the first point the curve heads to the origin
+  EXPECT_DOUBLE_EQ(s.value(64), 30.0);
+}
+
+TEST(TabulatedSpeedup, IdealScaleAtPeak) {
+  // eddy_uv-like: speedup peaks at 100 cores then declines (Figure 2(b)).
+  const std::vector<double> n{10, 50, 100, 200, 400};
+  const std::vector<double> g{8, 35, 52, 45, 30};
+  TabulatedSpeedup s(n, g);
+  EXPECT_DOUBLE_EQ(s.ideal_scale(), 100.0);
+}
+
+TEST(TabulatedSpeedup, RejectsUnsortedScales) {
+  const std::vector<double> n{10, 5};
+  const std::vector<double> g{1, 2};
+  EXPECT_THROW(TabulatedSpeedup(n, g), mlcr::common::Error);
+}
+
+TEST(Clone, PreservesBehaviour) {
+  QuadraticSpeedup s(0.46, 1e5);
+  const auto copy = s.clone();
+  EXPECT_DOUBLE_EQ(copy->value(5e4), s.value(5e4));
+  EXPECT_DOUBLE_EQ(copy->ideal_scale(), s.ideal_scale());
+}
+
+// Property: all speedup shapes are increasing on (0, ideal_scale).
+class SpeedupMonotoneTest
+    : public ::testing::TestWithParam<std::shared_ptr<Speedup>> {};
+
+TEST_P(SpeedupMonotoneTest, IncreasingBelowIdealScale) {
+  const auto& s = *GetParam();
+  const double hi = std::min(s.ideal_scale(), 1e6);
+  double prev = 0.0;
+  for (int i = 1; i <= 50; ++i) {
+    const double n = hi * i / 50.0;
+    const double v = s.value(n);
+    EXPECT_GT(v, prev) << "at N=" << n;
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpeedupMonotoneTest,
+    ::testing::Values(std::make_shared<LinearSpeedup>(0.46),
+                      std::make_shared<QuadraticSpeedup>(0.46, 1e5),
+                      std::make_shared<QuadraticSpeedup>(0.9, 1e6),
+                      std::make_shared<AmdahlSpeedup>(1e-6)));
+
+}  // namespace

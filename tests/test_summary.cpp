@@ -1,0 +1,79 @@
+#include "stat/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using mlcr::stat::Summary;
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Summary, KnownMeanAndVariance) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // sample variance of this classic set is 32/7
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Summary all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = 0.37 * i - 3.0;
+    all.add(v);
+    (i < 40 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  Summary b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Summary, CiShrinksWithSamples) {
+  Summary few, many;
+  for (int i = 0; i < 10; ++i) few.add(i % 3);
+  for (int i = 0; i < 1000; ++i) many.add(i % 3);
+  EXPECT_GT(few.ci95_half_width(), many.ci95_half_width());
+}
+
+TEST(Summary, NumericallyStableOnLargeOffsets) {
+  Summary s;
+  for (int i = 0; i < 1000; ++i) s.add(1e12 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e12 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25 * 1000.0 / 999.0, 1e-3);
+}
+
+}  // namespace

@@ -1,0 +1,54 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using mlcr::common::strf;
+using mlcr::common::Table;
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"case", "wct", "eff"});
+  t.add_row({"16-12-8-4", "14.6", "0.158"});
+  t.add_row({"8-6-4-2", "12.8", "0.173"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("case"), std::string::npos);
+  EXPECT_NE(out.find("16-12-8-4"), std::string::npos);
+  EXPECT_NE(out.find("0.173"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "b"});
+  t.add_row({"xxxx", "1"});
+  t.add_row({"y", "22"});
+  const std::string out = t.to_string();
+  // every line has the same length
+  std::size_t expected = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    const std::size_t eol = out.find('\n', pos);
+    EXPECT_EQ(eol - pos, expected);
+    pos = eol + 1;
+  }
+}
+
+TEST(Table, NumericRowFormatsValues) {
+  Table t({"label", "v1", "v2"});
+  t.add_row("row", {1.23456, 1000.0}, "%.2f");
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("1000.00"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPad) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Strf, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%d-%d", 3, 4), "3-4");
+  EXPECT_EQ(strf("%.3f", 2.0), "2.000");
+}
+
+}  // namespace

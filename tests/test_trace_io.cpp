@@ -1,0 +1,103 @@
+#include "sim/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "exp/cases.h"
+
+namespace {
+
+using namespace mlcr;
+using namespace mlcr::sim;
+
+TEST(TraceIo, RoundTripPreservesEveryEvent) {
+  FailureTrace trace;
+  trace.arrivals_per_level = {{1.5, 2.25, 9.0}, {0.5}, {}, {3.125}};
+  const std::string text = trace_to_string(trace);
+  const auto loaded = trace_from_string(text, 4);
+  ASSERT_EQ(loaded.arrivals_per_level.size(), 4u);
+  EXPECT_EQ(loaded.arrivals_per_level[0], trace.arrivals_per_level[0]);
+  EXPECT_EQ(loaded.arrivals_per_level[1], trace.arrivals_per_level[1]);
+  EXPECT_TRUE(loaded.arrivals_per_level[2].empty());
+  EXPECT_EQ(loaded.arrivals_per_level[3], trace.arrivals_per_level[3]);
+}
+
+TEST(TraceIo, EventsWrittenInTimeOrder) {
+  FailureTrace trace;
+  trace.arrivals_per_level = {{5.0}, {1.0}, {3.0}};
+  const std::string text = trace_to_string(trace);
+  const auto one = text.find("1 2");   // t=1, level 2
+  const auto three = text.find("3 3");
+  const auto five = text.find("5 1");
+  EXPECT_LT(one, three);
+  EXPECT_LT(three, five);
+}
+
+TEST(TraceIo, RejectsMalformedLines) {
+  EXPECT_THROW((void)trace_from_string("banana\n", 4), common::Error);
+  EXPECT_THROW((void)trace_from_string("1.0\n", 4), common::Error);
+}
+
+TEST(TraceIo, RejectsOutOfRangeLevels) {
+  EXPECT_THROW((void)trace_from_string("1.0 0\n", 4), common::Error);
+  EXPECT_THROW((void)trace_from_string("1.0 5\n", 4), common::Error);
+}
+
+TEST(TraceIo, RejectsNonAscendingTimesPerLevel) {
+  EXPECT_THROW((void)trace_from_string("2.0 1\n1.0 1\n", 4), common::Error);
+  // Different levels may interleave freely.
+  EXPECT_NO_THROW((void)trace_from_string("2.0 1\n1.0 2\n", 4));
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  const auto trace =
+      trace_from_string("# header\n\n# comment\n1.0 1\n", 2);
+  EXPECT_EQ(trace_event_count(trace), 1u);
+}
+
+TEST(TraceIo, PoissonGeneratorMatchesExpectedCounts) {
+  model::FailureRates rates({16, 12, 8, 4}, 1e6);
+  common::Rng rng(7);
+  const double horizon = 200.0 * 86400.0;  // 200 days
+  const auto trace = draw_poisson_trace(rates, 1e6, horizon, rng);
+  ASSERT_EQ(trace.arrivals_per_level.size(), 4u);
+  const double expected[4] = {16 * 200.0, 12 * 200.0, 8 * 200.0, 4 * 200.0};
+  for (std::size_t level = 0; level < 4; ++level) {
+    const double count =
+        static_cast<double>(trace.arrivals_per_level[level].size());
+    EXPECT_NEAR(count / expected[level], 1.0, 0.1) << "level " << level;
+    EXPECT_TRUE(std::is_sorted(trace.arrivals_per_level[level].begin(),
+                               trace.arrivals_per_level[level].end()));
+  }
+}
+
+TEST(TraceIo, GeneratedTraceDrivesSimulatorLikeSampledFailures) {
+  // A generated trace replayed through simulate_trace must statistically
+  // match direct sampling at the same rates.
+  const auto cfg = exp::make_fti_system(3e6, exp::FailureCase{"t", {8, 6, 4, 2}});
+  model::Plan plan{{9000, 4500, 3000, 49}, 5e5};
+  const auto schedule =
+      Schedule::from_plan(cfg, plan, std::vector<bool>(4, true));
+
+  double sampled_total = 0.0, replayed_total = 0.0;
+  constexpr int kRuns = 15;
+  for (int seed = 0; seed < kRuns; ++seed) {
+    common::Rng rng1(static_cast<std::uint64_t>(seed));
+    sampled_total += simulate(cfg, schedule, rng1).wallclock;
+
+    common::Rng trace_rng(static_cast<std::uint64_t>(seed) + 500);
+    const auto trace = draw_poisson_trace(cfg.rates(), plan.scale,
+                                          365.0 * 86400.0, trace_rng);
+    common::Rng rng2(static_cast<std::uint64_t>(seed) + 900);
+    replayed_total += simulate_trace(cfg, schedule, trace, rng2).wallclock;
+  }
+  EXPECT_NEAR(replayed_total / sampled_total, 1.0, 0.05);
+}
+
+TEST(TraceIo, EventCount) {
+  FailureTrace trace;
+  trace.arrivals_per_level = {{1, 2}, {}, {3}};
+  EXPECT_EQ(trace_event_count(trace), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,32 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace mlcr::common;
+
+TEST(Units, CoreDaysRoundTrip) {
+  EXPECT_DOUBLE_EQ(core_days_to_seconds(1.0), 86400.0);
+  EXPECT_DOUBLE_EQ(seconds_to_days(core_days_to_seconds(3.5)), 3.5);
+}
+
+TEST(Units, PerDayToPerSecond) {
+  EXPECT_DOUBLE_EQ(per_day_to_per_second(86400.0), 1.0);
+  EXPECT_DOUBLE_EQ(per_day_to_per_second(8.0), 8.0 / 86400.0);
+}
+
+TEST(Units, FormatDurationPicksUnit) {
+  EXPECT_EQ(format_duration(30.0), "30.00s");
+  EXPECT_EQ(format_duration(120.0), "2.00m");
+  EXPECT_EQ(format_duration(7200.0), "2.00h");
+  EXPECT_EQ(format_duration(2.0 * 86400.0), "2.00d");
+}
+
+TEST(Units, FormatCountPicksSuffix) {
+  EXPECT_EQ(format_count(500.0), "500");
+  EXPECT_EQ(format_count(81746.0), "81.7k");
+  EXPECT_EQ(format_count(1e6), "1m");
+}
+
+}  // namespace

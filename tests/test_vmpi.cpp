@@ -1,0 +1,243 @@
+#include "vmpi/comm.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "vmpi/engine.h"
+#include "vmpi/task.h"
+
+// Coroutines are written as free functions: GCC 12 miscompiles some
+// coroutine lambdas ("array used as initializer").
+namespace {
+
+using namespace mlcr::vmpi;
+
+RankTask sleep_twice(Engine& e, double* out) {
+  co_await e.sleep(5.0);
+  co_await e.sleep(2.5);
+  *out = e.now();
+}
+
+TEST(Engine, SleepAdvancesVirtualTime) {
+  Engine engine;
+  double observed = -1.0;
+  engine.spawn(sleep_twice(engine, &observed));
+  engine.run();
+  EXPECT_DOUBLE_EQ(observed, 7.5);
+}
+
+RankTask log_after(Engine& e, std::vector<int>* log, int id, double delay) {
+  co_await e.sleep(delay);
+  log->push_back(id);
+}
+
+TEST(Engine, TasksInterleaveByTime) {
+  Engine engine;
+  std::vector<int> order;
+  engine.spawn(log_after(engine, &order, 1, 3.0));
+  engine.spawn(log_after(engine, &order, 2, 1.0));
+  engine.spawn(log_after(engine, &order, 3, 2.0));
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+RankTask throwing_task(Engine& e) {
+  co_await e.sleep(1.0);
+  throw mlcr::common::Error("rank blew up");
+}
+
+TEST(Engine, PropagatesTaskException) {
+  Engine engine;
+  engine.spawn(throwing_task(engine));
+  EXPECT_THROW(engine.run(), mlcr::common::Error);
+}
+
+Task<double> inner_value(Engine& e) {
+  co_await e.sleep(2.0);
+  co_return 42.0;
+}
+
+RankTask outer_task(Engine& e, double* out) {
+  *out = co_await inner_value(e);
+  *out += e.now();  // inner's sleep advanced time
+}
+
+TEST(Engine, InnerTaskResultFlowsBack) {
+  Engine engine;
+  double result = 0.0;
+  engine.spawn(outer_task(engine, &result));
+  engine.run();
+  EXPECT_DOUBLE_EQ(result, 44.0);
+}
+
+RankTask send_bytes(Comm& c, int from, int to, int tag, Bytes data,
+                    double delay = 0.0) {
+  if (delay > 0.0) co_await c.engine().sleep(delay);
+  co_await c.send(from, to, tag, std::move(data));
+}
+
+RankTask recv_bytes(Comm& c, int at, int from, int tag, Bytes* out) {
+  *out = co_await c.recv(at, from, tag);
+}
+
+TEST(Comm, SendRecvTransfersData) {
+  Engine engine;
+  Comm comm(engine, 2);
+  Bytes got;
+  engine.spawn(send_bytes(comm, 0, 1, 7, Bytes{1, 2, 3, 4}));
+  engine.spawn(recv_bytes(comm, 1, 0, 7, &got));
+  engine.run();
+  EXPECT_EQ(got, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Comm, RecvBeforeSendAlsoMatches) {
+  Engine engine;
+  Comm comm(engine, 2);
+  Bytes got;
+  engine.spawn(recv_bytes(comm, 0, 1, 5, &got));
+  engine.spawn(send_bytes(comm, 1, 0, 5, Bytes{9}, /*delay=*/10.0));
+  engine.run();
+  EXPECT_EQ(got, Bytes{9});
+  EXPECT_GT(engine.now(), 10.0);  // rendezvous waited for the sender
+}
+
+RankTask recv_one(Comm& c, int at, int from, int tag) {
+  (void)co_await c.recv(at, from, tag);
+}
+
+TEST(Comm, TransferTimeScalesWithBytes) {
+  NetworkModel net;
+  net.latency = 1e-3;
+  net.bandwidth = 1e6;  // 1 MB/s
+  EXPECT_NEAR(net.transfer_time(1'000'000), 1.001, 1e-9);
+
+  Engine engine;
+  Comm comm(engine, 2, net);
+  engine.spawn(send_bytes(comm, 0, 1, 0, Bytes(500'000, 0xAB)));
+  engine.spawn(recv_one(comm, 1, 0, 0));
+  engine.run();
+  EXPECT_NEAR(engine.now(), 0.501, 1e-6);
+}
+
+RankTask send_two_tags(Comm& c) {
+  // Bytes built as locals: GCC 12 rejects repeated braced-init temporaries
+  // inside one coroutine ("array used as initializer").
+  Bytes first(1, 2);
+  Bytes second(1, 1);
+  co_await c.send(0, 1, /*tag=*/2, std::move(first));
+  co_await c.send(0, 1, /*tag=*/1, std::move(second));
+}
+
+RankTask recv_two_tags(Comm& c, Bytes* first, Bytes* second) {
+  *first = co_await c.recv(1, 0, /*tag=*/1);
+  *second = co_await c.recv(1, 0, /*tag=*/2);
+}
+
+TEST(Comm, MessagesWithDifferentTagsDoNotCross) {
+  Engine engine;
+  Comm comm(engine, 2);
+  Bytes a, b;
+  engine.spawn(send_two_tags(comm));
+  engine.spawn(recv_two_tags(comm, &a, &b));
+  engine.run();
+  EXPECT_EQ(a, Bytes{1});
+  EXPECT_EQ(b, Bytes{2});
+}
+
+TEST(Comm, UnmatchedRecvDeadlocks) {
+  Engine engine;
+  Comm comm(engine, 2);
+  engine.spawn(recv_one(comm, 0, 1, 99));  // nobody sends
+  EXPECT_THROW(engine.run(), mlcr::common::Error);
+}
+
+RankTask barrier_worker(Comm& comm, int rank, double delay,
+                        std::vector<int>* log) {
+  co_await comm.engine().sleep(delay);
+  co_await comm.barrier(rank);
+  log->push_back(rank);
+}
+
+TEST(Comm, BarrierReleasesEveryoneTogether) {
+  Engine engine;
+  Comm comm(engine, 3);
+  std::vector<int> after;
+  engine.spawn(barrier_worker(comm, 0, 1.0, &after));
+  engine.spawn(barrier_worker(comm, 1, 5.0, &after));
+  engine.spawn(barrier_worker(comm, 2, 3.0, &after));
+  engine.run();
+  ASSERT_EQ(after.size(), 3u);
+  // everyone released at (slowest arrival) + collective cost
+  EXPECT_GT(engine.now(), 5.0);
+}
+
+RankTask allreduce_worker(Comm& comm, int rank, double value, double* out) {
+  *out = co_await comm.allreduce_sum(rank, value);
+}
+
+TEST(Comm, AllreduceSumsContributions) {
+  Engine engine;
+  Comm comm(engine, 4);
+  double results[4] = {0, 0, 0, 0};
+  for (int r = 0; r < 4; ++r) {
+    engine.spawn(allreduce_worker(comm, r, r + 1.0, &results[r]));
+  }
+  engine.run();
+  for (double v : results) EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+RankTask two_allreduces(Comm& c, int rank, double* out1, double* out2) {
+  *out1 = co_await c.allreduce_sum(rank, 1.0);
+  *out2 = co_await c.allreduce_sum(rank, 10.0 + rank);
+}
+
+TEST(Comm, ConsecutiveAllreducesAreIndependent) {
+  Engine engine;
+  Comm comm(engine, 2);
+  double first[2], second[2];
+  engine.spawn(two_allreduces(comm, 0, &first[0], &second[0]));
+  engine.spawn(two_allreduces(comm, 1, &first[1], &second[1]));
+  engine.run();
+  EXPECT_DOUBLE_EQ(first[0], 2.0);
+  EXPECT_DOUBLE_EQ(second[0], 21.0);
+  EXPECT_DOUBLE_EQ(second[1], 21.0);
+}
+
+RankTask bcast_worker(Comm& comm, int rank, int root, Bytes payload,
+                      Bytes* out) {
+  *out = co_await comm.bcast(rank, root, std::move(payload));
+}
+
+TEST(Comm, BcastDeliversRootPayload) {
+  Engine engine;
+  Comm comm(engine, 3);
+  Bytes results[3];
+  for (int r = 0; r < 3; ++r) {
+    engine.spawn(bcast_worker(comm, r, /*root=*/1,
+                              r == 1 ? Bytes{7, 7, 7} : Bytes{}, &results[r]));
+  }
+  engine.run();
+  for (const auto& v : results) EXPECT_EQ(v, (Bytes{7, 7, 7}));
+}
+
+TEST(Comm, CollectiveCostGrowsLogarithmically) {
+  NetworkModel net;
+  EXPECT_LT(net.collective_time(2, 8), net.collective_time(64, 8));
+  EXPECT_NEAR(net.collective_time(64, 8) / net.collective_time(2, 8), 6.0,
+              1e-9);
+}
+
+TEST(Comm, ManyRanksBarrierScales) {
+  Engine engine;
+  Comm comm(engine, 256);
+  std::vector<int> done;
+  for (int r = 0; r < 256; ++r) {
+    engine.spawn(barrier_worker(comm, r, r * 0.001, &done));
+  }
+  engine.run();
+  EXPECT_EQ(done.size(), 256u);
+}
+
+}  // namespace

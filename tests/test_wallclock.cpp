@@ -1,0 +1,221 @@
+#include "model/wallclock.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "num/derivative.h"
+
+namespace {
+
+using namespace mlcr::model;
+
+// Single-level system matching the paper's Figure 3 setting:
+// Te = 4000 core-days, quadratic speedup kappa=0.46, Nsym=1e5,
+// C = R = 5 s constant, A = 0, mu(N) = 0.005 N.
+SystemConfig fig3_config() {
+  std::vector<LevelOverheads> levels{
+      {Overhead::constant(5.0), Overhead::constant(5.0)}};
+  FailureRates rates({1.0}, 1e5);  // placeholder; MuModel drives the math
+  return SystemConfig(mlcr::common::core_days_to_seconds(4000.0),
+                      std::make_unique<QuadraticSpeedup>(0.46, 1e5),
+                      std::move(levels), std::move(rates),
+                      /*allocation=*/0.0);
+}
+
+MuModel fig3_mu() { return MuModel({0.005}); }
+
+TEST(Wallclock, SingleLevelMatchesFormula13ByHand) {
+  const auto cfg = fig3_config();
+  const auto mu = fig3_mu();
+  const Plan plan{{100.0}, 50000.0};
+  const double te = cfg.te();
+  const double g = cfg.speedup().value(50000.0);
+  // Formula (13) + the C/2 self-term from Formula (18)'s k<=i sum:
+  const double expected = te / g + 5.0 * 99.0 +
+                          0.005 * 50000.0 *
+                              (te / g / 200.0 + 5.0 * 100.0 / 200.0 + 5.0);
+  EXPECT_NEAR(expected_wallclock(cfg, mu, plan), expected, 1e-6);
+}
+
+TEST(Wallclock, PortionsSumToTotal) {
+  const auto cfg = fig3_config();
+  const auto mu = fig3_mu();
+  const Plan plan{{797.0}, 81746.0};
+  const auto portions = expected_portions(cfg, mu, plan);
+  EXPECT_NEAR(portions.total(), expected_wallclock(cfg, mu, plan), 1e-9);
+  EXPECT_GT(portions.productive, 0.0);
+  EXPECT_GT(portions.checkpoint, 0.0);
+  EXPECT_GT(portions.restart, 0.0);
+  EXPECT_GT(portions.rollback, 0.0);
+}
+
+TEST(Wallclock, Fig3OptimumIsStationaryUnderFormula13) {
+  // Hand-verified from the paper: x* = 797, N* = 81746 with eta0 + A = 5.
+  // These are stationary points of the single-level target (Formula (13)).
+  const auto cfg = fig3_config();
+  const auto mu = fig3_mu();
+  const double x = 797.07, n = 81746.0;
+  const double productive = cfg.productive_time(n);
+  // Scale gradients relative to problem magnitude.
+  EXPECT_NEAR(single_dx(cfg, mu, x, n) / 5.0, 0.0, 1e-2);
+  EXPECT_NEAR(single_dn(cfg, mu, x, n) * n / productive, 0.0, 2e-2);
+}
+
+TEST(Wallclock, Formula21AddsHalfCheckpointRedoTerm) {
+  // The multilevel target (21) charges C/2 extra per failure compared to
+  // the single-level target (13); with L = 1 the difference is exactly
+  // mu(N) * C / 2.
+  const auto cfg = fig3_config();
+  const auto mu = fig3_mu();
+  const double x = 300.0, n = 60000.0;
+  const double multi = expected_wallclock(cfg, mu, Plan{{x}, n});
+  const double single = expected_wallclock_single(cfg, mu, x, n);
+  EXPECT_NEAR(multi - single, mu.mu(0, n) * 5.0 / 2.0, 1e-9);
+}
+
+TEST(Wallclock, SingleDxDnMatchNumericDerivatives) {
+  const auto cfg = fig3_config();
+  const auto mu = fig3_mu();
+  const double x = 500.0, n = 40000.0;
+  const double dx_numeric = mlcr::num::derivative(
+      [&](double v) { return expected_wallclock_single(cfg, mu, v, n); }, x);
+  const double dn_numeric = mlcr::num::derivative(
+      [&](double v) { return expected_wallclock_single(cfg, mu, x, v); }, n);
+  EXPECT_NEAR(single_dx(cfg, mu, x, n), dx_numeric,
+              1e-4 * std::fabs(dx_numeric) + 1e-8);
+  EXPECT_NEAR(single_dn(cfg, mu, x, n), dn_numeric,
+              1e-4 * std::fabs(dn_numeric) + 1e-8);
+}
+
+TEST(Wallclock, DxMatchesNumericDerivative) {
+  const auto cfg = fig3_config();
+  const auto mu = fig3_mu();
+  const Plan base{{300.0}, 60000.0};
+  const double analytic = wallclock_dx(cfg, mu, base, 0);
+  const double numeric = mlcr::num::derivative(
+      [&](double x) {
+        Plan p = base;
+        p.intervals[0] = x;
+        return expected_wallclock(cfg, mu, p);
+      },
+      300.0);
+  EXPECT_NEAR(analytic, numeric, 1e-4 * std::fabs(numeric) + 1e-8);
+}
+
+TEST(Wallclock, DnMatchesNumericDerivative) {
+  const auto cfg = fig3_config();
+  const auto mu = fig3_mu();
+  const Plan base{{300.0}, 60000.0};
+  const double analytic = wallclock_dn(cfg, mu, base);
+  const double numeric = mlcr::num::derivative(
+      [&](double n) {
+        Plan p = base;
+        p.scale = n;
+        return expected_wallclock(cfg, mu, p);
+      },
+      60000.0);
+  EXPECT_NEAR(analytic, numeric, 1e-4 * std::fabs(numeric) + 1e-8);
+}
+
+// Four-level system with the paper's FTI coefficients (Table II fits).
+SystemConfig fti_config(double te_core_days = 3e6, double nsym = 1e6) {
+  std::vector<LevelOverheads> levels{
+      {Overhead::constant(0.866), Overhead::constant(0.866)},
+      {Overhead::constant(2.586), Overhead::constant(2.586)},
+      {Overhead::constant(3.886), Overhead::constant(3.886)},
+      {Overhead::linear(5.5, 0.0212), Overhead::linear(5.5, 0.0212)}};
+  FailureRates rates({16, 12, 8, 4}, nsym);
+  return SystemConfig(mlcr::common::core_days_to_seconds(te_core_days),
+                      std::make_unique<QuadraticSpeedup>(0.46, nsym),
+                      std::move(levels), std::move(rates),
+                      /*allocation=*/60.0);
+}
+
+TEST(Wallclock, MultilevelDxMatchesNumericDerivativeEveryLevel) {
+  const auto cfg = fti_config();
+  const MuModel mu({2e-5, 1.5e-5, 1e-5, 5e-6});
+  const Plan base{{900.0, 450.0, 220.0, 60.0}, 5e5};
+  for (std::size_t level = 0; level < 4; ++level) {
+    const double analytic = wallclock_dx(cfg, mu, base, level);
+    const double numeric = mlcr::num::derivative(
+        [&](double x) {
+          Plan p = base;
+          p.intervals[level] = x;
+          return expected_wallclock(cfg, mu, p);
+        },
+        base.intervals[level]);
+    EXPECT_NEAR(analytic, numeric, 1e-4 * std::fabs(numeric) + 1e-6)
+        << "level " << level;
+  }
+}
+
+TEST(Wallclock, MultilevelDnMatchesNumericDerivative) {
+  const auto cfg = fti_config();
+  const MuModel mu({2e-5, 1.5e-5, 1e-5, 5e-6});
+  const Plan base{{900.0, 450.0, 220.0, 60.0}, 5e5};
+  const double analytic = wallclock_dn(cfg, mu, base);
+  const double numeric = mlcr::num::derivative(
+      [&](double n) {
+        Plan p = base;
+        p.scale = n;
+        return expected_wallclock(cfg, mu, p);
+      },
+      base.scale);
+  EXPECT_NEAR(analytic, numeric, 1e-3 * std::fabs(numeric) + 1e-6);
+}
+
+TEST(Wallclock, ConvexInEachIntervalVariable) {
+  // Paper claim: d2 E / d x_i^2 > 0 (Section III-D).
+  const auto cfg = fti_config();
+  const MuModel mu({2e-5, 1.5e-5, 1e-5, 5e-6});
+  const Plan base{{900.0, 450.0, 220.0, 60.0}, 5e5};
+  for (std::size_t level = 0; level < 4; ++level) {
+    const double d2 = mlcr::num::second_derivative(
+        [&](double x) {
+          Plan p = base;
+          p.intervals[level] = x;
+          return expected_wallclock(cfg, mu, p);
+        },
+        base.intervals[level]);
+    EXPECT_GT(d2, 0.0) << "level " << level;
+  }
+}
+
+TEST(Wallclock, RejectsShapeMismatches) {
+  const auto cfg = fig3_config();
+  const auto mu = fig3_mu();
+  EXPECT_THROW((void)expected_wallclock(cfg, mu, Plan{{1.0, 2.0}, 100.0}),
+               mlcr::common::Error);
+  EXPECT_THROW((void)expected_wallclock(cfg, mu, Plan{{10.0}, -1.0}),
+               mlcr::common::Error);
+  EXPECT_THROW((void)expected_wallclock(cfg, mu, Plan{{0.5}, 100.0}),
+               mlcr::common::Error);
+}
+
+TEST(Wallclock, MoreFailuresNeverHelp) {
+  const auto cfg = fti_config();
+  const Plan plan{{900.0, 450.0, 220.0, 60.0}, 5e5};
+  const MuModel low({1e-5, 1e-5, 1e-5, 1e-5});
+  const MuModel high({2e-5, 2e-5, 2e-5, 2e-5});
+  EXPECT_LT(expected_wallclock(cfg, low, plan),
+            expected_wallclock(cfg, high, plan));
+}
+
+TEST(Efficiency, DefinitionMatchesPaper) {
+  // efficiency = (Te / Tw) / N
+  EXPECT_DOUBLE_EQ(efficiency(100.0, 10.0, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(efficiency(100.0, 0.0, 5.0), 0.0);
+}
+
+TEST(SingleLevelView, MergesRatesAndKeepsTopLevel) {
+  const auto cfg = fti_config();
+  const auto sl = cfg.single_level_view();
+  EXPECT_EQ(sl.levels(), 1u);
+  EXPECT_DOUBLE_EQ(sl.rates().per_day_at_baseline(0), 16 + 12 + 8 + 4);
+  EXPECT_DOUBLE_EQ(sl.ckpt_cost(0, 1024.0), 5.5 + 0.0212 * 1024.0);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+#include "opt/young.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace {
+
+using namespace mlcr;
+using namespace mlcr::opt;
+
+TEST(YoungInterval, ClassicFormula) {
+  // tau = sqrt(2 C M): C = 50 s, MTBF = 1 day.
+  EXPECT_NEAR(young_interval(50.0, 86400.0), std::sqrt(2.0 * 50.0 * 86400.0),
+              1e-9);
+}
+
+TEST(YoungInterval, RejectsBadInputs) {
+  EXPECT_THROW((void)young_interval(0.0, 100.0), common::Error);
+  EXPECT_THROW((void)young_interval(10.0, 0.0), common::Error);
+}
+
+TEST(DalyInterval, CloseToYoungForSmallC) {
+  const double c = 10.0, m = 86400.0;
+  const double young = young_interval(c, m);
+  const double daly = daly_interval(c, m);
+  EXPECT_NEAR(daly, young, young * 0.02);
+  EXPECT_LT(daly, young);  // the -C correction dominates for small C/M
+}
+
+TEST(DalyInterval, FallsBackToMtbfForHugeC) {
+  EXPECT_DOUBLE_EQ(daly_interval(1e6, 100.0), 100.0);
+}
+
+model::SystemConfig fti_config() {
+  std::vector<model::LevelOverheads> levels{
+      {model::Overhead::constant(0.866), model::Overhead::constant(0.866)},
+      {model::Overhead::constant(2.586), model::Overhead::constant(2.586)},
+      {model::Overhead::constant(3.886), model::Overhead::constant(3.886)},
+      {model::Overhead::linear(5.5, 0.0212),
+       model::Overhead::linear(5.5, 0.0212)}};
+  model::FailureRates rates({16, 12, 8, 4}, 1e6);
+  return model::SystemConfig(common::core_days_to_seconds(3e6),
+                             std::make_unique<model::QuadraticSpeedup>(0.46,
+                                                                       1e6),
+                             std::move(levels), std::move(rates), 60.0);
+}
+
+TEST(YoungCounts, Formula25Shape) {
+  const auto cfg = fti_config();
+  const model::MuModel mu({2e-4, 1.5e-4, 1e-4, 5e-5});
+  const double n = 5e5;
+  const auto x = young_interval_counts(cfg, mu, n);
+  ASSERT_EQ(x.size(), 4u);
+  const double productive = cfg.productive_time(n);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double expected =
+        std::sqrt(mu.mu(i, n) * productive / (2.0 * cfg.ckpt_cost(i, n)));
+    EXPECT_NEAR(x[i], expected, 1e-9) << "level " << i;
+  }
+  // Cheaper levels checkpoint more often (higher failure rate, lower cost).
+  EXPECT_GT(x[0], x[1]);
+  EXPECT_GT(x[1], x[2]);
+  EXPECT_GT(x[2], x[3]);
+}
+
+TEST(YoungCounts, ClampedToAtLeastOne) {
+  const auto cfg = fti_config();
+  const model::MuModel mu({1e-12, 1e-12, 1e-12, 1e-12});
+  const auto x = young_interval_counts(cfg, mu, 1e4);
+  for (double v : x) EXPECT_GE(v, 1.0);
+}
+
+TEST(IntervalLength, InverseOfCount) {
+  const auto cfg = fti_config();
+  const double n = 5e5;
+  const double productive = cfg.productive_time(n);
+  EXPECT_NEAR(interval_length(cfg, 100.0, n), productive / 100.0, 1e-9);
+}
+
+}  // namespace
