@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_single_level.dir/bench_fig3_single_level.cpp.o"
+  "CMakeFiles/bench_fig3_single_level.dir/bench_fig3_single_level.cpp.o.d"
+  "bench_fig3_single_level"
+  "bench_fig3_single_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_single_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_time_analysis_10m.cpp" "bench/CMakeFiles/bench_fig6_time_analysis_10m.dir/bench_fig6_time_analysis_10m.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_time_analysis_10m.dir/bench_fig6_time_analysis_10m.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/mlcr_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mlcr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mlcr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/CMakeFiles/mlcr_fti.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mlcr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/mlcr_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/mlcr_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mlcr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/num/CMakeFiles/mlcr_num.dir/DependInfo.cmake"
+  "/root/repo/build/src/stat/CMakeFiles/mlcr_stat.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlcr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_time_analysis_10m.dir/bench_fig6_time_analysis_10m.cpp.o"
+  "CMakeFiles/bench_fig6_time_analysis_10m.dir/bench_fig6_time_analysis_10m.cpp.o.d"
+  "bench_fig6_time_analysis_10m"
+  "bench_fig6_time_analysis_10m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_time_analysis_10m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

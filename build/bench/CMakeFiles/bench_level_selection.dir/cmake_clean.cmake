@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_level_selection.dir/bench_level_selection.cpp.o"
+  "CMakeFiles/bench_level_selection.dir/bench_level_selection.cpp.o.d"
+  "bench_level_selection"
+  "bench_level_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_level_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_opt_scales.dir/bench_table3_opt_scales.cpp.o"
+  "CMakeFiles/bench_table3_opt_scales.dir/bench_table3_opt_scales.cpp.o.d"
+  "bench_table3_opt_scales"
+  "bench_table3_opt_scales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_opt_scales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

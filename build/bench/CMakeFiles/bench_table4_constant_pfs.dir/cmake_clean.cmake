@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_constant_pfs.dir/bench_table4_constant_pfs.cpp.o"
+  "CMakeFiles/bench_table4_constant_pfs.dir/bench_table4_constant_pfs.cpp.o.d"
+  "bench_table4_constant_pfs"
+  "bench_table4_constant_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_constant_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_and_optimize.dir/fit_and_optimize.cpp.o"
+  "CMakeFiles/fit_and_optimize.dir/fit_and_optimize.cpp.o.d"
+  "fit_and_optimize"
+  "fit_and_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_and_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

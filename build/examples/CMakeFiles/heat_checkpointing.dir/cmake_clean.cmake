@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_checkpointing.dir/heat_checkpointing.cpp.o"
+  "CMakeFiles/heat_checkpointing.dir/heat_checkpointing.cpp.o.d"
+  "heat_checkpointing"
+  "heat_checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_cli.dir/plan_cli.cpp.o"
+  "CMakeFiles/plan_cli.dir/plan_cli.cpp.o.d"
+  "plan_cli"
+  "plan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("num")
+subdirs("stat")
+subdirs("model")
+subdirs("opt")
+subdirs("exp")
+subdirs("sim")
+subdirs("rs")
+subdirs("vmpi")
+subdirs("cluster")
+subdirs("fti")
+subdirs("apps")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/eddy.cpp" "src/apps/CMakeFiles/mlcr_apps.dir/eddy.cpp.o" "gcc" "src/apps/CMakeFiles/mlcr_apps.dir/eddy.cpp.o.d"
+  "/root/repo/src/apps/heat.cpp" "src/apps/CMakeFiles/mlcr_apps.dir/heat.cpp.o" "gcc" "src/apps/CMakeFiles/mlcr_apps.dir/heat.cpp.o.d"
+  "/root/repo/src/apps/heat_ckpt.cpp" "src/apps/CMakeFiles/mlcr_apps.dir/heat_ckpt.cpp.o" "gcc" "src/apps/CMakeFiles/mlcr_apps.dir/heat_ckpt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vmpi/CMakeFiles/mlcr_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/CMakeFiles/mlcr_fti.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mlcr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlcr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/mlcr_rs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_apps.dir/eddy.cpp.o"
+  "CMakeFiles/mlcr_apps.dir/eddy.cpp.o.d"
+  "CMakeFiles/mlcr_apps.dir/heat.cpp.o"
+  "CMakeFiles/mlcr_apps.dir/heat.cpp.o.d"
+  "CMakeFiles/mlcr_apps.dir/heat_ckpt.cpp.o"
+  "CMakeFiles/mlcr_apps.dir/heat_ckpt.cpp.o.d"
+  "libmlcr_apps.a"
+  "libmlcr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlcr_apps.a"
+)

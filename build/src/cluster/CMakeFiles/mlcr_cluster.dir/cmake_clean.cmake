@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/mlcr_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/mlcr_cluster.dir/storage.cpp.o"
+  "CMakeFiles/mlcr_cluster.dir/storage.cpp.o.d"
+  "libmlcr_cluster.a"
+  "libmlcr_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_common.dir/log.cpp.o"
+  "CMakeFiles/mlcr_common.dir/log.cpp.o.d"
+  "CMakeFiles/mlcr_common.dir/rng.cpp.o"
+  "CMakeFiles/mlcr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mlcr_common.dir/table.cpp.o"
+  "CMakeFiles/mlcr_common.dir/table.cpp.o.d"
+  "CMakeFiles/mlcr_common.dir/units.cpp.o"
+  "CMakeFiles/mlcr_common.dir/units.cpp.o.d"
+  "libmlcr_common.a"
+  "libmlcr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

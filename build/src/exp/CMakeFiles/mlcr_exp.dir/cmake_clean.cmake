@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_exp.dir/cases.cpp.o"
+  "CMakeFiles/mlcr_exp.dir/cases.cpp.o.d"
+  "libmlcr_exp.a"
+  "libmlcr_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

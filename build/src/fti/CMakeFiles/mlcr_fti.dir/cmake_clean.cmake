@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_fti.dir/fti.cpp.o"
+  "CMakeFiles/mlcr_fti.dir/fti.cpp.o.d"
+  "libmlcr_fti.a"
+  "libmlcr_fti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_fti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/failure.cpp" "src/model/CMakeFiles/mlcr_model.dir/failure.cpp.o" "gcc" "src/model/CMakeFiles/mlcr_model.dir/failure.cpp.o.d"
+  "/root/repo/src/model/overhead.cpp" "src/model/CMakeFiles/mlcr_model.dir/overhead.cpp.o" "gcc" "src/model/CMakeFiles/mlcr_model.dir/overhead.cpp.o.d"
+  "/root/repo/src/model/speedup.cpp" "src/model/CMakeFiles/mlcr_model.dir/speedup.cpp.o" "gcc" "src/model/CMakeFiles/mlcr_model.dir/speedup.cpp.o.d"
+  "/root/repo/src/model/system.cpp" "src/model/CMakeFiles/mlcr_model.dir/system.cpp.o" "gcc" "src/model/CMakeFiles/mlcr_model.dir/system.cpp.o.d"
+  "/root/repo/src/model/wallclock.cpp" "src/model/CMakeFiles/mlcr_model.dir/wallclock.cpp.o" "gcc" "src/model/CMakeFiles/mlcr_model.dir/wallclock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlcr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/num/CMakeFiles/mlcr_num.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

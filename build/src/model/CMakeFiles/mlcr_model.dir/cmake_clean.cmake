@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_model.dir/failure.cpp.o"
+  "CMakeFiles/mlcr_model.dir/failure.cpp.o.d"
+  "CMakeFiles/mlcr_model.dir/overhead.cpp.o"
+  "CMakeFiles/mlcr_model.dir/overhead.cpp.o.d"
+  "CMakeFiles/mlcr_model.dir/speedup.cpp.o"
+  "CMakeFiles/mlcr_model.dir/speedup.cpp.o.d"
+  "CMakeFiles/mlcr_model.dir/system.cpp.o"
+  "CMakeFiles/mlcr_model.dir/system.cpp.o.d"
+  "CMakeFiles/mlcr_model.dir/wallclock.cpp.o"
+  "CMakeFiles/mlcr_model.dir/wallclock.cpp.o.d"
+  "libmlcr_model.a"
+  "libmlcr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/num/derivative.cpp" "src/num/CMakeFiles/mlcr_num.dir/derivative.cpp.o" "gcc" "src/num/CMakeFiles/mlcr_num.dir/derivative.cpp.o.d"
+  "/root/repo/src/num/least_squares.cpp" "src/num/CMakeFiles/mlcr_num.dir/least_squares.cpp.o" "gcc" "src/num/CMakeFiles/mlcr_num.dir/least_squares.cpp.o.d"
+  "/root/repo/src/num/minimize.cpp" "src/num/CMakeFiles/mlcr_num.dir/minimize.cpp.o" "gcc" "src/num/CMakeFiles/mlcr_num.dir/minimize.cpp.o.d"
+  "/root/repo/src/num/roots.cpp" "src/num/CMakeFiles/mlcr_num.dir/roots.cpp.o" "gcc" "src/num/CMakeFiles/mlcr_num.dir/roots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlcr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

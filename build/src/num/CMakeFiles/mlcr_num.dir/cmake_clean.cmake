@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_num.dir/derivative.cpp.o"
+  "CMakeFiles/mlcr_num.dir/derivative.cpp.o.d"
+  "CMakeFiles/mlcr_num.dir/least_squares.cpp.o"
+  "CMakeFiles/mlcr_num.dir/least_squares.cpp.o.d"
+  "CMakeFiles/mlcr_num.dir/minimize.cpp.o"
+  "CMakeFiles/mlcr_num.dir/minimize.cpp.o.d"
+  "CMakeFiles/mlcr_num.dir/roots.cpp.o"
+  "CMakeFiles/mlcr_num.dir/roots.cpp.o.d"
+  "libmlcr_num.a"
+  "libmlcr_num.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_num.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/algorithm1.cpp" "src/opt/CMakeFiles/mlcr_opt.dir/algorithm1.cpp.o" "gcc" "src/opt/CMakeFiles/mlcr_opt.dir/algorithm1.cpp.o.d"
+  "/root/repo/src/opt/grid_search.cpp" "src/opt/CMakeFiles/mlcr_opt.dir/grid_search.cpp.o" "gcc" "src/opt/CMakeFiles/mlcr_opt.dir/grid_search.cpp.o.d"
+  "/root/repo/src/opt/level_selection.cpp" "src/opt/CMakeFiles/mlcr_opt.dir/level_selection.cpp.o" "gcc" "src/opt/CMakeFiles/mlcr_opt.dir/level_selection.cpp.o.d"
+  "/root/repo/src/opt/multilevel.cpp" "src/opt/CMakeFiles/mlcr_opt.dir/multilevel.cpp.o" "gcc" "src/opt/CMakeFiles/mlcr_opt.dir/multilevel.cpp.o.d"
+  "/root/repo/src/opt/planner.cpp" "src/opt/CMakeFiles/mlcr_opt.dir/planner.cpp.o" "gcc" "src/opt/CMakeFiles/mlcr_opt.dir/planner.cpp.o.d"
+  "/root/repo/src/opt/single_level.cpp" "src/opt/CMakeFiles/mlcr_opt.dir/single_level.cpp.o" "gcc" "src/opt/CMakeFiles/mlcr_opt.dir/single_level.cpp.o.d"
+  "/root/repo/src/opt/young.cpp" "src/opt/CMakeFiles/mlcr_opt.dir/young.cpp.o" "gcc" "src/opt/CMakeFiles/mlcr_opt.dir/young.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mlcr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/num/CMakeFiles/mlcr_num.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlcr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_opt.dir/algorithm1.cpp.o"
+  "CMakeFiles/mlcr_opt.dir/algorithm1.cpp.o.d"
+  "CMakeFiles/mlcr_opt.dir/grid_search.cpp.o"
+  "CMakeFiles/mlcr_opt.dir/grid_search.cpp.o.d"
+  "CMakeFiles/mlcr_opt.dir/level_selection.cpp.o"
+  "CMakeFiles/mlcr_opt.dir/level_selection.cpp.o.d"
+  "CMakeFiles/mlcr_opt.dir/multilevel.cpp.o"
+  "CMakeFiles/mlcr_opt.dir/multilevel.cpp.o.d"
+  "CMakeFiles/mlcr_opt.dir/planner.cpp.o"
+  "CMakeFiles/mlcr_opt.dir/planner.cpp.o.d"
+  "CMakeFiles/mlcr_opt.dir/single_level.cpp.o"
+  "CMakeFiles/mlcr_opt.dir/single_level.cpp.o.d"
+  "CMakeFiles/mlcr_opt.dir/young.cpp.o"
+  "CMakeFiles/mlcr_opt.dir/young.cpp.o.d"
+  "libmlcr_opt.a"
+  "libmlcr_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

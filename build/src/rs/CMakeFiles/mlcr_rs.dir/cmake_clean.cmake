@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_rs.dir/gf256.cpp.o"
+  "CMakeFiles/mlcr_rs.dir/gf256.cpp.o.d"
+  "CMakeFiles/mlcr_rs.dir/reed_solomon.cpp.o"
+  "CMakeFiles/mlcr_rs.dir/reed_solomon.cpp.o.d"
+  "libmlcr_rs.a"
+  "libmlcr_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

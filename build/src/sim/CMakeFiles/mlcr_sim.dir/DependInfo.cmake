@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/mlcr_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/mlcr_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/monte_carlo.cpp" "src/sim/CMakeFiles/mlcr_sim.dir/monte_carlo.cpp.o" "gcc" "src/sim/CMakeFiles/mlcr_sim.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/sim/trace_io.cpp" "src/sim/CMakeFiles/mlcr_sim.dir/trace_io.cpp.o" "gcc" "src/sim/CMakeFiles/mlcr_sim.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mlcr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/stat/CMakeFiles/mlcr_stat.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlcr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/num/CMakeFiles/mlcr_num.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/mlcr_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/mlcr_sim.dir/monte_carlo.cpp.o"
+  "CMakeFiles/mlcr_sim.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/mlcr_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/mlcr_sim.dir/trace_io.cpp.o.d"
+  "libmlcr_sim.a"
+  "libmlcr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

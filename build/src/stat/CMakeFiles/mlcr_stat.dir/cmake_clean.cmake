@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_stat.dir/distributions.cpp.o"
+  "CMakeFiles/mlcr_stat.dir/distributions.cpp.o.d"
+  "CMakeFiles/mlcr_stat.dir/summary.cpp.o"
+  "CMakeFiles/mlcr_stat.dir/summary.cpp.o.d"
+  "libmlcr_stat.a"
+  "libmlcr_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_vmpi.dir/comm.cpp.o"
+  "CMakeFiles/mlcr_vmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/mlcr_vmpi.dir/engine.cpp.o"
+  "CMakeFiles/mlcr_vmpi.dir/engine.cpp.o.d"
+  "libmlcr_vmpi.a"
+  "libmlcr_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

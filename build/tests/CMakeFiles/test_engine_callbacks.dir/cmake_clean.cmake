@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_callbacks.dir/test_engine_callbacks.cpp.o"
+  "CMakeFiles/test_engine_callbacks.dir/test_engine_callbacks.cpp.o.d"
+  "test_engine_callbacks"
+  "test_engine_callbacks.pdb"
+  "test_engine_callbacks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_callbacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp_cases.dir/test_exp_cases.cpp.o"
+  "CMakeFiles/test_exp_cases.dir/test_exp_cases.cpp.o.d"
+  "test_exp_cases"
+  "test_exp_cases.pdb"
+  "test_exp_cases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

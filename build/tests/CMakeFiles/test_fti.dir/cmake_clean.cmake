@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fti.dir/test_fti.cpp.o"
+  "CMakeFiles/test_fti.dir/test_fti.cpp.o.d"
+  "test_fti"
+  "test_fti.pdb"
+  "test_fti[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_heat.cpp" "tests/CMakeFiles/test_heat.dir/test_heat.cpp.o" "gcc" "tests/CMakeFiles/test_heat.dir/test_heat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mlcr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/CMakeFiles/mlcr_fti.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/mlcr_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mlcr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/mlcr_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlcr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heat.dir/test_heat.cpp.o"
+  "CMakeFiles/test_heat.dir/test_heat.cpp.o.d"
+  "test_heat"
+  "test_heat.pdb"
+  "test_heat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heat_ckpt.dir/test_heat_ckpt.cpp.o"
+  "CMakeFiles/test_heat_ckpt.dir/test_heat_ckpt.cpp.o.d"
+  "test_heat_ckpt"
+  "test_heat_ckpt.pdb"
+  "test_heat_ckpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heat_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_level_selection.dir/test_level_selection.cpp.o"
+  "CMakeFiles/test_level_selection.dir/test_level_selection.cpp.o.d"
+  "test_level_selection"
+  "test_level_selection.pdb"
+  "test_level_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_level_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

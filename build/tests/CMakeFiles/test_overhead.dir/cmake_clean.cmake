@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overhead.dir/test_overhead.cpp.o"
+  "CMakeFiles/test_overhead.dir/test_overhead.cpp.o.d"
+  "test_overhead"
+  "test_overhead.pdb"
+  "test_overhead[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_single_level.dir/test_single_level.cpp.o"
+  "CMakeFiles/test_single_level.dir/test_single_level.cpp.o.d"
+  "test_single_level"
+  "test_single_level.pdb"
+  "test_single_level[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_single_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

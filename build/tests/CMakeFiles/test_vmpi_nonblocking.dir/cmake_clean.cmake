@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmpi_nonblocking.dir/test_vmpi_nonblocking.cpp.o"
+  "CMakeFiles/test_vmpi_nonblocking.dir/test_vmpi_nonblocking.cpp.o.d"
+  "test_vmpi_nonblocking"
+  "test_vmpi_nonblocking.pdb"
+  "test_vmpi_nonblocking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmpi_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wallclock.dir/test_wallclock.cpp.o"
+  "CMakeFiles/test_wallclock.dir/test_wallclock.cpp.o.d"
+  "test_wallclock"
+  "test_wallclock.pdb"
+  "test_wallclock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wallclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_young.dir/test_young.cpp.o"
+  "CMakeFiles/test_young.dir/test_young.cpp.o.d"
+  "test_young"
+  "test_young.pdb"
+  "test_young[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_young.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
