@@ -12,6 +12,7 @@ namespace {
 using namespace mlcr;
 
 void run(double te_core_days) {
+  svc::SweepEngine engine;
   bench::print_header(common::strf(
       "Figure %s — time analysis (Te=%.0fm core-days, N_star=1m cores)",
       te_core_days == 3e6 ? "5" : "6", te_core_days / 1e6));
@@ -27,12 +28,12 @@ void run(double te_core_days) {
     const auto cfg = exp::make_fti_system(te_core_days, failure_case);
     double ml_opt_wct = 0.0;
     for (const auto solution : opt::all_solutions()) {
-      const auto eval = bench::evaluate(cfg, solution);
+      const auto eval = bench::evaluate(engine, cfg, solution);
       const auto portions = eval.simulated.mean_portions();
       const double wct = eval.simulated.wallclock.mean();
       table.add_row(
           {failure_case.name, opt::to_string(solution),
-           common::format_count(eval.planned.full_plan.scale),
+           common::format_count(eval.report.plan().scale),
            common::strf("%.2f", common::seconds_to_days(portions.productive)),
            common::strf("%.2f", common::seconds_to_days(portions.checkpoint)),
            common::strf("%.2f", common::seconds_to_days(portions.restart)),

@@ -10,6 +10,7 @@ using namespace mlcr;
 }  // namespace
 
 int main() {
+  svc::SweepEngine engine;
   bench::print_header(
       "Figure 6 — time analysis (Te=10m core-days, N_star=1m cores)");
 
@@ -22,12 +23,12 @@ int main() {
     const auto cfg = exp::make_fti_system(1e7, failure_case);
     double ml_opt_wct = 0.0;
     for (const auto solution : opt::all_solutions()) {
-      const auto eval = bench::evaluate(cfg, solution);
+      const auto eval = bench::evaluate(engine, cfg, solution);
       const auto portions = eval.simulated.mean_portions();
       const double wct = eval.simulated.wallclock.mean();
       table.add_row(
           {failure_case.name, opt::to_string(solution),
-           common::format_count(eval.planned.full_plan.scale),
+           common::format_count(eval.report.plan().scale),
            common::strf("%.2f", common::seconds_to_days(portions.productive)),
            common::strf("%.2f", common::seconds_to_days(portions.checkpoint)),
            common::strf("%.2f", common::seconds_to_days(portions.restart)),

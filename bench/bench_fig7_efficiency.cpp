@@ -7,6 +7,7 @@
 
 int main() {
   using namespace mlcr;
+  svc::SweepEngine engine;
   for (const double te : {3e6, 1e7}) {
     bench::print_header(common::strf(
         "Figure 7 — efficiency (Te=%.0fm core-days, N_star=1m cores)",
@@ -18,7 +19,7 @@ int main() {
       std::vector<std::string> row{failure_case.name};
       double ml_opt_eff = 0.0, sl_opt_eff = 0.0;
       for (const auto solution : opt::all_solutions()) {
-        const auto eval = bench::evaluate(cfg, solution, /*runs=*/50);
+        const auto eval = bench::evaluate(engine, cfg, solution, /*runs=*/50);
         const double eff = eval.simulated.efficiency.mean();
         row.push_back(common::strf("%.3f", eff));
         if (solution == opt::Solution::kMultilevelOptScale) ml_opt_eff = eff;

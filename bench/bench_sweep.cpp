@@ -1,0 +1,101 @@
+// Sweep-engine throughput: serial vs. parallel vs. cached batch planning.
+//
+// Builds a 120-request what-if grid (5 workloads x 6 failure cases x 4
+// solution families — the shape of grid a capacity-planning service sweeps
+// whenever the failure environment changes) and measures requests/second
+// under three engines:
+//   serial    1 thread, cache disabled — the old loop-over-opt::plan shape
+//   parallel  hardware threads, cache disabled
+//   cached    hardware threads, warm cache (re-sweep of the same grid)
+//
+// Acceptance targets (ISSUE 1): on a multi-core host the parallel sweep is
+// >= 3x serial, and the fully-cached re-sweep is >= 10x the cold sweep.
+#include <chrono>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace mlcr;
+
+std::vector<svc::PlanRequest> make_grid() {
+  std::vector<svc::PlanRequest> requests;
+  for (const double te_core_days : {1e6, 2e6, 3e6, 5e6, 1e7}) {
+    for (const auto& failure_case : exp::paper_failure_cases()) {
+      const auto cfg = exp::make_fti_system(te_core_days, failure_case);
+      for (const auto solution : opt::all_solutions()) {
+        requests.push_back(
+            {cfg, solution, {},
+             common::strf("te=%.0fm|%s|%s", te_core_days / 1e6,
+                          failure_case.name.c_str(),
+                          opt::to_string(solution).c_str())});
+      }
+    }
+  }
+  return requests;
+}
+
+double time_sweep(svc::SweepEngine& engine,
+                  const std::vector<svc::PlanRequest>& requests,
+                  std::vector<svc::PlanReport>* reports) {
+  const auto start = std::chrono::steady_clock::now();
+  *reports = engine.plan_sweep(requests);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mlcr;
+  const auto requests = make_grid();
+  bench::print_header(common::strf(
+      "Sweep engine throughput — %zu-request what-if grid", requests.size()));
+
+  std::vector<svc::PlanReport> serial_reports, parallel_reports,
+      cold_reports, warm_reports;
+
+  svc::SweepEngine serial({/*threads=*/1, /*cache_capacity=*/0});
+  const double serial_s = time_sweep(serial, requests, &serial_reports);
+
+  svc::SweepEngine parallel({/*threads=*/0, /*cache_capacity=*/0});
+  const double parallel_s = time_sweep(parallel, requests, &parallel_reports);
+
+  svc::SweepEngine cached({/*threads=*/0, /*cache_capacity=*/65536});
+  const double cold_s = time_sweep(cached, requests, &cold_reports);
+  const double warm_s = time_sweep(cached, requests, &warm_reports);
+
+  // Determinism spot check: parallel values must equal the serial baseline.
+  std::size_t mismatches = 0, warm_hits = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (serial_reports[i].plan().scale != parallel_reports[i].plan().scale ||
+        serial_reports[i].wallclock() != parallel_reports[i].wallclock()) {
+      ++mismatches;
+    }
+    if (warm_reports[i].cache_hit) ++warm_hits;
+  }
+
+  common::Table table({"engine", "threads", "time (s)", "requests/s",
+                       "speedup vs serial"});
+  auto row = [&](const char* name, std::size_t threads, double seconds) {
+    table.add_row({name, common::strf("%zu", threads),
+                   common::strf("%.3f", seconds),
+                   common::strf("%.1f", requests.size() / seconds),
+                   common::strf("%.2fx", serial_s / seconds)});
+  };
+  row("serial (no cache)", 1, serial_s);
+  row("parallel (no cache)", parallel.threads(), parallel_s);
+  row("parallel cold (cache)", cached.threads(), cold_s);
+  row("parallel warm (cache)", cached.threads(), warm_s);
+  table.print();
+
+  std::printf(
+      "\n  parallel vs serial: %.2fx (target >= 3x on a multi-core host)\n"
+      "  warm vs cold sweep: %.2fx (target >= 10x)\n"
+      "  parallel/serial mismatches: %zu (must be 0)\n"
+      "  warm-sweep cache hits: %zu / %zu\n",
+      serial_s / parallel_s, cold_s / warm_s, mismatches, warm_hits,
+      requests.size());
+  return mismatches == 0 ? 0 : 1;
+}

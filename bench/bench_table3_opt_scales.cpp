@@ -14,18 +14,29 @@ int main() {
   const double paper_ml[6] = {472e3, 564e3, 658e3, 563e3, 657e3, 734e3};
   const double paper_sl[6] = {41e3, 78.6e3, 36.7e3, 53.6e3, 325e3, 399e3};
 
+  // Both solutions for all six cases planned as one parallel sweep.
+  svc::SweepEngine engine;
+  const auto cases = exp::paper_failure_cases();
+  std::vector<svc::PlanRequest> requests;
+  for (const auto& failure_case : cases) {
+    const auto cfg = exp::make_fti_system(3e6, failure_case);
+    requests.push_back(
+        {cfg, opt::Solution::kMultilevelOptScale, {}, failure_case.name});
+    requests.push_back(
+        {cfg, opt::Solution::kSingleLevelOptScale, {}, failure_case.name});
+  }
+  const auto reports = engine.plan_sweep(requests);
+
   common::Table table(
       {"case", "ML(opt-scale) paper", "ML(opt-scale) ours",
        "SL(opt-scale) paper", "SL(opt-scale) ours"});
-  const auto cases = exp::paper_failure_cases();
   for (std::size_t i = 0; i < cases.size(); ++i) {
-    const auto cfg = exp::make_fti_system(3e6, cases[i]);
-    const auto ml = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
-    const auto sl = opt::plan(opt::Solution::kSingleLevelOptScale, cfg);
+    const auto& ml = reports[2 * i];
+    const auto& sl = reports[2 * i + 1];
     table.add_row({cases[i].name, common::format_count(paper_ml[i]),
-                   common::format_count(ml.full_plan.scale),
+                   common::format_count(ml.plan().scale),
                    common::format_count(paper_sl[i]),
-                   common::format_count(sl.full_plan.scale)});
+                   common::format_count(sl.plan().scale)});
   }
   table.print();
   std::printf(

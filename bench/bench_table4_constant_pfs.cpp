@@ -13,6 +13,7 @@
 
 int main() {
   using namespace mlcr;
+  svc::SweepEngine engine;
 
   const double paper_wct[2][4][3] = {
       {{14.6, 12.8, 11.1}, {37.3, 23.2, 17.2}, {15.4, 13.4, 11.7},
@@ -34,7 +35,7 @@ int main() {
       for (std::size_t i = 0; i < cases.size(); ++i) {
         const auto cfg =
             exp::make_constant_pfs_system(cases[i], recovery_factor);
-        const auto eval = bench::evaluate(cfg, solution);
+        const auto eval = bench::evaluate(engine, cfg, solution);
         const double wct_days =
             common::seconds_to_days(eval.simulated.wallclock.mean());
         table.add_row(
@@ -42,7 +43,7 @@ int main() {
              common::strf("%.1f", paper_wct[block][solution_index][i]),
              common::strf("%.1f", wct_days), "(see paper)",
              common::strf("%.3f", eval.simulated.efficiency.mean()),
-             common::format_count(eval.planned.full_plan.scale)});
+             common::format_count(eval.report.plan().scale)});
       }
       ++solution_index;
     }
@@ -55,10 +56,11 @@ int main() {
   bench::print_header("Table IV — availability improvement of ML(opt-scale)");
   for (const auto& failure_case : exp::table4_failure_cases()) {
     const auto cfg = exp::make_constant_pfs_system(failure_case);
-    const auto planned = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
+    const auto report = engine.plan_one(
+        svc::PlanRequest{cfg, opt::Solution::kMultilevelOptScale, {}, {}});
     std::printf("  %-10s freed cores: %.1f%% (paper: 6-16%%)\n",
                 failure_case.name.c_str(),
-                100.0 * (1.0 - planned.full_plan.scale / 1e6));
+                100.0 * (1.0 - report.plan().scale / 1e6));
   }
   std::printf(
       "\n  Paper claims: ML(opt-scale) beats ML(ori-scale) by 3.6-6.5%% WCT\n"

@@ -1,5 +1,7 @@
 // Shared helpers for the paper-reproduction bench binaries.  Each binary
-// regenerates one table or figure of the paper (see DESIGN.md).
+// regenerates one table or figure of the paper (see DESIGN.md).  Planning
+// goes through the svc::SweepEngine PlanRequest/PlanReport API so every
+// bench shares the engine's plan cache and status reporting.
 #pragma once
 
 #include <cstdio>
@@ -9,25 +11,26 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "exp/cases.h"
-#include "opt/planner.h"
 #include "sim/monte_carlo.h"
+#include "svc/sweep_engine.h"
 
 namespace mlcr::bench {
 
-/// One (solution, failure-case) evaluation: plan analytically, then run the
-/// Monte-Carlo simulation of the planned schedule.
+/// One (solution, failure-case) evaluation: plan analytically through the
+/// sweep engine, then run the Monte-Carlo simulation of the planned schedule.
 struct CaseEvaluation {
-  opt::PlannerResult planned;
+  svc::PlanReport report;
   sim::MonteCarloResult simulated;
 };
 
-inline CaseEvaluation evaluate(const model::SystemConfig& cfg,
+inline CaseEvaluation evaluate(svc::SweepEngine& engine,
+                               const model::SystemConfig& cfg,
                                opt::Solution solution, int runs = 100,
                                std::uint64_t seed = 0x5eed) {
   CaseEvaluation eval;
-  eval.planned = opt::plan(solution, cfg);
+  eval.report = engine.plan_one(svc::PlanRequest{cfg, solution, {}, {}});
   const auto schedule = sim::Schedule::from_plan(
-      cfg, eval.planned.full_plan, eval.planned.level_enabled);
+      cfg, eval.report.planned.full_plan, eval.report.planned.level_enabled);
   sim::MonteCarloOptions options;
   options.runs = runs;
   options.seed = seed;

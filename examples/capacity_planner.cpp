@@ -3,48 +3,76 @@
 // execution scale, the per-level checkpoint intervals, and the predicted
 // wall-clock and efficiency — the decisions the paper's optimizer automates.
 //
+// Built on the batch-planning API: the whole workload x failure-case grid is
+// issued as one svc::SweepEngine::plan_sweep, which plans the requests in
+// parallel and returns the reports in request order.  Rows that fail to
+// converge are no longer dropped — the status column says what happened.
+//
 //   ./capacity_planner
 #include <cstdio>
+#include <vector>
 
 #include "common/table.h"
 #include "common/units.h"
 #include "exp/cases.h"
 #include "model/wallclock.h"
-#include "opt/planner.h"
+#include "svc/sweep_engine.h"
 
 int main() {
   using namespace mlcr;
 
-  common::Table table({"workload", "failure case", "use N", "of 1m", "x1",
-                       "x2", "x3", "x4", "wall-clock", "efficiency"});
+  svc::SweepEngine engine;
 
+  std::vector<svc::PlanRequest> requests;
   for (const double workload_core_days : {1e6, 3e6, 1e7}) {
     for (const auto& failure_case : exp::paper_failure_cases()) {
-      const auto system = exp::make_fti_system(workload_core_days,
-                                               failure_case);
-      const auto planned =
-          opt::plan(opt::Solution::kMultilevelOptScale, system);
-      if (!planned.optimization.converged) continue;
-      const auto& plan = planned.full_plan;
+      requests.push_back(
+          {exp::make_fti_system(workload_core_days, failure_case),
+           opt::Solution::kMultilevelOptScale,
+           {},
+           common::strf("%.0fm core-days|%s", workload_core_days / 1e6,
+                        failure_case.name.c_str())});
+    }
+  }
+  const auto reports = engine.plan_sweep(requests);
+
+  common::Table table({"workload", "failure case", "status", "use N", "of 1m",
+                       "x1", "x2", "x3", "x4", "wall-clock", "efficiency"});
+  std::size_t index = 0;
+  for (const double workload_core_days : {1e6, 3e6, 1e7}) {
+    for (const auto& failure_case : exp::paper_failure_cases()) {
+      const svc::PlanReport& report = reports[index++];
+      const std::string workload =
+          common::strf("%.0fm core-days", workload_core_days / 1e6);
+      if (!report.ok()) {
+        table.add_row({workload, failure_case.name,
+                       opt::to_string(report.status), "-", "-", "-", "-", "-",
+                       "-", "-", "-"});
+        std::fprintf(stderr, "  [%s/%s] %s\n", workload.c_str(),
+                     failure_case.name.c_str(), report.message.c_str());
+        continue;
+      }
+      const auto& plan = report.plan();
       table.add_row(
-          {common::strf("%.0fm core-days", workload_core_days / 1e6),
-           failure_case.name, common::format_count(plan.scale),
+          {workload, failure_case.name, opt::to_string(report.status),
+           common::format_count(plan.scale),
            common::strf("%.0f%%", 100.0 * plan.scale / 1e6),
            common::strf("%.0f", plan.intervals[0]),
            common::strf("%.0f", plan.intervals[1]),
            common::strf("%.0f", plan.intervals[2]),
            common::strf("%.0f", plan.intervals[3]),
-           common::format_duration(planned.optimization.wallclock),
+           common::format_duration(report.wallclock()),
            common::strf("%.3f",
-                        model::efficiency(system.te(),
-                                          planned.optimization.wallclock,
-                                          plan.scale))});
+                        model::efficiency(requests[index - 1].config.te(),
+                                          report.wallclock(), plan.scale))});
     }
   }
   table.print();
   std::printf(
-      "\nReading guide: heavier failure environments shrink the recommended\n"
+      "\nPlanned %zu scenarios on %zu threads.\n"
+      "Reading guide: heavier failure environments shrink the recommended\n"
       "scale (freeing cores improves availability), and larger workloads\n"
-      "push it back up because productive time dominates.\n");
+      "push it back up because productive time dominates.\n",
+      reports.size(), engine.threads());
   return 0;
 }

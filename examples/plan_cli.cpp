@@ -10,15 +10,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "model/system.h"
 #include "opt/level_selection.h"
-#include "opt/planner.h"
 #include "sim/monte_carlo.h"
+#include "svc/sweep_engine.h"
+#include "svc/system_config_builder.h"
 
 namespace {
 
@@ -89,22 +92,23 @@ bool parse(int argc, char** argv, Options* options) {
          !options->rates.empty();
 }
 
+// The validating builder turns malformed flags into field-naming errors
+// instead of deep MLCR_EXPECT failures.
 model::SystemConfig build_system(const Options& options) {
-  std::vector<model::LevelOverheads> levels;
+  svc::SystemConfigBuilder builder;
+  builder.te_core_days(options.te_core_days)
+      .quadratic_speedup(options.kappa, options.n_star)
+      .failure_rates_per_day(options.rates, options.n_star)
+      .allocation_seconds(options.allocation);
   for (std::size_t i = 0; i < options.costs.size(); ++i) {
     const bool top = i + 1 == options.costs.size();
     model::Overhead checkpoint =
         top && options.pfs_slope > 0.0
             ? model::Overhead::linear(options.costs[i], options.pfs_slope)
             : model::Overhead::constant(options.costs[i]);
-    levels.push_back({checkpoint, model::Overhead::constant(options.costs[i])});
+    builder.add_level(checkpoint, model::Overhead::constant(options.costs[i]));
   }
-  model::FailureRates rates(options.rates, options.n_star);
-  return model::SystemConfig(
-      common::core_days_to_seconds(options.te_core_days),
-      std::make_unique<model::QuadraticSpeedup>(options.kappa,
-                                                options.n_star),
-      std::move(levels), std::move(rates), options.allocation);
+  return builder.build();
 }
 
 }  // namespace
@@ -115,12 +119,30 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   }
-  const auto system = build_system(options);
+  std::optional<model::SystemConfig> system;
+  try {
+    system = build_system(options);
+  } catch (const common::Error& error) {
+    std::fprintf(stderr, "plan_cli: %s\n", error.what());
+    return 1;
+  }
 
-  common::Table table({"solution", "N", "intervals x_i", "E(Tw)",
+  // All four solution families planned in parallel through the sweep engine.
+  svc::SweepEngine engine;
+  const auto reports = engine.plan_all_solutions(*system);
+
+  common::Table table({"solution", "status", "N", "intervals x_i", "E(Tw)",
                        "efficiency", "sim mean"});
-  for (const auto solution : opt::all_solutions()) {
-    const auto planned = opt::plan(solution, system);
+  for (const auto& report : reports) {
+    if (!report.ok()) {
+      table.add_row({opt::to_string(report.solution),
+                     opt::to_string(report.status), "-", "-", "-", "-", "-"});
+      std::fprintf(stderr, "  [%s] %s\n",
+                   opt::to_string(report.solution).c_str(),
+                   report.message.c_str());
+      continue;
+    }
+    const auto& planned = report.planned;
     std::string intervals;
     for (std::size_t i = 0; i < planned.full_plan.intervals.size(); ++i) {
       if (!planned.level_enabled[i]) continue;
@@ -130,24 +152,23 @@ int main(int argc, char** argv) {
     std::string simulated = "-";
     if (options.simulate) {
       const auto schedule = sim::Schedule::from_plan(
-          system, planned.full_plan, planned.level_enabled);
-      const auto result = sim::monte_carlo(system, schedule);
+          *system, planned.full_plan, planned.level_enabled);
+      const auto result = sim::monte_carlo(*system, schedule);
       simulated = common::format_duration(result.wallclock.mean());
     }
     table.add_row(
-        {opt::to_string(solution),
+        {opt::to_string(report.solution), opt::to_string(report.status),
          common::format_count(planned.full_plan.scale), intervals,
-         common::format_duration(planned.optimization.wallclock),
+         common::format_duration(report.wallclock()),
          common::strf("%.3f",
-                      model::efficiency(system.te(),
-                                        planned.optimization.wallclock,
+                      model::efficiency(system->te(), report.wallclock(),
                                         planned.full_plan.scale)),
          simulated});
   }
   table.print();
 
   if (options.select_levels) {
-    const auto selected = opt::optimize_with_level_selection(system);
+    const auto selected = opt::optimize_with_level_selection(*system);
     std::string subset;
     for (std::size_t i = 0; i < selected.enabled.size(); ++i) {
       if (selected.enabled[i]) subset += std::to_string(i + 1) + " ";

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, followed by a
+# ThreadSanitizer pass over the concurrency-sensitive targets (thread pool,
+# sweep engine).  Run from anywhere; builds land in build/ and build-tsan/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: standard build + ctest =="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo "== tier-1: ThreadSanitizer pass (thread pool + sweep engine) =="
+cmake -B build-tsan -S . -DMLCR_SANITIZE=thread
+cmake --build build-tsan -j
+(cd build-tsan && ctest --output-on-failure -R 'ThreadPool|SweepEngine')
+
+echo "tier-1 OK"

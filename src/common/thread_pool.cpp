@@ -1,0 +1,96 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace mlcr::common {
+
+struct ThreadPool::Queue {
+  std::mutex mutex;
+  std::deque<std::function<void()>> tasks;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  }
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::push(std::function<void()> task) {
+  const std::size_t home =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[home]->mutex);
+    queues_[home]->tasks.push_back(std::move(task));
+  }
+  {
+    // Increment under wake_mutex_ so a worker between its predicate check
+    // and wait() cannot miss this task.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>* task) {
+  {
+    // Own queue first, oldest task first.
+    Queue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  // Steal from the back of the other queues.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Queue& victim = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(index, &task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] {
+      return stop_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    // Drain-on-stop: exit only once every queued task has been taken, so
+    // no future submitted before destruction is left unfulfilled.
+    if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+}  // namespace mlcr::common

@@ -1,0 +1,68 @@
+// Work-stealing thread pool used by the batch-planning service layer
+// (src/svc).  Each worker owns a deque: submitted tasks are distributed
+// round-robin, a worker pops from the front of its own deque and, when that
+// runs dry, steals from the back of its siblings' deques.  `submit` returns a
+// std::future so exceptions thrown inside a task propagate to the caller at
+// `get()` time.  The destructor drains every queued task before joining.
+//
+// Tasks must not submit to the same pool and block on the returned future
+// from within a worker thread — with every worker blocked the queue would
+// never drain.  The sweep engine always joins from the caller's thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mlcr::common {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` uses std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Schedules `fn` and returns the future of its result.  A task that
+  /// throws stores the exception in the future.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& fn)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    push([task]() { (*task)(); });
+    return future;
+  }
+
+ private:
+  struct Queue;
+
+  void push(std::function<void()> task);
+  bool try_pop(std::size_t self, std::function<void()>* task);
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> next_queue_{0};
+  /// Tasks pushed but not yet popped.  Incremented under `wake_mutex_` so a
+  /// worker checking the wait predicate cannot miss a wakeup.
+  std::atomic<std::size_t> pending_{0};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;  ///< guarded by wake_mutex_
+};
+
+}  // namespace mlcr::common

@@ -2,11 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "common/error.h"
 
 namespace mlcr::model {
+
+namespace {
+
+/// Exact (hex-float) rendering so distinct parameters never collide.
+std::string hexf(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+}  // namespace
 
 LinearSpeedup::LinearSpeedup(double kappa) : kappa_(kappa) {
   MLCR_EXPECT(kappa > 0.0, "LinearSpeedup: kappa must be positive");
@@ -19,6 +31,9 @@ double LinearSpeedup::ideal_scale() const {
 }
 std::unique_ptr<Speedup> LinearSpeedup::clone() const {
   return std::make_unique<LinearSpeedup>(*this);
+}
+std::string LinearSpeedup::cache_key() const {
+  return "linear(" + hexf(kappa_) + ")";
 }
 
 QuadraticSpeedup::QuadraticSpeedup(double kappa, double n_symmetry)
@@ -39,6 +54,10 @@ double QuadraticSpeedup::ideal_scale() const { return n_symmetry_; }
 
 std::unique_ptr<Speedup> QuadraticSpeedup::clone() const {
   return std::make_unique<QuadraticSpeedup>(*this);
+}
+
+std::string QuadraticSpeedup::cache_key() const {
+  return "quadratic(" + hexf(kappa_) + "," + hexf(n_symmetry_) + ")";
 }
 
 QuadraticSpeedup QuadraticSpeedup::from_coefficients(double a1, double a2) {
@@ -70,6 +89,10 @@ double AmdahlSpeedup::ideal_scale() const {
 
 std::unique_ptr<Speedup> AmdahlSpeedup::clone() const {
   return std::make_unique<AmdahlSpeedup>(*this);
+}
+
+std::string AmdahlSpeedup::cache_key() const {
+  return "amdahl(" + hexf(serial_fraction_) + ")";
 }
 
 TabulatedSpeedup::TabulatedSpeedup(std::span<const double> scales,
@@ -121,6 +144,15 @@ double TabulatedSpeedup::ideal_scale() const {
 
 std::unique_ptr<Speedup> TabulatedSpeedup::clone() const {
   return std::make_unique<TabulatedSpeedup>(*this);
+}
+
+std::string TabulatedSpeedup::cache_key() const {
+  std::string key = "tabulated(";
+  for (std::size_t i = 0; i < scales_.size(); ++i) {
+    if (i > 0) key += ";";
+    key += hexf(scales_[i]) + ":" + hexf(speedups_[i]);
+  }
+  return key + ")";
 }
 
 }  // namespace mlcr::model

@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace mlcr::model {
@@ -32,6 +33,11 @@ class Speedup {
   [[nodiscard]] virtual double ideal_scale() const = 0;
 
   [[nodiscard]] virtual std::unique_ptr<Speedup> clone() const = 0;
+
+  /// Canonical text form of the curve (shape tag + exact hex-float
+  /// parameters).  Two speedups with equal keys evaluate identically; the
+  /// plan cache (svc::SweepEngine) folds it into the request key.
+  [[nodiscard]] virtual std::string cache_key() const = 0;
 };
 
 /// g(N) = kappa * N.
@@ -42,6 +48,7 @@ class LinearSpeedup final : public Speedup {
   [[nodiscard]] double derivative(double n) const override;
   [[nodiscard]] double ideal_scale() const override;
   [[nodiscard]] std::unique_ptr<Speedup> clone() const override;
+  [[nodiscard]] std::string cache_key() const override;
   [[nodiscard]] double kappa() const noexcept { return kappa_; }
 
  private:
@@ -57,6 +64,7 @@ class QuadraticSpeedup final : public Speedup {
   [[nodiscard]] double derivative(double n) const override;
   [[nodiscard]] double ideal_scale() const override;
   [[nodiscard]] std::unique_ptr<Speedup> clone() const override;
+  [[nodiscard]] std::string cache_key() const override;
   [[nodiscard]] double kappa() const noexcept { return kappa_; }
   [[nodiscard]] double n_symmetry() const noexcept { return n_symmetry_; }
 
@@ -77,6 +85,7 @@ class AmdahlSpeedup final : public Speedup {
   [[nodiscard]] double derivative(double n) const override;
   [[nodiscard]] double ideal_scale() const override;
   [[nodiscard]] std::unique_ptr<Speedup> clone() const override;
+  [[nodiscard]] std::string cache_key() const override;
 
  private:
   double serial_fraction_;
@@ -93,6 +102,7 @@ class TabulatedSpeedup final : public Speedup {
   [[nodiscard]] double derivative(double n) const override;
   [[nodiscard]] double ideal_scale() const override;
   [[nodiscard]] std::unique_ptr<Speedup> clone() const override;
+  [[nodiscard]] std::string cache_key() const override;
 
  private:
   std::vector<double> scales_;

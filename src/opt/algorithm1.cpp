@@ -11,6 +11,16 @@
 
 namespace mlcr::opt {
 
+std::string to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kDiverged: return "diverged";
+    case Status::kMaxIterations: return "max-iterations";
+    case Status::kInvalidConfig: return "invalid-config";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Shared outer loop.  `solve_inner` maps a MuModel to (plan, wallclock,
@@ -63,10 +73,17 @@ Algorithm1Result outer_loop(
     // Divergence guard (paper: only under extremely high failure rates).
     if (!std::isfinite(mu_change) || mu_change > 1e12) {
       common::log_warn("algorithm1: diverging failure estimates; aborting");
+      result.status = Status::kDiverged;
+      result.message = common::strf(
+          "failure estimates diverged after %d outer iterations "
+          "(mu change %.3g); the failure rates are likely unrealistically "
+          "high for this system",
+          result.outer_iterations, mu_change);
       return result;
     }
     if (mu_change <= options.delta) {
       result.converged = true;
+      result.status = Status::kOk;
       break;
     }
     // Aitken delta-squared: with estimates (w0 -> w1 -> w2) of a geometric
@@ -89,6 +106,12 @@ Algorithm1Result outer_loop(
       }
     }
     wallclock_estimate = wallclock;
+  }
+  if (result.status == Status::kMaxIterations) {
+    result.message = common::strf(
+        "did not reach delta=%.3g within %d outer iterations "
+        "(last mu change %.3g)",
+        options.delta, options.max_outer_iterations, result.final_mu_change);
   }
   return result;
 }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "model/failure.h"
 #include "model/system.h"
@@ -20,8 +21,24 @@
 
 namespace mlcr::opt {
 
+/// Outcome of a planning run.  Replaces the lone `bool converged` (still
+/// kept in sync for older call sites): callers can now distinguish a
+/// diverging fixed point from one that merely ran out of iterations, and
+/// the service layer maps configuration errors to kInvalidConfig instead
+/// of silently dropping the row.
+enum class Status {
+  kOk,             ///< converged to the requested delta
+  kDiverged,       ///< failure estimates blew up (unrealistically high rates)
+  kMaxIterations,  ///< outer loop exhausted max_outer_iterations
+  kInvalidConfig,  ///< the request itself was malformed
+};
+
+[[nodiscard]] std::string to_string(Status status);
+
 struct Algorithm1Result {
-  bool converged = false;
+  Status status = Status::kMaxIterations;
+  std::string message;  ///< human-readable detail for non-kOk statuses
+  bool converged = false;  ///< == (status == Status::kOk); prefer `status`
   model::Plan plan;
   double wallclock = 0.0;      ///< self-consistent E(Tw)
   model::TimePortions portions;  ///< analytic breakdown at the solution

@@ -1,0 +1,75 @@
+#include "svc/plan_request.h"
+
+#include <cstdio>
+
+namespace mlcr::svc {
+
+namespace {
+
+/// Exact hex-float rendering: distinct doubles always produce distinct text.
+void append_hex(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  *out += buf;
+}
+
+void append_overhead(std::string* out, const model::Overhead& overhead) {
+  append_hex(out, overhead.base);
+  *out += ",";
+  append_hex(out, overhead.slope);
+  *out += ",";
+  *out += std::to_string(static_cast<int>(overhead.scaling));
+}
+
+}  // namespace
+
+std::string canonical_key(const PlanRequest& request) {
+  const model::SystemConfig& cfg = request.config;
+  std::string key;
+  key.reserve(256);
+
+  key += "sol=" + std::to_string(static_cast<int>(request.solution));
+  key += "|te=";
+  append_hex(&key, cfg.te());
+  key += "|g=" + cfg.speedup().cache_key();
+  key += "|A=";
+  append_hex(&key, cfg.allocation());
+  key += "|ub=";
+  append_hex(&key, cfg.scale_upper_bound());
+
+  key += "|levels=";
+  for (std::size_t i = 0; i < cfg.levels(); ++i) {
+    if (i > 0) key += ";";
+    key += "c(";
+    append_overhead(&key, cfg.level(i).checkpoint);
+    key += ")r(";
+    append_overhead(&key, cfg.level(i).recovery);
+    key += ")";
+  }
+
+  const model::FailureRates& rates = cfg.rates();
+  key += "|rates=";
+  for (std::size_t i = 0; i < rates.levels(); ++i) {
+    if (i > 0) key += ",";
+    append_hex(&key, rates.per_day_at_baseline(i));
+  }
+  key += "|Nb=";
+  append_hex(&key, rates.baseline_scale());
+  key += "|p=";
+  append_hex(&key, rates.scale_exponent());
+
+  const opt::Algorithm1Options& options = request.options;
+  key += "|delta=";
+  append_hex(&key, options.delta);
+  key += "|maxout=" + std::to_string(options.max_outer_iterations);
+  key += "|intol=";
+  append_hex(&key, options.inner_tolerance);
+  key += "|inmax=" + std::to_string(options.inner_max_iterations);
+  key += "|optsc=" + std::to_string(options.optimize_scale ? 1 : 0);
+  key += "|fix=";
+  append_hex(&key, options.fixed_scale);
+  key += "|aitken=" + std::to_string(options.aitken ? 1 : 0);
+  return key;
+}
+
+}  // namespace mlcr::svc

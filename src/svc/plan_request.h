@@ -1,0 +1,65 @@
+// The unified request/report pair of the batch-planning service layer.
+//
+// A PlanRequest bundles everything Algorithm 1 needs for one planning run:
+// the system under study, the solution family, and the solver options.
+// `canonical_key` renders the request into a canonical string (hex-float
+// exact) so the sweep engine can memoize: two requests with equal keys are
+// guaranteed to describe the same optimization problem and therefore the
+// same plan.
+//
+// A PlanReport is the matching output: the plan itself (in the full L-level
+// space, like opt::PlannerResult), the convergence status and message, the
+// analytic wall-clock/portions, the solve wall time, and whether the result
+// was served from cache.
+#pragma once
+
+#include <string>
+
+#include "model/system.h"
+#include "opt/algorithm1.h"
+#include "opt/planner.h"
+
+namespace mlcr::svc {
+
+struct PlanRequest {
+  model::SystemConfig config;
+  opt::Solution solution = opt::Solution::kMultilevelOptScale;
+  opt::Algorithm1Options options;
+  /// Free-form tag echoed into the report; NOT part of the cache key.
+  std::string label;
+};
+
+struct PlanReport {
+  std::string label;
+  opt::Solution solution = opt::Solution::kMultilevelOptScale;
+  /// Cache key of the originating request (useful for debugging sweeps).
+  std::string key;
+
+  opt::Status status = opt::Status::kInvalidConfig;
+  std::string message;
+
+  /// Plan + optimization details in the full L-level space (valid only when
+  /// status is kOk / kMaxIterations; kMaxIterations carries the last
+  /// iterate, kDiverged / kInvalidConfig leave it default-constructed or
+  /// partial).
+  opt::PlannerResult planned;
+
+  /// Wall time spent inside the solver for this request, seconds.  Reports
+  /// served from cache keep the original solve time.
+  double solve_seconds = 0.0;
+  bool cache_hit = false;
+
+  [[nodiscard]] bool ok() const noexcept { return status == opt::Status::kOk; }
+  [[nodiscard]] double wallclock() const noexcept {
+    return planned.optimization.wallclock;
+  }
+  [[nodiscard]] const model::Plan& plan() const noexcept {
+    return planned.full_plan;
+  }
+};
+
+/// Canonical memoization key: exact text rendering of every field that
+/// influences the solution (system, solution family, solver options).
+[[nodiscard]] std::string canonical_key(const PlanRequest& request);
+
+}  // namespace mlcr::svc

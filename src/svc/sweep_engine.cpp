@@ -1,0 +1,138 @@
+#include "svc/sweep_engine.h"
+
+#include <chrono>
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "common/error.h"
+
+namespace mlcr::svc {
+
+SweepEngine::SweepEngine(SweepEngineOptions options)
+    : options_(options), pool_(options.threads) {}
+
+PlanReport SweepEngine::solve(const PlanRequest& request,
+                              const std::string& key) const {
+  PlanReport report;
+  report.label = request.label;
+  report.solution = request.solution;
+  report.key = key;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    report.planned = opt::plan(request.solution, request.config,
+                               request.options);
+    report.status = report.planned.optimization.status;
+    report.message = report.planned.optimization.message;
+  } catch (const common::Error& error) {
+    report.status = opt::Status::kInvalidConfig;
+    report.message = error.what();
+  } catch (const std::exception& error) {
+    report.status = opt::Status::kInvalidConfig;
+    report.message = std::string("unexpected: ") + error.what();
+  }
+  report.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+bool SweepEngine::cache_lookup(const std::string& key,
+                               PlanReport* report) const {
+  if (options_.cache_capacity == 0) return false;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) return false;
+  *report = it->second;
+  return true;
+}
+
+void SweepEngine::cache_insert(const std::string& key,
+                               const PlanReport& report) {
+  if (options_.cache_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_.size() >= options_.cache_capacity) return;
+  cache_.emplace(key, report);
+}
+
+std::size_t SweepEngine::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+void SweepEngine::clear_cache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.clear();
+}
+
+PlanReport SweepEngine::plan_one(const PlanRequest& request) {
+  const std::string key = canonical_key(request);
+  PlanReport report;
+  if (cache_lookup(key, &report)) {
+    report.cache_hit = true;
+    report.label = request.label;
+    return report;
+  }
+  report = solve(request, key);
+  cache_insert(key, report);
+  return report;
+}
+
+std::vector<PlanReport> SweepEngine::plan_all_solutions(
+    const model::SystemConfig& cfg, const opt::Algorithm1Options& options) {
+  std::vector<PlanRequest> requests;
+  for (const auto solution : opt::all_solutions()) {
+    requests.push_back({cfg, solution, options, opt::to_string(solution)});
+  }
+  return plan_sweep(requests);
+}
+
+std::vector<PlanReport> SweepEngine::plan_sweep(
+    const std::vector<PlanRequest>& requests) {
+  const std::size_t n = requests.size();
+  std::vector<PlanReport> reports(n);
+  std::vector<std::string> keys(n);
+  // Group request indices sharing a key: each unique key is solved at most
+  // once per sweep, and only if the cache misses.
+  std::unordered_map<std::string, std::vector<std::size_t>> by_key;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = canonical_key(requests[i]);
+    by_key[keys[i]].push_back(i);
+  }
+
+  struct Inflight {
+    std::size_t representative;
+    std::future<PlanReport> future;
+  };
+  std::vector<Inflight> inflight;
+  for (auto& [key, indices] : by_key) {
+    PlanReport cached;
+    if (cache_lookup(key, &cached)) {
+      for (const std::size_t i : indices) {
+        reports[i] = cached;
+        reports[i].cache_hit = true;
+        reports[i].label = requests[i].label;
+      }
+      continue;
+    }
+    const std::size_t rep = indices.front();
+    inflight.push_back(
+        {rep, pool_.submit([this, &requests, &keys, rep]() {
+           return solve(requests[rep], keys[rep]);
+         })});
+  }
+
+  for (Inflight& job : inflight) {
+    const PlanReport solved = job.future.get();
+    cache_insert(keys[job.representative], solved);
+    for (const std::size_t i : by_key[keys[job.representative]]) {
+      reports[i] = solved;
+      // Duplicates within the sweep share the representative's solve.
+      reports[i].cache_hit = i != job.representative;
+      reports[i].label = requests[i].label;
+    }
+  }
+  return reports;
+}
+
+}  // namespace mlcr::svc

@@ -1,0 +1,73 @@
+// Batch-planning sweep engine: fans a grid of PlanRequests across a
+// work-stealing thread pool and memoizes finished plans in a cache keyed by
+// the canonical request key, so repeated or overlapping sweeps skip the
+// Algorithm 1 outer loop entirely.
+//
+// Determinism: reports are returned in request order and each request is a
+// pure function of its inputs, so a parallel sweep is bit-identical to a
+// serial one.  Duplicate requests inside one sweep are solved once; the
+// copies are marked cache_hit.
+//
+// Entry points (supersede looping over opt::plan — see DESIGN.md):
+//   plan_one            one request (cache-aware)
+//   plan_all_solutions  the paper's four solution families, in parallel
+//   plan_sweep          an arbitrary request grid, in parallel
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "svc/plan_request.h"
+
+namespace mlcr::svc {
+
+struct SweepEngineOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Maximum cached reports; 0 disables memoization entirely (each sweep
+  /// still deduplicates within itself).  Insertion stops at capacity.
+  std::size_t cache_capacity = 65536;
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepEngineOptions options = {});
+
+  /// Plans one request, consulting and filling the cache.
+  [[nodiscard]] PlanReport plan_one(const PlanRequest& request);
+
+  /// Plans all four solution families of opt::all_solutions() on `cfg`,
+  /// in parallel; reports come back in all_solutions() order.
+  [[nodiscard]] std::vector<PlanReport> plan_all_solutions(
+      const model::SystemConfig& cfg,
+      const opt::Algorithm1Options& options = {});
+
+  /// Plans the whole grid across the pool.  Reports are returned in request
+  /// order with values identical to serial execution.
+  [[nodiscard]] std::vector<PlanReport> plan_sweep(
+      const std::vector<PlanRequest>& requests);
+
+  [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
+  [[nodiscard]] std::size_t cache_size() const;
+  void clear_cache();
+
+ private:
+  /// Runs the planner for `request`; never throws — configuration errors
+  /// come back as status kInvalidConfig.
+  [[nodiscard]] PlanReport solve(const PlanRequest& request,
+                                 const std::string& key) const;
+  [[nodiscard]] bool cache_lookup(const std::string& key,
+                                  PlanReport* report) const;
+  void cache_insert(const std::string& key, const PlanReport& report);
+
+  SweepEngineOptions options_;
+  common::ThreadPool pool_;
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<std::string, PlanReport> cache_;
+};
+
+}  // namespace mlcr::svc

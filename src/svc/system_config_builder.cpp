@@ -1,0 +1,162 @@
+#include "svc/system_config_builder.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace mlcr::svc {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& detail) {
+  common::fail("SystemConfigBuilder: " + detail);
+}
+
+void check_overhead(const model::Overhead& overhead, const std::string& field) {
+  if (!(std::isfinite(overhead.base) && overhead.base >= 0.0)) {
+    reject(common::strf("%s.base must be finite and non-negative (got %g)",
+                        field.c_str(), overhead.base));
+  }
+  if (!(std::isfinite(overhead.slope) && overhead.slope >= 0.0)) {
+    reject(common::strf("%s.slope must be finite and non-negative (got %g)",
+                        field.c_str(), overhead.slope));
+  }
+}
+
+}  // namespace
+
+SystemConfigBuilder& SystemConfigBuilder::te_seconds(double seconds) {
+  te_seconds_ = seconds;
+  return *this;
+}
+
+SystemConfigBuilder& SystemConfigBuilder::te_core_days(double core_days) {
+  te_seconds_ = common::core_days_to_seconds(core_days);
+  return *this;
+}
+
+SystemConfigBuilder& SystemConfigBuilder::quadratic_speedup(double kappa,
+                                                            double n_star) {
+  quadratic_ = std::pair{kappa, n_star};
+  speedup_.reset();
+  return *this;
+}
+
+SystemConfigBuilder& SystemConfigBuilder::speedup(
+    std::unique_ptr<model::Speedup> curve) {
+  speedup_ = std::move(curve);
+  quadratic_.reset();
+  return *this;
+}
+
+SystemConfigBuilder& SystemConfigBuilder::add_level(model::Overhead checkpoint,
+                                                    model::Overhead recovery) {
+  levels_.push_back({checkpoint, recovery});
+  return *this;
+}
+
+SystemConfigBuilder& SystemConfigBuilder::levels(
+    std::vector<model::LevelOverheads> levels) {
+  levels_ = std::move(levels);
+  return *this;
+}
+
+SystemConfigBuilder& SystemConfigBuilder::failure_rates_per_day(
+    std::vector<double> per_day, double baseline_scale, double exponent) {
+  rates_per_day_ = std::move(per_day);
+  rates_baseline_ = baseline_scale;
+  rates_exponent_ = exponent;
+  return *this;
+}
+
+SystemConfigBuilder& SystemConfigBuilder::allocation_seconds(double seconds) {
+  allocation_seconds_ = seconds;
+  return *this;
+}
+
+SystemConfigBuilder& SystemConfigBuilder::max_scale(double scale) {
+  max_scale_ = scale;
+  return *this;
+}
+
+model::SystemConfig SystemConfigBuilder::build() const {
+  if (!te_seconds_.has_value()) {
+    reject("te_seconds (or te_core_days) is required");
+  }
+  if (!(std::isfinite(*te_seconds_) && *te_seconds_ > 0.0)) {
+    reject(common::strf("te_seconds must be positive (got %g)", *te_seconds_));
+  }
+
+  if (!quadratic_.has_value() && speedup_ == nullptr) {
+    reject("a speedup curve is required (quadratic_speedup or speedup)");
+  }
+  std::unique_ptr<model::Speedup> curve;
+  if (quadratic_.has_value()) {
+    const auto [kappa, n_star] = *quadratic_;
+    if (!(std::isfinite(kappa) && kappa > 0.0)) {
+      reject(common::strf("quadratic_speedup.kappa must be positive (got %g)",
+                          kappa));
+    }
+    if (!(std::isfinite(n_star) && n_star > 0.0)) {
+      reject(common::strf("quadratic_speedup.N_star must be positive (got %g)",
+                          n_star));
+    }
+    curve = std::make_unique<model::QuadraticSpeedup>(kappa, n_star);
+  } else {
+    curve = speedup_->clone();
+  }
+
+  if (levels_.empty()) {
+    reject("at least one checkpoint level is required (add_level/levels)");
+  }
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    check_overhead(levels_[i].checkpoint,
+                   common::strf("levels[%zu].checkpoint", i));
+    check_overhead(levels_[i].recovery,
+                   common::strf("levels[%zu].recovery", i));
+  }
+
+  if (!rates_per_day_.has_value()) {
+    reject("failure_rates_per_day is required");
+  }
+  if (rates_per_day_->size() != levels_.size()) {
+    reject(common::strf(
+        "failure_rates has %zu levels but %zu overhead levels were given",
+        rates_per_day_->size(), levels_.size()));
+  }
+  for (std::size_t i = 0; i < rates_per_day_->size(); ++i) {
+    const double rate = (*rates_per_day_)[i];
+    if (!(std::isfinite(rate) && rate > 0.0)) {
+      reject(common::strf("failure_rates[%zu] must be positive (got %g)", i,
+                          rate));
+    }
+  }
+  if (!(std::isfinite(rates_baseline_) && rates_baseline_ > 0.0)) {
+    reject(common::strf("failure_rates baseline_scale must be positive "
+                        "(got %g)",
+                        rates_baseline_));
+  }
+  if (!std::isfinite(rates_exponent_)) {
+    reject(common::strf("failure_rates exponent must be finite (got %g)",
+                        rates_exponent_));
+  }
+
+  if (!(std::isfinite(allocation_seconds_) && allocation_seconds_ >= 0.0)) {
+    reject(common::strf("allocation_seconds must be non-negative (got %g)",
+                        allocation_seconds_));
+  }
+  if (!(max_scale_ >= 0.0)) {
+    reject(common::strf("max_scale must be non-negative (got %g)",
+                        max_scale_));
+  }
+
+  return model::SystemConfig(
+      *te_seconds_, std::move(curve), levels_,
+      model::FailureRates(*rates_per_day_, rates_baseline_, rates_exponent_),
+      allocation_seconds_, max_scale_);
+}
+
+}  // namespace mlcr::svc

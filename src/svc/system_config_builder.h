@@ -1,0 +1,68 @@
+// Validating builder for model::SystemConfig — the front door of the
+// PlanRequest API.  Unlike constructing SystemConfig directly (where a bad
+// parameter surfaces as a deep MLCR_EXPECT failure with a file:line message),
+// the builder checks every field up front and throws common::Error messages
+// that name the offending field and value, e.g.
+//   "SystemConfigBuilder: failure_rates[2] must be positive (got -8)".
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "model/overhead.h"
+#include "model/speedup.h"
+#include "model/system.h"
+
+namespace mlcr::svc {
+
+class SystemConfigBuilder {
+ public:
+  SystemConfigBuilder() = default;
+
+  /// Single-core productive time Te.  Exactly one of the two setters.
+  SystemConfigBuilder& te_seconds(double seconds);
+  SystemConfigBuilder& te_core_days(double core_days);
+
+  /// Speedup curve; the quadratic shorthand is the paper's Formula (12).
+  SystemConfigBuilder& quadratic_speedup(double kappa, double n_star);
+  SystemConfigBuilder& speedup(std::unique_ptr<model::Speedup> curve);
+
+  /// Appends one checkpoint level (level 1 first, PFS last).
+  SystemConfigBuilder& add_level(model::Overhead checkpoint,
+                                 model::Overhead recovery);
+  /// Replaces all levels at once.
+  SystemConfigBuilder& levels(std::vector<model::LevelOverheads> levels);
+
+  /// Per-level failure rates (events/day observed at `baseline_scale`);
+  /// real rates scale as (N / baseline)^exponent.
+  SystemConfigBuilder& failure_rates_per_day(std::vector<double> per_day,
+                                             double baseline_scale,
+                                             double exponent = 1.0);
+
+  /// Resource (re)allocation period A, seconds.  Defaults to 0.
+  SystemConfigBuilder& allocation_seconds(double seconds);
+
+  /// Machine capacity (upper bound on N); 0 = capped by the speedup's
+  /// ideal scale only.  Defaults to 0.
+  SystemConfigBuilder& max_scale(double scale);
+
+  /// Validates every field and constructs the config.  Throws
+  /// common::Error naming the first offending field.
+  [[nodiscard]] model::SystemConfig build() const;
+
+ private:
+  std::optional<double> te_seconds_;
+  // Quadratic parameters are kept raw and validated in build() so a bad
+  // N_star is reported by field name, not by a deep MLCR_EXPECT.
+  std::optional<std::pair<double, double>> quadratic_;  // (kappa, N_star)
+  std::shared_ptr<const model::Speedup> speedup_;  // shared: builder is copyable
+  std::vector<model::LevelOverheads> levels_;
+  std::optional<std::vector<double>> rates_per_day_;
+  double rates_baseline_ = 0.0;
+  double rates_exponent_ = 1.0;
+  double allocation_seconds_ = 0.0;
+  double max_scale_ = 0.0;
+};
+
+}  // namespace mlcr::svc

@@ -1,0 +1,163 @@
+#include "svc/sweep_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "exp/cases.h"
+#include "model/speedup.h"
+#include "svc/plan_request.h"
+
+namespace mlcr::svc {
+namespace {
+
+std::vector<PlanRequest> small_grid() {
+  std::vector<PlanRequest> requests;
+  const auto cases = exp::paper_failure_cases();
+  for (const double te : {1e6, 3e6}) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const auto cfg = exp::make_fti_system(te, cases[c]);
+      requests.push_back({cfg, opt::Solution::kMultilevelOptScale, {}, {}});
+      requests.push_back({cfg, opt::Solution::kSingleLevelOptScale, {}, {}});
+    }
+  }
+  return requests;
+}
+
+TEST(SweepEngine, ParallelSweepMatchesSerialBitExactly) {
+  const auto requests = small_grid();
+  SweepEngine serial({/*threads=*/1, /*cache_capacity=*/0});
+  SweepEngine parallel({/*threads=*/4, /*cache_capacity=*/0});
+
+  const auto serial_reports = serial.plan_sweep(requests);
+  const auto parallel_reports = parallel.plan_sweep(requests);
+  ASSERT_EQ(serial_reports.size(), requests.size());
+  ASSERT_EQ(parallel_reports.size(), requests.size());
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& s = serial_reports[i];
+    const auto& p = parallel_reports[i];
+    EXPECT_EQ(s.status, p.status) << "request " << i;
+    // Bit-identical: the sweep is a pure function of the request, so the
+    // thread count must not change a single ULP.
+    EXPECT_EQ(s.plan().scale, p.plan().scale) << "request " << i;
+    EXPECT_EQ(s.wallclock(), p.wallclock()) << "request " << i;
+    ASSERT_EQ(s.plan().intervals.size(), p.plan().intervals.size());
+    for (std::size_t level = 0; level < s.plan().intervals.size(); ++level) {
+      EXPECT_EQ(s.plan().intervals[level], p.plan().intervals[level])
+          << "request " << i << " level " << level;
+    }
+  }
+}
+
+TEST(SweepEngine, ReportsComeBackInRequestOrder) {
+  auto requests = small_grid();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].label = "req-" + std::to_string(i);
+  }
+  SweepEngine engine({/*threads=*/4, /*cache_capacity=*/1024});
+  const auto reports = engine.plan_sweep(requests);
+  ASSERT_EQ(reports.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(reports[i].label, "req-" + std::to_string(i));
+    EXPECT_EQ(reports[i].solution, requests[i].solution);
+  }
+}
+
+TEST(SweepEngine, CacheHitOnRepeatedRequest) {
+  const auto cfg = exp::make_fti_system(3e6, exp::paper_failure_cases()[0]);
+  const PlanRequest request{cfg, opt::Solution::kMultilevelOptScale, {}, {}};
+
+  SweepEngine engine({/*threads=*/2, /*cache_capacity=*/16});
+  const auto first = engine.plan_one(request);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(first.ok());
+  EXPECT_EQ(engine.cache_size(), 1u);
+
+  const auto second = engine.plan_one(request);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.plan().scale, first.plan().scale);
+  EXPECT_EQ(second.wallclock(), first.wallclock());
+  EXPECT_EQ(second.key, first.key);
+
+  // A warm re-sweep serves everything from cache.
+  const auto resweep = engine.plan_sweep({request, request});
+  for (const auto& report : resweep) {
+    EXPECT_TRUE(report.cache_hit);
+    EXPECT_EQ(report.plan().scale, first.plan().scale);
+  }
+}
+
+TEST(SweepEngine, DuplicateRequestsInOneSweepSolvedOnce) {
+  const auto cfg = exp::make_fti_system(1e6, exp::paper_failure_cases()[1]);
+  const PlanRequest request{cfg, opt::Solution::kMultilevelOptScale, {}, {}};
+  SweepEngine engine({/*threads=*/4, /*cache_capacity=*/0});  // cache off
+
+  const auto reports =
+      engine.plan_sweep({request, request, request, request, request});
+  std::size_t solved = 0;
+  for (const auto& report : reports) {
+    if (!report.cache_hit) ++solved;
+    EXPECT_EQ(report.plan().scale, reports.front().plan().scale);
+  }
+  EXPECT_EQ(solved, 1u);  // in-sweep dedup even with the cache disabled
+}
+
+TEST(SweepEngine, DistinctOptionsDoNotShareCacheEntries) {
+  const auto cfg = exp::make_fti_system(3e6, exp::paper_failure_cases()[0]);
+  PlanRequest loose{cfg, opt::Solution::kMultilevelOptScale, {}, {}};
+  PlanRequest tight = loose;
+  tight.options.delta = 1e-6;
+  EXPECT_NE(canonical_key(loose), canonical_key(tight));
+
+  SweepEngine engine({/*threads=*/2, /*cache_capacity=*/16});
+  (void)engine.plan_one(loose);
+  const auto report = engine.plan_one(tight);
+  EXPECT_FALSE(report.cache_hit);
+  EXPECT_EQ(engine.cache_size(), 2u);
+}
+
+TEST(SweepEngine, InvalidConfigReportedNotThrown) {
+  // ori-scale planning needs a finite N_star; a linear speedup without a
+  // machine cap has none, which the old API surfaced as a thrown
+  // MLCR_EXPECT and the service layer maps to kInvalidConfig.
+  model::SystemConfig cfg(
+      1e9, std::make_unique<model::LinearSpeedup>(0.5),
+      {{model::Overhead::constant(5.0), model::Overhead::constant(5.0)}},
+      model::FailureRates({4.0}, 1e6), 60.0);
+  SweepEngine engine;
+  const auto report = engine.plan_one(
+      {cfg, opt::Solution::kMultilevelOriScale, {}, "bad"});
+  EXPECT_EQ(report.status, opt::Status::kInvalidConfig);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.message.empty());
+  EXPECT_EQ(report.label, "bad");
+}
+
+TEST(SweepEngine, PlanAllSolutionsCoversTheFourFamilies) {
+  const auto cfg = exp::make_fti_system(3e6, exp::paper_failure_cases()[0]);
+  SweepEngine engine({/*threads=*/4, /*cache_capacity=*/64});
+  const auto reports = engine.plan_all_solutions(cfg);
+  const auto expected = opt::all_solutions();
+  ASSERT_EQ(reports.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(reports[i].solution, expected[i]);
+    EXPECT_TRUE(reports[i].ok()) << reports[i].message;
+    EXPECT_GT(reports[i].plan().scale, 0.0);
+  }
+}
+
+TEST(SweepEngine, MatchesDirectPlannerCall) {
+  const auto cfg = exp::make_fti_system(3e6, exp::paper_failure_cases()[2]);
+  const auto direct = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
+  SweepEngine engine;
+  const auto report = engine.plan_one(
+      {cfg, opt::Solution::kMultilevelOptScale, {}, {}});
+  EXPECT_EQ(report.plan().scale, direct.full_plan.scale);
+  EXPECT_EQ(report.wallclock(), direct.optimization.wallclock);
+  EXPECT_EQ(report.status, direct.optimization.status);
+}
+
+}  // namespace
+}  // namespace mlcr::svc

@@ -1,0 +1,127 @@
+#include "svc/system_config_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mlcr::svc {
+namespace {
+
+/// A builder pre-filled with a valid 2-level system; tests then break one
+/// field at a time.
+SystemConfigBuilder valid_builder() {
+  SystemConfigBuilder builder;
+  builder.te_core_days(3e6)
+      .quadratic_speedup(0.46, 1e6)
+      .add_level(model::Overhead::constant(0.9),
+                 model::Overhead::constant(0.9))
+      .add_level(model::Overhead::linear(5.5, 0.0212),
+                 model::Overhead::constant(5.5))
+      .failure_rates_per_day({8.0, 4.0}, 1e6)
+      .allocation_seconds(60.0);
+  return builder;
+}
+
+/// Expects build() to throw common::Error whose message mentions `field`.
+void expect_rejects(SystemConfigBuilder builder, const std::string& field) {
+  try {
+    (void)builder.build();
+    FAIL() << "expected common::Error naming " << field;
+  } catch (const common::Error& error) {
+    EXPECT_NE(std::string(error.what()).find(field), std::string::npos)
+        << "message was: " << error.what();
+  }
+}
+
+TEST(SystemConfigBuilder, BuildsAValidConfig) {
+  const auto cfg = valid_builder().build();
+  EXPECT_DOUBLE_EQ(cfg.te(), common::core_days_to_seconds(3e6));
+  EXPECT_EQ(cfg.levels(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.allocation(), 60.0);
+  EXPECT_DOUBLE_EQ(cfg.scale_upper_bound(), 1e6);
+  EXPECT_DOUBLE_EQ(cfg.rates().per_day_at_baseline(0), 8.0);
+}
+
+TEST(SystemConfigBuilder, MaxScaleCapsTheSearchBound) {
+  const auto cfg = valid_builder().max_scale(2e5).build();
+  EXPECT_DOUBLE_EQ(cfg.scale_upper_bound(), 2e5);
+}
+
+TEST(SystemConfigBuilder, RejectsMissingTe) {
+  SystemConfigBuilder builder;
+  builder.quadratic_speedup(0.46, 1e6)
+      .add_level(model::Overhead::constant(1.0),
+                 model::Overhead::constant(1.0))
+      .failure_rates_per_day({4.0}, 1e6);
+  expect_rejects(builder, "te_seconds");
+}
+
+TEST(SystemConfigBuilder, RejectsNonPositiveTe) {
+  expect_rejects(valid_builder().te_seconds(0.0), "te_seconds");
+  expect_rejects(valid_builder().te_seconds(-5.0), "te_seconds");
+}
+
+TEST(SystemConfigBuilder, RejectsNonPositiveNStar) {
+  expect_rejects(valid_builder().quadratic_speedup(0.46, 0.0), "N_star");
+  expect_rejects(valid_builder().quadratic_speedup(0.46, -1e6), "N_star");
+}
+
+TEST(SystemConfigBuilder, RejectsNonPositiveKappa) {
+  expect_rejects(valid_builder().quadratic_speedup(0.0, 1e6), "kappa");
+}
+
+TEST(SystemConfigBuilder, RejectsLevelCountMismatch) {
+  // 3 rates for 2 overhead levels.
+  expect_rejects(valid_builder().failure_rates_per_day({8.0, 4.0, 2.0}, 1e6),
+                 "failure_rates");
+}
+
+TEST(SystemConfigBuilder, RejectsNonPositiveRateNamingTheIndex) {
+  expect_rejects(valid_builder().failure_rates_per_day({8.0, 0.0}, 1e6),
+                 "failure_rates[1]");
+  expect_rejects(valid_builder().failure_rates_per_day({-8.0, 4.0}, 1e6),
+                 "failure_rates[0]");
+}
+
+TEST(SystemConfigBuilder, RejectsNonPositiveBaselineScale) {
+  expect_rejects(valid_builder().failure_rates_per_day({8.0, 4.0}, 0.0),
+                 "baseline_scale");
+}
+
+TEST(SystemConfigBuilder, RejectsMissingLevels) {
+  SystemConfigBuilder builder;
+  builder.te_core_days(3e6)
+      .quadratic_speedup(0.46, 1e6)
+      .failure_rates_per_day({4.0}, 1e6);
+  expect_rejects(builder, "level");
+}
+
+TEST(SystemConfigBuilder, RejectsNegativeOverheadNamingTheField) {
+  expect_rejects(
+      valid_builder().levels({{model::Overhead::constant(-1.0),
+                               model::Overhead::constant(1.0)},
+                              {model::Overhead::constant(1.0),
+                               model::Overhead::constant(1.0)}}),
+      "levels[0].checkpoint");
+  expect_rejects(
+      valid_builder().levels({{model::Overhead::constant(1.0),
+                               model::Overhead::constant(1.0)},
+                              {model::Overhead::constant(1.0),
+                               {1.0, -0.5, model::Scaling::kLinear}}}),
+      "levels[1].recovery");
+}
+
+TEST(SystemConfigBuilder, RejectsNegativeAllocation) {
+  expect_rejects(valid_builder().allocation_seconds(-1.0),
+                 "allocation_seconds");
+}
+
+TEST(SystemConfigBuilder, RejectsNegativeMaxScale) {
+  expect_rejects(valid_builder().max_scale(-1.0), "max_scale");
+}
+
+}  // namespace
+}  // namespace mlcr::svc

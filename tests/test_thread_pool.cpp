@@ -1,0 +1,108 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mlcr::common {
+namespace {
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, ConcurrentSubmitAndDrain) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  constexpr int kSubmitters = 8;
+  constexpr int kPerSubmitter = 250;
+
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<void>>> futures(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &total, &futures, s]() {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        futures[static_cast<std::size_t>(s)].push_back(pool.submit(
+            [&total]() { total.fetch_add(1, std::memory_order_relaxed); }));
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  for (auto& list : futures) {
+    for (auto& future : list) future.get();
+  }
+  EXPECT_EQ(total.load(), kSubmitters * kPerSubmitter);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  try {
+    (void)future.get();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "task failed");
+  }
+  // The pool stays usable after a throwing task.
+  EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::vector<std::future<int>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([i]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return i;
+      }));
+    }
+  }  // destructor must drain, not abandon
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+  }
+}
+
+TEST(ThreadPool, StealsAcrossQueues) {
+  // One long task pins a worker; the remaining tasks round-robin into every
+  // queue, so finishing all of them quickly requires stealing from the
+  // stuck worker's deque.
+  ThreadPool pool(4);
+  std::atomic<bool> release{false};
+  auto blocker = pool.submit([&release]() {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i]() { return i; }));
+  }
+  int sum = 0;
+  for (auto& future : futures) sum += future.get();
+  EXPECT_EQ(sum, 99 * 100 / 2);
+  release.store(true, std::memory_order_release);
+  blocker.get();
+}
+
+}  // namespace
+}  // namespace mlcr::common
