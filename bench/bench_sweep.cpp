@@ -7,6 +7,13 @@
 //   serial    1 thread, cache disabled — the old loop-over-opt::plan shape
 //   parallel  hardware threads, cache disabled
 //   cached    hardware threads, warm cache (re-sweep of the same grid)
+// plus a small-cache engine (capacity < grid size) that demonstrates LRU
+// eviction: the warm re-sweep must report > 0 evictions, proving entries
+// keep flowing through the cache instead of the old drop-on-full behavior.
+//
+// Each sweep also prints its SweepStats aggregates (cache hits / misses /
+// evictions, solve-time percentiles, queue wait) from the engine's metrics
+// layer.
 //
 // Acceptance targets (ISSUE 1): on a multi-core host the parallel sweep is
 // >= 3x serial, and the fully-cached re-sweep is >= 10x the cold sweep.
@@ -37,9 +44,10 @@ std::vector<svc::PlanRequest> make_grid() {
 
 double time_sweep(svc::SweepEngine& engine,
                   const std::vector<svc::PlanRequest>& requests,
-                  std::vector<svc::PlanReport>* reports) {
+                  std::vector<svc::PlanReport>* reports,
+                  svc::SweepStats* stats) {
   const auto start = std::chrono::steady_clock::now();
-  *reports = engine.plan_sweep(requests);
+  *reports = engine.plan_sweep(requests, stats);
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
@@ -54,17 +62,31 @@ int main() {
       "Sweep engine throughput — %zu-request what-if grid", requests.size()));
 
   std::vector<svc::PlanReport> serial_reports, parallel_reports,
-      cold_reports, warm_reports;
+      cold_reports, warm_reports, small_cold_reports, small_warm_reports;
+  svc::SweepStats serial_stats, parallel_stats, cold_stats, warm_stats,
+      small_cold_stats, small_warm_stats;
 
   svc::SweepEngine serial({/*threads=*/1, /*cache_capacity=*/0});
-  const double serial_s = time_sweep(serial, requests, &serial_reports);
+  const double serial_s =
+      time_sweep(serial, requests, &serial_reports, &serial_stats);
 
   svc::SweepEngine parallel({/*threads=*/0, /*cache_capacity=*/0});
-  const double parallel_s = time_sweep(parallel, requests, &parallel_reports);
+  const double parallel_s =
+      time_sweep(parallel, requests, &parallel_reports, &parallel_stats);
 
   svc::SweepEngine cached({/*threads=*/0, /*cache_capacity=*/65536});
-  const double cold_s = time_sweep(cached, requests, &cold_reports);
-  const double warm_s = time_sweep(cached, requests, &warm_reports);
+  const double cold_s = time_sweep(cached, requests, &cold_reports,
+                                   &cold_stats);
+  const double warm_s = time_sweep(cached, requests, &warm_reports,
+                                   &warm_stats);
+
+  // LRU demonstration: a cache smaller than the grid must keep evicting on
+  // the warm re-sweep (the old drop-on-full cache would report 0 evictions
+  // and simply stop memoizing).
+  const std::size_t small_capacity = 64;
+  svc::SweepEngine small({/*threads=*/0, /*cache_capacity=*/small_capacity});
+  (void)time_sweep(small, requests, &small_cold_reports, &small_cold_stats);
+  (void)time_sweep(small, requests, &small_warm_reports, &small_warm_stats);
 
   // Determinism spot check: parallel values must equal the serial baseline.
   std::size_t mismatches = 0, warm_hits = 0;
@@ -90,12 +112,44 @@ int main() {
   row("parallel warm (cache)", cached.threads(), warm_s);
   table.print();
 
+  common::Table stats_table({"sweep", "solved", "cache hits", "dedup",
+                             "evictions", "errors", "solve p50 (ms)",
+                             "solve p90 (ms)", "solve max (ms)",
+                             "queue wait max (ms)"});
+  auto stats_row = [&](const char* name, const svc::SweepStats& s) {
+    stats_table.add_row(
+        {name, common::strf("%zu", s.solved),
+         common::strf("%zu", s.cache_hits), common::strf("%zu", s.dedup_hits),
+         common::strf("%zu", s.evictions), common::strf("%zu", s.errors),
+         common::strf("%.2f", 1e3 * s.solve_seconds_p50),
+         common::strf("%.2f", 1e3 * s.solve_seconds_p90),
+         common::strf("%.2f", 1e3 * s.solve_seconds_max),
+         common::strf("%.2f", 1e3 * s.queue_wait_seconds_max)});
+  };
+  std::printf("\nPer-sweep aggregates (SweepStats):\n");
+  stats_row("serial", serial_stats);
+  stats_row("parallel", parallel_stats);
+  stats_row("cached cold", cold_stats);
+  stats_row("cached warm", warm_stats);
+  stats_row(common::strf("small cold (cap=%zu)", small_capacity).c_str(),
+            small_cold_stats);
+  stats_row(common::strf("small warm (cap=%zu)", small_capacity).c_str(),
+            small_warm_stats);
+  stats_table.print();
+
+  std::printf("\nEngine-lifetime metrics (cached engine):\n");
+  cached.metrics().print();
+
+  const bool evictions_ok = small_cold_stats.evictions > 0 &&
+                            small_warm_stats.evictions > 0;
   std::printf(
       "\n  parallel vs serial: %.2fx (target >= 3x on a multi-core host)\n"
       "  warm vs cold sweep: %.2fx (target >= 10x)\n"
       "  parallel/serial mismatches: %zu (must be 0)\n"
-      "  warm-sweep cache hits: %zu / %zu\n",
+      "  warm-sweep cache hits: %zu / %zu\n"
+      "  small-cache evictions cold/warm: %zu / %zu (warm must be > 0: LRU\n"
+      "  keeps replacing instead of dropping new entries)\n",
       serial_s / parallel_s, cold_s / warm_s, mismatches, warm_hits,
-      requests.size());
-  return mismatches == 0 ? 0 : 1;
+      requests.size(), small_cold_stats.evictions, small_warm_stats.evictions);
+  return mismatches == 0 && evictions_ok ? 0 : 1;
 }

@@ -8,18 +8,41 @@
 // parallel and returns the reports in request order.  Rows that fail to
 // converge are no longer dropped — the status column says what happened.
 //
-//   ./capacity_planner
+//   ./capacity_planner [--metrics[=file.jsonl]]
+//
+// --metrics appends the engine's instrumentation (cache traffic, solver
+// status taxonomy, solve-time histograms) as a table, or writes it as JSONL
+// when given a file path.
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "exp/cases.h"
 #include "model/wallclock.h"
 #include "svc/sweep_engine.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlcr;
+
+  bool metrics = false;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--metrics") {
+      metrics = true;
+    } else if (flag.rfind("--metrics=", 0) == 0) {
+      metrics = true;
+      metrics_path = flag.substr(std::strlen("--metrics="));
+    } else {
+      std::fprintf(stderr,
+                   "usage: capacity_planner [--metrics[=file.jsonl]]\n");
+      return 1;
+    }
+  }
 
   svc::SweepEngine engine;
 
@@ -45,11 +68,19 @@ int main() {
       const std::string workload =
           common::strf("%.0fm core-days", workload_core_days / 1e6);
       if (!report.ok()) {
+        // Render the reason in the row itself (truncated to keep the table
+        // readable); the full message still goes to stderr.  A non-ok run
+        // has no trustworthy plan or portions, so every numeric cell stays
+        // blank rather than echoing a stale iterate.
+        std::string reason = report.message;
+        if (reason.size() > 44) reason = reason.substr(0, 41) + "...";
         table.add_row({workload, failure_case.name,
                        opt::to_string(report.status), "-", "-", "-", "-", "-",
-                       "-", "-", "-"});
-        std::fprintf(stderr, "  [%s/%s] %s\n", workload.c_str(),
-                     failure_case.name.c_str(), report.message.c_str());
+                       "-", reason.empty() ? "-" : reason, "-"});
+        std::fprintf(stderr, "  [%s/%s] %s: %s\n", workload.c_str(),
+                     failure_case.name.c_str(),
+                     opt::to_string(report.status).c_str(),
+                     report.message.c_str());
         continue;
       }
       const auto& plan = report.plan();
@@ -74,5 +105,14 @@ int main() {
       "scale (freeing cores improves availability), and larger workloads\n"
       "push it back up because productive time dominates.\n",
       reports.size(), engine.threads());
+
+  if (metrics) {
+    if (metrics_path.empty()) {
+      std::printf("\n-- solver metrics --\n");
+      engine.metrics().print();
+    } else if (!engine.metrics().write_jsonl_file(metrics_path)) {
+      return 1;
+    }
+  }
   return 0;
 }

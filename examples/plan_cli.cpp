@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/metrics.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "model/system.h"
@@ -52,6 +53,8 @@ struct Options {
   double allocation = 60.0;
   bool simulate = false;
   bool select_levels = false;
+  bool metrics = false;
+  std::string metrics_path;  ///< empty: pretty table on stdout
 };
 
 void usage() {
@@ -60,8 +63,11 @@ void usage() {
       "                [--rates r1,r2,...] [--costs c1,c2,...]\n"
       "                [--pfs-slope S] [--allocation A]\n"
       "                [--simulate] [--select-levels]\n"
+      "                [--metrics[=file.jsonl]]\n"
       "rates are events/day at the N_star baseline; costs are per-level\n"
-      "checkpoint seconds (the last level also grows by S per core).");
+      "checkpoint seconds (the last level also grows by S per core).\n"
+      "--metrics prints solver/cache instrumentation after the plan table,\n"
+      "or writes it as JSONL when given a file path.");
 }
 
 bool parse(int argc, char** argv, Options* options) {
@@ -75,6 +81,11 @@ bool parse(int argc, char** argv, Options* options) {
       options->simulate = true;
     } else if (flag == "--select-levels") {
       options->select_levels = true;
+    } else if (flag == "--metrics") {
+      options->metrics = true;
+    } else if (flag.rfind("--metrics=", 0) == 0) {
+      options->metrics = true;
+      options->metrics_path = flag.substr(std::strlen("--metrics="));
     } else {
       const char* value = next();
       if (value == nullptr) return false;
@@ -177,6 +188,15 @@ int main(int argc, char** argv) {
                 common::format_duration(
                     selected.optimization.wallclock)
                     .c_str());
+  }
+
+  if (options.metrics) {
+    if (options.metrics_path.empty()) {
+      std::printf("\n-- solver metrics --\n");
+      engine.metrics().print();
+    } else if (!engine.metrics().write_jsonl_file(options.metrics_path)) {
+      return 1;
+    }
   }
   return 0;
 }

@@ -1,18 +1,37 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard build + full test suite, followed by a
 # ThreadSanitizer pass over the concurrency-sensitive targets (thread pool,
-# sweep engine).  Run from anywhere; builds land in build/ and build-tsan/.
+# sweep engine, metrics registry).  Run from anywhere; builds land in build/
+# and build-tsan/.
+#
+# The ctest runs treat "no tests matched" and any skipped test as failures:
+# a silently-skipped suite looks exactly like a green run otherwise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Runs ctest with the given args, failing on skips (and, via
+# --no-tests=error, on an empty selection).
+run_ctest() {
+  local log
+  log="$(mktemp)"
+  (cd "$1" && shift && ctest --output-on-failure --no-tests=error "$@") \
+    | tee "$log"
+  if grep -q '\*\*\*Skipped\|SKIPPED' "$log"; then
+    rm -f "$log"
+    echo "tier-1 FAILED: ctest skipped tests (see output above)" >&2
+    exit 1
+  fi
+  rm -f "$log"
+}
 
 echo "== tier-1: standard build + ctest =="
 cmake -B build -S .
 cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+run_ctest build -j
 
-echo "== tier-1: ThreadSanitizer pass (thread pool + sweep engine) =="
+echo "== tier-1: ThreadSanitizer pass (thread pool + sweep engine + metrics) =="
 cmake -B build-tsan -S . -DMLCR_SANITIZE=thread
 cmake --build build-tsan -j
-(cd build-tsan && ctest --output-on-failure -R 'ThreadPool|SweepEngine')
+run_ctest build-tsan -R 'ThreadPool|SweepEngine|Metrics|LruCache'
 
 echo "tier-1 OK"

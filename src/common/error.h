@@ -17,8 +17,21 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when the math breaks down mid-solve on a well-formed request
+/// (non-finite wall-clock estimate, diverging iterates).  Distinct from
+/// Error so service layers can report "the solver diverged" instead of
+/// blaming the caller's configuration.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
 [[noreturn]] inline void fail(const std::string& message) {
   throw Error(message);
+}
+
+[[noreturn]] inline void fail_numeric(const std::string& message) {
+  throw NumericError(message);
 }
 
 }  // namespace mlcr::common
@@ -29,5 +42,16 @@ class Error : public std::runtime_error {
     if (!(cond)) {                                                          \
       ::mlcr::common::fail(std::string(__FILE__) + ":" +                    \
                            std::to_string(__LINE__) + ": " + (message));    \
+    }                                                                       \
+  } while (false)
+
+/// Mid-solve numeric invariant: throws mlcr::common::NumericError, which the
+/// service layer maps to a divergence status rather than invalid-config.
+#define MLCR_NUMERIC_EXPECT(cond, message)                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::mlcr::common::fail_numeric(std::string(__FILE__) + ":" +            \
+                                   std::to_string(__LINE__) + ": " +        \
+                                   (message));                              \
     }                                                                       \
   } while (false)

@@ -1,0 +1,207 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.h"
+#include "common/table.h"
+
+namespace mlcr::common::metrics {
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+void Timer::observe(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  if (samples_.size() < kWindow) {
+    samples_.push_back(value);
+  } else {
+    samples_[count_ % kWindow] = value;
+  }
+  ++count_;
+}
+
+Timer::Snapshot Timer::snapshot() const {
+  std::vector<double> samples;
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.count = count_;
+    snap.sum = sum_;
+    snap.min = min_;
+    snap.max = max_;
+    samples = samples_;
+  }
+  snap.p50 = percentile(samples, 0.50);
+  snap.p90 = percentile(samples, 0.90);
+  snap.p99 = percentile(std::move(samples), 0.99);
+  return snap;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Timer& Registry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  // Copy instrument pointers under the map lock, then read each instrument
+  // outside it (Counter/Gauge are atomic; Timer has its own mutex).
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Timer*>> timers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, counter] : counters_)
+      counters.emplace_back(name, counter.get());
+    for (const auto& [name, gauge] : gauges_)
+      gauges.emplace_back(name, gauge.get());
+    for (const auto& [name, timer] : timers_)
+      timers.emplace_back(name, timer.get());
+  }
+  for (const auto& [name, counter] : counters)
+    snap.counters.emplace_back(name, counter->value());
+  for (const auto& [name, gauge] : gauges)
+    snap.gauges.emplace_back(name, gauge->value());
+  for (const auto& [name, timer] : timers)
+    snap.timers.emplace_back(name, timer->snapshot());
+  return snap;
+}
+
+std::string Registry::to_table() const {
+  const Snapshot snap = snapshot();
+  std::string out;
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    Table table({"metric", "kind", "value"});
+    for (const auto& [name, value] : snap.counters)
+      table.add_row({name, "counter", strf("%llu",
+                                           static_cast<unsigned long long>(value))});
+    for (const auto& [name, value] : snap.gauges)
+      table.add_row({name, "gauge", strf("%.6g", value)});
+    out += table.to_string();
+  }
+  if (!snap.timers.empty()) {
+    Table table({"timer", "count", "sum", "mean", "min", "p50", "p90", "p99",
+                 "max"});
+    for (const auto& [name, t] : snap.timers) {
+      table.add_row({name,
+                     strf("%llu", static_cast<unsigned long long>(t.count)),
+                     strf("%.4g", t.sum), strf("%.4g", t.mean()),
+                     strf("%.4g", t.min), strf("%.4g", t.p50),
+                     strf("%.4g", t.p90), strf("%.4g", t.p99),
+                     strf("%.4g", t.max)});
+    }
+    if (!out.empty()) out += "\n";
+    out += table.to_string();
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+void Registry::print() const { std::fputs(to_table().c_str(), stdout); }
+
+namespace {
+
+/// JSON string escaping for metric names (quotes/backslashes/control chars).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no Inf/NaN literals; clamp to null.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  return strf("%.17g", value);
+}
+
+}  // namespace
+
+std::string Registry::to_jsonl() const {
+  const Snapshot snap = snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += strf("{\"kind\":\"counter\",\"name\":\"%s\",\"value\":%llu}\n",
+                json_escape(name).c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += strf("{\"kind\":\"gauge\",\"name\":\"%s\",\"value\":%s}\n",
+                json_escape(name).c_str(), json_number(value).c_str());
+  }
+  for (const auto& [name, t] : snap.timers) {
+    out += strf(
+        "{\"kind\":\"timer\",\"name\":\"%s\",\"count\":%llu,\"sum\":%s,"
+        "\"min\":%s,\"max\":%s,\"mean\":%s,\"p50\":%s,\"p90\":%s,"
+        "\"p99\":%s}\n",
+        json_escape(name).c_str(), static_cast<unsigned long long>(t.count),
+        json_number(t.sum).c_str(), json_number(t.min).c_str(),
+        json_number(t.max).c_str(), json_number(t.mean()).c_str(),
+        json_number(t.p50).c_str(), json_number(t.p90).c_str(),
+        json_number(t.p99).c_str());
+  }
+  return out;
+}
+
+bool Registry::write_jsonl_file(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    log_error("metrics: cannot open " + path + " for writing");
+    return false;
+  }
+  const std::string body = to_jsonl();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), file) ==
+                  body.size();
+  std::fclose(file);
+  if (!ok) log_error("metrics: short write to " + path);
+  return ok;
+}
+
+}  // namespace mlcr::common::metrics

@@ -1,0 +1,150 @@
+// Solver observability: thread-safe counters, gauges, and timer histograms
+// behind a named registry, in the style multilevel checkpoint runtimes
+// (VELOC et al.) use to back "very low overhead" claims with numbers.
+//
+// Design rules:
+//   * Instruments are owned by a Registry and handed out by reference; the
+//     references stay valid for the registry's lifetime, so hot paths
+//     resolve the name once and then touch only an atomic.
+//   * Counter/Gauge are lock-free; Timer keeps a bounded sample window under
+//     a private mutex (observations are ~per solver run, not per inner
+//     iteration, so contention is negligible).
+//   * Export never blocks writers for long: snapshots copy under the lock
+//     and format outside it.  `to_table()` renders the pretty form benches
+//     print; `write_jsonl()` emits one JSON object per instrument for
+//     machine consumption (the `--metrics=file.jsonl` CLI flag).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mlcr::common::metrics {
+
+/// Monotonic event count (cache hits, evictions, solver statuses).
+class Counter {
+ public:
+  void increment(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (cache size, thread count).
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution of observed values (solve seconds, queue wait, outer
+/// iterations).  Keeps exact count/sum/min/max plus a bounded sample window
+/// for percentiles; past the window the oldest samples are overwritten, so
+/// percentiles reflect the most recent ~4096 observations.
+class Timer {
+ public:
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    [[nodiscard]] double mean() const noexcept {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+
+  void observe(double value);
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  static constexpr std::size_t kWindow = 4096;
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;  ///< ring once count_ exceeds kWindow
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// RAII wall-clock observation into a Timer, in seconds.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer) noexcept
+      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() { timer_.observe(elapsed_seconds()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  Timer& timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Named instrument registry.  Lookups get-or-create under one mutex; the
+/// returned references remain valid until the registry is destroyed.
+class Registry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Timer& timer(const std::string& name);
+
+  /// Point-in-time copy of every instrument, sorted by name within kind.
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Timer::Snapshot>> timers;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Aligned ASCII rendering (one section per instrument kind).
+  [[nodiscard]] std::string to_table() const;
+  /// Renders to stdout.
+  void print() const;
+
+  /// One JSON object per line per instrument:
+  ///   {"kind":"counter","name":"cache.hits","value":42}
+  ///   {"kind":"gauge","name":"cache.size","value":64}
+  ///   {"kind":"timer","name":"solve.seconds","count":120,"sum":...,
+  ///    "min":...,"max":...,"mean":...,"p50":...,"p90":...,"p99":...}
+  [[nodiscard]] std::string to_jsonl() const;
+  /// Writes to_jsonl() to `path`; returns false (and logs) on I/O failure.
+  bool write_jsonl_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+/// Linear-interpolation percentile (q in [0,1]) of an unsorted sample set;
+/// 0 on empty input.  Shared by Timer snapshots and per-sweep aggregates.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+}  // namespace mlcr::common::metrics

@@ -17,6 +17,7 @@ std::string to_string(Status status) {
     case Status::kDiverged: return "diverged";
     case Status::kMaxIterations: return "max-iterations";
     case Status::kInvalidConfig: return "invalid-config";
+    case Status::kInternalError: return "internal-error";
   }
   return "?";
 }
@@ -48,15 +49,21 @@ Algorithm1Result outer_loop(
     result.outer_iterations = outer + 1;
     const auto mu = model::MuModel::from_rates(cfg.rates(), wallclock_estimate);
 
+    OuterIterationTrace step;
+    step.iteration = outer + 1;
+    step.wallclock_estimate = wallclock_estimate;
+
     // Line 5: inner convex problem at frozen mu.
     const MultilevelSolution inner = solve_inner(mu);
     result.inner_iterations += inner.iterations;
     result.plan = inner.plan;
+    step.inner_iterations = inner.iterations;
 
     // Line 6: expected wall-clock under the new plan.
     const double wallclock = evaluate(mu, inner.plan);
-    MLCR_EXPECT(std::isfinite(wallclock) && wallclock > 0.0,
-                "algorithm1: inner solution produced invalid wall-clock");
+    MLCR_NUMERIC_EXPECT(std::isfinite(wallclock) && wallclock > 0.0,
+                        "algorithm1: inner solution produced invalid "
+                        "wall-clock");
 
     // Lines 7-10: recompute mu from the achieved wall-clock; the convergence
     // test compares expected failure counts at the solution scale.
@@ -69,6 +76,9 @@ Algorithm1Result outer_loop(
     }
     result.final_mu_change = mu_change;
     result.wallclock = wallclock;
+    step.wallclock = wallclock;
+    step.mu_change = mu_change;
+    result.trace.push_back(step);
 
     // Divergence guard (paper: only under extremely high failure rates).
     if (!std::isfinite(mu_change) || mu_change > 1e12) {
@@ -100,6 +110,7 @@ Algorithm1Result outer_loop(
           if (std::isfinite(extrapolated) && extrapolated > 0.0) {
             wallclock_estimate = extrapolated;
             wallclock_history.clear();  // restart the window after a jump
+            result.trace.back().aitken_jump = true;
             continue;
           }
         }
@@ -133,11 +144,13 @@ Algorithm1Result optimize_multilevel(const model::SystemConfig& cfg,
     return model::expected_wallclock(cfg, mu, plan);
   };
   Algorithm1Result result = outer_loop(cfg, options, solve_inner, evaluate);
-  const auto mu = model::MuModel::from_rates(
-      cfg.rates(), result.wallclock > 0.0 ? result.wallclock
-                                          : cfg.productive_time(
-                                                result.plan.scale));
-  result.portions = model::expected_portions(cfg, mu, result.plan);
+  // Portions are an analytic breakdown *at the converged fixed point*; on a
+  // diverged or exhausted run the plan is a stale iterate and the breakdown
+  // would look plausible while meaning nothing.  Leave it zeroed.
+  if (result.status == Status::kOk) {
+    const auto mu = model::MuModel::from_rates(cfg.rates(), result.wallclock);
+    result.portions = model::expected_portions(cfg, mu, result.plan);
+  }
   return result;
 }
 
@@ -167,18 +180,19 @@ Algorithm1Result optimize_single_level(const model::SystemConfig& cfg,
   Algorithm1Result result = outer_loop(cfg, options, solve_inner, evaluate);
 
   // Portions under the Formula (13) target: no half-checkpoint redo term.
-  const auto mu = model::MuModel::from_rates(
-      cfg.rates(), result.wallclock > 0.0 ? result.wallclock
-                                          : cfg.productive_time(
-                                                result.plan.scale));
-  const double n = result.plan.scale;
-  const double x = result.plan.intervals[0];
-  const double productive = cfg.productive_time(n);
-  result.portions.productive = productive;
-  result.portions.checkpoint = cfg.ckpt_cost(0, n) * (x - 1.0);
-  result.portions.restart =
-      mu.mu(0, n) * (cfg.allocation() + cfg.recovery_cost(0, n));
-  result.portions.rollback = mu.mu(0, n) * productive / (2.0 * x);
+  // Same gate as the multilevel variant: only a converged run has a
+  // meaningful breakdown.
+  if (result.status == Status::kOk) {
+    const auto mu = model::MuModel::from_rates(cfg.rates(), result.wallclock);
+    const double n = result.plan.scale;
+    const double x = result.plan.intervals[0];
+    const double productive = cfg.productive_time(n);
+    result.portions.productive = productive;
+    result.portions.checkpoint = cfg.ckpt_cost(0, n) * (x - 1.0);
+    result.portions.restart =
+        mu.mu(0, n) * (cfg.allocation() + cfg.recovery_cost(0, n));
+    result.portions.rollback = mu.mu(0, n) * productive / (2.0 * x);
+  }
   return result;
 }
 

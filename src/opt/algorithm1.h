@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "model/failure.h"
 #include "model/system.h"
@@ -31,9 +32,27 @@ enum class Status {
   kDiverged,       ///< failure estimates blew up (unrealistically high rates)
   kMaxIterations,  ///< outer loop exhausted max_outer_iterations
   kInvalidConfig,  ///< the request itself was malformed
+  kInternalError,  ///< unexpected failure inside the solver (a bug, not the
+                   ///< caller's configuration — report it)
 };
 
 [[nodiscard]] std::string to_string(Status status);
+
+/// One outer iteration of Algorithm 1, as observed: the wall-clock estimate
+/// the iteration started from, the E(Tw) it evaluated, the resulting change
+/// in expected failure counts, and whether Aitken extrapolation jumped the
+/// next estimate.  `Algorithm1Result::trace` holds exactly one entry per
+/// outer iteration, so the trace length always equals `outer_iterations` —
+/// this is how the paper's "7-15 outer iterations to delta = 1e-12" claim
+/// becomes checkable instead of anecdotal.
+struct OuterIterationTrace {
+  int iteration = 0;               ///< 1-based outer iteration index
+  double wallclock_estimate = 0.0; ///< estimate entering the iteration
+  double wallclock = 0.0;          ///< E(Tw) evaluated at the inner solution
+  double mu_change = 0.0;          ///< max_i |mu_i' - mu_i| after the update
+  int inner_iterations = 0;        ///< inner solver iterations this round
+  bool aitken_jump = false;        ///< extrapolation replaced the estimate
+};
 
 struct Algorithm1Result {
   Status status = Status::kMaxIterations;
@@ -41,10 +60,15 @@ struct Algorithm1Result {
   bool converged = false;  ///< == (status == Status::kOk); prefer `status`
   model::Plan plan;
   double wallclock = 0.0;      ///< self-consistent E(Tw)
-  model::TimePortions portions;  ///< analytic breakdown at the solution
+  /// Analytic breakdown at the solution.  Only populated when status is kOk;
+  /// non-converged runs keep it zeroed so a diverged plan can never leak
+  /// plausible-looking portions into reports.
+  model::TimePortions portions;
   int outer_iterations = 0;
   int inner_iterations = 0;    ///< total across all outer rounds
   double final_mu_change = 0.0;
+  /// Per-iteration convergence trace; trace.size() == outer_iterations.
+  std::vector<OuterIterationTrace> trace;
 };
 
 struct Algorithm1Options {

@@ -1,0 +1,69 @@
+// Least-recently-used map used by the sweep engine's plan cache.  Replaces
+// the original drop-on-full behavior, which silently stopped memoizing the
+// moment the cache filled: a long-lived planning service would degrade to
+// solving every request from scratch while reporting a full, useless cache.
+//
+// Not internally synchronized — the owner serializes access (the sweep
+// engine holds its cache mutex around every call).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace mlcr::svc {
+
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Copies the value for `key` into `*value` and promotes the entry to
+  /// most-recently-used; false when absent (or capacity is zero).
+  bool get(const Key& key, Value* value) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    *value = it->second->second;
+    return true;
+  }
+
+  /// Inserts or refreshes `key`, evicting the least-recently-used entry when
+  /// full.  Returns the number of evictions performed (0 or 1).
+  std::size_t put(const Key& key, const Value& value) {
+    if (capacity_ == 0) return 0;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = value;
+      order_.splice(order_.begin(), order_, it->second);
+      return 0;
+    }
+    std::size_t evicted = 0;
+    if (order_.size() >= capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      evicted = 1;
+    }
+    order_.emplace_front(key, value);
+    index_.emplace(key, order_.begin());
+    return evicted;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  /// Front = most recently used; back = eviction candidate.
+  std::list<std::pair<Key, Value>> order_;
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+      index_;
+};
+
+}  // namespace mlcr::svc

@@ -47,6 +47,11 @@ struct PlanReport {
   /// Wall time spent inside the solver for this request, seconds.  Reports
   /// served from cache keep the original solve time.
   double solve_seconds = 0.0;
+  /// Time the request waited in the pool queue before its solve started,
+  /// seconds.  Zero for cache hits and in-sweep duplicates (they never
+  /// queue); together with solve_seconds this separates "the engine is
+  /// saturated" from "the solver is slow".
+  double queue_wait_seconds = 0.0;
   bool cache_hit = false;
 
   [[nodiscard]] bool ok() const noexcept { return status == opt::Status::kOk; }

@@ -1,5 +1,6 @@
 #include "svc/sweep_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <future>
@@ -9,50 +10,94 @@
 
 namespace mlcr::svc {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+std::pair<opt::Status, std::string> classify_failure(
+    std::exception_ptr error) {
+  try {
+    std::rethrow_exception(std::move(error));
+  } catch (const common::NumericError& e) {
+    return {opt::Status::kDiverged, e.what()};
+  } catch (const common::Error& e) {
+    return {opt::Status::kInvalidConfig, e.what()};
+  } catch (const std::exception& e) {
+    return {opt::Status::kInternalError,
+            std::string("unexpected: ") + e.what()};
+  } catch (...) {
+    return {opt::Status::kInternalError, "unexpected non-standard exception"};
+  }
+}
+
 SweepEngine::SweepEngine(SweepEngineOptions options)
-    : options_(options), pool_(options.threads) {}
+    : options_(options),
+      pool_(options.threads),
+      cache_(options.cache_capacity) {
+  metrics_.gauge("pool.threads").set(static_cast<double>(pool_.size()));
+  metrics_.gauge("cache.capacity")
+      .set(static_cast<double>(options_.cache_capacity));
+}
 
 PlanReport SweepEngine::solve(const PlanRequest& request,
-                              const std::string& key) const {
+                              const std::string& key) {
   PlanReport report;
   report.label = request.label;
   report.solution = request.solution;
   report.key = key;
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = Clock::now();
   try {
     report.planned = opt::plan(request.solution, request.config,
                                request.options);
     report.status = report.planned.optimization.status;
     report.message = report.planned.optimization.message;
-  } catch (const common::Error& error) {
-    report.status = opt::Status::kInvalidConfig;
-    report.message = error.what();
-  } catch (const std::exception& error) {
-    report.status = opt::Status::kInvalidConfig;
-    report.message = std::string("unexpected: ") + error.what();
+  } catch (...) {
+    std::tie(report.status, report.message) =
+        classify_failure(std::current_exception());
   }
-  report.solve_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  report.solve_seconds = seconds_since(start);
+
+  metrics_.counter("status." + opt::to_string(report.status)).increment();
+  metrics_.timer("solve.seconds").observe(report.solve_seconds);
+  const int outer = report.planned.optimization.outer_iterations;
+  if (outer > 0) {
+    metrics_.timer("solve.outer_iterations")
+        .observe(static_cast<double>(outer));
+  }
   return report;
 }
 
-bool SweepEngine::cache_lookup(const std::string& key,
-                               PlanReport* report) const {
+bool SweepEngine::cache_lookup(const std::string& key, PlanReport* report) {
   if (options_.cache_capacity == 0) return false;
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  const auto it = cache_.find(key);
-  if (it == cache_.end()) return false;
-  *report = it->second;
-  return true;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    hit = cache_.get(key, report);
+  }
+  metrics_.counter(hit ? "cache.hits" : "cache.misses").increment();
+  return hit;
 }
 
-void SweepEngine::cache_insert(const std::string& key,
-                               const PlanReport& report) {
-  if (options_.cache_capacity == 0) return;
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  if (cache_.size() >= options_.cache_capacity) return;
-  cache_.emplace(key, report);
+std::size_t SweepEngine::cache_insert(const std::string& key,
+                                      const PlanReport& report) {
+  if (options_.cache_capacity == 0) return 0;
+  std::size_t evicted = 0;
+  std::size_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    evicted = cache_.put(key, report);
+    size = cache_.size();
+  }
+  metrics_.counter("cache.inserts").increment();
+  if (evicted > 0) metrics_.counter("cache.evictions").increment(evicted);
+  metrics_.gauge("cache.size").set(static_cast<double>(size));
+  return evicted;
 }
 
 std::size_t SweepEngine::cache_size() const {
@@ -67,9 +112,11 @@ void SweepEngine::clear_cache() {
 
 PlanReport SweepEngine::plan_one(const PlanRequest& request) {
   const std::string key = canonical_key(request);
+  metrics_.counter("requests").increment();
   PlanReport report;
   if (cache_lookup(key, &report)) {
     report.cache_hit = true;
+    report.queue_wait_seconds = 0.0;
     report.label = request.label;
     return report;
   }
@@ -79,17 +126,25 @@ PlanReport SweepEngine::plan_one(const PlanRequest& request) {
 }
 
 std::vector<PlanReport> SweepEngine::plan_all_solutions(
-    const model::SystemConfig& cfg, const opt::Algorithm1Options& options) {
+    const model::SystemConfig& cfg, const opt::Algorithm1Options& options,
+    SweepStats* stats) {
   std::vector<PlanRequest> requests;
   for (const auto solution : opt::all_solutions()) {
     requests.push_back({cfg, solution, options, opt::to_string(solution)});
   }
-  return plan_sweep(requests);
+  return plan_sweep(requests, stats);
 }
 
 std::vector<PlanReport> SweepEngine::plan_sweep(
-    const std::vector<PlanRequest>& requests) {
+    const std::vector<PlanRequest>& requests, SweepStats* stats) {
+  const auto sweep_start = Clock::now();
   const std::size_t n = requests.size();
+  metrics_.counter("sweeps").increment();
+  metrics_.counter("requests").increment(n);
+
+  SweepStats local;
+  local.requests = n;
+
   std::vector<PlanReport> reports(n);
   std::vector<std::string> keys(n);
   // Group request indices sharing a key: each unique key is solved at most
@@ -111,27 +166,59 @@ std::vector<PlanReport> SweepEngine::plan_sweep(
       for (const std::size_t i : indices) {
         reports[i] = cached;
         reports[i].cache_hit = true;
+        reports[i].queue_wait_seconds = 0.0;
         reports[i].label = requests[i].label;
       }
+      local.cache_hits += indices.size();
       continue;
     }
     const std::size_t rep = indices.front();
+    const auto submitted = Clock::now();
     inflight.push_back(
-        {rep, pool_.submit([this, &requests, &keys, rep]() {
-           return solve(requests[rep], keys[rep]);
+        {rep, pool_.submit([this, &requests, &keys, rep, submitted]() {
+           const double waited = seconds_since(submitted);
+           metrics_.timer("queue.wait_seconds").observe(waited);
+           PlanReport report = solve(requests[rep], keys[rep]);
+           report.queue_wait_seconds = waited;
+           return report;
          })});
   }
 
+  std::vector<double> solve_seconds;
+  solve_seconds.reserve(inflight.size());
   for (Inflight& job : inflight) {
     const PlanReport solved = job.future.get();
-    cache_insert(keys[job.representative], solved);
+    local.evictions += cache_insert(keys[job.representative], solved);
+    ++local.solved;
+    solve_seconds.push_back(solved.solve_seconds);
+    local.solve_seconds_total += solved.solve_seconds;
+    local.solve_seconds_max =
+        std::max(local.solve_seconds_max, solved.solve_seconds);
+    local.queue_wait_seconds_total += solved.queue_wait_seconds;
+    local.queue_wait_seconds_max =
+        std::max(local.queue_wait_seconds_max, solved.queue_wait_seconds);
     for (const std::size_t i : by_key[keys[job.representative]]) {
       reports[i] = solved;
       // Duplicates within the sweep share the representative's solve.
       reports[i].cache_hit = i != job.representative;
+      if (i != job.representative) {
+        reports[i].queue_wait_seconds = 0.0;
+        ++local.dedup_hits;
+      }
       reports[i].label = requests[i].label;
     }
   }
+
+  for (const PlanReport& report : reports) {
+    if (!report.ok()) ++local.errors;
+  }
+  local.wall_seconds = seconds_since(sweep_start);
+  local.solve_seconds_p50 = common::metrics::percentile(solve_seconds, 0.50);
+  local.solve_seconds_p90 =
+      common::metrics::percentile(std::move(solve_seconds), 0.90);
+  metrics_.timer("sweep.wall_seconds").observe(local.wall_seconds);
+
+  if (stats != nullptr) *stats = local;
   return reports;
 }
 

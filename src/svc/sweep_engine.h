@@ -1,12 +1,18 @@
 // Batch-planning sweep engine: fans a grid of PlanRequests across a
-// work-stealing thread pool and memoizes finished plans in a cache keyed by
-// the canonical request key, so repeated or overlapping sweeps skip the
-// Algorithm 1 outer loop entirely.
+// work-stealing thread pool and memoizes finished plans in an LRU cache
+// keyed by the canonical request key, so repeated or overlapping sweeps skip
+// the Algorithm 1 outer loop entirely.
 //
 // Determinism: reports are returned in request order and each request is a
 // pure function of its inputs, so a parallel sweep is bit-identical to a
 // serial one.  Duplicate requests inside one sweep are solved once; the
 // copies are marked cache_hit.
+//
+// Observability: every engine owns a common::metrics::Registry recording
+// cache traffic (hits / misses / evictions / inserts), solver status
+// taxonomy, solve-time and queue-wait histograms, and outer-iteration
+// counts; `plan_sweep` can additionally return a per-sweep SweepStats
+// aggregate.  See DESIGN.md §8 for the metric names.
 //
 // Entry points (supersede looping over opt::plan — see DESIGN.md):
 //   plan_one            one request (cache-aware)
@@ -15,12 +21,15 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <mutex>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "svc/lru_cache.h"
 #include "svc/plan_request.h"
 
 namespace mlcr::svc {
@@ -29,9 +38,38 @@ struct SweepEngineOptions {
   /// Worker threads; 0 = hardware concurrency.
   std::size_t threads = 0;
   /// Maximum cached reports; 0 disables memoization entirely (each sweep
-  /// still deduplicates within itself).  Insertion stops at capacity.
+  /// still deduplicates within itself).  At capacity the least-recently-used
+  /// entry is evicted, so fresh plans always land in the cache.
   std::size_t cache_capacity = 65536;
 };
+
+/// Aggregates for one plan_sweep call.  `requests` always equals
+/// `solved + cache_hits + dedup_hits`; percentiles cover the requests this
+/// sweep actually solved (cache hits keep their original solve time and are
+/// excluded).
+struct SweepStats {
+  std::size_t requests = 0;
+  std::size_t solved = 0;       ///< solver runs performed by this sweep
+  std::size_t cache_hits = 0;   ///< served from the cross-sweep cache
+  std::size_t dedup_hits = 0;   ///< duplicates folded within this sweep
+  std::size_t evictions = 0;    ///< LRU evictions caused by this sweep
+  std::size_t errors = 0;       ///< reports with status != kOk
+  double wall_seconds = 0.0;    ///< end-to-end sweep wall time
+  double solve_seconds_total = 0.0;
+  double solve_seconds_p50 = 0.0;
+  double solve_seconds_p90 = 0.0;
+  double solve_seconds_max = 0.0;
+  double queue_wait_seconds_total = 0.0;
+  double queue_wait_seconds_max = 0.0;
+};
+
+/// Maps an exception escaping the solver to the report status taxonomy:
+/// common::NumericError (the math diverged mid-solve) -> kDiverged,
+/// common::Error (the request was malformed) -> kInvalidConfig, anything
+/// else -> kInternalError.  Exposed as a free function so tests can pin the
+/// taxonomy without forcing each failure mode through a full solve.
+[[nodiscard]] std::pair<opt::Status, std::string> classify_failure(
+    std::exception_ptr error);
 
 class SweepEngine {
  public:
@@ -44,30 +82,42 @@ class SweepEngine {
   /// in parallel; reports come back in all_solutions() order.
   [[nodiscard]] std::vector<PlanReport> plan_all_solutions(
       const model::SystemConfig& cfg,
-      const opt::Algorithm1Options& options = {});
+      const opt::Algorithm1Options& options = {}, SweepStats* stats = nullptr);
 
   /// Plans the whole grid across the pool.  Reports are returned in request
-  /// order with values identical to serial execution.
+  /// order with values identical to serial execution.  When `stats` is
+  /// non-null it receives this sweep's aggregates.
   [[nodiscard]] std::vector<PlanReport> plan_sweep(
-      const std::vector<PlanRequest>& requests);
+      const std::vector<PlanRequest>& requests, SweepStats* stats = nullptr);
 
   [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
   [[nodiscard]] std::size_t cache_size() const;
   void clear_cache();
 
+  /// Engine-lifetime instrumentation (cache traffic, status taxonomy,
+  /// solve/queue-wait histograms).  Safe to read while sweeps run.
+  [[nodiscard]] common::metrics::Registry& metrics() noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] const common::metrics::Registry& metrics() const noexcept {
+    return metrics_;
+  }
+
  private:
-  /// Runs the planner for `request`; never throws — configuration errors
-  /// come back as status kInvalidConfig.
+  /// Runs the planner for `request`; never throws — failures come back with
+  /// the classify_failure status taxonomy.
   [[nodiscard]] PlanReport solve(const PlanRequest& request,
-                                 const std::string& key) const;
-  [[nodiscard]] bool cache_lookup(const std::string& key,
-                                  PlanReport* report) const;
-  void cache_insert(const std::string& key, const PlanReport& report);
+                                 const std::string& key);
+  /// Consults the cache, promoting a hit to most-recently-used.
+  [[nodiscard]] bool cache_lookup(const std::string& key, PlanReport* report);
+  /// Inserts (LRU-evicting at capacity); returns evictions performed.
+  std::size_t cache_insert(const std::string& key, const PlanReport& report);
 
   SweepEngineOptions options_;
   common::ThreadPool pool_;
+  common::metrics::Registry metrics_;
   mutable std::mutex cache_mutex_;
-  std::unordered_map<std::string, PlanReport> cache_;
+  LruCache<std::string, PlanReport> cache_;
 };
 
 }  // namespace mlcr::svc

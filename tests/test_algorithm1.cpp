@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/log.h"
 #include "common/units.h"
 #include "exp/cases.h"
 #include "opt/planner.h"
@@ -141,6 +142,104 @@ TEST(Planner, PredictedWallclockOrderingMatchesPaper) {
             sl_ori.optimization.wallclock * 1.0001);
   // And the multilevel optimum beats the single-level optimum overall.
   EXPECT_LT(ml_opt.optimization.wallclock, sl_opt.optimization.wallclock);
+}
+
+TEST(Algorithm1, TraceHasOneEntryPerOuterIteration) {
+  const auto cfg = fti_config({16, 12, 8, 4});
+  Algorithm1Options options;
+  options.delta = 1e-12;
+  const auto r = optimize_multilevel(cfg, options);
+  ASSERT_TRUE(r.converged);
+  ASSERT_EQ(r.trace.size(), static_cast<std::size_t>(r.outer_iterations));
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    const auto& step = r.trace[i];
+    EXPECT_EQ(step.iteration, static_cast<int>(i) + 1);
+    EXPECT_GT(step.wallclock_estimate, 0.0);
+    EXPECT_GT(step.wallclock, 0.0);
+    EXPECT_GE(step.mu_change, 0.0);
+    EXPECT_GT(step.inner_iterations, 0);
+  }
+  // The trace ends exactly where the headline numbers say it does.
+  EXPECT_DOUBLE_EQ(r.trace.back().mu_change, r.final_mu_change);
+  EXPECT_DOUBLE_EQ(r.trace.back().wallclock, r.wallclock);
+  EXPECT_LE(r.trace.back().mu_change, options.delta);
+}
+
+TEST(Algorithm1, TraceInvariantHoldsOnNonConvergedRuns) {
+  const auto cfg = fti_config({16, 12, 8, 4});
+  Algorithm1Options options;
+  options.delta = 1e-12;
+  options.max_outer_iterations = 2;
+  options.aitken = false;  // plain iteration cannot reach 1e-12 in 2 rounds
+  const auto r = optimize_multilevel(cfg, options);
+  ASSERT_EQ(r.status, Status::kMaxIterations);
+  EXPECT_EQ(r.trace.size(), 2u);
+  EXPECT_EQ(r.outer_iterations, 2);
+}
+
+TEST(Algorithm1, TraceRecordsAitkenJumps) {
+  // With acceleration on, the paper-delta run must use at least one
+  // extrapolation jump (that is what compresses the iteration count into
+  // the quoted 7-15), and the jump flag must appear in the trace.
+  const auto cfg = fti_config({16, 12, 8, 4});
+  Algorithm1Options options;
+  options.delta = 1e-12;
+  const auto accelerated = optimize_multilevel(cfg, options);
+  ASSERT_TRUE(accelerated.converged);
+  int jumps = 0;
+  for (const auto& step : accelerated.trace) {
+    if (step.aitken_jump) ++jumps;
+  }
+  EXPECT_GT(jumps, 0);
+
+  options.aitken = false;
+  const auto plain = optimize_multilevel(cfg, options);
+  for (const auto& step : plain.trace) EXPECT_FALSE(step.aitken_jump);
+}
+
+TEST(Algorithm1, PortionsZeroedWhenNotConverged) {
+  // A non-converged run's plan is a stale iterate; reporting a time
+  // breakdown computed from it would look plausible and mean nothing.
+  const auto cfg = fti_config({16, 12, 8, 4});
+  Algorithm1Options options;
+  options.max_outer_iterations = 1;
+  options.aitken = false;
+  const auto r = optimize_multilevel(cfg, options);
+  ASSERT_NE(r.status, Status::kOk);
+  EXPECT_DOUBLE_EQ(r.portions.productive, 0.0);
+  EXPECT_DOUBLE_EQ(r.portions.checkpoint, 0.0);
+  EXPECT_DOUBLE_EQ(r.portions.restart, 0.0);
+  EXPECT_DOUBLE_EQ(r.portions.rollback, 0.0);
+
+  const auto sl_cfg = fti_config({16, 12, 8, 4}).single_level_view();
+  const auto sl = optimize_single_level(sl_cfg, options);
+  ASSERT_NE(sl.status, Status::kOk);
+  EXPECT_DOUBLE_EQ(sl.portions.total(), 0.0);
+}
+
+TEST(Algorithm1, DivergedRunReportsDivergedStatusAndNoPortions) {
+  const auto saved = common::log_level();
+  common::set_log_level(common::LogLevel::kError);
+  const auto cfg = fti_config({1e3, 1e3, 1e3, 1e3});
+  Algorithm1Options options;
+  options.optimize_scale = false;
+  options.fixed_scale = 1e6;
+  const auto r = optimize_multilevel(cfg, options);
+  common::set_log_level(saved);
+  EXPECT_EQ(r.status, Status::kDiverged);
+  EXPECT_FALSE(r.converged);
+  EXPECT_FALSE(r.message.empty());
+  EXPECT_DOUBLE_EQ(r.portions.total(), 0.0);
+  // The trace shows the blow-up, one entry per iteration actually run.
+  EXPECT_EQ(r.trace.size(), static_cast<std::size_t>(r.outer_iterations));
+}
+
+TEST(Algorithm1, StatusToStringCoversAllStatuses) {
+  EXPECT_EQ(to_string(Status::kOk), "ok");
+  EXPECT_EQ(to_string(Status::kDiverged), "diverged");
+  EXPECT_EQ(to_string(Status::kMaxIterations), "max-iterations");
+  EXPECT_EQ(to_string(Status::kInvalidConfig), "invalid-config");
+  EXPECT_EQ(to_string(Status::kInternalError), "internal-error");
 }
 
 class Algorithm1CaseSweep

@@ -1,0 +1,191 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mlcr::common::metrics {
+namespace {
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.increment();
+  counter.increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+  Gauge gauge;
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  gauge.set(3.5);
+  gauge.set(-1.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.25);
+}
+
+TEST(Metrics, TimerTracksCountSumMinMax) {
+  Timer timer;
+  timer.observe(2.0);
+  timer.observe(0.5);
+  timer.observe(1.0);
+  const auto snap = timer.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 3.5);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 2.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 3.5 / 3.0);
+  EXPECT_DOUBLE_EQ(snap.p50, 1.0);
+}
+
+TEST(Metrics, EmptyTimerSnapshotIsAllZero) {
+  Timer timer;
+  const auto snap = timer.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 0.0);
+}
+
+TEST(Metrics, PercentileInterpolatesAndClamps) {
+  const std::vector<double> samples{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(samples, 2.0), 4.0);  // clamped
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Metrics, TimerWindowKeepsExactAggregatesPastCapacity) {
+  // Percentiles use a bounded window, but count/sum/min/max stay exact.
+  Timer timer;
+  const int n = 5000;  // > kWindow
+  for (int i = 1; i <= n; ++i) timer.observe(static_cast<double>(i));
+  const auto snap = timer.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(n));
+  EXPECT_DOUBLE_EQ(snap.sum, n * (n + 1) / 2.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, static_cast<double>(n));
+}
+
+TEST(Metrics, RegistryReturnsStableReferences) {
+  Registry registry;
+  Counter& a = registry.counter("hits");
+  a.increment();
+  // Creating more instruments must not invalidate earlier references.
+  for (int i = 0; i < 100; ++i) {
+    (void)registry.counter("c" + std::to_string(i));
+  }
+  Counter& b = registry.counter("hits");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Metrics, RegistrySnapshotSortedByName) {
+  Registry registry;
+  registry.counter("zeta").increment(2);
+  registry.counter("alpha").increment(1);
+  registry.gauge("g").set(7.0);
+  registry.timer("t").observe(0.25);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[0].second, 1u);
+  EXPECT_EQ(snap.counters[1].first, "zeta");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 7.0);
+  ASSERT_EQ(snap.timers.size(), 1u);
+  EXPECT_EQ(snap.timers[0].second.count, 1u);
+}
+
+TEST(Metrics, JsonlExportOneObjectPerInstrument) {
+  Registry registry;
+  registry.counter("cache.hits").increment(3);
+  registry.gauge("cache.size").set(64.0);
+  registry.timer("solve.seconds").observe(0.125);
+  const std::string jsonl = registry.to_jsonl();
+  EXPECT_NE(jsonl.find("{\"kind\":\"counter\",\"name\":\"cache.hits\","
+                       "\"value\":3}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"gauge\",\"name\":\"cache.size\""),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"timer\",\"name\":\"solve.seconds\""),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"count\":1"), std::string::npos);
+  // One line per instrument, each a complete object.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 3);
+}
+
+TEST(Metrics, JsonlEscapesNamesAndNonFiniteValues) {
+  Registry registry;
+  registry.gauge("weird\"name\\with\nescapes").set(1.0);
+  registry.gauge("inf").set(std::numeric_limits<double>::infinity());
+  const std::string jsonl = registry.to_jsonl();
+  EXPECT_NE(jsonl.find("weird\\\"name\\\\with\\nescapes"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\":\"inf\",\"value\":null"), std::string::npos);
+}
+
+TEST(Metrics, WriteJsonlFileRoundTrips) {
+  Registry registry;
+  registry.counter("n").increment(9);
+  const std::string path = ::testing::TempDir() + "mlcr_metrics_test.jsonl";
+  ASSERT_TRUE(registry.write_jsonl_file(path));
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buffer[256] = {0};
+  const std::size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buffer, read),
+            "{\"kind\":\"counter\",\"name\":\"n\",\"value\":9}\n");
+}
+
+TEST(Metrics, ToTableRendersAllKinds) {
+  Registry registry;
+  registry.counter("hits").increment(5);
+  registry.timer("wait").observe(1.0);
+  const std::string table = registry.to_table();
+  EXPECT_NE(table.find("hits"), std::string::npos);
+  EXPECT_NE(table.find("counter"), std::string::npos);
+  EXPECT_NE(table.find("wait"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+}
+
+// Concurrency: hammer one registry from many threads through the name-based
+// API (get-or-create races, counter increments, timer observations, and
+// concurrent snapshots).  Run under TSan by scripts/tier1.sh.
+TEST(MetricsConcurrency, RegistryIsThreadSafe) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t]() {
+      for (int i = 0; i < kIterations; ++i) {
+        registry.counter("shared.counter").increment();
+        registry.counter("per-thread." + std::to_string(t)).increment();
+        registry.gauge("shared.gauge").set(static_cast<double>(i));
+        registry.timer("shared.timer").observe(1e-3 * i);
+        if (i % 500 == 0) (void)registry.snapshot();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.counter("shared.counter").value(),
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.counter("per-thread." + std::to_string(t)).value(),
+              static_cast<std::uint64_t>(kIterations));
+  }
+  const auto snap = registry.timer("shared.timer").snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kIterations);
+}
+
+}  // namespace
+}  // namespace mlcr::common::metrics

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
+#include "common/error.h"
+#include "common/log.h"
 #include "exp/cases.h"
 #include "model/speedup.h"
+#include "svc/lru_cache.h"
 #include "svc/plan_request.h"
 
 namespace mlcr::svc {
@@ -146,6 +150,150 @@ TEST(SweepEngine, PlanAllSolutionsCoversTheFourFamilies) {
     EXPECT_TRUE(reports[i].ok()) << reports[i].message;
     EXPECT_GT(reports[i].plan().scale, 0.0);
   }
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsedAtCapacity) {
+  LruCache<int, int> cache(2);
+  EXPECT_EQ(cache.put(1, 10), 0u);
+  EXPECT_EQ(cache.put(2, 20), 0u);
+  int value = 0;
+  ASSERT_TRUE(cache.get(1, &value));  // promotes 1; 2 is now LRU
+  EXPECT_EQ(cache.put(3, 30), 1u);    // evicts 2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.get(1, &value));
+  EXPECT_EQ(value, 10);
+  EXPECT_FALSE(cache.get(2, &value));
+  EXPECT_TRUE(cache.get(3, &value));
+  // Refreshing an existing key never evicts.
+  EXPECT_EQ(cache.put(3, 33), 0u);
+  EXPECT_TRUE(cache.get(3, &value));
+  EXPECT_EQ(value, 33);
+}
+
+TEST(SweepEngine, CacheEvictsInsteadOfDroppingWhenFull) {
+  // The original cache dropped new entries once full: a third distinct
+  // request would never be memoized.  With LRU the newest plan always lands
+  // in the cache and the stalest one leaves.
+  const auto cfg = exp::make_fti_system(3e6, exp::paper_failure_cases()[0]);
+  PlanRequest a{cfg, opt::Solution::kMultilevelOptScale, {}, {}};
+  PlanRequest b = a;
+  b.options.delta = 1e-6;
+  PlanRequest c = a;
+  c.options.delta = 1e-7;
+
+  SweepEngine engine({/*threads=*/2, /*cache_capacity=*/2});
+  (void)engine.plan_one(a);
+  (void)engine.plan_one(b);
+  EXPECT_EQ(engine.cache_size(), 2u);
+
+  // Touch `a` so `b` becomes least-recently-used, then overflow with `c`.
+  EXPECT_TRUE(engine.plan_one(a).cache_hit);
+  (void)engine.plan_one(c);
+  EXPECT_EQ(engine.cache_size(), 2u);
+  EXPECT_EQ(engine.metrics().counter("cache.evictions").value(), 1u);
+
+  // `c` was cached (old behavior: dropped), `a` survived, `b` was evicted.
+  EXPECT_TRUE(engine.plan_one(c).cache_hit);
+  EXPECT_TRUE(engine.plan_one(a).cache_hit);
+  EXPECT_FALSE(engine.plan_one(b).cache_hit);
+}
+
+TEST(SweepEngine, ClassifyFailureTaxonomy) {
+  const auto classify = [](auto&& thrower) {
+    try {
+      thrower();
+    } catch (...) {
+      return classify_failure(std::current_exception());
+    }
+    return std::pair<opt::Status, std::string>{opt::Status::kOk, ""};
+  };
+  const auto numeric =
+      classify([] { throw common::NumericError("blew up mid-solve"); });
+  EXPECT_EQ(numeric.first, opt::Status::kDiverged);
+  EXPECT_EQ(numeric.second, "blew up mid-solve");
+
+  const auto config = classify([] { throw common::Error("bad flag"); });
+  EXPECT_EQ(config.first, opt::Status::kInvalidConfig);
+  EXPECT_EQ(config.second, "bad flag");
+
+  const auto internal =
+      classify([] { throw std::runtime_error("logic bug"); });
+  EXPECT_EQ(internal.first, opt::Status::kInternalError);
+  EXPECT_EQ(internal.second, "unexpected: logic bug");
+
+  const auto unknown = classify([] { throw 42; });
+  EXPECT_EQ(unknown.first, opt::Status::kInternalError);
+}
+
+TEST(SweepEngine, ForcedDivergenceSurfacesAsDivergedNotInvalidConfig) {
+  // Unrealistically high failure rates at the original scale make the outer
+  // fixed point diverge (paper Section III-B).  That is a numeric outcome of
+  // a well-formed request: it must never be reported as kInvalidConfig.
+  const auto saved = common::log_level();
+  common::set_log_level(common::LogLevel::kError);
+  const auto cfg =
+      exp::make_fti_system(3e6, exp::FailureCase{"hot", {1e3, 1e3, 1e3, 1e3}});
+  SweepEngine engine({/*threads=*/2, /*cache_capacity=*/16});
+  const auto report = engine.plan_one(
+      {cfg, opt::Solution::kMultilevelOriScale, {}, "diverging"});
+  common::set_log_level(saved);
+
+  EXPECT_EQ(report.status, opt::Status::kDiverged);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.message.empty());
+  EXPECT_EQ(engine.metrics().counter("status.diverged").value(), 1u);
+  // A diverged run must not leak plausible-looking portions.
+  EXPECT_DOUBLE_EQ(report.planned.optimization.portions.total(), 0.0);
+}
+
+TEST(SweepEngine, SweepStatsAccountForEveryRequest) {
+  const auto cfg = exp::make_fti_system(3e6, exp::paper_failure_cases()[0]);
+  const PlanRequest ml{cfg, opt::Solution::kMultilevelOptScale, {}, {}};
+  const PlanRequest sl{cfg, opt::Solution::kSingleLevelOptScale, {}, {}};
+
+  SweepEngine engine({/*threads=*/2, /*cache_capacity=*/16});
+  SweepStats cold;
+  const auto cold_reports = engine.plan_sweep({ml, ml, sl}, &cold);
+  ASSERT_EQ(cold_reports.size(), 3u);
+  EXPECT_EQ(cold.requests, 3u);
+  EXPECT_EQ(cold.solved, 2u);      // ml solved once, sl once
+  EXPECT_EQ(cold.dedup_hits, 1u);  // the duplicate ml
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.errors, 0u);
+  EXPECT_EQ(cold.requests, cold.solved + cold.cache_hits + cold.dedup_hits);
+  EXPECT_GT(cold.solve_seconds_total, 0.0);
+  EXPECT_GE(cold.solve_seconds_max, cold.solve_seconds_p90);
+  EXPECT_GE(cold.solve_seconds_p90, cold.solve_seconds_p50);
+  EXPECT_GT(cold.wall_seconds, 0.0);
+
+  SweepStats warm;
+  const auto warm_reports = engine.plan_sweep({ml, sl}, &warm);
+  EXPECT_EQ(warm.requests, 2u);
+  EXPECT_EQ(warm.solved, 0u);
+  EXPECT_EQ(warm.cache_hits, 2u);
+  EXPECT_EQ(warm.evictions, 0u);
+  for (const auto& report : warm_reports) {
+    EXPECT_TRUE(report.cache_hit);
+    // Cache hits never queued in this sweep.
+    EXPECT_DOUBLE_EQ(report.queue_wait_seconds, 0.0);
+  }
+}
+
+TEST(SweepEngine, MetricsCountCacheTrafficAndStatuses) {
+  const auto cfg = exp::make_fti_system(3e6, exp::paper_failure_cases()[0]);
+  const PlanRequest request{cfg, opt::Solution::kMultilevelOptScale, {}, {}};
+  SweepEngine engine({/*threads=*/2, /*cache_capacity=*/16});
+  (void)engine.plan_one(request);
+  (void)engine.plan_one(request);
+  auto& metrics = engine.metrics();
+  EXPECT_EQ(metrics.counter("requests").value(), 2u);
+  EXPECT_EQ(metrics.counter("cache.misses").value(), 1u);
+  EXPECT_EQ(metrics.counter("cache.hits").value(), 1u);
+  EXPECT_EQ(metrics.counter("cache.inserts").value(), 1u);
+  EXPECT_EQ(metrics.counter("status.ok").value(), 1u);
+  EXPECT_EQ(metrics.timer("solve.seconds").snapshot().count, 1u);
+  EXPECT_EQ(metrics.timer("solve.outer_iterations").snapshot().count, 1u);
+  EXPECT_GT(metrics.timer("solve.outer_iterations").snapshot().max, 0.0);
 }
 
 TEST(SweepEngine, MatchesDirectPlannerCall) {
