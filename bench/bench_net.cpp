@@ -1,0 +1,189 @@
+// Serving-layer throughput: N concurrent clients x M requests against an
+// in-process mlcrd core (net::Server on an ephemeral loopback port).
+//
+// Two phases over the same 12-request working set (3 paper failure cases x
+// 4 solution families):
+//   cold  first pass, solver-bound — every request runs Algorithm 1
+//   warm  re-request of the same set, cache-hit-bound — measures what the
+//         serving layer itself costs (framing, admission, scheduling)
+// For each phase: total throughput and client-observed latency percentiles
+// (p50/p95/p99 via common::metrics::percentile).  Results go to stdout and
+// to BENCH_net.json (repo root; written with the daemon's own JSON writer).
+//
+// Acceptance: every request is accepted (queue 256 never fills at this
+// concurrency) and the warm phase clears 1k requests/s on a multi-core
+// host — transport overhead must stay microseconds-per-request.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/metrics.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/server.h"
+
+namespace {
+
+using namespace mlcr;
+
+std::vector<svc::PlanRequest> working_set() {
+  std::vector<svc::PlanRequest> requests;
+  const auto cases = exp::paper_failure_cases();
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto cfg = exp::make_fti_system(3e6, cases[c]);
+    for (const auto solution : opt::all_solutions()) {
+      requests.push_back({cfg, solution, {}, cases[c].name});
+    }
+  }
+  return requests;
+}
+
+struct Phase {
+  double seconds = 0.0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::vector<double> latencies;  ///< client-observed, seconds
+};
+
+Phase run_phase(std::uint16_t port, std::size_t clients,
+                std::size_t per_client,
+                const std::vector<svc::PlanRequest>& requests) {
+  Phase phase;
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<std::size_t> accepted{0}, rejected{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::Client client({.port = port});
+      latencies[c].reserve(per_client);
+      for (std::size_t j = 0; j < per_client; ++j) {
+        const auto& request = requests[(c * per_client + j) % requests.size()];
+        const auto sent = std::chrono::steady_clock::now();
+        const net::Response response = client.plan(request);
+        latencies[c].push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          sent)
+                .count());
+        (response.accepted ? accepted : rejected)++;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  phase.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  for (auto& per_thread : latencies) {
+    phase.latencies.insert(phase.latencies.end(), per_thread.begin(),
+                           per_thread.end());
+  }
+  phase.accepted = accepted.load();
+  phase.rejected = rejected.load();
+  return phase;
+}
+
+net::json::Value phase_json(const Phase& phase) {
+  using common::metrics::percentile;
+  const double n = static_cast<double>(phase.latencies.size());
+  double sum = 0.0;
+  for (const double v : phase.latencies) sum += v;
+  return net::json::Object{
+      {"seconds", phase.seconds},
+      {"requests", static_cast<long>(phase.accepted + phase.rejected)},
+      {"accepted", static_cast<long>(phase.accepted)},
+      {"rejected", static_cast<long>(phase.rejected)},
+      {"requests_per_second",
+       static_cast<double>(phase.accepted + phase.rejected) / phase.seconds},
+      {"latency_seconds",
+       net::json::Object{{"mean", n > 0 ? sum / n : 0.0},
+                         {"p50", percentile(phase.latencies, 0.50)},
+                         {"p95", percentile(phase.latencies, 0.95)},
+                         {"p99", percentile(phase.latencies, 0.99)}}}};
+}
+
+void print_phase(const char* name, const Phase& phase) {
+  using common::metrics::percentile;
+  std::printf(
+      "  %-5s %6zu requests in %7.3f s -> %9.1f req/s   "
+      "p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms  (rejected %zu)\n",
+      name, phase.accepted + phase.rejected, phase.seconds,
+      static_cast<double>(phase.accepted + phase.rejected) / phase.seconds,
+      1e3 * percentile(phase.latencies, 0.50),
+      1e3 * percentile(phase.latencies, 0.95),
+      1e3 * percentile(phase.latencies, 0.99), phase.rejected);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t clients = 8;
+  std::size_t per_client = 250;
+  std::string out = "BENCH_net.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag == "--clients") clients = std::atol(argv[i + 1]);
+    else if (flag == "--requests") per_client = std::atol(argv[i + 1]);
+    else if (flag == "--out") out = argv[i + 1];
+  }
+
+  const auto requests = working_set();
+  bench::print_header(common::strf(
+      "mlcrd serving throughput — %zu clients x %zu requests, %zu-plan "
+      "working set",
+      clients, per_client, requests.size()));
+
+  net::ServerOptions options;
+  options.port = 0;
+  options.io_threads = clients;  // one handler per concurrent connection
+  options.queue_capacity = 256;
+  net::Server server(options);
+  server.start();
+
+  // Cold: solver-bound (each unique request runs Algorithm 1 once, the
+  // rest of the pass already hits the warming cache).
+  const Phase cold = run_phase(server.port(), clients, per_client, requests);
+  // Warm: pure serving-layer cost — every plan is a cache hit.
+  const Phase warm = run_phase(server.port(), clients, per_client, requests);
+
+  print_phase("cold", cold);
+  print_phase("warm", warm);
+  std::printf("\nDaemon-side view:\n");
+  server.metrics().print();
+
+  const net::json::Value summary = net::json::Object{
+      {"bench", "bench_net"},
+      {"clients", static_cast<long>(clients)},
+      {"requests_per_client", static_cast<long>(per_client)},
+      {"working_set", static_cast<long>(requests.size())},
+      {"solver_threads",
+       static_cast<long>(server.metrics().gauge("net.solver_threads").value())},
+      {"cold", phase_json(cold)},
+      {"warm", phase_json(warm)}};
+  std::FILE* file = std::fopen(out.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench_net: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  const std::string rendered = net::json::dump(summary);
+  std::fwrite(rendered.data(), 1, rendered.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("\nwrote %s\n", out.c_str());
+
+  const double warm_rps =
+      static_cast<double>(warm.accepted + warm.rejected) / warm.seconds;
+  const bool ok = cold.rejected == 0 && warm.rejected == 0 &&
+                  cold.accepted + warm.accepted ==
+                      2 * clients * per_client &&
+                  warm_rps > 1000.0;
+  std::printf("  warm throughput %.0f req/s (target > 1000), rejections %zu "
+              "(must be 0)\n",
+              warm_rps, cold.rejected + warm.rejected);
+  return ok ? 0 : 1;
+}

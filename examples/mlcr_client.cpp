@@ -1,0 +1,221 @@
+// Client CLI for the planning daemon (mlcrd): describes the system with the
+// same flags as plan_cli, ships the request over TCP, prints the report.
+//
+//   ./mlcr_client --port 7070 --solution "ML(opt-scale)" --deadline-ms 500
+//   ./mlcr_client --port 7070 --ping
+//   ./mlcr_client --port 7070 --metrics
+//
+// --check-local re-plans the same request in-process and fails (exit 2)
+// unless the daemon's report is field-for-field identical — the tier-1
+// smoke test uses this to pin the serving layer to the sweep engine.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "model/system.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/protocol.h"
+#include "svc/sweep_engine.h"
+#include "svc/system_config_builder.h"
+
+namespace {
+
+using namespace mlcr;
+
+std::vector<double> parse_list(const std::string& text) {
+  std::vector<double> values;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!item.empty()) values.push_back(std::atof(item.c_str()));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7070;
+  int timeout_ms = 60000;
+  std::string solution = "ML(opt-scale)";
+  long deadline_ms = 0;
+  std::string label;
+  bool ping = false;
+  bool metrics = false;
+  bool check_local = false;
+  // System flags, plan_cli defaults (the paper's Figure 5 headline case).
+  double te_core_days = 3e6;
+  double kappa = 0.46;
+  double n_star = 1e6;
+  std::vector<double> rates{16, 12, 8, 4};
+  std::vector<double> costs{0.9, 2.5, 3.9, 5.5};
+  double pfs_slope = 0.0212;
+  double allocation = 60.0;
+};
+
+void usage() {
+  std::puts(
+      "usage: mlcr_client [--host H] [--port P] [--timeout-ms MS]\n"
+      "                   [--solution NAME] [--deadline-ms MS] [--label L]\n"
+      "                   [--te CORE_DAYS] [--kappa K] [--nstar N]\n"
+      "                   [--rates r1,r2,...] [--costs c1,c2,...]\n"
+      "                   [--pfs-slope S] [--allocation A]\n"
+      "                   [--ping] [--metrics] [--check-local]\n"
+      "Plans one request against a running mlcrd.  --check-local verifies\n"
+      "the daemon's report is identical to an in-process solve (exit 2 on\n"
+      "mismatch).  deadline_ms < 0 is already expired (load-shed probe).");
+}
+
+bool parse(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") return false;
+    if (flag == "--ping") {
+      options->ping = true;
+    } else if (flag == "--metrics") {
+      options->metrics = true;
+    } else if (flag == "--check-local") {
+      options->check_local = true;
+    } else {
+      const char* value = i + 1 < argc ? argv[++i] : nullptr;
+      if (value == nullptr) return false;
+      if (flag == "--host") options->host = value;
+      else if (flag == "--port")
+        options->port = static_cast<std::uint16_t>(std::atoi(value));
+      else if (flag == "--timeout-ms") options->timeout_ms = std::atoi(value);
+      else if (flag == "--solution") options->solution = value;
+      else if (flag == "--deadline-ms") options->deadline_ms = std::atol(value);
+      else if (flag == "--label") options->label = value;
+      else if (flag == "--te") options->te_core_days = std::atof(value);
+      else if (flag == "--kappa") options->kappa = std::atof(value);
+      else if (flag == "--nstar") options->n_star = std::atof(value);
+      else if (flag == "--rates") options->rates = parse_list(value);
+      else if (flag == "--costs") options->costs = parse_list(value);
+      else if (flag == "--pfs-slope") options->pfs_slope = std::atof(value);
+      else if (flag == "--allocation") options->allocation = std::atof(value);
+      else return false;
+    }
+  }
+  return options->rates.size() == options->costs.size() &&
+         !options->rates.empty();
+}
+
+model::SystemConfig build_system(const Options& options) {
+  svc::SystemConfigBuilder builder;
+  builder.te_core_days(options.te_core_days)
+      .quadratic_speedup(options.kappa, options.n_star)
+      .failure_rates_per_day(options.rates, options.n_star)
+      .allocation_seconds(options.allocation);
+  for (std::size_t i = 0; i < options.costs.size(); ++i) {
+    const bool top = i + 1 == options.costs.size();
+    model::Overhead checkpoint =
+        top && options.pfs_slope > 0.0
+            ? model::Overhead::linear(options.costs[i], options.pfs_slope)
+            : model::Overhead::constant(options.costs[i]);
+    builder.add_level(checkpoint, model::Overhead::constant(options.costs[i]));
+  }
+  return builder.build();
+}
+
+/// Exact comparison key: the full wire encoding with the timing fields
+/// (which legitimately differ between daemon and local solves) zeroed.
+std::string deterministic_fingerprint(svc::PlanReport report) {
+  report.solve_seconds = 0.0;
+  report.queue_wait_seconds = 0.0;
+  report.cache_hit = false;
+  return net::json::dump(net::encode_report(report));
+}
+
+void print_report(const svc::PlanReport& report) {
+  std::printf("solution:  %s\nstatus:    %s\n",
+              opt::to_string(report.solution).c_str(),
+              opt::to_string(report.status).c_str());
+  if (!report.message.empty()) {
+    std::printf("message:   %s\n", report.message.c_str());
+  }
+  std::printf("key:       %zu bytes\ncache_hit: %s\n", report.key.size(),
+              report.cache_hit ? "true" : "false");
+  if (!report.ok()) return;
+  std::string intervals;
+  for (std::size_t i = 0; i < report.plan().intervals.size(); ++i) {
+    if (!report.planned.level_enabled[i]) continue;
+    if (!intervals.empty()) intervals += " ";
+    char count[32];
+    std::snprintf(count, sizeof(count), "%.0f", report.plan().intervals[i]);
+    intervals += count;
+  }
+  std::printf("N:         %.0f\nx_i:       %s\nE(Tw):     %.6e s\n",
+              report.plan().scale, intervals.c_str(), report.wallclock());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse(argc, argv, &options)) {
+    usage();
+    return 1;
+  }
+
+  try {
+    net::Client client(
+        {.host = options.host, .port = options.port,
+         .timeout_ms = options.timeout_ms});
+
+    if (options.ping) {
+      const bool alive = client.ping();
+      std::printf("%s\n", alive ? "pong" : "no pong");
+      return alive ? 0 : 1;
+    }
+    if (options.metrics) {
+      std::fputs(client.metrics().c_str(), stdout);
+      return 0;
+    }
+
+    opt::Solution solution;
+    if (!net::solution_from_string(options.solution, &solution)) {
+      std::fprintf(stderr, "mlcr_client: unknown solution \"%s\"\n",
+                   options.solution.c_str());
+      return 1;
+    }
+    svc::PlanRequest request{build_system(options), solution, {},
+                             options.label};
+
+    const net::Response response = client.plan(request, options.deadline_ms);
+    if (!response.accepted) {
+      std::printf("rejected:  %s\nmessage:   %s\n",
+                  net::to_string(response.reject).c_str(),
+                  response.message.c_str());
+      return 3;
+    }
+    print_report(response.report);
+
+    if (options.check_local) {
+      svc::SweepEngine engine({.threads = 1});
+      const svc::PlanReport local = engine.plan_one(request);
+      if (deterministic_fingerprint(response.report) !=
+          deterministic_fingerprint(local)) {
+        std::fprintf(stderr,
+                     "mlcr_client: daemon report differs from in-process "
+                     "plan_one\n  daemon: %s\n  local:  %s\n",
+                     deterministic_fingerprint(response.report).c_str(),
+                     deterministic_fingerprint(local).c_str());
+        return 2;
+      }
+      std::printf("check-local: identical\n");
+    }
+    return 0;
+  } catch (const common::Error& error) {
+    std::fprintf(stderr, "mlcr_client: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,120 @@
+// The planning daemon: serves PlanRequests over TCP (line-delimited JSON,
+// see DESIGN.md §9) with bounded admission, per-request deadlines, and
+// graceful drain on SIGINT/SIGTERM.
+//
+//   ./mlcrd --port 7070 --queue 256 --deadline-ms 500
+//
+// --port 0 binds an ephemeral port; the actual port is printed on the
+// "listening" line, which scripts parse.  On shutdown the daemon finishes
+// every admitted solve, flushes metrics (stdout table, or JSONL with
+// --metrics-out), and exits 0.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "common/shutdown.h"
+#include "net/server.h"
+
+namespace {
+
+using namespace mlcr;
+
+struct Options {
+  net::ServerOptions server;
+  std::string metrics_out;  ///< empty: pretty table on stdout at exit
+};
+
+void usage() {
+  std::puts(
+      "usage: mlcrd [--port P] [--queue N] [--deadline-ms MS]\n"
+      "             [--io-threads N] [--solver-threads N] [--cache N]\n"
+      "             [--metrics-out file.jsonl]\n"
+      "Serves PlanRequests over line-delimited JSON on 127.0.0.1:P\n"
+      "(port 0 = ephemeral; the bound port is printed at startup).\n"
+      "--queue bounds the admission queue (full -> rejected: overloaded);\n"
+      "--deadline-ms is the default per-request deadline (0 = none).\n"
+      "SIGINT/SIGTERM drain gracefully: in-flight solves finish, metrics\n"
+      "are flushed, then the daemon exits 0.");
+}
+
+bool parse(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") return false;
+    const char* value = i + 1 < argc ? argv[++i] : nullptr;
+    if (value == nullptr) return false;
+    if (flag == "--port") {
+      options->server.port = static_cast<std::uint16_t>(std::atoi(value));
+    } else if (flag == "--queue") {
+      options->server.queue_capacity =
+          static_cast<std::size_t>(std::atol(value));
+    } else if (flag == "--deadline-ms") {
+      options->server.default_deadline_ms = std::atol(value);
+    } else if (flag == "--io-threads") {
+      options->server.io_threads = static_cast<std::size_t>(std::atol(value));
+    } else if (flag == "--solver-threads") {
+      options->server.solver_threads =
+          static_cast<std::size_t>(std::atol(value));
+    } else if (flag == "--cache") {
+      options->server.cache_capacity =
+          static_cast<std::size_t>(std::atol(value));
+    } else if (flag == "--metrics-out") {
+      options->metrics_out = value;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse(argc, argv, &options)) {
+    usage();
+    return 1;
+  }
+
+  common::install_shutdown_handler();
+  net::Server server(options.server);
+  try {
+    server.start();
+  } catch (const common::Error& error) {
+    std::fprintf(stderr, "mlcrd: %s\n", error.what());
+    return 1;
+  }
+
+  // Scripts parse this line for the (possibly ephemeral) port.
+  std::printf("mlcrd: listening on 127.0.0.1:%u (queue %zu, deadline %ld ms, "
+              "io %zu, solvers %zu)\n",
+              static_cast<unsigned>(server.port()),
+              options.server.queue_capacity,
+              options.server.default_deadline_ms, options.server.io_threads,
+              options.server.solver_threads);
+  std::fflush(stdout);
+
+  server.serve_until_shutdown();
+
+  const int signal = common::shutdown_signal();
+  std::printf("mlcrd: drained%s%s\n", signal != 0 ? " on signal " : "",
+              signal != 0 ? std::to_string(signal).c_str() : "");
+
+  if (options.metrics_out.empty()) {
+    server.metrics().print();
+  } else {
+    std::string jsonl = server.metrics().to_jsonl();
+    jsonl += server.engine().metrics().to_jsonl();
+    std::FILE* file = std::fopen(options.metrics_out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "mlcrd: cannot write %s\n",
+                   options.metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(jsonl.data(), 1, jsonl.size(), file);
+    std::fclose(file);
+  }
+  return 0;
+}

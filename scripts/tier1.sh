@@ -29,9 +29,57 @@ cmake -B build -S .
 cmake --build build -j
 run_ctest build -j
 
-echo "== tier-1: ThreadSanitizer pass (thread pool + sweep engine + metrics) =="
+echo "== tier-1: ThreadSanitizer pass (thread pool + sweep engine + metrics + net) =="
 cmake -B build-tsan -S . -DMLCR_SANITIZE=thread
 cmake --build build-tsan -j
-run_ctest build-tsan -R 'ThreadPool|SweepEngine|Metrics|LruCache'
+run_ctest build-tsan -R 'ThreadPool|SweepEngine|Metrics|LruCache|AdmissionQueue|NetServer|NetProtocol|NetJson'
+
+echo "== tier-1: mlcrd daemon smoke (sanitizer build) =="
+# Start the daemon on an ephemeral port, plan the paper's Table 3 headline
+# config through it, and require the report to be field-for-field identical
+# to the in-process SweepEngine::plan_one answer (--check-local compares the
+# exact wire encoding).  Then SIGTERM and require a clean drain.
+mlcrd_log="$(mktemp)"
+./build-tsan/examples/mlcrd --port 0 --queue 64 --deadline-ms 0 \
+  --io-threads 2 --solver-threads 2 > "$mlcrd_log" 2>&1 &
+mlcrd_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port="$(grep -oE '127\.0\.0\.1:[0-9]+' "$mlcrd_log" | head -1 | cut -d: -f2 || true)"
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "tier-1 FAILED: mlcrd did not report a listening port" >&2
+  cat "$mlcrd_log" >&2
+  kill -9 "$mlcrd_pid" 2>/dev/null || true
+  exit 1
+fi
+./build-tsan/examples/mlcr_client --port "$port" --check-local \
+  --te 3e6 --kappa 0.46 --nstar 1e6 --rates 16,12,8,4 \
+  --costs 0.9,2.5,3.9,5.5 --pfs-slope 0.0212 --allocation 60
+kill -TERM "$mlcrd_pid"
+drained=""
+for _ in $(seq 1 300); do
+  if ! kill -0 "$mlcrd_pid" 2>/dev/null; then drained=yes; break; fi
+  sleep 0.1
+done
+if [ -z "$drained" ]; then
+  echo "tier-1 FAILED: mlcrd did not drain within 30s of SIGTERM" >&2
+  cat "$mlcrd_log" >&2
+  kill -9 "$mlcrd_pid" 2>/dev/null || true
+  exit 1
+fi
+wait "$mlcrd_pid" || {
+  echo "tier-1 FAILED: mlcrd exited non-zero after SIGTERM" >&2
+  cat "$mlcrd_log" >&2
+  exit 1
+}
+grep -q 'drained' "$mlcrd_log" || {
+  echo "tier-1 FAILED: mlcrd log missing drain confirmation" >&2
+  cat "$mlcrd_log" >&2
+  exit 1
+}
+rm -f "$mlcrd_log"
 
 echo "tier-1 OK"

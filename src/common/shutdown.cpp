@@ -1,0 +1,46 @@
+#include "common/shutdown.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace mlcr::common {
+
+namespace {
+
+// Lock-free atomic: stores from the signal handler are async-signal-safe.
+std::atomic<int> g_shutdown_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free);
+
+extern "C" void mlcr_on_shutdown_signal(int signal) {
+  g_shutdown_signal.store(signal, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_handler() {
+  struct sigaction action = {};
+  action.sa_handler = mlcr_on_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: let blocking syscalls see EINTR
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool shutdown_requested() noexcept {
+  return g_shutdown_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int shutdown_signal() noexcept {
+  return g_shutdown_signal.load(std::memory_order_relaxed);
+}
+
+void request_shutdown(int signal) noexcept {
+  g_shutdown_signal.store(signal, std::memory_order_relaxed);
+}
+
+void reset_shutdown() noexcept {
+  g_shutdown_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mlcr::common

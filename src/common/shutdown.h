@@ -1,0 +1,31 @@
+// Signal-safe process shutdown flag used by long-lived servers (mlcrd).
+//
+// A SIGINT/SIGTERM handler may only touch async-signal-safe state; the flag
+// here is a lock-free atomic written by the handler and polled by server
+// loops (which all wait with bounded timeouts, so a set flag is observed
+// within one poll tick).  `request_shutdown` lets tests and programmatic
+// drains share the same code path as a real signal.
+#pragma once
+
+namespace mlcr::common {
+
+/// Installs SIGINT + SIGTERM handlers that record the signal in the
+/// process-wide shutdown flag.  Idempotent; no SA_RESTART, so blocking
+/// syscalls in the main loop return EINTR promptly.
+void install_shutdown_handler();
+
+/// True once a shutdown signal (or request_shutdown) has been seen.
+[[nodiscard]] bool shutdown_requested() noexcept;
+
+/// The signal number that triggered shutdown (0 when none yet) — for drain
+/// logging ("SIGTERM received, draining").
+[[nodiscard]] int shutdown_signal() noexcept;
+
+/// Programmatic shutdown, equivalent to receiving `signal` (tests, drains).
+void request_shutdown(int signal) noexcept;
+
+/// Clears the flag so a test harness can run several server lifecycles in
+/// one process.  Not intended for production code.
+void reset_shutdown() noexcept;
+
+}  // namespace mlcr::common

@@ -86,6 +86,9 @@ class AmdahlSpeedup final : public Speedup {
   [[nodiscard]] double ideal_scale() const override;
   [[nodiscard]] std::unique_ptr<Speedup> clone() const override;
   [[nodiscard]] std::string cache_key() const override;
+  [[nodiscard]] double serial_fraction() const noexcept {
+    return serial_fraction_;
+  }
 
  private:
   double serial_fraction_;
@@ -103,6 +106,12 @@ class TabulatedSpeedup final : public Speedup {
   [[nodiscard]] double ideal_scale() const override;
   [[nodiscard]] std::unique_ptr<Speedup> clone() const override;
   [[nodiscard]] std::string cache_key() const override;
+  [[nodiscard]] const std::vector<double>& scales() const noexcept {
+    return scales_;
+  }
+  [[nodiscard]] const std::vector<double>& speedups() const noexcept {
+    return speedups_;
+  }
 
  private:
   std::vector<double> scales_;

@@ -39,6 +39,9 @@ class SystemConfig {
   }
   [[nodiscard]] const FailureRates& rates() const noexcept { return rates_; }
   [[nodiscard]] double allocation() const noexcept { return allocation_; }
+  /// Raw machine-capacity bound as configured (0 = uncapped); prefer
+  /// scale_upper_bound() for searches.  Exposed for exact wire encoding.
+  [[nodiscard]] double max_scale() const noexcept { return max_scale_; }
 
   /// Search upper bound for N: min(max_scale, speedup ideal scale).
   [[nodiscard]] double scale_upper_bound() const noexcept;

@@ -1,0 +1,80 @@
+#include "net/client.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/error.h"
+#include "net/json.h"
+
+namespace mlcr::net {
+
+Client::Client(const ClientOptions& options)
+    : connection_(connect_to(options.host, options.port, options.timeout_ms)),
+      timeout_ms_(options.timeout_ms) {}
+
+std::string Client::read_line_or_throw() {
+  std::string line;
+  switch (connection_.read_line(&line, timeout_ms_)) {
+    case Connection::ReadResult::kLine:
+      return line;
+    case Connection::ReadResult::kEof:
+      common::fail("net: connection closed by server");
+    case Connection::ReadResult::kTimeout:
+      common::fail("net: response timed out after " +
+                   std::to_string(timeout_ms_) + " ms");
+    case Connection::ReadResult::kError:
+      common::fail("net: transport error while reading response");
+  }
+  common::fail("net: unreachable read state");
+}
+
+std::string Client::round_trip(const std::string& line) {
+  if (!connection_.write_line(line)) {
+    common::fail("net: failed to send request");
+  }
+  return read_line_or_throw();
+}
+
+Response Client::plan(const svc::PlanRequest& request, long deadline_ms) {
+  const std::string line =
+      round_trip(encode_request_line(request, deadline_ms));
+  Response response;
+  std::string error;
+  if (!decode_response(line, &response, &error)) {
+    common::fail("net: bad response: " + error);
+  }
+  return response;
+}
+
+bool Client::ping() {
+  const std::string line = round_trip(R"({"op":"ping"})");
+  std::string error;
+  const std::optional<json::Value> parsed = json::parse(line, &error);
+  if (!parsed.has_value()) return false;
+  const json::Value* ok = parsed->find("ok");
+  const json::Value* pong = parsed->find("pong");
+  return ok != nullptr && ok->is_bool() && ok->as_bool() &&
+         pong != nullptr && pong->is_bool() && pong->as_bool();
+}
+
+std::string Client::metrics() {
+  const std::string header = round_trip(R"({"op":"metrics"})");
+  std::string error;
+  const std::optional<json::Value> parsed = json::parse(header, &error);
+  if (!parsed.has_value()) {
+    common::fail("net: bad metrics header: " + error);
+  }
+  const json::Value* count = parsed->find("metrics_lines");
+  if (count == nullptr || !count->is_number()) {
+    common::fail("net: metrics header missing metrics_lines");
+  }
+  const long lines = static_cast<long>(count->as_number());
+  std::string jsonl;
+  for (long i = 0; i < lines; ++i) {
+    jsonl += read_line_or_throw();
+    jsonl.push_back('\n');
+  }
+  return jsonl;
+}
+
+}  // namespace mlcr::net

@@ -1,0 +1,53 @@
+// Client side of the mlcrd protocol: one TCP connection, blocking
+// request/response with a bounded timeout per round trip.  Transport
+// failures (connect, timeout, dropped connection, unparseable response)
+// throw common::Error; protocol-level rejections come back as a structured
+// Response so callers can distinguish "overloaded" from "deadline" from
+// "bad_request" without string matching.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "svc/plan_request.h"
+
+namespace mlcr::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Per round trip (connect, and each response wait).  Plans can solve for
+  /// seconds, so this is generous by default.
+  int timeout_ms = 60000;
+};
+
+class Client {
+ public:
+  /// Connects immediately; throws common::Error on failure.
+  explicit Client(const ClientOptions& options);
+
+  /// Sends one plan request; `deadline_ms` as in the protocol (0 = server
+  /// default, < 0 = already expired, > 0 = budget).  The returned Response
+  /// is either an accepted report (bit-identical to the in-process
+  /// PlanReport) or a structured rejection.
+  [[nodiscard]] Response plan(const svc::PlanRequest& request,
+                              long deadline_ms = 0);
+
+  /// True when the daemon answered the ping.
+  [[nodiscard]] bool ping();
+
+  /// The daemon's metrics registry as raw JSONL (one instrument per line).
+  [[nodiscard]] std::string metrics();
+
+ private:
+  /// Writes `line`, reads one response line; throws on transport failure.
+  [[nodiscard]] std::string round_trip(const std::string& line);
+  [[nodiscard]] std::string read_line_or_throw();
+
+  Connection connection_;
+  int timeout_ms_;
+};
+
+}  // namespace mlcr::net

@@ -1,0 +1,444 @@
+#include "net/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace mlcr::net::json {
+
+namespace {
+
+const char* kind_name(Value::Kind kind) {
+  switch (kind) {
+    case Value::Kind::kNull: return "null";
+    case Value::Kind::kBool: return "bool";
+    case Value::Kind::kNumber: return "number";
+    case Value::Kind::kString: return "string";
+    case Value::Kind::kArray: return "array";
+    case Value::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void kind_mismatch(Value::Kind want, Value::Kind got) {
+  common::fail(std::string("json: expected ") + kind_name(want) + ", got " +
+               kind_name(got));
+}
+
+/// Recursive-descent parser over the raw text.  Nesting is bounded so a
+/// hostile "[[[[..." line cannot overflow the stack.
+class Parser {
+ public:
+  static constexpr int kMaxDepth = 64;
+
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<Value> run() {
+    Value value;
+    if (!parse_value(&value, 0)) return std::nullopt;
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      set_error("trailing characters after JSON document");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void set_error(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = "json: " + message + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect(char c) {
+    if (consume(c)) return true;
+    set_error(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  bool parse_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    set_error("invalid literal");
+    return false;
+  }
+
+  bool parse_value(Value* out, int depth) {
+    if (depth > kMaxDepth) {
+      set_error("nesting too deep");
+      return false;
+    }
+    skip_whitespace();
+    if (pos_ >= text_.size()) {
+      set_error("unexpected end of input");
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = Value(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!parse_literal("true")) return false;
+        *out = Value(true);
+        return true;
+      case 'f':
+        if (!parse_literal("false")) return false;
+        *out = Value(false);
+        return true;
+      case 'n':
+        if (!parse_literal("null")) return false;
+        *out = Value();
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value* out, int depth) {
+    ++pos_;  // '{'
+    Object object;
+    skip_whitespace();
+    if (consume('}')) {
+      *out = Value(std::move(object));
+      return true;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_whitespace();
+      if (!expect(':')) return false;
+      Value value;
+      if (!parse_value(&value, depth + 1)) return false;
+      object.insert_or_assign(std::move(key), std::move(value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      set_error("expected ',' or '}' in object");
+      return false;
+    }
+    *out = Value(std::move(object));
+    return true;
+  }
+
+  bool parse_array(Value* out, int depth) {
+    ++pos_;  // '['
+    Array array;
+    skip_whitespace();
+    if (consume(']')) {
+      *out = Value(std::move(array));
+      return true;
+    }
+    while (true) {
+      Value value;
+      if (!parse_value(&value, depth + 1)) return false;
+      array.push_back(std::move(value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      set_error("expected ',' or ']' in array");
+      return false;
+    }
+    *out = Value(std::move(array));
+    return true;
+  }
+
+  bool parse_hex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) {
+      set_error("truncated \\u escape");
+      return false;
+    }
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else {
+        set_error("invalid \\u escape");
+        return false;
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  static void append_utf8(std::string* out, unsigned codepoint) {
+    if (codepoint < 0x80) {
+      out->push_back(static_cast<char>(codepoint));
+    } else if (codepoint < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (codepoint >> 6)));
+      out->push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+    } else if (codepoint < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (codepoint >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (codepoint >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((codepoint >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) {
+        set_error("unterminated string");
+        return false;
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        set_error("raw control character in string");
+        return false;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        set_error("truncated escape");
+        return false;
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned codepoint = 0;
+          if (!parse_hex4(&codepoint)) return false;
+          if (codepoint >= 0xD800 && codepoint <= 0xDBFF) {
+            // High surrogate: must pair with \uDC00-\uDFFF.
+            if (!(consume('\\') && consume('u'))) {
+              set_error("unpaired surrogate");
+              return false;
+            }
+            unsigned low = 0;
+            if (!parse_hex4(&low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              set_error("invalid low surrogate");
+              return false;
+            }
+            codepoint =
+                0x10000 + ((codepoint - 0xD800) << 10) + (low - 0xDC00);
+          } else if (codepoint >= 0xDC00 && codepoint <= 0xDFFF) {
+            set_error("unpaired surrogate");
+            return false;
+          }
+          append_utf8(out, codepoint);
+          break;
+        }
+        default: set_error("invalid escape"); return false;
+      }
+    }
+  }
+
+  bool parse_number(Value* out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    if (consume('0')) {
+      // No leading zeros: "01" is invalid JSON.
+    } else if (pos_ < text_.size() && text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    } else {
+      set_error("invalid number");
+      return false;
+    }
+    if (consume('.')) {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        set_error("invalid number");
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        set_error("invalid number");
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) {
+      set_error("number out of range");
+      return false;
+    }
+    *out = Value(value);
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void dump_value(const Value& value, std::string* out) {
+  switch (value.kind()) {
+    case Value::Kind::kNull: *out += "null"; return;
+    case Value::Kind::kBool: *out += value.as_bool() ? "true" : "false"; return;
+    case Value::Kind::kNumber: {
+      const double v = value.as_number();
+      MLCR_EXPECT(std::isfinite(v), "json: cannot encode non-finite number");
+      char buf[40];
+      // Integers (the common case: iteration counts, line counts) render
+      // without an exponent; everything else round-trips via %.17g.
+      if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+      }
+      *out += buf;
+      return;
+    }
+    case Value::Kind::kString: dump_string(value.as_string(), out); return;
+    case Value::Kind::kArray: {
+      out->push_back('[');
+      const Array& array = value.as_array();
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        dump_value(array[i], out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Value::Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : value.as_object()) {
+        if (!first) out->push_back(',');
+        first = false;
+        dump_string(key, out);
+        out->push_back(':');
+        dump_value(member, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) kind_mismatch(Kind::kBool, kind_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::kNumber) kind_mismatch(Kind::kNumber, kind_);
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) kind_mismatch(Kind::kString, kind_);
+  return string_;
+}
+
+const Array& Value::as_array() const {
+  if (kind_ != Kind::kArray) kind_mismatch(Kind::kArray, kind_);
+  return array_;
+}
+
+const Object& Value::as_object() const {
+  if (kind_ != Kind::kObject) kind_mismatch(Kind::kObject, kind_);
+  return object_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  if (error != nullptr) error->clear();
+  return Parser(text, error).run();
+}
+
+std::string dump(const Value& value) {
+  std::string out;
+  dump_value(value, &out);
+  return out;
+}
+
+}  // namespace mlcr::net::json

@@ -1,0 +1,84 @@
+// Minimal JSON value / parser / writer for the line-delimited wire protocol
+// (src/net/protocol.h).  No external dependencies; the subset is exactly
+// RFC 8259 documents small enough to fit on one protocol line.
+//
+// Design rules:
+//   * Objects are std::map, so `dump` output is deterministic (keys sorted)
+//     — a prerequisite for the codec's bit-identical round-trip guarantee.
+//   * `dump` refuses non-finite numbers (JSON has no NaN/Inf); the protocol
+//     layer encodes doubles as hex-float *strings* anyway, keeping wire
+//     values exact (see protocol.h).
+//   * `parse` consumes the whole input (trailing whitespace allowed) and
+//     bounds nesting depth, so a hostile request line cannot blow the stack.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlcr::net::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+  Value(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Value(double value) : kind_(Kind::kNumber), number_(value) {}
+  Value(int value) : kind_(Kind::kNumber), number_(value) {}
+  Value(long value) : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+  Value(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+  Value(const char* value) : kind_(Kind::kString), string_(value) {}
+  Value(Array value) : kind_(Kind::kArray), array_(std::move(value)) {}
+  Value(Object value) : kind_(Kind::kObject), object_(std::move(value)) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  /// Typed accessors throw common::Error on kind mismatch, so a malformed
+  /// request surfaces as a structured bad_request, never a crash.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document; the whole text must be consumed.  On failure
+/// returns nullopt and describes the problem in *error (position included).
+[[nodiscard]] std::optional<Value> parse(std::string_view text,
+                                         std::string* error);
+
+/// Serializes on one line (no added whitespace).  Throws common::Error on
+/// non-finite numbers.
+[[nodiscard]] std::string dump(const Value& value);
+
+}  // namespace mlcr::net::json

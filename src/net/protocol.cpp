@@ -1,0 +1,530 @@
+#include "net/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "svc/system_config_builder.h"
+
+namespace mlcr::net {
+
+namespace {
+
+/// Same exact rendering as svc::canonical_key: distinct finite doubles
+/// always produce distinct text, and strtod restores the identical bits.
+std::string hexf(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+[[noreturn]] void decode_fail(const std::string& field,
+                              const std::string& what) {
+  common::fail("protocol: " + field + ": " + what);
+}
+
+/// Field accessors: throw common::Error naming the offending field, caught
+/// at the decode_* boundary and turned into a structured error message.
+const json::Value& require(const json::Value& object, const char* key) {
+  const json::Value* member = object.find(key);
+  if (member == nullptr) decode_fail(key, "required field missing");
+  return *member;
+}
+
+double get_double(const json::Value& object, const char* key) {
+  double value = 0.0;
+  std::string error;
+  if (!decode_double(require(object, key), &value, &error)) {
+    decode_fail(key, error);
+  }
+  return value;
+}
+
+double get_double_or(const json::Value& object, const char* key,
+                     double fallback) {
+  if (object.find(key) == nullptr) return fallback;
+  return get_double(object, key);
+}
+
+long get_long(const json::Value& object, const char* key) {
+  const double value = require(object, key).as_number();
+  const long integral = static_cast<long>(value);
+  if (static_cast<double>(integral) != value) {
+    decode_fail(key, "must be an integer");
+  }
+  return integral;
+}
+
+long get_long_or(const json::Value& object, const char* key, long fallback) {
+  if (object.find(key) == nullptr) return fallback;
+  return get_long(object, key);
+}
+
+bool get_bool_or(const json::Value& object, const char* key, bool fallback) {
+  const json::Value* member = object.find(key);
+  return member == nullptr ? fallback : member->as_bool();
+}
+
+std::string get_string_or(const json::Value& object, const char* key,
+                          const std::string& fallback) {
+  const json::Value* member = object.find(key);
+  return member == nullptr ? fallback : member->as_string();
+}
+
+// --- overheads / scaling ----------------------------------------------
+
+bool scaling_from_string(const std::string& text, model::Scaling* out) {
+  for (const auto scaling :
+       {model::Scaling::kConstant, model::Scaling::kLinear,
+        model::Scaling::kSqrt, model::Scaling::kLog}) {
+    if (model::to_string(scaling) == text) {
+      *out = scaling;
+      return true;
+    }
+  }
+  return false;
+}
+
+json::Value encode_overhead(const model::Overhead& overhead) {
+  return json::Object{{"base", encode_double(overhead.base)},
+                      {"slope", encode_double(overhead.slope)},
+                      {"scaling", model::to_string(overhead.scaling)}};
+}
+
+model::Overhead decode_overhead(const json::Value& value, const char* field) {
+  model::Overhead overhead;
+  overhead.base = get_double(value, "base");
+  overhead.slope = get_double(value, "slope");
+  const std::string scaling = get_string_or(value, "scaling", "constant");
+  if (!scaling_from_string(scaling, &overhead.scaling)) {
+    decode_fail(field, "unknown scaling '" + scaling + "'");
+  }
+  return overhead;
+}
+
+// --- speedup ----------------------------------------------------------
+
+json::Value encode_speedup(const model::Speedup& speedup) {
+  if (const auto* linear =
+          dynamic_cast<const model::LinearSpeedup*>(&speedup)) {
+    return json::Object{{"kind", "linear"},
+                        {"kappa", encode_double(linear->kappa())}};
+  }
+  if (const auto* quadratic =
+          dynamic_cast<const model::QuadraticSpeedup*>(&speedup)) {
+    return json::Object{{"kind", "quadratic"},
+                        {"kappa", encode_double(quadratic->kappa())},
+                        {"n_star", encode_double(quadratic->n_symmetry())}};
+  }
+  if (const auto* amdahl =
+          dynamic_cast<const model::AmdahlSpeedup*>(&speedup)) {
+    return json::Object{
+        {"kind", "amdahl"},
+        {"serial_fraction", encode_double(amdahl->serial_fraction())}};
+  }
+  if (const auto* tabulated =
+          dynamic_cast<const model::TabulatedSpeedup*>(&speedup)) {
+    json::Array scales, speedups;
+    for (const double n : tabulated->scales()) {
+      scales.push_back(encode_double(n));
+    }
+    for (const double g : tabulated->speedups()) {
+      speedups.push_back(encode_double(g));
+    }
+    return json::Object{{"kind", "tabulated"},
+                        {"scales", std::move(scales)},
+                        {"speedups", std::move(speedups)}};
+  }
+  common::fail("protocol: speedup kind not encodable over the wire");
+}
+
+std::vector<double> decode_double_array(const json::Value& value,
+                                        const char* field) {
+  std::vector<double> out;
+  for (const json::Value& item : value.as_array()) {
+    double v = 0.0;
+    std::string error;
+    if (!decode_double(item, &v, &error)) decode_fail(field, error);
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::unique_ptr<model::Speedup> decode_speedup(const json::Value& value) {
+  const std::string kind = require(value, "kind").as_string();
+  if (kind == "linear") {
+    return std::make_unique<model::LinearSpeedup>(get_double(value, "kappa"));
+  }
+  if (kind == "quadratic") {
+    return std::make_unique<model::QuadraticSpeedup>(
+        get_double(value, "kappa"), get_double(value, "n_star"));
+  }
+  if (kind == "amdahl") {
+    return std::make_unique<model::AmdahlSpeedup>(
+        get_double(value, "serial_fraction"));
+  }
+  if (kind == "tabulated") {
+    const auto scales =
+        decode_double_array(require(value, "scales"), "speedup.scales");
+    const auto speedups =
+        decode_double_array(require(value, "speedups"), "speedup.speedups");
+    return std::make_unique<model::TabulatedSpeedup>(scales, speedups);
+  }
+  decode_fail("speedup.kind", "unknown kind '" + kind + "'");
+}
+
+// --- system config ----------------------------------------------------
+
+json::Value encode_config(const model::SystemConfig& cfg) {
+  json::Array levels;
+  for (const model::LevelOverheads& level : cfg.all_levels()) {
+    levels.push_back(json::Object{{"checkpoint", encode_overhead(level.checkpoint)},
+                                  {"recovery", encode_overhead(level.recovery)}});
+  }
+  const model::FailureRates& rates = cfg.rates();
+  json::Array per_day;
+  for (std::size_t i = 0; i < rates.levels(); ++i) {
+    per_day.push_back(encode_double(rates.per_day_at_baseline(i)));
+  }
+  return json::Object{
+      {"te_seconds", encode_double(cfg.te())},
+      {"speedup", encode_speedup(cfg.speedup())},
+      {"levels", std::move(levels)},
+      {"failure_rates",
+       json::Object{{"per_day", std::move(per_day)},
+                    {"baseline_scale", encode_double(rates.baseline_scale())},
+                    {"exponent", encode_double(rates.scale_exponent())}}},
+      {"allocation_seconds", encode_double(cfg.allocation())},
+      {"max_scale", encode_double(cfg.max_scale())}};
+}
+
+model::SystemConfig decode_config(const json::Value& value) {
+  svc::SystemConfigBuilder builder;
+  builder.te_seconds(get_double(value, "te_seconds"));
+  builder.speedup(decode_speedup(require(value, "speedup")));
+
+  std::vector<model::LevelOverheads> levels;
+  for (const json::Value& level : require(value, "levels").as_array()) {
+    levels.push_back({decode_overhead(require(level, "checkpoint"),
+                                      "levels[].checkpoint"),
+                      decode_overhead(require(level, "recovery"),
+                                      "levels[].recovery")});
+  }
+  builder.levels(std::move(levels));
+
+  const json::Value& rates = require(value, "failure_rates");
+  builder.failure_rates_per_day(
+      decode_double_array(require(rates, "per_day"), "failure_rates.per_day"),
+      get_double(rates, "baseline_scale"),
+      get_double_or(rates, "exponent", 1.0));
+
+  builder.allocation_seconds(get_double_or(value, "allocation_seconds", 0.0));
+  builder.max_scale(get_double_or(value, "max_scale", 0.0));
+  return builder.build();  // validates every field, throws common::Error
+}
+
+// --- options ----------------------------------------------------------
+
+json::Value encode_options(const opt::Algorithm1Options& options) {
+  return json::Object{
+      {"delta", encode_double(options.delta)},
+      {"max_outer_iterations", options.max_outer_iterations},
+      {"inner_tolerance", encode_double(options.inner_tolerance)},
+      {"inner_max_iterations", options.inner_max_iterations},
+      {"optimize_scale", options.optimize_scale},
+      {"fixed_scale", encode_double(options.fixed_scale)},
+      {"aitken", options.aitken}};
+}
+
+opt::Algorithm1Options decode_options(const json::Value& value) {
+  opt::Algorithm1Options defaults;
+  opt::Algorithm1Options options;
+  options.delta = get_double_or(value, "delta", defaults.delta);
+  options.max_outer_iterations = static_cast<int>(get_long_or(
+      value, "max_outer_iterations", defaults.max_outer_iterations));
+  options.inner_tolerance =
+      get_double_or(value, "inner_tolerance", defaults.inner_tolerance);
+  options.inner_max_iterations = static_cast<int>(get_long_or(
+      value, "inner_max_iterations", defaults.inner_max_iterations));
+  options.optimize_scale =
+      get_bool_or(value, "optimize_scale", defaults.optimize_scale);
+  options.fixed_scale =
+      get_double_or(value, "fixed_scale", defaults.fixed_scale);
+  options.aitken = get_bool_or(value, "aitken", defaults.aitken);
+  return options;
+}
+
+// --- plan / portions --------------------------------------------------
+
+json::Value encode_plan(const model::Plan& plan) {
+  json::Array intervals;
+  for (const double x : plan.intervals) intervals.push_back(encode_double(x));
+  return json::Object{{"intervals", std::move(intervals)},
+                      {"scale", encode_double(plan.scale)}};
+}
+
+model::Plan decode_plan(const json::Value& value) {
+  model::Plan plan;
+  plan.intervals =
+      decode_double_array(require(value, "intervals"), "plan.intervals");
+  plan.scale = get_double(value, "scale");
+  return plan;
+}
+
+json::Value encode_portions(const model::TimePortions& portions) {
+  return json::Object{{"productive", encode_double(portions.productive)},
+                      {"checkpoint", encode_double(portions.checkpoint)},
+                      {"restart", encode_double(portions.restart)},
+                      {"rollback", encode_double(portions.rollback)}};
+}
+
+model::TimePortions decode_portions(const json::Value& value) {
+  model::TimePortions portions;
+  portions.productive = get_double(value, "productive");
+  portions.checkpoint = get_double(value, "checkpoint");
+  portions.restart = get_double(value, "restart");
+  portions.rollback = get_double(value, "rollback");
+  return portions;
+}
+
+}  // namespace
+
+std::string to_string(Reject reason) {
+  switch (reason) {
+    case Reject::kBadRequest: return "bad_request";
+    case Reject::kOverloaded: return "overloaded";
+    case Reject::kDeadline: return "deadline";
+    case Reject::kDraining: return "draining";
+  }
+  return "?";
+}
+
+bool reject_from_string(const std::string& text, Reject* out) {
+  for (const auto reason : {Reject::kBadRequest, Reject::kOverloaded,
+                            Reject::kDeadline, Reject::kDraining}) {
+    if (to_string(reason) == text) {
+      *out = reason;
+      return true;
+    }
+  }
+  return false;
+}
+
+json::Value encode_double(double value) {
+  MLCR_EXPECT(std::isfinite(value),
+              "protocol: cannot encode non-finite double");
+  return json::Value(hexf(value));
+}
+
+bool decode_double(const json::Value& value, double* out, std::string* error) {
+  if (value.is_number()) {
+    // json::parse already guarantees finiteness for plain numbers.
+    *out = value.as_number();
+    return true;
+  }
+  if (!value.is_string()) {
+    if (error != nullptr) *error = "expected number or hex-float string";
+    return false;
+  }
+  const std::string& text = value.as_string();
+  if (text.empty()) {
+    if (error != nullptr) *error = "empty numeric string";
+    return false;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    if (error != nullptr) *error = "malformed numeric string '" + text + "'";
+    return false;
+  }
+  if (!std::isfinite(parsed)) {
+    if (error != nullptr) {
+      *error = "non-finite value '" + text + "' rejected";
+    }
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool solution_from_string(const std::string& text, opt::Solution* out) {
+  for (const auto solution : opt::all_solutions()) {
+    if (opt::to_string(solution) == text) {
+      *out = solution;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool status_from_string(const std::string& text, opt::Status* out) {
+  for (const auto status :
+       {opt::Status::kOk, opt::Status::kDiverged, opt::Status::kMaxIterations,
+        opt::Status::kInvalidConfig, opt::Status::kInternalError}) {
+    if (opt::to_string(status) == text) {
+      *out = status;
+      return true;
+    }
+  }
+  return false;
+}
+
+json::Value encode_request(const svc::PlanRequest& request, long deadline_ms) {
+  json::Object envelope{{"op", "plan"},
+                        {"solution", opt::to_string(request.solution)},
+                        {"config", encode_config(request.config)},
+                        {"options", encode_options(request.options)}};
+  if (!request.label.empty()) envelope.emplace("label", request.label);
+  if (deadline_ms != 0) envelope.emplace("deadline_ms", json::Value(deadline_ms));
+  return json::Value(std::move(envelope));
+}
+
+std::string encode_request_line(const svc::PlanRequest& request,
+                                long deadline_ms) {
+  return json::dump(encode_request(request, deadline_ms));
+}
+
+std::optional<svc::PlanRequest> decode_request(const json::Value& envelope,
+                                               long* deadline_ms,
+                                               std::string* error) {
+  try {
+    if (!envelope.is_object()) decode_fail("request", "must be a JSON object");
+    const std::string op = get_string_or(envelope, "op", "plan");
+    if (op != "plan") decode_fail("op", "expected 'plan', got '" + op + "'");
+    const std::string solution_text = require(envelope, "solution").as_string();
+    opt::Solution solution = opt::Solution::kMultilevelOptScale;
+    if (!solution_from_string(solution_text, &solution)) {
+      decode_fail("solution", "unknown solution '" + solution_text + "'");
+    }
+    model::SystemConfig config = decode_config(require(envelope, "config"));
+    opt::Algorithm1Options options;
+    if (const json::Value* member = envelope.find("options")) {
+      options = decode_options(*member);
+    }
+    std::string label = get_string_or(envelope, "label", "");
+    *deadline_ms = get_long_or(envelope, "deadline_ms", 0);
+    return svc::PlanRequest{std::move(config), solution, options,
+                            std::move(label)};
+  } catch (const common::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+}
+
+json::Value encode_report(const svc::PlanReport& report) {
+  const opt::Algorithm1Result& optimization = report.planned.optimization;
+  json::Array level_enabled;
+  for (const bool enabled : report.planned.level_enabled) {
+    level_enabled.push_back(json::Value(enabled));
+  }
+  // The per-iteration convergence trace stays server-side (it can be long);
+  // everything a client compares or prints crosses the wire exactly.
+  return json::Object{
+      {"label", report.label},
+      {"solution", opt::to_string(report.solution)},
+      {"key", report.key},
+      {"status", opt::to_string(report.status)},
+      {"message", report.message},
+      {"level_enabled", std::move(level_enabled)},
+      {"plan", encode_plan(report.planned.full_plan)},
+      {"optimization",
+       json::Object{{"wallclock", encode_double(optimization.wallclock)},
+                    {"portions", encode_portions(optimization.portions)},
+                    {"plan", encode_plan(optimization.plan)},
+                    {"outer_iterations", optimization.outer_iterations},
+                    {"inner_iterations", optimization.inner_iterations},
+                    {"final_mu_change",
+                     encode_double(optimization.final_mu_change)}}},
+      {"solve_seconds", encode_double(report.solve_seconds)},
+      {"queue_wait_seconds", encode_double(report.queue_wait_seconds)},
+      {"cache_hit", report.cache_hit}};
+}
+
+std::string encode_report_line(const svc::PlanReport& report) {
+  return json::dump(
+      json::Object{{"ok", true}, {"report", encode_report(report)}});
+}
+
+bool decode_report(const json::Value& value, svc::PlanReport* out,
+                   std::string* error) {
+  try {
+    if (!value.is_object()) decode_fail("report", "must be a JSON object");
+    svc::PlanReport report;
+    report.label = get_string_or(value, "label", "");
+    const std::string solution = require(value, "solution").as_string();
+    if (!solution_from_string(solution, &report.solution)) {
+      decode_fail("report.solution", "unknown solution '" + solution + "'");
+    }
+    report.key = get_string_or(value, "key", "");
+    const std::string status = require(value, "status").as_string();
+    if (!status_from_string(status, &report.status)) {
+      decode_fail("report.status", "unknown status '" + status + "'");
+    }
+    report.message = get_string_or(value, "message", "");
+
+    report.planned.solution = report.solution;
+    for (const json::Value& enabled :
+         require(value, "level_enabled").as_array()) {
+      report.planned.level_enabled.push_back(enabled.as_bool());
+    }
+    report.planned.full_plan = decode_plan(require(value, "plan"));
+
+    const json::Value& optimization = require(value, "optimization");
+    opt::Algorithm1Result& result = report.planned.optimization;
+    result.status = report.status;
+    result.message = report.message;
+    result.converged = report.status == opt::Status::kOk;
+    result.wallclock = get_double(optimization, "wallclock");
+    result.portions = decode_portions(require(optimization, "portions"));
+    result.plan = decode_plan(require(optimization, "plan"));
+    result.outer_iterations =
+        static_cast<int>(get_long(optimization, "outer_iterations"));
+    result.inner_iterations =
+        static_cast<int>(get_long(optimization, "inner_iterations"));
+    result.final_mu_change = get_double(optimization, "final_mu_change");
+
+    report.solve_seconds = get_double(value, "solve_seconds");
+    report.queue_wait_seconds = get_double(value, "queue_wait_seconds");
+    report.cache_hit = get_bool_or(value, "cache_hit", false);
+    *out = std::move(report);
+    return true;
+  } catch (const common::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+std::string encode_rejection_line(Reject reason, const std::string& message) {
+  return json::dump(json::Object{{"ok", false},
+                                 {"rejected", to_string(reason)},
+                                 {"message", message}});
+}
+
+bool decode_response(const std::string& line, Response* out,
+                     std::string* error) {
+  const auto parsed = json::parse(line, error);
+  if (!parsed.has_value()) return false;
+  try {
+    const bool ok = require(*parsed, "ok").as_bool();
+    if (ok) {
+      out->accepted = true;
+      return decode_report(require(*parsed, "report"), &out->report, error);
+    }
+    out->accepted = false;
+    const std::string reason = require(*parsed, "rejected").as_string();
+    if (!reject_from_string(reason, &out->reject)) {
+      decode_fail("rejected", "unknown reason '" + reason + "'");
+    }
+    out->message = get_string_or(*parsed, "message", "");
+    return true;
+  } catch (const common::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+}  // namespace mlcr::net

@@ -1,0 +1,98 @@
+// Wire protocol of the planning daemon (mlcrd): line-delimited JSON, one
+// request object per line, one response per request.  See DESIGN.md §9 for
+// the full grammar.
+//
+// Requests ({"op": ...}; op defaults to "plan" when absent):
+//   {"op":"plan","solution":"ML(opt-scale)","config":{...},
+//    "options":{...},"label":"...","deadline_ms":500}
+//   {"op":"ping"}
+//   {"op":"metrics"}
+//
+// Responses (one line, except metrics):
+//   {"ok":true,"report":{...}}                       — planned
+//   {"ok":false,"rejected":"<reason>","message":..}  — load-shed / bad input
+//   {"ok":true,"pong":true}                          — ping
+//   {"ok":true,"metrics_lines":N}\n<N registry JSONL lines>
+//
+// Exactness: every double crosses the wire as a hex-float *string*
+// ("0x1.8p+1"), the same canonical rendering svc::canonical_key uses, so a
+// report decoded by the client is bit-identical to the in-process
+// PlanReport — no decimal rounding anywhere.  Plain JSON numbers are also
+// accepted on input for hand-written requests.  NaN/Inf are rejected in
+// both directions with a structured error, never a dropped connection.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/json.h"
+#include "svc/plan_request.h"
+
+namespace mlcr::net {
+
+/// Rejection taxonomy: every request the daemon refuses names one of these
+/// reasons, each with its own metrics counter (net.rejected.<reason>).
+enum class Reject {
+  kBadRequest,  ///< unparseable line / malformed or non-finite fields
+  kOverloaded,  ///< admission queue full — retry against another instance
+  kDeadline,    ///< deadline expired before the solve started
+  kDraining,    ///< server is shutting down; connection closes after this
+};
+
+[[nodiscard]] std::string to_string(Reject reason);
+[[nodiscard]] bool reject_from_string(const std::string& text, Reject* out);
+
+/// Exact double <-> wire rendering (hex-float string, "%a").
+[[nodiscard]] json::Value encode_double(double value);  // throws on NaN/Inf
+[[nodiscard]] bool decode_double(const json::Value& value, double* out,
+                                 std::string* error);
+
+[[nodiscard]] bool solution_from_string(const std::string& text,
+                                        opt::Solution* out);
+[[nodiscard]] bool status_from_string(const std::string& text,
+                                      opt::Status* out);
+
+// --- plan request -----------------------------------------------------
+
+/// Renders the full "plan" op envelope; deadline_ms semantics: 0 = use the
+/// server default, < 0 = already expired (load-shed probes), > 0 = budget.
+[[nodiscard]] json::Value encode_request(const svc::PlanRequest& request,
+                                         long deadline_ms = 0);
+[[nodiscard]] std::string encode_request_line(const svc::PlanRequest& request,
+                                              long deadline_ms = 0);
+
+/// Decodes a "plan" envelope (already parsed).  On failure returns nullopt
+/// with a field-naming message in *error; *deadline_ms receives the raw
+/// request value (0 when absent).
+[[nodiscard]] std::optional<svc::PlanRequest> decode_request(
+    const json::Value& envelope, long* deadline_ms, std::string* error);
+
+// --- plan report ------------------------------------------------------
+
+[[nodiscard]] json::Value encode_report(const svc::PlanReport& report);
+/// The full accepted-response line {"ok":true,"report":{...}}.
+[[nodiscard]] std::string encode_report_line(const svc::PlanReport& report);
+
+[[nodiscard]] bool decode_report(const json::Value& value,
+                                 svc::PlanReport* out, std::string* error);
+
+// --- response envelopes -----------------------------------------------
+
+[[nodiscard]] std::string encode_rejection_line(Reject reason,
+                                                const std::string& message);
+
+/// One decoded response to a "plan" op: either an accepted report or a
+/// structured rejection.
+struct Response {
+  bool accepted = false;
+  svc::PlanReport report;          ///< valid when accepted
+  Reject reject = Reject::kBadRequest;  ///< valid when !accepted
+  std::string message;             ///< rejection detail
+};
+
+/// Parses one response line (report or rejection).  False = the line was
+/// not a valid protocol response (transport-level failure).
+[[nodiscard]] bool decode_response(const std::string& line, Response* out,
+                                   std::string* error);
+
+}  // namespace mlcr::net

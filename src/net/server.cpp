@@ -1,0 +1,241 @@
+#include "net/server.h"
+
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+#include <utility>
+
+#include "common/error.h"
+#include "common/shutdown.h"
+#include "net/protocol.h"
+
+namespace mlcr::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One poll tick: every blocking wait in the daemon re-checks its stop flag
+/// at least this often, which bounds how stale a drain request can get.
+constexpr int kPollTickMs = 100;
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      // threads=1: the daemon's parallelism is its solver workers calling
+      // the thread-safe plan_one concurrently; the engine's internal pool
+      // (used only by plan_sweep) stays minimal.
+      engine_(svc::SweepEngineOptions{.threads = 1,
+                                      .cache_capacity =
+                                          options.cache_capacity}),
+      queue_(options.queue_capacity) {}
+
+Server::~Server() { drain(); }
+
+void Server::start() {
+  MLCR_EXPECT(!started_.load(), "net: server already started");
+
+  listener_.emplace(Listener::bind_loopback(options_.port));
+  io_pool_.emplace(options_.io_threads);
+
+  std::size_t solver_threads = options_.solver_threads;
+  if (solver_threads == 0) {
+    solver_threads = std::thread::hardware_concurrency();
+    if (solver_threads == 0) solver_threads = 1;
+  }
+  solver_workers_.reserve(solver_threads);
+  for (std::size_t i = 0; i < solver_threads; ++i) {
+    solver_workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  metrics_.gauge("net.io_threads").set(static_cast<double>(io_pool_->size()));
+  metrics_.gauge("net.solver_threads")
+      .set(static_cast<double>(solver_threads));
+  metrics_.gauge("net.queue.capacity")
+      .set(static_cast<double>(queue_.capacity()));
+
+  accepting_.store(true, std::memory_order_release);
+  started_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+std::uint16_t Server::port() const {
+  MLCR_EXPECT(listener_.has_value(), "net: server not started");
+  return listener_->port();
+}
+
+void Server::drain() {
+  if (!started_.load(std::memory_order_acquire) ||
+      drained_.load(std::memory_order_acquire)) {
+    return;
+  }
+  // New lines from already-connected peers get "rejected: draining".
+  draining_.store(true, std::memory_order_release);
+  // Stop accepting and release the port before touching in-flight work.
+  accepting_.store(false, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_->close();
+  // Join connection handlers first: they may be blocked on solve futures,
+  // so the solver workers must still be alive while the io pool drains.
+  io_pool_.reset();
+  queue_.close();
+  for (auto& worker : solver_workers_) worker.join();
+  solver_workers_.clear();
+  drained_.store(true, std::memory_order_release);
+}
+
+void Server::serve_until_shutdown() {
+  while (running() && !common::shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  drain();
+}
+
+void Server::accept_loop() {
+  while (accepting_.load(std::memory_order_acquire)) {
+    std::optional<Socket> accepted = listener_->accept_for(kPollTickMs);
+    if (!accepted.has_value()) continue;
+    metrics_.counter("net.connections").increment();
+    // std::function requires copyable captures; hand the move-only socket
+    // through a shared_ptr.
+    auto socket = std::make_shared<Socket>(std::move(*accepted));
+    auto handled = io_pool_->submit(
+        [this, socket] { handle_connection(std::move(*socket)); });
+    (void)handled;  // handlers report via the connection, not the future
+  }
+}
+
+void Server::worker_loop() {
+  std::function<void()> job;
+  while (queue_.pop(&job)) {
+    metrics_.gauge("net.queue.depth").set(static_cast<double>(queue_.size()));
+    job();
+    job = nullptr;  // release captured state promptly
+  }
+}
+
+void Server::handle_connection(Socket socket) {
+  Connection conn(std::move(socket));
+  std::string line;
+  while (true) {
+    const Connection::ReadResult result = conn.read_line(&line, kPollTickMs);
+    if (result == Connection::ReadResult::kTimeout) {
+      if (draining_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    if (result == Connection::ReadResult::kError) {
+      // Oversized line or transport fault; best-effort error, then close.
+      metrics_.counter("net.rejected.bad_request").increment();
+      (void)conn.write_line(encode_rejection_line(
+          Reject::kBadRequest, "line exceeds protocol limits"));
+      break;
+    }
+    if (result != Connection::ReadResult::kLine) break;  // kEof
+    if (!handle_line(line, &conn)) break;
+  }
+}
+
+bool Server::handle_line(const std::string& line, Connection* conn) {
+  common::metrics::ScopedTimer request_timer(
+      metrics_.timer("net.request.seconds"));
+  metrics_.counter("net.requests").increment();
+
+  std::string error;
+  const std::optional<json::Value> envelope = json::parse(line, &error);
+  if (!envelope.has_value()) {
+    return reject(conn, Reject::kBadRequest, "parse: " + error);
+  }
+
+  std::string op = "plan";
+  if (const json::Value* member = envelope->find("op")) {
+    if (!member->is_string()) {
+      return reject(conn, Reject::kBadRequest, "op: expected string");
+    }
+    op = member->as_string();
+  }
+
+  if (op == "ping") {
+    metrics_.counter("net.pings").increment();
+    return conn->write_line(R"({"ok":true,"pong":true})");
+  }
+  if (op == "metrics") return write_metrics(conn);
+  if (op != "plan") {
+    return reject(conn, Reject::kBadRequest, "op: unknown \"" + op + "\"");
+  }
+  return handle_plan(*envelope, conn);
+}
+
+bool Server::handle_plan(const json::Value& envelope, Connection* conn) {
+  std::string error;
+  long deadline_ms = 0;
+  std::optional<svc::PlanRequest> request =
+      decode_request(envelope, &deadline_ms, &error);
+  if (!request.has_value()) {
+    return reject(conn, Reject::kBadRequest, error);
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    return reject(conn, Reject::kDraining, "server is draining");
+  }
+
+  // Request deadline wins; 0 falls back to the server default; a value < 0
+  // is already expired (deterministic load-shed probe).  No deadline at all
+  // maps to time_point::max().
+  const long budget_ms =
+      deadline_ms != 0 ? deadline_ms : options_.default_deadline_ms;
+  const Clock::time_point deadline =
+      budget_ms == 0 ? Clock::time_point::max()
+                     : Clock::now() + std::chrono::milliseconds(budget_ms);
+
+  auto task = std::make_shared<
+      std::packaged_task<std::optional<svc::PlanReport>()>>(
+      [this, plan_request = std::move(*request), deadline] {
+        return engine_.plan_one(plan_request, deadline);
+      });
+  std::future<std::optional<svc::PlanReport>> pending = task->get_future();
+  if (!queue_.try_push([task] { (*task)(); })) {
+    return reject(conn, Reject::kOverloaded,
+                  "admission queue full (capacity " +
+                      std::to_string(queue_.capacity()) + ")");
+  }
+  metrics_.counter("net.admitted").increment();
+  metrics_.gauge("net.queue.depth").set(static_cast<double>(queue_.size()));
+
+  // Blocking here occupies an io thread, never a solver worker, so the
+  // queue always drains.  drain() keeps workers alive until handlers join.
+  const std::optional<svc::PlanReport> report = pending.get();
+  if (!report.has_value()) {
+    return reject(conn, Reject::kDeadline,
+                  "deadline expired before solve (budget " +
+                      std::to_string(budget_ms) + " ms)");
+  }
+  metrics_.counter("net.planned").increment();
+  return conn->write_line(encode_report_line(*report));
+}
+
+bool Server::write_metrics(Connection* conn) {
+  metrics_.counter("net.metrics_requests").increment();
+  metrics_.gauge("net.queue.depth").set(static_cast<double>(queue_.size()));
+  // Daemon counters and engine (cache/solver) instruments, one namespace.
+  std::string jsonl = metrics_.to_jsonl();
+  jsonl += engine_.metrics().to_jsonl();
+  if (!jsonl.empty() && jsonl.back() != '\n') jsonl.push_back('\n');
+  std::size_t lines = 0;
+  for (const char c : jsonl) {
+    if (c == '\n') ++lines;
+  }
+  if (!conn->write_line(R"({"ok":true,"metrics_lines":)" +
+                        std::to_string(lines) + "}")) {
+    return false;
+  }
+  return conn->write_all(jsonl);
+}
+
+bool Server::reject(Connection* conn, Reject reason,
+                    const std::string& message) {
+  metrics_.counter("net.rejected." + to_string(reason)).increment();
+  return conn->write_line(encode_rejection_line(reason, message));
+}
+
+}  // namespace mlcr::net

@@ -1,0 +1,126 @@
+// The planning daemon (mlcrd) core: a TCP server speaking the
+// line-delimited JSON protocol of net/protocol.h on 127.0.0.1.
+//
+// Threading model (three tiers, all bounded):
+//   * one accept thread polling the listener with a 100 ms tick;
+//   * an io pool (common::ThreadPool) running one connection handler per
+//     live connection — handlers parse lines, enqueue solves, and block on
+//     the solve future (never on the solver itself);
+//   * a fixed team of solver workers popping a bounded svc::AdmissionQueue
+//     and calling SweepEngine::plan_one with the request's deadline.
+//
+// Admission control: the queue in front of the solvers has a hard capacity;
+// when try_push fails the request is answered "rejected: overloaded"
+// immediately — the daemon sheds load instead of building an unbounded
+// backlog.  Per-request deadlines: a miss whose deadline passed while
+// queued is answered "rejected: deadline" without entering Algorithm 1
+// (cache hits are always served).  Both paths are observable as distinct
+// counters (net.rejected.overloaded / net.rejected.deadline).
+//
+// Graceful drain (SIGINT/SIGTERM via common::shutdown, or drain()):
+//   stop accepting -> close the listener -> answer in-flight lines ->
+//   join connection handlers -> close the queue -> join solver workers.
+// Nothing already admitted is dropped; new work is refused with
+// "rejected: draining".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "svc/admission_queue.h"
+#include "svc/sweep_engine.h"
+
+namespace mlcr::net {
+
+struct ServerOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Connection-handler threads; also the maximum number of connections
+  /// served concurrently (further accepts wait in the pool's task queue).
+  std::size_t io_threads = 8;
+  /// Solver worker threads; 0 = hardware concurrency.
+  std::size_t solver_threads = 0;
+  /// Admission queue capacity; a full queue answers "rejected: overloaded".
+  /// 0 admits nothing (useful for load-shed tests).
+  std::size_t queue_capacity = 256;
+  /// Default per-request deadline when the request carries none; 0 = no
+  /// deadline.
+  long default_deadline_ms = 0;
+  /// SweepEngine LRU capacity (cache hits are served even past deadline).
+  std::size_t cache_capacity = 65536;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, spawns the accept thread / io pool / solver workers.  Throws
+  /// common::Error if the port cannot be bound.
+  void start();
+
+  /// The bound port (valid after start(); resolves ephemeral binds).
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Graceful shutdown, idempotent: refuse new work, finish everything
+  /// already admitted, join all threads.  Called by the destructor.
+  void drain();
+
+  [[nodiscard]] bool running() const noexcept {
+    return started_.load(std::memory_order_acquire) &&
+           !drained_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until `predicate-ish`: returns when drain() completed or the
+  /// process shutdown flag (common::shutdown_requested) is raised; in the
+  /// latter case it performs the drain itself.  The mlcrd main loop is just
+  /// start(); serve_until_shutdown().
+  void serve_until_shutdown();
+
+  /// Daemon-wide instrumentation (net.* plus the engine's cache/solver
+  /// metrics via engine().metrics()).
+  [[nodiscard]] common::metrics::Registry& metrics() noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] svc::SweepEngine& engine() noexcept { return engine_; }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(Socket socket);
+  /// Dispatches one request line; false = stop serving this connection.
+  [[nodiscard]] bool handle_line(const std::string& line, Connection* conn);
+  [[nodiscard]] bool handle_plan(const json::Value& envelope,
+                                 Connection* conn);
+  [[nodiscard]] bool write_metrics(Connection* conn);
+  [[nodiscard]] bool reject(Connection* conn, Reject reason,
+                            const std::string& message);
+
+  ServerOptions options_;
+  svc::SweepEngine engine_;
+  svc::AdmissionQueue queue_;
+  common::metrics::Registry metrics_;
+
+  std::optional<Listener> listener_;
+  std::optional<common::ThreadPool> io_pool_;
+  std::vector<std::thread> solver_workers_;
+  std::thread accept_thread_;
+
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> drained_{false};
+};
+
+}  // namespace mlcr::net

@@ -1,0 +1,195 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace mlcr::net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  common::fail("net: " + what + ": " + std::strerror(errno));
+}
+
+/// poll() one fd for `events`; 1 = ready, 0 = timeout/EINTR, -1 = error.
+int poll_one(int fd, short events, int timeout_ms) {
+  struct pollfd pfd = {};
+  pfd.fd = fd;
+  pfd.events = events;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) return errno == EINTR ? 0 : -1;
+  if (rc == 0) return 0;
+  if ((pfd.revents & (events | POLLHUP | POLLERR)) != 0) return 1;
+  return 0;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Connection::ReadResult Connection::read_line(std::string* line,
+                                             int timeout_ms) {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::size_t end = newline;
+      if (end > 0 && buffer_[end - 1] == '\r') --end;
+      line->assign(buffer_, 0, end);
+      buffer_.erase(0, newline + 1);
+      return ReadResult::kLine;
+    }
+    if (buffer_.size() > kMaxLineBytes) return ReadResult::kError;
+    if (!socket_.valid()) return ReadResult::kEof;
+
+    const int ready = poll_one(socket_.fd(), POLLIN, timeout_ms);
+    if (ready < 0) return ReadResult::kError;
+    if (ready == 0) return ReadResult::kTimeout;
+
+    char chunk[4096];
+    const ssize_t received = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+    if (received < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::kError;
+    }
+    if (received == 0) {
+      // Orderly shutdown; a partial unterminated line is dropped.
+      return ReadResult::kEof;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(received));
+  }
+}
+
+bool Connection::write_all(std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t sent =
+        ::send(socket_.fd(), data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(sent));
+  }
+  return true;
+}
+
+bool Connection::write_line(std::string_view data) {
+  std::string framed(data);
+  framed.push_back('\n');
+  return write_all(framed);
+}
+
+Listener Listener::bind_loopback(std::uint16_t port) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) fail_errno("socket()");
+
+  const int enable = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+
+  struct sockaddr_in address = {};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(socket.fd(), reinterpret_cast<struct sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    fail_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(socket.fd(), SOMAXCONN) != 0) fail_errno("listen()");
+
+  socklen_t length = sizeof(address);
+  if (::getsockname(socket.fd(),
+                    reinterpret_cast<struct sockaddr*>(&address),
+                    &length) != 0) {
+    fail_errno("getsockname()");
+  }
+  return Listener(std::move(socket), ntohs(address.sin_port));
+}
+
+std::optional<Socket> Listener::accept_for(int timeout_ms) {
+  const int ready = poll_one(socket_.fd(), POLLIN, timeout_ms);
+  if (ready <= 0) return std::nullopt;
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) return std::nullopt;  // EINTR / peer gone between poll+accept
+  return Socket(fd);
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port,
+                  int timeout_ms) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* found = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &found);
+  if (rc != 0) {
+    common::fail("net: resolve " + host + ": " + gai_strerror(rc));
+  }
+
+  Socket socket;
+  std::string last_error = "no addresses";
+  for (struct addrinfo* entry = found; entry != nullptr;
+       entry = entry->ai_next) {
+    Socket candidate(::socket(entry->ai_family, entry->ai_socktype,
+                              entry->ai_protocol));
+    if (!candidate.valid()) continue;
+    // Non-blocking connect so the timeout is enforced.
+    const int flags = ::fcntl(candidate.fd(), F_GETFL, 0);
+    ::fcntl(candidate.fd(), F_SETFL, flags | O_NONBLOCK);
+    const int connected =
+        ::connect(candidate.fd(), entry->ai_addr, entry->ai_addrlen);
+    if (connected != 0 && errno != EINPROGRESS) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (connected != 0) {
+      if (poll_one(candidate.fd(), POLLOUT, timeout_ms) != 1) {
+        last_error = "connect timed out";
+        continue;
+      }
+      int error = 0;
+      socklen_t length = sizeof(error);
+      ::getsockopt(candidate.fd(), SOL_SOCKET, SO_ERROR, &error, &length);
+      if (error != 0) {
+        last_error = std::strerror(error);
+        continue;
+      }
+    }
+    ::fcntl(candidate.fd(), F_SETFL, flags);  // back to blocking
+    socket = std::move(candidate);
+    break;
+  }
+  ::freeaddrinfo(found);
+  if (!socket.valid()) {
+    common::fail("net: connect " + host + ":" + std::to_string(port) + ": " +
+                 last_error);
+  }
+  return socket;
+}
+
+}  // namespace mlcr::net

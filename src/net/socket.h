@@ -1,0 +1,91 @@
+// Thin RAII wrappers over POSIX TCP sockets: every fd has exactly one
+// owner, every blocking wait has a bounded timeout (so drain flags are
+// observed within one poll tick), and reads are framed into '\n'-terminated
+// protocol lines with a hard length cap — a hostile peer cannot grow the
+// buffer without bound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mlcr::net {
+
+/// Owning file descriptor; move-only, closed on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Buffered, line-oriented view of a connected socket.
+class Connection {
+ public:
+  /// Lines longer than this are a protocol violation (kError).
+  static constexpr std::size_t kMaxLineBytes = 4u << 20;
+
+  explicit Connection(Socket socket) noexcept : socket_(std::move(socket)) {}
+
+  enum class ReadResult { kLine, kEof, kTimeout, kError };
+
+  /// Reads up to the next '\n' (stripped; a preceding '\r' is stripped
+  /// too).  `timeout_ms < 0` blocks indefinitely.  kTimeout leaves any
+  /// partial line buffered for the next call.
+  [[nodiscard]] ReadResult read_line(std::string* line, int timeout_ms = -1);
+
+  /// Sends all of `data` (+ '\n'); false on any transport error.
+  [[nodiscard]] bool write_line(std::string_view data);
+  [[nodiscard]] bool write_all(std::string_view data);
+
+  [[nodiscard]] bool valid() const noexcept { return socket_.valid(); }
+
+ private:
+  Socket socket_;
+  std::string buffer_;  ///< received bytes not yet returned as lines
+};
+
+/// Listening socket bound to 127.0.0.1.
+class Listener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port).
+  /// Throws common::Error on failure.
+  static Listener bind_loopback(std::uint16_t port);
+
+  /// The actual bound port (resolves ephemeral binds).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Waits up to `timeout_ms` for one connection; nullopt on timeout or
+  /// EINTR (callers re-check their stop flags and loop).
+  [[nodiscard]] std::optional<Socket> accept_for(int timeout_ms);
+
+  void close() noexcept { socket_.close(); }
+  [[nodiscard]] bool valid() const noexcept { return socket_.valid(); }
+
+ private:
+  Listener(Socket socket, std::uint16_t port) noexcept
+      : socket_(std::move(socket)), port_(port) {}
+
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to host:port with a bounded timeout.  Throws common::Error on
+/// resolution/connect failure.
+[[nodiscard]] Socket connect_to(const std::string& host, std::uint16_t port,
+                                int timeout_ms);
+
+}  // namespace mlcr::net

@@ -1,0 +1,46 @@
+#include "svc/admission_queue.h"
+
+#include <utility>
+
+namespace mlcr::svc {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+bool AdmissionQueue::try_push(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || jobs_.size() >= capacity_) return false;
+    jobs_.push_back(std::move(job));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+bool AdmissionQueue::pop(std::function<void()>* job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return false;  // closed and drained
+  *job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return true;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace mlcr::svc

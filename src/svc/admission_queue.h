@@ -1,0 +1,49 @@
+// Bounded admission queue fronting the sweep engine in serving deployments
+// (src/net's mlcrd).  Back-pressure is explicit: `try_push` on a full queue
+// returns false immediately, so the caller can answer "rejected: overloaded"
+// instead of buffering without bound and timing out every queued request
+// once the solver falls behind.
+//
+// `close()` starts a drain: no further pushes are admitted, consumers keep
+// popping until the queue is empty, then `pop` returns false and the workers
+// exit.  This is the "finish in-flight solves" half of graceful shutdown.
+#pragma once
+
+#include <cstddef>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace mlcr::svc {
+
+class AdmissionQueue {
+ public:
+  /// `capacity == 0` is a valid degenerate queue that admits nothing —
+  /// every try_push is rejected (used to force load-shedding in tests).
+  explicit AdmissionQueue(std::size_t capacity);
+
+  /// Admits `job` unless the queue is full or closed; never blocks.
+  [[nodiscard]] bool try_push(std::function<void()> job);
+
+  /// Blocks until a job is available or the queue is drained; false means
+  /// closed-and-empty (the consumer should exit).
+  [[nodiscard]] bool pop(std::function<void()>* job);
+
+  /// Stops admissions and wakes every blocked consumer.  Jobs already
+  /// queued are still handed out.
+  void close();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool closed() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> jobs_;
+  bool closed_ = false;
+};
+
+}  // namespace mlcr::svc

@@ -111,6 +111,12 @@ void SweepEngine::clear_cache() {
 }
 
 PlanReport SweepEngine::plan_one(const PlanRequest& request) {
+  // A never-expiring deadline always yields a report.
+  return *plan_one(request, Clock::time_point::max());
+}
+
+std::optional<PlanReport> SweepEngine::plan_one(
+    const PlanRequest& request, std::chrono::steady_clock::time_point deadline) {
   const std::string key = canonical_key(request);
   metrics_.counter("requests").increment();
   PlanReport report;
@@ -119,6 +125,10 @@ PlanReport SweepEngine::plan_one(const PlanRequest& request) {
     report.queue_wait_seconds = 0.0;
     report.label = request.label;
     return report;
+  }
+  if (Clock::now() >= deadline) {
+    metrics_.counter("requests.expired").increment();
+    return std::nullopt;
   }
   report = solve(request, key);
   cache_insert(key, report);

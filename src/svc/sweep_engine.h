@@ -20,9 +20,11 @@
 //   plan_sweep          an arbitrary request grid, in parallel
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -77,6 +79,15 @@ class SweepEngine {
 
   /// Plans one request, consulting and filling the cache.
   [[nodiscard]] PlanReport plan_one(const PlanRequest& request);
+
+  /// Deadline-aware variant used by the serving layer (src/net): the cache
+  /// is consulted first and hits are always served (they cost microseconds),
+  /// but a cache miss whose deadline has already passed returns nullopt
+  /// without entering the solver — the caller answers "rejected: deadline".
+  /// Expired misses are counted in the `requests.expired` metric.
+  [[nodiscard]] std::optional<PlanReport> plan_one(
+      const PlanRequest& request,
+      std::chrono::steady_clock::time_point deadline);
 
   /// Plans all four solution families of opt::all_solutions() on `cfg`,
   /// in parallel; reports come back in all_solutions() order.

@@ -1,0 +1,326 @@
+// Codec tests for the mlcrd wire protocol: the JSON layer parses exactly
+// RFC 8259, and the protocol layer round-trips every request/report
+// bit-identically (encode -> decode -> encode is byte-equal), because
+// doubles cross the wire in the same hex-float rendering svc::canonical_key
+// uses.  Malformed and non-finite input must come back as structured,
+// field-naming errors — never a crash or a silent drop.
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "exp/cases.h"
+#include "model/speedup.h"
+#include "net/json.h"
+#include "svc/plan_request.h"
+#include "svc/sweep_engine.h"
+#include "svc/system_config_builder.h"
+
+namespace mlcr::net {
+namespace {
+
+json::Value parse_ok(const std::string& text) {
+  std::string error;
+  const auto parsed = json::parse(text, &error);
+  EXPECT_TRUE(parsed.has_value()) << text << " -> " << error;
+  return parsed.value_or(json::Value());
+}
+
+// --- json layer -------------------------------------------------------
+
+TEST(NetJson, ParsesScalarsAndNesting) {
+  const json::Value v =
+      parse_ok(R"({"a":[1,2.5,-3e2],"b":{"c":true,"d":null},"e":"x"})");
+  ASSERT_TRUE(v.is_object());
+  const auto& a = v.find("a")->as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].as_number(), 1.0);
+  EXPECT_EQ(a[1].as_number(), 2.5);
+  EXPECT_EQ(a[2].as_number(), -300.0);
+  EXPECT_TRUE(v.find("b")->find("c")->as_bool());
+  EXPECT_TRUE(v.find("b")->find("d")->is_null());
+  EXPECT_EQ(v.find("e")->as_string(), "x");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(NetJson, RejectsMalformedDocuments) {
+  std::string error;
+  // JSON has no NaN/Infinity literals, no trailing garbage, no bare values
+  // past the document, no unterminated containers.
+  for (const char* bad :
+       {"", "nan", "Infinity", "-Infinity", "{\"a\":1} trailing", "[1,2",
+        "{\"a\"}", "{\"a\":}", "[1,]", "01", "1.", "+1", "\"unterminated",
+        "{\"dup\" 1}", "tru", "[1 2]"}) {
+    error.clear();
+    EXPECT_FALSE(json::parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(NetJson, RejectsUnboundedNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  std::string error;
+  EXPECT_FALSE(json::parse(deep, &error).has_value());
+  EXPECT_NE(error.find("too deep"), std::string::npos) << error;
+}
+
+TEST(NetJson, StringEscapesRoundTrip) {
+  // Escapes, a control character, and a surrogate pair (U+1F600).
+  const json::Value v =
+      parse_ok(R"json(["a\"b\\c\/d\n\t\u0001","😀"])json");
+  const auto& items = v.as_array();
+  EXPECT_EQ(items[0].as_string(), std::string("a\"b\\c/d\n\t\x01"));
+  EXPECT_EQ(items[1].as_string(), "\xf0\x9f\x98\x80");
+  // dump escapes back to valid JSON that parses to the same value.
+  const std::string dumped = json::dump(v);
+  EXPECT_EQ(parse_ok(dumped).as_array()[1].as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(NetJson, RejectsRawControlCharactersInStrings) {
+  std::string error;
+  EXPECT_FALSE(json::parse("\"a\nb\"", &error).has_value());
+}
+
+TEST(NetJson, DumpIsDeterministicAcrossKeyOrder) {
+  const json::Value a = parse_ok(R"({"z":1,"a":[true,null],"m":"s"})");
+  const json::Value b = parse_ok(R"({"m":"s","a":[true,null],"z":1})");
+  EXPECT_EQ(json::dump(a), json::dump(b));
+}
+
+TEST(NetJson, DumpRefusesNonFiniteNumbers) {
+  EXPECT_THROW((void)json::dump(json::Value(std::nan(""))), common::Error);
+  EXPECT_THROW(
+      (void)json::dump(json::Value(std::numeric_limits<double>::infinity())),
+      common::Error);
+}
+
+// --- exact double codec -----------------------------------------------
+
+TEST(NetProtocol, HexFloatDoubleRoundTripIsBitExact) {
+  const std::vector<double> values = {
+      0.0,
+      -0.0,
+      0.1,
+      1.0 / 3.0,
+      -1.234567890123456789e300,
+      1e-300,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),
+      6.62607015e-34,
+      3.625626e6};
+  for (const double value : values) {
+    const json::Value encoded = encode_double(value);
+    ASSERT_TRUE(encoded.is_string());
+    double decoded = 0.0;
+    std::string error;
+    ASSERT_TRUE(decode_double(encoded, &decoded, &error)) << error;
+    // Bit comparison, not ==: catches -0.0 vs 0.0.
+    EXPECT_EQ(std::memcmp(&value, &decoded, sizeof(double)), 0)
+        << value << " -> " << encoded.as_string();
+  }
+}
+
+TEST(NetProtocol, PlainJsonNumbersAcceptedOnInput) {
+  double decoded = 0.0;
+  std::string error;
+  ASSERT_TRUE(decode_double(parse_ok("2.5"), &decoded, &error));
+  EXPECT_EQ(decoded, 2.5);
+}
+
+TEST(NetProtocol, NonFiniteDoublesRejectedBothDirections) {
+  EXPECT_THROW((void)encode_double(std::nan("")), common::Error);
+  EXPECT_THROW((void)encode_double(std::numeric_limits<double>::infinity()),
+               common::Error);
+  double out = 0.0;
+  std::string error;
+  for (const char* bad : {"nan", "inf", "-inf", "infinity", "", "0x1.8p+",
+                          "1.5oops"}) {
+    error.clear();
+    EXPECT_FALSE(decode_double(json::Value(bad), &out, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+  EXPECT_FALSE(decode_double(json::Value(true), &out, &error));
+}
+
+// --- request round trips ----------------------------------------------
+
+model::SystemConfig config_with(std::unique_ptr<model::Speedup> curve) {
+  svc::SystemConfigBuilder builder;
+  builder.te_seconds(1e6)
+      .speedup(std::move(curve))
+      .failure_rates_per_day({8.0, 4.0}, 1e5)
+      .allocation_seconds(60.0)
+      .max_scale(1e6);
+  builder.add_level(model::Overhead::constant(1.5),
+                    model::Overhead::constant(2.5));
+  builder.add_level(model::Overhead::linear(5.5, 0.0212),
+                    model::Overhead::constant(6.5));
+  return builder.build();
+}
+
+std::vector<svc::PlanRequest> wire_requests() {
+  std::vector<svc::PlanRequest> requests;
+  // The paper's quadratic FTI system plus every other wire-encodable
+  // speedup family.
+  requests.push_back({exp::make_fti_system(3e6, exp::paper_failure_cases()[0]),
+                      opt::Solution::kMultilevelOptScale,
+                      {},
+                      "paper-case"});
+  requests.push_back({config_with(std::make_unique<model::LinearSpeedup>(0.9)),
+                      opt::Solution::kSingleLevelOptScale,
+                      {},
+                      ""});
+  requests.push_back(
+      {config_with(std::make_unique<model::AmdahlSpeedup>(1e-6)),
+       opt::Solution::kMultilevelOriScale,
+       {},
+       "amdahl"});
+  const std::vector<double> scales = {1e3, 1e4, 1e5, 1e6};
+  const std::vector<double> speedups = {9.5e2, 8.1e3, 5.2e4, 2.7e5};
+  requests.push_back(
+      {config_with(std::make_unique<model::TabulatedSpeedup>(scales, speedups)),
+       opt::Solution::kSingleLevelOriScale,
+       {},
+       "tabulated"});
+  // Non-default solver options must survive the trip too.
+  opt::Algorithm1Options options;
+  options.delta = 1e-9;
+  options.max_outer_iterations = 77;
+  options.aitken = false;
+  requests.push_back({exp::make_fti_system(1e6, exp::paper_failure_cases()[1]),
+                      opt::Solution::kMultilevelOptScale, options,
+                      "custom-options"});
+  return requests;
+}
+
+TEST(NetProtocol, RequestRoundTripIsByteIdentical) {
+  for (const svc::PlanRequest& request : wire_requests()) {
+    const std::string first = encode_request_line(request, 250);
+    long deadline_ms = 0;
+    std::string error;
+    const auto decoded =
+        decode_request(parse_ok(first), &deadline_ms, &error);
+    ASSERT_TRUE(decoded.has_value()) << error;
+    EXPECT_EQ(deadline_ms, 250);
+    // encode(decode(encode(x))) == encode(x): every config field, option,
+    // and label survived exactly.
+    EXPECT_EQ(encode_request_line(*decoded, 250), first);
+    // The sweep engine would memoize both under the same key — this is what
+    // makes daemon reports interchangeable with in-process ones.
+    EXPECT_EQ(svc::canonical_key(*decoded), svc::canonical_key(request));
+  }
+}
+
+TEST(NetProtocol, NegativeDeadlinePreserved) {
+  const auto request = wire_requests().front();
+  long deadline_ms = 0;
+  std::string error;
+  const auto decoded = decode_request(
+      parse_ok(encode_request_line(request, -1)), &deadline_ms, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(deadline_ms, -1);
+}
+
+TEST(NetProtocol, MalformedRequestsNameTheOffendingField) {
+  const std::string line = encode_request_line(wire_requests().front());
+  // Drop a required field.
+  json::Value envelope = parse_ok(line);
+  json::Object without = envelope.as_object();
+  without.erase("solution");
+  long deadline_ms = 0;
+  std::string error;
+  EXPECT_FALSE(
+      decode_request(json::Value(without), &deadline_ms, &error).has_value());
+  EXPECT_NE(error.find("solution"), std::string::npos) << error;
+
+  // Poison one numeric field with NaN text.
+  json::Object poisoned = envelope.as_object();
+  json::Object config = poisoned.at("config").as_object();
+  config["te_seconds"] = json::Value("nan");
+  poisoned["config"] = json::Value(std::move(config));
+  error.clear();
+  EXPECT_FALSE(
+      decode_request(json::Value(poisoned), &deadline_ms, &error).has_value());
+  EXPECT_NE(error.find("te_seconds"), std::string::npos) << error;
+
+  // Semantically invalid configs fail the builder's validation, with the
+  // same structured error path.
+  json::Object negative = envelope.as_object();
+  config = negative.at("config").as_object();
+  config["te_seconds"] = json::Value(encode_double(-5.0));
+  negative["config"] = json::Value(std::move(config));
+  error.clear();
+  EXPECT_FALSE(
+      decode_request(json::Value(negative), &deadline_ms, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+// --- report round trips -----------------------------------------------
+
+TEST(NetProtocol, ReportRoundTripIsByteIdentical) {
+  svc::SweepEngine engine({.threads = 1});
+  for (const svc::PlanRequest& request : wire_requests()) {
+    const svc::PlanReport report = engine.plan_one(request);
+    const std::string first = json::dump(encode_report(report));
+    svc::PlanReport decoded;
+    std::string error;
+    ASSERT_TRUE(decode_report(parse_ok(first), &decoded, &error)) << error;
+    EXPECT_EQ(json::dump(encode_report(decoded)), first);
+    // Spot-check the fields the daemon identity test relies on.
+    EXPECT_EQ(decoded.key, report.key);
+    EXPECT_EQ(decoded.status, report.status);
+    EXPECT_EQ(decoded.wallclock(), report.wallclock());
+    EXPECT_EQ(decoded.plan().scale, report.plan().scale);
+    EXPECT_EQ(decoded.plan().intervals, report.plan().intervals);
+    EXPECT_EQ(decoded.planned.level_enabled, report.planned.level_enabled);
+  }
+}
+
+TEST(NetProtocol, ResponseLinesDecodeToReportOrRejection) {
+  svc::SweepEngine engine({.threads = 1});
+  const svc::PlanReport report = engine.plan_one(wire_requests().front());
+
+  Response response;
+  std::string error;
+  ASSERT_TRUE(decode_response(encode_report_line(report), &response, &error))
+      << error;
+  EXPECT_TRUE(response.accepted);
+  EXPECT_EQ(response.report.wallclock(), report.wallclock());
+
+  ASSERT_TRUE(decode_response(
+      encode_rejection_line(Reject::kOverloaded, "queue full"), &response,
+      &error))
+      << error;
+  EXPECT_FALSE(response.accepted);
+  EXPECT_EQ(response.reject, Reject::kOverloaded);
+  EXPECT_EQ(response.message, "queue full");
+
+  EXPECT_FALSE(decode_response("not json at all", &response, &error));
+  EXPECT_FALSE(decode_response(R"({"no":"ok field"})", &response, &error));
+}
+
+TEST(NetProtocol, RejectTaxonomyNamesAreStable) {
+  // These strings are wire protocol and metric suffixes; changing one is a
+  // breaking change.
+  EXPECT_EQ(to_string(Reject::kBadRequest), "bad_request");
+  EXPECT_EQ(to_string(Reject::kOverloaded), "overloaded");
+  EXPECT_EQ(to_string(Reject::kDeadline), "deadline");
+  EXPECT_EQ(to_string(Reject::kDraining), "draining");
+  Reject reason = Reject::kBadRequest;
+  EXPECT_TRUE(reject_from_string("deadline", &reason));
+  EXPECT_EQ(reason, Reject::kDeadline);
+  EXPECT_FALSE(reject_from_string("nope", &reason));
+}
+
+}  // namespace
+}  // namespace mlcr::net

@@ -1,0 +1,292 @@
+// End-to-end tests for the planning daemon core (net::Server) and the
+// bounded admission queue in front of its solvers.  The central invariant:
+// a report served over TCP is field-for-field identical to the in-process
+// SweepEngine::plan_one result — the daemon adds transport, admission
+// control, and deadlines, never a different answer.
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "exp/cases.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/protocol.h"
+#include "svc/admission_queue.h"
+#include "svc/sweep_engine.h"
+
+namespace mlcr::net {
+namespace {
+
+// --- admission queue ---------------------------------------------------
+
+TEST(AdmissionQueue, CapacityZeroAdmitsNothing) {
+  svc::AdmissionQueue queue(0);
+  EXPECT_FALSE(queue.try_push([] {}));
+  EXPECT_EQ(queue.size(), 0u);
+  queue.close();
+  std::function<void()> job;
+  EXPECT_FALSE(queue.pop(&job));
+}
+
+TEST(AdmissionQueue, RejectsWhenFullHandsOutInFifoOrder) {
+  svc::AdmissionQueue queue(2);
+  std::vector<int> order;
+  ASSERT_TRUE(queue.try_push([&order] { order.push_back(1); }));
+  ASSERT_TRUE(queue.try_push([&order] { order.push_back(2); }));
+  EXPECT_FALSE(queue.try_push([&order] { order.push_back(3); }));  // full
+  EXPECT_EQ(queue.size(), 2u);
+
+  std::function<void()> job;
+  ASSERT_TRUE(queue.pop(&job));
+  job();
+  ASSERT_TRUE(queue.pop(&job));
+  job();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  // A slot freed up, so admission resumes.
+  EXPECT_TRUE(queue.try_push([] {}));
+}
+
+TEST(AdmissionQueue, CloseDrainsQueuedJobsThenStopsConsumers) {
+  svc::AdmissionQueue queue(4);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(queue.try_push([&ran] { ++ran; }));
+  ASSERT_TRUE(queue.try_push([&ran] { ++ran; }));
+  queue.close();
+  EXPECT_FALSE(queue.try_push([&ran] { ++ran; }));  // no admissions after close
+
+  std::function<void()> job;
+  while (queue.pop(&job)) job();  // queued work still handed out
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_FALSE(queue.pop(&job));  // closed and empty: consumers exit
+}
+
+TEST(AdmissionQueue, PopBlocksUntilPushOrClose) {
+  svc::AdmissionQueue queue(1);
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    std::function<void()> job;
+    while (queue.pop(&job)) job();
+    popped.store(true);
+  });
+  ASSERT_TRUE(queue.try_push([] {}));
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+}
+
+// --- server end to end -------------------------------------------------
+
+svc::PlanRequest paper_request(double te = 3e6, std::size_t failure_case = 0) {
+  return {exp::make_fti_system(te, exp::paper_failure_cases()[failure_case]),
+          opt::Solution::kMultilevelOptScale,
+          {},
+          "test"};
+}
+
+/// The exact wire encoding with non-deterministic timing fields zeroed —
+/// equality means "the same answer", independent of where it was solved.
+std::string fingerprint(svc::PlanReport report) {
+  report.solve_seconds = 0.0;
+  report.queue_wait_seconds = 0.0;
+  report.cache_hit = false;
+  return json::dump(encode_report(report));
+}
+
+ServerOptions small_server() {
+  ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.io_threads = 2;
+  options.solver_threads = 2;
+  options.queue_capacity = 16;
+  return options;
+}
+
+TEST(NetServer, ReportMatchesInProcessPlanOneExactly) {
+  Server server(small_server());
+  server.start();
+  Client client({.port = server.port()});
+
+  const svc::PlanRequest request = paper_request();
+  const Response response = client.plan(request);
+  ASSERT_TRUE(response.accepted) << response.message;
+
+  svc::SweepEngine engine({.threads = 1});
+  const svc::PlanReport local = engine.plan_one(request);
+  EXPECT_EQ(fingerprint(response.report), fingerprint(local));
+  EXPECT_EQ(response.report.key, local.key);
+  EXPECT_EQ(response.report.status, local.status);
+  EXPECT_EQ(response.report.wallclock(), local.wallclock());
+  EXPECT_EQ(response.report.plan().scale, local.plan().scale);
+  EXPECT_EQ(response.report.plan().intervals, local.plan().intervals);
+}
+
+TEST(NetServer, BadRequestAnswersStructuredErrorAndKeepsConnection) {
+  Server server(small_server());
+  server.start();
+  Connection conn(connect_to("127.0.0.1", server.port(), 5000));
+
+  // Unparseable line -> structured bad_request, connection stays usable.
+  ASSERT_TRUE(conn.write_line("this is not json"));
+  std::string line;
+  ASSERT_EQ(conn.read_line(&line, 5000), Connection::ReadResult::kLine);
+  Response response;
+  std::string error;
+  ASSERT_TRUE(decode_response(line, &response, &error)) << error;
+  EXPECT_FALSE(response.accepted);
+  EXPECT_EQ(response.reject, Reject::kBadRequest);
+
+  // Well-formed JSON with a malformed plan body: same taxonomy, and the
+  // error names the missing field.
+  ASSERT_TRUE(
+      conn.write_line(R"x({"op":"plan","solution":"ML(opt-scale)"})x"));
+  ASSERT_EQ(conn.read_line(&line, 5000), Connection::ReadResult::kLine);
+  ASSERT_TRUE(decode_response(line, &response, &error)) << error;
+  EXPECT_EQ(response.reject, Reject::kBadRequest);
+  EXPECT_NE(response.message.find("config"), std::string::npos)
+      << response.message;
+
+  // The same connection still answers pings.
+  ASSERT_TRUE(conn.write_line(R"({"op":"ping"})"));
+  ASSERT_EQ(conn.read_line(&line, 5000), Connection::ReadResult::kLine);
+  EXPECT_NE(line.find("pong"), std::string::npos);
+
+  EXPECT_EQ(server.metrics().counter("net.rejected.bad_request").value(), 2u);
+}
+
+TEST(NetServer, FullQueueRejectsOverloaded) {
+  ServerOptions options = small_server();
+  options.queue_capacity = 0;  // degenerate queue: every plan is shed
+  Server server(options);
+  server.start();
+  Client client({.port = server.port()});
+
+  const Response response = client.plan(paper_request());
+  ASSERT_FALSE(response.accepted);
+  EXPECT_EQ(response.reject, Reject::kOverloaded);
+  EXPECT_EQ(server.metrics().counter("net.rejected.overloaded").value(), 1u);
+  // Ping and metrics bypass admission — the daemon stays observable while
+  // shedding load.
+  EXPECT_TRUE(client.ping());
+}
+
+TEST(NetServer, ExpiredDeadlineRejectsButCacheHitsAreServed) {
+  Server server(small_server());
+  server.start();
+  Client client({.port = server.port()});
+  const svc::PlanRequest request = paper_request();
+
+  // deadline_ms < 0 is already expired: the solver must not run.
+  const Response expired = client.plan(request, -1);
+  ASSERT_FALSE(expired.accepted);
+  EXPECT_EQ(expired.reject, Reject::kDeadline);
+  EXPECT_EQ(server.metrics().counter("net.rejected.deadline").value(), 1u);
+
+  // Solve it once for real...
+  const Response solved = client.plan(request);
+  ASSERT_TRUE(solved.accepted) << solved.message;
+  EXPECT_FALSE(solved.report.cache_hit);
+
+  // ...after which even an expired deadline is served from cache (hits cost
+  // microseconds; only misses are load-shed).
+  const Response cached = client.plan(request, -1);
+  ASSERT_TRUE(cached.accepted) << cached.message;
+  EXPECT_TRUE(cached.report.cache_hit);
+  EXPECT_EQ(fingerprint(cached.report), fingerprint(solved.report));
+}
+
+TEST(NetServer, MetricsOpExposesDaemonAndEngineCounters) {
+  Server server(small_server());
+  server.start();
+  Client client({.port = server.port()});
+  ASSERT_TRUE(client.plan(paper_request()).accepted);
+
+  const std::string jsonl = client.metrics();
+  EXPECT_NE(jsonl.find("\"net.requests\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"net.planned\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"net.queue.capacity\""), std::string::npos);
+  // Engine instruments ride along in the same dump.
+  EXPECT_NE(jsonl.find("cache."), std::string::npos);
+  // Every line is valid JSON.
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    std::string error;
+    EXPECT_TRUE(
+        json::parse(jsonl.substr(start, end - start), &error).has_value())
+        << error;
+    start = end + 1;
+  }
+}
+
+TEST(NetServer, ConcurrentClientsAllGetTheSameAnswer) {
+  Server server(small_server());
+  server.start();
+  const std::uint16_t port = server.port();
+
+  svc::SweepEngine engine({.threads = 1});
+  const std::string expected = fingerprint(engine.plan_one(paper_request()));
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([port, &expected, &mismatches] {
+      Client client({.port = port});
+      for (int j = 0; j < 3; ++j) {
+        const Response response = client.plan(paper_request());
+        if (!response.accepted ||
+            fingerprint(response.report) != expected) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server.metrics().counter("net.planned").value(), 12u);
+}
+
+TEST(NetServer, DrainFinishesInFlightWorkAndStopsAccepting) {
+  Server server(small_server());
+  server.start();
+  const std::uint16_t port = server.port();
+
+  Client client({.port = port});
+  ASSERT_TRUE(client.plan(paper_request()).accepted);
+  ASSERT_TRUE(server.running());
+
+  server.drain();
+  EXPECT_FALSE(server.running());
+  server.drain();  // idempotent
+  EXPECT_FALSE(server.running());
+
+  // The listener is gone: new connections fail at the transport level.
+  EXPECT_THROW(Client({.port = port, .timeout_ms = 500}), common::Error);
+}
+
+TEST(NetServer, ServerDefaultDeadlineAppliesWhenRequestCarriesNone) {
+  ServerOptions options = small_server();
+  options.default_deadline_ms = -1;  // every uncached miss is pre-expired
+  Server server(options);
+  server.start();
+  Client client({.port = server.port()});
+
+  const Response shed = client.plan(paper_request());
+  ASSERT_FALSE(shed.accepted);
+  EXPECT_EQ(shed.reject, Reject::kDeadline);
+
+  // An explicit per-request deadline overrides the server default.
+  const Response solved = client.plan(paper_request(), 60000);
+  ASSERT_TRUE(solved.accepted) << solved.message;
+}
+
+}  // namespace
+}  // namespace mlcr::net

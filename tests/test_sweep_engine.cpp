@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -294,6 +295,88 @@ TEST(SweepEngine, MetricsCountCacheTrafficAndStatuses) {
   EXPECT_EQ(metrics.timer("solve.seconds").snapshot().count, 1u);
   EXPECT_EQ(metrics.timer("solve.outer_iterations").snapshot().count, 1u);
   EXPECT_GT(metrics.timer("solve.outer_iterations").snapshot().max, 0.0);
+}
+
+TEST(LruCache, CapacityZeroStoresNothing) {
+  LruCache<int, int> cache(0);
+  EXPECT_EQ(cache.capacity(), 0u);
+  EXPECT_EQ(cache.put(1, 10), 0u);  // no insert, so nothing to evict
+  EXPECT_EQ(cache.size(), 0u);
+  int value = 0;
+  EXPECT_FALSE(cache.get(1, &value));
+}
+
+TEST(LruCache, CapacityOneEvictsOnEveryNewKey) {
+  LruCache<int, int> cache(1);
+  EXPECT_EQ(cache.put(1, 10), 0u);
+  EXPECT_EQ(cache.put(2, 20), 1u);  // evicts 1
+  int value = 0;
+  EXPECT_FALSE(cache.get(1, &value));
+  ASSERT_TRUE(cache.get(2, &value));
+  EXPECT_EQ(value, 20);
+  // Re-inserting the resident key is a refresh, never an eviction.
+  EXPECT_EQ(cache.put(2, 22), 0u);
+  ASSERT_TRUE(cache.get(2, &value));
+  EXPECT_EQ(value, 22);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCache, ReinsertRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  EXPECT_EQ(cache.put(1, 10), 0u);
+  EXPECT_EQ(cache.put(2, 20), 0u);
+  // put() on a resident key must promote it, exactly like get(): after
+  // refreshing 1, the eviction victim is 2.
+  EXPECT_EQ(cache.put(1, 11), 0u);
+  EXPECT_EQ(cache.put(3, 30), 1u);
+  int value = 0;
+  ASSERT_TRUE(cache.get(1, &value));
+  EXPECT_EQ(value, 11);
+  EXPECT_FALSE(cache.get(2, &value));
+  EXPECT_TRUE(cache.get(3, &value));
+}
+
+TEST(SweepEngine, ExpiredDeadlineReturnsNulloptWithoutSolving) {
+  const auto cfg = exp::make_fti_system(3e6, exp::paper_failure_cases()[0]);
+  PlanRequest request{cfg, opt::Solution::kMultilevelOptScale, {}, {}};
+  SweepEngine engine({/*threads=*/1});
+
+  const auto past = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  EXPECT_FALSE(engine.plan_one(request, past).has_value());
+  EXPECT_EQ(engine.metrics().counter("requests.expired").value(), 1u);
+  EXPECT_EQ(engine.metrics().timer("solve.seconds").snapshot().count, 0u);
+  EXPECT_EQ(engine.cache_size(), 0u);
+}
+
+TEST(SweepEngine, DeadlineVariantMatchesPlainPlanOne) {
+  const auto cfg = exp::make_fti_system(3e6, exp::paper_failure_cases()[1]);
+  PlanRequest request{cfg, opt::Solution::kMultilevelOptScale, {}, {}};
+  SweepEngine plain_engine({/*threads=*/1});
+  SweepEngine deadline_engine({/*threads=*/1});
+
+  const auto plain = plain_engine.plan_one(request);
+  const auto far = std::chrono::steady_clock::time_point::max();
+  const auto bounded = deadline_engine.plan_one(request, far);
+  ASSERT_TRUE(bounded.has_value());
+  EXPECT_EQ(bounded->key, plain.key);
+  EXPECT_EQ(bounded->status, plain.status);
+  EXPECT_EQ(bounded->wallclock(), plain.wallclock());
+  EXPECT_EQ(bounded->plan().scale, plain.plan().scale);
+  EXPECT_EQ(bounded->plan().intervals, plain.plan().intervals);
+}
+
+TEST(SweepEngine, CacheHitIsServedEvenPastDeadline) {
+  const auto cfg = exp::make_fti_system(3e6, exp::paper_failure_cases()[2]);
+  PlanRequest request{cfg, opt::Solution::kMultilevelOptScale, {}, {}};
+  SweepEngine engine({/*threads=*/1});
+
+  const auto solved = engine.plan_one(request);  // populate the cache
+  const auto past = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  const auto cached = engine.plan_one(request, past);
+  ASSERT_TRUE(cached.has_value());  // hits cost microseconds: always served
+  EXPECT_TRUE(cached->cache_hit);
+  EXPECT_EQ(cached->wallclock(), solved.wallclock());
+  EXPECT_EQ(engine.metrics().counter("requests.expired").value(), 0u);
 }
 
 TEST(SweepEngine, MatchesDirectPlannerCall) {
