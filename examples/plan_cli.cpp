@@ -1,8 +1,8 @@
 // Command-line planner: describe your system in flags, get the optimized
 // checkpoint intervals and execution scale for all four solution families.
 //
-//   ./plan_cli --te 3e6 --kappa 0.46 --nstar 1e6 \
-//              --rates 16,12,8,4 --costs 0.9,2.5,3.9,5.5 --pfs-slope 0.0212 \
+//   ./plan_cli --te 3e6 --kappa 0.46 --nstar 1e6
+//              --rates 16,12,8,4 --costs 0.9,2.5,3.9,5.5 --pfs-slope 0.0212
 //              --allocation 60 --simulate
 //
 // Every flag has the paper's defaults; run with no arguments for the

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy, warnings-as-errors) over every
+# project source in the compilation database.
+#
+#   scripts/run_tidy.sh [build-dir]     # default build dir: build/
+#
+# Gated on availability: containers without clang-tidy print a warning and
+# exit 0, so tier-1 stays runnable everywhere while CI images that do ship
+# clang-tidy get the full check.  The configure step always exports
+# compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS in CMakeLists.txt).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_tidy: clang-tidy not found on PATH; skipping (install LLVM to enable)" >&2
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_tidy: $build_dir/compile_commands.json missing; configure first:" >&2
+  echo "  cmake -B $build_dir -S ." >&2
+  exit 1
+fi
+
+# Project sources only — third-party code pulled in by the build (gtest,
+# benchmark) is not ours to lint.  Lint fixtures are deliberately broken and
+# never compiled, so they never appear in the database.
+mapfile -t sources < <(
+  grep -oE '"file": "[^"]+"' "$build_dir/compile_commands.json" \
+    | cut -d'"' -f4 \
+    | grep -E "^$(pwd)/(src|tools|tests|bench|examples)/" \
+    | sort -u)
+
+if [ "${#sources[@]}" -eq 0 ]; then
+  echo "run_tidy: no project sources found in the compilation database" >&2
+  exit 1
+fi
+
+echo "run_tidy: checking ${#sources[@]} files"
+status=0
+for source in "${sources[@]}"; do
+  clang-tidy -p "$build_dir" --quiet "$source" || status=1
+done
+if [ "$status" -ne 0 ]; then
+  echo "run_tidy: clang-tidy reported errors (WarningsAsErrors: '*')" >&2
+fi
+exit "$status"

@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the standard build + full test suite, followed by a
-# ThreadSanitizer pass over the concurrency-sensitive targets (thread pool,
-# sweep engine, metrics registry).  Run from anywhere; builds land in build/
-# and build-tsan/.
+# Tier-1 verification matrix:
+#
+#   1. standard build (-Werror) + full ctest suite
+#   2. mlcr-lint over the whole tree (also a ctest case; run standalone here
+#      so a lint regression fails with the findings on stderr, not a ctest log)
+#   3. self-contained-header check (each header compiles standalone)
+#   4. clang-tidy via scripts/run_tidy.sh (no-op with a warning when the
+#      container has no clang-tidy)
+#   5. ThreadSanitizer pass over the concurrency-sensitive targets + the
+#      mlcrd daemon smoke test
+#   6. AddressSanitizer+UBSan pass over the FULL ctest suite + the same
+#      daemon smoke test
+#
+# Run from anywhere; builds land in build/, build-tsan/, build-asan/.
 #
 # The ctest runs treat "no tests matched" and any skipped test as failures:
 # a silently-skipped suite looks exactly like a green run otherwise.
@@ -24,62 +34,97 @@ run_ctest() {
   rm -f "$log"
 }
 
-echo "== tier-1: standard build + ctest =="
-cmake -B build -S .
-cmake --build build -j
-run_ctest build -j
+# build_and_test <build-dir> <sanitize> [ctest-regex]
+#   Configures (warnings-as-errors always on), builds, and runs ctest —
+#   the whole suite, or only tests matching the optional regex.
+#   <sanitize> is the MLCR_SANITIZE value ("" = plain build).
+build_and_test() {
+  local dir="$1" sanitize="$2" regex="${3:-}"
+  cmake -B "$dir" -S . -DMLCR_WERROR=ON -DMLCR_SANITIZE="$sanitize"
+  cmake --build "$dir" -j
+  if [ -n "$regex" ]; then
+    run_ctest "$dir" -R "$regex"
+  else
+    run_ctest "$dir" -j
+  fi
+}
+
+# daemon_smoke <build-dir>
+#   Starts mlcrd on an ephemeral port, plans the paper's Table 3 headline
+#   config through it, and requires the report to be field-for-field
+#   identical to the in-process SweepEngine::plan_one answer (--check-local
+#   compares the exact wire encoding).  Then SIGTERM and require a clean
+#   drain.
+daemon_smoke() {
+  local dir="$1" mlcrd_log mlcrd_pid port drained
+  mlcrd_log="$(mktemp)"
+  "$dir"/examples/mlcrd --port 0 --queue 64 --deadline-ms 0 \
+    --io-threads 2 --solver-threads 2 > "$mlcrd_log" 2>&1 &
+  mlcrd_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(grep -oE '127\.0\.0\.1:[0-9]+' "$mlcrd_log" | head -1 \
+            | cut -d: -f2 || true)"
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "tier-1 FAILED: mlcrd did not report a listening port" >&2
+    cat "$mlcrd_log" >&2
+    kill -9 "$mlcrd_pid" 2>/dev/null || true
+    exit 1
+  fi
+  "$dir"/examples/mlcr_client --port "$port" --check-local \
+    --te 3e6 --kappa 0.46 --nstar 1e6 --rates 16,12,8,4 \
+    --costs 0.9,2.5,3.9,5.5 --pfs-slope 0.0212 --allocation 60
+  kill -TERM "$mlcrd_pid"
+  drained=""
+  for _ in $(seq 1 300); do
+    if ! kill -0 "$mlcrd_pid" 2>/dev/null; then drained=yes; break; fi
+    sleep 0.1
+  done
+  if [ -z "$drained" ]; then
+    echo "tier-1 FAILED: mlcrd did not drain within 30s of SIGTERM" >&2
+    cat "$mlcrd_log" >&2
+    kill -9 "$mlcrd_pid" 2>/dev/null || true
+    exit 1
+  fi
+  wait "$mlcrd_pid" || {
+    echo "tier-1 FAILED: mlcrd exited non-zero after SIGTERM" >&2
+    cat "$mlcrd_log" >&2
+    exit 1
+  }
+  grep -q 'drained' "$mlcrd_log" || {
+    echo "tier-1 FAILED: mlcrd log missing drain confirmation" >&2
+    cat "$mlcrd_log" >&2
+    exit 1
+  }
+  rm -f "$mlcrd_log"
+}
+
+echo "== tier-1: standard build (-Werror) + full ctest =="
+build_and_test build ""
+
+echo "== tier-1: mlcr-lint project invariants =="
+./build/tools/mlcr-lint src examples bench tests
+
+echo "== tier-1: self-contained headers =="
+scripts/check_headers.sh
+
+echo "== tier-1: clang-tidy =="
+scripts/run_tidy.sh build
 
 echo "== tier-1: ThreadSanitizer pass (thread pool + sweep engine + metrics + net) =="
-cmake -B build-tsan -S . -DMLCR_SANITIZE=thread
-cmake --build build-tsan -j
-run_ctest build-tsan -R 'ThreadPool|SweepEngine|Metrics|LruCache|AdmissionQueue|NetServer|NetProtocol|NetJson'
+build_and_test build-tsan thread \
+  'ThreadPool|SweepEngine|Metrics|LruCache|AdmissionQueue|NetServer|NetProtocol|NetJson'
 
-echo "== tier-1: mlcrd daemon smoke (sanitizer build) =="
-# Start the daemon on an ephemeral port, plan the paper's Table 3 headline
-# config through it, and require the report to be field-for-field identical
-# to the in-process SweepEngine::plan_one answer (--check-local compares the
-# exact wire encoding).  Then SIGTERM and require a clean drain.
-mlcrd_log="$(mktemp)"
-./build-tsan/examples/mlcrd --port 0 --queue 64 --deadline-ms 0 \
-  --io-threads 2 --solver-threads 2 > "$mlcrd_log" 2>&1 &
-mlcrd_pid=$!
-port=""
-for _ in $(seq 1 100); do
-  port="$(grep -oE '127\.0\.0\.1:[0-9]+' "$mlcrd_log" | head -1 | cut -d: -f2 || true)"
-  [ -n "$port" ] && break
-  sleep 0.1
-done
-if [ -z "$port" ]; then
-  echo "tier-1 FAILED: mlcrd did not report a listening port" >&2
-  cat "$mlcrd_log" >&2
-  kill -9 "$mlcrd_pid" 2>/dev/null || true
-  exit 1
-fi
-./build-tsan/examples/mlcr_client --port "$port" --check-local \
-  --te 3e6 --kappa 0.46 --nstar 1e6 --rates 16,12,8,4 \
-  --costs 0.9,2.5,3.9,5.5 --pfs-slope 0.0212 --allocation 60
-kill -TERM "$mlcrd_pid"
-drained=""
-for _ in $(seq 1 300); do
-  if ! kill -0 "$mlcrd_pid" 2>/dev/null; then drained=yes; break; fi
-  sleep 0.1
-done
-if [ -z "$drained" ]; then
-  echo "tier-1 FAILED: mlcrd did not drain within 30s of SIGTERM" >&2
-  cat "$mlcrd_log" >&2
-  kill -9 "$mlcrd_pid" 2>/dev/null || true
-  exit 1
-fi
-wait "$mlcrd_pid" || {
-  echo "tier-1 FAILED: mlcrd exited non-zero after SIGTERM" >&2
-  cat "$mlcrd_log" >&2
-  exit 1
-}
-grep -q 'drained' "$mlcrd_log" || {
-  echo "tier-1 FAILED: mlcrd log missing drain confirmation" >&2
-  cat "$mlcrd_log" >&2
-  exit 1
-}
-rm -f "$mlcrd_log"
+echo "== tier-1: mlcrd daemon smoke (TSan build) =="
+daemon_smoke build-tsan
+
+echo "== tier-1: ASan+UBSan pass (full suite) =="
+build_and_test build-asan address,undefined
+
+echo "== tier-1: mlcrd daemon smoke (ASan+UBSan build) =="
+daemon_smoke build-asan
 
 echo "tier-1 OK"

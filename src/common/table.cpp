@@ -58,8 +58,12 @@ std::string Table::to_string() const {
 
   std::string out = render(header_);
   std::string rule;
-  for (std::size_t w : width) rule += "|" + std::string(w + 2, '-');
-  out += rule + "|\n";
+  for (std::size_t w : width) {
+    rule += '|';
+    rule.append(w + 2, '-');
+  }
+  out += rule;
+  out += "|\n";
   for (const auto& row : rows_) out += render(row);
   return out;
 }

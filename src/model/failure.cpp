@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "num/finite.h"
+
 namespace mlcr::model {
 
 FailureRates::FailureRates(std::vector<double> per_day_at_baseline,
@@ -18,7 +20,7 @@ FailureRates::FailureRates(std::vector<double> per_day_at_baseline,
 
 double FailureRates::rate_per_second(std::size_t level, double n) const {
   MLCR_EXPECT(level < per_day_at_baseline_.size(), "level out of range");
-  const double scale = std::pow(n / baseline_scale_, scale_exponent_);
+  const double scale = num::checked_pow(n / baseline_scale_, scale_exponent_);
   return common::per_day_to_per_second(per_day_at_baseline_[level]) * scale;
 }
 
@@ -26,7 +28,7 @@ double FailureRates::rate_derivative(std::size_t level, double n) const {
   MLCR_EXPECT(level < per_day_at_baseline_.size(), "level out of range");
   const double base = common::per_day_to_per_second(per_day_at_baseline_[level]);
   return base * scale_exponent_ *
-         std::pow(n / baseline_scale_, scale_exponent_ - 1.0) /
+         num::checked_pow(n / baseline_scale_, scale_exponent_ - 1.0) /
          baseline_scale_;
 }
 
@@ -54,12 +56,12 @@ MuModel MuModel::from_rates(const FailureRates& rates,
 
 double MuModel::mu(std::size_t level, double n) const {
   MLCR_EXPECT(level < b_.size(), "level out of range");
-  return b_[level] * std::pow(n, exponent_);
+  return b_[level] * num::checked_pow(n, exponent_);
 }
 
 double MuModel::mu_derivative(std::size_t level, double n) const {
   MLCR_EXPECT(level < b_.size(), "level out of range");
-  return b_[level] * exponent_ * std::pow(n, exponent_ - 1.0);
+  return b_[level] * exponent_ * num::checked_pow(n, exponent_ - 1.0);
 }
 
 }  // namespace mlcr::model

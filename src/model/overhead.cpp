@@ -2,23 +2,26 @@
 
 #include <cmath>
 
+#include "num/finite.h"
+
 namespace mlcr::model {
 
-double scaling_value(Scaling scaling, double n) noexcept {
+double scaling_value(Scaling scaling, double n) {
   switch (scaling) {
     case Scaling::kConstant: return 0.0;
     case Scaling::kLinear: return n;
-    case Scaling::kSqrt: return std::sqrt(n);
-    case Scaling::kLog: return std::log1p(n);
+    case Scaling::kSqrt: return num::checked_sqrt(n, "overhead H(N)");
+    case Scaling::kLog: return num::checked_log1p(n, "overhead H(N)");
   }
   return 0.0;
 }
 
-double scaling_derivative(Scaling scaling, double n) noexcept {
+double scaling_derivative(Scaling scaling, double n) {
   switch (scaling) {
     case Scaling::kConstant: return 0.0;
     case Scaling::kLinear: return 1.0;
-    case Scaling::kSqrt: return n > 0.0 ? 0.5 / std::sqrt(n) : 0.0;
+    case Scaling::kSqrt:
+      return n > 0.0 ? 0.5 / num::checked_sqrt(n, "overhead H'(N)") : 0.0;
     case Scaling::kLog: return 1.0 / (1.0 + n);
   }
   return 0.0;

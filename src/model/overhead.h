@@ -18,8 +18,8 @@ enum class Scaling {
   kLog,       ///< H(N) = ln(1 + N)
 };
 
-[[nodiscard]] double scaling_value(Scaling scaling, double n) noexcept;
-[[nodiscard]] double scaling_derivative(Scaling scaling, double n) noexcept;
+[[nodiscard]] double scaling_value(Scaling scaling, double n);
+[[nodiscard]] double scaling_derivative(Scaling scaling, double n);
 [[nodiscard]] std::string to_string(Scaling scaling);
 
 /// One overhead curve: base + slope * H(N).
@@ -28,10 +28,10 @@ struct Overhead {
   double slope = 0.0;  ///< alpha_i (or beta_i), seconds per unit of H(N)
   Scaling scaling = Scaling::kConstant;
 
-  [[nodiscard]] double value(double n) const noexcept {
+  [[nodiscard]] double value(double n) const {
     return base + slope * scaling_value(scaling, n);
   }
-  [[nodiscard]] double derivative(double n) const noexcept {
+  [[nodiscard]] double derivative(double n) const {
     return slope * scaling_derivative(scaling, n);
   }
 

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "net/json.h"
+#include "net/textnum.h"
 
 namespace mlcr::net {
 
@@ -21,7 +22,7 @@ std::string Client::read_line_or_throw() {
       common::fail("net: connection closed by server");
     case Connection::ReadResult::kTimeout:
       common::fail("net: response timed out after " +
-                   std::to_string(timeout_ms_) + " ms");
+                   dec(timeout_ms_) + " ms");
     case Connection::ReadResult::kError:
       common::fail("net: transport error while reading response");
   }

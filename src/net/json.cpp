@@ -1,12 +1,13 @@
 #include "net/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 
 #include "common/error.h"
+#include "net/textnum.h"
 
 namespace mlcr::net::json {
 
@@ -52,7 +53,8 @@ class Parser {
  private:
   void set_error(const std::string& message) {
     if (error_ != nullptr && error_->empty()) {
-      *error_ = "json: " + message + " at offset " + std::to_string(pos_);
+      *error_ = "json: " + message + " at offset " +
+                dec(static_cast<long long>(pos_));
     }
   }
 
@@ -312,9 +314,9 @@ class Parser {
         ++pos_;
       }
     }
-    const std::string token(text_.substr(start, pos_ - start));
-    const double value = std::strtod(token.c_str(), nullptr);
-    if (!std::isfinite(value)) {
+    double value = 0.0;
+    if (!parse_double(text_.substr(start, pos_ - start), &value) ||
+        !std::isfinite(value)) {
       set_error("number out of range");
       return false;
     }
@@ -362,12 +364,11 @@ void dump_value(const Value& value, std::string* out) {
       char buf[40];
       // Integers (the common case: iteration counts, line counts) render
       // without an exponent; everything else round-trips via %.17g.
-      if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
-        std::snprintf(buf, sizeof(buf), "%.0f", v);
-      } else {
-        std::snprintf(buf, sizeof(buf), "%.17g", v);
-      }
-      *out += buf;
+      const auto format = v == std::floor(v) && std::fabs(v) < 9.007199254740992e15
+                              ? std::chars_format::fixed
+                              : std::chars_format::general;
+      const auto end = std::to_chars(buf, buf + sizeof(buf), v, format);
+      out->append(buf, end.ptr);
       return;
     }
     case Value::Kind::kString: dump_string(value.as_string(), out); return;

@@ -1,26 +1,17 @@
 #include "net/protocol.h"
 
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/error.h"
+#include "net/textnum.h"
 #include "svc/system_config_builder.h"
 
 namespace mlcr::net {
 
 namespace {
-
-/// Same exact rendering as svc::canonical_key: distinct finite doubles
-/// always produce distinct text, and strtod restores the identical bits.
-std::string hexf(double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%a", v);
-  return buf;
-}
 
 [[noreturn]] void decode_fail(const std::string& field,
                               const std::string& what) {
@@ -335,9 +326,8 @@ bool decode_double(const json::Value& value, double* out, std::string* error) {
     if (error != nullptr) *error = "empty numeric string";
     return false;
   }
-  char* end = nullptr;
-  const double parsed = std::strtod(text.c_str(), &end);
-  if (end != text.c_str() + text.size()) {
+  double parsed = 0.0;
+  if (!parse_double(text, &parsed)) {
     if (error != nullptr) *error = "malformed numeric string '" + text + "'";
     return false;
   }

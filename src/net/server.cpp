@@ -9,6 +9,7 @@
 #include "common/error.h"
 #include "common/shutdown.h"
 #include "net/protocol.h"
+#include "net/textnum.h"
 
 namespace mlcr::net {
 
@@ -197,7 +198,7 @@ bool Server::handle_plan(const json::Value& envelope, Connection* conn) {
   if (!queue_.try_push([task] { (*task)(); })) {
     return reject(conn, Reject::kOverloaded,
                   "admission queue full (capacity " +
-                      std::to_string(queue_.capacity()) + ")");
+                      dec(static_cast<long long>(queue_.capacity())) + ")");
   }
   metrics_.counter("net.admitted").increment();
   metrics_.gauge("net.queue.depth").set(static_cast<double>(queue_.size()));
@@ -208,7 +209,7 @@ bool Server::handle_plan(const json::Value& envelope, Connection* conn) {
   if (!report.has_value()) {
     return reject(conn, Reject::kDeadline,
                   "deadline expired before solve (budget " +
-                      std::to_string(budget_ms) + " ms)");
+                      dec(budget_ms) + " ms)");
   }
   metrics_.counter("net.planned").increment();
   return conn->write_line(encode_report_line(*report));
@@ -226,7 +227,7 @@ bool Server::write_metrics(Connection* conn) {
     if (c == '\n') ++lines;
   }
   if (!conn->write_line(R"({"ok":true,"metrics_lines":)" +
-                        std::to_string(lines) + "}")) {
+                        dec(lines) + "}")) {
     return false;
   }
   return conn->write_all(jsonl);

@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "net/textnum.h"
 
 namespace mlcr::net {
 
@@ -117,7 +118,7 @@ Listener Listener::bind_loopback(std::uint16_t port) {
   address.sin_port = htons(port);
   if (::bind(socket.fd(), reinterpret_cast<struct sockaddr*>(&address),
              sizeof(address)) != 0) {
-    fail_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+    fail_errno("bind(127.0.0.1:" + dec(port) + ")");
   }
   if (::listen(socket.fd(), SOMAXCONN) != 0) fail_errno("listen()");
 
@@ -145,7 +146,7 @@ Socket connect_to(const std::string& host, std::uint16_t port,
   hints.ai_socktype = SOCK_STREAM;
   struct addrinfo* found = nullptr;
   const int rc =
-      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+      ::getaddrinfo(host.c_str(), dec(port).c_str(), &hints,
                     &found);
   if (rc != 0) {
     common::fail("net: resolve " + host + ": " + gai_strerror(rc));
@@ -186,7 +187,7 @@ Socket connect_to(const std::string& host, std::uint16_t port,
   }
   ::freeaddrinfo(found);
   if (!socket.valid()) {
-    common::fail("net: connect " + host + ":" + std::to_string(port) + ": " +
+    common::fail("net: connect " + host + ":" + dec(port) + ": " +
                  last_error);
   }
   return socket;

@@ -1,0 +1,51 @@
+#include "net/textnum.h"
+
+#include <charconv>
+#include <system_error>
+
+namespace mlcr::net {
+
+std::string dec(long long value) {
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, result.ptr);
+}
+
+std::string hexf(double value) {
+  char buf[48];
+  const auto result =
+      std::to_chars(buf, buf + sizeof(buf), value, std::chars_format::hex);
+  std::string out(buf, result.ptr);
+  // to_chars omits the "0x" prefix; restore it so the text stays parseable
+  // by any C/C++ float parser (and byte-identical to the %a rendering).
+  if (!out.empty() && (out.front() == '-' ? out[1] != 'i' && out[1] != 'n'
+                                          : out[0] != 'i' && out[0] != 'n')) {
+    out.insert(out.front() == '-' ? 1 : 0, "0x");
+  }
+  return out;
+}
+
+bool parse_double(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  bool negative = false;
+  if (text.front() == '+' || text.front() == '-') {
+    negative = text.front() == '-';
+    text.remove_prefix(1);
+    if (text.empty()) return false;
+  }
+  std::chars_format format = std::chars_format::general;
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    text.remove_prefix(2);
+    format = std::chars_format::hex;
+  }
+  double value = 0.0;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), value, format);
+  if (result.ec != std::errc() || result.ptr != text.data() + text.size()) {
+    return false;
+  }
+  *out = negative ? -value : value;
+  return true;
+}
+
+}  // namespace mlcr::net

@@ -1,0 +1,32 @@
+// Locale-independent numeric <-> text conversion for the wire layer.
+//
+// The daemon's determinism contract (DESIGN.md §9) says a PlanReport's wire
+// bytes are identical no matter which process — or which locale — produced
+// them.  printf/strtod-family conversions consult the C locale's radix
+// character, so mlcr-lint (rule `net-locale`) bans them inside src/net;
+// everything below is built on <charconv>, which is locale-independent by
+// specification.  These helpers are the only sanctioned route for numeric
+// text in this directory.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mlcr::net {
+
+/// Decimal rendering of an integer (replaces std::to_string in src/net).
+[[nodiscard]] std::string dec(long long value);
+
+/// Exact hex-float rendering, strtod-compatible ("0x1.91p+6"): distinct
+/// finite doubles always produce distinct text, and parse_double restores
+/// the identical bits.  Same wire format as the snprintf("%a") it replaces.
+[[nodiscard]] std::string hexf(double value);
+
+/// Parses a full decimal ("2.5", "1e-3") or hex-float ("0x1.8p+1") string,
+/// with an optional leading sign.  Returns false unless the entire text is
+/// consumed and in range; *out is untouched on failure.  Accepts the
+/// "inf"/"nan" spellings (callers reject them with their own finiteness
+/// checks and error messages).
+[[nodiscard]] bool parse_double(std::string_view text, double* out);
+
+}  // namespace mlcr::net

@@ -1,0 +1,88 @@
+// Finite-math guards for the solver hot paths.
+//
+// The model/opt formula code (paper Formulas (16)-(24)) is pure floating
+// point; a NaN or Inf born anywhere inside it flows through every later
+// fixed-point iteration and can surface as a plausible-looking plan.
+// mlcr-lint (rule `unguarded-math`) bans direct exp/log-family calls in
+// src/model and src/opt; these wrappers are the sanctioned route.  Each
+// evaluates the same function and throws common::NumericError the moment
+// the result is not finite, which the Algorithm 1 boundary maps to
+// opt::Status::kDiverged (never an exception, never a numeric plan).
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mlcr::num {
+
+/// Returns `value` unchanged, or throws common::NumericError naming `what`
+/// if it is NaN or infinite.  The standard guard at solver boundaries.
+inline double require_finite(double value, const char* what) {
+  if (!std::isfinite(value)) {
+    common::fail_numeric(std::string(what) + ": non-finite value (" +
+                         (std::isnan(value) ? "nan" : "inf") + ")");
+  }
+  return value;
+}
+
+/// True when every element is finite (empty ranges are finite).
+[[nodiscard]] inline bool all_finite(const std::vector<double>& values) {
+  for (const double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+/// exp with a finite-result guard: overflow to +inf throws instead of
+/// propagating.
+inline double checked_exp(double x, const char* what = "checked_exp") {
+  return require_finite(std::exp(x), what);
+}
+
+/// log with domain and finite-result guards: x <= 0 throws NumericError
+/// (where the bare call would return -inf or NaN).
+inline double checked_log(double x, const char* what = "checked_log") {
+  if (!(x > 0.0)) {
+    common::fail_numeric(std::string(what) +
+                         ": log of a non-positive value");
+  }
+  return require_finite(std::log(x), what);
+}
+
+/// log1p with the matching domain guard (x must exceed -1).
+inline double checked_log1p(double x, const char* what = "checked_log1p") {
+  if (!(x > -1.0)) {
+    common::fail_numeric(std::string(what) + ": log1p argument <= -1");
+  }
+  return require_finite(std::log1p(x), what);
+}
+
+/// sqrt with a domain guard: a negative argument throws NumericError
+/// (where the bare call would return NaN).
+inline double checked_sqrt(double x, const char* what = "checked_sqrt") {
+  if (x < 0.0) {
+    common::fail_numeric(std::string(what) + ": sqrt of a negative value");
+  }
+  return require_finite(std::sqrt(x), what);
+}
+
+/// pow with a finite-result guard (catches 0^negative and overflow).
+inline double checked_pow(double base, double exponent,
+                          const char* what = "checked_pow") {
+  return require_finite(std::pow(base, exponent), what);
+}
+
+/// Division that refuses to manufacture inf/NaN: throws NumericError on a
+/// zero (or denormal-underflow) denominator instead of returning inf.
+inline double checked_div(double numerator, double denominator,
+                          const char* what = "checked_div") {
+  if (denominator == 0.0) {
+    common::fail_numeric(std::string(what) + ": division by zero");
+  }
+  return require_finite(numerator / denominator, what);
+}
+
+}  // namespace mlcr::num

@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "common/table.h"
+#include "num/finite.h"
 #include "opt/multilevel.h"
 #include "opt/single_level.h"
 
@@ -24,6 +25,20 @@ std::string to_string(Status status) {
 
 namespace {
 
+/// Converts a mid-solve NumericError into a kDiverged result with the plan
+/// and wall-clock zeroed: a run that produced NaN/Inf anywhere must never
+/// hand a numeric plan to the caller.
+void mark_diverged(Algorithm1Result& result, const std::exception& error) {
+  common::log_warn("algorithm1: non-finite values mid-solve; aborting");
+  result.status = Status::kDiverged;
+  result.converged = false;
+  result.plan = model::Plan{};
+  result.wallclock = 0.0;
+  result.portions = model::TimePortions{};
+  result.message =
+      std::string("solver produced non-finite values: ") + error.what();
+}
+
 /// Shared outer loop.  `solve_inner` maps a MuModel to (plan, wallclock,
 /// inner iterations); `evaluate` recomputes E(Tw) for a mu/plan pair.
 Algorithm1Result outer_loop(
@@ -41,7 +56,14 @@ Algorithm1Result outer_loop(
                                  : options.fixed_scale;
   MLCR_EXPECT(std::isfinite(start_scale) && start_scale > 0.0,
               "algorithm1: needs a finite positive starting scale");
-  double wallclock_estimate = cfg.productive_time(start_scale);
+  // Everything from here on is floating-point iteration: any NumericError
+  // (a NaN/Inf caught by the num:: guards or MLCR_NUMERIC_EXPECT) means the
+  // fixed point is running away numerically, and surfaces as kDiverged —
+  // never as an exception, never as a numeric plan.
+  try {
+  double wallclock_estimate = num::require_finite(
+      cfg.productive_time(start_scale),
+      "algorithm1: initial wall-clock estimate");
 
   std::vector<double> mu_at_solution(cfg.levels(), 0.0);
   std::vector<double> wallclock_history;
@@ -118,11 +140,23 @@ Algorithm1Result outer_loop(
     }
     wallclock_estimate = wallclock;
   }
+  // Belt and braces at the boundary: a kOk result must be numerically
+  // usable in every field before anyone simulates or serves it.
+  if (result.status == Status::kOk) {
+    num::require_finite(result.plan.scale, "algorithm1: converged scale");
+    if (!num::all_finite(result.plan.intervals)) {
+      common::fail_numeric("algorithm1: converged intervals contain NaN/Inf");
+    }
+    num::require_finite(result.wallclock, "algorithm1: converged wall-clock");
+  }
   if (result.status == Status::kMaxIterations) {
     result.message = common::strf(
         "did not reach delta=%.3g within %d outer iterations "
         "(last mu change %.3g)",
         options.delta, options.max_outer_iterations, result.final_mu_change);
+  }
+  } catch (const common::NumericError& error) {
+    mark_diverged(result, error);
   }
   return result;
 }
@@ -148,8 +182,13 @@ Algorithm1Result optimize_multilevel(const model::SystemConfig& cfg,
   // diverged or exhausted run the plan is a stale iterate and the breakdown
   // would look plausible while meaning nothing.  Leave it zeroed.
   if (result.status == Status::kOk) {
-    const auto mu = model::MuModel::from_rates(cfg.rates(), result.wallclock);
-    result.portions = model::expected_portions(cfg, mu, result.plan);
+    try {
+      const auto mu =
+          model::MuModel::from_rates(cfg.rates(), result.wallclock);
+      result.portions = model::expected_portions(cfg, mu, result.plan);
+    } catch (const common::NumericError& error) {
+      mark_diverged(result, error);
+    }
   }
   return result;
 }
@@ -183,15 +222,20 @@ Algorithm1Result optimize_single_level(const model::SystemConfig& cfg,
   // Same gate as the multilevel variant: only a converged run has a
   // meaningful breakdown.
   if (result.status == Status::kOk) {
-    const auto mu = model::MuModel::from_rates(cfg.rates(), result.wallclock);
-    const double n = result.plan.scale;
-    const double x = result.plan.intervals[0];
-    const double productive = cfg.productive_time(n);
-    result.portions.productive = productive;
-    result.portions.checkpoint = cfg.ckpt_cost(0, n) * (x - 1.0);
-    result.portions.restart =
-        mu.mu(0, n) * (cfg.allocation() + cfg.recovery_cost(0, n));
-    result.portions.rollback = mu.mu(0, n) * productive / (2.0 * x);
+    try {
+      const auto mu =
+          model::MuModel::from_rates(cfg.rates(), result.wallclock);
+      const double n = result.plan.scale;
+      const double x = result.plan.intervals[0];
+      const double productive = cfg.productive_time(n);
+      result.portions.productive = productive;
+      result.portions.checkpoint = cfg.ckpt_cost(0, n) * (x - 1.0);
+      result.portions.restart =
+          mu.mu(0, n) * (cfg.allocation() + cfg.recovery_cost(0, n));
+      result.portions.rollback = mu.mu(0, n) * productive / (2.0 * x);
+    } catch (const common::NumericError& error) {
+      mark_diverged(result, error);
+    }
   }
   return result;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "num/finite.h"
 
 namespace mlcr::opt {
 
@@ -12,10 +13,11 @@ namespace {
 /// Geometric grid over [lo, hi].
 std::vector<double> geometric_grid(double lo, double hi, int samples) {
   std::vector<double> grid(static_cast<std::size_t>(samples));
-  const double ratio = std::log(hi / lo);
+  const double ratio =
+      num::checked_log(num::checked_div(hi, lo, "grid bounds"), "grid ratio");
   for (int i = 0; i < samples; ++i) {
     grid[static_cast<std::size_t>(i)] =
-        lo * std::exp(ratio * i / (samples - 1));
+        lo * num::checked_exp(ratio * i / (samples - 1), "grid point");
   }
   return grid;
 }
@@ -51,12 +53,12 @@ GridResult grid_search_single(const model::SystemConfig& cfg,
     }
     result.best_plan = model::Plan{{best_x}, best_n};
     // Zoom in around the incumbent for the next round.
-    const double x_span = std::sqrt(x_hi / x_lo);
-    const double n_span = std::sqrt(n_hi / n_lo);
-    x_lo = std::max(options.x_min, best_x / std::sqrt(x_span));
-    x_hi = std::min(options.x_max, best_x * std::sqrt(x_span));
-    n_lo = std::max(1.0, best_n / std::sqrt(n_span));
-    n_hi = std::min(n_cap, best_n * std::sqrt(n_span));
+    const double x_span = num::checked_sqrt(x_hi / x_lo);
+    const double n_span = num::checked_sqrt(n_hi / n_lo);
+    x_lo = std::max(options.x_min, best_x / num::checked_sqrt(x_span));
+    x_hi = std::min(options.x_max, best_x * num::checked_sqrt(x_span));
+    n_lo = std::max(1.0, best_n / num::checked_sqrt(n_span));
+    n_hi = std::min(n_cap, best_n * num::checked_sqrt(n_span));
     if (x_lo >= x_hi || n_lo >= n_hi) break;
   }
   return result;
@@ -108,7 +110,7 @@ GridResult coordinate_descent_multilevel(const model::SystemConfig& cfg,
       }
     }
     if (!improved) {
-      span = std::sqrt(span);
+      span = num::checked_sqrt(span);
       if (span < 1.0005) break;
     }
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "num/finite.h"
 #include "num/roots.h"
 #include "opt/young.h"
 
@@ -30,7 +31,7 @@ void sweep_intervals(const model::SystemConfig& cfg, const model::MuModel& mu,
     const double numerator = mu.mu(i, n) * lower;
     const double denominator = 2.0 * ci * (1.0 + upper);
     plan.intervals[i] =
-        std::max(1.0, std::sqrt(numerator / denominator));
+        std::max(1.0, num::checked_sqrt(numerator / denominator));
   }
 }
 

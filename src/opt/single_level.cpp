@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "num/finite.h"
 #include "model/wallclock.h"
 #include "num/roots.h"
 
@@ -51,9 +52,9 @@ SingleLevelSolution solve_single_level_linear(const model::SystemConfig& cfg,
   SingleLevelSolution solution;
   solution.converged = true;
   // Formulas (10) and (11).
-  solution.x = std::max(1.0, std::sqrt(b * cfg.te() / (2.0 * kappa * eps0)));
+  solution.x = std::max(1.0, num::checked_sqrt(b * cfg.te() / (2.0 * kappa * eps0)));
   solution.n =
-      std::sqrt(cfg.te() / (kappa * b * (eta0 + cfg.allocation())));
+      num::checked_sqrt(cfg.te() / (kappa * b * (eta0 + cfg.allocation())));
   const double cap = cfg.scale_upper_bound();
   if (std::isfinite(cap)) solution.n = std::min(solution.n, cap);
   solution.wallclock =
@@ -80,7 +81,7 @@ SingleLevelSolution solve_single_level(const model::SystemConfig& cfg,
     const double g = cfg.speedup().value(n);
     const double c = cfg.ckpt_cost(0, n);
     const double x_next =
-        std::max(1.0, std::sqrt(mu.mu(0, n) * cfg.te() / (2.0 * c * g)));
+        std::max(1.0, num::checked_sqrt(mu.mu(0, n) * cfg.te() / (2.0 * c * g)));
     // Formula (17): bisection for N at the updated x.
     const double n_next =
         optimal_scale_for_x(cfg, mu, x_next, options.n_lower, n_upper);
@@ -109,7 +110,7 @@ SingleLevelSolution solve_single_level_fixed_scale(
   // Formula (14) solved for x — exactly Young's rule (25) for L = 1.
   const double g = cfg.speedup().value(n);
   const double c = cfg.ckpt_cost(0, n);
-  solution.x = std::max(1.0, std::sqrt(mu.mu(0, n) * cfg.te() / (2.0 * c * g)));
+  solution.x = std::max(1.0, num::checked_sqrt(mu.mu(0, n) * cfg.te() / (2.0 * c * g)));
   solution.n = n;
   solution.wallclock =
       model::expected_wallclock_single(cfg, mu, solution.x, n);

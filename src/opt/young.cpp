@@ -4,13 +4,14 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "num/finite.h"
 
 namespace mlcr::opt {
 
 double young_interval(double checkpoint_seconds, double mtbf_seconds) {
   MLCR_EXPECT(checkpoint_seconds > 0.0, "young: C must be positive");
   MLCR_EXPECT(mtbf_seconds > 0.0, "young: MTBF must be positive");
-  return std::sqrt(2.0 * checkpoint_seconds * mtbf_seconds);
+  return num::checked_sqrt(2.0 * checkpoint_seconds * mtbf_seconds);
 }
 
 double daly_interval(double checkpoint_seconds, double mtbf_seconds) {
@@ -20,8 +21,8 @@ double daly_interval(double checkpoint_seconds, double mtbf_seconds) {
   const double m = mtbf_seconds;
   if (c >= 2.0 * m) return m;
   const double ratio = c / (2.0 * m);
-  return std::sqrt(2.0 * c * m) *
-             (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) -
+  return num::checked_sqrt(2.0 * c * m) *
+             (1.0 + num::checked_sqrt(ratio) / 3.0 + ratio / 9.0) -
          c;
 }
 
@@ -33,7 +34,7 @@ std::vector<double> young_interval_counts(const model::SystemConfig& cfg,
   for (std::size_t i = 0; i < cfg.levels(); ++i) {
     const double c = cfg.ckpt_cost(i, n);
     MLCR_EXPECT(c > 0.0, "young: non-positive checkpoint cost");
-    x[i] = std::max(1.0, std::sqrt(mu.mu(i, n) * productive / (2.0 * c)));
+    x[i] = std::max(1.0, num::checked_sqrt(mu.mu(i, n) * productive / (2.0 * c)));
   }
   return x;
 }

@@ -1,0 +1,32 @@
+// Fixture: idiomatic code in the most heavily-scoped directory.  A token
+// scanner is precision-limited; this file pins down the constructs that must
+// NOT be reported.  Expected findings: none.  Not compiled.
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace fake_net {
+
+std::string dec(long long v);
+std::string hexf(double v);
+bool parse_double(const std::string& text, double* out);
+
+// Sanctioned helpers + integer-only printf formats + RAII locking.
+std::string report(std::mutex& m, double value, int lines) {
+  std::lock_guard<std::mutex> guard(m);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "{\"lines\":%d}", lines);
+  double parsed = 0.0;
+  if (!parse_double(hexf(value), &parsed)) return dec(lines);
+  return buf + dec(static_cast<long long>(parsed));
+}
+
+// `new`/`delete`/`sqrt` in comments or strings must not trip token rules:
+// the old code did `double* p = new double;` and called sqrt() here.
+const char* kDoc = "never write `new` or call .lock() yourself";
+
+struct Deleted {
+  Deleted(const Deleted&) = delete;
+};
+
+}  // namespace fake_net

@@ -1,0 +1,7 @@
+// Fixture: header hygiene violations — no #pragma once anywhere, and a
+// using-namespace at header scope.  Not compiled.
+#include <string>
+
+using namespace std;  // line 5: using-namespace-header
+
+inline string shout(string s) { return s + "!"; }

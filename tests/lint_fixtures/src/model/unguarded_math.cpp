@@ -1,0 +1,10 @@
+// Fixture: unguarded-math violations in a solver hot path.  Not compiled.
+#include <cmath>
+
+double unguarded_math_violations(double x) {
+  double a = std::exp(x);   // line 5: unguarded-math
+  double b = log(x);        // line 6: unguarded-math (bare call)
+  double c = std::sqrt(x);  // line 7: unguarded-math
+  double d = std::pow(x, 2.0);  // line 8: unguarded-math
+  return a + b + c + d;
+}

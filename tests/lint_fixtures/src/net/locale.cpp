@@ -1,0 +1,19 @@
+// Fixture: net-locale violations in the determinism-contractual directory.
+// Not compiled.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+std::string locale_violations(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);  // line 9: net-locale (%g)
+  double d = std::strtod(buf, nullptr);         // line 10: net-locale
+  std::string s = std::to_string(d);            // line 11: net-locale
+  std::sprintf(buf, "%s", s.c_str());           // line 12: net-locale
+  return s;
+}
+
+void integer_formats_are_fine(int lines) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "{\"lines\":%d}", lines);  // no finding
+}

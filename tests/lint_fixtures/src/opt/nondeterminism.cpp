@@ -1,0 +1,12 @@
+// Fixture: solver-nondeterminism violations.  Not compiled.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double nondeterminism_violations() {
+  std::srand(42);                       // line 7: solver-nondeterminism
+  double a = std::rand();               // line 8: solver-nondeterminism
+  double b = time(nullptr);             // line 9: solver-nondeterminism
+  std::random_device entropy;           // line 10: solver-nondeterminism
+  return a + b + entropy();
+}

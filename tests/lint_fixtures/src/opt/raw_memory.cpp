@@ -1,0 +1,16 @@
+// Fixture: raw-memory violations (one per banned construct).  Not compiled.
+#include <cstdlib>
+
+void raw_memory_violations() {
+  int* p = new int(3);         // line 5: raw-memory (new)
+  delete p;                    // line 6: raw-memory (delete)
+  void* q = malloc(8);         // line 7: raw-memory (malloc)
+  q = realloc(q, 16);          // line 8: raw-memory (realloc)
+  free(q);                     // line 9: raw-memory (free)
+}
+
+// Deleted special members are declarations, not deallocation: no finding.
+struct NotAViolation {
+  NotAViolation(const NotAViolation&) = delete;
+  NotAViolation& operator=(const NotAViolation&) = delete;
+};

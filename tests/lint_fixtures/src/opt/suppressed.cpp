@@ -1,0 +1,13 @@
+// Fixture: every violation here carries an allow() suppression, both in the
+// same-line and standalone-comment-above forms.  Expected findings: none.
+#include <cstdlib>
+#include <mutex>
+
+void suppressed_violations(std::mutex& m) {
+  int* p = new int(3);  // mlcr-lint: allow(raw-memory)
+  // mlcr-lint: allow(raw-memory)
+  delete p;
+  m.lock();  // mlcr-lint: allow(naked-lock)
+  // mlcr-lint: allow(naked-lock, solver-nondeterminism)
+  m.unlock(); (void)rand();
+}

@@ -1,0 +1,12 @@
+// Fixture: naked-lock violations.  Not compiled.
+#include <mutex>
+
+void naked_lock_violations(std::mutex& m) {
+  m.lock();    // line 5: naked-lock
+  m.unlock();  // line 6: naked-lock
+}
+
+void raii_is_fine(std::mutex& m) {
+  std::lock_guard<std::mutex> guard(m);  // no finding
+  std::unique_lock<std::mutex> lk(m);    // no finding
+}

@@ -234,6 +234,28 @@ TEST(Algorithm1, DivergedRunReportsDivergedStatusAndNoPortions) {
   EXPECT_EQ(r.trace.size(), static_cast<std::size_t>(r.outer_iterations));
 }
 
+TEST(Algorithm1, NonFiniteIntermediatesSurfaceAsDivergedNotException) {
+  // Regression: pin the solver at a fixed scale just below the speedup's
+  // zero at 2*N_sym, where g(N) is a sliver above 0 and Te/g(N) explodes.
+  // The resulting overflow/NaN used to escape as a NumericError exception;
+  // the boundary guards must turn it into kDiverged with a zeroed plan.
+  const auto saved = common::log_level();
+  common::set_log_level(common::LogLevel::kError);
+  const auto cfg = fti_config({16, 12, 8, 4}, /*te_core_days=*/1e290);
+  Algorithm1Options options;
+  options.optimize_scale = false;
+  options.fixed_scale = 2e6 - 1e-6;  // N_sym = 1e6 in make_fti_system
+  Algorithm1Result r;
+  ASSERT_NO_THROW(r = optimize_multilevel(cfg, options));
+  common::set_log_level(saved);
+  EXPECT_EQ(r.status, Status::kDiverged);
+  EXPECT_FALSE(r.converged);
+  EXPECT_NE(r.message.find("non-finite"), std::string::npos) << r.message;
+  EXPECT_DOUBLE_EQ(r.wallclock, 0.0);
+  EXPECT_DOUBLE_EQ(r.portions.total(), 0.0);
+  EXPECT_TRUE(r.plan.intervals.empty());
+}
+
 TEST(Algorithm1, StatusToStringCoversAllStatuses) {
   EXPECT_EQ(to_string(Status::kOk), "ok");
   EXPECT_EQ(to_string(Status::kDiverged), "diverged");

@@ -122,7 +122,9 @@ RankTask pfs_writer(Engine& e, Pfs& pfs, int id, double* done_at) {
   Payload p;
   p.bytes = Bytes(1, static_cast<std::uint8_t>(id));
   p.logical_size = 3'000'000'000;
-  co_await pfs.write(e, "w" + std::to_string(id), std::move(p));
+  std::string key = "w";
+  key += std::to_string(id);
+  co_await pfs.write(e, key, std::move(p));
   *done_at = e.now();
 }
 

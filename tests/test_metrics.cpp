@@ -78,7 +78,9 @@ TEST(Metrics, RegistryReturnsStableReferences) {
   a.increment();
   // Creating more instruments must not invalidate earlier references.
   for (int i = 0; i < 100; ++i) {
-    (void)registry.counter("c" + std::to_string(i));
+    std::string name = "c";
+    name += std::to_string(i);
+    (void)registry.counter(name);
   }
   Counter& b = registry.counter("hits");
   EXPECT_EQ(&a, &b);

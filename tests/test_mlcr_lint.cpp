@@ -1,0 +1,173 @@
+// mlcr-lint's own test suite: fixture files with known violations (exact
+// rule-id + line assertions), suppression behavior, scanner precision
+// (comments/strings/deleted functions), and the repo-wide guarantee that
+// the real tree is clean — the same check `mlcr_lint_tree` enforces from
+// ctest, but failing with a readable diff here.
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mlcr::lint {
+namespace {
+
+std::string fixture(const std::string& relative) {
+  return std::string(MLCR_SOURCE_DIR "/tests/lint_fixtures/") + relative;
+}
+
+std::string tree(const std::string& relative) {
+  return std::string(MLCR_SOURCE_DIR "/") + relative;
+}
+
+/// (line, rule) pairs, sorted, for compact assertions.
+std::vector<std::pair<int, std::string>> hits(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<int, std::string>> out;
+  out.reserve(findings.size());
+  for (const Finding& finding : findings) {
+    out.emplace_back(finding.line, finding.rule);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+using Hits = std::vector<std::pair<int, std::string>>;
+
+TEST(MlcrLint, RawMemoryFixtureExactHits) {
+  const auto found = hits(lint_paths({fixture("src/opt/raw_memory.cpp")}));
+  const Hits expected = {{5, "raw-memory"},
+                         {6, "raw-memory"},
+                         {7, "raw-memory"},
+                         {8, "raw-memory"},
+                         {9, "raw-memory"}};
+  EXPECT_EQ(found, expected);
+}
+
+TEST(MlcrLint, NakedLockFixtureExactHits) {
+  const auto found = hits(lint_paths({fixture("src/svc/naked_lock.cpp")}));
+  const Hits expected = {{5, "naked-lock"}, {6, "naked-lock"}};
+  EXPECT_EQ(found, expected);
+}
+
+TEST(MlcrLint, NetLocaleFixtureExactHits) {
+  const auto found = hits(lint_paths({fixture("src/net/locale.cpp")}));
+  const Hits expected = {{9, "net-locale"},
+                         {10, "net-locale"},
+                         {11, "net-locale"},
+                         {12, "net-locale"}};
+  EXPECT_EQ(found, expected);
+}
+
+TEST(MlcrLint, UnguardedMathFixtureExactHits) {
+  const auto found =
+      hits(lint_paths({fixture("src/model/unguarded_math.cpp")}));
+  const Hits expected = {{5, "unguarded-math"},
+                         {6, "unguarded-math"},
+                         {7, "unguarded-math"},
+                         {8, "unguarded-math"}};
+  EXPECT_EQ(found, expected);
+}
+
+TEST(MlcrLint, NondeterminismFixtureExactHits) {
+  const auto found =
+      hits(lint_paths({fixture("src/opt/nondeterminism.cpp")}));
+  const Hits expected = {{7, "solver-nondeterminism"},
+                         {8, "solver-nondeterminism"},
+                         {9, "solver-nondeterminism"},
+                         {10, "solver-nondeterminism"}};
+  EXPECT_EQ(found, expected);
+}
+
+TEST(MlcrLint, HeaderHygieneFixtureExactHits) {
+  const auto found =
+      hits(lint_paths({fixture("src/model/missing_pragma.h")}));
+  const Hits expected = {{1, "pragma-once"}, {5, "using-namespace-header"}};
+  EXPECT_EQ(found, expected);
+}
+
+TEST(MlcrLint, SuppressionsSilenceBothForms) {
+  // Same-line and standalone-comment-above allow() directives.
+  EXPECT_TRUE(lint_paths({fixture("src/opt/suppressed.cpp")}).empty());
+}
+
+TEST(MlcrLint, CleanFixtureHasNoFindings) {
+  EXPECT_TRUE(lint_paths({fixture("clean/src/net/clean.cpp")}).empty());
+}
+
+TEST(MlcrLint, ScopingOnlyAppliesInsideTheNamedDirectories) {
+  // The same banned tokens outside any scoped directory: only the
+  // globally-scoped rules (raw-memory, naked-lock) may fire.
+  const auto findings =
+      lint_file("tests/whatever.cpp", "double d = std::strtod(s, nullptr) + "
+                                      "std::exp(x) + rand();\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(MlcrLint, DeletedFunctionsAreNotDeallocation) {
+  EXPECT_TRUE(
+      lint_file("src/opt/x.cpp", "struct S { S(const S&) = delete; };\n")
+          .empty());
+}
+
+TEST(MlcrLint, CommentsAndStringsAreNotCode) {
+  const auto findings = lint_file(
+      "src/opt/x.cpp",
+      "// new delete malloc(3) .lock() rand() std::exp(x)\n"
+      "/* delete p; */\n"
+      "const char* s = \"new double; .unlock(); time(nullptr)\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(MlcrLint, DisabledRulesAreSkipped) {
+  Options options;
+  options.disabled_rules.push_back("raw-memory");
+  EXPECT_TRUE(
+      lint_file("src/opt/x.cpp", "int* p = new int;\n", options).empty());
+  EXPECT_EQ(lint_file("src/opt/x.cpp", "int* p = new int;\n").size(), 1u);
+}
+
+TEST(MlcrLint, MissingPathReportsIoErrorFinding) {
+  const auto findings = lint_paths({fixture("does/not/exist.cpp")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "io-error");
+}
+
+TEST(MlcrLint, DirectoryWalkSkipsFixturesButExplicitFilesScan) {
+  // Walking tests/ must not surface the deliberate violations planted in
+  // tests/lint_fixtures/ (they are skipped); naming a fixture explicitly
+  // always scans it.
+  const auto walk = lint_paths({tree("tests")});
+  for (const Finding& finding : walk) {
+    EXPECT_EQ(finding.path.find("lint_fixtures"), std::string::npos)
+        << finding.path;
+  }
+  EXPECT_FALSE(lint_paths({fixture("src/opt/raw_memory.cpp")}).empty());
+}
+
+TEST(MlcrLint, RealTreeIsClean) {
+  const auto findings = lint_paths(
+      {tree("src"), tree("examples"), tree("bench"), tree("tests")});
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << finding.path << ":" << finding.line << ": "
+                  << finding.rule << ": " << finding.message;
+  }
+}
+
+TEST(MlcrLint, RuleTableCoversEveryEmittedRule) {
+  // Every fixture hit must use a rule id documented in rules().
+  std::vector<std::string> known;
+  for (const RuleInfo& rule : rules()) known.push_back(rule.id);
+  const auto findings = lint_paths({fixture("src")});
+  for (const Finding& finding : findings) {
+    EXPECT_NE(std::find(known.begin(), known.end(), finding.rule),
+              known.end())
+        << finding.rule;
+  }
+  EXPECT_FALSE(findings.empty());
+}
+
+}  // namespace
+}  // namespace mlcr::lint

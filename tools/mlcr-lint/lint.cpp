@@ -1,0 +1,601 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace mlcr::lint {
+
+namespace {
+
+// --- lexer -----------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+struct ScanResult {
+  std::vector<Token> tokens;
+  /// line -> rule ids suppressed on that line (from allow() directives).
+  std::map<int, std::set<std::string>> allowed;
+  bool has_pragma_once = false;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses "mlcr-lint: allow(rule-a, rule-b)" out of a comment body and
+/// registers the ids against `line` (the line the suppression applies to).
+void parse_allow(const std::string& comment, int line, ScanResult* result) {
+  const std::string tag = "mlcr-lint:";
+  std::size_t at = comment.find(tag);
+  if (at == std::string::npos) return;
+  at = comment.find("allow(", at + tag.size());
+  if (at == std::string::npos) return;
+  const std::size_t close = comment.find(')', at);
+  if (close == std::string::npos) return;
+  std::string ids = comment.substr(at + 6, close - at - 6);
+  std::string id;
+  std::istringstream stream(ids);
+  while (std::getline(stream, id, ',')) {
+    const std::size_t first = id.find_first_not_of(" \t");
+    const std::size_t last = id.find_last_not_of(" \t");
+    if (first == std::string::npos) continue;
+    result->allowed[line].insert(id.substr(first, last - first + 1));
+  }
+}
+
+/// Token-level scan: emits identifiers/numbers/strings/punctuation, strips
+/// comments (harvesting allow() directives) and preprocessor lines
+/// (detecting #pragma once).  Good enough for invariant scanning; not a
+/// real C++ front end and not trying to be one.
+ScanResult scan(std::string_view text) {
+  ScanResult result;
+  int line = 1;
+  bool line_has_code = false;  // decides where a standalone allow() applies
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  auto newline = [&] {
+    ++line;
+    line_has_code = false;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && text[i] != '\n') ++i;
+      const std::string body(text.substr(start, i - start));
+      // A comment alone on its line suppresses the *next* line.
+      parse_allow(body, line_has_code ? line : line + 1, &result);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const std::size_t start = i;
+      const int start_line = line;
+      const bool standalone = !line_has_code;
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') newline();
+        ++i;
+      }
+      int end_line = line;
+      i = std::min(n, i + 2);
+      const std::string body(text.substr(start, i - start));
+      // Same convention as line comments, using the closing line.
+      const bool alone = standalone && start_line == end_line;
+      parse_allow(body, alone ? end_line + 1 : end_line, &result);
+      continue;
+    }
+    // Preprocessor directive: swallow the logical line (incl. continuations).
+    if (c == '#' && !line_has_code) {
+      const std::size_t start = i;
+      while (i < n) {
+        if (text[i] == '\n') {
+          if (i > 0 && text[i - 1] == '\\') {
+            newline();
+            ++i;
+            continue;
+          }
+          break;
+        }
+        ++i;
+      }
+      std::string directive(text.substr(start, i - start));
+      // Collapse whitespace so "#  pragma   once" still matches.
+      std::string squeezed;
+      for (char d : directive) {
+        if (d == ' ' || d == '\t') {
+          if (!squeezed.empty() && squeezed.back() != ' ') squeezed += ' ';
+        } else {
+          squeezed += d;
+        }
+      }
+      if (squeezed.rfind("# pragma once", 0) == 0 ||
+          squeezed.rfind("#pragma once", 0) == 0) {
+        result.has_pragma_once = true;
+      }
+      continue;
+    }
+    // String literal (including raw strings and encoding prefixes handled
+    // via the preceding identifier token, e.g. R"(...)").
+    if (c == '"') {
+      const bool raw = !result.tokens.empty() &&
+                       result.tokens.back().line == line &&
+                       result.tokens.back().kind == Token::Kind::kIdent &&
+                       !result.tokens.back().text.empty() &&
+                       result.tokens.back().text.back() == 'R';
+      std::string value;
+      if (raw) {
+        result.tokens.pop_back();  // the R prefix is part of the literal
+        ++i;
+        std::string delim;
+        while (i < n && text[i] != '(') delim += text[i++];
+        ++i;  // '('
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t end = text.find(closer, i);
+        const std::size_t stop = end == std::string_view::npos ? n : end;
+        for (std::size_t k = i; k < stop; ++k) {
+          value += text[k];
+          if (text[k] == '\n') newline();
+        }
+        i = stop == n ? n : stop + closer.size();
+      } else {
+        ++i;
+        while (i < n && text[i] != '"') {
+          if (text[i] == '\\' && i + 1 < n) {
+            value += text[i];
+            value += text[i + 1];
+            i += 2;
+            continue;
+          }
+          if (text[i] == '\n') newline();  // unterminated; keep line counts
+          value += text[i++];
+        }
+        ++i;  // closing quote
+      }
+      result.tokens.push_back({Token::Kind::kString, value, line});
+      line_has_code = true;
+      continue;
+    }
+    // Character literal.
+    if (c == '\'') {
+      ++i;
+      while (i < n && text[i] != '\'') {
+        if (text[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      ++i;
+      result.tokens.push_back({Token::Kind::kString, "", line});
+      line_has_code = true;
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(text[i])) ++i;
+      result.tokens.push_back(
+          {Token::Kind::kIdent, std::string(text.substr(start, i - start)),
+           line});
+      line_has_code = true;
+      continue;
+    }
+    // Number (accepts separators, exponents, hex floats).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      const std::size_t start = i;
+      while (i < n) {
+        const char d = text[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && i > start) {
+          const char prev = text[i - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++i;
+            continue;
+          }
+        }
+        break;
+      }
+      result.tokens.push_back(
+          {Token::Kind::kNumber, std::string(text.substr(start, i - start)),
+           line});
+      line_has_code = true;
+      continue;
+    }
+    // Multi-char punctuation we care about: -> and ::
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      result.tokens.push_back({Token::Kind::kPunct, "->", line});
+      i += 2;
+      line_has_code = true;
+      continue;
+    }
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      result.tokens.push_back({Token::Kind::kPunct, "::", line});
+      i += 2;
+      line_has_code = true;
+      continue;
+    }
+    result.tokens.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+    line_has_code = true;
+  }
+  return result;
+}
+
+// --- rule machinery --------------------------------------------------------
+
+struct FileContext {
+  std::string path;        ///< as given (diagnostics)
+  std::string norm;        ///< forward-slash normalized (scoping)
+  const ScanResult* scan = nullptr;
+  const Options* options = nullptr;
+  std::vector<Finding>* findings = nullptr;
+};
+
+bool in_dir(const FileContext& ctx, const char* dir) {
+  return ctx.norm.find(dir) != std::string::npos;
+}
+
+bool is_header(const FileContext& ctx) {
+  return ctx.norm.size() >= 2 &&
+         (ctx.norm.rfind(".h") == ctx.norm.size() - 2 ||
+          (ctx.norm.size() >= 4 &&
+           ctx.norm.rfind(".hpp") == ctx.norm.size() - 4));
+}
+
+void emit(const FileContext& ctx, int line, const char* rule,
+          std::string message) {
+  for (const std::string& disabled : ctx.options->disabled_rules) {
+    if (disabled == rule) return;
+  }
+  const auto at = ctx.scan->allowed.find(line);
+  if (at != ctx.scan->allowed.end() && at->second.count(rule) != 0) return;
+  ctx.findings->push_back({ctx.path, line, rule, std::move(message)});
+}
+
+const Token* prev_tok(const std::vector<Token>& toks, std::size_t i) {
+  return i == 0 ? nullptr : &toks[i - 1];
+}
+const Token* next_tok(const std::vector<Token>& toks, std::size_t i) {
+  return i + 1 >= toks.size() ? nullptr : &toks[i + 1];
+}
+
+bool is_punct(const Token* tok, const char* text) {
+  return tok != nullptr && tok->kind == Token::Kind::kPunct &&
+         tok->text == text;
+}
+
+bool is_call(const std::vector<Token>& toks, std::size_t i) {
+  return is_punct(next_tok(toks, i), "(");
+}
+
+bool member_access(const std::vector<Token>& toks, std::size_t i) {
+  const Token* prev = prev_tok(toks, i);
+  return is_punct(prev, ".") || is_punct(prev, "->");
+}
+
+bool std_qualified(const std::vector<Token>& toks, std::size_t i) {
+  return i >= 2 && is_punct(&toks[i - 1], "::") &&
+         toks[i - 2].kind == Token::Kind::kIdent && toks[i - 2].text == "std";
+}
+
+/// True when a printf-style format string requests a floating conversion
+/// (%f, %e, %g, %a and their uppercase forms), i.e. consults the locale's
+/// radix character.
+bool has_float_conversion(const std::string& format) {
+  for (std::size_t i = 0; i + 1 < format.size(); ++i) {
+    if (format[i] != '%') continue;
+    std::size_t j = i + 1;
+    while (j < format.size() &&
+           std::string_view("-+ #0123456789.*hlLqjzt").find(format[j]) !=
+               std::string_view::npos) {
+      ++j;
+    }
+    if (j < format.size() &&
+        std::string_view("aAeEfFgG").find(format[j]) !=
+            std::string_view::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- rules -----------------------------------------------------------------
+
+void rule_raw_memory(const FileContext& ctx) {
+  if (in_dir(ctx, "src/common/")) return;  // the sanctioned home
+  static const std::set<std::string> kAllocCalls = {
+      "malloc", "calloc", "realloc", "free", "strdup", "aligned_alloc"};
+  const auto& toks = ctx.scan->tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != Token::Kind::kIdent) continue;
+    if (tok.text == "new") {
+      emit(ctx, tok.line, "raw-memory",
+           "raw `new` outside src/common; use std::make_unique / containers");
+    } else if (tok.text == "delete") {
+      // `= delete;` / `= delete,` function specifiers are not deallocation.
+      if (is_punct(prev_tok(toks, i), "=") &&
+          (is_punct(next_tok(toks, i), ";") ||
+           is_punct(next_tok(toks, i), ","))) {
+        continue;
+      }
+      emit(ctx, tok.line, "raw-memory",
+           "raw `delete` outside src/common; owning types manage lifetime");
+    } else if (kAllocCalls.count(tok.text) != 0 && is_call(toks, i) &&
+               !member_access(toks, i)) {
+      emit(ctx, tok.line, "raw-memory",
+           "C allocation `" + tok.text +
+               "` outside src/common; use RAII owners");
+    }
+  }
+}
+
+void rule_naked_lock(const FileContext& ctx) {
+  static const std::set<std::string> kManual = {"lock", "unlock", "try_lock"};
+  const auto& toks = ctx.scan->tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != Token::Kind::kIdent || kManual.count(tok.text) == 0) {
+      continue;
+    }
+    if (!member_access(toks, i)) continue;
+    if (!is_call(toks, i) || !is_punct(i + 2 < toks.size() ? &toks[i + 2]
+                                                           : nullptr, ")")) {
+      continue;
+    }
+    emit(ctx, tok.line, "naked-lock",
+         "manual `." + tok.text +
+             "()`; use std::lock_guard / std::unique_lock (RAII)");
+  }
+}
+
+void rule_net_locale(const FileContext& ctx) {
+  if (!in_dir(ctx, "src/net/")) return;
+  static const std::set<std::string> kBanned = {
+      "strtod", "strtof",     "strtold", "atof", "stod",
+      "stof",   "stold",      "sprintf", "vsprintf",
+      "setlocale", "localeconv"};
+  static const std::set<std::string> kFormatted = {
+      "snprintf", "vsnprintf", "printf", "fprintf",
+      "sscanf",   "fscanf",    "scanf"};
+  const auto& toks = ctx.scan->tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != Token::Kind::kIdent || member_access(toks, i)) continue;
+    if (kBanned.count(tok.text) != 0 && is_call(toks, i)) {
+      emit(ctx, tok.line, "net-locale",
+           "locale-sensitive `" + tok.text +
+               "` in src/net; use net::parse_double / net::hexf (textnum.h)");
+      continue;
+    }
+    if (tok.text == "to_string" && std_qualified(toks, i)) {
+      emit(ctx, tok.line, "net-locale",
+           "std::to_string in src/net; use net::dec / net::hexf (textnum.h)");
+      continue;
+    }
+    if (kFormatted.count(tok.text) != 0 && is_call(toks, i)) {
+      // Integer-only formats are locale-independent; only flag the call if
+      // a format literal inside it requests a floating conversion.
+      int depth = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (is_punct(&toks[j], "(")) ++depth;
+        if (is_punct(&toks[j], ")") && --depth == 0) break;
+        if (toks[j].kind == Token::Kind::kString &&
+            has_float_conversion(toks[j].text)) {
+          emit(ctx, tok.line, "net-locale",
+               "`" + tok.text +
+                   "` with a floating format in src/net; use net::hexf / "
+                   "<charconv> (textnum.h)");
+          break;
+        }
+      }
+    }
+  }
+}
+
+void rule_unguarded_math(const FileContext& ctx) {
+  if (!in_dir(ctx, "src/model/") && !in_dir(ctx, "src/opt/")) return;
+  static const std::set<std::string> kMath = {
+      "exp",   "exp2",  "expm1", "log",  "log2", "log10",
+      "log1p", "pow",   "sqrt",  "cbrt", "hypot"};
+  const auto& toks = ctx.scan->tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != Token::Kind::kIdent || kMath.count(tok.text) == 0) {
+      continue;
+    }
+    if (!is_call(toks, i) || member_access(toks, i)) continue;
+    emit(ctx, tok.line, "unguarded-math",
+         "bare `" + tok.text +
+             "()` in solver hot path; route through num::checked_" +
+             tok.text + " (src/num/finite.h) so NaN/Inf surface as "
+             "kDiverged");
+  }
+}
+
+void rule_solver_nondeterminism(const FileContext& ctx) {
+  if (!in_dir(ctx, "src/model/") && !in_dir(ctx, "src/num/") &&
+      !in_dir(ctx, "src/opt/") && !in_dir(ctx, "src/svc/") &&
+      !in_dir(ctx, "src/stat/")) {
+    return;
+  }
+  static const std::set<std::string> kNondet = {
+      "rand",   "srand",        "rand_r",       "drand48", "lrand48",
+      "random", "gettimeofday", "clock_gettime"};
+  const auto& toks = ctx.scan->tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != Token::Kind::kIdent || member_access(toks, i)) continue;
+    if (tok.text == "random_device") {
+      emit(ctx, tok.line, "solver-nondeterminism",
+           "std::random_device in solver code; seed common::Rng explicitly "
+           "so runs replay");
+      continue;
+    }
+    if ((kNondet.count(tok.text) != 0 ||
+         tok.text == "time" || tok.text == "clock") &&
+        is_call(toks, i)) {
+      emit(ctx, tok.line, "solver-nondeterminism",
+           "nondeterministic `" + tok.text +
+               "()` in solver code; plans must replay bit-identically");
+    }
+  }
+}
+
+void rule_pragma_once(const FileContext& ctx) {
+  if (!is_header(ctx)) return;
+  if (ctx.scan->has_pragma_once) return;
+  emit(ctx, 1, "pragma-once", "header without #pragma once");
+}
+
+void rule_using_namespace_header(const FileContext& ctx) {
+  if (!is_header(ctx)) return;
+  const auto& toks = ctx.scan->tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind == Token::Kind::kIdent && toks[i].text == "using" &&
+        toks[i + 1].kind == Token::Kind::kIdent &&
+        toks[i + 1].text == "namespace") {
+      emit(ctx, toks[i].line, "using-namespace-header",
+           "`using namespace` in a header leaks into every includer");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"raw-memory",
+       "no new/delete/malloc/free outside src/common (RAII owners only)"},
+      {"naked-lock",
+       "no manual .lock()/.unlock(); std::lock_guard / std::unique_lock"},
+      {"net-locale",
+       "no locale-sensitive numeric text in src/net (determinism contract)"},
+      {"unguarded-math",
+       "exp/log/sqrt/pow in src/model + src/opt go through num::checked_*"},
+      {"solver-nondeterminism",
+       "no rand()/time()/random_device in solver code (replayable plans)"},
+      {"pragma-once", "every header starts with #pragma once"},
+      {"using-namespace-header", "no using namespace at header scope"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               std::string_view contents,
+                               const Options& options) {
+  std::vector<Finding> findings;
+  const ScanResult scanned = scan(contents);
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  FileContext ctx{path, norm, &scanned, &options, &findings};
+  rule_raw_memory(ctx);
+  rule_naked_lock(ctx);
+  rule_net_locale(ctx);
+  rule_unguarded_math(ctx);
+  rule_solver_nondeterminism(ctx);
+  rule_pragma_once(ctx);
+  rule_using_namespace_header(ctx);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+namespace {
+
+bool lintable(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+bool skipped_dir(const std::string& name) {
+  return name == ".git" || name == "lint_fixtures" ||
+         name.rfind("build", 0) == 0;
+}
+
+void collect(const std::filesystem::path& root,
+             std::vector<std::string>* files) {
+  std::vector<std::filesystem::path> stack = {root};
+  while (!stack.empty()) {
+    const std::filesystem::path dir = stack.back();
+    stack.pop_back();
+    std::vector<std::filesystem::path> subdirs;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.is_directory()) {
+        if (!skipped_dir(entry.path().filename().string())) {
+          subdirs.push_back(entry.path());
+        }
+      } else if (entry.is_regular_file() && lintable(entry.path())) {
+        files->push_back(entry.path().generic_string());
+      }
+    }
+    stack.insert(stack.end(), subdirs.begin(), subdirs.end());
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
+                                const Options& options) {
+  std::vector<std::string> files;
+  std::vector<Finding> findings;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      collect(path, &files);
+    } else if (std::filesystem::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      findings.push_back({path, 0, "io-error", "no such file or directory"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      findings.push_back({file, 0, "io-error", "cannot open file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string contents = buffer.str();
+    std::vector<Finding> file_findings = lint_file(file, contents, options);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+}  // namespace mlcr::lint

@@ -1,0 +1,64 @@
+// mlcr-lint: the project-invariant analyzer.
+//
+// A token-level scanner (no libclang) that enforces the repo's own coding
+// invariants as named, suppressible rules — the things -Wall and the
+// sanitizers cannot see because they are *conventions*, not language rules:
+//
+//   raw-memory              no new/delete/malloc/free outside src/common
+//   naked-lock              no manual .lock()/.unlock(); RAII guards only
+//   net-locale              no locale-sensitive numeric text in src/net
+//   unguarded-math          exp/log/sqrt/pow in src/model + src/opt must
+//                           route through the num::checked_* finite guards
+//   solver-nondeterminism   no rand()/time()/random_device in solver code
+//   pragma-once             every header starts with #pragma once
+//   using-namespace-header  no using namespace at header scope
+//
+// Diagnostics are `file:line: rule-id: message`.  A finding on a line that
+// carries `// mlcr-lint: allow(rule-id)` — or whose previous line is only
+// that comment — is suppressed.  See DESIGN.md §10 for the rule rationale
+// and how to add a rule.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlcr::lint {
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The rule table, in diagnostic-id order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+struct Options {
+  /// Rule ids disabled for this run (--disable on the CLI).
+  std::vector<std::string> disabled_rules;
+};
+
+/// Lints one file's contents.  `path` is used both for diagnostics and for
+/// rule scoping: directory-scoped rules match on normalized sub-strings
+/// ("src/net/", "src/common/", ...), so fixtures can opt into a scope by
+/// mirroring the directory layout.
+[[nodiscard]] std::vector<Finding> lint_file(const std::string& path,
+                                             std::string_view contents,
+                                             const Options& options = {});
+
+/// Lints files and directory trees.  Directories are walked recursively for
+/// .h/.hpp/.cpp/.cc files in sorted order; build trees, .git, and
+/// lint_fixtures directories are skipped during the walk (explicitly named
+/// files are always scanned).  IO failures are reported as findings with
+/// rule "io-error" so a truncated run can never look clean.
+[[nodiscard]] std::vector<Finding> lint_paths(
+    const std::vector<std::string>& paths, const Options& options = {});
+
+}  // namespace mlcr::lint

@@ -1,0 +1,58 @@
+// CLI for mlcr-lint.  See lint.h for the rule set.
+//
+//   ./build/tools/mlcr-lint src examples bench tests
+//
+// Prints `file:line: rule-id: message` per finding; exits 0 on a clean
+// tree, 1 when there are findings, 2 on usage errors.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list-rules] [--disable <rule-id>] <path>...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mlcr::lint::Options options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : mlcr::lint::rules()) {
+        std::printf("%-24s %s\n", rule.id, rule.summary);
+      }
+      return 0;
+    }
+    if (arg == "--disable") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      options.disabled_rules.push_back(argv[++i]);
+      continue;
+    }
+    if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) return usage(argv[0]);
+
+  const std::vector<mlcr::lint::Finding> findings =
+      mlcr::lint::lint_paths(paths, options);
+  for (const auto& finding : findings) {
+    std::printf("%s:%d: %s: %s\n", finding.path.c_str(), finding.line,
+                finding.rule.c_str(), finding.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "mlcr-lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
