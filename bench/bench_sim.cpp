@@ -1,0 +1,182 @@
+// Monte-Carlo validation pipeline bench: replica throughput (serial vs
+// parallel fan-out) plus a Fig-4-style plan-vs-simulated error table over
+// the fusion-scale working set (te=30 core-days, N*=1024 — the regime the
+// paper validated against real 128-1024-core runs with <4% difference).
+//
+// Three gates, exit 1 when any fails:
+//   determinism  the 1-thread and 8-thread SimReports are byte-identical
+//                under net::deterministic_fingerprint;
+//   error        every |wallclock_error| < 5%;
+//   speedup      parallel replica throughput >= 4x serial at 8 threads —
+//                only enforced when the host actually has >= 8 hardware
+//                threads (single-core CI still checks the first two).
+// Results go to stdout and to BENCH_sim.json (repo root, written with the
+// daemon's JSON writer so the file parses with the same codec it serves).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/json.h"
+#include "net/protocol.h"
+#include "svc/sim_request.h"
+#include "svc/sweep_engine.h"
+
+namespace {
+
+using namespace mlcr;
+
+std::vector<svc::SimRequest> working_set(int runs) {
+  std::vector<svc::SimRequest> requests;
+  const exp::FailureCase cases[] = {{"24-18-12-6", {24, 18, 12, 6}},
+                                    {"16-12-8-4", {16, 12, 8, 4}},
+                                    {"8-6-4-2", {8, 6, 4, 2}}};
+  for (const auto& failure_case : cases) {
+    svc::SimRequest request{
+        exp::make_fti_system(/*te_core_days=*/30.0, failure_case,
+                             /*n_star=*/1024.0),
+        opt::Solution::kMultilevelOptScale,
+        {},
+        {},
+        failure_case.name};
+    request.monte_carlo.runs = runs;
+    request.monte_carlo.seed = 24141;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+/// Replicas per second of one monte_carlo call at the given width.
+double replica_throughput(const model::SystemConfig& cfg,
+                          const sim::Schedule& schedule, int runs,
+                          std::size_t threads) {
+  sim::MonteCarloOptions options;
+  options.runs = runs;
+  options.seed = 24141;
+  options.threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = sim::monte_carlo(cfg, schedule, options);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  (void)result;
+  return seconds > 0.0 ? static_cast<double>(runs) / seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int runs = 100;
+  std::string out = "BENCH_sim.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag == "--runs") runs = std::atoi(argv[i + 1]);
+    else if (flag == "--out") out = argv[i + 1];
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  bench::print_header(common::strf(
+      "Monte-Carlo validation pipeline — %d replicas/request, %u hardware "
+      "threads",
+      runs, hw));
+
+  // --- determinism gate: 1 thread == 8 threads, byte for byte -----------
+  const auto requests = working_set(runs);
+  svc::SweepEngine narrow({.threads = 1});
+  svc::SweepEngine wide({.threads = 8});
+  bool deterministic = true;
+  for (const auto& request : requests) {
+    const auto a = narrow.validate_one(request);
+    const auto b = wide.validate_one(request);
+    const bool same =
+        a.has_value() && b.has_value() &&
+        net::deterministic_fingerprint(*a) == net::deterministic_fingerprint(*b);
+    deterministic = deterministic && same;
+    std::printf("  determinism %-12s 1 thread == 8 threads: %s\n",
+                request.label.c_str(), same ? "identical" : "MISMATCH");
+  }
+
+  // --- Fig-4-style error table (reports reused from the narrow engine) ---
+  std::printf("\n  %-12s %-14s %-14s %-9s %-9s %-9s\n", "case",
+              "analytic E(Tw)", "simulated", "err(wct)", "err(prod)",
+              "err(ckpt)");
+  double worst_error = 0.0;
+  net::json::Array cases_json;
+  for (const auto& request : requests) {
+    const auto report = narrow.validate_one(request);
+    if (!report.has_value() || !report->ok()) {
+      std::printf("  %-12s FAILED: %s\n", request.label.c_str(),
+                  report.has_value() ? report->message.c_str() : "expired");
+      worst_error = 1.0;
+      continue;
+    }
+    worst_error = std::max(worst_error, std::abs(report->wallclock_error));
+    std::printf("  %-12s %-14.6e %-14.6e %+8.2f%% %+8.2f%% %+8.2f%%\n",
+                report->label.c_str(), report->plan.wallclock(),
+                report->wallclock.mean, 100.0 * report->wallclock_error,
+                100.0 * report->portion_errors.productive,
+                100.0 * report->portion_errors.checkpoint);
+    cases_json.push_back(net::json::Object{
+        {"case", report->label},
+        {"analytic_wallclock", report->plan.wallclock()},
+        {"simulated_wallclock", report->wallclock.mean},
+        {"wallclock_error", report->wallclock_error},
+        {"productive_error", report->portion_errors.productive},
+        {"checkpoint_error", report->portion_errors.checkpoint},
+        {"restart_error", report->portion_errors.restart},
+        {"rollback_error", report->portion_errors.rollback},
+        {"incomplete_runs", report->incomplete_runs}});
+  }
+
+  // --- replica throughput: serial vs 8-way fan-out ----------------------
+  const auto& probe = requests.front();
+  const auto planned = *narrow.plan_one(probe.plan_request());
+  const auto schedule = sim::Schedule::from_plan(
+      probe.config, planned.planned.full_plan, planned.planned.level_enabled);
+  const double serial_rps =
+      replica_throughput(probe.config, schedule, runs, 1);
+  const double parallel_rps =
+      replica_throughput(probe.config, schedule, runs, 8);
+  const double speedup = serial_rps > 0.0 ? parallel_rps / serial_rps : 0.0;
+  std::printf(
+      "\n  replica throughput: serial %8.1f runs/s   8 threads %8.1f "
+      "runs/s   speedup %.2fx\n",
+      serial_rps, parallel_rps, speedup);
+
+  const net::json::Value summary = net::json::Object{
+      {"bench", "bench_sim"},
+      {"runs", static_cast<long>(runs)},
+      {"hardware_threads", static_cast<long>(hw)},
+      {"deterministic", deterministic},
+      {"worst_abs_wallclock_error", worst_error},
+      {"serial_replicas_per_second", serial_rps},
+      {"parallel_replicas_per_second", parallel_rps},
+      {"speedup_8_threads", speedup},
+      {"cases", std::move(cases_json)}};
+  std::FILE* file = std::fopen(out.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench_sim: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  const std::string rendered = net::json::dump(summary);
+  std::fwrite(rendered.data(), 1, rendered.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("\nwrote %s\n", out.c_str());
+
+  // Speedup is a hardware property: gate it only where 8 real threads
+  // exist, but always print it so regressions are visible in CI logs.
+  const bool speedup_ok = hw < 8 || speedup >= 4.0;
+  const bool error_ok = worst_error < 0.05;
+  std::printf(
+      "  gates: determinism %s   worst error %.2f%% (< 5%%) %s   speedup "
+      "%.2fx (>= 4x at >= 8 hw threads) %s\n",
+      deterministic ? "ok" : "FAIL", 100.0 * worst_error,
+      error_ok ? "ok" : "FAIL", speedup,
+      speedup_ok ? "ok" : "FAIL");
+  return deterministic && error_ok && speedup_ok ? 0 : 1;
+}

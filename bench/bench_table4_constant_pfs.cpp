@@ -56,7 +56,7 @@ int main() {
   bench::print_header("Table IV — availability improvement of ML(opt-scale)");
   for (const auto& failure_case : exp::table4_failure_cases()) {
     const auto cfg = exp::make_constant_pfs_system(failure_case);
-    const auto report = engine.plan_one(
+    const auto report = *engine.plan_one(
         svc::PlanRequest{cfg, opt::Solution::kMultilevelOptScale, {}, {}});
     std::printf("  %-10s freed cores: %.1f%% (paper: 6-16%%)\n",
                 failure_case.name.c_str(),

@@ -28,7 +28,7 @@ inline CaseEvaluation evaluate(svc::SweepEngine& engine,
                                opt::Solution solution, int runs = 100,
                                std::uint64_t seed = 0x5eed) {
   CaseEvaluation eval;
-  eval.report = engine.plan_one(svc::PlanRequest{cfg, solution, {}, {}});
+  eval.report = *engine.plan_one(svc::PlanRequest{cfg, solution, {}, {}});
   const auto schedule = sim::Schedule::from_plan(
       cfg, eval.report.planned.full_plan, eval.report.planned.level_enabled);
   sim::MonteCarloOptions options;

@@ -2,12 +2,14 @@
 // same flags as plan_cli, ships the request over TCP, prints the report.
 //
 //   ./mlcr_client --port 7070 --solution "ML(opt-scale)" --deadline-ms 500
+//   ./mlcr_client --port 7070 --validate --runs 100 --seed 24141
 //   ./mlcr_client --port 7070 --ping
 //   ./mlcr_client --port 7070 --metrics
 //
-// --check-local re-plans the same request in-process and fails (exit 2)
-// unless the daemon's report is field-for-field identical — the tier-1
-// smoke test uses this to pin the serving layer to the sweep engine.
+// --check-local re-plans (or, with --validate, re-validates) the same
+// request in-process and fails (exit 2) unless the daemon's report is
+// field-for-field identical — the tier-1 smoke test uses this to pin the
+// serving layer to the sweep engine.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +54,10 @@ struct Options {
   bool ping = false;
   bool metrics = false;
   bool check_local = false;
+  bool validate = false;
+  // Monte-Carlo knobs for --validate.
+  int runs = 100;
+  unsigned long long seed = 0x5eed;
   // System flags, plan_cli defaults (the paper's Figure 5 headline case).
   double te_core_days = 3e6;
   double kappa = 0.46;
@@ -69,10 +75,13 @@ void usage() {
       "                   [--te CORE_DAYS] [--kappa K] [--nstar N]\n"
       "                   [--rates r1,r2,...] [--costs c1,c2,...]\n"
       "                   [--pfs-slope S] [--allocation A]\n"
+      "                   [--validate] [--runs N] [--seed S]\n"
       "                   [--ping] [--metrics] [--check-local]\n"
-      "Plans one request against a running mlcrd.  --check-local verifies\n"
-      "the daemon's report is identical to an in-process solve (exit 2 on\n"
-      "mismatch).  deadline_ms < 0 is already expired (load-shed probe).");
+      "Plans one request against a running mlcrd; --validate additionally\n"
+      "fault-injects the plan N times and prints the plan-vs-simulated\n"
+      "error per time portion.  --check-local verifies the daemon's report\n"
+      "is identical to an in-process solve (exit 2 on mismatch).\n"
+      "deadline_ms < 0 is already expired (load-shed probe).");
 }
 
 bool parse(int argc, char** argv, Options* options) {
@@ -85,6 +94,8 @@ bool parse(int argc, char** argv, Options* options) {
       options->metrics = true;
     } else if (flag == "--check-local") {
       options->check_local = true;
+    } else if (flag == "--validate") {
+      options->validate = true;
     } else {
       const char* value = i + 1 < argc ? argv[++i] : nullptr;
       if (value == nullptr) return false;
@@ -95,6 +106,9 @@ bool parse(int argc, char** argv, Options* options) {
       else if (flag == "--solution") options->solution = value;
       else if (flag == "--deadline-ms") options->deadline_ms = std::atol(value);
       else if (flag == "--label") options->label = value;
+      else if (flag == "--runs") options->runs = std::atoi(value);
+      else if (flag == "--seed")
+        options->seed = std::strtoull(value, nullptr, 10);
       else if (flag == "--te") options->te_core_days = std::atof(value);
       else if (flag == "--kappa") options->kappa = std::atof(value);
       else if (flag == "--nstar") options->n_star = std::atof(value);
@@ -126,15 +140,6 @@ model::SystemConfig build_system(const Options& options) {
   return builder.build();
 }
 
-/// Exact comparison key: the full wire encoding with the timing fields
-/// (which legitimately differ between daemon and local solves) zeroed.
-std::string deterministic_fingerprint(svc::PlanReport report) {
-  report.solve_seconds = 0.0;
-  report.queue_wait_seconds = 0.0;
-  report.cache_hit = false;
-  return net::json::dump(net::encode_report(report));
-}
-
 void print_report(const svc::PlanReport& report) {
   std::printf("solution:  %s\nstatus:    %s\n",
               opt::to_string(report.solution).c_str(),
@@ -155,6 +160,42 @@ void print_report(const svc::PlanReport& report) {
   }
   std::printf("N:         %.0f\nx_i:       %s\nE(Tw):     %.6e s\n",
               report.plan().scale, intervals.c_str(), report.wallclock());
+}
+
+void print_sim_report(const svc::SimReport& report) {
+  print_report(report.plan);
+  std::printf("runs:      %d (%ld incomplete)\n", report.runs,
+              report.incomplete_runs);
+  if (!report.ok()) {
+    std::printf("validate:  %s\nmessage:   %s\n",
+                opt::to_string(report.status).c_str(),
+                report.message.c_str());
+    return;
+  }
+  const model::TimePortions& analytic =
+      report.plan.planned.optimization.portions;
+  std::printf("portion      analytic       simulated      error\n");
+  const struct {
+    const char* name;
+    double analytic;
+    double simulated;
+    double error;
+  } rows[] = {
+      {"productive", analytic.productive, report.productive.mean,
+       report.portion_errors.productive},
+      {"checkpoint", analytic.checkpoint, report.checkpoint.mean,
+       report.portion_errors.checkpoint},
+      {"restart", analytic.restart, report.restart.mean,
+       report.portion_errors.restart},
+      {"rollback", analytic.rollback, report.rollback.mean,
+       report.portion_errors.rollback},
+      {"wallclock", report.plan.wallclock(), report.wallclock.mean,
+       report.wallclock_error},
+  };
+  for (const auto& row : rows) {
+    std::printf("%-12s %14.6e %14.6e %+7.2f%%\n", row.name, row.analytic,
+                row.simulated, row.error * 100.0);
+  }
 }
 
 }  // namespace
@@ -187,6 +228,39 @@ int main(int argc, char** argv) {
                    options.solution.c_str());
       return 1;
     }
+
+    if (options.validate) {
+      svc::SimRequest request{build_system(options), solution, {}, {},
+                              options.label};
+      request.monte_carlo.runs = options.runs;
+      request.monte_carlo.seed = options.seed;
+      const net::SimResponse response =
+          client.validate(request, options.deadline_ms);
+      if (!response.accepted) {
+        std::printf("rejected:  %s\nmessage:   %s\n",
+                    net::to_string(response.reject).c_str(),
+                    response.message.c_str());
+        return 3;
+      }
+      print_sim_report(response.report);
+
+      if (options.check_local) {
+        svc::SweepEngine engine({.threads = 1});
+        const svc::SimReport local = *engine.validate_one(request);
+        if (net::deterministic_fingerprint(response.report) !=
+            net::deterministic_fingerprint(local)) {
+          std::fprintf(stderr,
+                       "mlcr_client: daemon report differs from in-process "
+                       "validate_one\n  daemon: %s\n  local:  %s\n",
+                       net::deterministic_fingerprint(response.report).c_str(),
+                       net::deterministic_fingerprint(local).c_str());
+          return 2;
+        }
+        std::printf("check-local: identical\n");
+      }
+      return 0;
+    }
+
     svc::PlanRequest request{build_system(options), solution, {},
                              options.label};
 
@@ -201,14 +275,14 @@ int main(int argc, char** argv) {
 
     if (options.check_local) {
       svc::SweepEngine engine({.threads = 1});
-      const svc::PlanReport local = engine.plan_one(request);
-      if (deterministic_fingerprint(response.report) !=
-          deterministic_fingerprint(local)) {
+      const svc::PlanReport local = *engine.plan_one(request);
+      if (net::deterministic_fingerprint(response.report) !=
+          net::deterministic_fingerprint(local)) {
         std::fprintf(stderr,
                      "mlcr_client: daemon report differs from in-process "
                      "plan_one\n  daemon: %s\n  local:  %s\n",
-                     deterministic_fingerprint(response.report).c_str(),
-                     deterministic_fingerprint(local).c_str());
+                     net::deterministic_fingerprint(response.report).c_str(),
+                     net::deterministic_fingerprint(local).c_str());
         return 2;
       }
       std::printf("check-local: identical\n");

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Self-contained-include check: every header in src/ and tools/ must compile
-# as the first (and only) include of a translation unit.  Complements
+# Self-contained-include check: every header in src/, tools/, and bench/
+# must compile as the first (and only) include of a translation unit.
+# Complements
 # mlcr-lint's pragma-once rule — the token scanner can verify the guard is
 # present but not that the include list is complete; the compiler can.
 #
@@ -17,14 +18,15 @@ status=0
 count=0
 while IFS= read -r header; do
   printf '#include "%s/%s"\n' "$(pwd)" "$header" > "$tu"
-  if ! g++ -std=c++20 -fsyntax-only -Wall -Wextra -Werror -I src -I tools/mlcr-lint \
+  if ! g++ -std=c++20 -fsyntax-only -Wall -Wextra -Werror -I src -I bench \
+       -I tools/mlcr-lint \
        "$tu" 2>/tmp/check_headers_err; then
     echo "check_headers: $header is not self-contained:" >&2
     sed "s|$tu|$header|g" /tmp/check_headers_err >&2
     status=1
   fi
   count=$((count + 1))
-done < <(find src tools -name '*.h' -o -name '*.hpp' | sort)
+done < <(find src tools bench -name '*.h' -o -name '*.hpp' | sort)
 
 echo "check_headers: $count headers checked"
 exit "$status"

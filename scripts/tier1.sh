@@ -77,6 +77,12 @@ daemon_smoke() {
   "$dir"/examples/mlcr_client --port "$port" --check-local \
     --te 3e6 --kappa 0.46 --nstar 1e6 --rates 16,12,8,4 \
     --costs 0.9,2.5,3.9,5.5 --pfs-slope 0.0212 --allocation 60
+  # Validate round trip at fusion scale: the daemon's SimReport must be
+  # bit-identical to the in-process validate_one answer.
+  "$dir"/examples/mlcr_client --port "$port" --validate --runs 20 \
+    --check-local \
+    --te 30 --kappa 0.46 --nstar 1024 --rates 24,18,12,6 \
+    --costs 0.9,2.5,3.9,5.5 --pfs-slope 0.0212 --allocation 60
   kill -TERM "$mlcrd_pid"
   drained=""
   for _ in $(seq 1 300); do
@@ -105,6 +111,16 @@ daemon_smoke() {
 echo "== tier-1: standard build (-Werror) + full ctest =="
 build_and_test build ""
 
+echo "== tier-1: bench_sim smoke (validation pipeline gates) =="
+# Gates: determinism across thread counts, plan-vs-sim error < 5%, and
+# (on hosts with >= 8 hardware threads) >= 4x replica-throughput speedup.
+rm -f BENCH_sim.json
+./build/bench/bench_sim --runs 30
+if [ ! -f BENCH_sim.json ]; then
+  echo "tier-1 FAILED: bench_sim did not write BENCH_sim.json" >&2
+  exit 1
+fi
+
 echo "== tier-1: mlcr-lint project invariants =="
 ./build/tools/mlcr-lint src examples bench tests
 
@@ -114,9 +130,9 @@ scripts/check_headers.sh
 echo "== tier-1: clang-tidy =="
 scripts/run_tidy.sh build
 
-echo "== tier-1: ThreadSanitizer pass (thread pool + sweep engine + metrics + net) =="
+echo "== tier-1: ThreadSanitizer pass (thread pool + sweep engine + metrics + net + sim fan-out) =="
 build_and_test build-tsan thread \
-  'ThreadPool|SweepEngine|Metrics|LruCache|AdmissionQueue|NetServer|NetProtocol|NetJson'
+  'ThreadPool|SweepEngine|Metrics|LruCache|AdmissionQueue|NetServer|NetProtocol|NetJson|MonteCarloParallel|ValidatePipeline'
 
 echo "== tier-1: mlcrd daemon smoke (TSan build) =="
 daemon_smoke build-tsan

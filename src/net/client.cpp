@@ -47,8 +47,20 @@ Response Client::plan(const svc::PlanRequest& request, long deadline_ms) {
   return response;
 }
 
+SimResponse Client::validate(const svc::SimRequest& request,
+                             long deadline_ms) {
+  const std::string line =
+      round_trip(encode_sim_request_line(request, deadline_ms));
+  SimResponse response;
+  std::string error;
+  if (!decode_sim_response(line, &response, &error)) {
+    common::fail("net: bad response: " + error);
+  }
+  return response;
+}
+
 bool Client::ping() {
-  const std::string line = round_trip(R"({"op":"ping"})");
+  const std::string line = round_trip(R"({"op":"ping","v":1})");
   std::string error;
   const std::optional<json::Value> parsed = json::parse(line, &error);
   if (!parsed.has_value()) return false;
@@ -59,7 +71,7 @@ bool Client::ping() {
 }
 
 std::string Client::metrics() {
-  const std::string header = round_trip(R"({"op":"metrics"})");
+  const std::string header = round_trip(R"({"op":"metrics","v":1})");
   std::string error;
   const std::optional<json::Value> parsed = json::parse(header, &error);
   if (!parsed.has_value()) {

@@ -35,6 +35,12 @@ class Client {
   [[nodiscard]] Response plan(const svc::PlanRequest& request,
                               long deadline_ms = 0);
 
+  /// Sends one validation request ({"op":"validate"}); same deadline
+  /// semantics as plan().  The accepted SimReport is bit-identical to the
+  /// in-process SweepEngine::validate_one result (timing fields aside).
+  [[nodiscard]] SimResponse validate(const svc::SimRequest& request,
+                                     long deadline_ms = 0);
+
   /// True when the daemon answered the ping.
   [[nodiscard]] bool ping();
 

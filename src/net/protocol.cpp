@@ -1,6 +1,7 @@
 #include "net/protocol.h"
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -282,7 +283,111 @@ model::TimePortions decode_portions(const json::Value& value) {
   return portions;
 }
 
+// --- monte-carlo options / replica summaries --------------------------
+
+json::Value encode_monte_carlo(const sim::MonteCarloOptions& options) {
+  // threads is a server-side resource knob and, by the determinism
+  // contract, cannot change the report — it never crosses the wire.
+  return json::Object{
+      {"runs", static_cast<long>(options.runs)},
+      {"seed", dec_u64(options.seed)},
+      {"sim",
+       json::Object{{"jitter_ratio", encode_double(options.sim.jitter_ratio)},
+                    {"max_events", static_cast<long>(options.sim.max_events)},
+                    {"atomic_checkpoints", options.sim.atomic_checkpoints},
+                    {"serial_recovery", options.sim.serial_recovery},
+                    {"weibull_shape",
+                     encode_double(options.sim.weibull_shape)}}}};
+}
+
+std::uint64_t decode_seed(const json::Value& value) {
+  if (value.is_string()) {
+    unsigned long long seed = 0;
+    if (!parse_u64(value.as_string(), &seed)) {
+      decode_fail("monte_carlo.seed",
+                  "malformed uint64 string '" + value.as_string() + "'");
+    }
+    return seed;
+  }
+  if (value.is_number()) {
+    const double number = value.as_number();
+    const auto integral = static_cast<unsigned long long>(number);
+    if (number < 0.0 || static_cast<double>(integral) != number) {
+      decode_fail("monte_carlo.seed", "must be a non-negative integer");
+    }
+    return integral;
+  }
+  decode_fail("monte_carlo.seed", "expected decimal string or integer");
+}
+
+sim::MonteCarloOptions decode_monte_carlo(const json::Value& value) {
+  sim::MonteCarloOptions options;
+  options.runs = static_cast<int>(
+      get_long_or(value, "runs", options.runs));
+  if (const json::Value* seed = value.find("seed")) {
+    options.seed = decode_seed(*seed);
+  }
+  if (const json::Value* sim = value.find("sim")) {
+    options.sim.jitter_ratio =
+        get_double_or(*sim, "jitter_ratio", options.sim.jitter_ratio);
+    options.sim.max_events =
+        get_long_or(*sim, "max_events", options.sim.max_events);
+    options.sim.atomic_checkpoints = get_bool_or(
+        *sim, "atomic_checkpoints", options.sim.atomic_checkpoints);
+    options.sim.serial_recovery =
+        get_bool_or(*sim, "serial_recovery", options.sim.serial_recovery);
+    options.sim.weibull_shape =
+        get_double_or(*sim, "weibull_shape", options.sim.weibull_shape);
+  }
+  return options;
+}
+
+json::Value encode_summary(const svc::SimSummary& summary) {
+  return json::Object{{"count", static_cast<long>(summary.count)},
+                      {"mean", encode_double(summary.mean)},
+                      {"stddev", encode_double(summary.stddev)},
+                      {"min", encode_double(summary.min)},
+                      {"max", encode_double(summary.max)}};
+}
+
+svc::SimSummary decode_summary(const json::Value& value, const char* field) {
+  if (!value.is_object()) decode_fail(field, "must be a JSON object");
+  svc::SimSummary summary;
+  const long count = get_long(value, "count");
+  if (count < 0) decode_fail(field, "count must be non-negative");
+  summary.count = static_cast<std::uint64_t>(count);
+  summary.mean = get_double(value, "mean");
+  summary.stddev = get_double(value, "stddev");
+  summary.min = get_double(value, "min");
+  summary.max = get_double(value, "max");
+  return summary;
+}
+
 }  // namespace
+
+const std::vector<std::string>& supported_ops() {
+  static const std::vector<std::string> ops{"plan", "validate", "ping",
+                                           "metrics"};
+  return ops;
+}
+
+bool envelope_version_ok(const json::Value& envelope, std::string* error) {
+  const json::Value* version = envelope.find("v");
+  if (version == nullptr) return true;  // absent means 1 (pre-versioning)
+  if (version->is_number()) {
+    const double value = version->as_number();
+    if (value == static_cast<double>(kProtocolVersion)) return true;
+  }
+  if (error != nullptr) {
+    std::string received = "non-numeric";
+    if (version->is_number()) {
+      received = dec(static_cast<long long>(version->as_number()));
+    }
+    *error = "v: unsupported protocol version " + received +
+             " (this build speaks " + dec(kProtocolVersion) + ")";
+  }
+  return false;
+}
 
 std::string to_string(Reject reason) {
   switch (reason) {
@@ -365,6 +470,7 @@ bool status_from_string(const std::string& text, opt::Status* out) {
 
 json::Value encode_request(const svc::PlanRequest& request, long deadline_ms) {
   json::Object envelope{{"op", "plan"},
+                        {"v", kProtocolVersion},
                         {"solution", opt::to_string(request.solution)},
                         {"config", encode_config(request.config)},
                         {"options", encode_options(request.options)}};
@@ -383,6 +489,10 @@ std::optional<svc::PlanRequest> decode_request(const json::Value& envelope,
                                                std::string* error) {
   try {
     if (!envelope.is_object()) decode_fail("request", "must be a JSON object");
+    std::string version_error;
+    if (!envelope_version_ok(envelope, &version_error)) {
+      common::fail("protocol: " + version_error);
+    }
     const std::string op = get_string_or(envelope, "op", "plan");
     if (op != "plan") decode_fail("op", "expected 'plan', got '" + op + "'");
     const std::string solution_text = require(envelope, "solution").as_string();
@@ -435,8 +545,9 @@ json::Value encode_report(const svc::PlanReport& report) {
 }
 
 std::string encode_report_line(const svc::PlanReport& report) {
-  return json::dump(
-      json::Object{{"ok", true}, {"report", encode_report(report)}});
+  return json::dump(json::Object{{"ok", true},
+                                 {"report", encode_report(report)},
+                                 {"v", kProtocolVersion}});
 }
 
 bool decode_report(const json::Value& value, svc::PlanReport* out,
@@ -491,7 +602,25 @@ bool decode_report(const json::Value& value, svc::PlanReport* out,
 std::string encode_rejection_line(Reject reason, const std::string& message) {
   return json::dump(json::Object{{"ok", false},
                                  {"rejected", to_string(reason)},
-                                 {"message", message}});
+                                 {"message", message},
+                                 {"v", kProtocolVersion}});
+}
+
+std::string encode_unknown_op_line(const std::string& op) {
+  std::string joined;
+  json::Array supported;
+  for (const std::string& known : supported_ops()) {
+    if (!joined.empty()) joined += "|";
+    joined += known;
+    supported.push_back(known);
+  }
+  return json::dump(
+      json::Object{{"ok", false},
+                   {"rejected", to_string(Reject::kBadRequest)},
+                   {"message", "op: unknown \"" + op + "\" (supported: " +
+                                   joined + ")"},
+                   {"supported", std::move(supported)},
+                   {"v", kProtocolVersion}});
 }
 
 bool decode_response(const std::string& line, Response* out,
@@ -499,6 +628,7 @@ bool decode_response(const std::string& line, Response* out,
   const auto parsed = json::parse(line, error);
   if (!parsed.has_value()) return false;
   try {
+    if (!envelope_version_ok(*parsed, error)) return false;
     const bool ok = require(*parsed, "ok").as_bool();
     if (ok) {
       out->accepted = true;
@@ -515,6 +645,188 @@ bool decode_response(const std::string& line, Response* out,
     if (error != nullptr) *error = e.what();
     return false;
   }
+}
+
+json::Value encode_sim_request(const svc::SimRequest& request,
+                               long deadline_ms) {
+  json::Object envelope{{"op", "validate"},
+                        {"v", kProtocolVersion},
+                        {"solution", opt::to_string(request.solution)},
+                        {"config", encode_config(request.config)},
+                        {"options", encode_options(request.plan_options)},
+                        {"monte_carlo", encode_monte_carlo(request.monte_carlo)}};
+  if (!request.label.empty()) envelope.emplace("label", request.label);
+  if (deadline_ms != 0) {
+    envelope.emplace("deadline_ms", json::Value(deadline_ms));
+  }
+  return json::Value(std::move(envelope));
+}
+
+std::string encode_sim_request_line(const svc::SimRequest& request,
+                                    long deadline_ms) {
+  return json::dump(encode_sim_request(request, deadline_ms));
+}
+
+std::optional<svc::SimRequest> decode_sim_request(const json::Value& envelope,
+                                                  long* deadline_ms,
+                                                  std::string* error) {
+  try {
+    if (!envelope.is_object()) decode_fail("request", "must be a JSON object");
+    std::string version_error;
+    if (!envelope_version_ok(envelope, &version_error)) {
+      common::fail("protocol: " + version_error);
+    }
+    const std::string op = get_string_or(envelope, "op", "validate");
+    if (op != "validate") {
+      decode_fail("op", "expected 'validate', got '" + op + "'");
+    }
+    const std::string solution_text = require(envelope, "solution").as_string();
+    opt::Solution solution = opt::Solution::kMultilevelOptScale;
+    if (!solution_from_string(solution_text, &solution)) {
+      decode_fail("solution", "unknown solution '" + solution_text + "'");
+    }
+    model::SystemConfig config = decode_config(require(envelope, "config"));
+    opt::Algorithm1Options options;
+    if (const json::Value* member = envelope.find("options")) {
+      options = decode_options(*member);
+    }
+    sim::MonteCarloOptions monte_carlo;
+    if (const json::Value* member = envelope.find("monte_carlo")) {
+      if (!member->is_object()) {
+        decode_fail("monte_carlo", "must be a JSON object");
+      }
+      monte_carlo = decode_monte_carlo(*member);
+    }
+    // Surface invalid Monte-Carlo options (runs <= 0, sentinel seed,
+    // non-finite sim horizons) as a structured bad_request right here.
+    sim::validate(monte_carlo);
+    std::string label = get_string_or(envelope, "label", "");
+    *deadline_ms = get_long_or(envelope, "deadline_ms", 0);
+    return svc::SimRequest{std::move(config), solution, options, monte_carlo,
+                           std::move(label)};
+  } catch (const common::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+}
+
+json::Value encode_sim_report(const svc::SimReport& report) {
+  return json::Object{
+      {"label", report.label},
+      {"key", report.key},
+      {"status", opt::to_string(report.status)},
+      {"message", report.message},
+      {"plan", encode_report(report.plan)},
+      {"simulated",
+       json::Object{{"wallclock", encode_summary(report.wallclock)},
+                    {"productive", encode_summary(report.productive)},
+                    {"checkpoint", encode_summary(report.checkpoint)},
+                    {"restart", encode_summary(report.restart)},
+                    {"rollback", encode_summary(report.rollback)},
+                    {"efficiency", encode_summary(report.efficiency)},
+                    {"failures", encode_summary(report.failures)}}},
+      {"runs", static_cast<long>(report.runs)},
+      {"incomplete_runs", static_cast<long>(report.incomplete_runs)},
+      {"error",
+       json::Object{{"wallclock", encode_double(report.wallclock_error)},
+                    {"portions", encode_portions(report.portion_errors)}}},
+      {"sim_seconds", encode_double(report.sim_seconds)},
+      {"cache_hit", report.cache_hit}};
+}
+
+std::string encode_sim_report_line(const svc::SimReport& report) {
+  return json::dump(json::Object{{"ok", true},
+                                 {"sim_report", encode_sim_report(report)},
+                                 {"v", kProtocolVersion}});
+}
+
+bool decode_sim_report(const json::Value& value, svc::SimReport* out,
+                       std::string* error) {
+  try {
+    if (!value.is_object()) {
+      decode_fail("sim_report", "must be a JSON object");
+    }
+    svc::SimReport report;
+    report.label = get_string_or(value, "label", "");
+    report.key = get_string_or(value, "key", "");
+    const std::string status = require(value, "status").as_string();
+    if (!status_from_string(status, &report.status)) {
+      decode_fail("sim_report.status", "unknown status '" + status + "'");
+    }
+    report.message = get_string_or(value, "message", "");
+    std::string plan_error;
+    if (!decode_report(require(value, "plan"), &report.plan, &plan_error)) {
+      decode_fail("sim_report.plan", plan_error);
+    }
+    const json::Value& simulated = require(value, "simulated");
+    report.wallclock =
+        decode_summary(require(simulated, "wallclock"), "simulated.wallclock");
+    report.productive = decode_summary(require(simulated, "productive"),
+                                       "simulated.productive");
+    report.checkpoint = decode_summary(require(simulated, "checkpoint"),
+                                       "simulated.checkpoint");
+    report.restart =
+        decode_summary(require(simulated, "restart"), "simulated.restart");
+    report.rollback =
+        decode_summary(require(simulated, "rollback"), "simulated.rollback");
+    report.efficiency = decode_summary(require(simulated, "efficiency"),
+                                       "simulated.efficiency");
+    report.failures =
+        decode_summary(require(simulated, "failures"), "simulated.failures");
+    report.runs = static_cast<int>(get_long(value, "runs"));
+    report.incomplete_runs = get_long(value, "incomplete_runs");
+    const json::Value& errors = require(value, "error");
+    report.wallclock_error = get_double(errors, "wallclock");
+    report.portion_errors = decode_portions(require(errors, "portions"));
+    report.sim_seconds = get_double(value, "sim_seconds");
+    report.cache_hit = get_bool_or(value, "cache_hit", false);
+    *out = std::move(report);
+    return true;
+  } catch (const common::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+bool decode_sim_response(const std::string& line, SimResponse* out,
+                         std::string* error) {
+  const auto parsed = json::parse(line, error);
+  if (!parsed.has_value()) return false;
+  try {
+    if (!envelope_version_ok(*parsed, error)) return false;
+    const bool ok = require(*parsed, "ok").as_bool();
+    if (ok) {
+      out->accepted = true;
+      return decode_sim_report(require(*parsed, "sim_report"), &out->report,
+                               error);
+    }
+    out->accepted = false;
+    const std::string reason = require(*parsed, "rejected").as_string();
+    if (!reject_from_string(reason, &out->reject)) {
+      decode_fail("rejected", "unknown reason '" + reason + "'");
+    }
+    out->message = get_string_or(*parsed, "message", "");
+    return true;
+  } catch (const common::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+std::string deterministic_fingerprint(svc::PlanReport report) {
+  report.solve_seconds = 0.0;
+  report.queue_wait_seconds = 0.0;
+  report.cache_hit = false;
+  return json::dump(encode_report(report));
+}
+
+std::string deterministic_fingerprint(svc::SimReport report) {
+  report.sim_seconds = 0.0;
+  report.cache_hit = false;
+  report.plan.solve_seconds = 0.0;
+  report.plan.queue_wait_seconds = 0.0;
+  report.plan.cache_hit = false;
+  return json::dump(encode_sim_report(report));
 }
 
 }  // namespace mlcr::net

@@ -1,18 +1,29 @@
 // Wire protocol of the planning daemon (mlcrd): line-delimited JSON, one
-// request object per line, one response per request.  See DESIGN.md §9 for
-// the full grammar.
+// request object per line, one response per request.  See DESIGN.md §9 and
+// §11 for the full grammar.
 //
 // Requests ({"op": ...}; op defaults to "plan" when absent):
 //   {"op":"plan","solution":"ML(opt-scale)","config":{...},
-//    "options":{...},"label":"...","deadline_ms":500}
-//   {"op":"ping"}
-//   {"op":"metrics"}
+//    "options":{...},"label":"...","deadline_ms":500,"v":1}
+//   {"op":"validate",...plan fields...,"monte_carlo":{...},"v":1}
+//   {"op":"ping","v":1}
+//   {"op":"metrics","v":1}
 //
 // Responses (one line, except metrics):
-//   {"ok":true,"report":{...}}                       — planned
-//   {"ok":false,"rejected":"<reason>","message":..}  — load-shed / bad input
-//   {"ok":true,"pong":true}                          — ping
-//   {"ok":true,"metrics_lines":N}\n<N registry JSONL lines>
+//   {"ok":true,"report":{...},"v":1}                 — planned
+//   {"ok":true,"sim_report":{...},"v":1}             — validated
+//   {"ok":false,"rejected":"<reason>","message":..,"v":1}
+//   {"ok":true,"pong":true,"v":1}                    — ping
+//   {"ok":true,"metrics_lines":N,"v":1}\n<N registry JSONL lines>
+//
+// Versioning / compatibility rule: every request and response envelope
+// carries "v": kProtocolVersion.  An absent "v" means 1 (pre-versioning
+// peers stay compatible); a peer receiving a version it does not implement
+// must answer a structured bad_request naming the version — never silently
+// drop or misparse the line.  Adding fields is allowed within a version
+// (decoders ignore unknown members); removing or re-typing a field requires
+// a bump.  An unknown "op" is likewise answered with a structured
+// bad_request listing the supported ops (see supported_ops()).
 //
 // Exactness: every double crosses the wire as a hex-float *string*
 // ("0x1.8p+1"), the same canonical rendering svc::canonical_key uses, so a
@@ -20,15 +31,32 @@
 // PlanReport — no decimal rounding anywhere.  Plain JSON numbers are also
 // accepted on input for hand-written requests.  NaN/Inf are rejected in
 // both directions with a structured error, never a dropped connection.
+// RNG seeds cross the wire as decimal strings (a JSON number is a double
+// and cannot represent every uint64).
 #pragma once
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/json.h"
 #include "svc/plan_request.h"
+#include "svc/sim_request.h"
 
 namespace mlcr::net {
+
+/// The protocol version this build speaks (see the compatibility rule in
+/// the file comment).
+inline constexpr long kProtocolVersion = 1;
+
+/// The ops the daemon implements, in documentation order.
+[[nodiscard]] const std::vector<std::string>& supported_ops();
+
+/// Checks the envelope's "v" member: absent or kProtocolVersion passes;
+/// anything else fails with a message naming the received and supported
+/// versions.
+[[nodiscard]] bool envelope_version_ok(const json::Value& envelope,
+                                       std::string* error);
 
 /// Rejection taxonomy: every request the daemon refuses names one of these
 /// reasons, each with its own metrics counter (net.rejected.<reason>).
@@ -70,16 +98,43 @@ enum class Reject {
 // --- plan report ------------------------------------------------------
 
 [[nodiscard]] json::Value encode_report(const svc::PlanReport& report);
-/// The full accepted-response line {"ok":true,"report":{...}}.
+/// The full accepted-response line {"ok":true,"report":{...},"v":1}.
 [[nodiscard]] std::string encode_report_line(const svc::PlanReport& report);
 
 [[nodiscard]] bool decode_report(const json::Value& value,
                                  svc::PlanReport* out, std::string* error);
 
+// --- validate request / report ----------------------------------------
+
+/// Renders the full "validate" op envelope.  The monte_carlo.threads field
+/// never crosses the wire: parallel degree is a server-side resource
+/// decision and, by the determinism contract, cannot change the report.
+[[nodiscard]] json::Value encode_sim_request(const svc::SimRequest& request,
+                                             long deadline_ms = 0);
+[[nodiscard]] std::string encode_sim_request_line(
+    const svc::SimRequest& request, long deadline_ms = 0);
+
+/// Decodes a "validate" envelope (already parsed), including the
+/// MonteCarloOptions validation (sim::validate), so runs <= 0 or a sentinel
+/// seed come back as a structured bad_request at the wire boundary.
+[[nodiscard]] std::optional<svc::SimRequest> decode_sim_request(
+    const json::Value& envelope, long* deadline_ms, std::string* error);
+
+[[nodiscard]] json::Value encode_sim_report(const svc::SimReport& report);
+/// The full accepted-response line {"ok":true,"sim_report":{...},"v":1}.
+[[nodiscard]] std::string encode_sim_report_line(const svc::SimReport& report);
+
+[[nodiscard]] bool decode_sim_report(const json::Value& value,
+                                     svc::SimReport* out, std::string* error);
+
 // --- response envelopes -----------------------------------------------
 
 [[nodiscard]] std::string encode_rejection_line(Reject reason,
                                                 const std::string& message);
+
+/// The structured unknown-op rejection: a bad_request whose envelope also
+/// carries `"supported": [...]` listing supported_ops().
+[[nodiscard]] std::string encode_unknown_op_line(const std::string& op);
 
 /// One decoded response to a "plan" op: either an accepted report or a
 /// structured rejection.
@@ -94,5 +149,26 @@ struct Response {
 /// not a valid protocol response (transport-level failure).
 [[nodiscard]] bool decode_response(const std::string& line, Response* out,
                                    std::string* error);
+
+/// One decoded response to a "validate" op.
+struct SimResponse {
+  bool accepted = false;
+  svc::SimReport report;           ///< valid when accepted
+  Reject reject = Reject::kBadRequest;  ///< valid when !accepted
+  std::string message;             ///< rejection detail
+};
+
+[[nodiscard]] bool decode_sim_response(const std::string& line,
+                                       SimResponse* out, std::string* error);
+
+// --- deterministic fingerprints ---------------------------------------
+
+/// The exact wire encoding with the fields that legitimately differ
+/// between two executions of the same request (timing, cache provenance)
+/// zeroed.  Two reports are deterministically identical iff their
+/// fingerprints are byte-equal — this is what `mlcr_client --check-local`
+/// and the cross-thread-count determinism tests compare.
+[[nodiscard]] std::string deterministic_fingerprint(svc::PlanReport report);
+[[nodiscard]] std::string deterministic_fingerprint(svc::SimReport report);
 
 }  // namespace mlcr::net

@@ -25,10 +25,12 @@ constexpr int kPollTickMs = 100;
 
 Server::Server(ServerOptions options)
     : options_(options),
-      // threads=1: the daemon's parallelism is its solver workers calling
-      // the thread-safe plan_one concurrently; the engine's internal pool
-      // (used only by plan_sweep) stays minimal.
-      engine_(svc::SweepEngineOptions{.threads = 1,
+      // threads=0 (hardware concurrency): plan requests are parallelized by
+      // the solver workers calling the thread-safe plan_one concurrently,
+      // but validate requests additionally fan their Monte-Carlo replica
+      // chunks across this engine pool — the fan-out is deterministic, so
+      // the width is purely a throughput knob.
+      engine_(svc::SweepEngineOptions{.threads = 0,
                                       .cache_capacity =
                                           options.cache_capacity}),
       queue_(options.queue_capacity) {}
@@ -149,6 +151,11 @@ bool Server::handle_line(const std::string& line, Connection* conn) {
     return reject(conn, Reject::kBadRequest, "parse: " + error);
   }
 
+  std::string version_error;
+  if (!envelope_version_ok(*envelope, &version_error)) {
+    return reject(conn, Reject::kBadRequest, version_error);
+  }
+
   std::string op = "plan";
   if (const json::Value* member = envelope->find("op")) {
     if (!member->is_string()) {
@@ -159,13 +166,25 @@ bool Server::handle_line(const std::string& line, Connection* conn) {
 
   if (op == "ping") {
     metrics_.counter("net.pings").increment();
-    return conn->write_line(R"({"ok":true,"pong":true})");
+    return conn->write_line(R"({"ok":true,"pong":true,"v":1})");
   }
   if (op == "metrics") return write_metrics(conn);
-  if (op != "plan") {
-    return reject(conn, Reject::kBadRequest, "op: unknown \"" + op + "\"");
-  }
-  return handle_plan(*envelope, conn);
+  if (op == "plan") return handle_plan(*envelope, conn);
+  if (op == "validate") return handle_validate(*envelope, conn);
+  // Unknown op: structured bad_request listing the supported ops.
+  metrics_.counter("net.rejected." + to_string(Reject::kBadRequest))
+      .increment();
+  return conn->write_line(encode_unknown_op_line(op));
+}
+
+std::optional<std::chrono::steady_clock::time_point> Server::resolve_deadline(
+    long deadline_ms, long* budget_ms) const {
+  // Request deadline wins; 0 falls back to the server default; a value < 0
+  // is already expired (deterministic load-shed probe).  No deadline at all
+  // maps to nullopt ("never expires").
+  *budget_ms = deadline_ms != 0 ? deadline_ms : options_.default_deadline_ms;
+  if (*budget_ms == 0) return std::nullopt;
+  return Clock::now() + std::chrono::milliseconds(*budget_ms);
 }
 
 bool Server::handle_plan(const json::Value& envelope, Connection* conn) {
@@ -180,14 +199,9 @@ bool Server::handle_plan(const json::Value& envelope, Connection* conn) {
     return reject(conn, Reject::kDraining, "server is draining");
   }
 
-  // Request deadline wins; 0 falls back to the server default; a value < 0
-  // is already expired (deterministic load-shed probe).  No deadline at all
-  // maps to time_point::max().
-  const long budget_ms =
-      deadline_ms != 0 ? deadline_ms : options_.default_deadline_ms;
-  const Clock::time_point deadline =
-      budget_ms == 0 ? Clock::time_point::max()
-                     : Clock::now() + std::chrono::milliseconds(budget_ms);
+  long budget_ms = 0;
+  const std::optional<Clock::time_point> deadline =
+      resolve_deadline(deadline_ms, &budget_ms);
 
   auto task = std::make_shared<
       std::packaged_task<std::optional<svc::PlanReport>()>>(
@@ -215,6 +229,50 @@ bool Server::handle_plan(const json::Value& envelope, Connection* conn) {
   return conn->write_line(encode_report_line(*report));
 }
 
+bool Server::handle_validate(const json::Value& envelope, Connection* conn) {
+  std::string error;
+  long deadline_ms = 0;
+  std::optional<svc::SimRequest> request =
+      decode_sim_request(envelope, &deadline_ms, &error);
+  if (!request.has_value()) {
+    return reject(conn, Reject::kBadRequest, error);
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    return reject(conn, Reject::kDraining, "server is draining");
+  }
+
+  long budget_ms = 0;
+  const std::optional<Clock::time_point> deadline =
+      resolve_deadline(deadline_ms, &budget_ms);
+
+  // Same admission path as handle_plan: the solver worker that pops this
+  // task calls validate_one, which plans and then fans the Monte-Carlo
+  // replica chunks across the engine's own pool (a different pool, so the
+  // blocked worker cannot starve the fan-out).
+  auto task = std::make_shared<
+      std::packaged_task<std::optional<svc::SimReport>()>>(
+      [this, sim_request = std::move(*request), deadline] {
+        return engine_.validate_one(sim_request, deadline);
+      });
+  std::future<std::optional<svc::SimReport>> pending = task->get_future();
+  if (!queue_.try_push([task] { (*task)(); })) {
+    return reject(conn, Reject::kOverloaded,
+                  "admission queue full (capacity " +
+                      dec(static_cast<long long>(queue_.capacity())) + ")");
+  }
+  metrics_.counter("net.admitted").increment();
+  metrics_.gauge("net.queue.depth").set(static_cast<double>(queue_.size()));
+
+  const std::optional<svc::SimReport> report = pending.get();
+  if (!report.has_value()) {
+    return reject(conn, Reject::kDeadline,
+                  "deadline expired before simulation (budget " +
+                      dec(budget_ms) + " ms)");
+  }
+  metrics_.counter("net.validated").increment();
+  return conn->write_line(encode_sim_report_line(*report));
+}
+
 bool Server::write_metrics(Connection* conn) {
   metrics_.counter("net.metrics_requests").increment();
   metrics_.gauge("net.queue.depth").set(static_cast<double>(queue_.size()));
@@ -226,8 +284,8 @@ bool Server::write_metrics(Connection* conn) {
   for (const char c : jsonl) {
     if (c == '\n') ++lines;
   }
-  if (!conn->write_line(R"({"ok":true,"metrics_lines":)" +
-                        dec(lines) + "}")) {
+  if (!conn->write_line(R"({"ok":true,"metrics_lines":)" + dec(lines) +
+                        R"(,"v":1})")) {
     return false;
   }
   return conn->write_all(jsonl);

@@ -7,7 +7,9 @@
 //     live connection — handlers parse lines, enqueue solves, and block on
 //     the solve future (never on the solver itself);
 //   * a fixed team of solver workers popping a bounded svc::AdmissionQueue
-//     and calling SweepEngine::plan_one with the request's deadline.
+//     and calling SweepEngine::plan_one (op "plan") or validate_one
+//     (op "validate") with the request's deadline; validate_one fans its
+//     Monte-Carlo replicas across the engine's own pool.
 //
 // Admission control: the queue in front of the solvers has a hard capacity;
 // when try_push fails the request is answered "rejected: overloaded"
@@ -25,6 +27,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -103,6 +106,14 @@ class Server {
   [[nodiscard]] bool handle_line(const std::string& line, Connection* conn);
   [[nodiscard]] bool handle_plan(const json::Value& envelope,
                                  Connection* conn);
+  [[nodiscard]] bool handle_validate(const json::Value& envelope,
+                                     Connection* conn);
+  /// Resolves the effective solve deadline: the request's deadline_ms wins,
+  /// 0 falls back to the server default, and a fully unbounded request maps
+  /// to nullopt ("never expires").  *budget_ms receives the winning budget
+  /// for reject messages.
+  [[nodiscard]] std::optional<std::chrono::steady_clock::time_point>
+  resolve_deadline(long deadline_ms, long* budget_ms) const;
   [[nodiscard]] bool write_metrics(Connection* conn);
   [[nodiscard]] bool reject(Connection* conn, Reject reason,
                             const std::string& message);

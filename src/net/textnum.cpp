@@ -11,6 +11,24 @@ std::string dec(long long value) {
   return std::string(buf, result.ptr);
 }
 
+std::string dec_u64(unsigned long long value) {
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, result.ptr);
+}
+
+bool parse_u64(std::string_view text, unsigned long long* out) {
+  if (text.empty()) return false;
+  unsigned long long value = 0;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (result.ec != std::errc() || result.ptr != text.data() + text.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
 std::string hexf(double value) {
   char buf[48];
   const auto result =

@@ -17,6 +17,15 @@ namespace mlcr::net {
 /// Decimal rendering of an integer (replaces std::to_string in src/net).
 [[nodiscard]] std::string dec(long long value);
 
+/// Decimal rendering of an unsigned 64-bit integer.  RNG seeds cross the
+/// wire in this form (JSON numbers are doubles and cannot represent every
+/// uint64 exactly).
+[[nodiscard]] std::string dec_u64(unsigned long long value);
+
+/// Parses a full non-negative decimal uint64 string.  Returns false unless
+/// the entire text is consumed and in range; *out is untouched on failure.
+[[nodiscard]] bool parse_u64(std::string_view text, unsigned long long* out);
+
 /// Exact hex-float rendering, strtod-compatible ("0x1.91p+6"): distinct
 /// finite doubles always produce distinct text, and parse_double restores
 /// the identical bits.  Same wire format as the snprintf("%a") it replaces.

@@ -1,8 +1,60 @@
 #include "sim/monte_carlo.h"
 
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <string>
+#include <vector>
+
 #include "common/error.h"
 
 namespace mlcr::sim {
+
+namespace {
+
+/// Runs replicas [begin, end) into a fresh chunk accumulator.  Replica
+/// `run` always draws from the stream (seed, run), independent of which
+/// thread executes the chunk.
+MonteCarloResult run_chunk(const model::SystemConfig& cfg,
+                           const Schedule& schedule,
+                           const MonteCarloOptions& options, int begin,
+                           int end) {
+  MonteCarloResult chunk;
+  for (int run = begin; run < end; ++run) {
+    common::Rng rng(options.seed, static_cast<std::uint64_t>(run));
+    const RunResult r = simulate(cfg, schedule, rng, options.sim);
+    if (!r.completed) {
+      ++chunk.incomplete_runs;
+      continue;
+    }
+    chunk.wallclock.add(r.wallclock);
+    chunk.productive.add(r.portions.productive);
+    chunk.checkpoint.add(r.portions.checkpoint);
+    chunk.restart.add(r.portions.restart);
+    chunk.rollback.add(r.portions.rollback);
+    chunk.efficiency.add(
+        model::efficiency(cfg.te(), r.wallclock, schedule.scale));
+    long failures = 0;
+    for (long f : r.failures_per_level) failures += f;
+    chunk.failures.add(static_cast<double>(failures));
+  }
+  return chunk;
+}
+
+/// Merges one chunk into the aggregate.  Chunks are always merged in
+/// ascending chunk order, so the Welford merge tree is fixed.
+void merge_chunk(MonteCarloResult* into, const MonteCarloResult& chunk) {
+  into->wallclock.merge(chunk.wallclock);
+  into->productive.merge(chunk.productive);
+  into->checkpoint.merge(chunk.checkpoint);
+  into->restart.merge(chunk.restart);
+  into->rollback.merge(chunk.rollback);
+  into->efficiency.merge(chunk.efficiency);
+  into->failures.merge(chunk.failures);
+  into->incomplete_runs += chunk.incomplete_runs;
+}
+
+}  // namespace
 
 model::TimePortions MonteCarloResult::mean_portions() const {
   model::TimePortions portions;
@@ -13,28 +65,63 @@ model::TimePortions MonteCarloResult::mean_portions() const {
   return portions;
 }
 
+void validate(const MonteCarloOptions& options) {
+  MLCR_EXPECT(options.runs > 0,
+              "MonteCarloOptions: runs must be positive (got " +
+                  std::to_string(options.runs) + ")");
+  MLCR_EXPECT(options.seed != kSeedSentinel,
+              "MonteCarloOptions: seed collides with the reserved sentinel "
+              "0xffffffffffffffff");
+  MLCR_EXPECT(std::isfinite(options.sim.jitter_ratio) &&
+                  options.sim.jitter_ratio >= 0.0 &&
+                  options.sim.jitter_ratio < 1.0,
+              "MonteCarloOptions: sim.jitter_ratio must be finite in [0, 1)");
+  MLCR_EXPECT(options.sim.max_events > 0,
+              "MonteCarloOptions: sim.max_events must be positive");
+  MLCR_EXPECT(
+      std::isfinite(options.sim.weibull_shape) &&
+          options.sim.weibull_shape > 0.0,
+      "MonteCarloOptions: sim.weibull_shape must be finite and positive");
+}
+
 MonteCarloResult monte_carlo(const model::SystemConfig& cfg,
                              const Schedule& schedule,
                              const MonteCarloOptions& options) {
-  MLCR_EXPECT(options.runs > 0, "monte_carlo: runs must be positive");
-  MonteCarloResult result;
-  for (int run = 0; run < options.runs; ++run) {
-    common::Rng rng(options.seed, static_cast<std::uint64_t>(run));
-    const RunResult r = simulate(cfg, schedule, rng, options.sim);
-    if (!r.completed) {
-      ++result.incomplete_runs;
-      continue;
+  validate(options);
+  std::size_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (threads == 1) {
+    // Serial path: same chunk partition, same merge order — bit-identical
+    // to the pooled path by construction.
+    MonteCarloResult result;
+    for (int begin = 0; begin < options.runs; begin += kRunsPerChunk) {
+      const int end = std::min(options.runs, begin + kRunsPerChunk);
+      merge_chunk(&result, run_chunk(cfg, schedule, options, begin, end));
     }
-    result.wallclock.add(r.wallclock);
-    result.productive.add(r.portions.productive);
-    result.checkpoint.add(r.portions.checkpoint);
-    result.restart.add(r.portions.restart);
-    result.rollback.add(r.portions.rollback);
-    result.efficiency.add(
-        model::efficiency(cfg.te(), r.wallclock, schedule.scale));
-    long failures = 0;
-    for (long f : r.failures_per_level) failures += f;
-    result.failures.add(static_cast<double>(failures));
+    return result;
+  }
+  common::ThreadPool pool(threads);
+  return monte_carlo(cfg, schedule, options, pool);
+}
+
+MonteCarloResult monte_carlo(const model::SystemConfig& cfg,
+                             const Schedule& schedule,
+                             const MonteCarloOptions& options,
+                             common::ThreadPool& pool) {
+  validate(options);
+  std::vector<std::future<MonteCarloResult>> chunks;
+  chunks.reserve(static_cast<std::size_t>(options.runs / kRunsPerChunk) + 1);
+  for (int begin = 0; begin < options.runs; begin += kRunsPerChunk) {
+    const int end = std::min(options.runs, begin + kRunsPerChunk);
+    chunks.push_back(pool.submit([&cfg, &schedule, &options, begin, end] {
+      return run_chunk(cfg, schedule, options, begin, end);
+    }));
+  }
+  MonteCarloResult result;
+  for (std::future<MonteCarloResult>& chunk : chunks) {
+    merge_chunk(&result, chunk.get());
   }
   return result;
 }

@@ -1,10 +1,19 @@
 // Monte-Carlo driver: repeats the event simulation with independent random
 // streams and aggregates the paper's reported metrics (mean wall-clock, the
 // four time portions, efficiency).  The paper reports means of 100 runs.
+//
+// Determinism contract (the validation pipeline depends on it, see
+// DESIGN.md §11): replica `run` always draws from the counter-based stream
+// common::Rng(seed, run), and replicas are aggregated in fixed chunks of
+// kRunsPerChunk merged in ascending chunk order — the same partition no
+// matter how many threads execute it.  A run fanned across a thread pool is
+// therefore bit-identical to a serial one, and `threads` is never part of
+// any cache key.
 #pragma once
 
 #include <cstdint>
 
+#include "common/thread_pool.h"
 #include "model/wallclock.h"
 #include "sim/event_sim.h"
 #include "stat/summary.h"
@@ -25,14 +34,43 @@ struct MonteCarloResult {
   [[nodiscard]] model::TimePortions mean_portions() const;
 };
 
+/// Reserved seed marking "unset" in serialized requests; validate() rejects
+/// it so a forgotten field can never silently alias a real stream.
+inline constexpr std::uint64_t kSeedSentinel = 0xffffffffffffffffULL;
+
+/// Replicas per aggregation chunk.  Fixed (never derived from the thread
+/// count) so the merge tree — and therefore every aggregated double — is
+/// identical for any parallel degree.
+inline constexpr int kRunsPerChunk = 4;
+
 struct MonteCarloOptions {
   int runs = 100;  ///< paper: "mean values based on 100 runs"
   std::uint64_t seed = 0x5eed;
+  /// Worker threads for the replica fan-out; 0 = hardware concurrency
+  /// (matching svc::SweepEngineOptions::threads), 1 = run inline.  Ignored
+  /// by the overload taking an external pool.  Never affects the result.
+  std::size_t threads = 1;
   SimOptions sim;
 };
 
+/// Validates `options` in the SystemConfigBuilder style: throws a
+/// field-naming common::Error on runs <= 0, the reserved seed sentinel, or
+/// non-finite / out-of-range sim horizons (jitter_ratio, max_events,
+/// weibull_shape).  Service layers map the throw to Status::kInvalidConfig.
+void validate(const MonteCarloOptions& options);
+
+/// Runs `options.runs` replicas (validating first), fanning chunks across
+/// `options.threads` workers.  Bit-identical for every thread count.
 [[nodiscard]] MonteCarloResult monte_carlo(
     const model::SystemConfig& cfg, const Schedule& schedule,
     const MonteCarloOptions& options = {});
+
+/// Same, but on an existing pool (options.threads is ignored).  Callers must
+/// not invoke this from inside one of `pool`'s own workers: the caller
+/// blocks on chunk futures, and a blocked worker could deadlock the pool.
+[[nodiscard]] MonteCarloResult monte_carlo(const model::SystemConfig& cfg,
+                                           const Schedule& schedule,
+                                           const MonteCarloOptions& options,
+                                           common::ThreadPool& pool);
 
 }  // namespace mlcr::sim

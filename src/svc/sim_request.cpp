@@ -1,0 +1,46 @@
+#include "svc/sim_request.h"
+
+#include <cstdio>
+
+namespace mlcr::svc {
+
+namespace {
+
+/// Exact hex-float rendering: distinct doubles always produce distinct text
+/// (same idiom as plan_request.cpp).
+void append_hex(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  *out += buf;
+}
+
+}  // namespace
+
+SimSummary flatten(const stat::Summary& summary) {
+  SimSummary flat;
+  flat.count = summary.count();
+  flat.mean = summary.mean();
+  flat.stddev = summary.stddev();
+  flat.min = summary.min();
+  flat.max = summary.max();
+  return flat;
+}
+
+std::string canonical_key(const SimRequest& request) {
+  std::string key = canonical_key(request.plan_request());
+  key += "|mc.runs=" + std::to_string(request.monte_carlo.runs);
+  key += "|mc.seed=" + std::to_string(request.monte_carlo.seed);
+  const sim::SimOptions& sim = request.monte_carlo.sim;
+  key += "|mc.jitter=";
+  append_hex(&key, sim.jitter_ratio);
+  key += "|mc.maxev=" + std::to_string(sim.max_events);
+  key += "|mc.atomic=" + std::to_string(sim.atomic_checkpoints ? 1 : 0);
+  key += "|mc.serrec=" + std::to_string(sim.serial_recovery ? 1 : 0);
+  key += "|mc.wshape=";
+  append_hex(&key, sim.weibull_shape);
+  // monte_carlo.threads and label are intentionally absent: neither changes
+  // the report (see file comment).
+  return key;
+}
+
+}  // namespace mlcr::svc

@@ -1,0 +1,106 @@
+// The validation twin of plan_request.h: a SimRequest asks "solve this
+// planning problem, then fault-inject the resulting plan N times and compare
+// the simulated means against the analytic model" — the paper's Figure 4
+// experiment as a service-layer request.
+//
+// `canonical_key` renders every result-influencing field (the embedded
+// planning problem plus runs / seed / sim options) into an exact hex-float
+// string so validate_one can memoize in an LRU cache.  Two fields are
+// deliberately excluded: `label` (an echo tag, as in PlanRequest) and
+// `monte_carlo.threads` — the replica fan-out is bit-identical for every
+// thread count (see sim/monte_carlo.h), so parallelism must never split the
+// cache.
+//
+// A SimReport carries the underlying PlanReport, the per-metric replica
+// summaries (flattened to plain doubles so they cross the wire exactly),
+// and the Fig-4-style plan-vs-simulated errors.  All errors are relative to
+// the analytic E(T_w): portion_errors.X = (sim_mean_X - analytic_X) /
+// analytic_wallclock, which stays well-defined even for portions whose
+// analytic share is exactly zero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/system.h"
+#include "model/wallclock.h"
+#include "opt/algorithm1.h"
+#include "opt/planner.h"
+#include "sim/monte_carlo.h"
+#include "stat/summary.h"
+#include "svc/plan_request.h"
+
+namespace mlcr::svc {
+
+struct SimRequest {
+  model::SystemConfig config;
+  opt::Solution solution = opt::Solution::kMultilevelOptScale;
+  /// Solver options for the plan being validated.
+  opt::Algorithm1Options plan_options;
+  /// Replica count, RNG seed, fan-out width, and simulator semantics.
+  sim::MonteCarloOptions monte_carlo;
+  /// Free-form tag echoed into the report; NOT part of the cache key.
+  std::string label;
+
+  /// The planning half of this request, for SweepEngine::plan_one.
+  [[nodiscard]] PlanRequest plan_request() const {
+    return {config, solution, plan_options, label};
+  }
+};
+
+/// stat::Summary flattened to plain members, so a report decoded from the
+/// wire is field-for-field comparable to the in-process one.
+struct SimSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] SimSummary flatten(const stat::Summary& summary);
+
+struct SimReport {
+  std::string label;
+  /// Cache key of the originating request (useful for debugging sweeps).
+  std::string key;
+
+  /// kOk only when the plan solved AND every replica batch ran; a failed
+  /// plan propagates its status with a "plan: " message prefix.
+  opt::Status status = opt::Status::kInvalidConfig;
+  std::string message;
+
+  /// The plan that was simulated (including the analytic expectation the
+  /// errors below compare against).
+  PlanReport plan;
+
+  /// Replica statistics per reported metric, paper Table/Figure order.
+  SimSummary wallclock;
+  SimSummary productive;
+  SimSummary checkpoint;
+  SimSummary restart;
+  SimSummary rollback;
+  SimSummary efficiency;
+  SimSummary failures;
+
+  int runs = 0;              ///< replicas requested
+  long incomplete_runs = 0;  ///< replicas hitting the max_events guard
+
+  /// (simulated mean - analytic E(T_w)) / analytic E(T_w).
+  double wallclock_error = 0.0;
+  /// Per-portion (simulated mean - analytic) / analytic E(T_w).
+  model::TimePortions portion_errors;
+
+  /// Wall time of plan + simulation for this request, seconds.  Reports
+  /// served from cache keep the original value.
+  double sim_seconds = 0.0;
+  bool cache_hit = false;
+
+  [[nodiscard]] bool ok() const noexcept { return status == opt::Status::kOk; }
+};
+
+/// Canonical memoization key: the PlanRequest key plus every
+/// result-influencing Monte-Carlo field (label and threads excluded).
+[[nodiscard]] std::string canonical_key(const SimRequest& request);
+
+}  // namespace mlcr::svc

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <future>
 #include <utility>
 
 #include "common/error.h"
+#include "sim/event_sim.h"
 
 namespace mlcr::svc {
 
@@ -39,10 +41,13 @@ std::pair<opt::Status, std::string> classify_failure(
 SweepEngine::SweepEngine(SweepEngineOptions options)
     : options_(options),
       pool_(options.threads),
-      cache_(options.cache_capacity) {
+      cache_(options.cache_capacity),
+      sim_cache_(options.sim_cache_capacity) {
   metrics_.gauge("pool.threads").set(static_cast<double>(pool_.size()));
   metrics_.gauge("cache.capacity")
       .set(static_cast<double>(options_.cache_capacity));
+  metrics_.gauge("validate.cache.capacity")
+      .set(static_cast<double>(options_.sim_cache_capacity));
 }
 
 PlanReport SweepEngine::solve(const PlanRequest& request,
@@ -100,23 +105,57 @@ std::size_t SweepEngine::cache_insert(const std::string& key,
   return evicted;
 }
 
+bool SweepEngine::sim_cache_lookup(const std::string& key, SimReport* report) {
+  if (options_.sim_cache_capacity == 0) return false;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(sim_cache_mutex_);
+    hit = sim_cache_.get(key, report);
+  }
+  metrics_.counter(hit ? "validate.cache.hits" : "validate.cache.misses")
+      .increment();
+  return hit;
+}
+
+std::size_t SweepEngine::sim_cache_insert(const std::string& key,
+                                          const SimReport& report) {
+  if (options_.sim_cache_capacity == 0) return 0;
+  std::size_t evicted = 0;
+  std::size_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(sim_cache_mutex_);
+    evicted = sim_cache_.put(key, report);
+    size = sim_cache_.size();
+  }
+  metrics_.counter("validate.cache.inserts").increment();
+  if (evicted > 0) {
+    metrics_.counter("validate.cache.evictions").increment(evicted);
+  }
+  metrics_.gauge("validate.cache.size").set(static_cast<double>(size));
+  return evicted;
+}
+
 std::size_t SweepEngine::cache_size() const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   return cache_.size();
 }
 
-void SweepEngine::clear_cache() {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  cache_.clear();
+std::size_t SweepEngine::sim_cache_size() const {
+  std::lock_guard<std::mutex> lock(sim_cache_mutex_);
+  return sim_cache_.size();
 }
 
-PlanReport SweepEngine::plan_one(const PlanRequest& request) {
-  // A never-expiring deadline always yields a report.
-  return *plan_one(request, Clock::time_point::max());
+void SweepEngine::clear_cache() {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.clear();
+  }
+  std::lock_guard<std::mutex> lock(sim_cache_mutex_);
+  sim_cache_.clear();
 }
 
 std::optional<PlanReport> SweepEngine::plan_one(
-    const PlanRequest& request, std::chrono::steady_clock::time_point deadline) {
+    const PlanRequest& request, std::optional<Deadline> deadline) {
   const std::string key = canonical_key(request);
   metrics_.counter("requests").increment();
   PlanReport report;
@@ -126,7 +165,7 @@ std::optional<PlanReport> SweepEngine::plan_one(
     report.label = request.label;
     return report;
   }
-  if (Clock::now() >= deadline) {
+  if (deadline.has_value() && Clock::now() >= *deadline) {
     metrics_.counter("requests.expired").increment();
     return std::nullopt;
   }
@@ -227,6 +266,133 @@ std::vector<PlanReport> SweepEngine::plan_sweep(
   local.solve_seconds_p90 =
       common::metrics::percentile(std::move(solve_seconds), 0.90);
   metrics_.timer("sweep.wall_seconds").observe(local.wall_seconds);
+
+  if (stats != nullptr) *stats = local;
+  return reports;
+}
+
+SimReport SweepEngine::simulate_request(const SimRequest& request,
+                                        const std::string& key) {
+  SimReport report;
+  report.label = request.label;
+  report.key = key;
+  report.runs = request.monte_carlo.runs;
+  const auto start = Clock::now();
+  try {
+    sim::validate(request.monte_carlo);
+    report.plan = *plan_one(request.plan_request());
+    if (!report.plan.ok()) {
+      report.status = report.plan.status;
+      report.message = "plan: " + report.plan.message;
+    } else {
+      const sim::Schedule schedule = sim::Schedule::from_plan(
+          request.config, report.plan.plan(),
+          report.plan.planned.level_enabled);
+      const sim::MonteCarloResult mc = sim::monte_carlo(
+          request.config, schedule, request.monte_carlo, pool_);
+      report.wallclock = flatten(mc.wallclock);
+      report.productive = flatten(mc.productive);
+      report.checkpoint = flatten(mc.checkpoint);
+      report.restart = flatten(mc.restart);
+      report.rollback = flatten(mc.rollback);
+      report.efficiency = flatten(mc.efficiency);
+      report.failures = flatten(mc.failures);
+      report.incomplete_runs = mc.incomplete_runs;
+      const double analytic = report.plan.wallclock();
+      if (analytic > 0.0) {
+        const model::TimePortions& portions =
+            report.plan.planned.optimization.portions;
+        report.wallclock_error = (mc.wallclock.mean() - analytic) / analytic;
+        report.portion_errors.productive =
+            (mc.productive.mean() - portions.productive) / analytic;
+        report.portion_errors.checkpoint =
+            (mc.checkpoint.mean() - portions.checkpoint) / analytic;
+        report.portion_errors.restart =
+            (mc.restart.mean() - portions.restart) / analytic;
+        report.portion_errors.rollback =
+            (mc.rollback.mean() - portions.rollback) / analytic;
+      }
+      report.status = opt::Status::kOk;
+      report.message.clear();
+    }
+  } catch (...) {
+    std::tie(report.status, report.message) =
+        classify_failure(std::current_exception());
+  }
+  report.sim_seconds = seconds_since(start);
+
+  metrics_.counter("validate.status." + opt::to_string(report.status))
+      .increment();
+  metrics_.timer("sim.seconds").observe(report.sim_seconds);
+  if (report.ok()) {
+    metrics_.counter("sim.replicas")
+        .increment(static_cast<std::uint64_t>(report.runs));
+    metrics_.counter("sim.incomplete")
+        .increment(static_cast<std::uint64_t>(report.incomplete_runs));
+    if (report.sim_seconds > 0.0) {
+      metrics_.gauge("sim.replicas_per_second")
+          .set(static_cast<double>(report.runs) / report.sim_seconds);
+    }
+    metrics_.gauge("validate.error.wallclock").set(report.wallclock_error);
+    metrics_.timer("validate.error.abs")
+        .observe(std::abs(report.wallclock_error));
+  }
+  return report;
+}
+
+std::optional<SimReport> SweepEngine::validate_one(
+    const SimRequest& request, std::optional<Deadline> deadline) {
+  const std::string key = canonical_key(request);
+  metrics_.counter("validate.requests").increment();
+  SimReport report;
+  if (sim_cache_lookup(key, &report)) {
+    report.cache_hit = true;
+    report.label = request.label;
+    return report;
+  }
+  if (deadline.has_value() && Clock::now() >= *deadline) {
+    metrics_.counter("validate.expired").increment();
+    return std::nullopt;
+  }
+  report = simulate_request(request, key);
+  sim_cache_insert(key, report);
+  return report;
+}
+
+std::vector<SimReport> SweepEngine::validate_sweep(
+    const std::vector<SimRequest>& requests, SimSweepStats* stats) {
+  const auto sweep_start = Clock::now();
+  metrics_.counter("validate.sweeps").increment();
+
+  SimSweepStats local;
+  local.requests = requests.size();
+
+  std::vector<SimReport> reports;
+  reports.reserve(requests.size());
+  for (const SimRequest& request : requests) {
+    // No deadline -> validate_one is always engaged.  Each request fans its
+    // replica chunks across the whole pool (see the header comment for why
+    // requests themselves are not parallelized on top of that).
+    SimReport report = *validate_one(request);
+    if (report.cache_hit) {
+      ++local.cache_hits;
+    } else {
+      ++local.simulated;
+      local.replicas += static_cast<std::size_t>(report.runs);
+      local.sim_seconds_total += report.sim_seconds;
+      local.sim_seconds_max =
+          std::max(local.sim_seconds_max, report.sim_seconds);
+    }
+    if (report.ok()) {
+      local.worst_abs_error =
+          std::max(local.worst_abs_error, std::abs(report.wallclock_error));
+    } else {
+      ++local.errors;
+    }
+    reports.push_back(std::move(report));
+  }
+  local.wall_seconds = seconds_since(sweep_start);
+  metrics_.timer("validate.sweep.wall_seconds").observe(local.wall_seconds);
 
   if (stats != nullptr) *stats = local;
   return reports;

@@ -3,21 +3,33 @@
 // keyed by the canonical request key, so repeated or overlapping sweeps skip
 // the Algorithm 1 outer loop entirely.
 //
+// Since the SimRequest/SimReport redesign the engine is also the validation
+// pipeline: validate_one solves a plan, fault-injects it with the parallel
+// Monte-Carlo driver (replica chunks fanned across the same pool), and
+// reports plan-vs-simulated error per time portion, memoized in a second
+// LRU cache.  See DESIGN.md §11.
+//
 // Determinism: reports are returned in request order and each request is a
 // pure function of its inputs, so a parallel sweep is bit-identical to a
 // serial one.  Duplicate requests inside one sweep are solved once; the
-// copies are marked cache_hit.
+// copies are marked cache_hit.  Simulation replicas use counter-based RNG
+// streams merged in fixed chunk order, so a SimReport is bit-identical for
+// every thread count (timing fields aside).
 //
 // Observability: every engine owns a common::metrics::Registry recording
 // cache traffic (hits / misses / evictions / inserts), solver status
-// taxonomy, solve-time and queue-wait histograms, and outer-iteration
-// counts; `plan_sweep` can additionally return a per-sweep SweepStats
-// aggregate.  See DESIGN.md §8 for the metric names.
+// taxonomy, solve-time and queue-wait histograms, outer-iteration counts,
+// and the validate.* / sim.* instruments (replica throughput, sim-time
+// histograms, error gauges); `plan_sweep` / `validate_sweep` can
+// additionally return per-sweep aggregates.  See DESIGN.md §8 and §11 for
+// the metric names.
 //
 // Entry points (supersede looping over opt::plan — see DESIGN.md):
-//   plan_one            one request (cache-aware)
+//   plan_one            one request (cache-aware, optional deadline)
 //   plan_all_solutions  the paper's four solution families, in parallel
 //   plan_sweep          an arbitrary request grid, in parallel
+//   validate_one        plan + Monte-Carlo validation of one request
+//   validate_sweep      a grid of validations (each internally parallel)
 #pragma once
 
 #include <chrono>
@@ -33,16 +45,25 @@
 #include "common/thread_pool.h"
 #include "svc/lru_cache.h"
 #include "svc/plan_request.h"
+#include "svc/sim_request.h"
 
 namespace mlcr::svc {
+
+/// The engine's deadline clock.  A nullopt deadline means "never expires".
+using Deadline = std::chrono::steady_clock::time_point;
 
 struct SweepEngineOptions {
   /// Worker threads; 0 = hardware concurrency.
   std::size_t threads = 0;
-  /// Maximum cached reports; 0 disables memoization entirely (each sweep
-  /// still deduplicates within itself).  At capacity the least-recently-used
-  /// entry is evicted, so fresh plans always land in the cache.
+  /// Maximum cached plan reports; 0 disables memoization entirely (each
+  /// sweep still deduplicates within itself).  At capacity the
+  /// least-recently-used entry is evicted, so fresh plans always land in
+  /// the cache.
   std::size_t cache_capacity = 65536;
+  /// Maximum cached validation (SimReport) results; 0 disables the sim
+  /// cache.  Sized separately from the plan cache because one SimReport is
+  /// orders of magnitude more expensive to recompute.
+  std::size_t sim_cache_capacity = 4096;
 };
 
 /// Aggregates for one plan_sweep call.  `requests` always equals
@@ -65,6 +86,20 @@ struct SweepStats {
   double queue_wait_seconds_max = 0.0;
 };
 
+/// Aggregates for one validate_sweep call.  `requests` always equals
+/// `simulated + cache_hits`.
+struct SimSweepStats {
+  std::size_t requests = 0;
+  std::size_t simulated = 0;    ///< validations actually run by this sweep
+  std::size_t cache_hits = 0;   ///< served from the sim cache
+  std::size_t errors = 0;       ///< reports with status != kOk
+  std::size_t replicas = 0;     ///< Monte-Carlo runs executed by this sweep
+  double wall_seconds = 0.0;    ///< end-to-end sweep wall time
+  double sim_seconds_total = 0.0;
+  double sim_seconds_max = 0.0;
+  double worst_abs_error = 0.0;  ///< max |wallclock_error| among ok reports
+};
+
 /// Maps an exception escaping the solver to the report status taxonomy:
 /// common::NumericError (the math diverged mid-solve) -> kDiverged,
 /// common::Error (the request was malformed) -> kInvalidConfig, anything
@@ -77,17 +112,24 @@ class SweepEngine {
  public:
   explicit SweepEngine(SweepEngineOptions options = {});
 
-  /// Plans one request, consulting and filling the cache.
-  [[nodiscard]] PlanReport plan_one(const PlanRequest& request);
-
-  /// Deadline-aware variant used by the serving layer (src/net): the cache
-  /// is consulted first and hits are always served (they cost microseconds),
+  /// Plans one request, consulting and filling the cache.  The cache is
+  /// consulted first and hits are always served (they cost microseconds),
   /// but a cache miss whose deadline has already passed returns nullopt
   /// without entering the solver — the caller answers "rejected: deadline".
-  /// Expired misses are counted in the `requests.expired` metric.
+  /// Expired misses are counted in the `requests.expired` metric.  Without
+  /// a deadline (the default) the result is always engaged.
   [[nodiscard]] std::optional<PlanReport> plan_one(
       const PlanRequest& request,
-      std::chrono::steady_clock::time_point deadline);
+      std::optional<Deadline> deadline = std::nullopt);
+
+  /// Pre-redesign spelling taking a raw time_point; forwards to the
+  /// std::optional overload above.
+  [[deprecated(
+      "pass std::optional<Deadline> (or omit the argument)")]] [[nodiscard]]
+  std::optional<PlanReport>
+  plan_one(const PlanRequest& request, Deadline deadline) {
+    return plan_one(request, std::optional<Deadline>(deadline));
+  }
 
   /// Plans all four solution families of opt::all_solutions() on `cfg`,
   /// in parallel; reports come back in all_solutions() order.
@@ -101,12 +143,33 @@ class SweepEngine {
   [[nodiscard]] std::vector<PlanReport> plan_sweep(
       const std::vector<PlanRequest>& requests, SweepStats* stats = nullptr);
 
+  /// Validates one request: plan (through plan_one, sharing the plan cache),
+  /// then Monte-Carlo-simulate the plan with replica chunks fanned across
+  /// the engine pool, then report plan-vs-simulated errors.  Deadline
+  /// semantics mirror plan_one: sim-cache hits are always served; an
+  /// expired miss returns nullopt (metric `validate.expired`) without
+  /// simulating.  Failures never throw — they come back as a report with
+  /// the classify_failure status taxonomy.
+  [[nodiscard]] std::optional<SimReport> validate_one(
+      const SimRequest& request,
+      std::optional<Deadline> deadline = std::nullopt);
+
+  /// Validates a grid.  Requests run one after another — each one already
+  /// fans its replicas across the whole pool, and nesting request-level
+  /// parallelism on the same pool could block workers on futures — and
+  /// reports are returned in request order, bit-identical to any other
+  /// execution of the same grid (timing fields aside).
+  [[nodiscard]] std::vector<SimReport> validate_sweep(
+      const std::vector<SimRequest>& requests, SimSweepStats* stats = nullptr);
+
   [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
   [[nodiscard]] std::size_t cache_size() const;
+  [[nodiscard]] std::size_t sim_cache_size() const;
   void clear_cache();
 
   /// Engine-lifetime instrumentation (cache traffic, status taxonomy,
-  /// solve/queue-wait histograms).  Safe to read while sweeps run.
+  /// solve/queue-wait histograms, validate.* / sim.* instruments).  Safe to
+  /// read while sweeps run.
   [[nodiscard]] common::metrics::Registry& metrics() noexcept {
     return metrics_;
   }
@@ -119,16 +182,26 @@ class SweepEngine {
   /// the classify_failure status taxonomy.
   [[nodiscard]] PlanReport solve(const PlanRequest& request,
                                  const std::string& key);
+  /// Plans and simulates one validation request (the cache-miss path of
+  /// validate_one); never throws.
+  [[nodiscard]] SimReport simulate_request(const SimRequest& request,
+                                           const std::string& key);
   /// Consults the cache, promoting a hit to most-recently-used.
   [[nodiscard]] bool cache_lookup(const std::string& key, PlanReport* report);
   /// Inserts (LRU-evicting at capacity); returns evictions performed.
   std::size_t cache_insert(const std::string& key, const PlanReport& report);
+  [[nodiscard]] bool sim_cache_lookup(const std::string& key,
+                                      SimReport* report);
+  std::size_t sim_cache_insert(const std::string& key,
+                               const SimReport& report);
 
   SweepEngineOptions options_;
   common::ThreadPool pool_;
   common::metrics::Registry metrics_;
   mutable std::mutex cache_mutex_;
   LruCache<std::string, PlanReport> cache_;
+  mutable std::mutex sim_cache_mutex_;
+  LruCache<std::string, SimReport> sim_cache_;
 };
 
 }  // namespace mlcr::svc

@@ -7,6 +7,8 @@
 
 #include <cmath>
 
+#include "common/error.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 #include "exp/cases.h"
 #include "opt/planner.h"
@@ -123,6 +125,127 @@ TEST(MonteCarlo, FewerFailuresShorterWallclock) {
     EXPECT_LT(r.wallclock.mean(), previous) << name;
     previous = r.wallclock.mean();
   }
+}
+
+// --- deterministic parallel fan-out -------------------------------------
+
+void expect_identical(const stat::Summary& a, const stat::Summary& b,
+                      const char* what, std::size_t threads) {
+  EXPECT_EQ(a.count(), b.count()) << what << " @" << threads;
+  EXPECT_EQ(a.mean(), b.mean()) << what << " @" << threads;
+  EXPECT_EQ(a.variance(), b.variance()) << what << " @" << threads;
+  EXPECT_EQ(a.min(), b.min()) << what << " @" << threads;
+  EXPECT_EQ(a.max(), b.max()) << what << " @" << threads;
+}
+
+void expect_identical(const MonteCarloResult& a, const MonteCarloResult& b,
+                      std::size_t threads) {
+  expect_identical(a.wallclock, b.wallclock, "wallclock", threads);
+  expect_identical(a.productive, b.productive, "productive", threads);
+  expect_identical(a.checkpoint, b.checkpoint, "checkpoint", threads);
+  expect_identical(a.restart, b.restart, "restart", threads);
+  expect_identical(a.rollback, b.rollback, "rollback", threads);
+  expect_identical(a.efficiency, b.efficiency, "efficiency", threads);
+  expect_identical(a.failures, b.failures, "failures", threads);
+  EXPECT_EQ(a.incomplete_runs, b.incomplete_runs) << threads;
+}
+
+TEST(MonteCarloParallel, ThreadCountNeverChangesTheResult) {
+  // The replica fan-out partitions runs into fixed chunks and merges them in
+  // ascending order, so N threads must equal serial bit-for-bit — including
+  // Welford second moments, which would differ under any other merge order.
+  const auto cfg = exp::make_fti_system(
+      30.0, exp::FailureCase{"fusion", {24, 18, 12, 6}}, 1024.0);
+  const auto planned = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
+  const auto schedule =
+      Schedule::from_plan(cfg, planned.full_plan, planned.level_enabled);
+  MonteCarloOptions serial;
+  serial.runs = 30;  // not a multiple of kRunsPerChunk: tail chunk covered
+  serial.seed = 99;
+  serial.threads = 1;
+  const auto base = monte_carlo(cfg, schedule, serial);
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    MonteCarloOptions parallel = serial;
+    parallel.threads = threads;
+    expect_identical(monte_carlo(cfg, schedule, parallel), base, threads);
+  }
+}
+
+TEST(MonteCarloParallel, ExternalPoolMatchesSerialBitForBit) {
+  const auto cfg = exp::make_fti_system(
+      30.0, exp::FailureCase{"fusion", {16, 12, 8, 4}}, 1024.0);
+  const auto planned = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
+  const auto schedule =
+      Schedule::from_plan(cfg, planned.full_plan, planned.level_enabled);
+  MonteCarloOptions options;
+  options.runs = 17;
+  options.seed = 7;
+  const auto base = monte_carlo(cfg, schedule, options);
+  common::ThreadPool pool(4);
+  expect_identical(monte_carlo(cfg, schedule, options, pool), base, 4u);
+  // The pool overload ignores options.threads entirely.
+  options.threads = 2;
+  expect_identical(monte_carlo(cfg, schedule, options, pool), base, 4u);
+}
+
+TEST(MonteCarloParallel, SeedSelectsTheStreamNotTheThreadCount) {
+  // Counter-based streams: run i always draws from Rng(seed, i), so a
+  // different seed changes the answer while the thread count cannot.
+  const auto cfg = exp::make_fti_system(
+      30.0, exp::FailureCase{"fusion", {24, 18, 12, 6}}, 1024.0);
+  const auto planned = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
+  const auto schedule =
+      Schedule::from_plan(cfg, planned.full_plan, planned.level_enabled);
+  MonteCarloOptions options;
+  options.runs = 12;
+  options.seed = 1;
+  const auto first = monte_carlo(cfg, schedule, options);
+  options.seed = 2;
+  const auto second = monte_carlo(cfg, schedule, options);
+  EXPECT_NE(first.wallclock.mean(), second.wallclock.mean());
+}
+
+TEST(MonteCarloParallel, ValidateRejectsInvalidOptions) {
+  MonteCarloOptions options;
+  EXPECT_NO_THROW(sim::validate(options));
+
+  MonteCarloOptions bad_runs;
+  bad_runs.runs = 0;
+  EXPECT_THROW(sim::validate(bad_runs), common::Error);
+  bad_runs.runs = -5;
+  EXPECT_THROW(sim::validate(bad_runs), common::Error);
+
+  MonteCarloOptions sentinel;
+  sentinel.seed = kSeedSentinel;
+  EXPECT_THROW(sim::validate(sentinel), common::Error);
+
+  MonteCarloOptions bad_jitter;
+  bad_jitter.sim.jitter_ratio = 1.0;  // half-open [0, 1)
+  EXPECT_THROW(sim::validate(bad_jitter), common::Error);
+  bad_jitter.sim.jitter_ratio = std::nan("");
+  EXPECT_THROW(sim::validate(bad_jitter), common::Error);
+
+  MonteCarloOptions bad_events;
+  bad_events.sim.max_events = 0;
+  EXPECT_THROW(sim::validate(bad_events), common::Error);
+
+  MonteCarloOptions bad_shape;
+  bad_shape.sim.weibull_shape = 0.0;
+  EXPECT_THROW(sim::validate(bad_shape), common::Error);
+}
+
+TEST(MonteCarloParallel, InvalidOptionsThrowBeforeAnySimulation) {
+  const auto cfg = exp::make_fti_system(
+      30.0, exp::FailureCase{"fusion", {24, 18, 12, 6}}, 1024.0);
+  const auto planned = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
+  const auto schedule =
+      Schedule::from_plan(cfg, planned.full_plan, planned.level_enabled);
+  MonteCarloOptions options;
+  options.runs = 0;
+  EXPECT_THROW((void)monte_carlo(cfg, schedule, options), common::Error);
+  common::ThreadPool pool(2);
+  EXPECT_THROW((void)monte_carlo(cfg, schedule, options, pool),
+               common::Error);
 }
 
 class SolutionSimSweep : public ::testing::TestWithParam<opt::Solution> {};

@@ -270,7 +270,7 @@ TEST(NetProtocol, MalformedRequestsNameTheOffendingField) {
 TEST(NetProtocol, ReportRoundTripIsByteIdentical) {
   svc::SweepEngine engine({.threads = 1});
   for (const svc::PlanRequest& request : wire_requests()) {
-    const svc::PlanReport report = engine.plan_one(request);
+    const svc::PlanReport report = *engine.plan_one(request);
     const std::string first = json::dump(encode_report(report));
     svc::PlanReport decoded;
     std::string error;
@@ -288,7 +288,7 @@ TEST(NetProtocol, ReportRoundTripIsByteIdentical) {
 
 TEST(NetProtocol, ResponseLinesDecodeToReportOrRejection) {
   svc::SweepEngine engine({.threads = 1});
-  const svc::PlanReport report = engine.plan_one(wire_requests().front());
+  const svc::PlanReport report = *engine.plan_one(wire_requests().front());
 
   Response response;
   std::string error;
@@ -307,6 +307,159 @@ TEST(NetProtocol, ResponseLinesDecodeToReportOrRejection) {
 
   EXPECT_FALSE(decode_response("not json at all", &response, &error));
   EXPECT_FALSE(decode_response(R"({"no":"ok field"})", &response, &error));
+}
+
+// --- validate round trips ----------------------------------------------
+
+svc::SimRequest wire_sim_request() {
+  svc::SimRequest request{
+      exp::make_fti_system(30.0, exp::FailureCase{"fusion", {24, 18, 12, 6}},
+                           1024.0),
+      opt::Solution::kMultilevelOptScale,
+      {},
+      {},
+      "sim"};
+  request.monte_carlo.runs = 16;
+  request.monte_carlo.seed = 0xdeadbeefULL;
+  request.monte_carlo.sim.jitter_ratio = 0.25;
+  return request;
+}
+
+TEST(NetProtocol, SimRequestRoundTripIsByteIdentical) {
+  const svc::SimRequest request = wire_sim_request();
+  const std::string first = encode_sim_request_line(request, 250);
+  long deadline_ms = 0;
+  std::string error;
+  const auto decoded =
+      decode_sim_request(parse_ok(first), &deadline_ms, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(deadline_ms, 250);
+  EXPECT_EQ(encode_sim_request_line(*decoded, 250), first);
+  EXPECT_EQ(svc::canonical_key(*decoded), svc::canonical_key(request));
+  EXPECT_EQ(decoded->monte_carlo.runs, 16);
+  EXPECT_EQ(decoded->monte_carlo.seed, 0xdeadbeefULL);
+  EXPECT_EQ(decoded->monte_carlo.sim.jitter_ratio, 0.25);
+}
+
+TEST(NetProtocol, SimRequestInvalidMonteCarloOptionsAreBadRequests) {
+  const std::string line = encode_sim_request_line(wire_sim_request());
+  json::Object envelope = parse_ok(line).as_object();
+  json::Object mc = envelope.at("monte_carlo").as_object();
+  mc["runs"] = json::Value(-3L);
+  envelope["monte_carlo"] = json::Value(std::move(mc));
+  long deadline_ms = 0;
+  std::string error;
+  EXPECT_FALSE(decode_sim_request(json::Value(envelope), &deadline_ms, &error)
+                   .has_value());
+  EXPECT_NE(error.find("runs"), std::string::npos) << error;
+
+  // The reserved sentinel seed is refused at the wire boundary too.
+  json::Object sentinel = parse_ok(line).as_object();
+  json::Object mc2 = sentinel.at("monte_carlo").as_object();
+  mc2["seed"] = json::Value("18446744073709551615");
+  sentinel["monte_carlo"] = json::Value(std::move(mc2));
+  error.clear();
+  EXPECT_FALSE(decode_sim_request(json::Value(sentinel), &deadline_ms, &error)
+                   .has_value());
+  EXPECT_NE(error.find("sentinel"), std::string::npos) << error;
+}
+
+TEST(NetProtocol, SimReportRoundTripIsByteIdentical) {
+  svc::SweepEngine engine({.threads = 1});
+  const svc::SimReport report = *engine.validate_one(wire_sim_request());
+  ASSERT_TRUE(report.ok()) << report.message;
+  const std::string first = json::dump(encode_sim_report(report));
+  svc::SimReport decoded;
+  std::string error;
+  ASSERT_TRUE(decode_sim_report(parse_ok(first), &decoded, &error)) << error;
+  EXPECT_EQ(json::dump(encode_sim_report(decoded)), first);
+  EXPECT_EQ(decoded.key, report.key);
+  EXPECT_EQ(decoded.runs, report.runs);
+  EXPECT_EQ(decoded.wallclock.mean, report.wallclock.mean);
+  EXPECT_EQ(decoded.wallclock.stddev, report.wallclock.stddev);
+  EXPECT_EQ(decoded.portion_errors.productive,
+            report.portion_errors.productive);
+  EXPECT_EQ(decoded.plan.plan().scale, report.plan.plan().scale);
+  EXPECT_EQ(deterministic_fingerprint(decoded),
+            deterministic_fingerprint(report));
+}
+
+TEST(NetProtocol, SimResponseLinesDecodeToReportOrRejection) {
+  svc::SweepEngine engine({.threads = 1});
+  const svc::SimReport report = *engine.validate_one(wire_sim_request());
+
+  SimResponse response;
+  std::string error;
+  ASSERT_TRUE(
+      decode_sim_response(encode_sim_report_line(report), &response, &error))
+      << error;
+  EXPECT_TRUE(response.accepted);
+  EXPECT_EQ(response.report.wallclock.mean, report.wallclock.mean);
+
+  ASSERT_TRUE(decode_sim_response(
+      encode_rejection_line(Reject::kDeadline, "too slow"), &response,
+      &error))
+      << error;
+  EXPECT_FALSE(response.accepted);
+  EXPECT_EQ(response.reject, Reject::kDeadline);
+  EXPECT_EQ(response.message, "too slow");
+}
+
+// --- versioning & op discovery -----------------------------------------
+
+TEST(NetProtocol, EveryEnvelopeCarriesVersionOne) {
+  EXPECT_NE(encode_request_line(wire_requests().front()).find("\"v\":1"),
+            std::string::npos);
+  EXPECT_NE(encode_sim_request_line(wire_sim_request()).find("\"v\":1"),
+            std::string::npos);
+  svc::SweepEngine engine({.threads = 1});
+  const auto report = *engine.plan_one(wire_requests().front());
+  EXPECT_NE(encode_report_line(report).find("\"v\":1"), std::string::npos);
+  EXPECT_NE(encode_rejection_line(Reject::kDraining, "bye").find("\"v\":1"),
+            std::string::npos);
+  EXPECT_NE(encode_unknown_op_line("nope").find("\"v\":1"),
+            std::string::npos);
+}
+
+TEST(NetProtocol, VersionCheckAcceptsAbsentOrOneRejectsOthers) {
+  std::string error;
+  EXPECT_TRUE(envelope_version_ok(parse_ok(R"({"op":"ping"})"), &error));
+  EXPECT_TRUE(envelope_version_ok(parse_ok(R"({"op":"ping","v":1})"), &error));
+  EXPECT_FALSE(envelope_version_ok(parse_ok(R"({"op":"ping","v":2})"), &error));
+  EXPECT_NE(error.find("unsupported protocol version 2"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("1"), std::string::npos) << error;
+  error.clear();
+  EXPECT_FALSE(
+      envelope_version_ok(parse_ok(R"({"op":"ping","v":"x"})"), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(NetProtocol, UnknownOpLineListsSupportedOps) {
+  const std::string line = encode_unknown_op_line("frobnicate");
+  Response response;
+  std::string error;
+  ASSERT_TRUE(decode_response(line, &response, &error)) << error;
+  EXPECT_FALSE(response.accepted);
+  EXPECT_EQ(response.reject, Reject::kBadRequest);
+  EXPECT_NE(response.message.find("frobnicate"), std::string::npos);
+  EXPECT_NE(response.message.find("plan|validate|ping|metrics"),
+            std::string::npos)
+      << response.message;
+  const json::Value parsed = parse_ok(line);
+  const json::Value* supported = parsed.find("supported");
+  ASSERT_NE(supported, nullptr);
+  ASSERT_TRUE(supported->is_array());
+  ASSERT_EQ(supported->as_array().size(), supported_ops().size());
+  for (std::size_t i = 0; i < supported_ops().size(); ++i) {
+    EXPECT_EQ(supported->as_array()[i].as_string(), supported_ops()[i]);
+  }
+}
+
+TEST(NetProtocol, SupportedOpsAreStable) {
+  const std::vector<std::string> expected = {"plan", "validate", "ping",
+                                             "metrics"};
+  EXPECT_EQ(supported_ops(), expected);
 }
 
 TEST(NetProtocol, RejectTaxonomyNamesAreStable) {

@@ -92,11 +92,8 @@ svc::PlanRequest paper_request(double te = 3e6, std::size_t failure_case = 0) {
 
 /// The exact wire encoding with non-deterministic timing fields zeroed —
 /// equality means "the same answer", independent of where it was solved.
-std::string fingerprint(svc::PlanReport report) {
-  report.solve_seconds = 0.0;
-  report.queue_wait_seconds = 0.0;
-  report.cache_hit = false;
-  return json::dump(encode_report(report));
+std::string fingerprint(const svc::PlanReport& report) {
+  return deterministic_fingerprint(report);
 }
 
 ServerOptions small_server() {
@@ -118,7 +115,7 @@ TEST(NetServer, ReportMatchesInProcessPlanOneExactly) {
   ASSERT_TRUE(response.accepted) << response.message;
 
   svc::SweepEngine engine({.threads = 1});
-  const svc::PlanReport local = engine.plan_one(request);
+  const svc::PlanReport local = *engine.plan_one(request);
   EXPECT_EQ(fingerprint(response.report), fingerprint(local));
   EXPECT_EQ(response.report.key, local.key);
   EXPECT_EQ(response.report.status, local.status);
@@ -232,7 +229,7 @@ TEST(NetServer, ConcurrentClientsAllGetTheSameAnswer) {
   const std::uint16_t port = server.port();
 
   svc::SweepEngine engine({.threads = 1});
-  const std::string expected = fingerprint(engine.plan_one(paper_request()));
+  const std::string expected = fingerprint(*engine.plan_one(paper_request()));
 
   std::atomic<int> mismatches{0};
   std::vector<std::thread> clients;
@@ -270,6 +267,92 @@ TEST(NetServer, DrainFinishesInFlightWorkAndStopsAccepting) {
 
   // The listener is gone: new connections fail at the transport level.
   EXPECT_THROW(Client({.port = port, .timeout_ms = 500}), common::Error);
+}
+
+svc::SimRequest paper_sim_request(int runs = 24) {
+  // Fusion-scale FTI system (te_core_days=30, n_star=1024): small enough to
+  // simulate quickly, and its plan/sim agreement is within a few percent.
+  svc::SimRequest request{
+      exp::make_fti_system(30.0, exp::FailureCase{"fusion", {24, 18, 12, 6}},
+                           1024.0),
+      opt::Solution::kMultilevelOptScale,
+      {},
+      {},
+      "sim-test"};
+  request.monte_carlo.runs = runs;
+  request.monte_carlo.seed = 1234;
+  return request;
+}
+
+TEST(NetServer, ValidateReportMatchesInProcessValidateOne) {
+  Server server(small_server());
+  server.start();
+  Client client({.port = server.port()});
+
+  const svc::SimRequest request = paper_sim_request();
+  const SimResponse response = client.validate(request);
+  ASSERT_TRUE(response.accepted) << response.message;
+  EXPECT_TRUE(response.report.ok()) << response.report.message;
+  EXPECT_EQ(response.report.runs, request.monte_carlo.runs);
+
+  svc::SweepEngine engine({.threads = 1});
+  const svc::SimReport local = *engine.validate_one(request);
+  EXPECT_EQ(deterministic_fingerprint(response.report),
+            deterministic_fingerprint(local));
+  EXPECT_EQ(response.report.wallclock.mean, local.wallclock.mean);
+  EXPECT_EQ(server.metrics().counter("net.validated").value(), 1u);
+}
+
+TEST(NetServer, UnknownOpAnswersStructuredErrorListingSupportedOps) {
+  Server server(small_server());
+  server.start();
+  Connection conn(connect_to("127.0.0.1", server.port(), 5000));
+  ASSERT_TRUE(conn.write_line(R"({"op":"frobnicate"})"));
+  std::string line;
+  ASSERT_EQ(conn.read_line(&line, 5000), Connection::ReadResult::kLine);
+  Response response;
+  std::string error;
+  ASSERT_TRUE(decode_response(line, &response, &error)) << error;
+  EXPECT_FALSE(response.accepted);
+  EXPECT_EQ(response.reject, Reject::kBadRequest);
+  EXPECT_NE(response.message.find("frobnicate"), std::string::npos)
+      << response.message;
+  EXPECT_NE(response.message.find("plan|validate|ping|metrics"),
+            std::string::npos)
+      << response.message;
+  // The supported ops also ride along as a structured array.
+  std::string parse_error;
+  const auto parsed = json::parse(line, &parse_error);
+  ASSERT_TRUE(parsed.has_value()) << parse_error;
+  const json::Value* supported = parsed->find("supported");
+  ASSERT_NE(supported, nullptr);
+  ASSERT_TRUE(supported->is_array());
+  EXPECT_EQ(supported->as_array().size(), supported_ops().size());
+  // The connection stays usable after the unknown op.
+  ASSERT_TRUE(conn.write_line(R"({"op":"ping","v":1})"));
+  ASSERT_EQ(conn.read_line(&line, 5000), Connection::ReadResult::kLine);
+  EXPECT_NE(line.find("pong"), std::string::npos);
+}
+
+TEST(NetServer, UnsupportedProtocolVersionIsRejected) {
+  Server server(small_server());
+  server.start();
+  Connection conn(connect_to("127.0.0.1", server.port(), 5000));
+  ASSERT_TRUE(conn.write_line(R"({"op":"ping","v":2})"));
+  std::string line;
+  ASSERT_EQ(conn.read_line(&line, 5000), Connection::ReadResult::kLine);
+  Response response;
+  std::string error;
+  ASSERT_TRUE(decode_response(line, &response, &error)) << error;
+  EXPECT_FALSE(response.accepted);
+  EXPECT_EQ(response.reject, Reject::kBadRequest);
+  EXPECT_NE(response.message.find("unsupported protocol version"),
+            std::string::npos)
+      << response.message;
+  // Absent "v" means version 1: the same connection still serves it.
+  ASSERT_TRUE(conn.write_line(R"({"op":"ping"})"));
+  ASSERT_EQ(conn.read_line(&line, 5000), Connection::ReadResult::kLine);
+  EXPECT_NE(line.find("pong"), std::string::npos);
 }
 
 TEST(NetServer, ServerDefaultDeadlineAppliesWhenRequestCarriesNone) {

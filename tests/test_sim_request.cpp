@@ -1,0 +1,128 @@
+// Canonical-key and summary-flattening tests for the validation request
+// type.  The key contract mirrors plan_request: every result-influencing
+// field lands in the key; echo tags and resource knobs (label, threads) do
+// not, because the replica fan-out is bit-identical at every width.
+#include "svc/sim_request.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/cases.h"
+#include "stat/summary.h"
+#include "svc/plan_request.h"
+
+namespace mlcr::svc {
+namespace {
+
+SimRequest base_request() {
+  SimRequest request{
+      exp::make_fti_system(30.0, exp::FailureCase{"fusion", {24, 18, 12, 6}},
+                           1024.0),
+      opt::Solution::kMultilevelOptScale,
+      {},
+      {},
+      "tag"};
+  request.monte_carlo.runs = 40;
+  request.monte_carlo.seed = 11;
+  return request;
+}
+
+TEST(SimRequest, KeyExtendsThePlanKey) {
+  const SimRequest request = base_request();
+  const std::string key = canonical_key(request);
+  const std::string plan_key = canonical_key(request.plan_request());
+  // The sim key is the plan key plus the Monte-Carlo fields: warming the
+  // plan cache from a validation and vice versa depends on this prefix.
+  EXPECT_EQ(key.rfind(plan_key, 0), 0u) << key;
+  EXPECT_GT(key.size(), plan_key.size());
+  EXPECT_NE(key.find("mc.runs=40"), std::string::npos) << key;
+  EXPECT_NE(key.find("mc.seed=11"), std::string::npos) << key;
+}
+
+TEST(SimRequest, EveryResultInfluencingFieldChangesTheKey) {
+  const SimRequest base = base_request();
+  const std::string key = canonical_key(base);
+
+  SimRequest more_runs = base_request();
+  more_runs.monte_carlo.runs = 41;
+  EXPECT_NE(canonical_key(more_runs), key);
+
+  SimRequest other_seed = base_request();
+  other_seed.monte_carlo.seed = 12;
+  EXPECT_NE(canonical_key(other_seed), key);
+
+  SimRequest jittered = base_request();
+  jittered.monte_carlo.sim.jitter_ratio = 0.25;
+  EXPECT_NE(canonical_key(jittered), key);
+
+  SimRequest capped = base_request();
+  capped.monte_carlo.sim.max_events += 1;
+  EXPECT_NE(canonical_key(capped), key);
+
+  SimRequest non_atomic = base_request();
+  non_atomic.monte_carlo.sim.atomic_checkpoints =
+      !base.monte_carlo.sim.atomic_checkpoints;
+  EXPECT_NE(canonical_key(non_atomic), key);
+
+  SimRequest weibull = base_request();
+  weibull.monte_carlo.sim.weibull_shape = 0.7;
+  EXPECT_NE(canonical_key(weibull), key);
+
+  SimRequest other_solution = base_request();
+  other_solution.solution = opt::Solution::kSingleLevelOptScale;
+  EXPECT_NE(canonical_key(other_solution), key);
+
+  SimRequest other_options = base_request();
+  other_options.plan_options.delta = 1e-9;
+  EXPECT_NE(canonical_key(other_options), key);
+}
+
+TEST(SimRequest, LabelAndThreadsDoNotSplitTheCache) {
+  const std::string key = canonical_key(base_request());
+
+  SimRequest relabeled = base_request();
+  relabeled.label = "something else entirely";
+  EXPECT_EQ(canonical_key(relabeled), key);
+
+  // threads is a resource knob: by the determinism contract it cannot
+  // change the result, so it must not fragment the cache either.
+  SimRequest wide = base_request();
+  wide.monte_carlo.threads = 8;
+  EXPECT_EQ(canonical_key(wide), key);
+}
+
+TEST(SimRequest, KeyIsDeterministicAcrossCalls) {
+  EXPECT_EQ(canonical_key(base_request()), canonical_key(base_request()));
+}
+
+TEST(SimRequest, FlattenPreservesSummaryFields) {
+  stat::Summary summary;
+  summary.add(1.0);
+  summary.add(3.0);
+  summary.add(2.0);
+  const SimSummary flat = flatten(summary);
+  EXPECT_EQ(flat.count, summary.count());
+  EXPECT_EQ(flat.mean, summary.mean());
+  EXPECT_EQ(flat.stddev, summary.stddev());
+  EXPECT_EQ(flat.min, 1.0);
+  EXPECT_EQ(flat.max, 3.0);
+}
+
+TEST(SimRequest, FlattenOfEmptySummaryIsAllZero) {
+  const SimSummary flat = flatten(stat::Summary{});
+  EXPECT_EQ(flat.count, 0u);
+  EXPECT_EQ(flat.mean, 0.0);
+  EXPECT_EQ(flat.stddev, 0.0);
+  EXPECT_EQ(flat.min, 0.0);
+  EXPECT_EQ(flat.max, 0.0);
+}
+
+TEST(SimRequest, PlanRequestHalfCarriesEverythingButMonteCarlo) {
+  const SimRequest request = base_request();
+  const PlanRequest plan = request.plan_request();
+  EXPECT_EQ(plan.solution, request.solution);
+  EXPECT_EQ(plan.label, request.label);
+  EXPECT_EQ(canonical_key(plan), canonical_key(base_request().plan_request()));
+}
+
+}  // namespace
+}  // namespace mlcr::svc

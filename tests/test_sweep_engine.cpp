@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -75,12 +76,12 @@ TEST(SweepEngine, CacheHitOnRepeatedRequest) {
   const PlanRequest request{cfg, opt::Solution::kMultilevelOptScale, {}, {}};
 
   SweepEngine engine({/*threads=*/2, /*cache_capacity=*/16});
-  const auto first = engine.plan_one(request);
+  const auto first = *engine.plan_one(request);
   EXPECT_FALSE(first.cache_hit);
   EXPECT_TRUE(first.ok());
   EXPECT_EQ(engine.cache_size(), 1u);
 
-  const auto second = engine.plan_one(request);
+  const auto second = *engine.plan_one(request);
   EXPECT_TRUE(second.cache_hit);
   EXPECT_EQ(second.plan().scale, first.plan().scale);
   EXPECT_EQ(second.wallclock(), first.wallclock());
@@ -118,7 +119,7 @@ TEST(SweepEngine, DistinctOptionsDoNotShareCacheEntries) {
 
   SweepEngine engine({/*threads=*/2, /*cache_capacity=*/16});
   (void)engine.plan_one(loose);
-  const auto report = engine.plan_one(tight);
+  const auto report = *engine.plan_one(tight);
   EXPECT_FALSE(report.cache_hit);
   EXPECT_EQ(engine.cache_size(), 2u);
 }
@@ -132,7 +133,7 @@ TEST(SweepEngine, InvalidConfigReportedNotThrown) {
       {{model::Overhead::constant(5.0), model::Overhead::constant(5.0)}},
       model::FailureRates({4.0}, 1e6), 60.0);
   SweepEngine engine;
-  const auto report = engine.plan_one(
+  const auto report = *engine.plan_one(
       {cfg, opt::Solution::kMultilevelOriScale, {}, "bad"});
   EXPECT_EQ(report.status, opt::Status::kInvalidConfig);
   EXPECT_FALSE(report.ok());
@@ -188,15 +189,15 @@ TEST(SweepEngine, CacheEvictsInsteadOfDroppingWhenFull) {
   EXPECT_EQ(engine.cache_size(), 2u);
 
   // Touch `a` so `b` becomes least-recently-used, then overflow with `c`.
-  EXPECT_TRUE(engine.plan_one(a).cache_hit);
+  EXPECT_TRUE(engine.plan_one(a)->cache_hit);
   (void)engine.plan_one(c);
   EXPECT_EQ(engine.cache_size(), 2u);
   EXPECT_EQ(engine.metrics().counter("cache.evictions").value(), 1u);
 
   // `c` was cached (old behavior: dropped), `a` survived, `b` was evicted.
-  EXPECT_TRUE(engine.plan_one(c).cache_hit);
-  EXPECT_TRUE(engine.plan_one(a).cache_hit);
-  EXPECT_FALSE(engine.plan_one(b).cache_hit);
+  EXPECT_TRUE(engine.plan_one(c)->cache_hit);
+  EXPECT_TRUE(engine.plan_one(a)->cache_hit);
+  EXPECT_FALSE(engine.plan_one(b)->cache_hit);
 }
 
 TEST(SweepEngine, ClassifyFailureTaxonomy) {
@@ -235,7 +236,7 @@ TEST(SweepEngine, ForcedDivergenceSurfacesAsDivergedNotInvalidConfig) {
   const auto cfg =
       exp::make_fti_system(3e6, exp::FailureCase{"hot", {1e3, 1e3, 1e3, 1e3}});
   SweepEngine engine({/*threads=*/2, /*cache_capacity=*/16});
-  const auto report = engine.plan_one(
+  const auto report = *engine.plan_one(
       {cfg, opt::Solution::kMultilevelOriScale, {}, "diverging"});
   common::set_log_level(saved);
 
@@ -342,7 +343,7 @@ TEST(SweepEngine, ExpiredDeadlineReturnsNulloptWithoutSolving) {
   SweepEngine engine({/*threads=*/1});
 
   const auto past = std::chrono::steady_clock::now() - std::chrono::seconds(1);
-  EXPECT_FALSE(engine.plan_one(request, past).has_value());
+  EXPECT_FALSE(engine.plan_one(request, std::optional(past)).has_value());
   EXPECT_EQ(engine.metrics().counter("requests.expired").value(), 1u);
   EXPECT_EQ(engine.metrics().timer("solve.seconds").snapshot().count, 0u);
   EXPECT_EQ(engine.cache_size(), 0u);
@@ -354,9 +355,9 @@ TEST(SweepEngine, DeadlineVariantMatchesPlainPlanOne) {
   SweepEngine plain_engine({/*threads=*/1});
   SweepEngine deadline_engine({/*threads=*/1});
 
-  const auto plain = plain_engine.plan_one(request);
+  const auto plain = *plain_engine.plan_one(request);
   const auto far = std::chrono::steady_clock::time_point::max();
-  const auto bounded = deadline_engine.plan_one(request, far);
+  const auto bounded = deadline_engine.plan_one(request, std::optional(far));
   ASSERT_TRUE(bounded.has_value());
   EXPECT_EQ(bounded->key, plain.key);
   EXPECT_EQ(bounded->status, plain.status);
@@ -370,20 +371,40 @@ TEST(SweepEngine, CacheHitIsServedEvenPastDeadline) {
   PlanRequest request{cfg, opt::Solution::kMultilevelOptScale, {}, {}};
   SweepEngine engine({/*threads=*/1});
 
-  const auto solved = engine.plan_one(request);  // populate the cache
+  const auto solved = *engine.plan_one(request);  // populate the cache
   const auto past = std::chrono::steady_clock::now() - std::chrono::seconds(1);
-  const auto cached = engine.plan_one(request, past);
+  const auto cached = engine.plan_one(request, std::optional(past));
   ASSERT_TRUE(cached.has_value());  // hits cost microseconds: always served
   EXPECT_TRUE(cached->cache_hit);
   EXPECT_EQ(cached->wallclock(), solved.wallclock());
   EXPECT_EQ(engine.metrics().counter("requests.expired").value(), 0u);
 }
 
+TEST(SweepEngine, DeprecatedRawDeadlineOverloadStillForwards) {
+  // The raw-Deadline overload is kept as a deprecated inline forwarder for
+  // one release; pin that it still routes into the unified optional
+  // signature with identical semantics.
+  const auto cfg = exp::make_fti_system(3e6, exp::paper_failure_cases()[0]);
+  PlanRequest request{cfg, opt::Solution::kMultilevelOptScale, {}, {}};
+  SweepEngine engine({/*threads=*/1});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto past = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  EXPECT_FALSE(engine.plan_one(request, past).has_value());
+  const auto far = std::chrono::steady_clock::time_point::max();
+  const auto bounded = engine.plan_one(request, far);
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(bounded.has_value());
+  const auto plain = *engine.plan_one(request);
+  EXPECT_EQ(bounded->key, plain.key);
+  EXPECT_EQ(bounded->wallclock(), plain.wallclock());
+}
+
 TEST(SweepEngine, MatchesDirectPlannerCall) {
   const auto cfg = exp::make_fti_system(3e6, exp::paper_failure_cases()[2]);
   const auto direct = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
   SweepEngine engine;
-  const auto report = engine.plan_one(
+  const auto report = *engine.plan_one(
       {cfg, opt::Solution::kMultilevelOptScale, {}, {}});
   EXPECT_EQ(report.plan().scale, direct.full_plan.scale);
   EXPECT_EQ(report.wallclock(), direct.optimization.wallclock);

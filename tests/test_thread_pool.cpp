@@ -5,7 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <numeric>
-#include <stdexcept>
+#include <exception>
 #include <thread>
 #include <vector>
 
@@ -52,14 +52,22 @@ TEST(ThreadPool, ConcurrentSubmitAndDrain) {
   EXPECT_EQ(total.load(), kSubmitters * kPerSubmitter);
 }
 
+// what() returns a literal: with a COW std::string (pre-C++11 ABI), a
+// runtime_error's message buffer is shared between the worker's stored
+// exception and the rethrown copy, and TSan (which cannot see the atomic
+// refcount inside an uninstrumented libstdc++) flags the cross-thread
+// release as a race.  A literal keeps the test ABI-independent.
+struct TaskFailed : std::exception {
+  const char* what() const noexcept override { return "task failed"; }
+};
+
 TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
   ThreadPool pool(2);
-  auto future = pool.submit(
-      []() -> int { throw std::runtime_error("task failed"); });
+  auto future = pool.submit([]() -> int { throw TaskFailed{}; });
   try {
     (void)future.get();
-    FAIL() << "expected std::runtime_error";
-  } catch (const std::runtime_error& error) {
+    FAIL() << "expected TaskFailed";
+  } catch (const TaskFailed& error) {
     EXPECT_STREQ(error.what(), "task failed");
   }
   // The pool stays usable after a throwing task.

@@ -94,6 +94,44 @@ TEST(TraceIo, GeneratedTraceDrivesSimulatorLikeSampledFailures) {
   EXPECT_NEAR(replayed_total / sampled_total, 1.0, 0.05);
 }
 
+TEST(TraceIo, EmptyTraceRoundTripsAndPinsHeaderOnlyFormat) {
+  // An empty trace is just the header — byte-exact, because these files are
+  // an on-disk interchange format (DESIGN.md §8): changing a byte breaks
+  // replayability of archived traces.
+  FailureTrace empty;
+  empty.arrivals_per_level = {{}, {}, {}};
+  EXPECT_EQ(trace_to_string(empty), "# mlcr failure trace v1\n");
+  const auto loaded = trace_from_string(trace_to_string(empty), 3);
+  ASSERT_EQ(loaded.arrivals_per_level.size(), 3u);
+  EXPECT_EQ(trace_event_count(loaded), 0u);
+}
+
+TEST(TraceIo, SingleEventTraceRoundTripsExactly) {
+  FailureTrace trace;
+  trace.arrivals_per_level = {{}, {2.5}};
+  const std::string text = trace_to_string(trace);
+  EXPECT_EQ(text, "# mlcr failure trace v1\n2.5 2\n");
+  const auto loaded = trace_from_string(text, 2);
+  EXPECT_TRUE(loaded.arrivals_per_level[0].empty());
+  ASSERT_EQ(loaded.arrivals_per_level[1].size(), 1u);
+  EXPECT_EQ(loaded.arrivals_per_level[1][0], 2.5);
+}
+
+TEST(TraceIo, OnDiskFormatIsPinned) {
+  // "<seconds> <level>" with 1-based levels, merged in time order, 17
+  // significant digits available for non-representable times.
+  FailureTrace trace;
+  trace.arrivals_per_level = {{1.5}, {0.5, 3.0}};
+  EXPECT_EQ(trace_to_string(trace),
+            "# mlcr failure trace v1\n"
+            "0.5 2\n"
+            "1.5 1\n"
+            "3 2\n");
+  // Serialize -> parse -> serialize is a fixed point.
+  const auto loaded = trace_from_string(trace_to_string(trace), 2);
+  EXPECT_EQ(trace_to_string(loaded), trace_to_string(trace));
+}
+
 TEST(TraceIo, EventCount) {
   FailureTrace trace;
   trace.arrivals_per_level = {{1, 2}, {}, {3}};

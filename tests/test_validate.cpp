@@ -1,0 +1,211 @@
+// End-to-end tests for the validation pipeline (SweepEngine::validate_one /
+// validate_sweep): plan a request, fault-inject the plan with the parallel
+// Monte-Carlo driver, report plan-vs-simulated error.  The central
+// invariants: the report is bit-identical for every thread count (the
+// `solver-nondeterminism` contract extended to simulation), failures come
+// back as reports rather than exceptions, and at the paper's validation
+// scales the analytic model agrees with the simulation within 5%
+// (Figure 4's claim).
+#include "svc/sweep_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/log.h"
+#include "exp/cases.h"
+#include "net/protocol.h"
+#include "svc/sim_request.h"
+
+namespace mlcr::svc {
+namespace {
+
+SimRequest fusion_request(int runs = 40, std::uint64_t seed = 11) {
+  // Fusion-scale FTI system (Figure 4's regime): checkpoint costs are small
+  // relative to intervals, so analytic and simulated means agree tightly.
+  SimRequest request{
+      exp::make_fti_system(30.0, exp::FailureCase{"fusion", {24, 18, 12, 6}},
+                           1024.0),
+      opt::Solution::kMultilevelOptScale,
+      {},
+      {},
+      "fusion"};
+  request.monte_carlo.runs = runs;
+  request.monte_carlo.seed = seed;
+  return request;
+}
+
+TEST(ValidatePipeline, OneThreadAndEightThreadsAreBitIdentical) {
+  // The whole pipeline — plan, replica fan-out, merge, error computation —
+  // must be a pure function of the request.  Compared via the wire
+  // fingerprint, which zeroes only the timing/cache fields.
+  SweepEngine narrow({.threads = 1});
+  SweepEngine wide({.threads = 8});
+  const auto a = narrow.validate_one(fusion_request());
+  const auto b = wide.validate_one(fusion_request());
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  ASSERT_TRUE(a->ok()) << a->message;
+  EXPECT_EQ(net::deterministic_fingerprint(*a),
+            net::deterministic_fingerprint(*b));
+  // Spot-check the raw moments too: the fingerprint must not be hiding a
+  // lossy encoding.
+  EXPECT_EQ(a->wallclock.mean, b->wallclock.mean);
+  EXPECT_EQ(a->wallclock.stddev, b->wallclock.stddev);
+  EXPECT_EQ(a->efficiency.mean, b->efficiency.mean);
+  EXPECT_EQ(a->wallclock_error, b->wallclock_error);
+}
+
+TEST(ValidatePipeline, FusionScaleErrorWithinFivePercent) {
+  SweepEngine engine({.threads = 2});
+  const auto report = engine.validate_one(fusion_request(60));
+  ASSERT_TRUE(report.has_value());
+  ASSERT_TRUE(report->ok()) << report->message;
+  ASSERT_EQ(report->incomplete_runs, 0);
+  EXPECT_LT(std::abs(report->wallclock_error), 0.05)
+      << "simulated " << report->wallclock.mean << " analytic "
+      << report->plan.wallclock();
+  // Portion errors are normalized by the analytic wall-clock, so they are
+  // bounded by the wall-clock error budget as well.
+  EXPECT_LT(std::abs(report->portion_errors.productive), 0.05);
+}
+
+TEST(ValidatePipeline, SecondValidationIsACacheHit) {
+  SweepEngine engine({.threads = 2});
+  const auto first = engine.validate_one(fusion_request());
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(first->cache_hit);
+  EXPECT_EQ(engine.sim_cache_size(), 1u);
+
+  const auto second = engine.validate_one(fusion_request());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->wallclock.mean, first->wallclock.mean);
+  EXPECT_EQ(second->key, first->key);
+  EXPECT_EQ(engine.metrics().counter("validate.cache.hits").value(), 1u);
+
+  // The plan half landed in the plan cache: planning the same problem later
+  // is free.
+  const auto plan = engine.plan_one(fusion_request().plan_request());
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->cache_hit);
+}
+
+TEST(ValidatePipeline, DifferentSeedsProduceDifferentReports) {
+  SweepEngine engine({.threads = 2});
+  const auto a = engine.validate_one(fusion_request(40, 1));
+  const auto b = engine.validate_one(fusion_request(40, 2));
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_FALSE(b->cache_hit);  // seed is part of the canonical key
+  EXPECT_NE(a->wallclock.mean, b->wallclock.mean);
+}
+
+TEST(ValidatePipeline, InvalidMonteCarloOptionsComeBackAsReports) {
+  SweepEngine engine({.threads = 1});
+  SimRequest request = fusion_request();
+  request.monte_carlo.runs = 0;
+  const auto report = engine.validate_one(request);
+  ASSERT_TRUE(report.has_value());  // never throws, never nullopt
+  EXPECT_EQ(report->status, opt::Status::kInvalidConfig);
+  EXPECT_NE(report->message.find("runs"), std::string::npos)
+      << report->message;
+
+  SimRequest sentinel = fusion_request();
+  sentinel.monte_carlo.seed = sim::kSeedSentinel;
+  const auto rejected = engine.validate_one(sentinel);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(rejected->status, opt::Status::kInvalidConfig);
+}
+
+TEST(ValidatePipeline, FailedPlanPropagatesWithPlanPrefix) {
+  // Divergent planning problem (see test_sweep_engine): the sim layer must
+  // report the plan failure, not simulate garbage.
+  const auto saved = common::log_level();
+  common::set_log_level(common::LogLevel::kError);
+  SimRequest request{
+      exp::make_fti_system(3e6, exp::FailureCase{"hot", {1e3, 1e3, 1e3, 1e3}}),
+      opt::Solution::kMultilevelOriScale,
+      {},
+      {},
+      "diverging"};
+  request.monte_carlo.runs = 4;
+  SweepEngine engine({.threads = 1});
+  const auto report = engine.validate_one(request);
+  common::set_log_level(saved);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->status, opt::Status::kDiverged);
+  EXPECT_EQ(report->message.rfind("plan: ", 0), 0u) << report->message;
+  EXPECT_EQ(report->wallclock.count, 0u);  // nothing was simulated
+}
+
+TEST(ValidatePipeline, ExpiredDeadlineReturnsNulloptButCacheHitsAreServed) {
+  SweepEngine engine({.threads = 1});
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  EXPECT_FALSE(
+      engine.validate_one(fusion_request(), std::optional(past)).has_value());
+  EXPECT_EQ(engine.metrics().counter("validate.expired").value(), 1u);
+  EXPECT_EQ(engine.sim_cache_size(), 0u);
+
+  const auto solved = engine.validate_one(fusion_request());
+  ASSERT_TRUE(solved.has_value());
+  const auto cached =
+      engine.validate_one(fusion_request(), std::optional(past));
+  ASSERT_TRUE(cached.has_value());  // hits cost microseconds: always served
+  EXPECT_TRUE(cached->cache_hit);
+  EXPECT_EQ(cached->wallclock.mean, solved->wallclock.mean);
+}
+
+TEST(ValidatePipeline, SweepKeepsOrderAndAccountsForEveryRequest) {
+  std::vector<SimRequest> requests = {
+      fusion_request(20, 1), fusion_request(20, 2), fusion_request(20, 1)};
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].label = "v-" + std::to_string(i);
+  }
+  SweepEngine engine({.threads = 2});
+  SimSweepStats stats;
+  const auto reports = engine.validate_sweep(requests, &stats);
+  ASSERT_EQ(reports.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(reports[i].label, "v-" + std::to_string(i));
+    EXPECT_TRUE(reports[i].ok()) << reports[i].message;
+  }
+  // Request 2 repeats request 0's key: served from the sim cache.
+  EXPECT_TRUE(reports[2].cache_hit);
+  EXPECT_EQ(reports[2].wallclock.mean, reports[0].wallclock.mean);
+
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.simulated, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.requests, stats.simulated + stats.cache_hits);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.replicas, 40u);  // 2 simulated requests x 20 runs
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.sim_seconds_total, 0.0);
+  EXPECT_GE(stats.sim_seconds_max, 0.0);
+  EXPECT_GT(stats.worst_abs_error, 0.0);
+  EXPECT_LT(stats.worst_abs_error, 0.10);
+}
+
+TEST(ValidatePipeline, MetricsCoverThePipeline) {
+  SweepEngine engine({.threads = 2});
+  const auto report = engine.validate_one(fusion_request(20));
+  ASSERT_TRUE(report.has_value());
+  ASSERT_TRUE(report->ok());
+  auto& metrics = engine.metrics();
+  EXPECT_EQ(metrics.counter("validate.requests").value(), 1u);
+  EXPECT_EQ(metrics.counter("validate.cache.misses").value(), 1u);
+  EXPECT_EQ(metrics.counter("validate.cache.inserts").value(), 1u);
+  EXPECT_EQ(metrics.counter("validate.status.ok").value(), 1u);
+  EXPECT_EQ(metrics.counter("sim.replicas").value(), 20u);
+  EXPECT_EQ(metrics.timer("sim.seconds").snapshot().count, 1u);
+  EXPECT_GT(metrics.gauge("sim.replicas_per_second").value(), 0.0);
+  EXPECT_EQ(metrics.timer("validate.error.abs").snapshot().count, 1u);
+  EXPECT_GT(report->sim_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace mlcr::svc
