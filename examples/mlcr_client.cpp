@@ -2,6 +2,7 @@
 // same flags as plan_cli, ships the request over TCP, prints the report.
 //
 //   ./mlcr_client --port 7070 --solution "ML(opt-scale)" --deadline-ms 500
+//   ./mlcr_client --port 7070 --codec binary --check-local
 //   ./mlcr_client --port 7070 --validate --runs 100 --seed 24141
 //   ./mlcr_client --port 7070 --ping
 //   ./mlcr_client --port 7070 --metrics
@@ -48,6 +49,7 @@ struct Options {
   std::string host = "127.0.0.1";
   std::uint16_t port = 7070;
   int timeout_ms = 60000;
+  net::Codec codec = net::Codec::kJson;
   std::string solution = "ML(opt-scale)";
   long deadline_ms = 0;
   std::string label;
@@ -71,6 +73,7 @@ struct Options {
 void usage() {
   std::puts(
       "usage: mlcr_client [--host H] [--port P] [--timeout-ms MS]\n"
+      "                   [--codec json|binary]\n"
       "                   [--solution NAME] [--deadline-ms MS] [--label L]\n"
       "                   [--te CORE_DAYS] [--kappa K] [--nstar N]\n"
       "                   [--rates r1,r2,...] [--costs c1,c2,...]\n"
@@ -81,7 +84,8 @@ void usage() {
       "fault-injects the plan N times and prints the plan-vs-simulated\n"
       "error per time portion.  --check-local verifies the daemon's report\n"
       "is identical to an in-process solve (exit 2 on mismatch).\n"
-      "deadline_ms < 0 is already expired (load-shed probe).");
+      "--codec picks the wire framing (reports are bit-identical either\n"
+      "way).  deadline_ms < 0 is already expired (load-shed probe).");
 }
 
 bool parse(int argc, char** argv, Options* options) {
@@ -103,6 +107,9 @@ bool parse(int argc, char** argv, Options* options) {
       else if (flag == "--port")
         options->port = static_cast<std::uint16_t>(std::atoi(value));
       else if (flag == "--timeout-ms") options->timeout_ms = std::atoi(value);
+      else if (flag == "--codec") {
+        if (!net::codec_from_string(value, &options->codec)) return false;
+      }
       else if (flag == "--solution") options->solution = value;
       else if (flag == "--deadline-ms") options->deadline_ms = std::atol(value);
       else if (flag == "--label") options->label = value;
@@ -210,7 +217,7 @@ int main(int argc, char** argv) {
   try {
     net::Client client(
         {.host = options.host, .port = options.port,
-         .timeout_ms = options.timeout_ms});
+         .timeout_ms = options.timeout_ms, .codec = options.codec});
 
     if (options.ping) {
       const bool alive = client.ping();

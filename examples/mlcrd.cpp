@@ -1,8 +1,10 @@
-// The planning daemon: serves PlanRequests over TCP (line-delimited JSON,
-// see DESIGN.md §9) with bounded admission, per-request deadlines, and
-// graceful drain on SIGINT/SIGTERM.
+// The planning daemon: serves PlanRequests over TCP (JSON lines or the
+// length-prefixed binary codec, negotiated per connection — see DESIGN.md
+// §12) from a reactor-per-core sharded event loop with bounded admission,
+// singleflight coalescing, per-request deadlines, and graceful drain on
+// SIGINT/SIGTERM.
 //
-//   ./mlcrd --port 7070 --queue 256 --deadline-ms 500
+//   ./mlcrd --port 7070 --shards 4 --queue 256 --deadline-ms 500
 //
 // --port 0 binds an ephemeral port; the actual port is printed on the
 // "listening" line, which scripts parse.  On shutdown the daemon finishes
@@ -29,10 +31,12 @@ struct Options {
 void usage() {
   std::puts(
       "usage: mlcrd [--port P] [--queue N] [--deadline-ms MS]\n"
-      "             [--io-threads N] [--solver-threads N] [--cache N]\n"
+      "             [--shards N] [--solver-threads N] [--cache N]\n"
       "             [--metrics-out file.jsonl]\n"
-      "Serves PlanRequests over line-delimited JSON on 127.0.0.1:P\n"
-      "(port 0 = ephemeral; the bound port is printed at startup).\n"
+      "Serves PlanRequests on 127.0.0.1:P (port 0 = ephemeral; the bound\n"
+      "port is printed at startup).  Each connection speaks JSON lines or\n"
+      "the binary codec, negotiated by its first byte.\n"
+      "--shards sets the reactor event-loop threads (0 = all cores);\n"
       "--queue bounds the admission queue (full -> rejected: overloaded);\n"
       "--deadline-ms is the default per-request deadline (0 = none).\n"
       "SIGINT/SIGTERM drain gracefully: in-flight solves finish, metrics\n"
@@ -52,8 +56,8 @@ bool parse(int argc, char** argv, Options* options) {
           static_cast<std::size_t>(std::atol(value));
     } else if (flag == "--deadline-ms") {
       options->server.default_deadline_ms = std::atol(value);
-    } else if (flag == "--io-threads") {
-      options->server.io_threads = static_cast<std::size_t>(std::atol(value));
+    } else if (flag == "--shards") {
+      options->server.shards = static_cast<std::size_t>(std::atol(value));
     } else if (flag == "--solver-threads") {
       options->server.solver_threads =
           static_cast<std::size_t>(std::atol(value));
@@ -89,10 +93,10 @@ int main(int argc, char** argv) {
 
   // Scripts parse this line for the (possibly ephemeral) port.
   std::printf("mlcrd: listening on 127.0.0.1:%u (queue %zu, deadline %ld ms, "
-              "io %zu, solvers %zu)\n",
+              "shards %zu, solvers %zu)\n",
               static_cast<unsigned>(server.port()),
               options.server.queue_capacity,
-              options.server.default_deadline_ms, options.server.io_threads,
+              options.server.default_deadline_ms, options.server.shards,
               options.server.solver_threads);
   std::fflush(stdout);
 

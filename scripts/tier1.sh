@@ -8,9 +8,10 @@
 #   4. clang-tidy via scripts/run_tidy.sh (no-op with a warning when the
 #      container has no clang-tidy)
 #   5. ThreadSanitizer pass over the concurrency-sensitive targets + the
-#      mlcrd daemon smoke test
+#      mlcrd daemon smoke test, once per wire codec (json, binary),
+#      including the graceful-drain check
 #   6. AddressSanitizer+UBSan pass over the FULL ctest suite + the same
-#      daemon smoke test
+#      per-codec daemon smoke tests
 #
 # Run from anywhere; builds land in build/, build-tsan/, build-asan/.
 #
@@ -49,17 +50,18 @@ build_and_test() {
   fi
 }
 
-# daemon_smoke <build-dir>
+# daemon_smoke <build-dir> <codec>
 #   Starts mlcrd on an ephemeral port, plans the paper's Table 3 headline
-#   config through it, and requires the report to be field-for-field
-#   identical to the in-process SweepEngine::plan_one answer (--check-local
-#   compares the exact wire encoding).  Then SIGTERM and require a clean
-#   drain.
+#   config through it over the given wire codec (json | binary), and
+#   requires the report to be field-for-field identical to the in-process
+#   SweepEngine::plan_one answer (--check-local compares the exact wire
+#   encoding — bit-identical under either codec by construction).  Then
+#   SIGTERM and require a clean drain.
 daemon_smoke() {
-  local dir="$1" mlcrd_log mlcrd_pid port drained
+  local dir="$1" codec="$2" mlcrd_log mlcrd_pid port drained
   mlcrd_log="$(mktemp)"
   "$dir"/examples/mlcrd --port 0 --queue 64 --deadline-ms 0 \
-    --io-threads 2 --solver-threads 2 > "$mlcrd_log" 2>&1 &
+    --shards 2 --solver-threads 2 > "$mlcrd_log" 2>&1 &
   mlcrd_pid=$!
   port=""
   for _ in $(seq 1 100); do
@@ -74,13 +76,14 @@ daemon_smoke() {
     kill -9 "$mlcrd_pid" 2>/dev/null || true
     exit 1
   fi
-  "$dir"/examples/mlcr_client --port "$port" --check-local \
+  "$dir"/examples/mlcr_client --port "$port" --codec "$codec" \
+    --check-local \
     --te 3e6 --kappa 0.46 --nstar 1e6 --rates 16,12,8,4 \
     --costs 0.9,2.5,3.9,5.5 --pfs-slope 0.0212 --allocation 60
   # Validate round trip at fusion scale: the daemon's SimReport must be
   # bit-identical to the in-process validate_one answer.
-  "$dir"/examples/mlcr_client --port "$port" --validate --runs 20 \
-    --check-local \
+  "$dir"/examples/mlcr_client --port "$port" --codec "$codec" \
+    --validate --runs 20 --check-local \
     --te 30 --kappa 0.46 --nstar 1024 --rates 24,18,12,6 \
     --costs 0.9,2.5,3.9,5.5 --pfs-slope 0.0212 --allocation 60
   kill -TERM "$mlcrd_pid"
@@ -132,15 +135,21 @@ scripts/run_tidy.sh build
 
 echo "== tier-1: ThreadSanitizer pass (thread pool + sweep engine + metrics + net + sim fan-out) =="
 build_and_test build-tsan thread \
-  'ThreadPool|SweepEngine|Metrics|LruCache|AdmissionQueue|NetServer|NetProtocol|NetJson|MonteCarloParallel|ValidatePipeline'
+  'ThreadPool|SweepEngine|ShardedLruCache|Metrics|LruCache|AdmissionQueue|NetServer|NetProtocol|NetJson|NetCodec|NetReactor|MonteCarloParallel|ValidatePipeline'
 
-echo "== tier-1: mlcrd daemon smoke (TSan build) =="
-daemon_smoke build-tsan
+echo "== tier-1: mlcrd daemon smoke (TSan build, json codec) =="
+daemon_smoke build-tsan json
+
+echo "== tier-1: mlcrd daemon smoke (TSan build, binary codec) =="
+daemon_smoke build-tsan binary
 
 echo "== tier-1: ASan+UBSan pass (full suite) =="
 build_and_test build-asan address,undefined
 
-echo "== tier-1: mlcrd daemon smoke (ASan+UBSan build) =="
-daemon_smoke build-asan
+echo "== tier-1: mlcrd daemon smoke (ASan+UBSan build, json codec) =="
+daemon_smoke build-asan json
+
+echo "== tier-1: mlcrd daemon smoke (ASan+UBSan build, binary codec) =="
+daemon_smoke build-asan binary
 
 echo "tier-1 OK"

@@ -11,13 +11,15 @@ namespace mlcr::net {
 
 Client::Client(const ClientOptions& options)
     : connection_(connect_to(options.host, options.port, options.timeout_ms)),
-      timeout_ms_(options.timeout_ms) {}
+      timeout_ms_(options.timeout_ms),
+      codec_(options.codec),
+      reader_(options.codec) {}
 
-std::string Client::read_line_or_throw() {
-  std::string line;
-  switch (connection_.read_line(&line, timeout_ms_)) {
+std::string Client::read_payload_or_throw() {
+  std::string payload;
+  switch (connection_.read_frame(&reader_, &payload, timeout_ms_)) {
     case Connection::ReadResult::kLine:
-      return line;
+      return payload;
     case Connection::ReadResult::kEof:
       common::fail("net: connection closed by server");
     case Connection::ReadResult::kTimeout:
@@ -29,11 +31,11 @@ std::string Client::read_line_or_throw() {
   common::fail("net: unreachable read state");
 }
 
-std::string Client::round_trip(const std::string& line) {
-  if (!connection_.write_line(line)) {
+std::string Client::round_trip(const std::string& payload) {
+  if (!connection_.write_all(frame_payload(payload, codec_))) {
     common::fail("net: failed to send request");
   }
-  return read_line_or_throw();
+  return read_payload_or_throw();
 }
 
 Response Client::plan(const svc::PlanRequest& request, long deadline_ms) {
@@ -84,7 +86,7 @@ std::string Client::metrics() {
   const long lines = static_cast<long>(count->as_number());
   std::string jsonl;
   for (long i = 0; i < lines; ++i) {
-    jsonl += read_line_or_throw();
+    jsonl += read_payload_or_throw();
     jsonl.push_back('\n');
   }
   return jsonl;

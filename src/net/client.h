@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "net/codec.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "svc/plan_request.h"
@@ -21,6 +22,10 @@ struct ClientOptions {
   /// Per round trip (connect, and each response wait).  Plans can solve for
   /// seconds, so this is generous by default.
   int timeout_ms = 60000;
+  /// Wire framing (net/codec.h).  The server detects the codec from the
+  /// first byte this client sends and answers in kind; the payload bytes —
+  /// and therefore every report — are bit-identical under either codec.
+  Codec codec = Codec::kJson;
 };
 
 class Client {
@@ -48,12 +53,15 @@ class Client {
   [[nodiscard]] std::string metrics();
 
  private:
-  /// Writes `line`, reads one response line; throws on transport failure.
-  [[nodiscard]] std::string round_trip(const std::string& line);
-  [[nodiscard]] std::string read_line_or_throw();
+  /// Frames and writes `payload`, reads one response payload; throws on
+  /// transport failure.
+  [[nodiscard]] std::string round_trip(const std::string& payload);
+  [[nodiscard]] std::string read_payload_or_throw();
 
   Connection connection_;
   int timeout_ms_;
+  Codec codec_;
+  FrameReader reader_;  ///< pinned to codec_ (no autodetect on responses)
 };
 
 }  // namespace mlcr::net

@@ -1,0 +1,125 @@
+#include "net/codec.h"
+
+#include "common/error.h"
+#include "net/textnum.h"
+
+namespace mlcr::net {
+
+std::string to_string(Codec codec) {
+  return codec == Codec::kBinary ? "binary" : "json";
+}
+
+bool codec_from_string(const std::string& text, Codec* out) {
+  if (text == "json") {
+    *out = Codec::kJson;
+    return true;
+  }
+  if (text == "binary") {
+    *out = Codec::kBinary;
+    return true;
+  }
+  return false;
+}
+
+std::string frame_payload(std::string_view payload, Codec codec) {
+  if (payload.size() > kMaxFramePayload) {
+    common::fail("codec: payload of " + dec(static_cast<long long>(
+                     payload.size())) +
+                 " bytes exceeds the " +
+                 dec(static_cast<long long>(kMaxFramePayload)) +
+                 "-byte frame cap");
+  }
+  if (codec == Codec::kJson) {
+    if (payload.find('\n') != std::string_view::npos) {
+      common::fail("codec: json payload contains a newline");
+    }
+    std::string framed(payload);
+    framed.push_back('\n');
+    return framed;
+  }
+  std::string framed;
+  framed.reserve(kBinaryHeaderBytes + payload.size());
+  framed.push_back(static_cast<char>(kBinaryMagic[0]));
+  framed.push_back(static_cast<char>(kBinaryMagic[1]));
+  framed.push_back(static_cast<char>(kBinaryMagic[2]));
+  framed.push_back(static_cast<char>(kBinaryVersion));
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  framed.push_back(static_cast<char>(length & 0xFFu));
+  framed.push_back(static_cast<char>((length >> 8) & 0xFFu));
+  framed.push_back(static_cast<char>((length >> 16) & 0xFFu));
+  framed.push_back(static_cast<char>((length >> 24) & 0xFFu));
+  framed.append(payload);
+  return framed;
+}
+
+FrameReader::Result FrameReader::next(std::string* payload,
+                                      std::string* error) {
+  if (dead_) {
+    *error = "frame reader already failed";
+    return Result::kError;
+  }
+  // feed() pins the codec on the first byte; no byte yet = nothing to do.
+  if (!codec_.has_value()) return Result::kNeedMore;
+  const Result result = *codec_ == Codec::kJson ? next_json(payload, error)
+                                                : next_binary(payload, error);
+  if (result == Result::kError) dead_ = true;
+  return result;
+}
+
+FrameReader::Result FrameReader::next_json(std::string* payload,
+                                           std::string* error) {
+  const std::size_t newline = buffer_.find('\n');
+  if (newline == std::string::npos) {
+    if (buffer_.size() > kMaxFramePayload) {
+      *error = "line exceeds the " +
+               dec(static_cast<long long>(kMaxFramePayload)) + "-byte cap";
+      return Result::kError;
+    }
+    return Result::kNeedMore;
+  }
+  std::size_t end = newline;
+  if (end > 0 && buffer_[end - 1] == '\r') --end;
+  if (end > kMaxFramePayload) {
+    *error = "line exceeds the " +
+             dec(static_cast<long long>(kMaxFramePayload)) + "-byte cap";
+    return Result::kError;
+  }
+  payload->assign(buffer_, 0, end);
+  buffer_.erase(0, newline + 1);
+  return Result::kFrame;
+}
+
+FrameReader::Result FrameReader::next_binary(std::string* payload,
+                                             std::string* error) {
+  if (buffer_.size() < kBinaryHeaderBytes) return Result::kNeedMore;
+  const auto byte = [this](std::size_t i) {
+    return static_cast<unsigned char>(buffer_[i]);
+  };
+  if (byte(0) != kBinaryMagic[0] || byte(1) != kBinaryMagic[1] ||
+      byte(2) != kBinaryMagic[2]) {
+    *error = "bad binary frame magic";
+    return Result::kError;
+  }
+  if (byte(3) != kBinaryVersion) {
+    *error = "unsupported binary frame version " + dec(byte(3)) +
+             " (this build speaks " + dec(kBinaryVersion) + ")";
+    return Result::kError;
+  }
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(byte(4)) |
+      (static_cast<std::uint32_t>(byte(5)) << 8) |
+      (static_cast<std::uint32_t>(byte(6)) << 16) |
+      (static_cast<std::uint32_t>(byte(7)) << 24);
+  if (length > kMaxFramePayload) {
+    *error = "binary frame of " + dec(static_cast<long long>(length)) +
+             " bytes exceeds the " +
+             dec(static_cast<long long>(kMaxFramePayload)) + "-byte cap";
+    return Result::kError;
+  }
+  if (buffer_.size() < kBinaryHeaderBytes + length) return Result::kNeedMore;
+  payload->assign(buffer_, kBinaryHeaderBytes, length);
+  buffer_.erase(0, kBinaryHeaderBytes + length);
+  return Result::kFrame;
+}
+
+}  // namespace mlcr::net

@@ -1,0 +1,108 @@
+// Per-connection wire codecs for the mlcrd protocol (DESIGN.md §12).
+//
+// The protocol payload — one JSON envelope per request or response, with
+// every double rendered as a canonical hex-float string — is codec
+// independent; a codec only decides how payload bytes are framed on the
+// stream:
+//
+//   kJson    line framing: payload bytes + '\n' (the original wire form;
+//            a preceding '\r' is tolerated on input).  Self-describing and
+//            telnet-friendly, but the reader must scan every byte for the
+//            terminator.
+//   kBinary  length-prefixed framing: a fixed 8-byte header
+//                magic 0xA7 'M' 'C' | version 0x01 | u32 payload length (LE)
+//            followed by exactly `length` payload bytes.  The reader knows
+//            each frame's size up front (no byte scanning, no escaping),
+//            and because the payload encoder is shared with the JSON codec
+//            — hex-float doubles and all — binary frames are bit-exact by
+//            construction.
+//
+// Negotiation is implicit and per-connection: the first byte a peer sends
+// picks the codec (0xA7 = binary, anything else = JSON lines — 0xA7 can
+// never start a JSON document), and the server answers every frame in the
+// codec the connection arrived with.  A FrameReader stays in its detected
+// codec for the connection's lifetime; mixing codecs mid-stream is a
+// protocol error on the binary side (a non-magic byte where a header is
+// expected) and simply impossible to express on the JSON side.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mlcr::net {
+
+enum class Codec : std::uint8_t {
+  kJson = 0,    ///< '\n'-delimited JSON envelopes (default, human-typable)
+  kBinary = 1,  ///< length-prefixed frames carrying the same envelope bytes
+};
+
+[[nodiscard]] std::string to_string(Codec codec);
+/// Parses "json"/"binary"; false on anything else.
+[[nodiscard]] bool codec_from_string(const std::string& text, Codec* out);
+
+/// Binary frame header: magic(3) + version(1) + u32le payload length.
+inline constexpr unsigned char kBinaryMagic[3] = {0xA7, 'M', 'C'};
+inline constexpr unsigned char kBinaryVersion = 0x01;
+inline constexpr std::size_t kBinaryHeaderBytes = 8;
+
+/// Hard cap on one frame's payload, shared by both codecs (the JSON codec
+/// inherits it as the maximum line length).  A hostile peer cannot make a
+/// reader buffer more than this plus one header.
+inline constexpr std::size_t kMaxFramePayload = 4u << 20;
+
+/// Wraps `payload` for the stream: payload + '\n' (kJson) or header +
+/// payload (kBinary).  Throws common::Error if payload exceeds
+/// kMaxFramePayload or, for kJson, contains a newline (a framing ambiguity
+/// the line codec cannot express).
+[[nodiscard]] std::string frame_payload(std::string_view payload, Codec codec);
+
+/// Incremental frame decoder over a byte stream.  Feed bytes as they
+/// arrive; next() yields complete payloads in order.
+class FrameReader {
+ public:
+  enum class Result {
+    kFrame,     ///< *payload holds one complete payload
+    kNeedMore,  ///< the buffered bytes do not complete a frame yet
+    kError,     ///< framing violation; *error describes it, stream is dead
+  };
+
+  /// Default: codec auto-detected from the first byte fed.  Pass a codec to
+  /// pin it (clients know what they speak).
+  explicit FrameReader(std::optional<Codec> codec = std::nullopt)
+      : codec_(codec) {}
+
+  void feed(std::string_view bytes) {
+    buffer_.append(bytes);
+    if (!codec_.has_value() && !buffer_.empty()) {
+      // 0xA7 can never begin a JSON document, so the first byte on the
+      // stream decides the connection's codec immediately (the server's
+      // per-codec accounting reads codec() right after the first feed).
+      codec_ = static_cast<unsigned char>(buffer_.front()) == kBinaryMagic[0]
+                   ? Codec::kBinary
+                   : Codec::kJson;
+    }
+  }
+
+  /// Extracts the next complete payload.  kError is sticky: once the stream
+  /// violated framing there is no resync point in either codec.
+  [[nodiscard]] Result next(std::string* payload, std::string* error);
+
+  /// The negotiated codec; nullopt until the first byte arrives.
+  [[nodiscard]] std::optional<Codec> codec() const noexcept { return codec_; }
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size();
+  }
+
+ private:
+  [[nodiscard]] Result next_json(std::string* payload, std::string* error);
+  [[nodiscard]] Result next_binary(std::string* payload, std::string* error);
+
+  std::optional<Codec> codec_;
+  std::string buffer_;
+  bool dead_ = false;
+};
+
+}  // namespace mlcr::net

@@ -1,0 +1,102 @@
+// One reactor = one epoll instance + one event-loop thread (DESIGN.md §12).
+//
+// The serving core runs N of these, one per shard: every socket is
+// non-blocking and owned by exactly one reactor, all of whose callbacks run
+// on that reactor's loop thread — connection state is single-threaded by
+// construction and needs no locks.  The only cross-thread entry point is
+// post(), which enqueues a task under a small mutex and wakes the loop
+// through an eventfd; solver workers use it to deliver finished reports
+// back to the shard that owns the requesting connection.
+//
+// Dispatch is indirect on purpose: epoll carries only the fd, and the loop
+// routes events through the owner-installed dispatcher, which looks the fd
+// up in the shard's connection table.  A handler that closes a connection
+// mid-batch simply removes it from the table; stale events for the dead fd
+// later in the same epoll batch look up nothing and are dropped — no
+// deferred-deletion bookkeeping, no dangling handler pointers.
+//
+// Level-triggered epoll: simpler invariants than edge-triggered (no
+// drain-until-EAGAIN obligation on every wakeup) at the cost of one extra
+// epoll_wait return per partially-consumed buffer, which is noise at this
+// frame size.  Writability interest is toggled only while a connection has
+// unflushed output.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace mlcr::net {
+
+class Reactor {
+ public:
+  /// Called on the loop thread for each ready fd (never the wake eventfd).
+  using Dispatcher = std::function<void(int fd, std::uint32_t events)>;
+
+  /// Creates the epoll instance and wake eventfd; throws common::Error if
+  /// the kernel refuses either.
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Installs the event dispatcher.  Must be set before run().
+  void set_dispatcher(Dispatcher dispatcher) {
+    dispatcher_ = std::move(dispatcher);
+  }
+
+  /// Runs the loop on the calling thread until stop(): waits on epoll with
+  /// a bounded tick, dispatches ready fds, then drains posted tasks.
+  void run();
+
+  /// Thread-safe: requests loop exit and wakes it.  Pending posted tasks
+  /// still run before run() returns (a drain can rely on its final posts).
+  void stop();
+
+  /// Thread-safe: runs `task` on the loop thread during the next iteration
+  /// (immediately woken).  Tasks posted after run() returned are executed
+  /// by the destructor's drain, so captured resources are always released.
+  void post(std::function<void()> task);
+
+  /// Runs every task posted so far on the *calling* thread.  Only safe
+  /// while the loop is not running (before run(), or after stop() + join):
+  /// the server's drain uses it to answer stragglers whose deliveries were
+  /// posted after the loop already exited.
+  void drain_posted() { run_posted_tasks(); }
+
+  /// Registration (loop thread only, except the initial setup before run()).
+  /// `events` is an EPOLL* mask; add/modify/remove throw common::Error on
+  /// kernel rejection, except remove of an already-gone fd (benign during
+  /// teardown races).
+  void add_fd(int fd, std::uint32_t events);
+  void modify_fd(int fd, std::uint32_t events);
+  void remove_fd(int fd) noexcept;
+
+  /// True when called from the thread currently inside run().
+  [[nodiscard]] bool on_loop_thread() const noexcept {
+    return std::this_thread::get_id() ==
+           loop_thread_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void wake() noexcept;
+  void run_posted_tasks();
+
+  Socket epoll_;
+  Socket wakeup_;  ///< eventfd; registered in epoll_ for read
+  Dispatcher dispatcher_;
+
+  std::mutex tasks_mutex_;
+  std::vector<std::function<void()>> tasks_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+};
+
+}  // namespace mlcr::net

@@ -1,25 +1,24 @@
 #include "net/server.h"
 
-#include <chrono>
+#include <sys/epoll.h>
+
 #include <functional>
 #include <future>
-#include <memory>
 #include <utility>
 
 #include "common/error.h"
 #include "common/shutdown.h"
-#include "net/protocol.h"
 #include "net/textnum.h"
 
 namespace mlcr::net {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-/// One poll tick: every blocking wait in the daemon re-checks its stop flag
-/// at least this often, which bounds how stale a drain request can get.
-constexpr int kPollTickMs = 100;
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 }  // namespace
 
@@ -41,7 +40,27 @@ void Server::start() {
   MLCR_EXPECT(!started_.load(), "net: server already started");
 
   listener_.emplace(Listener::bind_loopback(options_.port));
-  io_pool_.emplace(options_.io_threads);
+  set_nonblocking(listener_->fd());
+
+  std::size_t shard_count = options_.shards;
+  if (shard_count == 0) {
+    shard_count = std::thread::hardware_concurrency();
+    if (shard_count == 0) shard_count = 1;
+  }
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    Shard* raw = shard.get();
+    shard->reactor.set_dispatcher(
+        [this, raw](int fd, std::uint32_t events) {
+          dispatch(raw, fd, events);
+        });
+    shards_.push_back(std::move(shard));
+  }
+  // The listener lives in shard 0's epoll; accepted sockets are handed to
+  // their owning shard round-robin (deterministic per-shard accept counts).
+  shards_[0]->reactor.add_fd(listener_->fd(), EPOLLIN);
 
   std::size_t solver_threads = options_.solver_threads;
   if (solver_threads == 0) {
@@ -53,15 +72,17 @@ void Server::start() {
     solver_workers_.emplace_back([this] { worker_loop(); });
   }
 
-  metrics_.gauge("net.io_threads").set(static_cast<double>(io_pool_->size()));
+  metrics_.gauge("net.shards").set(static_cast<double>(shard_count));
   metrics_.gauge("net.solver_threads")
       .set(static_cast<double>(solver_threads));
   metrics_.gauge("net.queue.capacity")
       .set(static_cast<double>(queue_.capacity()));
 
-  accepting_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    shard->thread = std::thread([raw] { raw->reactor.run(); });
+  }
   started_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
 std::uint16_t Server::port() const {
@@ -74,15 +95,85 @@ void Server::drain() {
       drained_.load(std::memory_order_acquire)) {
     return;
   }
-  // New lines from already-connected peers get "rejected: draining".
+  // New plan/validate frames from already-connected peers now get
+  // "rejected: draining"; ping/metrics are still answered.
   draining_.store(true, std::memory_order_release);
-  // Stop accepting and release the port before touching in-flight work.
-  accepting_.store(false, std::memory_order_release);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  listener_->close();
-  // Join connection handlers first: they may be blocked on solve futures,
-  // so the solver workers must still be alive while the io pool drains.
-  io_pool_.reset();
+
+  // Release the port on shard 0's loop thread (it owns the listener fd).
+  {
+    std::promise<void> closed;
+    std::future<void> done = closed.get_future();
+    shards_[0]->reactor.post([this, &closed] {
+      if (listener_->valid()) {
+        shards_[0]->reactor.remove_fd(listener_->fd());
+        listener_->close();
+      }
+      closed.set_value();
+    });
+    done.wait();
+  }
+
+  // Everything admitted is answered and flushed before the loops stop:
+  // solver completions post deliveries back to live reactors, and the
+  // reactors keep flushing output buffers until the kernel accepted every
+  // response byte.  The flush wait is bounded: a peer that stops reading
+  // holds its buffer at EWOULDBLOCK forever, so past the timeout the
+  // stalled conns are force-closed (net.drain.force_closed) instead of one
+  // dead peer hanging the whole shutdown sequence.
+  const bool bounded = options_.drain_flush_timeout_ms > 0;
+  const auto flush_budget =
+      std::chrono::milliseconds(options_.drain_flush_timeout_ms);
+  auto force_close_at = Clock::now() + flush_budget;
+  while (outstanding_.load(std::memory_order_acquire) > 0 ||
+         unflushed_.load(std::memory_order_acquire) > 0) {
+    if (bounded && unflushed_.load(std::memory_order_acquire) > 0 &&
+        Clock::now() >= force_close_at) {
+      for (auto& shard : shards_) {
+        Shard* raw = shard.get();
+        raw->reactor.post([this, raw] { force_close_stalled(raw); });
+      }
+      // Re-arm: deliveries still in flight get a fresh flush budget of
+      // their own once they reach a socket.
+      force_close_at = Clock::now() + flush_budget;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  for (auto& shard : shards_) shard->reactor.stop();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+
+  // TOCTOU backstop: a reactor thread can pass its draining_ check just
+  // before the flag store above and admit one more request after the waits
+  // already observed zero — that delivery lands on a stopped reactor.  The
+  // loop threads are joined, so this thread is now the sole owner of every
+  // shard: run the posted deliveries here until the stragglers are
+  // answered, then give their output one bounded flush pass.  Nothing
+  // admitted is ever silently dropped.
+  while (outstanding_.load(std::memory_order_acquire) > 0) {
+    for (auto& shard : shards_) shard->reactor.drain_posted();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto straggler_give_up = Clock::now() + flush_budget;
+  while (unflushed_.load(std::memory_order_acquire) > 0 &&
+         (!bounded || Clock::now() < straggler_give_up)) {
+    for (auto& shard : shards_) {
+      std::vector<int> pending;
+      for (const auto& [fd, conn] : shard->conns) {
+        if (conn->counted_unflushed) pending.push_back(fd);
+      }
+      for (const int fd : pending) {
+        const auto it = shard->conns.find(fd);
+        if (it != shard->conns.end()) flush(shard.get(), it->second.get());
+      }
+    }
+    if (unflushed_.load(std::memory_order_acquire) == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  for (auto& shard : shards_) shard->conns.clear();
+
   queue_.close();
   for (auto& worker : solver_workers_) worker.join();
   solver_workers_.clear();
@@ -96,20 +187,6 @@ void Server::serve_until_shutdown() {
   drain();
 }
 
-void Server::accept_loop() {
-  while (accepting_.load(std::memory_order_acquire)) {
-    std::optional<Socket> accepted = listener_->accept_for(kPollTickMs);
-    if (!accepted.has_value()) continue;
-    metrics_.counter("net.connections").increment();
-    // std::function requires copyable captures; hand the move-only socket
-    // through a shared_ptr.
-    auto socket = std::make_shared<Socket>(std::move(*accepted));
-    auto handled = io_pool_->submit(
-        [this, socket] { handle_connection(std::move(*socket)); });
-    (void)handled;  // handlers report via the connection, not the future
-  }
-}
-
 void Server::worker_loop() {
   std::function<void()> job;
   while (queue_.pop(&job)) {
@@ -119,65 +196,277 @@ void Server::worker_loop() {
   }
 }
 
-void Server::handle_connection(Socket socket) {
-  Connection conn(std::move(socket));
-  std::string line;
-  while (true) {
-    const Connection::ReadResult result = conn.read_line(&line, kPollTickMs);
-    if (result == Connection::ReadResult::kTimeout) {
-      if (draining_.load(std::memory_order_acquire)) break;
-      continue;
-    }
-    if (result == Connection::ReadResult::kError) {
-      // Oversized line or transport fault; best-effort error, then close.
-      metrics_.counter("net.rejected.bad_request").increment();
-      (void)conn.write_line(encode_rejection_line(
-          Reject::kBadRequest, "line exceeds protocol limits"));
-      break;
-    }
-    if (result != Connection::ReadResult::kLine) break;  // kEof
-    if (!handle_line(line, &conn)) break;
+void Server::dispatch(Shard* shard, int fd, std::uint32_t events) {
+  if (shard->index == 0 && listener_->valid() && fd == listener_->fd()) {
+    accept_ready();
+    return;
+  }
+  const auto it = shard->conns.find(fd);
+  if (it == shard->conns.end()) return;  // stale event after close
+  const std::uint64_t conn_id = it->second->id;
+
+  if ((events & EPOLLIN) != 0) on_readable(shard, it->second.get());
+  // on_readable may have closed the connection; re-resolve before writing.
+  Conn* conn = find_conn(shard, fd, conn_id);
+  if (conn == nullptr) return;
+  if ((events & EPOLLOUT) != 0) flush(shard, conn);
+  conn = find_conn(shard, fd, conn_id);
+  if (conn == nullptr) return;
+  // HUP/ERR without readable data: the peer is gone for good.
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0 && (events & EPOLLIN) == 0) {
+    close_conn(shard, fd);
   }
 }
 
-bool Server::handle_line(const std::string& line, Connection* conn) {
-  common::metrics::ScopedTimer request_timer(
-      metrics_.timer("net.request.seconds"));
+void Server::accept_ready() {
+  while (true) {
+    std::optional<Socket> accepted = listener_->accept_nonblocking();
+    if (!accepted.has_value()) break;
+    metrics_.counter("net.connections").increment();
+    const std::size_t target =
+        next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+    Shard* shard = shards_[target].get();
+    // std::function requires copyable captures; hand the move-only socket
+    // through a shared_ptr.
+    auto socket = std::make_shared<Socket>(std::move(*accepted));
+    shard->reactor.post(
+        [this, shard, socket] { adopt(shard, std::move(*socket)); });
+  }
+}
+
+void Server::adopt(Shard* shard, Socket socket) {
+  if (!socket.valid()) return;  // already moved out (defensive)
+  set_nonblocking(socket.fd());
+  set_tcp_nodelay(socket.fd());
+  auto conn = std::make_unique<Conn>();
+  conn->id = conn_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+  conn->socket = std::move(socket);
+  const int fd = conn->socket.fd();
+  shard->reactor.add_fd(fd, EPOLLIN);
+  shard->conns.emplace(fd, std::move(conn));
+  metrics_
+      .counter("net.shard." + dec(static_cast<long long>(shard->index)) +
+               ".accepted")
+      .increment();
+}
+
+Server::Conn* Server::find_conn(Shard* shard, int fd,
+                                std::uint64_t conn_id) const {
+  const auto it = shard->conns.find(fd);
+  if (it == shard->conns.end() || it->second->id != conn_id) return nullptr;
+  return it->second.get();
+}
+
+void Server::close_conn(Shard* shard, int fd) {
+  const auto it = shard->conns.find(fd);
+  if (it == shard->conns.end()) return;
+  if (it->second->counted_unflushed) {
+    unflushed_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  shard->reactor.remove_fd(fd);
+  shard->conns.erase(it);  // Socket destructor closes the fd
+}
+
+void Server::force_close_stalled(Shard* shard) {
+  // Runs on the shard's loop thread (or on the drain thread once the loop
+  // threads are joined): drops every conn whose output has been stuck at
+  // EWOULDBLOCK past the drain flush budget.
+  std::vector<int> stalled;
+  for (const auto& [fd, conn] : shard->conns) {
+    if (conn->counted_unflushed) stalled.push_back(fd);
+  }
+  for (const int fd : stalled) {
+    metrics_.counter("net.drain.force_closed").increment();
+    close_conn(shard, fd);
+  }
+}
+
+void Server::on_readable(Shard* shard, Conn* conn) {
+  const int fd = conn->socket.fd();
+  const std::uint64_t conn_id = conn->id;
+  bool peer_gone = false;
+  std::string incoming;
+  while (true) {
+    incoming.clear();
+    const IoStatus status = recv_nonblocking(fd, &incoming);
+    if (status == IoStatus::kOk) {
+      conn->reader.feed(incoming);
+      continue;
+    }
+    if (status == IoStatus::kWouldBlock) break;
+    peer_gone = true;  // kEof or kError: no more requests on this stream
+    break;
+  }
+
+  if (!conn->codec_counted && conn->reader.codec().has_value()) {
+    conn->codec_counted = true;
+    metrics_.counter("net.codec." + to_string(*conn->reader.codec()))
+        .increment();
+  }
+
+  std::string payload;
+  std::string frame_error;
+  while (true) {
+    const FrameReader::Result result =
+        conn->reader.next(&payload, &frame_error);
+    if (result == FrameReader::Result::kFrame) {
+      handle_payload(shard, conn, payload);
+      if (find_conn(shard, fd, conn_id) == nullptr) return;  // closed on us
+      continue;
+    }
+    if (result == FrameReader::Result::kNeedMore) break;
+    // Framing violation: best-effort structured error, then close (there is
+    // no resync point in the stream).  The reader error is sticky, so later
+    // readable events land here again while the rejection is still flushing
+    // — only the first violation is counted and answered.  The close flag
+    // is set before the send: flush honors it on success, and a transport
+    // fault inside the send destroys the conn outright.
+    if (!conn->close_after_flush) {
+      metrics_.counter("net.rejected." + to_string(Reject::kBadRequest))
+          .increment();
+      conn->close_after_flush = true;
+      send_payload(shard, conn,
+                   encode_rejection_line(Reject::kBadRequest, frame_error));
+    }
+    break;
+  }
+
+  conn = find_conn(shard, fd, conn_id);
+  if (conn == nullptr) return;
+  if (peer_gone) {
+    // Responses still being solved have nowhere to go; drop the conn now
+    // (deliveries find no matching conn id and are skipped).
+    close_conn(shard, fd);
+    return;
+  }
+  if (conn->close_after_flush && conn->out_offset >= conn->outbuf.size()) {
+    close_conn(shard, fd);
+  }
+}
+
+void Server::send_payload(Shard* shard, Conn* conn,
+                          std::string_view payload) {
+  const Codec codec = conn->reader.codec().value_or(Codec::kJson);
+  std::string framed;
+  try {
+    framed = frame_payload(payload, codec);
+  } catch (const common::Error&) {
+    // Response exceeds what the codec can frame; the conn cannot be
+    // answered coherently, so drop it.
+    conn->close_after_flush = true;
+    conn->outbuf.clear();
+    conn->out_offset = 0;
+    flush(shard, conn);
+    return;
+  }
+  conn->outbuf.append(framed);
+  flush(shard, conn);
+}
+
+void Server::flush(Shard* shard, Conn* conn) {
+  const int fd = conn->socket.fd();
+  while (conn->out_offset < conn->outbuf.size()) {
+    std::size_t sent = 0;
+    const IoStatus status = send_nonblocking(
+        fd,
+        std::string_view(conn->outbuf).substr(conn->out_offset), &sent);
+    if (status == IoStatus::kOk) {
+      conn->out_offset += sent;
+      continue;
+    }
+    if (status == IoStatus::kWouldBlock) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        shard->reactor.modify_fd(fd, EPOLLIN | EPOLLOUT);
+      }
+      if (!conn->counted_unflushed) {
+        conn->counted_unflushed = true;
+        unflushed_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      return;
+    }
+    close_conn(shard, fd);  // transport fault
+    return;
+  }
+  conn->outbuf.clear();
+  conn->out_offset = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    shard->reactor.modify_fd(fd, EPOLLIN);
+  }
+  if (conn->counted_unflushed) {
+    conn->counted_unflushed = false;
+    unflushed_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  if (conn->close_after_flush) close_conn(shard, fd);
+}
+
+void Server::respond(Shard* shard, Conn* conn, Clock::time_point started,
+                     std::string_view payload) {
+  metrics_.timer("net.request.seconds").observe(seconds_since(started));
+  send_payload(shard, conn, payload);
+}
+
+void Server::reject_request(Shard* shard, Conn* conn,
+                            Clock::time_point started, Reject reason,
+                            const std::string& message) {
+  metrics_.counter("net.rejected." + to_string(reason)).increment();
+  respond(shard, conn, started, encode_rejection_line(reason, message));
+}
+
+void Server::handle_payload(Shard* shard, Conn* conn,
+                            const std::string& payload) {
+  const Clock::time_point started = Clock::now();
   metrics_.counter("net.requests").increment();
 
   std::string error;
-  const std::optional<json::Value> envelope = json::parse(line, &error);
+  const std::optional<json::Value> envelope = json::parse(payload, &error);
   if (!envelope.has_value()) {
-    return reject(conn, Reject::kBadRequest, "parse: " + error);
+    reject_request(shard, conn, started, Reject::kBadRequest,
+                   "parse: " + error);
+    return;
   }
 
   std::string version_error;
   if (!envelope_version_ok(*envelope, &version_error)) {
-    return reject(conn, Reject::kBadRequest, version_error);
+    reject_request(shard, conn, started, Reject::kBadRequest, version_error);
+    return;
   }
 
   std::string op = "plan";
   if (const json::Value* member = envelope->find("op")) {
     if (!member->is_string()) {
-      return reject(conn, Reject::kBadRequest, "op: expected string");
+      reject_request(shard, conn, started, Reject::kBadRequest,
+                     "op: expected string");
+      return;
     }
     op = member->as_string();
   }
 
   if (op == "ping") {
     metrics_.counter("net.pings").increment();
-    return conn->write_line(R"({"ok":true,"pong":true,"v":1})");
+    respond(shard, conn, started, R"({"ok":true,"pong":true,"v":1})");
+    return;
   }
-  if (op == "metrics") return write_metrics(conn);
-  if (op == "plan") return handle_plan(*envelope, conn);
-  if (op == "validate") return handle_validate(*envelope, conn);
+  if (op == "metrics") {
+    write_metrics(shard, conn, started);
+    return;
+  }
+  if (op == "plan") {
+    handle_plan(shard, conn, started, *envelope);
+    return;
+  }
+  if (op == "validate") {
+    handle_validate(shard, conn, started, *envelope);
+    return;
+  }
   // Unknown op: structured bad_request listing the supported ops.
   metrics_.counter("net.rejected." + to_string(Reject::kBadRequest))
       .increment();
-  return conn->write_line(encode_unknown_op_line(op));
+  respond(shard, conn, started, encode_unknown_op_line(op));
 }
 
-std::optional<std::chrono::steady_clock::time_point> Server::resolve_deadline(
+std::optional<Server::Clock::time_point> Server::resolve_deadline(
     long deadline_ms, long* budget_ms) const {
   // Request deadline wins; 0 falls back to the server default; a value < 0
   // is already expired (deterministic load-shed probe).  No deadline at all
@@ -187,93 +476,208 @@ std::optional<std::chrono::steady_clock::time_point> Server::resolve_deadline(
   return Clock::now() + std::chrono::milliseconds(*budget_ms);
 }
 
-bool Server::handle_plan(const json::Value& envelope, Connection* conn) {
+void Server::handle_plan(Shard* shard, Conn* conn, Clock::time_point started,
+                         const json::Value& envelope) {
   std::string error;
   long deadline_ms = 0;
   std::optional<svc::PlanRequest> request =
       decode_request(envelope, &deadline_ms, &error);
   if (!request.has_value()) {
-    return reject(conn, Reject::kBadRequest, error);
+    reject_request(shard, conn, started, Reject::kBadRequest, error);
+    return;
   }
   if (draining_.load(std::memory_order_acquire)) {
-    return reject(conn, Reject::kDraining, "server is draining");
+    reject_request(shard, conn, started, Reject::kDraining,
+                   "server is draining");
+    return;
+  }
+
+  const std::string key = svc::canonical_key(*request);
+  svc::PlanReport cached;
+  if (engine_.try_cached_plan(key, &cached)) {
+    cached.cache_hit = true;
+    cached.queue_wait_seconds = 0.0;
+    cached.label = request->label;
+    metrics_.counter("net.planned").increment();
+    respond(shard, conn, started, encode_report_line(cached));
+    return;
   }
 
   long budget_ms = 0;
   const std::optional<Clock::time_point> deadline =
       resolve_deadline(deadline_ms, &budget_ms);
+  // Admission-time deadline enforcement: once a request joins a flight it
+  // is always answered — by delivery time the report is a cache entry, and
+  // cache hits are always served.
+  if (deadline.has_value() && Clock::now() >= *deadline) {
+    reject_request(shard, conn, started, Reject::kDeadline,
+                   "deadline expired before solve (budget " + dec(budget_ms) +
+                       " ms)");
+    return;
+  }
 
-  auto task = std::make_shared<
-      std::packaged_task<std::optional<svc::PlanReport>()>>(
-      [this, plan_request = std::move(*request), deadline] {
-        return engine_.plan_one(plan_request, deadline);
-      });
-  std::future<std::optional<svc::PlanReport>> pending = task->get_future();
-  if (!queue_.try_push([task] { (*task)(); })) {
-    return reject(conn, Reject::kOverloaded,
-                  "admission queue full (capacity " +
-                      dec(static_cast<long long>(queue_.capacity())) + ")");
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  const int fd = conn->socket.fd();
+  const std::uint64_t conn_id = conn->id;
+  // Leadership is only known after join(); the flag is written before the
+  // leader publishes the solve, so a waiter observing false is a genuine
+  // follower (its report is by definition a coalesced copy -> cache_hit).
+  auto leader_flag = std::make_shared<std::atomic<bool>>(false);
+  auto waiter = [this, shard, fd, conn_id, started, leader_flag,
+                 label = request->label](const svc::PlanReport* finished) {
+    // The report pointer is only valid during this call; copy before
+    // posting to the owning shard.
+    std::shared_ptr<svc::PlanReport> copy;
+    if (finished != nullptr) {
+      copy = std::make_shared<svc::PlanReport>(*finished);
+      copy->label = label;
+      if (!leader_flag->load(std::memory_order_acquire)) {
+        copy->cache_hit = true;
+        copy->queue_wait_seconds = 0.0;
+      }
+    }
+    shard->reactor.post([this, shard, fd, conn_id, copy, started] {
+      deliver_plan(shard, fd, conn_id, copy.get(), started);
+      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  };
+
+  const bool leader = plan_flight_.join(key, std::move(waiter));
+  metrics_
+      .counter(leader ? "net.singleflight.leaders" : "net.singleflight.joined")
+      .increment();
+  if (!leader) return;  // coalesced onto the in-flight solve
+  leader_flag->store(true, std::memory_order_release);
+
+  auto job = [this, key, plan_request = std::move(*request)] {
+    // No deadline here (admission already enforced it), so the result is
+    // always engaged.
+    const std::optional<svc::PlanReport> report =
+        engine_.plan_one(plan_request, std::nullopt);
+    plan_flight_.complete(key, *report);
+  };
+  if (!queue_.try_push(std::move(job))) {
+    // Aborts the whole flight: every waiter (this one included) is answered
+    // "rejected: overloaded" through its delivery callback.
+    plan_flight_.abort(key);
+    return;
   }
   metrics_.counter("net.admitted").increment();
   metrics_.gauge("net.queue.depth").set(static_cast<double>(queue_.size()));
-
-  // Blocking here occupies an io thread, never a solver worker, so the
-  // queue always drains.  drain() keeps workers alive until handlers join.
-  const std::optional<svc::PlanReport> report = pending.get();
-  if (!report.has_value()) {
-    return reject(conn, Reject::kDeadline,
-                  "deadline expired before solve (budget " +
-                      dec(budget_ms) + " ms)");
-  }
-  metrics_.counter("net.planned").increment();
-  return conn->write_line(encode_report_line(*report));
 }
 
-bool Server::handle_validate(const json::Value& envelope, Connection* conn) {
+void Server::deliver_plan(Shard* shard, int fd, std::uint64_t conn_id,
+                          const svc::PlanReport* report,
+                          Clock::time_point started) {
+  Conn* conn = find_conn(shard, fd, conn_id);
+  if (conn == nullptr) return;  // client left while the solve ran
+  if (report == nullptr) {
+    reject_request(shard, conn, started, Reject::kOverloaded,
+                   "admission queue full (capacity " +
+                       dec(static_cast<long long>(queue_.capacity())) + ")");
+    return;
+  }
+  metrics_.counter("net.planned").increment();
+  respond(shard, conn, started, encode_report_line(*report));
+}
+
+void Server::handle_validate(Shard* shard, Conn* conn,
+                             Clock::time_point started,
+                             const json::Value& envelope) {
   std::string error;
   long deadline_ms = 0;
   std::optional<svc::SimRequest> request =
       decode_sim_request(envelope, &deadline_ms, &error);
   if (!request.has_value()) {
-    return reject(conn, Reject::kBadRequest, error);
+    reject_request(shard, conn, started, Reject::kBadRequest, error);
+    return;
   }
   if (draining_.load(std::memory_order_acquire)) {
-    return reject(conn, Reject::kDraining, "server is draining");
+    reject_request(shard, conn, started, Reject::kDraining,
+                   "server is draining");
+    return;
+  }
+
+  const std::string key = svc::canonical_key(*request);
+  svc::SimReport cached;
+  if (engine_.try_cached_sim(key, &cached)) {
+    cached.cache_hit = true;
+    cached.label = request->label;
+    metrics_.counter("net.validated").increment();
+    respond(shard, conn, started, encode_sim_report_line(cached));
+    return;
   }
 
   long budget_ms = 0;
   const std::optional<Clock::time_point> deadline =
       resolve_deadline(deadline_ms, &budget_ms);
+  if (deadline.has_value() && Clock::now() >= *deadline) {
+    reject_request(shard, conn, started, Reject::kDeadline,
+                   "deadline expired before simulation (budget " +
+                       dec(budget_ms) + " ms)");
+    return;
+  }
 
-  // Same admission path as handle_plan: the solver worker that pops this
-  // task calls validate_one, which plans and then fans the Monte-Carlo
-  // replica chunks across the engine's own pool (a different pool, so the
-  // blocked worker cannot starve the fan-out).
-  auto task = std::make_shared<
-      std::packaged_task<std::optional<svc::SimReport>()>>(
-      [this, sim_request = std::move(*request), deadline] {
-        return engine_.validate_one(sim_request, deadline);
-      });
-  std::future<std::optional<svc::SimReport>> pending = task->get_future();
-  if (!queue_.try_push([task] { (*task)(); })) {
-    return reject(conn, Reject::kOverloaded,
-                  "admission queue full (capacity " +
-                      dec(static_cast<long long>(queue_.capacity())) + ")");
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  const int fd = conn->socket.fd();
+  const std::uint64_t conn_id = conn->id;
+  auto leader_flag = std::make_shared<std::atomic<bool>>(false);
+  auto waiter = [this, shard, fd, conn_id, started, leader_flag,
+                 label = request->label](const svc::SimReport* finished) {
+    std::shared_ptr<svc::SimReport> copy;
+    if (finished != nullptr) {
+      copy = std::make_shared<svc::SimReport>(*finished);
+      copy->label = label;
+      if (!leader_flag->load(std::memory_order_acquire)) {
+        copy->cache_hit = true;
+      }
+    }
+    shard->reactor.post([this, shard, fd, conn_id, copy, started] {
+      deliver_validate(shard, fd, conn_id, copy.get(), started);
+      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  };
+
+  const bool leader = sim_flight_.join(key, std::move(waiter));
+  metrics_
+      .counter(leader ? "net.singleflight.leaders" : "net.singleflight.joined")
+      .increment();
+  if (!leader) return;
+  leader_flag->store(true, std::memory_order_release);
+
+  // The solver worker that pops this job calls validate_one, which plans
+  // and then fans the Monte-Carlo replica chunks across the engine's own
+  // pool (a different pool, so the busy worker cannot starve the fan-out).
+  auto job = [this, key, sim_request = std::move(*request)] {
+    const std::optional<svc::SimReport> report =
+        engine_.validate_one(sim_request, std::nullopt);
+    sim_flight_.complete(key, *report);
+  };
+  if (!queue_.try_push(std::move(job))) {
+    sim_flight_.abort(key);
+    return;
   }
   metrics_.counter("net.admitted").increment();
   metrics_.gauge("net.queue.depth").set(static_cast<double>(queue_.size()));
-
-  const std::optional<svc::SimReport> report = pending.get();
-  if (!report.has_value()) {
-    return reject(conn, Reject::kDeadline,
-                  "deadline expired before simulation (budget " +
-                      dec(budget_ms) + " ms)");
-  }
-  metrics_.counter("net.validated").increment();
-  return conn->write_line(encode_sim_report_line(*report));
 }
 
-bool Server::write_metrics(Connection* conn) {
+void Server::deliver_validate(Shard* shard, int fd, std::uint64_t conn_id,
+                              const svc::SimReport* report,
+                              Clock::time_point started) {
+  Conn* conn = find_conn(shard, fd, conn_id);
+  if (conn == nullptr) return;
+  if (report == nullptr) {
+    reject_request(shard, conn, started, Reject::kOverloaded,
+                   "admission queue full (capacity " +
+                       dec(static_cast<long long>(queue_.capacity())) + ")");
+    return;
+  }
+  metrics_.counter("net.validated").increment();
+  respond(shard, conn, started, encode_sim_report_line(*report));
+}
+
+void Server::write_metrics(Shard* shard, Conn* conn,
+                           Clock::time_point started) {
   metrics_.counter("net.metrics_requests").increment();
   metrics_.gauge("net.queue.depth").set(static_cast<double>(queue_.size()));
   // Daemon counters and engine (cache/solver) instruments, one namespace.
@@ -284,17 +688,32 @@ bool Server::write_metrics(Connection* conn) {
   for (const char c : jsonl) {
     if (c == '\n') ++lines;
   }
-  if (!conn->write_line(R"({"ok":true,"metrics_lines":)" + dec(lines) +
-                        R"(,"v":1})")) {
-    return false;
+  const int fd = conn->socket.fd();
+  const std::uint64_t conn_id = conn->id;
+  const Codec codec = conn->reader.codec().value_or(Codec::kJson);
+  respond(shard, conn, started,
+          R"({"ok":true,"metrics_lines":)" + dec(lines) + R"(,"v":1})");
+  // A send can close the conn on transport error; re-resolve before each
+  // body write.
+  conn = find_conn(shard, fd, conn_id);
+  if (conn == nullptr) return;
+  if (codec == Codec::kJson) {
+    // The JSONL body is already line-framed; append it verbatim.
+    conn->outbuf.append(jsonl);
+    flush(shard, conn);
+    return;
   }
-  return conn->write_all(jsonl);
-}
-
-bool Server::reject(Connection* conn, Reject reason,
-                    const std::string& message) {
-  metrics_.counter("net.rejected." + to_string(reason)).increment();
-  return conn->write_line(encode_rejection_line(reason, message));
+  // Binary codec: each metrics line is its own frame, so the body carries
+  // the same line-oriented content as the JSON codec.
+  std::size_t begin = 0;
+  while (begin < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', begin);
+    send_payload(shard, conn,
+                 std::string_view(jsonl).substr(begin, end - begin));
+    begin = end + 1;
+    conn = find_conn(shard, fd, conn_id);
+    if (conn == nullptr) return;
+  }
 }
 
 }  // namespace mlcr::net

@@ -1,44 +1,66 @@
-// The planning daemon (mlcrd) core: a TCP server speaking the
-// line-delimited JSON protocol of net/protocol.h on 127.0.0.1.
+// The planning daemon (mlcrd) core: a reactor-per-core TCP server speaking
+// the framed protocol of net/protocol.h + net/codec.h on 127.0.0.1
+// (DESIGN.md §12).
 //
-// Threading model (three tiers, all bounded):
-//   * one accept thread polling the listener with a 100 ms tick;
-//   * an io pool (common::ThreadPool) running one connection handler per
-//     live connection — handlers parse lines, enqueue solves, and block on
-//     the solve future (never on the solver itself);
+// Threading model (all bounded):
+//   * N reactor shards, one epoll loop thread each; every connection is
+//     owned by exactly one shard, chosen round-robin at accept time, so all
+//     connection state is single-threaded by construction.  The listener is
+//     registered in shard 0's epoll; accepted sockets are handed to their
+//     owning shard via Reactor::post.
 //   * a fixed team of solver workers popping a bounded svc::AdmissionQueue
 //     and calling SweepEngine::plan_one (op "plan") or validate_one
-//     (op "validate") with the request's deadline; validate_one fans its
-//     Monte-Carlo replicas across the engine's own pool.
+//     (op "validate"); finished reports travel back to the owning shard as
+//     posted delivery tasks.
 //
-// Admission control: the queue in front of the solvers has a hard capacity;
-// when try_push fails the request is answered "rejected: overloaded"
-// immediately — the daemon sheds load instead of building an unbounded
-// backlog.  Per-request deadlines: a miss whose deadline passed while
-// queued is answered "rejected: deadline" without entering Algorithm 1
-// (cache hits are always served).  Both paths are observable as distinct
-// counters (net.rejected.overloaded / net.rejected.deadline).
+// Request flow for plan/validate (the reactor thread never blocks):
+//   decode -> draining? -> engine cache probe (hits answered inline,
+//   microseconds) -> admission deadline check ("rejected: deadline") ->
+//   singleflight join (identical in-flight keys coalesce onto one solve) ->
+//   leader try_pushes the solve; a full queue aborts the flight and every
+//   waiter is answered "rejected: overloaded".  Once admitted a request is
+//   always answered: the deadline is enforced at admission only, because by
+//   delivery time the report is a cache entry and cache hits are always
+//   served (plan_one's contract).
+//
+// Codec: negotiated per connection by the first byte (see net/codec.h);
+// responses are framed in the connection's codec.  Responses to pipelined
+// requests on one connection are delivered in completion order, not request
+// order — reports carry `key`/`label` for matching.
 //
 // Graceful drain (SIGINT/SIGTERM via common::shutdown, or drain()):
-//   stop accepting -> close the listener -> answer in-flight lines ->
-//   join connection handlers -> close the queue -> join solver workers.
-// Nothing already admitted is dropped; new work is refused with
-// "rejected: draining".
+//   set draining (new plan/validate frames get "rejected: draining";
+//   ping/metrics still answered) -> close the listener -> wait until every
+//   admitted request has been answered and every output buffer flushed
+//   (the flush wait is bounded by drain_flush_timeout_ms: a peer that
+//   stops reading is force-closed rather than hanging shutdown) -> stop
+//   and join the reactors -> answer any straggler admitted in the instant
+//   before the draining flag became visible (its delivery lands on the
+//   stopped reactor; the drain thread, now sole owner of all shard state,
+//   runs it directly) -> close the queue -> join solver workers.  Nothing
+//   already admitted is dropped, short of its peer refusing to read the
+//   response.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
-#include "common/thread_pool.h"
+#include "net/codec.h"
+#include "net/json.h"
 #include "net/protocol.h"
+#include "net/reactor.h"
 #include "net/socket.h"
 #include "svc/admission_queue.h"
+#include "svc/singleflight.h"
 #include "svc/sweep_engine.h"
 
 namespace mlcr::net {
@@ -46,9 +68,10 @@ namespace mlcr::net {
 struct ServerOptions {
   /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
   std::uint16_t port = 0;
-  /// Connection-handler threads; also the maximum number of connections
-  /// served concurrently (further accepts wait in the pool's task queue).
-  std::size_t io_threads = 8;
+  /// Reactor shards (event-loop threads); 0 = hardware concurrency.
+  /// Connections are assigned round-robin, so shard i's accepted count is
+  /// deterministic given the accept order (metric net.shard.<i>.accepted).
+  std::size_t shards = 0;
   /// Solver worker threads; 0 = hardware concurrency.
   std::size_t solver_threads = 0;
   /// Admission queue capacity; a full queue answers "rejected: overloaded".
@@ -59,6 +82,11 @@ struct ServerOptions {
   long default_deadline_ms = 0;
   /// SweepEngine LRU capacity (cache hits are served even past deadline).
   std::size_t cache_capacity = 65536;
+  /// Upper bound on waiting for unflushed response bytes during drain():
+  /// a peer that stops reading its socket is force-closed after this long
+  /// (metric net.drain.force_closed) so one stalled connection cannot hang
+  /// shutdown.  0 = wait forever.
+  long drain_flush_timeout_ms = 5000;
 };
 
 class Server {
@@ -69,15 +97,15 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, spawns the accept thread / io pool / solver workers.  Throws
+  /// Binds, spawns the reactor shards and solver workers.  Throws
   /// common::Error if the port cannot be bound.
   void start();
 
   /// The bound port (valid after start(); resolves ephemeral binds).
   [[nodiscard]] std::uint16_t port() const;
 
-  /// Graceful shutdown, idempotent: refuse new work, finish everything
-  /// already admitted, join all threads.  Called by the destructor.
+  /// Graceful shutdown, idempotent: refuse new work, answer everything
+  /// already admitted, flush, join all threads.  Called by the destructor.
   void drain();
 
   [[nodiscard]] bool running() const noexcept {
@@ -85,10 +113,9 @@ class Server {
            !drained_.load(std::memory_order_acquire);
   }
 
-  /// Blocks until `predicate-ish`: returns when drain() completed or the
-  /// process shutdown flag (common::shutdown_requested) is raised; in the
-  /// latter case it performs the drain itself.  The mlcrd main loop is just
-  /// start(); serve_until_shutdown().
+  /// Blocks until drain() completed elsewhere or the process shutdown flag
+  /// (common::shutdown_requested) is raised; in the latter case it performs
+  /// the drain itself.  The mlcrd main loop is start(); serve_until_shutdown().
   void serve_until_shutdown();
 
   /// Daemon-wide instrumentation (net.* plus the engine's cache/solver
@@ -99,39 +126,98 @@ class Server {
   [[nodiscard]] svc::SweepEngine& engine() noexcept { return engine_; }
 
  private:
-  void accept_loop();
+  using Clock = std::chrono::steady_clock;
+
+  /// One connection, owned by exactly one shard; touched only on that
+  /// shard's loop thread.
+  struct Conn {
+    std::uint64_t id = 0;  ///< guards against fd-number reuse on delivery
+    Socket socket;
+    FrameReader reader;            ///< codec autodetected from first byte
+    std::string outbuf;            ///< bytes not yet accepted by the kernel
+    std::size_t out_offset = 0;    ///< flushed prefix of outbuf
+    bool want_write = false;       ///< EPOLLOUT interest currently registered
+    bool counted_unflushed = false;  ///< counted in unflushed_
+    bool codec_counted = false;      ///< counted in net.codec.<name>
+    bool close_after_flush = false;
+  };
+
+  struct Shard {
+    std::size_t index = 0;
+    Reactor reactor;
+    std::thread thread;
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  };
+
   void worker_loop();
-  void handle_connection(Socket socket);
-  /// Dispatches one request line; false = stop serving this connection.
-  [[nodiscard]] bool handle_line(const std::string& line, Connection* conn);
-  [[nodiscard]] bool handle_plan(const json::Value& envelope,
-                                 Connection* conn);
-  [[nodiscard]] bool handle_validate(const json::Value& envelope,
-                                     Connection* conn);
+  void dispatch(Shard* shard, int fd, std::uint32_t events);
+  /// Accepts until EAGAIN (shard 0 only) and hands sockets round-robin.
+  void accept_ready();
+  /// Runs on the owning shard's loop: registers the socket and conn state.
+  void adopt(Shard* shard, Socket socket);
+  void on_readable(Shard* shard, Conn* conn);
+  /// Routes one decoded payload (any codec; the payload is the JSON text).
+  void handle_payload(Shard* shard, Conn* conn, const std::string& payload);
+  void handle_plan(Shard* shard, Conn* conn, Clock::time_point started,
+                   const json::Value& envelope);
+  void handle_validate(Shard* shard, Conn* conn, Clock::time_point started,
+                       const json::Value& envelope);
+  void write_metrics(Shard* shard, Conn* conn, Clock::time_point started);
+  /// Frames `payload` in the connection's codec and queues/flushes it.
+  void send_payload(Shard* shard, Conn* conn, std::string_view payload);
+  /// Observes net.request.seconds and sends one response payload.
+  void respond(Shard* shard, Conn* conn, Clock::time_point started,
+               std::string_view payload);
+  /// Counts net.rejected.<reason> and responds with a rejection line.
+  void reject_request(Shard* shard, Conn* conn, Clock::time_point started,
+                      Reject reason, const std::string& message);
+  /// Flushes outbuf as far as the kernel allows; toggles EPOLLOUT interest
+  /// and the unflushed_ accounting; may close the conn on transport error.
+  void flush(Shard* shard, Conn* conn);
+  void close_conn(Shard* shard, int fd);
+  /// Closes every conn on `shard` whose output is stuck at EWOULDBLOCK
+  /// (drain_flush_timeout_ms exceeded); counts net.drain.force_closed.
+  void force_close_stalled(Shard* shard);
+  [[nodiscard]] Conn* find_conn(Shard* shard, int fd,
+                                std::uint64_t conn_id) const;
+  /// Posted back to the owning shard by a solver/singleflight completion.
+  void deliver_plan(Shard* shard, int fd, std::uint64_t conn_id,
+                    const svc::PlanReport* report, Clock::time_point started);
+  void deliver_validate(Shard* shard, int fd, std::uint64_t conn_id,
+                        const svc::SimReport* report,
+                        Clock::time_point started);
   /// Resolves the effective solve deadline: the request's deadline_ms wins,
   /// 0 falls back to the server default, and a fully unbounded request maps
   /// to nullopt ("never expires").  *budget_ms receives the winning budget
   /// for reject messages.
-  [[nodiscard]] std::optional<std::chrono::steady_clock::time_point>
-  resolve_deadline(long deadline_ms, long* budget_ms) const;
-  [[nodiscard]] bool write_metrics(Connection* conn);
-  [[nodiscard]] bool reject(Connection* conn, Reject reason,
-                            const std::string& message);
+  [[nodiscard]] std::optional<Clock::time_point> resolve_deadline(
+      long deadline_ms, long* budget_ms) const;
 
+  // Everything a posted delivery task can touch (counters, flags, queue,
+  // engine, singleflight tables) is declared BEFORE shards_: members
+  // declared later are destroyed first, and ~Reactor (inside ~Shard) runs
+  // any still-pending posted tasks, so those tasks must only reference
+  // members that outlive the shards.
   ServerOptions options_;
   svc::SweepEngine engine_;
   svc::AdmissionQueue queue_;
   common::metrics::Registry metrics_;
 
-  std::optional<Listener> listener_;
-  std::optional<common::ThreadPool> io_pool_;
-  std::vector<std::thread> solver_workers_;
-  std::thread accept_thread_;
+  svc::Singleflight<svc::PlanReport> plan_flight_;
+  svc::Singleflight<svc::SimReport> sim_flight_;
 
-  std::atomic<bool> accepting_{false};
+  std::atomic<std::uint64_t> next_shard_{0};   ///< round-robin accept cursor
+  std::atomic<std::uint64_t> conn_ids_{0};
+  std::atomic<std::uint64_t> outstanding_{0};  ///< admitted, not yet answered
+  std::atomic<std::uint64_t> unflushed_{0};    ///< conns with pending outbuf
+
   std::atomic<bool> draining_{false};
   std::atomic<bool> started_{false};
   std::atomic<bool> drained_{false};
+
+  std::optional<Listener> listener_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> solver_workers_;
 };
 
 }  // namespace mlcr::net

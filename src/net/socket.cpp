@@ -85,6 +85,37 @@ Connection::ReadResult Connection::read_line(std::string* line,
   }
 }
 
+Connection::ReadResult Connection::read_frame(FrameReader* reader,
+                                              std::string* payload,
+                                              int timeout_ms) {
+  while (true) {
+    std::string frame_error;
+    switch (reader->next(payload, &frame_error)) {
+      case FrameReader::Result::kFrame:
+        return ReadResult::kLine;
+      case FrameReader::Result::kError:
+        return ReadResult::kError;
+      case FrameReader::Result::kNeedMore:
+        break;
+    }
+    if (!socket_.valid()) return ReadResult::kEof;
+
+    const int ready = poll_one(socket_.fd(), POLLIN, timeout_ms);
+    if (ready < 0) return ReadResult::kError;
+    if (ready == 0) return ReadResult::kTimeout;
+
+    char chunk[4096];
+    const ssize_t received = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+    if (received < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::kError;
+    }
+    if (received == 0) return ReadResult::kEof;
+    reader->feed(
+        std::string_view(chunk, static_cast<std::size_t>(received)));
+  }
+}
+
 bool Connection::write_all(std::string_view data) {
   while (!data.empty()) {
     const ssize_t sent =
@@ -139,6 +170,42 @@ std::optional<Socket> Listener::accept_for(int timeout_ms) {
   return Socket(fd);
 }
 
+std::optional<Socket> Listener::accept_nonblocking() {
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) return std::nullopt;  // EAGAIN / EINTR / peer already gone
+  return Socket(fd);
+}
+
+IoStatus recv_nonblocking(int fd, std::string* buffer) {
+  char chunk[16384];
+  while (true) {
+    const ssize_t received = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (received > 0) {
+      buffer->append(chunk, static_cast<std::size_t>(received));
+      return IoStatus::kOk;
+    }
+    if (received == 0) return IoStatus::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus send_nonblocking(int fd, std::string_view data, std::size_t* sent) {
+  *sent = 0;
+  while (true) {
+    const ssize_t pushed =
+        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (pushed >= 0) {
+      *sent = static_cast<std::size_t>(pushed);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+}
+
 Socket connect_to(const std::string& host, std::uint16_t port,
                   int timeout_ms) {
   struct addrinfo hints = {};
@@ -191,6 +258,18 @@ Socket connect_to(const std::string& host, std::uint16_t port,
                  last_error);
   }
   return socket;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    fail_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_tcp_nodelay(int fd) noexcept {
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
 }
 
 }  // namespace mlcr::net

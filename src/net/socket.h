@@ -10,6 +10,8 @@
 #include <string>
 #include <string_view>
 
+#include "net/codec.h"
+
 namespace mlcr::net {
 
 /// Owning file descriptor; move-only, closed on destruction.
@@ -47,6 +49,14 @@ class Connection {
   /// partial line buffered for the next call.
   [[nodiscard]] ReadResult read_line(std::string* line, int timeout_ms = -1);
 
+  /// Reads one codec frame through `reader` (which owns the framing
+  /// buffer): kLine = one payload extracted into *payload.  Do not mix with
+  /// read_line on the same connection — the two keep separate buffers.
+  /// kTimeout leaves partial frames buffered in the reader.
+  [[nodiscard]] ReadResult read_frame(FrameReader* reader,
+                                      std::string* payload,
+                                      int timeout_ms = -1);
+
   /// Sends all of `data` (+ '\n'); false on any transport error.
   [[nodiscard]] bool write_line(std::string_view data);
   [[nodiscard]] bool write_all(std::string_view data);
@@ -72,8 +82,14 @@ class Listener {
   /// EINTR (callers re-check their stop flags and loop).
   [[nodiscard]] std::optional<Socket> accept_for(int timeout_ms);
 
+  /// One non-blocking accept (the listener must be set_nonblocking first);
+  /// nullopt when no connection is pending.  Reactor accept loops call this
+  /// until it returns nullopt.
+  [[nodiscard]] std::optional<Socket> accept_nonblocking();
+
   void close() noexcept { socket_.close(); }
   [[nodiscard]] bool valid() const noexcept { return socket_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return socket_.fd(); }
 
  private:
   Listener(Socket socket, std::uint16_t port) noexcept
@@ -87,5 +103,33 @@ class Listener {
 /// resolution/connect failure.
 [[nodiscard]] Socket connect_to(const std::string& host, std::uint16_t port,
                                 int timeout_ms);
+
+/// Switches `fd` to non-blocking mode; throws common::Error on failure.
+/// Every socket owned by a reactor must pass through this before
+/// registration — the reactor contract is that no handler ever blocks.
+void set_nonblocking(int fd);
+
+/// Best-effort TCP_NODELAY: request/response frames are small and latency
+/// matters more than batching.  Failure is ignored (e.g. non-TCP fd in
+/// tests).
+void set_tcp_nodelay(int fd) noexcept;
+
+/// Outcome of one non-blocking transfer attempt.
+enum class IoStatus {
+  kOk,          ///< made progress
+  kWouldBlock,  ///< kernel buffer empty/full; wait for the next epoll event
+  kEof,         ///< orderly peer shutdown (recv only)
+  kError,       ///< transport fault; close the connection
+};
+
+/// One non-blocking recv; kOk appends the received bytes to *buffer.  The
+/// fd must already be non-blocking.  Reactor read loops call this until
+/// kWouldBlock.
+[[nodiscard]] IoStatus recv_nonblocking(int fd, std::string* buffer);
+
+/// One non-blocking send of as much of `data` as the kernel accepts; *sent
+/// receives the byte count on kOk (possibly short).
+[[nodiscard]] IoStatus send_nonblocking(int fd, std::string_view data,
+                                        std::size_t* sent);
 
 }  // namespace mlcr::net

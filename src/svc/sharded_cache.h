@@ -1,0 +1,131 @@
+// Sharded LRU cache: N independent LruCache shards, each behind its own
+// mutex, with the shard chosen by the key's hash.  Replaces the sweep
+// engine's single cache mutex, which serialized every lookup across every
+// reactor shard and solver worker — with key-hash sharding, two requests
+// for different keys contend only when they land in the same shard, and a
+// shard's critical section is a single list splice.
+//
+// Sharding is by canonical-key hash, NOT by whoever is asking: a given key
+// always lives in exactly one shard, so there are no duplicate entries and
+// a singleflight table sharded the same way coalesces across connections
+// regardless of which reactor owns them.
+//
+// Each shard keeps its own hit/miss/insert/eviction counters (under the
+// same mutex as the data, so they are exact), exposed via shard_stats() —
+// bench_net records them so the serving-layer cache gate is attributable
+// per shard.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <mutex>
+
+#include "svc/lru_cache.h"
+
+namespace mlcr::svc {
+
+template <typename Value>
+class ShardedLruCache {
+ public:
+  struct ShardStats {
+    std::size_t size = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t inserts = 0;
+    std::size_t evictions = 0;
+  };
+
+  /// `capacity` is the total entry budget, split evenly (rounded up) across
+  /// `shards`; 0 disables caching entirely.  `shards` is clamped to >= 1.
+  ShardedLruCache(std::size_t capacity, std::size_t shards) {
+    if (shards == 0) shards = 1;
+    if (capacity > 0 && shards > capacity) shards = capacity;
+    const std::size_t per_shard =
+        capacity == 0 ? 0 : (capacity + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+    capacity_ = capacity;
+  }
+
+  /// Copies the cached value into *value and promotes it; false on miss.
+  bool get(const std::string& key, Value* value) {
+    if (capacity_ == 0) return false;
+    Shard& shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const bool hit = shard.lru.get(key, value);
+    ++(hit ? shard.stats.hits : shard.stats.misses);
+    return hit;
+  }
+
+  /// Inserts or refreshes; returns the number of evictions (0 or 1).
+  std::size_t put(const std::string& key, const Value& value) {
+    if (capacity_ == 0) return 0;
+    Shard& shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::size_t evicted = shard.lru.put(key, value);
+    ++shard.stats.inserts;
+    shard.stats.evictions += evicted;
+    return evicted;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard->lru.size();
+    }
+    return total;
+  }
+
+  void clear() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->lru.clear();
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_index(const std::string& key) const {
+    return std::hash<std::string>{}(key) % shards_.size();
+  }
+
+  /// Exact point-in-time per-shard counters, shard-index order.
+  [[nodiscard]] std::vector<ShardStats> shard_stats() const {
+    std::vector<ShardStats> stats;
+    stats.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      ShardStats snapshot = shard->stats;
+      snapshot.size = shard->lru.size();
+      stats.push_back(snapshot);
+    }
+    return stats;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t per_shard_capacity)
+        : lru(per_shard_capacity) {}
+    mutable std::mutex mutex;
+    LruCache<std::string, Value> lru;
+    ShardStats stats;
+  };
+
+  Shard& shard_of(const std::string& key) {
+    return *shards_[shard_index(key)];
+  }
+
+  std::size_t capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mlcr::svc

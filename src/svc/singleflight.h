@@ -1,0 +1,110 @@
+// Singleflight: coalesce concurrent requests for the same canonical key so
+// a hot key costs one solve instead of N queued solves (DESIGN.md §12).
+//
+// The first caller to join() a key becomes the *leader* and owes the table
+// a complete() or abort(); everyone else who joins before that happens is a
+// *follower* whose callback is stored.  complete() pops the key and invokes
+// every stored callback with the finished report; abort() invokes them with
+// nullptr (the leader could not even start — e.g. the admission queue was
+// full — and each waiter answers its own client accordingly).
+//
+// Callbacks run on the completer's thread, outside the table lock — in the
+// serving core they only post a delivery task to the waiter's reactor, so
+// keeping them out of the critical section prevents any lock ordering with
+// reactor internals.  The table is sharded by key hash like the LRU cache,
+// so two different hot keys never contend.
+//
+// Deadline interaction (the serving-core policy): once a request joins, it
+// is answered when the solve lands, even if its own deadline has passed by
+// then — by that point the report is a cache entry, and cache hits are
+// always served (see plan_one's contract).  Deadlines are enforced at
+// admission time, before join().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mlcr::svc {
+
+template <typename Report>
+class Singleflight {
+ public:
+  /// Invoked exactly once per join(): with the finished report on
+  /// complete(), with nullptr on abort().
+  using Callback = std::function<void(const Report*)>;
+
+  explicit Singleflight(std::size_t shards = 8) {
+    if (shards == 0) shards = 1;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  /// Registers interest in `key`.  True = caller is the leader and must
+  /// solve, then call complete() (or abort() if it cannot start).
+  [[nodiscard]] bool join(const std::string& key, Callback callback) {
+    Shard& shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] = shard.inflight.try_emplace(key);
+    it->second.push_back(std::move(callback));
+    return inserted;
+  }
+
+  /// Leader delivered: pops the key and fires every waiter with `report`.
+  /// Returns the number of callbacks fired (0 if the key was not in
+  /// flight, which only happens if complete/abort raced — a logic error
+  /// upstream, tolerated as a no-op).
+  std::size_t complete(const std::string& key, const Report& report) {
+    return finish(key, &report);
+  }
+
+  /// Leader never started: pops the key and fires every waiter with
+  /// nullptr.
+  std::size_t abort(const std::string& key) { return finish(key, nullptr); }
+
+  /// Keys currently in flight (drain uses this to wait for quiescence).
+  [[nodiscard]] std::size_t inflight() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard->inflight.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::vector<Callback>> inflight;
+  };
+
+  Shard& shard_of(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  std::size_t finish(const std::string& key, const Report* report) {
+    std::vector<Callback> waiters;
+    {
+      Shard& shard = shard_of(key);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      const auto it = shard.inflight.find(key);
+      if (it == shard.inflight.end()) return 0;
+      waiters = std::move(it->second);
+      shard.inflight.erase(it);
+    }
+    // Outside the lock: callbacks may post to reactors or touch metrics.
+    for (const Callback& waiter : waiters) waiter(report);
+    return waiters.size();
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mlcr::svc

@@ -41,8 +41,8 @@ std::pair<opt::Status, std::string> classify_failure(
 SweepEngine::SweepEngine(SweepEngineOptions options)
     : options_(options),
       pool_(options.threads),
-      cache_(options.cache_capacity),
-      sim_cache_(options.sim_cache_capacity) {
+      cache_(options.cache_capacity, options.cache_shards),
+      sim_cache_(options.sim_cache_capacity, options.cache_shards) {
   metrics_.gauge("pool.threads").set(static_cast<double>(pool_.size()));
   metrics_.gauge("cache.capacity")
       .set(static_cast<double>(options_.cache_capacity));
@@ -80,11 +80,7 @@ PlanReport SweepEngine::solve(const PlanRequest& request,
 
 bool SweepEngine::cache_lookup(const std::string& key, PlanReport* report) {
   if (options_.cache_capacity == 0) return false;
-  bool hit = false;
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    hit = cache_.get(key, report);
-  }
+  const bool hit = cache_.get(key, report);
   metrics_.counter(hit ? "cache.hits" : "cache.misses").increment();
   return hit;
 }
@@ -92,26 +88,16 @@ bool SweepEngine::cache_lookup(const std::string& key, PlanReport* report) {
 std::size_t SweepEngine::cache_insert(const std::string& key,
                                       const PlanReport& report) {
   if (options_.cache_capacity == 0) return 0;
-  std::size_t evicted = 0;
-  std::size_t size = 0;
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    evicted = cache_.put(key, report);
-    size = cache_.size();
-  }
+  const std::size_t evicted = cache_.put(key, report);
   metrics_.counter("cache.inserts").increment();
   if (evicted > 0) metrics_.counter("cache.evictions").increment(evicted);
-  metrics_.gauge("cache.size").set(static_cast<double>(size));
+  metrics_.gauge("cache.size").set(static_cast<double>(cache_.size()));
   return evicted;
 }
 
 bool SweepEngine::sim_cache_lookup(const std::string& key, SimReport* report) {
   if (options_.sim_cache_capacity == 0) return false;
-  bool hit = false;
-  {
-    std::lock_guard<std::mutex> lock(sim_cache_mutex_);
-    hit = sim_cache_.get(key, report);
-  }
+  const bool hit = sim_cache_.get(key, report);
   metrics_.counter(hit ? "validate.cache.hits" : "validate.cache.misses")
       .increment();
   return hit;
@@ -120,37 +106,32 @@ bool SweepEngine::sim_cache_lookup(const std::string& key, SimReport* report) {
 std::size_t SweepEngine::sim_cache_insert(const std::string& key,
                                           const SimReport& report) {
   if (options_.sim_cache_capacity == 0) return 0;
-  std::size_t evicted = 0;
-  std::size_t size = 0;
-  {
-    std::lock_guard<std::mutex> lock(sim_cache_mutex_);
-    evicted = sim_cache_.put(key, report);
-    size = sim_cache_.size();
-  }
+  const std::size_t evicted = sim_cache_.put(key, report);
   metrics_.counter("validate.cache.inserts").increment();
   if (evicted > 0) {
     metrics_.counter("validate.cache.evictions").increment(evicted);
   }
-  metrics_.gauge("validate.cache.size").set(static_cast<double>(size));
+  metrics_.gauge("validate.cache.size")
+      .set(static_cast<double>(sim_cache_.size()));
   return evicted;
 }
 
-std::size_t SweepEngine::cache_size() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  return cache_.size();
+bool SweepEngine::try_cached_plan(const std::string& canonical_key,
+                                  PlanReport* report) {
+  return cache_lookup(canonical_key, report);
 }
 
-std::size_t SweepEngine::sim_cache_size() const {
-  std::lock_guard<std::mutex> lock(sim_cache_mutex_);
-  return sim_cache_.size();
+bool SweepEngine::try_cached_sim(const std::string& canonical_key,
+                                 SimReport* report) {
+  return sim_cache_lookup(canonical_key, report);
 }
+
+std::size_t SweepEngine::cache_size() const { return cache_.size(); }
+
+std::size_t SweepEngine::sim_cache_size() const { return sim_cache_.size(); }
 
 void SweepEngine::clear_cache() {
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    cache_.clear();
-  }
-  std::lock_guard<std::mutex> lock(sim_cache_mutex_);
+  cache_.clear();
   sim_cache_.clear();
 }
 

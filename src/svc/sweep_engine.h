@@ -35,7 +35,6 @@
 #include <chrono>
 #include <cstddef>
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -43,8 +42,8 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
-#include "svc/lru_cache.h"
 #include "svc/plan_request.h"
+#include "svc/sharded_cache.h"
 #include "svc/sim_request.h"
 
 namespace mlcr::svc {
@@ -64,6 +63,10 @@ struct SweepEngineOptions {
   /// cache.  Sized separately from the plan cache because one SimReport is
   /// orders of magnitude more expensive to recompute.
   std::size_t sim_cache_capacity = 4096;
+  /// Lock shards for both caches (key-hash sharded, shared-nothing; see
+  /// svc/sharded_cache.h).  More shards = less contention between reactor
+  /// shards and solver workers; the default suits up to ~16 client threads.
+  std::size_t cache_shards = 8;
 };
 
 /// Aggregates for one plan_sweep call.  `requests` always equals
@@ -122,15 +125,6 @@ class SweepEngine {
       const PlanRequest& request,
       std::optional<Deadline> deadline = std::nullopt);
 
-  /// Pre-redesign spelling taking a raw time_point; forwards to the
-  /// std::optional overload above.
-  [[deprecated(
-      "pass std::optional<Deadline> (or omit the argument)")]] [[nodiscard]]
-  std::optional<PlanReport>
-  plan_one(const PlanRequest& request, Deadline deadline) {
-    return plan_one(request, std::optional<Deadline>(deadline));
-  }
-
   /// Plans all four solution families of opt::all_solutions() on `cfg`,
   /// in parallel; reports come back in all_solutions() order.
   [[nodiscard]] std::vector<PlanReport> plan_all_solutions(
@@ -162,10 +156,31 @@ class SweepEngine {
   [[nodiscard]] std::vector<SimReport> validate_sweep(
       const std::vector<SimRequest>& requests, SimSweepStats* stats = nullptr);
 
+  /// Lock-free-path cache probes for the serving layer: the reactor thread
+  /// answers a hot key straight from the cache without ever touching the
+  /// admission queue or solver pool.  A hit counts in cache.hits exactly
+  /// like plan_one's own probe; a miss counts in cache.misses (the caller
+  /// is expected to go on and solve, so the miss is real).
+  [[nodiscard]] bool try_cached_plan(const std::string& canonical_key,
+                                     PlanReport* report);
+  [[nodiscard]] bool try_cached_sim(const std::string& canonical_key,
+                                    SimReport* report);
+
   [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
   [[nodiscard]] std::size_t cache_size() const;
   [[nodiscard]] std::size_t sim_cache_size() const;
   void clear_cache();
+
+  /// Exact per-shard counters for the two caches (bench_net records them;
+  /// tests pin eviction attribution).  Index = shard index.
+  [[nodiscard]] std::vector<ShardedLruCache<PlanReport>::ShardStats>
+  plan_cache_stats() const {
+    return cache_.shard_stats();
+  }
+  [[nodiscard]] std::vector<ShardedLruCache<SimReport>::ShardStats>
+  sim_cache_stats() const {
+    return sim_cache_.shard_stats();
+  }
 
   /// Engine-lifetime instrumentation (cache traffic, status taxonomy,
   /// solve/queue-wait histograms, validate.* / sim.* instruments).  Safe to
@@ -198,10 +213,8 @@ class SweepEngine {
   SweepEngineOptions options_;
   common::ThreadPool pool_;
   common::metrics::Registry metrics_;
-  mutable std::mutex cache_mutex_;
-  LruCache<std::string, PlanReport> cache_;
-  mutable std::mutex sim_cache_mutex_;
-  LruCache<std::string, SimReport> sim_cache_;
+  ShardedLruCache<PlanReport> cache_;
+  ShardedLruCache<SimReport> sim_cache_;
 };
 
 }  // namespace mlcr::svc

@@ -1,0 +1,23 @@
+// Deliberate net-blocking-call violations: raw blocking syscalls in a
+// reactor-managed source (the path contains "src/net/reactor").  Not
+// compiled; see README.md.
+void on_readable(int fd, char* buf, unsigned long n, void* addr) {
+  read(fd, buf, n);
+  ::write(fd, buf, n);
+  accept(fd, nullptr, nullptr);
+  connect(fd, addr, 0);
+  recv(fd, buf, n, 0);
+  ::send(fd, buf, n, 0);
+  // mlcr-lint: allow(net-blocking-call)
+  read(fd, buf, n);
+  ::write(fd, buf, n);  // mlcr-lint: allow(net-blocking-call)
+}
+
+// Fixtures are never compiled, so Conn and helpers::read need no
+// definitions here — and a declaration like `int read();` would itself
+// look like a call to the token scanner.
+void not_violations(Conn* conn, int fd) {
+  conn->send("x");      // member call, not the syscall
+  (void)conn->read();   // member call
+  (void)helpers::read(fd);  // namespace-qualified wrapper
+}

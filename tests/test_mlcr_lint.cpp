@@ -61,6 +61,30 @@ TEST(MlcrLint, NetLocaleFixtureExactHits) {
   EXPECT_EQ(found, expected);
 }
 
+TEST(MlcrLint, NetBlockingCallFixtureExactHits) {
+  // Raw syscalls fire; suppressed, member-qualified, and
+  // namespace-qualified spellings do not.
+  const auto found =
+      hits(lint_paths({fixture("src/net/reactor_blocking.cpp")}));
+  const Hits expected = {{5, "net-blocking-call"},
+                         {6, "net-blocking-call"},
+                         {7, "net-blocking-call"},
+                         {8, "net-blocking-call"},
+                         {9, "net-blocking-call"},
+                         {10, "net-blocking-call"}};
+  EXPECT_EQ(found, expected);
+}
+
+TEST(MlcrLint, NetBlockingCallOnlyAppliesToReactorManagedSources) {
+  // The identical contents outside the reactor/server scope are clean —
+  // src/net/socket.cpp is the sanctioned home for raw syscalls.
+  const std::string code = "void f(int fd, char* b) { read(fd, b, 1); }\n";
+  EXPECT_EQ(lint_file("src/net/server.cpp", code).size(), 1u);
+  EXPECT_EQ(lint_file("src/net/reactor.cpp", code).size(), 1u);
+  EXPECT_TRUE(lint_file("src/net/socket.cpp", code).empty());
+  EXPECT_TRUE(lint_file("src/net/client.cpp", code).empty());
+}
+
 TEST(MlcrLint, UnguardedMathFixtureExactHits) {
   const auto found =
       hits(lint_paths({fixture("src/model/unguarded_math.cpp")}));

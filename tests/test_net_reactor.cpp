@@ -1,0 +1,265 @@
+// Reactor-core serving tests: the event loop itself (post/stop semantics,
+// fd dispatch), the Singleflight table, and the server-level behaviors the
+// reactor redesign exists for — round-robin shard accept accounting,
+// singleflight coalescing of identical in-flight plan keys (exactly one
+// engine solve for K concurrent clients), and graceful drain with work in
+// flight on more than one shard.
+#include "net/reactor.h"
+
+#include <gtest/gtest.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/cases.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "svc/singleflight.h"
+
+namespace mlcr::net {
+namespace {
+
+// --- reactor ----------------------------------------------------------
+
+TEST(NetReactor, PostedTasksRunOnTheLoopThread) {
+  Reactor reactor;
+  reactor.set_dispatcher([](int, std::uint32_t) {});
+  std::thread loop([&] { reactor.run(); });
+
+  std::promise<bool> on_loop;
+  reactor.post([&] { on_loop.set_value(reactor.on_loop_thread()); });
+  EXPECT_TRUE(on_loop.get_future().get());
+  EXPECT_FALSE(reactor.on_loop_thread());  // we are not the loop thread
+
+  reactor.stop();
+  loop.join();
+}
+
+TEST(NetReactor, TasksPostedAroundStopAllRun) {
+  std::atomic<int> ran{0};
+  {
+    Reactor reactor;
+    reactor.set_dispatcher([](int, std::uint32_t) {});
+    std::thread loop([&] { reactor.run(); });
+    reactor.post([&] { ++ran; });
+    reactor.stop();
+    loop.join();
+    // Posted after run() returned: the destructor's drain must execute it
+    // (the serving core relies on this to release captured reports).
+    reactor.post([&] { ++ran; });
+  }
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(NetReactor, DispatchesReadableFdsRegisteredInEpoll) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  set_nonblocking(fds[0]);
+
+  Reactor reactor;
+  std::promise<int> seen;
+  std::atomic<bool> signaled{false};
+  reactor.set_dispatcher([&](int fd, std::uint32_t events) {
+    // Level-triggered epoll re-reports the fd until it is drained, so the
+    // dispatcher can run more than once; consume the byte and fulfill the
+    // promise exactly once.
+    if ((events & EPOLLIN) == 0 || signaled.exchange(true)) return;
+    char byte = 0;
+    EXPECT_EQ(::read(fd, &byte, 1), 1);
+    seen.set_value(fd);
+  });
+  reactor.add_fd(fds[0], EPOLLIN);
+  std::thread loop([&] { reactor.run(); });
+
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  EXPECT_EQ(seen.get_future().get(), fds[0]);
+
+  reactor.post([&] { reactor.remove_fd(fds[0]); });
+  reactor.stop();
+  loop.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// --- singleflight table -----------------------------------------------
+
+TEST(NetReactor, SingleflightLeaderThenFollowersThenComplete) {
+  svc::Singleflight<std::string> flight;
+  std::vector<std::string> delivered;
+  const auto waiter = [&](const std::string* report) {
+    delivered.push_back(report != nullptr ? *report : "<aborted>");
+  };
+
+  EXPECT_TRUE(flight.join("key", waiter));    // leader
+  EXPECT_FALSE(flight.join("key", waiter));   // follower
+  EXPECT_FALSE(flight.join("key", waiter));   // follower
+  EXPECT_TRUE(flight.join("other", waiter));  // distinct key: new leader
+  EXPECT_EQ(flight.inflight(), 2u);
+
+  EXPECT_EQ(flight.complete("key", "solved"), 3u);
+  EXPECT_EQ(flight.abort("other"), 1u);
+  EXPECT_EQ(flight.inflight(), 0u);
+  EXPECT_EQ(delivered,
+            (std::vector<std::string>{"solved", "solved", "solved",
+                                      "<aborted>"}));
+
+  // Popped keys start a fresh flight; completing a non-flight key is a
+  // tolerated no-op.
+  EXPECT_TRUE(flight.join("key", waiter));
+  EXPECT_EQ(flight.complete("gone", "x"), 0u);
+  EXPECT_EQ(flight.complete("key", "again"), 1u);
+}
+
+// --- server-level behaviors -------------------------------------------
+
+svc::PlanRequest plan_request(double te_core_days) {
+  return {exp::make_fti_system(te_core_days, exp::paper_failure_cases()[0]),
+          opt::Solution::kMultilevelOptScale,
+          {},
+          "reactor-test"};
+}
+
+// A validate of the full paper-scale system: hundreds of milliseconds of
+// single-threaded Monte-Carlo, used to pin the lone solver thread down
+// while concurrent plan requests pile into the singleflight table.
+std::string slow_validate_line() {
+  svc::SimRequest request{
+      exp::make_fti_system(3e6, exp::paper_failure_cases()[0]),
+      opt::Solution::kMultilevelOptScale,
+      {},
+      {},
+      "occupier"};
+  request.monte_carlo.runs = 100;
+  request.monte_carlo.seed = 99;
+  return encode_sim_request_line(request);
+}
+
+TEST(NetReactor, RoundRobinAcceptIsCountedPerShard) {
+  ServerOptions options;
+  options.port = 0;
+  options.shards = 2;
+  options.solver_threads = 1;
+  Server server(options);
+  server.start();
+
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(std::make_unique<Client>(
+        ClientOptions{.port = server.port()}));
+    EXPECT_TRUE(clients.back()->ping());  // round trip: adoption completed
+  }
+
+  EXPECT_EQ(server.metrics().gauge("net.shards").value(), 2.0);
+  EXPECT_EQ(server.metrics().counter("net.shard.0.accepted").value(), 2u);
+  EXPECT_EQ(server.metrics().counter("net.shard.1.accepted").value(), 2u);
+  EXPECT_EQ(server.metrics().counter("net.connections").value(), 4u);
+}
+
+TEST(NetReactor, ConcurrentIdenticalKeysAreCoalescedIntoOneSolve) {
+  ServerOptions options;
+  options.port = 0;
+  options.shards = 2;
+  options.solver_threads = 1;  // one solver: the occupier serializes solves
+  options.queue_capacity = 16;
+  Server server(options);
+  server.start();
+
+  // Occupy the lone solver with a slow validate so the plan flight cannot
+  // complete while the followers arrive.
+  Connection occupier(connect_to("127.0.0.1", server.port(), 2000));
+  ASSERT_TRUE(occupier.write_line(slow_validate_line()));
+
+  constexpr int kClients = 4;
+  const std::string plan_line = encode_request_line(plan_request(2e6));
+  std::vector<std::unique_ptr<Connection>> conns;
+  for (int i = 0; i < kClients; ++i) {
+    conns.push_back(std::make_unique<Connection>(
+        connect_to("127.0.0.1", server.port(), 2000)));
+    ASSERT_TRUE(conns[i]->write_line(plan_line));
+  }
+
+  std::vector<std::string> fingerprints;
+  for (auto& conn : conns) {
+    std::string line;
+    ASSERT_EQ(conn->read_line(&line, 60000), Connection::ReadResult::kLine);
+    Response response;
+    std::string error;
+    ASSERT_TRUE(decode_response(line, &response, &error)) << error;
+    ASSERT_TRUE(response.accepted) << response.message;
+    fingerprints.push_back(deterministic_fingerprint(response.report));
+  }
+  for (int i = 1; i < kClients; ++i) {
+    EXPECT_EQ(fingerprints[i], fingerprints[0]);  // bit-identical reports
+  }
+  std::string sim_line;
+  ASSERT_EQ(occupier.read_line(&sim_line, 60000),
+            Connection::ReadResult::kLine);
+
+  // Exactly one plan solve: the engine saw the occupier's internal
+  // plan_one plus ONE leader plan_one for all kClients requests.
+  EXPECT_EQ(server.engine().metrics().counter("requests").value(), 2u);
+  EXPECT_EQ(server.metrics().counter("net.singleflight.leaders").value(), 2u)
+      << "occupier validate + one plan leader";
+  EXPECT_EQ(server.metrics().counter("net.singleflight.joined").value(),
+            static_cast<std::uint64_t>(kClients - 1));
+  EXPECT_EQ(server.metrics().counter("net.planned").value(),
+            static_cast<std::uint64_t>(kClients));
+}
+
+TEST(NetReactor, DrainAnswersInFlightWorkAcrossShards) {
+  ServerOptions options;
+  options.port = 0;
+  options.shards = 2;
+  options.solver_threads = 1;
+  options.queue_capacity = 16;
+  Server server(options);
+  server.start();
+
+  // Four sequential connects round-robin onto shards 0,1,0,1 — so the
+  // in-flight work below is guaranteed to span both shards.
+  std::vector<std::unique_ptr<Connection>> conns;
+  for (int i = 0; i < 4; ++i) {
+    conns.push_back(std::make_unique<Connection>(
+        connect_to("127.0.0.1", server.port(), 2000)));
+  }
+  ASSERT_TRUE(conns[0]->write_line(slow_validate_line()));
+  const std::string plan_line = encode_request_line(plan_request(1e6));
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_TRUE(conns[i]->write_line(plan_line));
+  }
+  // Let the reactors admit everything before the drain begins.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  EXPECT_EQ(server.metrics().counter("net.shard.0.accepted").value(), 2u);
+  EXPECT_EQ(server.metrics().counter("net.shard.1.accepted").value(), 2u);
+
+  server.drain();  // blocks until every admitted request is answered+flushed
+
+  // Every response was flushed to the kernel before the server closed the
+  // connections; the clients read them (then EOF) from their buffers.
+  std::string line;
+  ASSERT_EQ(conns[0]->read_line(&line, 2000), Connection::ReadResult::kLine);
+  SimResponse sim_response;
+  std::string error;
+  ASSERT_TRUE(decode_sim_response(line, &sim_response, &error)) << error;
+  EXPECT_TRUE(sim_response.accepted) << sim_response.message;
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_EQ(conns[i]->read_line(&line, 2000),
+              Connection::ReadResult::kLine);
+    Response response;
+    ASSERT_TRUE(decode_response(line, &response, &error)) << error;
+    EXPECT_TRUE(response.accepted) << response.message;
+  }
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace mlcr::net

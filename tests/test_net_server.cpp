@@ -6,8 +6,10 @@
 #include "net/server.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <string>
 #include <thread>
@@ -99,7 +101,7 @@ std::string fingerprint(const svc::PlanReport& report) {
 ServerOptions small_server() {
   ServerOptions options;
   options.port = 0;  // ephemeral
-  options.io_threads = 2;
+  options.shards = 2;
   options.solver_threads = 2;
   options.queue_capacity = 16;
   return options;
@@ -249,6 +251,67 @@ TEST(NetServer, ConcurrentClientsAllGetTheSameAnswer) {
   for (auto& thread : clients) thread.join();
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_EQ(server.metrics().counter("net.planned").value(), 12u);
+}
+
+TEST(NetServer, DrainForceClosesPeersThatStopReading) {
+  ServerOptions options = small_server();
+  options.drain_flush_timeout_ms = 200;  // bounded, and short for the test
+  Server server(options);
+  server.start();
+
+  // Warm the plan cache so every pipelined request below is a cache hit,
+  // answered inline on the reactor thread in microseconds.
+  {
+    Client warmup({.port = server.port()});
+    ASSERT_TRUE(warmup.plan(paper_request()).accepted);
+  }
+
+  // A tiny receive buffer keeps the peer's TCP window small, so the
+  // server's responses overrun the kernel buffers quickly once we stop
+  // reading.
+  Socket socket = connect_to("127.0.0.1", server.port(), 5000);
+  const int rcvbuf = 4096;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  Connection conn(std::move(socket));
+
+  // Pipeline identical plan requests and never read a byte.  The label is
+  // not part of the canonical key but is echoed in every report, so a fat
+  // label makes each cache-hit response ~64 KiB: a couple hundred of them
+  // (~8 MB) decisively overrun what loopback TCP buffers absorb before
+  // send() blocks (a few MB), the server's flush hits EWOULDBLOCK, and the
+  // rest parks in the conn's outbuf — the shape of a peer that stopped
+  // reading.  Few-but-fat keeps the request count low enough for the
+  // sanitizer builds to answer them all well inside the poll budget below.
+  svc::PlanRequest request = paper_request();
+  request.label = std::string(64 * 1024, 'x');
+  const std::string request_line = encode_request_line(request);
+  constexpr std::size_t kRequests = 120;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(conn.write_line(request_line));
+  }
+  // Let the server answer everything (into buffers) so the stall is
+  // established before the drain starts.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.metrics().counter("net.planned").value() <
+             static_cast<double>(kRequests + 1) &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.metrics().counter("net.planned").value(),
+            static_cast<double>(kRequests + 1));
+
+  // Without the flush-timeout bound this would hang forever on the unread
+  // backlog; with it, the stalled conn is force-closed and drain returns.
+  const auto drain_start = std::chrono::steady_clock::now();
+  server.drain();
+  const double drain_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    drain_start)
+          .count();
+  EXPECT_FALSE(server.running());
+  EXPECT_GE(server.metrics().counter("net.drain.force_closed").value(), 1.0);
+  EXPECT_LT(drain_seconds, 10.0);
 }
 
 TEST(NetServer, DrainFinishesInFlightWorkAndStopsAccepting) {

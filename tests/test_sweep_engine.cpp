@@ -14,6 +14,7 @@
 #include "model/speedup.h"
 #include "svc/lru_cache.h"
 #include "svc/plan_request.h"
+#include "svc/sharded_cache.h"
 
 namespace mlcr::svc {
 namespace {
@@ -183,7 +184,10 @@ TEST(SweepEngine, CacheEvictsInsteadOfDroppingWhenFull) {
   PlanRequest c = a;
   c.options.delta = 1e-7;
 
-  SweepEngine engine({/*threads=*/2, /*cache_capacity=*/2});
+  // One lock shard so the test observes a single global LRU order (with
+  // key-hash sharding each shard keeps its own recency list).
+  SweepEngine engine(
+      {.threads = 2, .cache_capacity = 2, .cache_shards = 1});
   (void)engine.plan_one(a);
   (void)engine.plan_one(b);
   EXPECT_EQ(engine.cache_size(), 2u);
@@ -380,24 +384,79 @@ TEST(SweepEngine, CacheHitIsServedEvenPastDeadline) {
   EXPECT_EQ(engine.metrics().counter("requests.expired").value(), 0u);
 }
 
-TEST(SweepEngine, DeprecatedRawDeadlineOverloadStillForwards) {
-  // The raw-Deadline overload is kept as a deprecated inline forwarder for
-  // one release; pin that it still routes into the unified optional
-  // signature with identical semantics.
-  const auto cfg = exp::make_fti_system(3e6, exp::paper_failure_cases()[0]);
-  PlanRequest request{cfg, opt::Solution::kMultilevelOptScale, {}, {}};
-  SweepEngine engine({/*threads=*/1});
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto past = std::chrono::steady_clock::now() - std::chrono::seconds(1);
-  EXPECT_FALSE(engine.plan_one(request, past).has_value());
-  const auto far = std::chrono::steady_clock::time_point::max();
-  const auto bounded = engine.plan_one(request, far);
-#pragma GCC diagnostic pop
-  ASSERT_TRUE(bounded.has_value());
-  const auto plain = *engine.plan_one(request);
-  EXPECT_EQ(bounded->key, plain.key);
-  EXPECT_EQ(bounded->wallclock(), plain.wallclock());
+TEST(ShardedLruCache, KeysPinToOneShardAndCountersAreExact) {
+  ShardedLruCache<int> cache(/*capacity=*/8, /*shards=*/4);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  // A key's shard is a pure function of the key: lookups from any caller
+  // land in the same shard, so there are never duplicate entries.
+  const std::string key = "paper-case-0";
+  const std::size_t home = cache.shard_index(key);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(cache.shard_index(key), home);
+
+  EXPECT_EQ(cache.put(key, 42), 0u);
+  int value = 0;
+  ASSERT_TRUE(cache.get(key, &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_FALSE(cache.get("absent", &value));
+
+  const auto stats = cache.shard_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  EXPECT_EQ(stats[home].inserts, 1u);
+  EXPECT_EQ(stats[home].hits, 1u);
+  EXPECT_EQ(stats[home].size, 1u);
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  for (const auto& shard : stats) {
+    hits += shard.hits;
+    misses += shard.misses;
+  }
+  EXPECT_EQ(hits, 1u);
+  EXPECT_EQ(misses, 1u);
+}
+
+TEST(ShardedLruCache, EvictionsAreAttributedToTheOverflowingShard) {
+  // One shard of capacity 1 (shards clamped to capacity): every new key
+  // evicts, and the counter lands on that shard exactly.
+  ShardedLruCache<int> cache(/*capacity=*/1, /*shards=*/8);
+  EXPECT_EQ(cache.shard_count(), 1u);
+  EXPECT_EQ(cache.put("a", 1), 0u);
+  EXPECT_EQ(cache.put("b", 2), 1u);  // evicts "a"
+  EXPECT_EQ(cache.put("c", 3), 1u);  // evicts "b"
+  const auto stats = cache.shard_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].inserts, 3u);
+  EXPECT_EQ(stats[0].evictions, 2u);
+  EXPECT_EQ(stats[0].size, 1u);
+  int value = 0;
+  EXPECT_FALSE(cache.get("a", &value));
+  EXPECT_TRUE(cache.get("c", &value));
+}
+
+TEST(SweepEngine, PlanCacheStatsExposePerShardEvictionCounters) {
+  SweepEngine engine({.threads = 1, .cache_capacity = 1, .cache_shards = 4});
+  std::vector<PlanRequest> requests;
+  for (std::size_t i = 0; i < 3; ++i) {
+    requests.push_back({exp::make_fti_system(3e6 + 1e5 * double(i),
+                                             exp::paper_failure_cases()[0]),
+                        opt::Solution::kMultilevelOptScale,
+                        {},
+                        {}});
+    (void)engine.plan_one(requests.back());
+  }
+  // Capacity 1 with three distinct keys: two evictions, all attributable to
+  // the cache's single shard, and the registry-level counter agrees with
+  // the per-shard sum.
+  const auto stats = engine.plan_cache_stats();
+  std::size_t inserts = 0;
+  std::size_t evictions = 0;
+  for (const auto& shard : stats) {
+    inserts += shard.inserts;
+    evictions += shard.evictions;
+  }
+  EXPECT_EQ(inserts, 3u);
+  EXPECT_EQ(evictions, 2u);
+  EXPECT_EQ(engine.metrics().counter("cache.evictions").value(), evictions);
+  EXPECT_EQ(engine.cache_size(), 1u);
 }
 
 TEST(SweepEngine, MatchesDirectPlannerCall) {

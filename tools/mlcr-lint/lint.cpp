@@ -470,6 +470,39 @@ void rule_solver_nondeterminism(const FileContext& ctx) {
   }
 }
 
+void rule_net_blocking_call(const FileContext& ctx) {
+  // Scope: sources whose code runs on reactor event loops, where a single
+  // blocking syscall stalls every connection on the shard.  The sanctioned
+  // home for raw socket syscalls is src/net/socket.cpp (bounded-timeout and
+  // *_nonblocking helpers); reactor-managed code calls those instead.
+  if (!in_dir(ctx, "src/net/reactor") && !in_dir(ctx, "src/net/server")) {
+    return;
+  }
+  static const std::set<std::string> kBlocking = {
+      "accept", "accept4", "connect",  "read",   "write",
+      "recv",   "send",    "recvfrom", "sendto", "recvmsg",
+      "sendmsg"};
+  const auto& toks = ctx.scan->tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != Token::Kind::kIdent || kBlocking.count(tok.text) == 0) {
+      continue;
+    }
+    if (!is_call(toks, i) || member_access(toks, i)) continue;
+    // Namespace-qualified calls (net::..., helpers::...) are wrappers; only
+    // the bare or global-scope (`::read`) spelling is the syscall.
+    if (i >= 2 && is_punct(&toks[i - 1], "::") &&
+        toks[i - 2].kind == Token::Kind::kIdent) {
+      continue;
+    }
+    emit(ctx, tok.line, "net-blocking-call",
+         "blocking `" + tok.text +
+             "()` in reactor-managed code; use the non-blocking socket.cpp "
+             "helpers (recv_nonblocking / send_nonblocking / "
+             "accept_nonblocking) or post() to the loop");
+  }
+}
+
 void rule_pragma_once(const FileContext& ctx) {
   if (!is_header(ctx)) return;
   if (ctx.scan->has_pragma_once) return;
@@ -497,6 +530,9 @@ const std::vector<RuleInfo>& rules() {
        "no new/delete/malloc/free outside src/common (RAII owners only)"},
       {"naked-lock",
        "no manual .lock()/.unlock(); std::lock_guard / std::unique_lock"},
+      {"net-blocking-call",
+       "no blocking accept/connect/read/write/recv/send in reactor-managed "
+       "sources (src/net/reactor*, src/net/server*)"},
       {"net-locale",
        "no locale-sensitive numeric text in src/net (determinism contract)"},
       {"unguarded-math",
@@ -520,6 +556,7 @@ std::vector<Finding> lint_file(const std::string& path,
   rule_raw_memory(ctx);
   rule_naked_lock(ctx);
   rule_net_locale(ctx);
+  rule_net_blocking_call(ctx);
   rule_unguarded_math(ctx);
   rule_solver_nondeterminism(ctx);
   rule_pragma_once(ctx);

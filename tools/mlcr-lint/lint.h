@@ -6,6 +6,9 @@
 //
 //   raw-memory              no new/delete/malloc/free outside src/common
 //   naked-lock              no manual .lock()/.unlock(); RAII guards only
+//   net-blocking-call       no blocking accept/connect/read/write/recv/send
+//                           in reactor-managed sources (src/net/reactor*,
+//                           src/net/server*); socket.cpp helpers only
 //   net-locale              no locale-sensitive numeric text in src/net
 //   unguarded-math          exp/log/sqrt/pow in src/model + src/opt must
 //                           route through the num::checked_* finite guards
