@@ -3,15 +3,21 @@
 // the fusion-scale working set (te=30 core-days, N*=1024 — the regime the
 // paper validated against real 128-1024-core runs with <4% difference).
 //
-// Three gates, exit 1 when any fails:
+// Gates, exit 1 when any fails:
 //   determinism  the 1-thread and 8-thread SimReports are byte-identical
 //                under net::deterministic_fingerprint;
 //   error        every |wallclock_error| < 5%;
 //   speedup      parallel replica throughput >= 4x serial at 8 threads —
-//                only enforced when the host actually has >= 8 hardware
-//                threads (single-core CI still checks the first two).
-// Results go to stdout and to BENCH_sim.json (repo root, written with the
-// daemon's JSON writer so the file parses with the same codec it serves).
+//                enforced when the host has >= 8 hardware threads, printed
+//                as a visible SKIP on a single-thread host (no parallel
+//                hardware to measure), informational in between;
+//   serial       serial throughput vs the recorded pre-vectorization
+//                baseline — an absolute number from the reference host, so
+//                informational unless --strict (perf-tracking hosts).
+// Results go to stdout and to BENCH_sim.json (artifact version "v": 2,
+// written with the daemon's JSON writer so the file parses with the same
+// codec it serves).  An existing artifact with a newer "v", or one recorded
+// on a wider host, is never clobbered — rerun with --out elsewhere.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -29,6 +35,13 @@
 namespace {
 
 using namespace mlcr;
+
+constexpr long kArtifactVersion = 2;
+
+/// Serial replicas/s recorded by the v1 bench on the reference host before
+/// the kernel was vectorized (fresh Rng + scalar Welford per replica).  The
+/// post-fix kernel must clear 2x this on comparable hardware.
+constexpr double kSerialBaselineRps = 97807.0;
 
 std::vector<svc::SimRequest> working_set(int runs) {
   std::vector<svc::SimRequest> requests;
@@ -50,7 +63,10 @@ std::vector<svc::SimRequest> working_set(int runs) {
   return requests;
 }
 
-/// Replicas per second of one monte_carlo call at the given width.
+/// Replicas per second at the given width: best of repeated timed
+/// monte_carlo calls (>= 3 reps, >= 0.3 s total), so a scheduler stall on a
+/// noisy CI box cannot masquerade as a kernel regression.  The best rep
+/// measures capability; the mean would measure the box's load average.
 double replica_throughput(const model::SystemConfig& cfg,
                           const sim::Schedule& schedule, int runs,
                           std::size_t threads) {
@@ -58,13 +74,50 @@ double replica_throughput(const model::SystemConfig& cfg,
   options.runs = runs;
   options.seed = 24141;
   options.threads = threads;
-  const auto start = std::chrono::steady_clock::now();
-  const auto result = sim::monte_carlo(cfg, schedule, options);
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  (void)result;
-  return seconds > 0.0 ? static_cast<double>(runs) / seconds : 0.0;
+  double best = 0.0;
+  double total_seconds = 0.0;
+  for (int rep = 0; rep < 3 || total_seconds < 0.3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = sim::monte_carlo(cfg, schedule, options);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    (void)result;
+    total_seconds += seconds;
+    if (seconds > 0.0) {
+      best = std::max(best, static_cast<double>(runs) / seconds);
+    }
+  }
+  return best;
+}
+
+/// Reads an existing artifact's "v" and "hardware_threads"; both 0 when
+/// the file is absent, unreadable, or pre-versioning.
+void existing_artifact(const std::string& path, long* version,
+                       long* hardware_threads) {
+  *version = 0;
+  *hardware_threads = 0;
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return;
+  std::string text;
+  char chunk[4096];
+  std::size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    text.append(chunk, got);
+  }
+  std::fclose(file);
+  std::string error;
+  const auto value = net::json::parse(text, &error);
+  if (!value.has_value()) return;
+  if (const net::json::Value* v = value->find("v");
+      v != nullptr && v->is_number()) {
+    *version = static_cast<long>(v->as_number());
+  }
+  if (const net::json::Value* hw = value->find("hardware_threads");
+      hw != nullptr && hw->is_number()) {
+    *hardware_threads = static_cast<long>(hw->as_number());
+  }
 }
 
 }  // namespace
@@ -72,13 +125,55 @@ double replica_throughput(const model::SystemConfig& cfg,
 int main(int argc, char** argv) {
   int runs = 100;
   std::string out = "BENCH_sim.json";
-  for (int i = 1; i + 1 < argc; i += 2) {
+  bool strict = false;  // absolute-baseline comparisons become hard gates
+  for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
-    if (flag == "--runs") runs = std::atoi(argv[i + 1]);
-    else if (flag == "--out") out = argv[i + 1];
+    if (flag == "--strict") {
+      strict = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr,
+                   "usage: bench_sim [--runs N] [--out FILE] [--strict]\n");
+      return 1;
+    }
+    const char* value = argv[++i];
+    if (flag == "--runs") runs = std::atoi(value);
+    else if (flag == "--out") out = value;
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_sim [--runs N] [--out FILE] [--strict]\n");
+      return 1;
+    }
   }
 
   const unsigned hw = std::thread::hardware_concurrency();
+
+  // Downgrade protection, bench_net style: never clobber an artifact
+  // written by a newer schema.  Additionally never let a narrow box
+  // overwrite numbers recorded on a wider one — speedup_8_threads from an
+  // 8-core host is the figure of record; a 1-core rerun would replace it
+  // with a measurement of nothing.
+  long existing_v = 0;
+  long existing_hw = 0;
+  existing_artifact(out, &existing_v, &existing_hw);
+  if (existing_v > kArtifactVersion) {
+    std::fprintf(stderr,
+                 "bench_sim: refusing to overwrite %s: its \"v\" is %ld, "
+                 "newer than this binary's %ld\n",
+                 out.c_str(), existing_v, kArtifactVersion);
+    return 1;
+  }
+  if (existing_v == kArtifactVersion &&
+      existing_hw > static_cast<long>(hw)) {
+    std::fprintf(stderr,
+                 "bench_sim: refusing to overwrite %s: it was recorded with "
+                 "%ld hardware threads, this host has %u (rerun with --out "
+                 "to write elsewhere)\n",
+                 out.c_str(), existing_hw, hw);
+    return 1;
+  }
+
   bench::print_header(common::strf(
       "Monte-Carlo validation pipeline — %d replicas/request, %u hardware "
       "threads",
@@ -148,12 +243,14 @@ int main(int argc, char** argv) {
       serial_rps, parallel_rps, speedup);
 
   const net::json::Value summary = net::json::Object{
+      {"v", kArtifactVersion},
       {"bench", "bench_sim"},
       {"runs", static_cast<long>(runs)},
       {"hardware_threads", static_cast<long>(hw)},
       {"deterministic", deterministic},
       {"worst_abs_wallclock_error", worst_error},
       {"serial_replicas_per_second", serial_rps},
+      {"serial_baseline_replicas_per_second", kSerialBaselineRps},
       {"parallel_replicas_per_second", parallel_rps},
       {"speedup_8_threads", speedup},
       {"cases", std::move(cases_json)}};
@@ -168,15 +265,42 @@ int main(int argc, char** argv) {
   std::fclose(file);
   std::printf("\nwrote %s\n", out.c_str());
 
-  // Speedup is a hardware property: gate it only where 8 real threads
-  // exist, but always print it so regressions are visible in CI logs.
-  const bool speedup_ok = hw < 8 || speedup >= 4.0;
   const bool error_ok = worst_error < 0.05;
+  std::printf("  gates: determinism %s   worst error %.2f%% (< 5%%) %s\n",
+              deterministic ? "ok" : "FAIL", 100.0 * worst_error,
+              error_ok ? "ok" : "FAIL");
+  bool ok = deterministic && error_ok;
+
+  // Speedup is a hardware property: a hard gate where 8 real threads
+  // exist, a visible SKIP (never a silent pass) where there is no parallel
+  // hardware at all, informational in between.
+  if (hw <= 1) {
+    std::printf(
+        "  SKIP: speedup gate (hardware_threads=%u; need >1 to measure the "
+        "fan-out, >= 8 to enforce >= 4x)\n",
+        hw);
+  } else if (hw < 8) {
+    std::printf(
+        "  speedup %.2fx at %u hardware threads (informational; >= 4x "
+        "enforced at >= 8)\n",
+        speedup, hw);
+  } else {
+    const bool speedup_ok = speedup >= 4.0;
+    std::printf("  speedup %.2fx (>= 4x at >= 8 hw threads): %s\n", speedup,
+                speedup_ok ? "ok" : "FAIL");
+    ok = ok && speedup_ok;
+  }
+
+  // The serial baseline is an absolute number from the reference host; on
+  // arbitrary CI hardware a miss is reported but only --strict makes it a
+  // gate (bench_net's precedent for absolute targets).
+  const bool serial_ok = serial_rps >= 2.0 * kSerialBaselineRps;
   std::printf(
-      "  gates: determinism %s   worst error %.2f%% (< 5%%) %s   speedup "
-      "%.2fx (>= 4x at >= 8 hw threads) %s\n",
-      deterministic ? "ok" : "FAIL", 100.0 * worst_error,
-      error_ok ? "ok" : "FAIL", speedup,
-      speedup_ok ? "ok" : "FAIL");
-  return deterministic && error_ok && speedup_ok ? 0 : 1;
+      "  serial %.0f runs/s (reference target >= %.0f = 2x %.0f baseline): "
+      "%s\n",
+      serial_rps, 2.0 * kSerialBaselineRps, kSerialBaselineRps,
+      serial_ok ? "ok"
+                : (strict ? "FAIL" : "below target (informational)"));
+  if (strict) ok = ok && serial_ok;
+  return ok ? 0 : 1;
 }

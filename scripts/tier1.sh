@@ -123,6 +123,14 @@ if [ ! -f BENCH_sim.json ]; then
   echo "tier-1 FAILED: bench_sim did not write BENCH_sim.json" >&2
   exit 1
 fi
+# The determinism bit is the validation pipeline's foundation: a tier-1 run
+# must never produce an artifact that records serial != parallel, even if a
+# future bench edit were to stop gating on it.
+if ! grep -q '"deterministic":true' BENCH_sim.json; then
+  echo "tier-1 FAILED: BENCH_sim.json does not record deterministic:true" >&2
+  cat BENCH_sim.json >&2
+  exit 1
+fi
 
 echo "== tier-1: mlcr-lint project invariants =="
 ./build/tools/mlcr-lint src examples bench tests
@@ -135,7 +143,7 @@ scripts/run_tidy.sh build
 
 echo "== tier-1: ThreadSanitizer pass (thread pool + sweep engine + metrics + net + sim fan-out) =="
 build_and_test build-tsan thread \
-  'ThreadPool|SweepEngine|ShardedLruCache|Metrics|LruCache|AdmissionQueue|NetServer|NetProtocol|NetJson|NetCodec|NetReactor|MonteCarloParallel|ValidatePipeline'
+  'ThreadPool|SweepEngine|ShardedLruCache|Metrics|LruCache|AdmissionQueue|NetServer|NetProtocol|NetJson|NetCodec|NetReactor|MonteCarloParallel|MonteCarloChunks|ValidatePipeline'
 
 echo "== tier-1: mlcrd daemon smoke (TSan build, json codec) =="
 daemon_smoke build-tsan json

@@ -20,6 +20,10 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 Rng::Rng(std::uint64_t seed) noexcept : Rng(seed, /*stream=*/0) {}
 
 Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept {
+  reseed(seed, stream);
+}
+
+void Rng::reseed(std::uint64_t seed, std::uint64_t stream) noexcept {
   // Mix the stream id into the seed chain so streams are decorrelated.
   std::uint64_t sm = seed;
   (void)splitmix64(sm);
@@ -48,6 +52,12 @@ double Rng::uniform() noexcept {
 
 double Rng::uniform(double lo, double hi) noexcept {
   return lo + (hi - lo) * uniform();
+}
+
+void Rng::fill_uniform(double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
 }
 
 std::uint64_t Rng::below(std::uint64_t n) noexcept {

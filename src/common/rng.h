@@ -6,6 +6,7 @@
 // independent stream from (seed, stream-id) via splitmix64.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -26,10 +27,22 @@ class Rng {
   /// statistically independent sequences.
   Rng(std::uint64_t seed, std::uint64_t stream) noexcept;
 
+  /// Re-derives the state for (seed, stream) in place — the exact sequence
+  /// of `Rng(seed, stream)`, without constructing a new object.  Lets a
+  /// worker iterate counter-based replica streams with one generator.
+  void reseed(std::uint64_t seed, std::uint64_t stream) noexcept;
+
   [[nodiscard]] std::uint64_t next() noexcept;
 
   /// Uniform double in [0, 1).
   [[nodiscard]] double uniform() noexcept;
+
+  /// Fills `out[0, n)` with uniforms in [0, 1), identical to n successive
+  /// uniform() calls.  Batch form of the hot draw: the generator state walk
+  /// stays serial (xoshiro is a dependency chain) but the 64-bit-to-double
+  /// conversions pipeline over the array instead of round-tripping through
+  /// a call per sample.
+  void fill_uniform(double* out, std::size_t n) noexcept;
 
   /// Uniform double in [lo, hi).
   [[nodiscard]] double uniform(double lo, double hi) noexcept;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
 
 #include "common/error.h"
@@ -32,32 +31,18 @@ namespace {
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
-/// A failure that has arrived but not yet been processed.
-struct PendingFailure {
-  double arrived_at = 0.0;
-  std::size_t level = 0;
-};
-
-/// The full mutable simulation state.
-struct State {
-  double now = 0.0;         ///< wall-clock seconds
-  double position = 0.0;    ///< current work position (seconds of progress)
-  double high_water = 0.0;  ///< furthest position ever reached
-  model::TimePortions portions;
-  std::vector<double> next_arrival;  ///< per-level Poisson clocks (absolute)
-  std::deque<PendingFailure> pending;
-};
+/// Uniforms drawn per rng batch refill.  The batch only changes *when* the
+/// generator is pumped, never the value each draw site sees: sites consume
+/// the buffer in draw order, so the sequence is identical to one rng call
+/// per draw.
+constexpr std::size_t kUniformBatch = 64;
 
 enum class Portion { kExecution, kCheckpoint, kRestart };
 
-}  // namespace
-
-namespace {
-
-RunResult simulate_impl(const model::SystemConfig& cfg,
-                        const Schedule& schedule, common::Rng& rng,
-                        const SimOptions& options,
-                        const FailureTrace* trace) {
+const RunResult& simulate_impl(const model::SystemConfig& cfg,
+                               const Schedule& schedule, common::Rng& rng,
+                               const SimOptions& options,
+                               const FailureTrace* trace, SimWorkspace& ws) {
   const std::size_t levels = cfg.levels();
   MLCR_EXPECT(schedule.period_seconds.size() == levels,
               "simulate: schedule/config level mismatch");
@@ -71,48 +56,93 @@ RunResult simulate_impl(const model::SystemConfig& cfg,
   const double n = schedule.scale;
   const double work_target = cfg.productive_time(n);
 
-  RunResult result;
+  // The result lives in the workspace so a replica sweep reuses its
+  // vectors' capacity; assign() below is then allocation-free.
+  RunResult& result = ws.result;
+  result.completed = false;
+  result.wallclock = 0.0;
+  result.portions = model::TimePortions{};
+  result.rolled_back_checkpoints = 0;
   result.failures_per_level.assign(levels, 0);
   result.checkpoints_per_level.assign(levels, 0);
 
-  State st;
-  st.next_arrival.assign(levels, kInfinity);
+  // Reset the workspace for this replica.  assign() on retained capacity is
+  // allocation-free; the uniform buffer is emptied because the previous
+  // replica's stream must never leak into this one.
+  ws.next_arrival.assign(levels, kInfinity);
+  ws.rate.assign(levels, 0.0);
+  ws.weibull_scale.assign(levels, 0.0);
+  ws.cp_position.assign(levels, 0.0);
+  ws.ckpt_cost.assign(levels, 0.0);
+  ws.recovery_cost.assign(levels, 0.0);
+  ws.next_ckpt_mult.assign(levels, 1.0);
+  ws.next_ckpt_at.assign(levels, kInfinity);
+  for (std::size_t i = 0; i < levels; ++i) {
+    if (schedule.period_seconds[i] > 0.0) {
+      ws.next_ckpt_at[i] = schedule.period_seconds[i];
+    }
+  }
+  ws.trace_index.assign(levels, 0);
+  ws.pending.clear();
+  // Force a refill on the first draw: the previous replica's tail must
+  // never leak into this one.
+  ws.uniforms.resize(kUniformBatch);
+  ws.uniform_cursor = kUniformBatch;
+
+  double now = 0.0;         // wall-clock seconds
+  double position = 0.0;    // current work position (seconds of progress)
+  double high_water = 0.0;  // furthest position ever reached
+  model::TimePortions portions;
+  std::size_t pending_head = 0;  // ws.pending[pending_head..) is live
+
+  // One uniform per draw site, served from a refilled batch.  The batch
+  // only changes *when* the generator is pumped, never the value a draw
+  // site sees, so the sequence is identical to one rng call per draw.
+  auto draw_uniform = [&]() {
+    if (ws.uniform_cursor == kUniformBatch) {
+      rng.fill_uniform(ws.uniforms.data(), kUniformBatch);
+      ws.uniform_cursor = 0;
+    }
+    return ws.uniforms[ws.uniform_cursor++];
+  };
+
   // Renewal-process inter-arrival sampler: exponential (paper default) or
   // mean-preserving Weibull.
-  std::vector<double> rate(levels, 0.0);
-  std::vector<double> weibull_scale(levels, 0.0);
   const bool weibull = options.weibull_shape != 1.0;
   auto draw_gap = [&](std::size_t level) {
-    if (!weibull) return rng.exponential(rate[level]);
-    const double u = rng.uniform();
-    return weibull_scale[level] *
+    const double u = draw_uniform();
+    if (!weibull) return -std::log(1.0 - u) / ws.rate[level];
+    return ws.weibull_scale[level] *
            std::pow(-std::log(1.0 - u), 1.0 / options.weibull_shape);
   };
 
-  std::vector<std::size_t> trace_index(levels, 0);
   for (std::size_t i = 0; i < levels; ++i) {
+    // Checkpoint/recovery overheads depend only on (level, N) — both fixed
+    // for the whole replica — so hoist them out of the event loop (the loop
+    // used to recompute the scaling law ~300 times per replica).
+    ws.ckpt_cost[i] = cfg.ckpt_cost(i, n);
+    ws.recovery_cost[i] = cfg.recovery_cost(i, n);
     if (trace != nullptr) {
       const auto& arrivals = trace->arrivals_per_level[i];
-      if (!arrivals.empty()) st.next_arrival[i] = arrivals.front();
+      if (!arrivals.empty()) ws.next_arrival[i] = arrivals.front();
       continue;
     }
-    rate[i] = cfg.rates().rate_per_second(i, n);
-    if (rate[i] > 0.0) {
+    ws.rate[i] = cfg.rates().rate_per_second(i, n);
+    if (ws.rate[i] > 0.0) {
       if (weibull) {
         // mean = scale * Gamma(1 + 1/shape) = 1/rate.
-        weibull_scale[i] =
-            1.0 / (rate[i] * std::tgamma(1.0 + 1.0 / options.weibull_shape));
+        ws.weibull_scale[i] =
+            1.0 /
+            (ws.rate[i] * std::tgamma(1.0 + 1.0 / options.weibull_shape));
       }
-      st.next_arrival[i] = draw_gap(i);
+      ws.next_arrival[i] = draw_gap(i);
     }
   }
-  // Most recent surviving checkpoint position per level; the initial state
-  // (position 0) is always recoverable from every level.
-  std::vector<double> cp_position(levels, 0.0);
 
   auto jitter = [&]() {
     return options.jitter_ratio > 0.0
-               ? 1.0 + rng.uniform(-options.jitter_ratio, options.jitter_ratio)
+               ? 1.0 + (-options.jitter_ratio +
+                        2.0 * options.jitter_ratio * draw_uniform())
                : 1.0;
   };
 
@@ -120,43 +150,57 @@ RunResult simulate_impl(const model::SystemConfig& cfg,
   auto consume_arrival = [&](std::size_t level) {
     if (trace != nullptr) {
       const auto& arrivals = trace->arrivals_per_level[level];
-      const std::size_t next = ++trace_index[level];
-      st.next_arrival[level] =
+      const std::size_t next = ++ws.trace_index[level];
+      ws.next_arrival[level] =
           next < arrivals.size() ? arrivals[next] : kInfinity;
       return;
     }
-    st.next_arrival[level] += draw_gap(level);
+    ws.next_arrival[level] += draw_gap(level);
   };
+
+  // Cached min of ws.next_arrival.  Arrival clocks only move when an
+  // arrival is consumed (~once per failure), but the hot loop consults the
+  // horizon on every event — caching the value turns two 4-level scans per
+  // checkpoint into one comparison.  Only the *value* is cached: the level
+  // scans below keep the original per-call tie rules.
+  double arrival_min = kInfinity;
+  auto recompute_arrival_min = [&]() {
+    arrival_min = kInfinity;
+    for (std::size_t i = 0; i < levels; ++i) {
+      if (ws.next_arrival[i] < arrival_min) arrival_min = ws.next_arrival[i];
+    }
+  };
+  recompute_arrival_min();
 
   auto account = [&](Portion kind, double spent, bool advance_work) {
     switch (kind) {
       case Portion::kExecution: {
         if (advance_work) {
-          const double new_position = st.position + spent;
+          const double new_position = position + spent;
           const double productive_part =
               std::max(0.0, std::min(new_position, work_target) -
-                                std::max(st.position, st.high_water));
-          st.portions.productive += productive_part;
-          st.portions.rollback += spent - productive_part;
-          st.position = new_position;
-          st.high_water = std::max(st.high_water, st.position);
+                                std::max(position, high_water));
+          portions.productive += productive_part;
+          portions.rollback += spent - productive_part;
+          position = new_position;
+          high_water = std::max(high_water, position);
         } else {
-          st.portions.rollback += spent;
+          portions.rollback += spent;
         }
         break;
       }
       case Portion::kCheckpoint: {
         // Checkpoint writes below the high-water mark are re-taken ones and
         // count as rollback loss (paper Formula (18)).
-        if (st.position < st.high_water - 1e-9) {
-          st.portions.rollback += spent;
+        if (position < high_water - 1e-9) {
+          portions.rollback += spent;
         } else {
-          st.portions.checkpoint += spent;
+          portions.checkpoint += spent;
         }
         break;
       }
       case Portion::kRestart: {
-        st.portions.restart += spent;
+        portions.restart += spent;
         break;
       }
     }
@@ -164,24 +208,32 @@ RunResult simulate_impl(const model::SystemConfig& cfg,
 
   // Elapses `duration` of the given activity, stopping at the first failure
   // arrival inside the window.  Returns true if the activity completed,
-  // false if it was interrupted (the arrival is queued in st.pending).
+  // false if it was interrupted (the arrival is queued in ws.pending).
   auto elapse_interruptible = [&](double duration, Portion kind,
                                   bool advance_work) -> bool {
-    const double end = st.now + duration;
+    const double end = now + duration;
+    if (arrival_min >= end) {  // fast path: window is failure-free
+      // `end - now`, not `duration`: the accounted portion must equal the
+      // wall-clock advance bit for bit (portions.total() == wallclock).
+      account(kind, end - now, advance_work);
+      now = end;
+      return true;
+    }
     std::size_t level = levels;
     double earliest = end;
     for (std::size_t i = 0; i < levels; ++i) {
-      if (st.next_arrival[i] < earliest) {
-        earliest = st.next_arrival[i];
+      if (ws.next_arrival[i] < earliest) {
+        earliest = ws.next_arrival[i];
         level = i;
       }
     }
-    const double stop = level < levels ? std::max(earliest, st.now) : end;
-    account(kind, stop - st.now, advance_work);
-    st.now = stop;
+    const double stop = level < levels ? std::max(earliest, now) : end;
+    account(kind, stop - now, advance_work);
+    now = stop;
     if (level < levels) {
-      st.pending.push_back({earliest, level});
+      ws.pending.push_back({earliest, level});
       consume_arrival(level);
+      recompute_arrival_min();
       return false;
     }
     return true;
@@ -189,39 +241,48 @@ RunResult simulate_impl(const model::SystemConfig& cfg,
 
   // Elapses `duration` without interruption (durable checkpoint writes and
   // serial recoveries); arrivals inside the window are queued afterwards in
-  // arrival order, preserving the Poisson process.
+  // arrival order, preserving the Poisson process.  The min-first append
+  // loop emits arrivals in ascending order and every live pending entry
+  // predates the window, so the queue stays globally sorted without a sort.
   auto elapse_uninterruptible = [&](double duration, Portion kind) {
     account(kind, duration, false);
-    st.now += duration;
-    for (;;) {
+    now += duration;
+    while (arrival_min <= now) {  // hot case: window is arrival-free
       std::size_t level = levels;
-      double earliest = st.now;
+      double earliest = now;
       for (std::size_t i = 0; i < levels; ++i) {
-        if (st.next_arrival[i] <= earliest) {
-          earliest = st.next_arrival[i];
+        if (ws.next_arrival[i] <= earliest) {
+          earliest = ws.next_arrival[i];
           level = i;
         }
       }
       if (level >= levels) break;
-      st.pending.push_back({earliest, level});
+      ws.pending.push_back({earliest, level});
       consume_arrival(level);
+      recompute_arrival_min();
     }
-    std::sort(st.pending.begin(), st.pending.end(),
-              [](const PendingFailure& a, const PendingFailure& b) {
-                return a.arrived_at < b.arrived_at;
-              });
   };
 
   // Next checkpoint trigger strictly beyond the current position; ties go
-  // to the highest level (one combined checkpoint).
+  // to the highest level (one combined checkpoint).  Instead of re-deriving
+  // the trigger multiple k_i = floor(position/tau_i + eps) + 1 with a
+  // divide + floor per level per event, k_i — and its cached product
+  // next_ckpt_at[i] = k_i * tau_i — is carried incrementally in the
+  // workspace: advanced while its trigger falls behind the position (at
+  // most one step per checkpoint taken), re-derived from scratch only on
+  // rollback.  Disabled levels park at infinity, so the scan is branch-light.
   auto next_trigger = [&](std::size_t* out_level) -> double {
     double best = kInfinity;
     std::size_t best_level = levels;
     for (std::size_t i = 0; i < levels; ++i) {
+      double at = ws.next_ckpt_at[i];
+      if (at == kInfinity) continue;
       const double period = schedule.period_seconds[i];
-      if (period <= 0.0) continue;
-      const double k = std::floor(st.position / period + 1e-9) + 1.0;
-      const double at = k * period;
+      while (at <= position + 1e-9 * period) {
+        ws.next_ckpt_mult[i] += 1.0;
+        at = ws.next_ckpt_mult[i] * period;
+        ws.next_ckpt_at[i] = at;
+      }
       if (at >= work_target - 1e-9) continue;  // no checkpoint at the very end
       if (at < best - 1e-9) {
         best = at;
@@ -235,26 +296,35 @@ RunResult simulate_impl(const model::SystemConfig& cfg,
   };
 
   long events = 0;
-  while (st.position < work_target - 1e-9) {
+  while (position < work_target - 1e-9) {
     if (++events > options.max_events) return result;  // completed = false
 
-    if (!st.pending.empty()) {
-      const PendingFailure failure = st.pending.front();
-      st.pending.pop_front();
+    if (pending_head < ws.pending.size()) {
+      const SimWorkspace::PendingFailure failure = ws.pending[pending_head];
+      ++pending_head;
       const std::size_t j = failure.level;
       ++result.failures_per_level[j];
       // Roll back to the best surviving checkpoint of level >= j.
       double restore = 0.0;
       for (std::size_t k = j; k < levels; ++k) {
-        restore = std::max(restore, cp_position[k]);
+        restore = std::max(restore, ws.cp_position[k]);
       }
       // Checkpoints of levels below j are lost by this failure.
       for (std::size_t k = 0; k < j; ++k) {
-        cp_position[k] = std::min(cp_position[k], restore);
+        ws.cp_position[k] = std::min(ws.cp_position[k], restore);
       }
-      st.position = restore;
+      position = restore;
+      // The position moved backwards: re-derive the trigger multiples.
+      for (std::size_t k = 0; k < levels; ++k) {
+        const double period = schedule.period_seconds[k];
+        if (period > 0.0) {
+          ws.next_ckpt_mult[k] =
+              std::floor(position / period + 1e-9) + 1.0;
+          ws.next_ckpt_at[k] = ws.next_ckpt_mult[k] * period;
+        }
+      }
       const double cost =
-          cfg.allocation() + cfg.recovery_cost(j, n) * jitter();
+          cfg.allocation() + ws.recovery_cost[j] * jitter();
       if (options.serial_recovery) {
         // Paper Formula (1): every failure pays its own A + R_i; failures
         // arriving during a recovery queue up behind it.
@@ -266,39 +336,43 @@ RunResult simulate_impl(const model::SystemConfig& cfg,
       }
       continue;
     }
+    if (pending_head > 0) {
+      ws.pending.clear();
+      pending_head = 0;
+    }
 
     std::size_t trigger_level = levels;
     const double trigger_at = next_trigger(&trigger_level);
     const double segment_end = std::min(trigger_at, work_target);
 
     // Execute up to the next checkpoint (or completion).
-    if (!elapse_interruptible(segment_end - st.position, Portion::kExecution,
+    if (!elapse_interruptible(segment_end - position, Portion::kExecution,
                               true)) {
       continue;
     }
-    if (trigger_level >= levels || st.position >= work_target - 1e-9) break;
+    if (trigger_level >= levels || position >= work_target - 1e-9) break;
 
     // Take the checkpoint at `trigger_level`.
     ++result.checkpoints_per_level[trigger_level];
-    if (st.position < st.high_water - 1e-9) ++result.rolled_back_checkpoints;
-    const double cost = cfg.ckpt_cost(trigger_level, n) * jitter();
+    if (position < high_water - 1e-9) ++result.rolled_back_checkpoints;
+    const double cost = ws.ckpt_cost[trigger_level] * jitter();
     if (options.atomic_checkpoints) {
       // Paper-faithful: the write runs to completion at full cost; failures
       // that arrived meanwhile are handled right after (and recover from
       // this very checkpoint when its level covers them).
       elapse_uninterruptible(cost, Portion::kCheckpoint);
-      cp_position[trigger_level] = st.position;
+      ws.cp_position[trigger_level] = position;
     } else {
       // Strict mode: a failure interrupts and discards the in-flight write.
       if (elapse_interruptible(cost, Portion::kCheckpoint, false)) {
-        cp_position[trigger_level] = st.position;
+        ws.cp_position[trigger_level] = position;
       }
     }
   }
 
-  result.completed = st.position >= work_target - 1e-9;
-  result.wallclock = st.now;
-  result.portions = st.portions;
+  result.completed = position >= work_target - 1e-9;
+  result.wallclock = now;
+  result.portions = portions;
   return result;
 }
 
@@ -306,13 +380,27 @@ RunResult simulate_impl(const model::SystemConfig& cfg,
 
 RunResult simulate(const model::SystemConfig& cfg, const Schedule& schedule,
                    common::Rng& rng, const SimOptions& options) {
-  return simulate_impl(cfg, schedule, rng, options, nullptr);
+  SimWorkspace ws;
+  return simulate_impl(cfg, schedule, rng, options, nullptr, ws);
+}
+
+RunResult simulate(const model::SystemConfig& cfg, const Schedule& schedule,
+                   common::Rng& rng, const SimOptions& options,
+                   SimWorkspace& ws) {
+  return simulate_impl(cfg, schedule, rng, options, nullptr, ws);
+}
+
+const RunResult& simulate_into(const model::SystemConfig& cfg,
+                               const Schedule& schedule, common::Rng& rng,
+                               const SimOptions& options, SimWorkspace& ws) {
+  return simulate_impl(cfg, schedule, rng, options, nullptr, ws);
 }
 
 RunResult simulate_trace(const model::SystemConfig& cfg,
                          const Schedule& schedule, const FailureTrace& trace,
                          common::Rng& rng, const SimOptions& options) {
-  return simulate_impl(cfg, schedule, rng, options, &trace);
+  SimWorkspace ws;
+  return simulate_impl(cfg, schedule, rng, options, &trace, ws);
 }
 
 }  // namespace mlcr::sim

@@ -22,6 +22,7 @@
 // `checkpoint`; A + R per failure is `restart`.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "common/rng.h"
@@ -90,11 +91,50 @@ struct RunResult {
   long rolled_back_checkpoints = 0;         ///< re-taken during rollback
 };
 
+/// Reusable per-worker scratch for simulate(): every piece of per-level
+/// mutable state lives in a flat array (SoA) owned here, so a Monte-Carlo
+/// worker sweeping thousands of replicas pays the heap allocations once per
+/// chunk span instead of ~6 times per replica.  A workspace is freely
+/// reusable across replicas (simulate resets it) but must not be shared
+/// between threads.  Contents are an implementation detail of simulate().
+struct SimWorkspace {
+  struct PendingFailure {
+    double arrived_at = 0.0;
+    std::size_t level = 0;
+  };
+  std::vector<double> next_arrival;    ///< per-level renewal clocks (absolute)
+  std::vector<double> rate;            ///< per-level failure rates at N
+  std::vector<double> weibull_scale;   ///< per-level Weibull scale at N
+  std::vector<double> cp_position;     ///< most recent surviving checkpoint
+  std::vector<double> ckpt_cost;       ///< C_i(N), hoisted once per replica
+  std::vector<double> recovery_cost;   ///< R_i(N), hoisted once per replica
+  std::vector<double> next_ckpt_mult;  ///< k_i: next trigger at k_i * tau_i
+  std::vector<double> next_ckpt_at;    ///< cached k_i * tau_i (inf: disabled)
+  std::vector<std::size_t> trace_index;
+  std::vector<PendingFailure> pending;  ///< ascending by arrived_at
+  std::vector<double> uniforms;         ///< batched rng draws
+  std::size_t uniform_cursor = 0;
+  RunResult result;  ///< simulate_into's reusable output slot
+};
+
 /// Simulates one execution of `cfg` under `schedule`, drawing failures and
 /// jitter from `rng`.
 [[nodiscard]] RunResult simulate(const model::SystemConfig& cfg,
                                  const Schedule& schedule, common::Rng& rng,
                                  const SimOptions& options = {});
+
+/// Same, but with caller-owned scratch: pays no per-replica allocation for
+/// the scratch arrays, only for the returned RunResult's vectors.
+[[nodiscard]] RunResult simulate(const model::SystemConfig& cfg,
+                                 const Schedule& schedule, common::Rng& rng,
+                                 const SimOptions& options, SimWorkspace& ws);
+
+/// The fully allocation-free hot form for replica sweeps: the result lands
+/// in `ws.result` (reusing its vectors' capacity) and the reference stays
+/// valid until the next simulate call on the same workspace.
+const RunResult& simulate_into(const model::SystemConfig& cfg,
+                               const Schedule& schedule, common::Rng& rng,
+                               const SimOptions& options, SimWorkspace& ws);
 
 /// Same execution but with failures replayed from `trace` instead of being
 /// sampled (rng is still used for checkpoint/recovery jitter).

@@ -1,44 +1,79 @@
 #include "sim/monte_carlo.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <future>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
+#include "common/rng.h"
 
 namespace mlcr::sim {
 
 namespace {
 
-/// Runs replicas [begin, end) into a fresh chunk accumulator.  Replica
-/// `run` always draws from the stream (seed, run), independent of which
-/// thread executes the chunk.
-MonteCarloResult run_chunk(const model::SystemConfig& cfg,
-                           const Schedule& schedule,
-                           const MonteCarloOptions& options, int begin,
-                           int end) {
-  MonteCarloResult chunk;
-  for (int run = begin; run < end; ++run) {
-    common::Rng rng(options.seed, static_cast<std::uint64_t>(run));
-    const RunResult r = simulate(cfg, schedule, rng, options.sim);
-    if (!r.completed) {
-      ++chunk.incomplete_runs;
-      continue;
+/// Per-metric SoA staging for one chunk: completed replicas land in
+/// contiguous arrays so the Welford fold is a batched add_batch per metric
+/// (vectorizable reductions) instead of seven interleaved scalar adds per
+/// replica.
+struct ChunkBuffers {
+  std::array<double, kMinChunk> wallclock;
+  std::array<double, kMinChunk> productive;
+  std::array<double, kMinChunk> checkpoint;
+  std::array<double, kMinChunk> restart;
+  std::array<double, kMinChunk> rollback;
+  std::array<double, kMinChunk> efficiency;
+  std::array<double, kMinChunk> failures;
+};
+
+/// Runs chunks [first_chunk, last_chunk) into their fixed slots of
+/// `chunks`, reusing one generator, one simulator workspace, and one set of
+/// staging buffers across every replica of the span.  Replica `run` always
+/// draws from the counter-based stream (seed, run) — reseeding the shared
+/// generator is bit-identical to constructing Rng(seed, run) — so the span
+/// grouping can follow the thread count while each chunk's accumulator
+/// stays a pure function of its replicas.
+void run_span(const model::SystemConfig& cfg, const Schedule& schedule,
+              const MonteCarloOptions& options, int first_chunk,
+              int last_chunk, MonteCarloResult* chunks) {
+  common::Rng rng;
+  SimWorkspace ws;
+  ChunkBuffers buf;
+  for (int c = first_chunk; c < last_chunk; ++c) {
+    const int begin = c * kMinChunk;
+    const int end = std::min(options.runs, begin + kMinChunk);
+    MonteCarloResult& chunk = chunks[c];
+    int completed = 0;
+    for (int run = begin; run < end; ++run) {
+      rng.reseed(options.seed, static_cast<std::uint64_t>(run));
+      const RunResult& r = simulate_into(cfg, schedule, rng, options.sim, ws);
+      if (!r.completed) {
+        ++chunk.incomplete_runs;
+        continue;
+      }
+      buf.wallclock[completed] = r.wallclock;
+      buf.productive[completed] = r.portions.productive;
+      buf.checkpoint[completed] = r.portions.checkpoint;
+      buf.restart[completed] = r.portions.restart;
+      buf.rollback[completed] = r.portions.rollback;
+      buf.efficiency[completed] =
+          model::efficiency(cfg.te(), r.wallclock, schedule.scale);
+      long failures = 0;
+      for (long f : r.failures_per_level) failures += f;
+      buf.failures[completed] = static_cast<double>(failures);
+      ++completed;
     }
-    chunk.wallclock.add(r.wallclock);
-    chunk.productive.add(r.portions.productive);
-    chunk.checkpoint.add(r.portions.checkpoint);
-    chunk.restart.add(r.portions.restart);
-    chunk.rollback.add(r.portions.rollback);
-    chunk.efficiency.add(
-        model::efficiency(cfg.te(), r.wallclock, schedule.scale));
-    long failures = 0;
-    for (long f : r.failures_per_level) failures += f;
-    chunk.failures.add(static_cast<double>(failures));
+    const auto m = static_cast<std::size_t>(completed);
+    chunk.wallclock.add_batch(buf.wallclock.data(), m);
+    chunk.productive.add_batch(buf.productive.data(), m);
+    chunk.checkpoint.add_batch(buf.checkpoint.data(), m);
+    chunk.restart.add_batch(buf.restart.data(), m);
+    chunk.rollback.add_batch(buf.rollback.data(), m);
+    chunk.efficiency.add_batch(buf.efficiency.data(), m);
+    chunk.failures.add_batch(buf.failures.data(), m);
   }
-  return chunk;
 }
 
 /// Merges one chunk into the aggregate.  Chunks are always merged in
@@ -52,6 +87,54 @@ void merge_chunk(MonteCarloResult* into, const MonteCarloResult& chunk) {
   into->efficiency.merge(chunk.efficiency);
   into->failures.merge(chunk.failures);
   into->incomplete_runs += chunk.incomplete_runs;
+}
+
+/// Serial execution of the full partition: same chunks, same ascending
+/// merge order as any parallel run — bit-identical by construction.
+/// Callers validate `options` before entering.
+MonteCarloResult monte_carlo_serial(const model::SystemConfig& cfg,
+                                    const Schedule& schedule,
+                                    const MonteCarloOptions& options) {
+  const int nchunks = chunk_count(options.runs);
+  std::vector<MonteCarloResult> chunks(static_cast<std::size_t>(nchunks));
+  run_span(cfg, schedule, options, 0, nchunks, chunks.data());
+  MonteCarloResult result;
+  for (const MonteCarloResult& chunk : chunks) merge_chunk(&result, chunk);
+  return result;
+}
+
+/// Parallel execution: contiguous chunk spans (~kSpansPerWorker per worker,
+/// never smaller than one chunk) are claimed as pool tasks, each writing
+/// its chunks into fixed slots; the merge then walks slots in ascending
+/// order.  Callers validate `options` and short-circuit trivial widths
+/// before entering.
+MonteCarloResult monte_carlo_pooled(const model::SystemConfig& cfg,
+                                    const Schedule& schedule,
+                                    const MonteCarloOptions& options,
+                                    common::ThreadPool& pool) {
+  // Several spans per worker keep the pool busy when replica durations vary
+  // (a span that drains early steals nothing — it just finishes), while a
+  // span still covers enough replicas to amortize its submit cost.
+  constexpr int kSpansPerWorker = 3;
+  const int nchunks = chunk_count(options.runs);
+  const int spans = std::min(
+      nchunks,
+      std::max(1, static_cast<int>(pool.size()) * kSpansPerWorker));
+  std::vector<MonteCarloResult> chunks(static_cast<std::size_t>(nchunks));
+  std::vector<std::future<void>> tasks;
+  tasks.reserve(static_cast<std::size_t>(spans));
+  for (int s = 0; s < spans; ++s) {
+    const int first = s * nchunks / spans;
+    const int last = (s + 1) * nchunks / spans;
+    tasks.push_back(
+        pool.submit([&cfg, &schedule, &options, first, last, &chunks] {
+          run_span(cfg, schedule, options, first, last, chunks.data());
+        }));
+  }
+  for (std::future<void>& task : tasks) task.get();
+  MonteCarloResult result;
+  for (const MonteCarloResult& chunk : chunks) merge_chunk(&result, chunk);
+  return result;
 }
 
 }  // namespace
@@ -92,18 +175,11 @@ MonteCarloResult monte_carlo(const model::SystemConfig& cfg,
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  if (threads == 1) {
-    // Serial path: same chunk partition, same merge order — bit-identical
-    // to the pooled path by construction.
-    MonteCarloResult result;
-    for (int begin = 0; begin < options.runs; begin += kRunsPerChunk) {
-      const int end = std::min(options.runs, begin + kRunsPerChunk);
-      merge_chunk(&result, run_chunk(cfg, schedule, options, begin, end));
-    }
-    return result;
+  if (threads == 1 || options.runs <= kMinChunk) {
+    return monte_carlo_serial(cfg, schedule, options);
   }
   common::ThreadPool pool(threads);
-  return monte_carlo(cfg, schedule, options, pool);
+  return monte_carlo_pooled(cfg, schedule, options, pool);
 }
 
 MonteCarloResult monte_carlo(const model::SystemConfig& cfg,
@@ -111,19 +187,10 @@ MonteCarloResult monte_carlo(const model::SystemConfig& cfg,
                              const MonteCarloOptions& options,
                              common::ThreadPool& pool) {
   validate(options);
-  std::vector<std::future<MonteCarloResult>> chunks;
-  chunks.reserve(static_cast<std::size_t>(options.runs / kRunsPerChunk) + 1);
-  for (int begin = 0; begin < options.runs; begin += kRunsPerChunk) {
-    const int end = std::min(options.runs, begin + kRunsPerChunk);
-    chunks.push_back(pool.submit([&cfg, &schedule, &options, begin, end] {
-      return run_chunk(cfg, schedule, options, begin, end);
-    }));
+  if (pool.size() == 1 || options.runs <= kMinChunk) {
+    return monte_carlo_serial(cfg, schedule, options);
   }
-  MonteCarloResult result;
-  for (std::future<MonteCarloResult>& chunk : chunks) {
-    merge_chunk(&result, chunk.get());
-  }
-  return result;
+  return monte_carlo_pooled(cfg, schedule, options, pool);
 }
 
 }  // namespace mlcr::sim

@@ -5,10 +5,14 @@
 // Determinism contract (the validation pipeline depends on it, see
 // DESIGN.md §11): replica `run` always draws from the counter-based stream
 // common::Rng(seed, run), and replicas are aggregated in fixed chunks of
-// kRunsPerChunk merged in ascending chunk order — the same partition no
-// matter how many threads execute it.  A run fanned across a thread pool is
-// therefore bit-identical to a serial one, and `threads` is never part of
-// any cache key.
+// kMinChunk merged in ascending chunk order — a pure function of
+// (runs, kMinChunk), never of the thread count.  Parallelism only decides
+// which worker *executes* a chunk: workers claim contiguous chunk spans
+// (~2-4 spans per worker so the submit/future round-trip is amortized over
+// at least kMinChunk replicas) and write each chunk's accumulator into its
+// fixed slot; the caller then merges slots in ascending chunk order.  A run
+// fanned across a thread pool is therefore bit-identical to a serial one,
+// and `threads` is never part of any cache key.
 #pragma once
 
 #include <cstdint>
@@ -40,8 +44,18 @@ inline constexpr std::uint64_t kSeedSentinel = 0xffffffffffffffffULL;
 
 /// Replicas per aggregation chunk.  Fixed (never derived from the thread
 /// count) so the merge tree — and therefore every aggregated double — is
-/// identical for any parallel degree.
-inline constexpr int kRunsPerChunk = 4;
+/// identical for any parallel degree.  Also the pool-bypass threshold: a
+/// request of at most one chunk runs inline, and a worker task always
+/// covers at least one full chunk.
+inline constexpr int kMinChunk = 4;
+
+/// Number of aggregation chunks for `runs` replicas: the partition is
+/// ceil(runs / kMinChunk) contiguous chunks of kMinChunk (short tail chunk
+/// last).  Pure in (runs, kMinChunk) — tests pin that no thread count can
+/// perturb it.
+[[nodiscard]] constexpr int chunk_count(int runs) noexcept {
+  return runs <= 0 ? 0 : (runs + kMinChunk - 1) / kMinChunk;
+}
 
 struct MonteCarloOptions {
   int runs = 100;  ///< paper: "mean values based on 100 runs"
@@ -59,15 +73,19 @@ struct MonteCarloOptions {
 /// weibull_shape).  Service layers map the throw to Status::kInvalidConfig.
 void validate(const MonteCarloOptions& options);
 
-/// Runs `options.runs` replicas (validating first), fanning chunks across
-/// `options.threads` workers.  Bit-identical for every thread count.
+/// Runs `options.runs` replicas (validating first), fanning chunk spans
+/// across `options.threads` workers.  Bit-identical for every thread count.
+/// Single-thread or single-chunk requests never touch a pool.
 [[nodiscard]] MonteCarloResult monte_carlo(
     const model::SystemConfig& cfg, const Schedule& schedule,
     const MonteCarloOptions& options = {});
 
-/// Same, but on an existing pool (options.threads is ignored).  Callers must
-/// not invoke this from inside one of `pool`'s own workers: the caller
-/// blocks on chunk futures, and a blocked worker could deadlock the pool.
+/// Same, but on an existing pool (options.threads is ignored).  Requests of
+/// at most kMinChunk runs — and any call on a 1-worker pool — bypass the
+/// pool entirely and run inline, so small served validate requests never
+/// pay the submit/future round-trip.  Callers must not invoke this from
+/// inside one of `pool`'s own workers: the caller blocks on chunk futures,
+/// and a blocked worker could deadlock the pool.
 [[nodiscard]] MonteCarloResult monte_carlo(const model::SystemConfig& cfg,
                                            const Schedule& schedule,
                                            const MonteCarloOptions& options,

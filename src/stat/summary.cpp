@@ -17,6 +17,33 @@ void Summary::add(double value) noexcept {
   m2_ += delta * (value - mean_);
 }
 
+void Summary::add_batch(const double* values, std::size_t n) noexcept {
+  if (n == 0) return;
+  // Pass 1: sum + extrema.  Pass 2: squared deviations about the batch
+  // mean.  Both are plain reductions over a contiguous array.
+  double sum = 0.0;
+  double lo = values[0];
+  double hi = values[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += values[i];
+    if (values[i] < lo) lo = values[i];
+    if (values[i] > hi) hi = values[i];
+  }
+  const double batch_mean = sum / static_cast<double>(n);
+  double batch_m2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = values[i] - batch_mean;
+    batch_m2 += d * d;
+  }
+  Summary batch;
+  batch.count_ = n;
+  batch.mean_ = batch_mean;
+  batch.m2_ = batch_m2;
+  batch.min_ = lo;
+  batch.max_ = hi;
+  merge(batch);
+}
+
 void Summary::merge(const Summary& other) noexcept {
   if (other.count_ == 0) return;
   if (count_ == 0) {

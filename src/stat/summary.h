@@ -3,6 +3,7 @@
 // based on 100 runs for each case".
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace mlcr::stat {
@@ -12,6 +13,16 @@ class Summary {
  public:
   void add(double value) noexcept;
   void merge(const Summary& other) noexcept;
+
+  /// Folds `values[0, n)` in as one batch: a two-pass mean / squared-
+  /// deviation reduction over the contiguous array (straight-line loops the
+  /// compiler can vectorize, unlike the per-value Welford recurrence whose
+  /// mean update is a serial dependency chain), then a single Welford merge
+  /// of the batch moments.  Deterministic for a given (values, n) but NOT
+  /// the same rounding as n sequential add() calls — callers that need
+  /// reproducibility must batch identically on every path, which is exactly
+  /// what the Monte-Carlo fixed-chunk partition guarantees.
+  void add_batch(const double* values, std::size_t n) noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }

@@ -260,6 +260,8 @@ SimReport SweepEngine::simulate_request(const SimRequest& request,
   report.runs = request.monte_carlo.runs;
   const auto start = Clock::now();
   try {
+    // Fail fast on malformed Monte-Carlo options before paying for the
+    // plan; sim::monte_carlo re-validates at its own public boundary.
     sim::validate(request.monte_carlo);
     report.plan = *plan_one(request.plan_request());
     if (!report.plan.ok()) {
@@ -351,9 +353,11 @@ std::vector<SimReport> SweepEngine::validate_sweep(
   std::vector<SimReport> reports;
   reports.reserve(requests.size());
   for (const SimRequest& request : requests) {
-    // No deadline -> validate_one is always engaged.  Each request fans its
-    // replica chunks across the whole pool (see the header comment for why
-    // requests themselves are not parallelized on top of that).
+    // No deadline -> validate_one is always engaged.  Each request fans
+    // contiguous chunk spans across the whole pool — except requests of at
+    // most sim::kMinChunk runs, which sim::monte_carlo runs inline on this
+    // thread (see the header comment for why requests themselves are not
+    // parallelized on top of that).
     SimReport report = *validate_one(request);
     if (report.cache_hit) {
       ++local.cache_hits;

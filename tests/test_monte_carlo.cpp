@@ -134,6 +134,7 @@ void expect_identical(const stat::Summary& a, const stat::Summary& b,
   EXPECT_EQ(a.count(), b.count()) << what << " @" << threads;
   EXPECT_EQ(a.mean(), b.mean()) << what << " @" << threads;
   EXPECT_EQ(a.variance(), b.variance()) << what << " @" << threads;
+  EXPECT_EQ(a.stddev(), b.stddev()) << what << " @" << threads;
   EXPECT_EQ(a.min(), b.min()) << what << " @" << threads;
   EXPECT_EQ(a.max(), b.max()) << what << " @" << threads;
 }
@@ -160,7 +161,7 @@ TEST(MonteCarloParallel, ThreadCountNeverChangesTheResult) {
   const auto schedule =
       Schedule::from_plan(cfg, planned.full_plan, planned.level_enabled);
   MonteCarloOptions serial;
-  serial.runs = 30;  // not a multiple of kRunsPerChunk: tail chunk covered
+  serial.runs = 30;  // not a multiple of kMinChunk: tail chunk covered
   serial.seed = 99;
   serial.threads = 1;
   const auto base = monte_carlo(cfg, schedule, serial);
@@ -246,6 +247,90 @@ TEST(MonteCarloParallel, InvalidOptionsThrowBeforeAnySimulation) {
   common::ThreadPool pool(2);
   EXPECT_THROW((void)monte_carlo(cfg, schedule, options, pool),
                common::Error);
+}
+
+// --- chunk partition properties ------------------------------------------
+
+TEST(MonteCarloChunks, ChunkCountIsPureInRunsAlone) {
+  // The aggregation partition is ceil(runs / kMinChunk) — a compile-time
+  // function of runs only.  No thread count appears in the signature, so
+  // no thread count *can* perturb the partition or the merge tree.
+  static_assert(chunk_count(0) == 0);
+  static_assert(chunk_count(1) == 1);
+  static_assert(chunk_count(kMinChunk - 1) == 1);
+  static_assert(chunk_count(kMinChunk) == 1);
+  static_assert(chunk_count(kMinChunk + 1) == 2);
+  static_assert(chunk_count(10 * kMinChunk) == 10);
+  for (int runs = 1; runs <= 64; ++runs) {
+    EXPECT_EQ(chunk_count(runs), (runs + kMinChunk - 1) / kMinChunk) << runs;
+  }
+}
+
+TEST(MonteCarloChunks, SerialMatchesEveryThreadCountAcrossWidths) {
+  // Property sweep over awkward widths: a single replica, one short chunk,
+  // exactly one chunk, primes (never a multiple of chunk or thread count),
+  // and 10x the widest thread count.  Every width must be bit-identical —
+  // including the Welford second moments / stddev — at every parallel
+  // degree, because chunk slots and the ascending merge order are fixed.
+  const auto cfg = exp::make_fti_system(
+      30.0, exp::FailureCase{"fusion", {24, 18, 12, 6}}, 1024.0);
+  const auto planned = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
+  const auto schedule =
+      Schedule::from_plan(cfg, planned.full_plan, planned.level_enabled);
+  for (const int runs : {1, kMinChunk - 1, kMinChunk, 7, 31, 80, 97}) {
+    MonteCarloOptions serial;
+    serial.runs = runs;
+    serial.seed = 4242;
+    serial.threads = 1;
+    const auto base = monte_carlo(cfg, schedule, serial);
+    EXPECT_EQ(base.wallclock.count() +
+                  static_cast<std::uint64_t>(base.incomplete_runs),
+              static_cast<std::uint64_t>(runs));
+    for (const std::size_t threads : {2u, 3u, 8u}) {
+      MonteCarloOptions parallel = serial;
+      parallel.threads = threads;
+      expect_identical(monte_carlo(cfg, schedule, parallel), base, threads);
+    }
+  }
+}
+
+TEST(MonteCarloChunks, PartitionIndependentOfOptionsThreads) {
+  // Regression pin: the chunk partition (and therefore every aggregated
+  // double) is a pure function of (runs, kMinChunk).  Two parallel widths
+  // must agree with each other even when neither is serial.
+  const auto cfg = exp::make_fti_system(
+      30.0, exp::FailureCase{"fusion", {16, 12, 8, 4}}, 1024.0);
+  const auto planned = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
+  const auto schedule =
+      Schedule::from_plan(cfg, planned.full_plan, planned.level_enabled);
+  MonteCarloOptions options;
+  options.runs = 26;
+  options.seed = 515;
+  options.threads = 2;
+  const auto two = monte_carlo(cfg, schedule, options);
+  options.threads = 5;
+  expect_identical(monte_carlo(cfg, schedule, options), two, 5u);
+}
+
+TEST(MonteCarloChunks, SmallRequestsBypassThePoolWithIdenticalResults) {
+  // Requests of at most one chunk run inline even when handed a wide pool;
+  // the result must still equal the serial answer bit for bit.
+  const auto cfg = exp::make_fti_system(
+      30.0, exp::FailureCase{"fusion", {24, 18, 12, 6}}, 1024.0);
+  const auto planned = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
+  const auto schedule =
+      Schedule::from_plan(cfg, planned.full_plan, planned.level_enabled);
+  common::ThreadPool wide(4);
+  common::ThreadPool single(1);
+  for (const int runs : {1, kMinChunk}) {
+    MonteCarloOptions options;
+    options.runs = runs;
+    options.seed = 77;
+    options.threads = 1;
+    const auto base = monte_carlo(cfg, schedule, options);
+    expect_identical(monte_carlo(cfg, schedule, options, wide), base, 4u);
+    expect_identical(monte_carlo(cfg, schedule, options, single), base, 1u);
+  }
 }
 
 class SolutionSimSweep : public ::testing::TestWithParam<opt::Solution> {};
