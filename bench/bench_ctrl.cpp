@@ -1,0 +1,302 @@
+// Control-plane cost model (DESIGN.md §13), three measurements:
+//
+//   ingest    in-process Replanner fold throughput (events/s) on a
+//             stationary high-rate stream — the budget a reactor shard
+//             spends per observed failure before answering the batch
+//   detect    detection latency in EVENTS: how many observed events after
+//             an injected rate change (L1 doubled) until the replanner
+//             schedules a re-solve, feeding hourly batches.  Counter-based
+//             schedules make this number deterministic on every host.
+//   push      wall-clock from the drifted ingest round trip to the revised
+//             plan arriving on a subscribed connection of a real mlcrd
+//             core (includes the Algorithm 1 re-solve) — skipped with a
+//             visible SKIP line on single-hardware-thread runners
+//
+// Results go to stdout and BENCH_ctrl.json (artifact version "v": 1; an
+// existing artifact with a NEWER "v" is never overwritten — downgrade
+// protection for stacked checkouts).
+//
+// Acceptance (exit code): the detector must fire within 500 events of the
+// injected change and never on the stationary stream.  The ingest
+// throughput reference (>= 1e6 events/s on the reference host) is
+// informational by default; --strict turns it into a hard gate for
+// perf-tracking hosts.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "ctrl/replanner.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/server.h"
+#include "svc/system_config_builder.h"
+
+namespace {
+
+using namespace mlcr;
+
+/// Artifact schema version written to BENCH_ctrl.json.
+constexpr long kArtifactVersion = 1;
+
+/// Reference-host ingest fold throughput; hard gate only under --strict.
+constexpr double kIngestBaselineEventsPerSecond = 1e6;
+
+constexpr double kDay = 86400.0;
+
+/// Events at absolute multiples of `interval` falling in (start, end].
+/// Absolute (not window-relative) phasing matters: the detect loop below
+/// feeds hourly windows, and a level whose interval exceeds the window
+/// would otherwise never fire — starving its posterior into a spurious
+/// DOWNWARD drift instead of measuring the injected upward one.
+std::vector<double> on_schedule(double start, double end, double interval) {
+  std::vector<double> events;
+  for (double t = (std::floor(start / interval) + 1.0) * interval; t <= end;
+       t += interval) {
+    events.push_back(t);
+  }
+  return events;
+}
+
+/// The paper's headline system (rates 16-12-8-4 per day at N_b = 1e6).
+svc::PlanRequest paper_request() {
+  return {exp::make_fti_system(3e6, exp::paper_failure_cases()[0]),
+          opt::Solution::kMultilevelOptScale,
+          {},
+          "bench-ctrl"};
+}
+
+/// A synthetic high-rate system (1, 0.5, 0.25, 0.125 events/s) so ingest
+/// batches carry enough events to time the fold, while staying exactly on
+/// schedule (no drift, no alarms — pure estimator arithmetic).
+svc::PlanRequest firehose_request() {
+  svc::SystemConfigBuilder builder;
+  builder.te_core_days(3e6)
+      .quadratic_speedup(0.46, 1e6)
+      .failure_rates_per_day({kDay, kDay / 2.0, kDay / 4.0, kDay / 8.0}, 1e6)
+      .allocation_seconds(60.0);
+  for (const double cost : {0.9, 2.5, 3.9, 5.5}) {
+    builder.add_level(model::Overhead::constant(cost),
+                      model::Overhead::constant(cost));
+  }
+  return {builder.build(), opt::Solution::kMultilevelOptScale, {},
+          "bench-ctrl-firehose"};
+}
+
+/// One observation window of `request`'s stream with every level exactly on
+/// its planned schedule, except level 1 at `l1_interval` seconds.
+ctrl::IngestRequest batch(const svc::PlanRequest& base, double start,
+                          double end, double l1_interval) {
+  const auto& rates = base.config.rates();
+  ctrl::IngestRequest request(base);
+  request.trace.arrivals_per_level.push_back(
+      on_schedule(start, end, l1_interval));
+  for (std::size_t level = 1; level < base.config.levels(); ++level) {
+    request.trace.arrivals_per_level.push_back(on_schedule(
+        start, end, kDay / rates.per_day_at_baseline(level)));
+  }
+  request.observed_seconds = end;
+  return request;
+}
+
+/// The "v" of an existing artifact at `path`: 0 when the file is absent,
+/// unreadable, or pre-versioning (no "v" member).
+long existing_artifact_version(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return 0;
+  std::string text;
+  char chunk[4096];
+  std::size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    text.append(chunk, got);
+  }
+  std::fclose(file);
+  std::string error;
+  const auto value = net::json::parse(text, &error);
+  if (!value.has_value()) return 0;
+  const net::json::Value* v = value->find("v");
+  if (v == nullptr || !v->is_number()) return 0;
+  return static_cast<long>(v->as_number());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t batches = 2000;
+  std::string out = "BENCH_ctrl.json";
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--strict") {
+      strict = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr,
+                   "usage: bench_ctrl [--batches N] [--out FILE] "
+                   "[--strict]\n");
+      return 1;
+    }
+    const char* value = argv[++i];
+    if (flag == "--batches") batches = std::atol(value);
+    else if (flag == "--out") out = value;
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_ctrl [--batches N] [--out FILE] "
+                   "[--strict]\n");
+      return 1;
+    }
+  }
+
+  // Downgrade protection: never clobber an artifact written by a newer
+  // schema — a stacked checkout running an older binary must fail loudly.
+  const long existing_v = existing_artifact_version(out);
+  if (existing_v > kArtifactVersion) {
+    std::fprintf(stderr,
+                 "bench_ctrl: refusing to overwrite %s: its \"v\" is %ld, "
+                 "newer than this binary's %ld\n",
+                 out.c_str(), existing_v, kArtifactVersion);
+    return 1;
+  }
+
+  const std::size_t hardware_threads = std::thread::hardware_concurrency();
+  bench::print_header(common::strf(
+      "online re-planning control plane — %zu ingest batches, %zu hardware "
+      "threads",
+      batches, hardware_threads));
+
+  // --- ingest throughput -----------------------------------------------
+  // 60-second windows of the firehose stream: 60+30+15+7 = 112 on-schedule
+  // events per batch, posterior pinned to the baseline throughout.
+  const svc::PlanRequest firehose = firehose_request();
+  ctrl::Replanner folder;
+  std::size_t ingest_events = 0;
+  bool ingest_stationary = true;
+  const auto ingest_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < batches; ++i) {
+    const double start = 60.0 * static_cast<double>(i);
+    const auto outcome =
+        folder.ingest(batch(firehose, start, start + 60.0, 1.0));
+    ingest_events += outcome.report.batch_events;
+    ingest_stationary = ingest_stationary && !outcome.report.drift_detected;
+  }
+  const double ingest_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ingest_start)
+          .count();
+  const double events_per_second =
+      static_cast<double>(ingest_events) / ingest_seconds;
+  std::printf(
+      "  ingest %9zu events in %7.3f s -> %12.0f events/s  "
+      "(stationary stream, drift fired: %s)\n",
+      ingest_events, ingest_seconds, events_per_second,
+      ingest_stationary ? "never" : "SPURIOUSLY");
+
+  // --- detection latency in events -------------------------------------
+  // One stationary day on the paper stream, then hourly batches with the
+  // L1 rate doubled (one event per 2700 s): count events from the change
+  // until the replanner schedules the re-solve.
+  const svc::PlanRequest paper = paper_request();
+  ctrl::Replanner detector;
+  (void)detector.ingest(batch(paper, 0.0, kDay, kDay / 16.0));
+  long detect_events = 0;
+  bool detected = false;
+  for (std::size_t hour = 0; hour < 24 * 30 && !detected; ++hour) {
+    const double start = kDay + 3600.0 * static_cast<double>(hour);
+    const auto outcome =
+        detector.ingest(batch(paper, start, start + 3600.0, 2700.0));
+    detect_events += static_cast<long>(outcome.report.batch_events);
+    detected = outcome.revised.has_value();
+  }
+  std::printf(
+      "  detect %9ld events from L1 rate doubling to scheduled re-plan "
+      "(hourly batches)%s\n",
+      detect_events, detected ? "" : "  NEVER DETECTED");
+
+  // --- end-to-end push latency ------------------------------------------
+  // Full loop against a real server core: drifted ingest -> queue ->
+  // Algorithm 1 re-solve -> commit -> push to the subscribed connection.
+  double push_ms = 0.0;
+  bool push_ok = true;
+  const bool push_measured = hardware_threads > 1;
+  if (!push_measured) {
+    std::printf(
+        "  SKIP: end-to-end push latency (hardware_threads=%zu; the "
+        "server's reactor + solver threads need real parallelism)\n",
+        hardware_threads);
+  } else {
+    net::ServerOptions options;
+    options.port = 0;
+    options.shards = 2;
+    options.solver_threads = 2;
+    net::Server server(options);
+    server.start();
+    net::Client subscriber({.port = server.port()});
+    push_ok = subscriber.subscribe(paper).accepted;
+    net::Client ingester({.port = server.port()});
+    push_ok =
+        push_ok &&
+        ingester.ingest(batch(paper, 0.0, kDay, kDay / 16.0)).accepted;
+    const auto push_start = std::chrono::steady_clock::now();
+    const auto drifted =
+        ingester.ingest(batch(paper, kDay, 4.0 * kDay, 2700.0));
+    push_ok = push_ok && drifted.accepted && drifted.report.replanned;
+    const auto event = subscriber.poll_event(60000);
+    push_ms = 1e3 * std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - push_start)
+                        .count();
+    push_ok = push_ok && event.has_value() &&
+              event->kind == net::PushEvent::Kind::kPlan &&
+              event->plan_epoch == 1;
+    std::printf(
+        "  push   %9.3f ms from drifted ingest to pushed revision "
+        "(includes the re-solve)%s\n",
+        push_ms, push_ok ? "" : "  PUSH LOOP FAILED");
+  }
+
+  const net::json::Value summary = net::json::Object{
+      {"bench", "bench_ctrl"},
+      {"v", kArtifactVersion},
+      {"batches", static_cast<long>(batches)},
+      {"hardware_threads", static_cast<long>(hardware_threads)},
+      {"ingest",
+       net::json::Object{{"events", static_cast<long>(ingest_events)},
+                         {"seconds", ingest_seconds},
+                         {"events_per_second", events_per_second},
+                         {"stationary", ingest_stationary}}},
+      {"detect", net::json::Object{{"detected", detected},
+                                   {"events_to_replan", detect_events}}},
+      {"push", net::json::Object{{"measured", push_measured},
+                                 {"ok", push_ok},
+                                 {"milliseconds", push_ms}}}};
+  std::FILE* file = std::fopen(out.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench_ctrl: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  const std::string rendered = net::json::dump(summary);
+  std::fwrite(rendered.data(), 1, rendered.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("\nwrote %s\n", out.c_str());
+
+  // Universal gates: the detector is deterministic — it must fire, fast,
+  // and never on the stationary stream; the push loop (when measured) must
+  // deliver epoch 1.
+  bool ok = ingest_stationary && detected && detect_events <= 500 && push_ok;
+  std::printf("  detection <= 500 events: %s   stationary false-alarms: %s\n",
+              detected && detect_events <= 500 ? "ok" : "FAIL",
+              ingest_stationary ? "none" : "FAIL");
+  if (strict) {
+    const bool ingest_ok = events_per_second >= kIngestBaselineEventsPerSecond;
+    std::printf("  ingest %.0f events/s (strict target >= %.0f): %s\n",
+                events_per_second, kIngestBaselineEventsPerSecond,
+                ingest_ok ? "ok" : "FAIL");
+    ok = ok && ingest_ok;
+  }
+  return ok ? 0 : 1;
+}

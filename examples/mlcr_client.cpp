@@ -14,15 +14,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
+#include "ctrl/replanner.h"
 #include "model/system.h"
 #include "net/client.h"
 #include "net/json.h"
 #include "net/protocol.h"
+#include "sim/trace_io.h"
 #include "svc/sweep_engine.h"
 #include "svc/system_config_builder.h"
 
@@ -57,6 +60,12 @@ struct Options {
   bool metrics = false;
   bool check_local = false;
   bool validate = false;
+  // Control plane: subscribe to pushed re-plans / ship a trace batch.
+  bool subscribe = false;
+  int events = 1;
+  std::string ingest_file;
+  double observed_seconds = 0.0;
+  double observed_scale = 0.0;
   // Monte-Carlo knobs for --validate.
   int runs = 100;
   unsigned long long seed = 0x5eed;
@@ -79,13 +88,20 @@ void usage() {
       "                   [--rates r1,r2,...] [--costs c1,c2,...]\n"
       "                   [--pfs-slope S] [--allocation A]\n"
       "                   [--validate] [--runs N] [--seed S]\n"
+      "                   [--subscribe] [--events N] [--ingest FILE]\n"
+      "                   [--observed-seconds S] [--observed-scale N]\n"
       "                   [--ping] [--metrics] [--check-local]\n"
       "Plans one request against a running mlcrd; --validate additionally\n"
       "fault-injects the plan N times and prints the plan-vs-simulated\n"
       "error per time portion.  --check-local verifies the daemon's report\n"
       "is identical to an in-process solve (exit 2 on mismatch).\n"
       "--codec picks the wire framing (reports are bit-identical either\n"
-      "way).  deadline_ms < 0 is already expired (load-shed probe).");
+      "way).  deadline_ms < 0 is already expired (load-shed probe).\n"
+      "--subscribe waits for pushed re-plans on this request's stream and\n"
+      "exits after N events (--events, default 1; 0 = wait for the drain\n"
+      "notice; exit 4 if the daemon drains before N arrived).  --ingest\n"
+      "ships a trace_io text file as one observation batch; the window end\n"
+      "defaults to the last event unless --observed-seconds is given.");
 }
 
 bool parse(int argc, char** argv, Options* options) {
@@ -100,6 +116,8 @@ bool parse(int argc, char** argv, Options* options) {
       options->check_local = true;
     } else if (flag == "--validate") {
       options->validate = true;
+    } else if (flag == "--subscribe") {
+      options->subscribe = true;
     } else {
       const char* value = i + 1 < argc ? argv[++i] : nullptr;
       if (value == nullptr) return false;
@@ -123,6 +141,12 @@ bool parse(int argc, char** argv, Options* options) {
       else if (flag == "--costs") options->costs = parse_list(value);
       else if (flag == "--pfs-slope") options->pfs_slope = std::atof(value);
       else if (flag == "--allocation") options->allocation = std::atof(value);
+      else if (flag == "--events") options->events = std::atoi(value);
+      else if (flag == "--ingest") options->ingest_file = value;
+      else if (flag == "--observed-seconds")
+        options->observed_seconds = std::atof(value);
+      else if (flag == "--observed-scale")
+        options->observed_scale = std::atof(value);
       else return false;
     }
   }
@@ -270,6 +294,71 @@ int main(int argc, char** argv) {
 
     svc::PlanRequest request{build_system(options), solution, {},
                              options.label};
+
+    if (!options.ingest_file.empty()) {
+      std::ifstream in(options.ingest_file);
+      if (!in) {
+        std::fprintf(stderr, "mlcr_client: cannot open trace file \"%s\"\n",
+                     options.ingest_file.c_str());
+        return 1;
+      }
+      ctrl::IngestRequest batch(std::move(request));
+      batch.trace = sim::read_trace(in, batch.base.config.levels());
+      batch.observed_seconds = options.observed_seconds;
+      batch.observed_scale = options.observed_scale;
+      const net::IngestResponse response = client.ingest(batch);
+      if (!response.accepted) {
+        std::printf("rejected:  %s\nmessage:   %s\n",
+                    net::to_string(response.reject).c_str(),
+                    response.message.c_str());
+        return 3;
+      }
+      const ctrl::IngestReport& report = response.report;
+      std::printf("ingested:  %llu events (stream total %llu)\n",
+                  static_cast<unsigned long long>(report.batch_events),
+                  static_cast<unsigned long long>(report.total_events));
+      for (std::size_t i = 0; i < report.levels.size(); ++i) {
+        const ctrl::LevelEstimate& level = report.levels[i];
+        std::printf(
+            "level %zu:   posterior %.3e /s (baseline %.3e /s)%s%s\n", i + 1,
+            level.rate_posterior, level.baseline_rate,
+            level.cusum_alarm ? " cusum-alarm" : "",
+            level.drift ? " DRIFT" : "");
+      }
+      std::printf("drift:     %s\nreplanned: %s\nepoch:     %llu\n",
+                  report.drift_detected ? "true" : "false",
+                  report.replanned ? "true" : "false",
+                  static_cast<unsigned long long>(report.plan_epoch));
+      return 0;
+    }
+
+    if (options.subscribe) {
+      const net::SubscribeResponse ack = client.subscribe(request);
+      if (!ack.accepted) {
+        std::printf("rejected:  %s\nmessage:   %s\n",
+                    net::to_string(ack.reject).c_str(), ack.message.c_str());
+        return 3;
+      }
+      std::printf("subscribed epoch=%llu\n",
+                  static_cast<unsigned long long>(ack.plan_epoch));
+      std::fflush(stdout);
+      int received = 0;
+      while (true) {
+        const std::optional<net::PushEvent> event =
+            client.poll_event(options.timeout_ms);
+        if (!event.has_value()) continue;  // idle stream; keep waiting
+        if (event->kind == net::PushEvent::Kind::kDrained) {
+          std::printf("drained\n");
+          return options.events == 0 ? 0 : 4;
+        }
+        ++received;
+        std::printf("pushed plan_epoch=%llu\n",
+                    static_cast<unsigned long long>(event->plan_epoch));
+        print_report(event->report);
+        std::fflush(stdout);
+        if (options.events > 0 && received >= options.events) return 0;
+      }
+    }
 
     const net::Response response = client.plan(request, options.deadline_ms);
     if (!response.accepted) {

@@ -32,6 +32,8 @@ void usage() {
   std::puts(
       "usage: mlcrd [--port P] [--queue N] [--deadline-ms MS]\n"
       "             [--shards N] [--solver-threads N] [--cache N]\n"
+      "             [--drift-ratio R] [--cusum-threshold H]\n"
+      "             [--cusum-shift RHO] [--min-events N]\n"
       "             [--metrics-out file.jsonl]\n"
       "Serves PlanRequests on 127.0.0.1:P (port 0 = ephemeral; the bound\n"
       "port is printed at startup).  Each connection speaks JSON lines or\n"
@@ -39,6 +41,10 @@ void usage() {
       "--shards sets the reactor event-loop threads (0 = all cores);\n"
       "--queue bounds the admission queue (full -> rejected: overloaded);\n"
       "--deadline-ms is the default per-request deadline (0 = none).\n"
+      "--drift-ratio / --cusum-threshold / --cusum-shift / --min-events\n"
+      "tune the online re-planning trigger (DESIGN.md section 13): a pushed\n"
+      "re-plan fires when a level's posterior rate leaves\n"
+      "[baseline/R, baseline*R] or its CUSUM crosses H.\n"
       "SIGINT/SIGTERM drain gracefully: in-flight solves finish, metrics\n"
       "are flushed, then the daemon exits 0.");
 }
@@ -63,6 +69,15 @@ bool parse(int argc, char** argv, Options* options) {
           static_cast<std::size_t>(std::atol(value));
     } else if (flag == "--cache") {
       options->server.cache_capacity =
+          static_cast<std::size_t>(std::atol(value));
+    } else if (flag == "--drift-ratio") {
+      options->server.replanner.drift_ratio = std::atof(value);
+    } else if (flag == "--cusum-threshold") {
+      options->server.replanner.cusum_threshold = std::atof(value);
+    } else if (flag == "--cusum-shift") {
+      options->server.replanner.cusum_shift = std::atof(value);
+    } else if (flag == "--min-events") {
+      options->server.replanner.min_events =
           static_cast<std::size_t>(std::atol(value));
     } else if (flag == "--metrics-out") {
       options->metrics_out = value;
@@ -111,6 +126,7 @@ int main(int argc, char** argv) {
   } else {
     std::string jsonl = server.metrics().to_jsonl();
     jsonl += server.engine().metrics().to_jsonl();
+    jsonl += server.replanner().metrics().to_jsonl();
     std::FILE* file = std::fopen(options.metrics_out.c_str(), "w");
     if (file == nullptr) {
       std::fprintf(stderr, "mlcrd: cannot write %s\n",

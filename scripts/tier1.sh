@@ -9,9 +9,10 @@
 #      container has no clang-tidy)
 #   5. ThreadSanitizer pass over the concurrency-sensitive targets + the
 #      mlcrd daemon smoke test, once per wire codec (json, binary),
-#      including the graceful-drain check
+#      including the graceful-drain check, plus the online re-planning
+#      smoke (subscribe -> ingest drifted trace -> pushed plan -> drained)
 #   6. AddressSanitizer+UBSan pass over the FULL ctest suite + the same
-#      per-codec daemon smoke tests
+#      per-codec daemon and re-planning smoke tests
 #
 # Run from anywhere; builds land in build/, build-tsan/, build-asan/.
 #
@@ -111,6 +112,135 @@ daemon_smoke() {
   rm -f "$mlcrd_log"
 }
 
+# daemon_ctrl_smoke <build-dir> <codec>
+#   The online re-planning loop end to end (DESIGN.md section 13): start
+#   mlcrd, attach a plan subscriber, ingest a stationary day of observed
+#   failures (every level exactly on its planned 16-12-8-4/day schedule, so
+#   the posteriors provably stay at the baseline), then three days with the
+#   L1 rate doubled.  The subscriber must receive exactly one pushed revised
+#   plan (plan_epoch=1); a second subscriber then waits through SIGTERM and
+#   must see the {"event":"drained"} goodbye before the daemon exits 0.
+daemon_ctrl_smoke() {
+  local dir="$1" codec="$2" work mlcrd_pid port sub_pid drain_sub_pid
+  work="$(mktemp -d)"
+  # Synthetic counter-based traces: deterministic, sorted by time.  Every
+  # level appears in both windows — a level with zero events over a day
+  # would legitimately read as downward drift.
+  awk 'BEGIN{
+    day=86400.0; split("16 12 8 4", r, " "); n=0;
+    for (l=1; l<=4; ++l) { iv=day/r[l];
+      for (t=iv; t<=day; t+=iv) { ts[n]=t; lv[n]=l; ++n } }
+    for (i=1;i<n;++i){tt=ts[i];ll=lv[i];j=i-1;
+      while(j>=0&&ts[j]>tt){ts[j+1]=ts[j];lv[j+1]=lv[j];--j}
+      ts[j+1]=tt;lv[j+1]=ll}
+    print "# mlcr failure trace v1";
+    for (i=0;i<n;++i) printf "%.17g %d\n", ts[i], lv[i];
+  }' > "$work/stationary.txt"
+  awk 'BEGIN{
+    day=86400.0; start=day; end=4*day; split("32 12 8 4", r, " "); n=0;
+    for (l=1; l<=4; ++l) { iv=day/r[l];
+      for (t=start+iv; t<=end; t+=iv) { ts[n]=t; lv[n]=l; ++n } }
+    for (i=1;i<n;++i){tt=ts[i];ll=lv[i];j=i-1;
+      while(j>=0&&ts[j]>tt){ts[j+1]=ts[j];lv[j+1]=lv[j];--j}
+      ts[j+1]=tt;lv[j+1]=ll}
+    print "# mlcr failure trace v1";
+    for (i=0;i<n;++i) printf "%.17g %d\n", ts[i], lv[i];
+  }' > "$work/drifted.txt"
+
+  "$dir"/examples/mlcrd --port 0 --queue 64 --shards 2 --solver-threads 2 \
+    > "$work/mlcrd.log" 2>&1 &
+  mlcrd_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(grep -oE '127\.0\.0\.1:[0-9]+' "$work/mlcrd.log" | head -1 \
+            | cut -d: -f2 || true)"
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "tier-1 FAILED: mlcrd did not report a listening port" >&2
+    cat "$work/mlcrd.log" >&2
+    kill -9 "$mlcrd_pid" 2>/dev/null || true
+    exit 1
+  fi
+
+  "$dir"/examples/mlcr_client --port "$port" --codec "$codec" \
+    --subscribe --events 1 > "$work/sub.log" 2>&1 &
+  sub_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q '^subscribed' "$work/sub.log" && break
+    sleep 0.1
+  done
+  grep -q '^subscribed epoch=0' "$work/sub.log" || {
+    echo "tier-1 FAILED: subscriber did not ack" >&2
+    cat "$work/sub.log" >&2
+    kill -9 "$mlcrd_pid" "$sub_pid" 2>/dev/null || true
+    exit 1
+  }
+
+  "$dir"/examples/mlcr_client --port "$port" --codec "$codec" \
+    --ingest "$work/stationary.txt" --observed-seconds 86400 \
+    > "$work/ingest1.log"
+  grep -q '^drift:     false' "$work/ingest1.log" || {
+    echo "tier-1 FAILED: stationary trace read as drift" >&2
+    cat "$work/ingest1.log" >&2
+    kill -9 "$mlcrd_pid" "$sub_pid" 2>/dev/null || true
+    exit 1
+  }
+  "$dir"/examples/mlcr_client --port "$port" --codec "$codec" \
+    --ingest "$work/drifted.txt" --observed-seconds 345600 \
+    > "$work/ingest2.log"
+  grep -q '^replanned: true' "$work/ingest2.log" || {
+    echo "tier-1 FAILED: doubled-L1 trace did not schedule a re-plan" >&2
+    cat "$work/ingest2.log" >&2
+    kill -9 "$mlcrd_pid" "$sub_pid" 2>/dev/null || true
+    exit 1
+  }
+
+  # The subscriber exits 0 once the pushed revision (epoch 1) arrives.
+  wait "$sub_pid" || {
+    echo "tier-1 FAILED: subscriber did not receive the pushed plan" >&2
+    cat "$work/sub.log" >&2
+    kill -9 "$mlcrd_pid" 2>/dev/null || true
+    exit 1
+  }
+  grep -q '^pushed plan_epoch=1' "$work/sub.log" || {
+    echo "tier-1 FAILED: push missing plan_epoch=1" >&2
+    cat "$work/sub.log" >&2
+    kill -9 "$mlcrd_pid" 2>/dev/null || true
+    exit 1
+  }
+
+  # A fresh subscriber rides through the drain: SIGTERM must deliver the
+  # drained goodbye (--events 0 -> exit 0 on it) before the daemon exits.
+  "$dir"/examples/mlcr_client --port "$port" --codec "$codec" \
+    --subscribe --events 0 > "$work/drain_sub.log" 2>&1 &
+  drain_sub_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q '^subscribed' "$work/drain_sub.log" && break
+    sleep 0.1
+  done
+  kill -TERM "$mlcrd_pid"
+  wait "$drain_sub_pid" || {
+    echo "tier-1 FAILED: subscriber not notified on drain" >&2
+    cat "$work/drain_sub.log" >&2
+    kill -9 "$mlcrd_pid" 2>/dev/null || true
+    exit 1
+  }
+  grep -q '^drained' "$work/drain_sub.log" || {
+    echo "tier-1 FAILED: drain goodbye missing from subscriber log" >&2
+    cat "$work/drain_sub.log" >&2
+    kill -9 "$mlcrd_pid" 2>/dev/null || true
+    exit 1
+  }
+  wait "$mlcrd_pid" || {
+    echo "tier-1 FAILED: mlcrd exited non-zero after SIGTERM" >&2
+    cat "$work/mlcrd.log" >&2
+    exit 1
+  }
+  rm -rf "$work"
+}
+
 echo "== tier-1: standard build (-Werror) + full ctest =="
 build_and_test build ""
 
@@ -141,15 +271,21 @@ scripts/check_headers.sh
 echo "== tier-1: clang-tidy =="
 scripts/run_tidy.sh build
 
-echo "== tier-1: ThreadSanitizer pass (thread pool + sweep engine + metrics + net + sim fan-out) =="
+echo "== tier-1: ThreadSanitizer pass (thread pool + sweep engine + metrics + net + ctrl + sim fan-out) =="
 build_and_test build-tsan thread \
-  'ThreadPool|SweepEngine|ShardedLruCache|Metrics|LruCache|AdmissionQueue|NetServer|NetProtocol|NetJson|NetCodec|NetReactor|MonteCarloParallel|MonteCarloChunks|ValidatePipeline'
+  'ThreadPool|SweepEngine|ShardedLruCache|Metrics|LruCache|AdmissionQueue|NetServer|NetProtocol|NetJson|NetCodec|NetReactor|MonteCarloParallel|MonteCarloChunks|ValidatePipeline|CtrlReplanner|IngestOp|SubscribeOp'
 
 echo "== tier-1: mlcrd daemon smoke (TSan build, json codec) =="
 daemon_smoke build-tsan json
 
 echo "== tier-1: mlcrd daemon smoke (TSan build, binary codec) =="
 daemon_smoke build-tsan binary
+
+echo "== tier-1: online re-planning smoke (TSan build, json codec) =="
+daemon_ctrl_smoke build-tsan json
+
+echo "== tier-1: online re-planning smoke (TSan build, binary codec) =="
+daemon_ctrl_smoke build-tsan binary
 
 echo "== tier-1: ASan+UBSan pass (full suite) =="
 build_and_test build-asan address,undefined
@@ -159,5 +295,11 @@ daemon_smoke build-asan json
 
 echo "== tier-1: mlcrd daemon smoke (ASan+UBSan build, binary codec) =="
 daemon_smoke build-asan binary
+
+echo "== tier-1: online re-planning smoke (ASan+UBSan build, json codec) =="
+daemon_ctrl_smoke build-asan json
+
+echo "== tier-1: online re-planning smoke (ASan+UBSan build, binary codec) =="
+daemon_ctrl_smoke build-asan binary
 
 echo "tier-1 OK"

@@ -1,0 +1,243 @@
+#include "ctrl/replanner.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+
+namespace mlcr::ctrl {
+
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+/// lambda (events/second at scale N) -> the wire's per-day-at-baseline form:
+/// per_day = lambda * 86400 / (N / N_b)^p.
+double per_second_to_per_day_at_baseline(double per_second, double scale,
+                                         const model::FailureRates& rates) {
+  const double scaling =
+      std::pow(scale / rates.baseline_scale(), rates.scale_exponent());
+  return per_second * kSecondsPerDay / scaling;
+}
+
+}  // namespace
+
+Replanner::Replanner(ReplannerOptions options) : options_(options) {
+  MLCR_EXPECT(options_.drift_ratio > 1.0,
+              "Replanner: drift_ratio must exceed 1");
+  MLCR_EXPECT(options_.cusum_shift > 1.0,
+              "Replanner: cusum_shift must exceed 1");
+  MLCR_EXPECT(options_.cusum_threshold > 0.0,
+              "Replanner: cusum_threshold must be positive");
+  MLCR_EXPECT(options_.prior_shape > 0.0,
+              "Replanner: prior_shape must be positive");
+}
+
+svc::PlanRequest Replanner::with_rates(
+    const svc::PlanRequest& base, const std::vector<double>& per_day) {
+  const model::FailureRates& old_rates = base.config.rates();
+  if (per_day.size() != old_rates.levels()) {
+    common::fail("Replanner: with_rates level count mismatch");
+  }
+  return {model::SystemConfig(
+              base.config.te(), base.config.speedup().clone(),
+              base.config.all_levels(),
+              model::FailureRates(per_day, old_rates.baseline_scale(),
+                                  old_rates.scale_exponent()),
+              base.config.allocation(), base.config.max_scale()),
+          base.solution, base.options, base.label};
+}
+
+Replanner::Stream Replanner::make_stream(const IngestRequest& request) const {
+  Stream stream(request.base);
+  stream.observed_scale = request.observed_scale > 0.0
+                              ? request.observed_scale
+                              : request.base.config.rates().baseline_scale();
+  if (!std::isfinite(stream.observed_scale) || stream.observed_scale <= 0.0) {
+    common::fail("Replanner: observed_scale must be positive");
+  }
+  const model::FailureRates& rates = request.base.config.rates();
+  stream.levels.reserve(rates.levels());
+  for (std::size_t i = 0; i < rates.levels(); ++i) {
+    stream.levels.emplace_back(rates.rate_per_second(i, stream.observed_scale),
+                               options_.prior_shape, options_.cusum_shift,
+                               options_.cusum_threshold);
+  }
+  return stream;
+}
+
+IngestOutcome Replanner::ingest(const IngestRequest& request) {
+  const std::string key = svc::canonical_key(request.base);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    it = streams_.emplace(key, make_stream(request)).first;
+    metrics_.gauge("ctrl.streams").set(static_cast<double>(streams_.size()));
+  }
+  Stream& stream = it->second;
+
+  if (request.trace.arrivals_per_level.size() != stream.levels.size()) {
+    common::fail("Replanner: trace has " +
+                 std::to_string(request.trace.arrivals_per_level.size()) +
+                 " levels, plan has " + std::to_string(stream.levels.size()));
+  }
+  if (request.observed_scale > 0.0 &&
+      request.observed_scale != stream.observed_scale) {
+    common::fail("Replanner: observed_scale changed mid-stream");
+  }
+
+  // Resolve the batch window (prev_end, batch_end].
+  double last_event = 0.0;
+  std::uint64_t batch_events = 0;
+  for (const auto& arrivals : request.trace.arrivals_per_level) {
+    batch_events += arrivals.size();
+    if (!arrivals.empty()) last_event = std::max(last_event, arrivals.back());
+  }
+  double batch_end = request.observed_seconds;
+  if (batch_end <= 0.0) batch_end = last_event;
+  if (!std::isfinite(batch_end) || batch_end <= stream.observed_end) {
+    common::fail("Replanner: batch window must advance past " +
+                 std::to_string(stream.observed_end) + " seconds");
+  }
+  for (const auto& arrivals : request.trace.arrivals_per_level) {
+    double prev = stream.observed_end;
+    for (double t : arrivals) {
+      if (t <= stream.observed_end || t > batch_end) {
+        common::fail("Replanner: event at " + std::to_string(t) +
+                     "s outside batch window (" +
+                     std::to_string(stream.observed_end) + ", " +
+                     std::to_string(batch_end) + "]");
+      }
+      if (t < prev) {
+        common::fail("Replanner: event times not ascending within a level");
+      }
+      prev = t;
+    }
+  }
+
+  // Fold the batch into every level's estimators.  The tail gap between the
+  // last event and the window end is censored (not an arrival), so the CUSUM
+  // only consumes complete inter-arrival gaps; the exposure-based
+  // MLE/posterior see the full window either way.
+  const double exposure = batch_end - stream.observed_end;
+  for (std::size_t i = 0; i < stream.levels.size(); ++i) {
+    LevelState& level = stream.levels[i];
+    const auto& arrivals = request.trace.arrivals_per_level[i];
+    const auto events = static_cast<std::uint64_t>(arrivals.size());
+    level.mle.observe(events, exposure);
+    level.posterior.observe(events, exposure);
+    for (double t : arrivals) {
+      level.cusum.observe_gap(t - level.last_event_time);
+      level.last_event_time = t;
+    }
+  }
+  stream.observed_end = batch_end;
+  stream.total_events += batch_events;
+
+  // Drift decision (per level): posterior mean outside the drift band, or a
+  // latched CUSUM alarm — gated on the stream-wide event floor so one level
+  // cannot fire off near-zero evidence.
+  IngestOutcome outcome;
+  outcome.report.key = key;
+  outcome.report.label = request.base.label;
+  outcome.report.batch_events = batch_events;
+  outcome.report.total_events = stream.total_events;
+  outcome.report.plan_epoch = stream.plan_epoch;
+  const bool enough = stream.total_events >= options_.min_events;
+  std::vector<double> revised_per_day(stream.levels.size());
+  std::vector<double> revised_per_second(stream.levels.size());
+  for (std::size_t i = 0; i < stream.levels.size(); ++i) {
+    const LevelState& level = stream.levels[i];
+    LevelEstimate estimate;
+    estimate.events = level.mle.events();
+    estimate.exposure_seconds = level.mle.exposure_seconds();
+    estimate.rate_mle = level.mle.rate();
+    estimate.rate_posterior = level.posterior.mean();
+    estimate.baseline_rate = level.baseline_rate;
+    estimate.cusum_statistic =
+        std::max(level.cusum.up_statistic(), level.cusum.down_statistic());
+    estimate.cusum_alarm = level.cusum.alarmed();
+    const double ratio = estimate.rate_posterior / level.baseline_rate;
+    estimate.drift =
+        enough && (ratio >= options_.drift_ratio ||
+                   ratio <= 1.0 / options_.drift_ratio || estimate.cusum_alarm);
+    outcome.report.drift_detected |= estimate.drift;
+    outcome.report.levels.push_back(estimate);
+    revised_per_second[i] = estimate.rate_posterior;
+    revised_per_day[i] = per_second_to_per_day_at_baseline(
+        estimate.rate_posterior, stream.observed_scale,
+        stream.base.config.rates());
+  }
+
+  metrics_.counter("ctrl.ingest.batches").increment();
+  metrics_.counter("ctrl.ingest.events").increment(batch_events);
+  if (outcome.report.drift_detected) {
+    metrics_.counter("ctrl.drift.detected").increment();
+    if (!stream.replan_pending) {
+      stream.replan_pending = true;
+      stream.pending_rates_per_day = revised_per_day;
+      stream.pending_rates_per_second = revised_per_second;
+      outcome.report.replanned = true;
+      outcome.revised = with_rates(stream.base, revised_per_day);
+      metrics_.counter("ctrl.replan.scheduled").increment();
+    }
+  }
+  return outcome;
+}
+
+RevisedPlan Replanner::commit(const std::string& key,
+                              const svc::PlanReport& report) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    common::fail("Replanner: commit for unknown stream");
+  }
+  Stream& stream = it->second;
+  if (!stream.replan_pending) {
+    common::fail("Replanner: commit without a pending re-plan");
+  }
+  stream.base = with_rates(stream.base, stream.pending_rates_per_day);
+  for (std::size_t i = 0; i < stream.levels.size(); ++i) {
+    LevelState& level = stream.levels[i];
+    level.baseline_rate = stream.pending_rates_per_second[i];
+    level.mle = stat::RateMle();
+    level.posterior =
+        stat::GammaPoisson::from_mean(level.baseline_rate, options_.prior_shape);
+    level.cusum.reset(level.baseline_rate);
+    // last_event_time is kept: the gap chain continues across the re-plan.
+  }
+  stream.replan_pending = false;
+  stream.pending_rates_per_day.clear();
+  stream.pending_rates_per_second.clear();
+  ++stream.plan_epoch;
+  metrics_.counter("ctrl.replans").increment();
+
+  RevisedPlan revised;
+  revised.plan_epoch = stream.plan_epoch;
+  revised.report = report;
+  return revised;
+}
+
+void Replanner::cancel_replan(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = streams_.find(key);
+  if (it == streams_.end() || !it->second.replan_pending) return;
+  it->second.replan_pending = false;
+  it->second.pending_rates_per_day.clear();
+  it->second.pending_rates_per_second.clear();
+  metrics_.counter("ctrl.replan.cancelled").increment();
+}
+
+std::uint64_t Replanner::epoch(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = streams_.find(key);
+  return it == streams_.end() ? 0 : it->second.plan_epoch;
+}
+
+std::size_t Replanner::streams() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return streams_.size();
+}
+
+}  // namespace mlcr::ctrl

@@ -1,0 +1,204 @@
+// The online re-planning control loop (DESIGN.md §13): observe -> estimate
+// -> re-plan -> push.
+//
+// A ctrl::Replanner owns one estimation "stream" per canonical plan key
+// (svc::canonical_key of the subscribed/ingested base request).  Each
+// ingest batch carries observed failure events in the sim::FailureTrace
+// wire form; the replanner folds them into per-level online estimators
+// (stat::RateMle, stat::GammaPoisson seeded at the planned rate,
+// stat::Cusum over inter-arrival gaps) and decides whether the observed
+// rates have drifted beyond the configured threshold.  On drift it rebuilds
+// the SystemConfig with the posterior-mean rates (everything else
+// unchanged) and hands back a revised PlanRequest; the caller solves it
+// through the existing SweepEngine::plan_one and then commit()s the report,
+// which bumps the stream's monotonically increasing plan_epoch and re-arms
+// the estimators against the revised baseline.
+//
+// Determinism contract: ingest() and with_rates() are pure functions of the
+// observed events and the options — no clocks, no RNG — so a revised
+// request derived here and re-derived in-process from the same trace is
+// byte-identical (equal canonical keys), and the pushed PlanReport is
+// bit-exact against an in-process re-solve.
+//
+// Threading: every public method is safe to call from any thread (one
+// internal mutex; all work under it is arithmetic on a few doubles per
+// level).  Nothing here blocks — this header's code runs on reactor event
+// loops, and the net-blocking-call lint rule covers src/ctrl.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "sim/event_sim.h"
+#include "stat/estimators.h"
+#include "svc/plan_request.h"
+
+namespace mlcr::ctrl {
+
+struct ReplannerOptions {
+  /// Re-plan when a level's posterior-mean rate leaves
+  /// [baseline / drift_ratio, baseline * drift_ratio].  Must be > 1.
+  double drift_ratio = 1.5;
+  /// stat::Cusum shift factor (rho) and alarm threshold (h): the detector
+  /// tests "rate jumped by rho" and alarms after ~h / ln(rho) post-change
+  /// events (for large rho).
+  double cusum_shift = 2.0;
+  double cusum_threshold = 8.0;
+  /// Minimum total observed events on a stream before drift can fire; the
+  /// Gamma prior already shrinks thin evidence toward the plan, this is a
+  /// hard floor on top.
+  std::uint64_t min_events = 8;
+  /// Gamma prior pseudo-event count (prior strength).  The prior mean is
+  /// always the current baseline rate.
+  double prior_shape = 4.0;
+};
+
+/// One ingest batch: the base request identifying the stream plus observed
+/// failure events (absolute wall-clock seconds, per level — the
+/// sim::FailureTrace / sim::trace_io wire form).
+struct IngestRequest {
+  explicit IngestRequest(svc::PlanRequest base_request)
+      : base(std::move(base_request)) {}
+
+  svc::PlanRequest base;
+  sim::FailureTrace trace;
+  /// Absolute end of this batch's observation window, seconds.  0 = the
+  /// batch's last event time.  Must not regress across batches; events must
+  /// lie within (previous end, this end].
+  double observed_seconds = 0.0;
+  /// Execution scale N the events were observed at; 0 = the config's
+  /// failure-rate baseline scale.  Pinned by the first batch of a stream.
+  double observed_scale = 0.0;
+};
+
+/// Per-level estimation snapshot (all rates in events/second at the
+/// observed scale).
+struct LevelEstimate {
+  std::uint64_t events = 0;         ///< cumulative since last re-plan
+  double exposure_seconds = 0.0;    ///< cumulative since last re-plan
+  double rate_mle = 0.0;            ///< K / T (0 while no exposure)
+  double rate_posterior = 0.0;      ///< Gamma–Poisson posterior mean
+  double baseline_rate = 0.0;       ///< current plan's rate (drift reference)
+  double cusum_statistic = 0.0;     ///< max of the up/down statistics
+  bool cusum_alarm = false;
+  bool drift = false;
+};
+
+/// Wire-visible result of one ingest batch ({"ok":true,"ingest":{...}}).
+struct IngestReport {
+  std::string key;    ///< canonical plan key of the stream
+  std::string label;  ///< echoed from the request
+  std::uint64_t batch_events = 0;
+  std::uint64_t total_events = 0;  ///< lifetime stream total
+  std::vector<LevelEstimate> levels;
+  bool drift_detected = false;
+  /// True when THIS batch scheduled a re-plan (drift with none pending).
+  bool replanned = false;
+  /// Last committed epoch at response time (the revision in flight, if any,
+  /// will carry plan_epoch + 1).
+  std::uint64_t plan_epoch = 0;
+};
+
+/// A committed revision: the re-solved report plus its epoch.
+struct RevisedPlan {
+  std::uint64_t plan_epoch = 0;
+  svc::PlanReport report;
+};
+
+/// Everything the caller needs after one ingest: the wire report, and —
+/// when this batch crossed the drift threshold — the rebuilt request to
+/// solve and commit().
+struct IngestOutcome {
+  IngestReport report;
+  /// Engaged exactly when this batch scheduled a re-plan.
+  std::optional<svc::PlanRequest> revised;
+};
+
+class Replanner {
+ public:
+  explicit Replanner(ReplannerOptions options = {});
+
+  /// Folds one batch of observed failures into the stream keyed by
+  /// canonical_key(request.base), creating the stream on first contact.
+  /// Throws common::Error on invalid batches (regressing observation
+  /// window, events outside it, changed observed_scale, level-count
+  /// mismatch).
+  [[nodiscard]] IngestOutcome ingest(const IngestRequest& request);
+
+  /// Records the solved revision for `key`: bumps the stream's plan_epoch,
+  /// clears the pending-replan latch, re-centers every estimator on the
+  /// revised rates, and returns the epoch-stamped report to publish.
+  /// Throws common::Error if the stream does not exist.
+  [[nodiscard]] RevisedPlan commit(const std::string& key,
+                                   const svc::PlanReport& report);
+
+  /// Clears the pending-replan latch without bumping the epoch (the solve
+  /// was shed); the still-drifted estimators re-trigger on the next batch.
+  void cancel_replan(const std::string& key);
+
+  /// Last committed epoch for `key` (0 for unknown streams: the base plan).
+  [[nodiscard]] std::uint64_t epoch(const std::string& key) const;
+
+  [[nodiscard]] std::size_t streams() const;
+  [[nodiscard]] const ReplannerOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// ctrl.* instrumentation (ingest batches/events, drift, replans, sheds).
+  [[nodiscard]] common::metrics::Registry& metrics() noexcept {
+    return metrics_;
+  }
+
+  /// Pure helper: `base` with its per-day-at-baseline failure rates
+  /// replaced (level count must match), everything else bit-identical.
+  [[nodiscard]] static svc::PlanRequest with_rates(
+      const svc::PlanRequest& base,
+      const std::vector<double>& per_day_at_baseline);
+
+ private:
+  struct LevelState {
+    LevelState(double baseline, double prior_shape, double cusum_shift,
+               double cusum_threshold)
+        : posterior(stat::GammaPoisson::from_mean(baseline, prior_shape)),
+          cusum(baseline, cusum_shift, cusum_threshold),
+          baseline_rate(baseline) {}
+
+    stat::RateMle mle;
+    stat::GammaPoisson posterior;
+    stat::Cusum cusum;
+    double baseline_rate;  ///< per-second at the observed scale
+    double last_event_time = 0.0;
+  };
+
+  struct Stream {
+    explicit Stream(svc::PlanRequest base_request)
+        : base(std::move(base_request)) {}
+
+    svc::PlanRequest base;  ///< latest committed request (revised on commit)
+    double observed_scale = 0.0;
+    double observed_end = 0.0;  ///< end of the last accepted window
+    std::vector<LevelState> levels;
+    std::uint64_t total_events = 0;
+    std::uint64_t plan_epoch = 0;
+    bool replan_pending = false;
+    /// Posterior per-day-at-baseline rates captured when the pending
+    /// revision was scheduled; applied to the baselines on commit().
+    std::vector<double> pending_rates_per_day;
+    std::vector<double> pending_rates_per_second;
+  };
+
+  [[nodiscard]] Stream make_stream(const IngestRequest& request) const;
+
+  ReplannerOptions options_;
+  common::metrics::Registry metrics_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Stream> streams_;
+};
+
+}  // namespace mlcr::ctrl

@@ -61,6 +61,46 @@ SimResponse Client::validate(const svc::SimRequest& request,
   return response;
 }
 
+IngestResponse Client::ingest(const ctrl::IngestRequest& request) {
+  const std::string line = round_trip(encode_ingest_request_line(request));
+  IngestResponse response;
+  std::string error;
+  if (!decode_ingest_response(line, &response, &error)) {
+    common::fail("net: bad ingest response: " + error);
+  }
+  return response;
+}
+
+SubscribeResponse Client::subscribe(const svc::PlanRequest& request) {
+  const std::string line = round_trip(encode_subscribe_request_line(request));
+  SubscribeResponse response;
+  std::string error;
+  if (!decode_subscribe_response(line, &response, &error)) {
+    common::fail("net: bad subscribe response: " + error);
+  }
+  return response;
+}
+
+std::optional<PushEvent> Client::poll_event(int timeout_ms) {
+  std::string payload;
+  switch (connection_.read_frame(&reader_, &payload, timeout_ms)) {
+    case Connection::ReadResult::kLine:
+      break;
+    case Connection::ReadResult::kTimeout:
+      return std::nullopt;
+    case Connection::ReadResult::kEof:
+      common::fail("net: connection closed by server");
+    case Connection::ReadResult::kError:
+      common::fail("net: transport error while waiting for push event");
+  }
+  PushEvent event;
+  std::string error;
+  if (!decode_push_event(payload, &event, &error)) {
+    common::fail("net: bad push event: " + error);
+  }
+  return event;
+}
+
 bool Client::ping() {
   const std::string line = round_trip(R"({"op":"ping","v":1})");
   std::string error;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "net/codec.h"
@@ -45,6 +46,22 @@ class Client {
   /// in-process SweepEngine::validate_one result (timing fields aside).
   [[nodiscard]] SimResponse validate(const svc::SimRequest& request,
                                      long deadline_ms = 0);
+
+  /// Sends one trace batch ({"op":"ingest"}); an accepted response carries
+  /// the per-level estimator state after the batch was folded in.
+  [[nodiscard]] IngestResponse ingest(const ctrl::IngestRequest& request);
+
+  /// Upgrades this connection to a plan subscriber ({"op":"subscribe"}).
+  /// After an accepted ack the server can push revised plans at any time —
+  /// drain them with poll_event().  Do not mix further request/response
+  /// calls on a subscribed connection: a push arriving between the request
+  /// and its response would be mistaken for the response.
+  [[nodiscard]] SubscribeResponse subscribe(const svc::PlanRequest& request);
+
+  /// Waits up to `timeout_ms` for one pushed event on a subscribed
+  /// connection.  nullopt on timeout; throws common::Error on EOF,
+  /// transport error, or an unparseable line.
+  [[nodiscard]] std::optional<PushEvent> poll_event(int timeout_ms);
 
   /// True when the daemon answered the ping.
   [[nodiscard]] bool ping();

@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "net/textnum.h"
+#include "sim/trace_io.h"
 #include "svc/system_config_builder.h"
 
 namespace mlcr::net {
@@ -366,8 +367,8 @@ svc::SimSummary decode_summary(const json::Value& value, const char* field) {
 }  // namespace
 
 const std::vector<std::string>& supported_ops() {
-  static const std::vector<std::string> ops{"plan", "validate", "ping",
-                                           "metrics"};
+  static const std::vector<std::string> ops{"plan",    "validate", "ping",
+                                           "metrics", "ingest",   "subscribe"};
   return ops;
 }
 
@@ -807,6 +808,288 @@ bool decode_sim_response(const std::string& line, SimResponse* out,
     }
     out->message = get_string_or(*parsed, "message", "");
     return true;
+  } catch (const common::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+namespace {
+
+/// The plan fields shared by the "ingest" and "subscribe" envelopes —
+/// identical grammar to the "plan" op body (solution/config/options/label).
+svc::PlanRequest decode_plan_fields(const json::Value& envelope) {
+  const std::string solution_text = require(envelope, "solution").as_string();
+  opt::Solution solution = opt::Solution::kMultilevelOptScale;
+  if (!solution_from_string(solution_text, &solution)) {
+    decode_fail("solution", "unknown solution '" + solution_text + "'");
+  }
+  model::SystemConfig config = decode_config(require(envelope, "config"));
+  opt::Algorithm1Options options;
+  if (const json::Value* member = envelope.find("options")) {
+    options = decode_options(*member);
+  }
+  std::string label = get_string_or(envelope, "label", "");
+  return svc::PlanRequest{std::move(config), solution, options,
+                          std::move(label)};
+}
+
+json::Object encode_plan_fields(const svc::PlanRequest& request) {
+  json::Object fields{{"v", kProtocolVersion},
+                      {"solution", opt::to_string(request.solution)},
+                      {"config", encode_config(request.config)},
+                      {"options", encode_options(request.options)}};
+  if (!request.label.empty()) fields.emplace("label", request.label);
+  return fields;
+}
+
+void check_envelope(const json::Value& envelope, const char* expected_op) {
+  if (!envelope.is_object()) decode_fail("request", "must be a JSON object");
+  std::string version_error;
+  if (!envelope_version_ok(envelope, &version_error)) {
+    common::fail("protocol: " + version_error);
+  }
+  const std::string op = get_string_or(envelope, "op", expected_op);
+  if (op != expected_op) {
+    decode_fail("op", "expected '" + std::string(expected_op) + "', got '" +
+                          op + "'");
+  }
+}
+
+bool decode_rejection_fields(const json::Value& envelope, Reject* reject,
+                             std::string* message) {
+  const std::string reason = require(envelope, "rejected").as_string();
+  if (!reject_from_string(reason, reject)) {
+    decode_fail("rejected", "unknown reason '" + reason + "'");
+  }
+  *message = get_string_or(envelope, "message", "");
+  return true;
+}
+
+}  // namespace
+
+json::Value encode_ingest_request(const ctrl::IngestRequest& request) {
+  json::Object envelope = encode_plan_fields(request.base);
+  envelope.emplace("op", "ingest");
+  envelope.emplace("trace", sim::trace_to_string(request.trace));
+  if (request.observed_seconds > 0.0) {
+    envelope.emplace("observed_seconds",
+                     encode_double(request.observed_seconds));
+  }
+  if (request.observed_scale > 0.0) {
+    envelope.emplace("observed_scale", encode_double(request.observed_scale));
+  }
+  return json::Value(std::move(envelope));
+}
+
+std::string encode_ingest_request_line(const ctrl::IngestRequest& request) {
+  return json::dump(encode_ingest_request(request));
+}
+
+std::optional<ctrl::IngestRequest> decode_ingest_request(
+    const json::Value& envelope, std::string* error) {
+  try {
+    check_envelope(envelope, "ingest");
+    ctrl::IngestRequest request(decode_plan_fields(envelope));
+    const json::Value& trace = require(envelope, "trace");
+    if (!trace.is_string()) {
+      decode_fail("trace", "must be a string in the mlcr trace text format");
+    }
+    request.trace = sim::trace_from_string(trace.as_string(),
+                                           request.base.config.levels());
+    if (const json::Value* member = envelope.find("observed_seconds")) {
+      std::string field_error;
+      if (!decode_double(*member, &request.observed_seconds, &field_error)) {
+        decode_fail("observed_seconds", field_error);
+      }
+    }
+    if (const json::Value* member = envelope.find("observed_scale")) {
+      std::string field_error;
+      if (!decode_double(*member, &request.observed_scale, &field_error)) {
+        decode_fail("observed_scale", field_error);
+      }
+    }
+    return request;
+  } catch (const common::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+}
+
+json::Value encode_ingest_report(const ctrl::IngestReport& report) {
+  json::Array levels;
+  for (const ctrl::LevelEstimate& level : report.levels) {
+    levels.push_back(json::Object{
+        {"events", static_cast<long>(level.events)},
+        {"exposure_seconds", encode_double(level.exposure_seconds)},
+        {"rate_mle", encode_double(level.rate_mle)},
+        {"rate_posterior", encode_double(level.rate_posterior)},
+        {"baseline_rate", encode_double(level.baseline_rate)},
+        {"cusum_statistic", encode_double(level.cusum_statistic)},
+        {"cusum_alarm", level.cusum_alarm},
+        {"drift", level.drift}});
+  }
+  return json::Object{{"key", report.key},
+                      {"label", report.label},
+                      {"batch_events", static_cast<long>(report.batch_events)},
+                      {"total_events", static_cast<long>(report.total_events)},
+                      {"levels", std::move(levels)},
+                      {"drift_detected", report.drift_detected},
+                      {"replanned", report.replanned},
+                      {"plan_epoch", static_cast<long>(report.plan_epoch)}};
+}
+
+std::string encode_ingest_report_line(const ctrl::IngestReport& report) {
+  return json::dump(json::Object{{"ok", true},
+                                 {"ingest", encode_ingest_report(report)},
+                                 {"v", kProtocolVersion}});
+}
+
+bool decode_ingest_report(const json::Value& value, ctrl::IngestReport* out,
+                          std::string* error) {
+  try {
+    if (!value.is_object()) decode_fail("ingest", "must be a JSON object");
+    ctrl::IngestReport report;
+    report.key = get_string_or(value, "key", "");
+    report.label = get_string_or(value, "label", "");
+    report.batch_events =
+        static_cast<std::uint64_t>(get_long(value, "batch_events"));
+    report.total_events =
+        static_cast<std::uint64_t>(get_long(value, "total_events"));
+    for (const json::Value& level : require(value, "levels").as_array()) {
+      ctrl::LevelEstimate estimate;
+      estimate.events = static_cast<std::uint64_t>(get_long(level, "events"));
+      estimate.exposure_seconds = get_double(level, "exposure_seconds");
+      estimate.rate_mle = get_double(level, "rate_mle");
+      estimate.rate_posterior = get_double(level, "rate_posterior");
+      estimate.baseline_rate = get_double(level, "baseline_rate");
+      estimate.cusum_statistic = get_double(level, "cusum_statistic");
+      estimate.cusum_alarm = get_bool_or(level, "cusum_alarm", false);
+      estimate.drift = get_bool_or(level, "drift", false);
+      report.levels.push_back(estimate);
+    }
+    report.drift_detected = get_bool_or(value, "drift_detected", false);
+    report.replanned = get_bool_or(value, "replanned", false);
+    report.plan_epoch =
+        static_cast<std::uint64_t>(get_long_or(value, "plan_epoch", 0));
+    *out = std::move(report);
+    return true;
+  } catch (const common::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+bool decode_ingest_response(const std::string& line, IngestResponse* out,
+                            std::string* error) {
+  const auto parsed = json::parse(line, error);
+  if (!parsed.has_value()) return false;
+  try {
+    if (!envelope_version_ok(*parsed, error)) return false;
+    const bool ok = require(*parsed, "ok").as_bool();
+    if (ok) {
+      out->accepted = true;
+      return decode_ingest_report(require(*parsed, "ingest"), &out->report,
+                                  error);
+    }
+    out->accepted = false;
+    return decode_rejection_fields(*parsed, &out->reject, &out->message);
+  } catch (const common::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+std::string encode_subscribe_request_line(const svc::PlanRequest& request) {
+  json::Object envelope = encode_plan_fields(request);
+  envelope.emplace("op", "subscribe");
+  return json::dump(json::Value(std::move(envelope)));
+}
+
+std::optional<svc::PlanRequest> decode_subscribe_request(
+    const json::Value& envelope, std::string* error) {
+  try {
+    check_envelope(envelope, "subscribe");
+    return decode_plan_fields(envelope);
+  } catch (const common::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+}
+
+std::string encode_subscribe_ack_line(const std::string& key,
+                                      std::uint64_t plan_epoch) {
+  return json::dump(json::Object{{"ok", true},
+                                 {"subscribed", true},
+                                 {"key", key},
+                                 {"plan_epoch", static_cast<long>(plan_epoch)},
+                                 {"v", kProtocolVersion}});
+}
+
+bool decode_subscribe_response(const std::string& line, SubscribeResponse* out,
+                               std::string* error) {
+  const auto parsed = json::parse(line, error);
+  if (!parsed.has_value()) return false;
+  try {
+    if (!envelope_version_ok(*parsed, error)) return false;
+    const bool ok = require(*parsed, "ok").as_bool();
+    if (ok) {
+      if (!get_bool_or(*parsed, "subscribed", false)) {
+        decode_fail("subscribed", "missing from subscribe ack");
+      }
+      out->accepted = true;
+      out->key = require(*parsed, "key").as_string();
+      out->plan_epoch =
+          static_cast<std::uint64_t>(get_long_or(*parsed, "plan_epoch", 0));
+      return true;
+    }
+    out->accepted = false;
+    return decode_rejection_fields(*parsed, &out->reject, &out->message);
+  } catch (const common::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+std::string encode_plan_event_line(const std::string& key,
+                                   std::uint64_t plan_epoch,
+                                   const svc::PlanReport& report) {
+  return json::dump(json::Object{{"event", "plan"},
+                                 {"key", key},
+                                 {"plan_epoch", static_cast<long>(plan_epoch)},
+                                 {"report", encode_report(report)},
+                                 {"v", kProtocolVersion}});
+}
+
+std::string encode_drained_event_line() {
+  return json::dump(
+      json::Object{{"event", "drained"}, {"v", kProtocolVersion}});
+}
+
+bool decode_push_event(const std::string& line, PushEvent* out,
+                       std::string* error) {
+  const auto parsed = json::parse(line, error);
+  if (!parsed.has_value()) return false;
+  try {
+    if (!parsed->is_object()) decode_fail("event", "must be a JSON object");
+    if (!envelope_version_ok(*parsed, error)) return false;
+    const json::Value* event = parsed->find("event");
+    if (event == nullptr || !event->is_string()) {
+      decode_fail("event", "not a push event line");
+    }
+    const std::string& kind = event->as_string();
+    if (kind == "drained") {
+      out->kind = PushEvent::Kind::kDrained;
+      return true;
+    }
+    if (kind != "plan") {
+      decode_fail("event", "unknown push event '" + kind + "'");
+    }
+    out->kind = PushEvent::Kind::kPlan;
+    out->key = require(*parsed, "key").as_string();
+    out->plan_epoch =
+        static_cast<std::uint64_t>(get_long_or(*parsed, "plan_epoch", 0));
+    return decode_report(require(*parsed, "report"), &out->report, error);
   } catch (const common::Error& e) {
     if (error != nullptr) *error = e.what();
     return false;

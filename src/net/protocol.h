@@ -8,6 +8,9 @@
 //   {"op":"validate",...plan fields...,"monte_carlo":{...},"v":1}
 //   {"op":"ping","v":1}
 //   {"op":"metrics","v":1}
+//   {"op":"ingest",...plan fields...,"trace":"<trace text>",
+//    "observed_seconds":"0x...","observed_scale":"0x...","v":1}
+//   {"op":"subscribe",...plan fields...,"v":1}
 //
 // Responses (one line, except metrics):
 //   {"ok":true,"report":{...},"v":1}                 — planned
@@ -15,6 +18,13 @@
 //   {"ok":false,"rejected":"<reason>","message":..,"v":1}
 //   {"ok":true,"pong":true,"v":1}                    — ping
 //   {"ok":true,"metrics_lines":N,"v":1}\n<N registry JSONL lines>
+//   {"ok":true,"ingest":{...}, "v":1}                — ingest accepted
+//   {"ok":true,"subscribed":true,"key":..,"plan_epoch":E,"v":1}
+//
+// Push events (to subscribed connections only, any time after the ack;
+// the control loop is in DESIGN.md §13):
+//   {"event":"plan","key":..,"plan_epoch":E,"report":{...},"v":1}
+//   {"event":"drained","v":1}                        — last line before close
 //
 // Versioning / compatibility rule: every request and response envelope
 // carries "v": kProtocolVersion.  An absent "v" means 1 (pre-versioning
@@ -35,10 +45,12 @@
 // and cannot represent every uint64).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "ctrl/replanner.h"
 #include "net/json.h"
 #include "svc/plan_request.h"
 #include "svc/sim_request.h"
@@ -126,6 +138,92 @@ enum class Reject {
 
 [[nodiscard]] bool decode_sim_report(const json::Value& value,
                                      svc::SimReport* out, std::string* error);
+
+// --- ingest request / report (op "ingest") ----------------------------
+
+/// Renders the full "ingest" op envelope: the plan fields identify the
+/// stream; the observed events travel as the sim::trace_io text format in
+/// the "trace" string member.
+[[nodiscard]] json::Value encode_ingest_request(
+    const ctrl::IngestRequest& request);
+[[nodiscard]] std::string encode_ingest_request_line(
+    const ctrl::IngestRequest& request);
+
+/// Decodes an "ingest" envelope (already parsed).  The embedded trace text
+/// is parsed against the config's level count, so every sim::read_trace
+/// rejection (garbage tokens, bad levels, non-ascending times) surfaces as
+/// a structured bad_request here, not a dropped connection.
+[[nodiscard]] std::optional<ctrl::IngestRequest> decode_ingest_request(
+    const json::Value& envelope, std::string* error);
+
+[[nodiscard]] json::Value encode_ingest_report(
+    const ctrl::IngestReport& report);
+/// The full accepted-response line {"ok":true,"ingest":{...},"v":1}.
+[[nodiscard]] std::string encode_ingest_report_line(
+    const ctrl::IngestReport& report);
+[[nodiscard]] bool decode_ingest_report(const json::Value& value,
+                                        ctrl::IngestReport* out,
+                                        std::string* error);
+
+/// One decoded response to an "ingest" op.
+struct IngestResponse {
+  bool accepted = false;
+  ctrl::IngestReport report;       ///< valid when accepted
+  Reject reject = Reject::kBadRequest;  ///< valid when !accepted
+  std::string message;             ///< rejection detail
+};
+
+[[nodiscard]] bool decode_ingest_response(const std::string& line,
+                                          IngestResponse* out,
+                                          std::string* error);
+
+// --- subscribe (op "subscribe") ----------------------------------------
+
+/// Renders the full "subscribe" op envelope (plan fields name the stream).
+[[nodiscard]] std::string encode_subscribe_request_line(
+    const svc::PlanRequest& request);
+[[nodiscard]] std::optional<svc::PlanRequest> decode_subscribe_request(
+    const json::Value& envelope, std::string* error);
+
+/// The acknowledgement {"ok":true,"subscribed":true,"key":..,
+/// "plan_epoch":E,"v":1} sent before any push event.
+[[nodiscard]] std::string encode_subscribe_ack_line(const std::string& key,
+                                                    std::uint64_t plan_epoch);
+
+/// One decoded response to a "subscribe" op.
+struct SubscribeResponse {
+  bool accepted = false;
+  std::string key;                 ///< valid when accepted
+  std::uint64_t plan_epoch = 0;    ///< epoch at subscription time
+  Reject reject = Reject::kBadRequest;  ///< valid when !accepted
+  std::string message;             ///< rejection detail
+};
+
+[[nodiscard]] bool decode_subscribe_response(const std::string& line,
+                                             SubscribeResponse* out,
+                                             std::string* error);
+
+// --- push events --------------------------------------------------------
+
+/// One server-initiated line on a subscribed connection: a revised plan, or
+/// the final "drained" notice sent during graceful shutdown.
+struct PushEvent {
+  enum class Kind { kPlan, kDrained };
+  Kind kind = Kind::kDrained;
+  std::string key;               ///< kPlan only
+  std::uint64_t plan_epoch = 0;  ///< kPlan only
+  svc::PlanReport report;        ///< kPlan only
+};
+
+[[nodiscard]] std::string encode_plan_event_line(
+    const std::string& key, std::uint64_t plan_epoch,
+    const svc::PlanReport& report);
+[[nodiscard]] std::string encode_drained_event_line();
+
+/// Parses one push-event line.  False = not a push event (transport-level
+/// failure or a non-event line).
+[[nodiscard]] bool decode_push_event(const std::string& line, PushEvent* out,
+                                     std::string* error);
 
 // --- response envelopes -----------------------------------------------
 

@@ -32,7 +32,8 @@ Server::Server(ServerOptions options)
       engine_(svc::SweepEngineOptions{.threads = 0,
                                       .cache_capacity =
                                           options.cache_capacity}),
-      queue_(options.queue_capacity) {}
+      queue_(options.queue_capacity),
+      replanner_(options.replanner) {}
 
 Server::~Server() { drain(); }
 
@@ -137,6 +138,29 @@ void Server::drain() {
       force_close_at = Clock::now() + flush_budget;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Subscribers are long-lived by design, so they get an explicit goodbye
+  // instead of waiting out the flush budget: push a final
+  // {"event":"drained"} to every subscribed conn and close it once the line
+  // flushed.  The wait is bounded the same way as the response flush above.
+  if (subscriber_count_.load(std::memory_order_acquire) > 0) {
+    for (auto& shard : shards_) {
+      Shard* raw = shard.get();
+      raw->reactor.post([this, raw] { push_drained(raw); });
+    }
+    auto drained_give_up = Clock::now() + flush_budget;
+    while (subscriber_count_.load(std::memory_order_acquire) > 0 ||
+           unflushed_.load(std::memory_order_acquire) > 0) {
+      if (bounded && Clock::now() >= drained_give_up) {
+        for (auto& shard : shards_) {
+          Shard* raw = shard.get();
+          raw->reactor.post([this, raw] { force_close_stalled(raw); });
+        }
+        drained_give_up = Clock::now() + flush_budget;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
   }
 
   for (auto& shard : shards_) shard->reactor.stop();
@@ -262,6 +286,26 @@ void Server::close_conn(Shard* shard, int fd) {
   if (it == shard->conns.end()) return;
   if (it->second->counted_unflushed) {
     unflushed_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  if (it->second->subscribed) {
+    // Unregister from the push directory; in-flight push tasks miss the
+    // conn-id check and are skipped.
+    const std::uint64_t conn_id = it->second->id;
+    std::lock_guard<std::mutex> lock(subs_mutex_);
+    const auto entry = subscribers_.find(it->second->sub_key);
+    if (entry != subscribers_.end()) {
+      auto& targets = entry->second;
+      for (auto target = targets.begin(); target != targets.end(); ++target) {
+        if (target->fd == fd && target->conn_id == conn_id) {
+          targets.erase(target);
+          break;
+        }
+      }
+      if (targets.empty()) subscribers_.erase(entry);
+    }
+    const auto count =
+        subscriber_count_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    metrics_.gauge("net.subscribers").set(static_cast<double>(count));
   }
   shard->reactor.remove_fd(fd);
   shard->conns.erase(it);  // Socket destructor closes the fd
@@ -458,6 +502,14 @@ void Server::handle_payload(Shard* shard, Conn* conn,
   }
   if (op == "validate") {
     handle_validate(shard, conn, started, *envelope);
+    return;
+  }
+  if (op == "ingest") {
+    handle_ingest(shard, conn, started, *envelope);
+    return;
+  }
+  if (op == "subscribe") {
+    handle_subscribe(shard, conn, started, *envelope);
     return;
   }
   // Unknown op: structured bad_request listing the supported ops.
@@ -676,13 +728,145 @@ void Server::deliver_validate(Shard* shard, int fd, std::uint64_t conn_id,
   respond(shard, conn, started, encode_sim_report_line(*report));
 }
 
+void Server::handle_ingest(Shard* shard, Conn* conn,
+                           Clock::time_point started,
+                           const json::Value& envelope) {
+  std::string error;
+  std::optional<ctrl::IngestRequest> request =
+      decode_ingest_request(envelope, &error);
+  if (!request.has_value()) {
+    reject_request(shard, conn, started, Reject::kBadRequest, error);
+    return;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    reject_request(shard, conn, started, Reject::kDraining,
+                   "server is draining");
+    return;
+  }
+
+  // Pure estimator arithmetic — safe on the reactor thread.  Batch
+  // validation failures (regressing windows, out-of-window events) surface
+  // as structured bad_requests, same as decode failures.
+  ctrl::IngestOutcome outcome;
+  try {
+    outcome = replanner_.ingest(*request);
+  } catch (const common::Error& e) {
+    reject_request(shard, conn, started, Reject::kBadRequest, e.what());
+    return;
+  }
+  respond(shard, conn, started, encode_ingest_report_line(outcome.report));
+  if (!outcome.revised.has_value()) return;
+
+  // Drift crossed the threshold: re-solve the revised request through the
+  // bounded queue and push the committed revision to the stream's
+  // subscribers.  No singleflight here — the replan_pending latch already
+  // guarantees one in-flight re-solve per stream.
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  auto job = [this, key = outcome.report.key,
+              revised = std::move(*outcome.revised)] {
+    const std::optional<svc::PlanReport> report =
+        engine_.plan_one(revised, std::nullopt);
+    const ctrl::RevisedPlan plan = replanner_.commit(key, *report);
+    publish_plan(key, plan);
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  };
+  if (!queue_.try_push(std::move(job))) {
+    // Shed the re-solve, keep the drifted estimators armed: the next batch
+    // re-triggers against a hopefully less loaded queue.
+    replanner_.cancel_replan(outcome.report.key);
+    metrics_.counter("ctrl.replan.shed").increment();
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+  metrics_.counter("net.admitted").increment();
+  metrics_.gauge("net.queue.depth").set(static_cast<double>(queue_.size()));
+}
+
+void Server::handle_subscribe(Shard* shard, Conn* conn,
+                              Clock::time_point started,
+                              const json::Value& envelope) {
+  std::string error;
+  std::optional<svc::PlanRequest> request =
+      decode_subscribe_request(envelope, &error);
+  if (!request.has_value()) {
+    reject_request(shard, conn, started, Reject::kBadRequest, error);
+    return;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    reject_request(shard, conn, started, Reject::kDraining,
+                   "server is draining");
+    return;
+  }
+  if (conn->subscribed) {
+    reject_request(shard, conn, started, Reject::kBadRequest,
+                   "connection already subscribed");
+    return;
+  }
+
+  const std::string key = svc::canonical_key(*request);
+  conn->subscribed = true;
+  conn->sub_key = key;
+  {
+    std::lock_guard<std::mutex> lock(subs_mutex_);
+    subscribers_[key].push_back(
+        Subscriber{shard->index, conn->socket.fd(), conn->id});
+  }
+  const auto count =
+      subscriber_count_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  metrics_.counter("net.subscriptions").increment();
+  metrics_.gauge("net.subscribers").set(static_cast<double>(count));
+  respond(shard, conn, started,
+          encode_subscribe_ack_line(key, replanner_.epoch(key)));
+}
+
+void Server::publish_plan(const std::string& key,
+                          const ctrl::RevisedPlan& plan) {
+  // Encode once, share the line across subscribers; each send runs on the
+  // subscriber's owning shard so connection state stays single-threaded.
+  auto line = std::make_shared<const std::string>(
+      encode_plan_event_line(key, plan.plan_epoch, plan.report));
+  std::vector<Subscriber> targets;
+  {
+    std::lock_guard<std::mutex> lock(subs_mutex_);
+    const auto it = subscribers_.find(key);
+    if (it != subscribers_.end()) targets = it->second;
+  }
+  for (const Subscriber& target : targets) {
+    Shard* shard = shards_[target.shard].get();
+    shard->reactor.post([this, shard, target, line] {
+      Conn* conn = find_conn(shard, target.fd, target.conn_id);
+      if (conn == nullptr) return;  // subscriber left since the snapshot
+      metrics_.counter("net.pushes").increment();
+      send_payload(shard, conn, *line);
+    });
+  }
+}
+
+void Server::push_drained(Shard* shard) {
+  // Runs on the shard's loop thread during drain: every subscriber gets a
+  // final {"event":"drained"} line and closes once it flushed.
+  std::vector<int> subscribed;
+  for (const auto& [fd, conn] : shard->conns) {
+    if (conn->subscribed) subscribed.push_back(fd);
+  }
+  for (const int fd : subscribed) {
+    const auto it = shard->conns.find(fd);
+    if (it == shard->conns.end()) continue;
+    Conn* conn = it->second.get();
+    conn->close_after_flush = true;
+    send_payload(shard, conn, encode_drained_event_line());
+  }
+}
+
 void Server::write_metrics(Shard* shard, Conn* conn,
                            Clock::time_point started) {
   metrics_.counter("net.metrics_requests").increment();
   metrics_.gauge("net.queue.depth").set(static_cast<double>(queue_.size()));
-  // Daemon counters and engine (cache/solver) instruments, one namespace.
+  // Daemon counters, engine (cache/solver), and control-plane instruments,
+  // one namespace.
   std::string jsonl = metrics_.to_jsonl();
   jsonl += engine_.metrics().to_jsonl();
+  jsonl += replanner_.metrics().to_jsonl();
   if (!jsonl.empty() && jsonl.back() != '\n') jsonl.push_back('\n');
   std::size_t lines = 0;
   for (const char c : jsonl) {

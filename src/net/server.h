@@ -28,24 +28,39 @@
 // requests on one connection are delivered in completion order, not request
 // order — reports carry `key`/`label` for matching.
 //
+// Control plane (DESIGN.md §13): op "ingest" folds observed failure events
+// into the ctrl::Replanner on the reactor thread (pure arithmetic, no
+// blocking) and answers immediately; when the batch crosses the drift
+// threshold the revised request is re-solved through the same bounded
+// admission queue, committed (plan_epoch + 1), and the epoch-stamped
+// revised report is pushed to every connection subscribed to the stream's
+// canonical key.  Op "subscribe" upgrades a connection to a long-lived
+// subscriber on its owning shard; pushes travel as Reactor::post tasks to
+// that shard, so subscriber state stays single-threaded.  A full queue
+// sheds the re-solve (ctrl.replan.shed) and re-arms the drift trigger for
+// the next batch — ingest responses themselves are never dropped.
+//
 // Graceful drain (SIGINT/SIGTERM via common::shutdown, or drain()):
-//   set draining (new plan/validate frames get "rejected: draining";
-//   ping/metrics still answered) -> close the listener -> wait until every
-//   admitted request has been answered and every output buffer flushed
-//   (the flush wait is bounded by drain_flush_timeout_ms: a peer that
-//   stops reading is force-closed rather than hanging shutdown) -> stop
-//   and join the reactors -> answer any straggler admitted in the instant
-//   before the draining flag became visible (its delivery lands on the
-//   stopped reactor; the drain thread, now sole owner of all shard state,
-//   runs it directly) -> close the queue -> join solver workers.  Nothing
-//   already admitted is dropped, short of its peer refusing to read the
-//   response.
+//   set draining (new plan/validate/ingest/subscribe frames get
+//   "rejected: draining"; ping/metrics still answered) -> close the
+//   listener -> wait until every admitted request has been answered (re-plan
+//   pushes included) and every output buffer flushed (the flush wait is
+//   bounded by drain_flush_timeout_ms: a peer that stops reading is
+//   force-closed rather than hanging shutdown) -> push a final
+//   {"event":"drained"} to every subscriber and close it once flushed
+//   (bounded the same way) -> stop and join the reactors -> answer any
+//   straggler admitted in the instant before the draining flag became
+//   visible (its delivery lands on the stopped reactor; the drain thread,
+//   now sole owner of all shard state, runs it directly) -> close the
+//   queue -> join solver workers.  Nothing already admitted is dropped,
+//   short of its peer refusing to read the response.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -54,6 +69,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "ctrl/replanner.h"
 #include "net/codec.h"
 #include "net/json.h"
 #include "net/protocol.h"
@@ -87,6 +103,9 @@ struct ServerOptions {
   /// (metric net.drain.force_closed) so one stalled connection cannot hang
   /// shutdown.  0 = wait forever.
   long drain_flush_timeout_ms = 5000;
+  /// Drift thresholds of the online re-planning control loop (op "ingest"
+  /// / op "subscribe"; DESIGN.md §13).
+  ctrl::ReplannerOptions replanner;
 };
 
 class Server {
@@ -125,6 +144,8 @@ class Server {
   }
   [[nodiscard]] svc::SweepEngine& engine() noexcept { return engine_; }
 
+  [[nodiscard]] ctrl::Replanner& replanner() noexcept { return replanner_; }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -140,6 +161,8 @@ class Server {
     bool counted_unflushed = false;  ///< counted in unflushed_
     bool codec_counted = false;      ///< counted in net.codec.<name>
     bool close_after_flush = false;
+    bool subscribed = false;  ///< long-lived push subscriber (op "subscribe")
+    std::string sub_key;      ///< canonical plan key the conn subscribed to
   };
 
   struct Shard {
@@ -162,6 +185,20 @@ class Server {
                    const json::Value& envelope);
   void handle_validate(Shard* shard, Conn* conn, Clock::time_point started,
                        const json::Value& envelope);
+  /// Folds one observed-failure batch into the replanner, answers inline,
+  /// and schedules the drift re-solve when the batch crossed the threshold.
+  void handle_ingest(Shard* shard, Conn* conn, Clock::time_point started,
+                     const json::Value& envelope);
+  /// Upgrades the connection to a long-lived subscriber of its plan key.
+  void handle_subscribe(Shard* shard, Conn* conn, Clock::time_point started,
+                        const json::Value& envelope);
+  /// Called on a solver worker after the revised solve: posts the
+  /// epoch-stamped plan event to every subscriber of `key` (on their owning
+  /// shards).
+  void publish_plan(const std::string& key, const ctrl::RevisedPlan& plan);
+  /// Runs on the shard's loop during drain: sends {"event":"drained"} to
+  /// every subscribed conn and closes it once the event flushed.
+  void push_drained(Shard* shard);
   void write_metrics(Shard* shard, Conn* conn, Clock::time_point started);
   /// Frames `payload` in the connection's codec and queues/flushes it.
   void send_payload(Shard* shard, Conn* conn, std::string_view payload);
@@ -205,6 +242,21 @@ class Server {
 
   svc::Singleflight<svc::PlanReport> plan_flight_;
   svc::Singleflight<svc::SimReport> sim_flight_;
+
+  ctrl::Replanner replanner_;
+
+  /// Subscriber directory: canonical plan key -> delivery addresses.  The
+  /// map is written on shard threads (subscribe/close) and snapshotted on
+  /// solver workers (publish), hence the mutex; per-connection state stays
+  /// shard-owned.  Declared before shards_ (posted push tasks touch it).
+  struct Subscriber {
+    std::size_t shard = 0;
+    int fd = -1;
+    std::uint64_t conn_id = 0;
+  };
+  mutable std::mutex subs_mutex_;
+  std::unordered_map<std::string, std::vector<Subscriber>> subscribers_;
+  std::atomic<std::uint64_t> subscriber_count_{0};
 
   std::atomic<std::uint64_t> next_shard_{0};   ///< round-robin accept cursor
   std::atomic<std::uint64_t> conn_ids_{0};

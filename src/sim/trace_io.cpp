@@ -1,6 +1,8 @@
 #include "sim/trace_io.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/error.h"
@@ -67,10 +69,29 @@ FailureTrace read_trace(std::istream& in, std::size_t levels) {
     }
     std::istringstream fields(line);
     double at = 0.0;
-    long level = 0;
-    if (!(fields >> at >> level)) {
+    std::string level_token;
+    if (!(fields >> at >> level_token)) {
       common::fail("read_trace: malformed line " +
                    std::to_string(line_number) + ": '" + line + "'");
+    }
+    if (!std::isfinite(at)) {
+      common::fail("read_trace: non-finite time on line " +
+                   std::to_string(line_number));
+    }
+    // The level must be a bare decimal integer: "2.5" or "2x" silently
+    // truncating to 2 would misfile events, so reject anything strtol does
+    // not consume whole.
+    char* level_end = nullptr;
+    const long level = std::strtol(level_token.c_str(), &level_end, 10);
+    if (level_end == level_token.c_str() || *level_end != '\0') {
+      common::fail("read_trace: malformed level '" + level_token +
+                   "' on line " + std::to_string(line_number) +
+                   " (expected a bare integer)");
+    }
+    std::string garbage;
+    if (fields >> garbage) {
+      common::fail("read_trace: trailing garbage '" + garbage +
+                   "' on line " + std::to_string(line_number));
     }
     if (level < 1 || static_cast<std::size_t>(level) > levels) {
       common::fail("read_trace: level out of range on line " +

@@ -22,8 +22,10 @@ namespace mlcr::sim {
 void write_trace(std::ostream& out, const FailureTrace& trace);
 [[nodiscard]] std::string trace_to_string(const FailureTrace& trace);
 
-/// Parses the text format; throws common::Error on malformed input,
-/// non-ascending times within a level, or levels outside [1, levels].
+/// Parses the text format; throws common::Error (naming the line) on
+/// malformed input: unparseable fields, trailing garbage tokens after the
+/// two fields, non-finite or negative times, non-integer level tokens,
+/// levels outside [1, levels], or non-ascending times within a level.
 [[nodiscard]] FailureTrace read_trace(std::istream& in, std::size_t levels);
 [[nodiscard]] FailureTrace trace_from_string(const std::string& text,
                                              std::size_t levels);

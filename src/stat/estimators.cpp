@@ -1,0 +1,77 @@
+#include "stat/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlcr::stat {
+
+void RateMle::observe(std::uint64_t events, double exposure_seconds) noexcept {
+  events_ += events;
+  if (exposure_seconds > 0.0) exposure_ += exposure_seconds;
+}
+
+double RateMle::rate() const noexcept {
+  if (exposure_ <= 0.0) return 0.0;
+  return static_cast<double>(events_) / exposure_;
+}
+
+GammaPoisson::GammaPoisson(double shape, double rate)
+    : shape_(shape), rate_(rate) {
+  MLCR_EXPECT(std::isfinite(shape) && shape > 0.0,
+              "GammaPoisson: prior shape must be positive");
+  MLCR_EXPECT(std::isfinite(rate) && rate > 0.0,
+              "GammaPoisson: prior rate must be positive");
+}
+
+GammaPoisson GammaPoisson::from_mean(double mean_rate, double shape) {
+  MLCR_EXPECT(std::isfinite(mean_rate) && mean_rate > 0.0,
+              "GammaPoisson: prior mean rate must be positive");
+  return GammaPoisson(shape, shape / mean_rate);
+}
+
+void GammaPoisson::observe(std::uint64_t events, double exposure_seconds) {
+  MLCR_EXPECT(std::isfinite(exposure_seconds) && exposure_seconds >= 0.0,
+              "GammaPoisson: exposure must be non-negative");
+  shape_ += static_cast<double>(events);
+  rate_ += exposure_seconds;
+}
+
+Cusum::Cusum(double reference_rate, double shift_factor, double threshold)
+    : reference_(reference_rate),
+      shift_(shift_factor),
+      threshold_(threshold),
+      log_shift_(std::log(shift_factor)) {
+  MLCR_EXPECT(std::isfinite(reference_rate) && reference_rate > 0.0,
+              "Cusum: reference rate must be positive");
+  MLCR_EXPECT(std::isfinite(shift_factor) && shift_factor > 1.0,
+              "Cusum: shift factor must exceed 1");
+  MLCR_EXPECT(std::isfinite(threshold) && threshold > 0.0,
+              "Cusum: threshold must be positive");
+}
+
+bool Cusum::observe_gap(double gap_seconds) {
+  MLCR_EXPECT(std::isfinite(gap_seconds) && gap_seconds >= 0.0,
+              "Cusum: gap must be non-negative");
+  // Exponential log-likelihood ratios for one gap x under rate r vs r0:
+  //   llr = ln(r / r0) - (r - r0) x.
+  // Up:   r = shift * r0 -> ln(shift) - (shift - 1) r0 x
+  // Down: r = r0 / shift -> -ln(shift) + (1 - 1/shift) r0 x
+  const double scaled = reference_ * gap_seconds;
+  up_ = std::max(0.0, up_ + log_shift_ - (shift_ - 1.0) * scaled);
+  down_ = std::max(0.0, down_ - log_shift_ + (1.0 - 1.0 / shift_) * scaled);
+  if (up_ >= threshold_ || down_ >= threshold_) alarmed_ = true;
+  return alarmed_;
+}
+
+void Cusum::reset(double reference_rate) {
+  MLCR_EXPECT(std::isfinite(reference_rate) && reference_rate > 0.0,
+              "Cusum: reference rate must be positive");
+  reference_ = reference_rate;
+  up_ = 0.0;
+  down_ = 0.0;
+  alarmed_ = false;
+}
+
+}  // namespace mlcr::stat

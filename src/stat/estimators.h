@@ -1,0 +1,111 @@
+// Online failure-rate estimation for the re-planning control plane
+// (DESIGN.md §13).  The paper freezes the per-level rates b_i a priori;
+// these estimators let a long-lived daemon learn them from observed failure
+// events instead:
+//
+//   RateMle       streaming maximum-likelihood Poisson rate: the process is
+//                 Poisson with unknown rate lambda, so after K events over
+//                 exposure T seconds the MLE is simply K / T.
+//   GammaPoisson  conjugate Bayesian posterior: a Gamma(alpha, beta) prior
+//                 on lambda updated by (K, T) stays Gamma(alpha+K, beta+T).
+//                 Seeding the prior at the *planned* rate makes the
+//                 posterior mean shrink toward the plan while evidence is
+//                 thin and converge to K/T as exposure grows — exactly the
+//                 regularization a drift test wants.
+//   Cusum         change-point detection over inter-arrival times: a
+//                 two-sided CUSUM of the exponential log-likelihood ratio
+//                 between the reference rate lambda_0 and a shifted rate
+//                 rho * lambda_0 (up) / lambda_0 / rho (down).  Alarms much
+//                 earlier than the cumulative ratio test after an abrupt
+//                 rate change, because old evidence never dilutes the
+//                 statistic.
+//
+// All three are tiny deterministic value types: same observations in, same
+// state out, no clocks, no RNG — the control plane's bit-exact re-plan
+// contract depends on this.
+#pragma once
+
+#include <cstdint>
+
+namespace mlcr::stat {
+
+/// Streaming Poisson-rate MLE: rate() = total events / total exposure.
+class RateMle {
+ public:
+  /// Folds one observation window: `events` arrivals over
+  /// `exposure_seconds` of wall-clock observation (must be >= 0).
+  void observe(std::uint64_t events, double exposure_seconds) noexcept;
+
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+  [[nodiscard]] double exposure_seconds() const noexcept { return exposure_; }
+  /// Events per second; 0 while no exposure has been observed.
+  [[nodiscard]] double rate() const noexcept;
+
+ private:
+  std::uint64_t events_ = 0;
+  double exposure_ = 0.0;
+};
+
+/// Conjugate Gamma–Poisson posterior over an arrival rate.
+class GammaPoisson {
+ public:
+  /// Gamma(shape, rate) prior — `rate` is the inverse-scale beta, i.e.
+  /// pseudo-exposure seconds; `shape` is pseudo-events.  Both must be > 0.
+  GammaPoisson(double shape, double rate);
+
+  /// Prior centered on `mean_rate` (events/second) with `shape`
+  /// pseudo-events of strength: beta = shape / mean_rate.
+  [[nodiscard]] static GammaPoisson from_mean(double mean_rate, double shape);
+
+  /// Conjugate update: shape += events, rate += exposure.
+  void observe(std::uint64_t events, double exposure_seconds);
+
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  /// Posterior mean alpha / beta (events per second).
+  [[nodiscard]] double mean() const noexcept { return shape_ / rate_; }
+  /// Posterior variance alpha / beta^2.
+  [[nodiscard]] double variance() const noexcept {
+    return shape_ / (rate_ * rate_);
+  }
+
+ private:
+  double shape_;
+  double rate_;
+};
+
+/// Two-sided CUSUM over exponential inter-arrival gaps.  The up detector
+/// tests H1: rate = shift_factor * reference against H0: rate = reference;
+/// the down detector tests rate = reference / shift_factor.  Each gap x
+/// adds the exponential log-likelihood ratio to its side's statistic,
+/// clamped at zero (Page's recursion); an alarm latches once either side
+/// reaches `threshold` and stays raised until reset().
+class Cusum {
+ public:
+  /// `reference_rate` (events/second) and `shift_factor` > 1 define the
+  /// hypotheses; `threshold` trades detection delay against false alarms
+  /// (expected delay after a true shift is ~threshold / E[llr per gap]).
+  Cusum(double reference_rate, double shift_factor, double threshold);
+
+  /// Observes one inter-arrival gap (seconds, >= 0); returns alarmed().
+  bool observe_gap(double gap_seconds);
+
+  [[nodiscard]] bool alarmed() const noexcept { return alarmed_; }
+  [[nodiscard]] double up_statistic() const noexcept { return up_; }
+  [[nodiscard]] double down_statistic() const noexcept { return down_; }
+  [[nodiscard]] double reference_rate() const noexcept { return reference_; }
+
+  /// Re-arms the detector against a new reference rate (post re-plan).
+  void reset(double reference_rate);
+
+ private:
+  double reference_;
+  double shift_;
+  double threshold_;
+  double log_shift_;  ///< cached ln(shift_factor)
+  double up_ = 0.0;
+  double down_ = 0.0;
+  bool alarmed_ = false;
+};
+
+}  // namespace mlcr::stat

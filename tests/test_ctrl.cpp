@@ -1,0 +1,275 @@
+// Unit tests for the ctrl::Replanner drift loop on counter-based synthetic
+// traces chosen so every posterior works out in exact arithmetic:
+//   * events exactly on the planned schedule (one per 1/lambda seconds) keep
+//     the Gamma-Poisson posterior mean at exactly the planned rate, so
+//     stationary streams never drift;
+//   * doubling one level's event rate for three days pushes its posterior
+//     ratio to ~1.71 (>= the 1.5 default) and drives the CUSUM past its
+//     threshold, so drift fires deterministically.
+#include "ctrl/replanner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "exp/cases.h"
+#include "svc/plan_request.h"
+
+namespace mlcr::ctrl {
+namespace {
+
+constexpr double kDay = 86400.0;
+
+/// The paper's headline system: rates 16-12-8-4 per day at N_b = 1e6.
+svc::PlanRequest paper_request() {
+  return {exp::make_fti_system(3e6, exp::paper_failure_cases()[0]),
+          opt::Solution::kMultilevelOptScale,
+          {},
+          "ctrl-test"};
+}
+
+/// Events exactly every `interval` seconds in (start, end].
+std::vector<double> schedule(double start, double end, double interval) {
+  std::vector<double> events;
+  for (double t = start + interval; t <= end; t += interval) {
+    events.push_back(t);
+  }
+  return events;
+}
+
+/// One observation window with every level exactly on the planned schedule,
+/// except level 1 which fires every `l1_interval` seconds.
+IngestRequest batch(const svc::PlanRequest& base, double start, double end,
+                    double l1_interval) {
+  IngestRequest request(base);
+  request.trace.arrivals_per_level = {
+      schedule(start, end, l1_interval),
+      schedule(start, end, kDay / 12.0),
+      schedule(start, end, kDay / 8.0),
+      schedule(start, end, kDay / 4.0),
+  };
+  request.observed_seconds = end;
+  return request;
+}
+
+TEST(CtrlReplanner, StationaryBatchTriggersNoReplan) {
+  Replanner replanner;
+  // A full day exactly on schedule: 16+12+8+4 events.
+  const auto outcome =
+      replanner.ingest(batch(paper_request(), 0.0, kDay, kDay / 16.0));
+  EXPECT_EQ(outcome.report.batch_events, 40u);
+  EXPECT_EQ(outcome.report.total_events, 40u);
+  EXPECT_FALSE(outcome.report.drift_detected);
+  EXPECT_FALSE(outcome.revised.has_value());
+  EXPECT_EQ(outcome.report.plan_epoch, 0u);
+  ASSERT_EQ(outcome.report.levels.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    // On-schedule counts leave the posterior mean exactly at the plan.
+    EXPECT_DOUBLE_EQ(outcome.report.levels[i].rate_posterior,
+                     outcome.report.levels[i].baseline_rate)
+        << "level " << i + 1;
+    EXPECT_FALSE(outcome.report.levels[i].drift);
+    EXPECT_FALSE(outcome.report.levels[i].cusum_alarm);
+  }
+  // Stationary follow-up days stay quiet too.
+  const auto later = replanner.ingest(
+      batch(paper_request(), kDay, 2.0 * kDay, kDay / 16.0));
+  EXPECT_FALSE(later.report.drift_detected);
+  EXPECT_EQ(replanner.epoch(later.report.key), 0u);
+}
+
+TEST(CtrlReplanner, DoubledLevelOneRateTriggersReplan) {
+  Replanner replanner;
+  const auto base = paper_request();
+  ASSERT_FALSE(
+      replanner.ingest(batch(base, 0.0, kDay, kDay / 16.0)).revised.has_value());
+  // Days 2-4: level 1 fires every 2700 s (32/day, double the planned 16).
+  const auto outcome =
+      replanner.ingest(batch(base, kDay, 4.0 * kDay, 2700.0));
+  EXPECT_TRUE(outcome.report.drift_detected);
+  ASSERT_TRUE(outcome.revised.has_value());
+  EXPECT_TRUE(outcome.report.replanned);
+  ASSERT_EQ(outcome.report.levels.size(), 4u);
+
+  const auto& l1 = outcome.report.levels[0];
+  EXPECT_TRUE(l1.drift);
+  EXPECT_TRUE(l1.cusum_alarm);
+  // Posterior in exact arithmetic: prior (4, 4*5400) + 112 events over 4 days.
+  const double expected_l1 = 116.0 / (4.0 * 5400.0 + 4.0 * kDay);
+  EXPECT_DOUBLE_EQ(l1.rate_posterior, expected_l1);
+  EXPECT_GE(l1.rate_posterior / l1.baseline_rate, 1.5);
+  // On-schedule levels stay pinned to their baselines: no collateral drift.
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(outcome.report.levels[i].rate_posterior,
+                     outcome.report.levels[i].baseline_rate);
+    EXPECT_FALSE(outcome.report.levels[i].drift);
+  }
+
+  // The revised request carries the posterior rates back in per-day form
+  // (observed scale == baseline scale, so the conversion is just *86400).
+  const auto& revised_rates = outcome.revised->config.rates();
+  EXPECT_DOUBLE_EQ(revised_rates.per_day_at_baseline(0), expected_l1 * kDay);
+  EXPECT_DOUBLE_EQ(revised_rates.per_day_at_baseline(1), 12.0);
+  EXPECT_DOUBLE_EQ(revised_rates.per_day_at_baseline(3), 4.0);
+  EXPECT_DOUBLE_EQ(revised_rates.baseline_scale(),
+                   base.config.rates().baseline_scale());
+  // Everything that is not a failure rate is untouched.
+  EXPECT_DOUBLE_EQ(outcome.revised->config.te(), base.config.te());
+  EXPECT_EQ(outcome.revised->options.max_outer_iterations,
+            base.options.max_outer_iterations);
+}
+
+TEST(CtrlReplanner, CommitBumpsEpochAndRearmsEstimators) {
+  Replanner replanner;
+  const auto base = paper_request();
+  (void)replanner.ingest(batch(base, 0.0, kDay, kDay / 16.0));
+  const auto outcome =
+      replanner.ingest(batch(base, kDay, 4.0 * kDay, 2700.0));
+  ASSERT_TRUE(outcome.revised.has_value());
+  const std::string key = outcome.report.key;
+  EXPECT_EQ(replanner.epoch(key), 0u);
+
+  svc::PlanReport solved;
+  solved.label = "revised";
+  const auto revised = replanner.commit(key, solved);
+  EXPECT_EQ(revised.plan_epoch, 1u);
+  EXPECT_EQ(revised.report.label, "revised");
+  EXPECT_EQ(replanner.epoch(key), 1u);
+
+  // Post-commit the stream keys on the ORIGINAL base request (same ingest
+  // address), but its estimators are re-centered on the revised rates: a
+  // day exactly on the revised level-1 schedule reads as stationary.
+  const double revised_l1 = 116.0 / (4.0 * 5400.0 + 4.0 * kDay);
+  auto follow_up = batch(base, 4.0 * kDay, 5.0 * kDay, 1.0 / revised_l1);
+  const auto after = replanner.ingest(follow_up);
+  EXPECT_EQ(after.report.plan_epoch, 1u);
+  ASSERT_EQ(after.report.levels.size(), 4u);
+  EXPECT_DOUBLE_EQ(after.report.levels[0].baseline_rate, revised_l1);
+  // 1/revised_l1 is not an exact divisor of the day, so the count rounds
+  // down by a fraction of an event — near the baseline, not exactly on it.
+  EXPECT_NEAR(after.report.levels[0].rate_posterior, revised_l1,
+              0.02 * revised_l1);
+  EXPECT_FALSE(after.report.drift_detected);
+  // Level counters restarted at the commit.
+  EXPECT_EQ(after.report.levels[0].events,
+            static_cast<std::uint64_t>(std::floor(kDay * revised_l1)));
+}
+
+TEST(CtrlReplanner, RevisedRequestIsDeterministicAcrossReplanners) {
+  // Same trace into two independent replanners: byte-identical revisions,
+  // hence equal canonical keys — the bit-exactness the push layer relies on.
+  const auto base = paper_request();
+  std::string keys[2];
+  for (int i = 0; i < 2; ++i) {
+    Replanner replanner;
+    (void)replanner.ingest(batch(base, 0.0, kDay, kDay / 16.0));
+    const auto outcome =
+        replanner.ingest(batch(base, kDay, 4.0 * kDay, 2700.0));
+    EXPECT_TRUE(outcome.revised.has_value());
+    keys[i] = svc::canonical_key(*outcome.revised);
+  }
+  EXPECT_EQ(keys[0], keys[1]);
+}
+
+TEST(CtrlReplanner, CancelReplanRetriggersOnNextBatch) {
+  Replanner replanner;
+  const auto base = paper_request();
+  (void)replanner.ingest(batch(base, 0.0, kDay, kDay / 16.0));
+  const auto first = replanner.ingest(batch(base, kDay, 4.0 * kDay, 2700.0));
+  ASSERT_TRUE(first.revised.has_value());
+  // While a revision is in flight, further drifted batches do not schedule
+  // another one...
+  const auto queued =
+      replanner.ingest(batch(base, 4.0 * kDay, 5.0 * kDay, 2700.0));
+  EXPECT_TRUE(queued.report.drift_detected);
+  EXPECT_FALSE(queued.revised.has_value());
+  // ...but cancelling (solver queue shed the job) re-arms the trigger.
+  replanner.cancel_replan(first.report.key);
+  const auto retried =
+      replanner.ingest(batch(base, 5.0 * kDay, 6.0 * kDay, 2700.0));
+  EXPECT_TRUE(retried.revised.has_value());
+  EXPECT_EQ(replanner.epoch(first.report.key), 0u);
+}
+
+TEST(CtrlReplanner, MinEventsFloorSuppressesThinEvidence) {
+  ReplannerOptions options;
+  options.min_events = 50;
+  Replanner replanner(options);
+  // Half a day with level 1 at 4x its planned rate: posterior ratio ~3, but
+  // the stream total (32+6+4+2 = 44 events) sits under the 50-event floor.
+  const auto thin = replanner.ingest(
+      batch(paper_request(), 0.0, kDay / 2.0, 1350.0));
+  EXPECT_LT(thin.report.total_events, 50u);
+  EXPECT_GE(thin.report.levels[0].rate_posterior /
+                thin.report.levels[0].baseline_rate,
+            1.5);
+  EXPECT_FALSE(thin.report.drift_detected);
+  EXPECT_FALSE(thin.revised.has_value());
+}
+
+TEST(CtrlReplanner, RejectsInvalidBatches) {
+  Replanner replanner;
+  const auto base = paper_request();
+  (void)replanner.ingest(batch(base, 0.0, kDay, kDay / 16.0));
+
+  // Regressing observation window.
+  EXPECT_THROW((void)replanner.ingest(batch(base, 0.0, kDay, kDay / 16.0)),
+               common::Error);
+  // Event outside the declared window.
+  {
+    auto bad = batch(base, kDay, 2.0 * kDay, kDay / 16.0);
+    bad.trace.arrivals_per_level[0].push_back(3.0 * kDay);
+    EXPECT_THROW((void)replanner.ingest(bad), common::Error);
+  }
+  // Level count mismatch against the plan's 4 levels.
+  {
+    IngestRequest bad(base);
+    bad.trace.arrivals_per_level = {{kDay + 1.0}};
+    bad.observed_seconds = 2.0 * kDay;
+    EXPECT_THROW((void)replanner.ingest(bad), common::Error);
+  }
+  // Observed scale changed mid-stream.
+  {
+    auto bad = batch(base, kDay, 2.0 * kDay, kDay / 16.0);
+    bad.observed_scale = 5e5;
+    EXPECT_THROW((void)replanner.ingest(bad), common::Error);
+  }
+  // Unknown stream commit / no pending replan.
+  EXPECT_THROW((void)replanner.commit("no-such-stream", {}), common::Error);
+}
+
+TEST(CtrlReplanner, CommitWithoutPendingReplanThrows) {
+  Replanner replanner;
+  const auto outcome =
+      replanner.ingest(batch(paper_request(), 0.0, kDay, kDay / 16.0));
+  EXPECT_THROW((void)replanner.commit(outcome.report.key, {}), common::Error);
+}
+
+TEST(CtrlReplanner, MetricsCountTheLoop) {
+  Replanner replanner;
+  const auto base = paper_request();
+  (void)replanner.ingest(batch(base, 0.0, kDay, kDay / 16.0));
+  const auto outcome =
+      replanner.ingest(batch(base, kDay, 4.0 * kDay, 2700.0));
+  ASSERT_TRUE(outcome.revised.has_value());
+  (void)replanner.commit(outcome.report.key, {});
+  const auto snapshot = replanner.metrics().snapshot();
+  auto counter = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [key, value] : snapshot.counters) {
+      if (key == name) return value;
+    }
+    return 0;
+  };
+  EXPECT_EQ(counter("ctrl.ingest.batches"), 2u);
+  EXPECT_GT(counter("ctrl.ingest.events"), 0u);
+  EXPECT_EQ(counter("ctrl.drift.detected"), 1u);
+  EXPECT_EQ(counter("ctrl.replan.scheduled"), 1u);
+  EXPECT_EQ(counter("ctrl.replans"), 1u);
+  EXPECT_EQ(replanner.streams(), 1u);
+}
+
+}  // namespace
+}  // namespace mlcr::ctrl

@@ -1,0 +1,169 @@
+#include "stat/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "model/failure.h"
+#include "sim/trace_io.h"
+
+namespace {
+
+using namespace mlcr;
+using stat::Cusum;
+using stat::GammaPoisson;
+using stat::RateMle;
+
+TEST(RateMleTest, ZeroObservationsYieldZeroRate) {
+  RateMle mle;
+  EXPECT_EQ(mle.events(), 0u);
+  EXPECT_EQ(mle.rate(), 0.0);
+  // Exposure without events: the MLE is genuinely zero, not undefined.
+  mle.observe(0, 1000.0);
+  EXPECT_EQ(mle.rate(), 0.0);
+  EXPECT_EQ(mle.exposure_seconds(), 1000.0);
+}
+
+TEST(RateMleTest, SingleEvent) {
+  RateMle mle;
+  mle.observe(1, 250.0);
+  EXPECT_EQ(mle.events(), 1u);
+  EXPECT_DOUBLE_EQ(mle.rate(), 1.0 / 250.0);
+}
+
+TEST(RateMleTest, AccumulatesAcrossBatches) {
+  RateMle mle;
+  mle.observe(3, 100.0);
+  mle.observe(7, 300.0);
+  EXPECT_EQ(mle.events(), 10u);
+  EXPECT_DOUBLE_EQ(mle.rate(), 10.0 / 400.0);
+}
+
+TEST(GammaPoissonTest, PriorFromMeanIsCenteredOnTheMean) {
+  const double mean = 16.0 / 86400.0;
+  const auto prior = GammaPoisson::from_mean(mean, 4.0);
+  EXPECT_DOUBLE_EQ(prior.mean(), mean);
+  EXPECT_DOUBLE_EQ(prior.shape(), 4.0);
+}
+
+TEST(GammaPoissonTest, ZeroEventsPullTheMeanDown) {
+  const double mean = 1.0 / 5400.0;
+  auto posterior = GammaPoisson::from_mean(mean, 4.0);
+  // A long empty window is evidence the rate is lower than planned.
+  posterior.observe(0, 86400.0);
+  EXPECT_LT(posterior.mean(), mean);
+  EXPECT_GT(posterior.mean(), 0.0);
+}
+
+TEST(GammaPoissonTest, SingleEventStaysNearThePrior) {
+  const double mean = 1.0 / 5400.0;
+  auto posterior = GammaPoisson::from_mean(mean, 4.0);
+  posterior.observe(1, 5400.0);
+  // One on-schedule event should barely move a 4-pseudo-event prior.
+  EXPECT_NEAR(posterior.mean(), mean, 0.05 * mean);
+}
+
+TEST(GammaPoissonTest, ConjugateUpdateIsExact) {
+  auto posterior = GammaPoisson(2.0, 100.0);
+  posterior.observe(5, 400.0);
+  EXPECT_DOUBLE_EQ(posterior.shape(), 7.0);
+  EXPECT_DOUBLE_EQ(posterior.rate(), 500.0);
+  EXPECT_DOUBLE_EQ(posterior.mean(), 7.0 / 500.0);
+  EXPECT_DOUBLE_EQ(posterior.variance(), 7.0 / (500.0 * 500.0));
+}
+
+TEST(GammaPoissonTest, PosteriorConvergesToTheTrueRate) {
+  // Draw a long synthetic trace at the paper's headline rates and check the
+  // posterior lands on the true per-second rate for every level.
+  const model::FailureRates rates({16.0, 12.0, 8.0, 4.0}, 1e6);
+  const double horizon = 30.0 * 86400.0;
+  common::Rng rng(1234);
+  const auto trace = sim::draw_poisson_trace(rates, 1e6, horizon, rng);
+  for (std::size_t level = 0; level < rates.levels(); ++level) {
+    const double truth = rates.rate_per_second(level, 1e6);
+    // Deliberately mis-centered prior: convergence must come from the data.
+    auto posterior = GammaPoisson::from_mean(4.0 * truth, 4.0);
+    posterior.observe(trace.arrivals_per_level[level].size(), horizon);
+    EXPECT_NEAR(posterior.mean(), truth, 0.15 * truth)
+        << "level " << level + 1;
+    // And the posterior keeps tightening: sd well under the mean.
+    EXPECT_LT(std::sqrt(posterior.variance()), 0.2 * posterior.mean());
+  }
+}
+
+TEST(GammaPoissonTest, RejectsInvalidParameters) {
+  EXPECT_THROW(GammaPoisson(0.0, 1.0), common::Error);
+  EXPECT_THROW(GammaPoisson(1.0, -1.0), common::Error);
+  EXPECT_THROW((void)GammaPoisson::from_mean(0.0, 4.0), common::Error);
+  auto posterior = GammaPoisson(1.0, 1.0);
+  EXPECT_THROW(posterior.observe(1, -5.0), common::Error);
+}
+
+TEST(CusumTest, StationaryStreamRaisesNoFalseAlarm) {
+  // 5 independent stationary streams of 2000 exponential gaps at exactly the
+  // reference rate: none may alarm at threshold 8 (ARL at h=8 is far beyond
+  // 2000 events).
+  const double rate = 1.0 / 5400.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    common::Rng rng(seed);
+    Cusum cusum(rate, 2.0, 8.0);
+    for (int i = 0; i < 2000; ++i) {
+      cusum.observe_gap(rng.exponential(rate));
+    }
+    EXPECT_FALSE(cusum.alarmed()) << "seed " << seed;
+  }
+}
+
+TEST(CusumTest, DetectsDoubledRate) {
+  const double rate = 1.0 / 5400.0;
+  common::Rng rng(42);
+  Cusum cusum(rate, 2.0, 8.0);
+  int events_to_alarm = 0;
+  while (!cusum.alarmed()) {
+    cusum.observe_gap(rng.exponential(2.0 * rate));
+    ++events_to_alarm;
+    ASSERT_LT(events_to_alarm, 1000);
+  }
+  // Expected detection delay is ~h / E[increment] ~= 26 events; allow slack.
+  EXPECT_LT(events_to_alarm, 200);
+  EXPECT_GE(cusum.up_statistic(), 8.0);
+}
+
+TEST(CusumTest, DetectsHalvedRate) {
+  const double rate = 1.0 / 5400.0;
+  common::Rng rng(42);
+  Cusum cusum(rate, 2.0, 8.0);
+  int events_to_alarm = 0;
+  while (!cusum.alarmed()) {
+    cusum.observe_gap(rng.exponential(0.5 * rate));
+    ++events_to_alarm;
+    ASSERT_LT(events_to_alarm, 1000);
+  }
+  EXPECT_GE(cusum.down_statistic(), 8.0);
+}
+
+TEST(CusumTest, AlarmLatchesUntilReset) {
+  const double rate = 1.0 / 100.0;
+  Cusum cusum(rate, 2.0, 1.0);
+  while (!cusum.alarmed()) cusum.observe_gap(1.0);  // near-zero gaps: rate up
+  // On-rate gaps afterwards do not clear the alarm.
+  cusum.observe_gap(100.0);
+  EXPECT_TRUE(cusum.alarmed());
+  cusum.reset(2.0 * rate);
+  EXPECT_FALSE(cusum.alarmed());
+  EXPECT_EQ(cusum.up_statistic(), 0.0);
+  EXPECT_EQ(cusum.down_statistic(), 0.0);
+  EXPECT_DOUBLE_EQ(cusum.reference_rate(), 2.0 * rate);
+}
+
+TEST(CusumTest, RejectsInvalidParameters) {
+  EXPECT_THROW(Cusum(0.0, 2.0, 8.0), common::Error);
+  EXPECT_THROW(Cusum(1.0, 1.0, 8.0), common::Error);
+  EXPECT_THROW(Cusum(1.0, 2.0, 0.0), common::Error);
+  Cusum cusum(1.0, 2.0, 8.0);
+  EXPECT_THROW(cusum.observe_gap(-1.0), common::Error);
+}
+
+}  // namespace

@@ -443,7 +443,7 @@ TEST(NetProtocol, UnknownOpLineListsSupportedOps) {
   EXPECT_FALSE(response.accepted);
   EXPECT_EQ(response.reject, Reject::kBadRequest);
   EXPECT_NE(response.message.find("frobnicate"), std::string::npos);
-  EXPECT_NE(response.message.find("plan|validate|ping|metrics"),
+  EXPECT_NE(response.message.find("plan|validate|ping|metrics|ingest|subscribe"),
             std::string::npos)
       << response.message;
   const json::Value parsed = parse_ok(line);
@@ -457,8 +457,8 @@ TEST(NetProtocol, UnknownOpLineListsSupportedOps) {
 }
 
 TEST(NetProtocol, SupportedOpsAreStable) {
-  const std::vector<std::string> expected = {"plan", "validate", "ping",
-                                             "metrics"};
+  const std::vector<std::string> expected = {
+      "plan", "validate", "ping", "metrics", "ingest", "subscribe"};
   EXPECT_EQ(supported_ops(), expected);
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "ctrl/replanner.h"
 #include "exp/cases.h"
 #include "net/client.h"
 #include "net/json.h"
@@ -380,7 +381,7 @@ TEST(NetServer, UnknownOpAnswersStructuredErrorListingSupportedOps) {
   EXPECT_EQ(response.reject, Reject::kBadRequest);
   EXPECT_NE(response.message.find("frobnicate"), std::string::npos)
       << response.message;
-  EXPECT_NE(response.message.find("plan|validate|ping|metrics"),
+  EXPECT_NE(response.message.find("plan|validate|ping|metrics|ingest|subscribe"),
             std::string::npos)
       << response.message;
   // The supported ops also ride along as a structured array.
@@ -432,6 +433,192 @@ TEST(NetServer, ServerDefaultDeadlineAppliesWhenRequestCarriesNone) {
   // An explicit per-request deadline overrides the server default.
   const Response solved = client.plan(paper_request(), 60000);
   ASSERT_TRUE(solved.accepted) << solved.message;
+}
+
+// --- control plane: ingest + subscribe ---------------------------------
+
+constexpr double kDay = 86400.0;
+
+/// Events exactly every `interval` seconds in (start, end].
+std::vector<double> on_schedule(double start, double end, double interval) {
+  std::vector<double> events;
+  for (double t = start + interval; t <= end; t += interval) {
+    events.push_back(t);
+  }
+  return events;
+}
+
+/// One observation window with every level exactly on the planned schedule
+/// (rates 16-12-8-4 per day), except level 1 which fires every
+/// `l1_interval` seconds.  On-schedule counts keep the Gamma-Poisson
+/// posterior mean exactly at the planned rate, so the stationary windows
+/// below provably never drift (see test_ctrl.cpp for the arithmetic).
+ctrl::IngestRequest ctrl_batch(const svc::PlanRequest& base, double start,
+                               double end, double l1_interval) {
+  ctrl::IngestRequest request(base);
+  request.trace.arrivals_per_level = {
+      on_schedule(start, end, l1_interval),
+      on_schedule(start, end, kDay / 12.0),
+      on_schedule(start, end, kDay / 8.0),
+      on_schedule(start, end, kDay / 4.0),
+  };
+  request.observed_seconds = end;
+  return request;
+}
+
+TEST(IngestOp, FoldsBatchesAndAnswersEstimatorState) {
+  Server server(small_server());
+  server.start();
+  Client client({.port = server.port()});
+
+  const svc::PlanRequest base = paper_request();
+  const IngestResponse response =
+      client.ingest(ctrl_batch(base, 0.0, kDay, kDay / 16.0));
+  ASSERT_TRUE(response.accepted) << response.message;
+  EXPECT_EQ(response.report.key, svc::canonical_key(base));
+  EXPECT_EQ(response.report.batch_events, 40u);
+  EXPECT_FALSE(response.report.drift_detected);
+  EXPECT_FALSE(response.report.replanned);
+  ASSERT_EQ(response.report.levels.size(), 4u);
+  // Estimator state round-trips bit-exactly (hex-float doubles).
+  EXPECT_DOUBLE_EQ(response.report.levels[0].rate_posterior,
+                   response.report.levels[0].baseline_rate);
+
+  // A regressing observation window is a structured bad_request, and the
+  // connection survives to serve the corrected retry.
+  const IngestResponse regressed =
+      client.ingest(ctrl_batch(base, 0.0, kDay, kDay / 16.0));
+  ASSERT_FALSE(regressed.accepted);
+  EXPECT_EQ(regressed.reject, Reject::kBadRequest);
+  const IngestResponse retried =
+      client.ingest(ctrl_batch(base, kDay, 2.0 * kDay, kDay / 16.0));
+  EXPECT_TRUE(retried.accepted) << retried.message;
+  EXPECT_EQ(retried.report.total_events, 80u);
+}
+
+TEST(IngestOp, MalformedTraceTextIsAStructuredBadRequest) {
+  Server server(small_server());
+  server.start();
+  Connection conn(connect_to("127.0.0.1", server.port(), 5000));
+
+  // A syntactically valid envelope whose embedded trace text is garbage:
+  // the sim::read_trace rejection surfaces as a bad_request naming the
+  // offending line, not as a dropped connection.
+  json::Value envelope =
+      encode_ingest_request(ctrl_batch(paper_request(), 0.0, kDay, 5400.0));
+  json::Object corrupted = envelope.as_object();
+  corrupted["trace"] = json::Value(std::string("1.5 2 junk"));
+  ASSERT_TRUE(conn.write_line(json::dump(json::Value(corrupted))));
+  std::string line;
+  ASSERT_EQ(conn.read_line(&line, 5000), Connection::ReadResult::kLine);
+  IngestResponse response;
+  std::string error;
+  ASSERT_TRUE(decode_ingest_response(line, &response, &error)) << error;
+  EXPECT_FALSE(response.accepted);
+  EXPECT_EQ(response.reject, Reject::kBadRequest);
+  EXPECT_NE(response.message.find("line 1"), std::string::npos)
+      << response.message;
+}
+
+TEST(SubscribeOp, AcksWithKeyAndRejectsDoubleSubscribe) {
+  Server server(small_server());
+  server.start();
+  Client client({.port = server.port()});
+
+  const svc::PlanRequest base = paper_request();
+  const SubscribeResponse ack = client.subscribe(base);
+  ASSERT_TRUE(ack.accepted) << ack.message;
+  EXPECT_EQ(ack.key, svc::canonical_key(base));
+  EXPECT_EQ(ack.plan_epoch, 0u);
+
+  const SubscribeResponse again = client.subscribe(base);
+  ASSERT_FALSE(again.accepted);
+  EXPECT_EQ(again.reject, Reject::kBadRequest);
+  EXPECT_NE(again.message.find("already subscribed"), std::string::npos)
+      << again.message;
+}
+
+/// The acceptance loop end to end under one codec: subscribe, ingest a
+/// stationary day (no push), ingest three drifted days (push), and check
+/// the pushed report is bit-identical to an in-process re-solve of the
+/// re-estimated config.
+void drift_push_round_trip(Codec codec) {
+  Server server(small_server());
+  server.start();
+  const svc::PlanRequest base = paper_request();
+
+  Client subscriber({.port = server.port(), .codec = codec});
+  const SubscribeResponse ack = subscriber.subscribe(base);
+  ASSERT_TRUE(ack.accepted) << ack.message;
+
+  // Day 1 exactly on the planned schedule: stationary, nothing pushed.
+  Client ingester({.port = server.port(), .codec = codec});
+  const IngestResponse quiet =
+      ingester.ingest(ctrl_batch(base, 0.0, kDay, kDay / 16.0));
+  ASSERT_TRUE(quiet.accepted) << quiet.message;
+  EXPECT_FALSE(quiet.report.drift_detected);
+  EXPECT_FALSE(subscriber.poll_event(200).has_value());
+
+  // Days 2-4: level 1 fires every 2700 s (double its planned 16/day).  The
+  // posterior ratio crosses 1.5 and the CUSUM alarms, so the daemon
+  // re-solves and pushes the revision.
+  const IngestResponse drifted =
+      ingester.ingest(ctrl_batch(base, kDay, 4.0 * kDay, 2700.0));
+  ASSERT_TRUE(drifted.accepted) << drifted.message;
+  EXPECT_TRUE(drifted.report.drift_detected);
+  EXPECT_TRUE(drifted.report.replanned);
+
+  const std::optional<PushEvent> pushed = subscriber.poll_event(60000);
+  ASSERT_TRUE(pushed.has_value());
+  ASSERT_EQ(pushed->kind, PushEvent::Kind::kPlan);
+  EXPECT_EQ(pushed->key, svc::canonical_key(base));
+  EXPECT_EQ(pushed->plan_epoch, 1u);
+
+  // Bit-exactness: replay the same two batches through a fresh in-process
+  // Replanner and solve the revision locally — the pushed report must match
+  // field for field.
+  ctrl::Replanner replay;
+  (void)replay.ingest(ctrl_batch(base, 0.0, kDay, kDay / 16.0));
+  const ctrl::IngestOutcome outcome =
+      replay.ingest(ctrl_batch(base, kDay, 4.0 * kDay, 2700.0));
+  ASSERT_TRUE(outcome.revised.has_value());
+  svc::SweepEngine engine({.threads = 1});
+  const svc::PlanReport local = *engine.plan_one(*outcome.revised);
+  EXPECT_EQ(fingerprint(pushed->report), fingerprint(local));
+  EXPECT_EQ(pushed->report.plan().scale, local.plan().scale);
+  EXPECT_EQ(pushed->report.plan().intervals, local.plan().intervals);
+
+  // A stationary follow-up at the revised rate stays quiet.
+  const double revised_l1 = 116.0 / (4.0 * 5400.0 + 4.0 * kDay);
+  const IngestResponse after = ingester.ingest(
+      ctrl_batch(base, 4.0 * kDay, 5.0 * kDay, 1.0 / revised_l1));
+  ASSERT_TRUE(after.accepted) << after.message;
+  EXPECT_FALSE(after.report.drift_detected);
+  EXPECT_EQ(after.report.plan_epoch, 1u);
+  EXPECT_FALSE(subscriber.poll_event(200).has_value());
+}
+
+TEST(SubscribeOp, DriftPushesRevisedPlanBitExactJson) {
+  drift_push_round_trip(Codec::kJson);
+}
+
+TEST(SubscribeOp, DriftPushesRevisedPlanBitExactBinary) {
+  drift_push_round_trip(Codec::kBinary);
+}
+
+TEST(SubscribeOp, DrainNotifiesSubscribersBeforeClosing) {
+  Server server(small_server());
+  server.start();
+  Client subscriber({.port = server.port()});
+  ASSERT_TRUE(subscriber.subscribe(paper_request()).accepted);
+
+  std::thread drainer([&server] { server.drain(); });
+  const std::optional<PushEvent> event = subscriber.poll_event(10000);
+  drainer.join();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, PushEvent::Kind::kDrained);
+  // The drained line is the last one: the server closes the connection.
+  EXPECT_THROW((void)subscriber.poll_event(5000), common::Error);
 }
 
 }  // namespace

@@ -38,6 +38,34 @@ TEST(TraceIo, RejectsMalformedLines) {
   EXPECT_THROW((void)trace_from_string("1.0\n", 4), common::Error);
 }
 
+TEST(TraceIo, RejectsTrailingGarbageTokens) {
+  EXPECT_THROW((void)trace_from_string("1.5 2 junk\n", 4), common::Error);
+  EXPECT_THROW((void)trace_from_string("1.5 2 3\n", 4), common::Error);
+}
+
+TEST(TraceIo, RejectsNonFiniteTimes) {
+  EXPECT_THROW((void)trace_from_string("inf 1\n", 4), common::Error);
+  EXPECT_THROW((void)trace_from_string("nan 1\n", 4), common::Error);
+  EXPECT_THROW((void)trace_from_string("-1.0 1\n", 4), common::Error);
+}
+
+TEST(TraceIo, RejectsNonIntegerLevelTokens) {
+  // Levels like "2.5" or "2x" must not silently truncate to 2.
+  EXPECT_THROW((void)trace_from_string("1.0 2.5\n", 4), common::Error);
+  EXPECT_THROW((void)trace_from_string("1.0 2x\n", 4), common::Error);
+  EXPECT_THROW((void)trace_from_string("1.0 x2\n", 4), common::Error);
+}
+
+TEST(TraceIo, MalformedErrorsNameTheLine) {
+  try {
+    (void)trace_from_string("1.0 1\n2.0 haircut\n", 4);
+    FAIL() << "expected common::Error";
+  } catch (const common::Error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
+}
+
 TEST(TraceIo, RejectsOutOfRangeLevels) {
   EXPECT_THROW((void)trace_from_string("1.0 0\n", 4), common::Error);
   EXPECT_THROW((void)trace_from_string("1.0 5\n", 4), common::Error);

@@ -8,7 +8,8 @@
 //   naked-lock              no manual .lock()/.unlock(); RAII guards only
 //   net-blocking-call       no blocking accept/connect/read/write/recv/send
 //                           in reactor-managed sources (src/net/reactor*,
-//                           src/net/server*); socket.cpp helpers only
+//                           src/net/server*, src/ctrl — Replanner::ingest
+//                           runs on shard threads); socket.cpp helpers only
 //   net-locale              no locale-sensitive numeric text in src/net
 //   unguarded-math          exp/log/sqrt/pow in src/model + src/opt must
 //                           route through the num::checked_* finite guards
