@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Regenerates the mlcr-lint graph baseline and fails if the committed
+# tools/mlcr-lint/baseline.txt is stale.
+#
+#   scripts/lint_baseline.sh [build-dir]      # default: build
+#
+# The baseline records accepted findings as `path|rule|message` keys
+# (line-insensitive, so unrelated edits above a finding don't churn it).
+# This script re-runs the graph lint with --write-baseline into a temp
+# file and diffs the key lines against the committed file:
+#
+#   * identical  -> exit 0 (the baseline is in sync with the tree)
+#   * different  -> exit 1 with the diff; either fix the new findings or,
+#     if they are accepted debt, copy the regenerated file over the
+#     committed one and commit both together.
+#
+# The regeneration is deterministic: findings are sorted by
+# (path, line, rule, message) before serialization and the comment header
+# is fixed text, so two runs over the same tree produce byte-identical
+# baselines regardless of thread count.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+lint="$build_dir/tools/mlcr-lint"
+committed="tools/mlcr-lint/baseline.txt"
+
+if [ ! -x "$lint" ]; then
+  echo "lint_baseline: $lint not built (cmake --build $build_dir first)" >&2
+  exit 2
+fi
+if [ ! -f "$committed" ]; then
+  echo "lint_baseline: $committed missing" >&2
+  exit 2
+fi
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+
+# --write-baseline exits 0 even when findings exist: the point is to
+# capture them, not to fail on them.
+"$lint" --graph --write-baseline "$fresh" src examples bench tests
+
+# Compare only the `path|rule|message` key lines; comment headers may
+# legitimately differ in wording between generator versions.
+if ! diff -u \
+    <(grep -v '^#' "$committed" | grep -v '^[[:space:]]*$' | sort) \
+    <(grep -v '^#' "$fresh" | grep -v '^[[:space:]]*$' | sort); then
+  echo "lint_baseline: STALE — committed $committed does not match the tree." >&2
+  echo "lint_baseline: fix the findings above, or accept them with:" >&2
+  echo "lint_baseline:   cp $fresh $committed   (and commit the change)" >&2
+  trap - EXIT  # keep the regenerated file around for the cp
+  exit 1
+fi
+
+echo "lint_baseline: OK ($committed is in sync)"

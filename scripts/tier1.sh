@@ -3,7 +3,11 @@
 #
 #   1. standard build (-Werror) + full ctest suite
 #   2. mlcr-lint over the whole tree (also a ctest case; run standalone here
-#      so a lint regression fails with the findings on stderr, not a ctest log)
+#      so a lint regression fails with the findings on stderr, not a ctest
+#      log), then the --graph whole-repo pass (lock-order, transitive
+#      blocking calls, determinism taint, metric-name drift) against the
+#      committed baseline, plus a baseline staleness check.  Under
+#      $GITHUB_ACTIONS both lint runs emit ::error annotations.
 #   3. self-contained-header check (each header compiles standalone)
 #   4. clang-tidy via scripts/run_tidy.sh (no-op with a warning when the
 #      container has no clang-tidy)
@@ -263,7 +267,18 @@ if ! grep -q '"deterministic":true' BENCH_sim.json; then
 fi
 
 echo "== tier-1: mlcr-lint project invariants =="
-./build/tools/mlcr-lint src examples bench tests
+# Under GitHub Actions, emit ::error annotations so findings land inline on
+# the PR diff; locally, plain text on stderr.
+lint_format=text
+if [ -n "${GITHUB_ACTIONS:-}" ]; then lint_format=github; fi
+./build/tools/mlcr-lint --format="$lint_format" src examples bench tests
+
+echo "== tier-1: mlcr-lint whole-repo graph analysis =="
+./build/tools/mlcr-lint --graph --format="$lint_format" \
+  --baseline tools/mlcr-lint/baseline.txt src examples bench tests
+
+echo "== tier-1: mlcr-lint baseline is in sync =="
+scripts/lint_baseline.sh build
 
 echo "== tier-1: self-contained headers =="
 scripts/check_headers.sh

@@ -2,6 +2,7 @@
 
 #include <sys/epoll.h>
 
+#include <algorithm>
 #include <functional>
 #include <future>
 #include <utility>
@@ -842,14 +843,20 @@ void Server::publish_plan(const std::string& key,
   }
 }
 
-void Server::push_drained(Shard* shard) {
-  // Runs on the shard's loop thread during drain: every subscriber gets a
-  // final {"event":"drained"} line and closes once it flushed.
+std::vector<int> Server::subscribed_fds(const Shard* shard) {
   std::vector<int> subscribed;
   for (const auto& [fd, conn] : shard->conns) {
     if (conn->subscribed) subscribed.push_back(fd);
   }
-  for (const int fd : subscribed) {
+  std::sort(subscribed.begin(), subscribed.end());
+  return subscribed;
+}
+
+void Server::push_drained(Shard* shard) {
+  // Runs on the shard's loop thread during drain: every subscriber gets a
+  // final {"event":"drained"} line and closes once it flushed, in sorted fd
+  // order so the drain sequence is reproducible.
+  for (const int fd : subscribed_fds(shard)) {
     const auto it = shard->conns.find(fd);
     if (it == shard->conns.end()) continue;
     Conn* conn = it->second.get();

@@ -199,6 +199,9 @@ class Server {
   /// Runs on the shard's loop during drain: sends {"event":"drained"} to
   /// every subscribed conn and closes it once the event flushed.
   void push_drained(Shard* shard);
+  /// Subscribed fds on `shard`, sorted ascending so drain traffic leaves in
+  /// a reproducible order (conns is hash-ordered).
+  [[nodiscard]] static std::vector<int> subscribed_fds(const Shard* shard);
   void write_metrics(Shard* shard, Conn* conn, Clock::time_point started);
   /// Frames `payload` in the connection's codec and queues/flushes it.
   void send_payload(Shard* shard, Conn* conn, std::string_view payload);

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <exception>
 #include <future>
+#include <map>
 #include <utility>
 
 #include "common/error.h"
@@ -178,8 +179,10 @@ std::vector<PlanReport> SweepEngine::plan_sweep(
   std::vector<PlanReport> reports(n);
   std::vector<std::string> keys(n);
   // Group request indices sharing a key: each unique key is solved at most
-  // once per sweep, and only if the cache misses.
-  std::unordered_map<std::string, std::vector<std::size_t>> by_key;
+  // once per sweep, and only if the cache misses.  Ordered map: submission
+  // order, cache-insert order and queue-wait metrics stay reproducible
+  // run-to-run (the sweep is tiny, so the log(n) lookup cost is noise).
+  std::map<std::string, std::vector<std::size_t>> by_key;
   for (std::size_t i = 0; i < n; ++i) {
     keys[i] = canonical_key(requests[i]);
     by_key[keys[i]].push_back(i);

@@ -1,0 +1,19 @@
+// Graph-rule fixture: one misspelled metric name a single edit away from
+// the dominant spelling, plus a dynamic prefix use that must stay exempt.
+#include <string>
+
+namespace fx::common {
+
+class Registry {
+ public:
+  int counter(const std::string&) { return 0; }
+};
+
+void record(Registry& metrics_) {
+  metrics_.counter("net.requests_total");
+  metrics_.counter("net.requests_total");
+  metrics_.counter("net.request_total");
+  metrics_.counter("net.codec." + std::string("framed"));
+}
+
+}  // namespace fx::common

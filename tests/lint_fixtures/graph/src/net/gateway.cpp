@@ -1,0 +1,21 @@
+// Graph-rule fixture: a reactor-entry class whose helper chain hides a raw
+// blocking syscall two hops away (tests/test_mlcr_lint.cpp pins the witness
+// path).  handle_quiet reaches only the allow()-suppressed twin.
+namespace fx::svc {
+void flush_side_channel(int fd);
+void quiet_flush(int fd);
+}  // namespace fx::svc
+
+namespace fx::net {
+
+class Server {
+ public:
+  void handle_payload(int fd);
+  void handle_quiet(int fd);
+};
+
+void Server::handle_payload(int fd) { fx::svc::flush_side_channel(fd); }
+
+void Server::handle_quiet(int fd) { fx::svc::quiet_flush(fd); }
+
+}  // namespace fx::net

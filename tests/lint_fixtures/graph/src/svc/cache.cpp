@@ -1,0 +1,16 @@
+// Graph-rule fixture: Cache locks its own mutex, then calls into Stats
+// (one half of the lock-order cycle pinned in tests/test_mlcr_lint.cpp).
+#include "types.h"
+
+namespace fx::svc {
+
+void Cache::refill() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_->bump();
+}
+
+void Cache::evict() {
+  std::lock_guard<std::mutex> lock(mu_);
+}
+
+}  // namespace fx::svc

@@ -1,0 +1,29 @@
+// Graph-rule fixture: a thread-id plus unordered-iteration salt flowing
+// into a canonical-key sink, and an allow()'d twin that must stay silent.
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace fx::svc {
+
+std::string canonical_key(const std::string& salt) { return salt; }
+
+std::string salt_token(const std::unordered_map<int, int>& buckets) {
+  std::string salt;
+  const auto tid = std::this_thread::get_id();
+  (void)tid;
+  for (const auto& [k, v] : buckets) {
+    salt += static_cast<char>('a' + k % 26);
+    (void)v;
+  }
+  return canonical_key(salt);
+}
+
+std::string stable_token() {
+  // mlcr-lint: allow(determinism-taint) fixture twin, suppressed.
+  const auto tid = std::this_thread::get_id();
+  (void)tid;
+  return canonical_key("x");
+}
+
+}  // namespace fx::svc

@@ -1,0 +1,23 @@
+// Graph-rule fixture: the hash-ordered grouping shape SweepEngine::plan_sweep
+// had before its std::map fix — indexed together with canonical.cpp so the
+// cross-TU witness (group_and_key -> canonical_key) stays pinned.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fx::svc {
+
+std::string canonical_key(const std::string& salt);
+
+std::string group_and_key(const std::vector<std::string>& reqs) {
+  std::unordered_map<std::string, int> by_key;
+  for (const std::string& r : reqs) by_key[r] += 1;
+  std::string out;
+  for (const auto& [key, count] : by_key) {
+    out += canonical_key(key);
+    (void)count;
+  }
+  return out;
+}
+
+}  // namespace fx::svc

@@ -1,0 +1,18 @@
+// Graph-rule fixture: helpers that bury a blocking ::write() behind an
+// innocent-looking name, plus an allow()'d twin that must stay silent.
+namespace fx::svc {
+
+void sync_log(int fd) {
+  const char byte = '!';
+  ::write(fd, &byte, 1);
+}
+
+void flush_side_channel(int fd) { sync_log(fd); }
+
+void quiet_flush(int fd) {
+  const char byte = '.';
+  // mlcr-lint: allow(blocking-call-transitive) fixture twin, suppressed.
+  ::write(fd, &byte, 1);
+}
+
+}  // namespace fx::svc

@@ -1,0 +1,16 @@
+// Graph-rule fixture: Stats locks its own mutex, then calls back into
+// Cache, closing the Cache::mu_ -> Stats::mu_ -> Cache::mu_ cycle.
+#include "types.h"
+
+namespace fx::svc {
+
+void Stats::bump() {
+  std::lock_guard<std::mutex> lock(mu_);
+}
+
+void Stats::report() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_->evict();
+}
+
+}  // namespace fx::svc

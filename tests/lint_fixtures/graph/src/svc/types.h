@@ -1,0 +1,31 @@
+// Graph-rule fixture: two types whose methods acquire each other's mutexes
+// in opposite orders (cache.cpp / stats.cpp complete the cycle).
+#pragma once
+
+#include <mutex>
+
+namespace fx::svc {
+
+class Stats;
+
+class Cache {
+ public:
+  void refill();
+  void evict();
+
+ private:
+  std::mutex mu_;
+  Stats* stats_ = nullptr;
+};
+
+class Stats {
+ public:
+  void bump();
+  void report();
+
+ private:
+  std::mutex mu_;
+  Cache* cache_ = nullptr;
+};
+
+}  // namespace fx::svc

@@ -1,15 +1,24 @@
 // mlcr-lint's own test suite: fixture files with known violations (exact
 // rule-id + line assertions), suppression behavior, scanner precision
-// (comments/strings/deleted functions), and the repo-wide guarantee that
-// the real tree is clean — the same check `mlcr_lint_tree` enforces from
-// ctest, but failing with a readable diff here.
+// (comments/strings/deleted functions), the two-pass graph rules (witness
+// paths pinned against tests/lint_fixtures/graph/), output renderers (SARIF
+// validated with the repo's own JSON parser), and the repo-wide guarantee
+// that the real tree is clean under both passes — the same checks
+// `mlcr_lint_tree` / `mlcr_lint_graph_tree` enforce from ctest, but failing
+// with a readable diff here.
 #include "lint.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "graph_rules.h"
+#include "index.h"
+#include "net/json.h"
 
 namespace mlcr::lint {
 namespace {
@@ -191,6 +200,363 @@ TEST(MlcrLint, RuleTableCoversEveryEmittedRule) {
         << finding.rule;
   }
   EXPECT_FALSE(findings.empty());
+}
+
+// --- allow() directive parsing ---------------------------------------------
+
+TEST(MlcrLint, AllowListsParseCommaAndSpaceSeparatedIds) {
+  const std::string comma =
+      "int* p = new int;  // mlcr-lint: allow(raw-memory, naked-lock)\n";
+  EXPECT_TRUE(lint_file("src/opt/x.cpp", comma).empty());
+  const std::string space =
+      "int* p = new int;  // mlcr-lint: allow(raw-memory naked-lock)\n";
+  EXPECT_TRUE(lint_file("src/opt/x.cpp", space).empty());
+  // A list that names only other rules must not suppress.
+  const std::string miss =
+      "int* p = new int;  // mlcr-lint: allow(naked-lock, net-locale)\n";
+  EXPECT_EQ(lint_file("src/opt/x.cpp", miss).size(), 1u);
+}
+
+// --- io-error findings -----------------------------------------------------
+
+TEST(MlcrLint, IoErrorFindingShapeIsPinned) {
+  const auto findings = lint_paths({fixture("does/not/exist.cpp")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "io-error");
+  EXPECT_EQ(findings[0].line, 0);
+  EXPECT_EQ(findings[0].message, "no such file or directory");
+  EXPECT_EQ(findings[0].path, fixture("does/not/exist.cpp"));
+}
+
+// --- graph rules -----------------------------------------------------------
+
+std::vector<Finding> graph_findings(const std::vector<std::string>& files,
+                                    const Options& options = Options()) {
+  std::vector<Finding> findings;
+  const Index index = build_index(files, 1, &findings, nullptr);
+  std::vector<Finding> graph = run_graph_rules(index, options);
+  findings.insert(findings.end(), std::make_move_iterator(graph.begin()),
+                  std::make_move_iterator(graph.end()));
+  sort_findings(&findings);
+  return findings;
+}
+
+TEST(MlcrLintGraph, BlockingTransitiveWitnessPathIsPinned) {
+  const auto findings =
+      graph_findings({fixture("graph/src/net/gateway.cpp"),
+                      fixture("graph/src/svc/side_channel.cpp")});
+  // One hit: the buried ::write().  The allow()'d twin reached from
+  // handle_quiet stays silent.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "blocking-call-transitive");
+  EXPECT_EQ(findings[0].path, fixture("graph/src/svc/side_channel.cpp"));
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_NE(findings[0].message.find(
+                "blocking `::write()` reachable from reactor entry "
+                "`fx::net::Server::handle_payload` via "
+                "fx::net::Server::handle_payload -> "
+                "fx::svc::flush_side_channel -> fx::svc::sync_log"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(MlcrLintGraph, LockOrderCycleWitnessIsPinned) {
+  const auto findings = graph_findings({fixture("graph/src/svc/types.h"),
+                                        fixture("graph/src/svc/cache.cpp"),
+                                        fixture("graph/src/svc/stats.cpp")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-order");
+  const std::string& message = findings[0].message;
+  EXPECT_NE(message.find("mutex acquisition-order cycle: "
+                         "`fx::svc::Cache::mu_` -> `fx::svc::Stats::mu_` -> "
+                         "`fx::svc::Cache::mu_`"),
+            std::string::npos)
+      << message;
+  // Both edges carry an acquisition site and a caller chain.
+  EXPECT_NE(message.find("`fx::svc::Stats::mu_` acquired with "
+                         "`fx::svc::Cache::mu_` held at " +
+                         fixture("graph/src/svc/stats.cpp") +
+                         ":8 (fx::svc::Cache::refill -> fx::svc::Stats::bump)"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(
+      message.find("`fx::svc::Cache::mu_` acquired with "
+                    "`fx::svc::Stats::mu_` held at " +
+                    fixture("graph/src/svc/cache.cpp") +
+                    ":13 (fx::svc::Stats::report -> fx::svc::Cache::evict)"),
+      std::string::npos)
+      << message;
+}
+
+TEST(MlcrLintGraph, DeterminismTaintWitnessesArePinned) {
+  const auto findings = graph_findings({fixture("graph/src/svc/canonical.cpp")});
+  // Two taints in salt_token (thread id + unordered iteration); the
+  // allow()'d stable_token contributes nothing.
+  ASSERT_EQ(findings.size(), 2u);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, "determinism-taint");
+    EXPECT_NE(finding.message.find(
+                  "flows into determinism sink `fx::svc::canonical_key` via "
+                  "fx::svc::salt_token -> fx::svc::canonical_key"),
+              std::string::npos)
+        << finding.message;
+  }
+  EXPECT_EQ(findings[0].line, 13);
+  EXPECT_NE(findings[0].message.find("std::this_thread::get_id()"),
+            std::string::npos);
+  EXPECT_EQ(findings[1].line, 15);
+  EXPECT_NE(findings[1].message.find("iteration over unordered `buckets`"),
+            std::string::npos);
+}
+
+TEST(MlcrLintGraph, MetricNameDriftFlagsTheRarerSpelling) {
+  const auto findings =
+      graph_findings({fixture("graph/src/common/metric_names.cpp")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "metric-name-drift");
+  EXPECT_EQ(findings[0].line, 15);
+  EXPECT_NE(findings[0].message.find(
+                "metric name `net.request_total` (used 1x) is one edit from "
+                "`net.requests_total` (used 2x)"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(MlcrLintGraph, HashGroupingRegressionStaysPinned) {
+  // The shape SweepEngine::plan_sweep had before its std::map fix: grouping
+  // in an unordered_map, then iterating it on the way to canonical_key.
+  // Cross-TU on purpose — the sink definition lives in canonical.cpp.
+  const auto findings =
+      graph_findings({fixture("graph/src/svc/canonical.cpp"),
+                      fixture("graph/src/svc/hash_grouping.cpp")});
+  bool found = false;
+  for (const Finding& finding : findings) {
+    if (finding.path != fixture("graph/src/svc/hash_grouping.cpp")) continue;
+    found = true;
+    EXPECT_EQ(finding.rule, "determinism-taint");
+    EXPECT_EQ(finding.line, 16);
+    EXPECT_NE(finding.message.find("iteration over unordered `by_key`"),
+              std::string::npos)
+        << finding.message;
+    EXPECT_NE(finding.message.find("fx::svc::group_and_key -> "
+                                   "fx::svc::canonical_key"),
+              std::string::npos)
+        << finding.message;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MlcrLintGraph, DisableSkipsGraphRules) {
+  Options options;
+  options.disabled_rules.push_back("determinism-taint");
+  EXPECT_TRUE(
+      graph_findings({fixture("graph/src/svc/canonical.cpp")}, options)
+          .empty());
+}
+
+TEST(MlcrLintGraph, UnorderedScopingIgnoresSameNameLocalsElsewhere) {
+  // `conns` is an unordered member of the real Server, but a plain vector
+  // here; with no include path to server.h the iteration must not taint.
+  const std::string code =
+      "#include <string>\n"
+      "#include <vector>\n"
+      "namespace fx::svc {\n"
+      "std::string canonical_key(const std::string& s) { return s; }\n"
+      "std::string all(const std::vector<std::string>& conns) {\n"
+      "  std::string out;\n"
+      "  for (const auto& c : conns) out += canonical_key(c);\n"
+      "  return out;\n"
+      "}\n"
+      "}  // namespace fx::svc\n";
+  const std::string path = testing::TempDir() + "mlcr_lint_scoping.cpp";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << code;
+  }
+  EXPECT_TRUE(graph_findings({path, tree("src/net/server.h")}).empty());
+  std::remove(path.c_str());
+}
+
+TEST(MlcrLintGraph, IndexCapturesIncludesFunctionsAndResolution) {
+  std::vector<Finding> findings;
+  const Index index = build_index({fixture("graph/src/svc/types.h"),
+                                   fixture("graph/src/svc/cache.cpp"),
+                                   fixture("graph/src/svc/stats.cpp")},
+                                  1, &findings, nullptr);
+  EXPECT_TRUE(findings.empty());
+  ASSERT_EQ(index.files.size(), 3u);
+  // cache.cpp records its quoted include and resolves it into the closure.
+  const IndexedFile& cache = index.files[1];
+  ASSERT_EQ(cache.includes.size(), 1u);
+  EXPECT_EQ(cache.includes[0].target, "types.h");
+  EXPECT_FALSE(cache.includes[0].angled);
+  EXPECT_NE(index.include_closure[1].count(0), 0u);
+  // All four member functions are indexed with qualified names.
+  std::vector<std::string> names;
+  for (const FunctionInfo& fn : index.functions) names.push_back(fn.name);
+  for (const char* expected :
+       {"fx::svc::Cache::refill", "fx::svc::Cache::evict",
+        "fx::svc::Stats::bump", "fx::svc::Stats::report"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  // stats_->bump() resolves through the receiver's declared type to the
+  // single Stats member, not to every `bump` in the index.
+  const FunctionInfo* refill = nullptr;
+  for (const FunctionInfo& fn : index.functions) {
+    if (fn.name == "fx::svc::Cache::refill") refill = &fn;
+  }
+  ASSERT_NE(refill, nullptr);
+  const CallSite* bump = nullptr;
+  for (const CallSite& call : refill->calls) {
+    if (call.name == "bump") bump = &call;
+  }
+  ASSERT_NE(bump, nullptr);
+  EXPECT_TRUE(bump->member);
+  EXPECT_EQ(bump->receiver, "stats_");
+  const auto resolved = resolve_call(index, *refill, *bump);
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(index.functions[resolved[0]].name, "fx::svc::Stats::bump");
+}
+
+TEST(MlcrLintGraph, ParallelLexMatchesSerial) {
+  std::vector<std::string> files;
+  std::vector<Finding> io;
+  files = expand_paths({tree("src/svc"), tree("src/common")}, &io);
+  EXPECT_TRUE(io.empty());
+  std::vector<Finding> f1;
+  std::vector<Finding> f4;
+  const Index serial = build_index(files, 1, &f1, nullptr);
+  const Index parallel = build_index(files, 4, &f4, nullptr);
+  EXPECT_EQ(serial.stats.tokens, parallel.stats.tokens);
+  ASSERT_EQ(serial.functions.size(), parallel.functions.size());
+  for (std::size_t i = 0; i < serial.functions.size(); ++i) {
+    EXPECT_EQ(serial.functions[i].name, parallel.functions[i].name);
+  }
+  EXPECT_EQ(hits(run_graph_rules(serial)), hits(run_graph_rules(parallel)));
+}
+
+TEST(MlcrLintGraph, RealTreeIsCleanUnderGraphRules) {
+  // The two-pass analogue of RealTreeIsClean — also the regression pin for
+  // the real fixes this analyzer forced: SweepEngine::plan_sweep grouping
+  // in std::map and Server::push_drained draining in sorted fd order.
+  std::vector<Finding> findings;
+  const std::vector<std::string> files = expand_paths(
+      {tree("src"), tree("examples"), tree("bench"), tree("tests")},
+      &findings);
+  const Index index = build_index(files, 0, &findings, nullptr);
+  std::vector<Finding> graph = run_graph_rules(index);
+  findings.insert(findings.end(), graph.begin(), graph.end());
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << finding.path << ":" << finding.line << ": "
+                  << finding.rule << ": " << finding.message;
+  }
+}
+
+// --- renderers -------------------------------------------------------------
+
+TEST(MlcrLint, SarifOutputIsStructurallyValid210) {
+  // Findings with and without a line (io-error is line 0): the SARIF must
+  // parse with the repo's own JSON parser and carry the 2.1.0 structure.
+  auto findings = lint_paths({fixture("does/not/exist.cpp"),
+                              fixture("src/opt/raw_memory.cpp")});
+  sort_findings(&findings);
+  ASSERT_FALSE(findings.empty());
+  const std::string sarif = render(findings, Format::kSarif);
+  std::string error;
+  const auto doc = net::json::parse(sarif, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("version")->as_string(), "2.1.0");
+  EXPECT_NE(doc->find("$schema")->as_string().find("sarif-schema-2.1.0"),
+            std::string::npos);
+  const auto& runs = doc->find("runs")->as_array();
+  ASSERT_EQ(runs.size(), 1u);
+  const auto* driver = runs[0].find("tool")->find("driver");
+  EXPECT_EQ(driver->find("name")->as_string(), "mlcr-lint");
+  // The embedded rule table covers every emitted ruleId.
+  std::vector<std::string> rule_ids;
+  for (const auto& rule : driver->find("rules")->as_array()) {
+    rule_ids.push_back(rule.find("id")->as_string());
+  }
+  const auto& results = runs[0].find("results")->as_array();
+  ASSERT_EQ(results.size(), findings.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    EXPECT_NE(std::find(rule_ids.begin(), rule_ids.end(),
+                        result.find("ruleId")->as_string()),
+              rule_ids.end());
+    EXPECT_FALSE(result.find("message")->find("text")->as_string().empty());
+    const auto* location =
+        result.find("locations")->as_array().at(0).find("physicalLocation");
+    EXPECT_EQ(location->find("artifactLocation")->find("uri")->as_string(),
+              findings[i].path);
+    if (findings[i].line == 0) {
+      EXPECT_EQ(location->find("region"), nullptr);
+    } else {
+      EXPECT_EQ(location->find("region")->find("startLine")->as_number(),
+                findings[i].line);
+    }
+  }
+}
+
+TEST(MlcrLint, GithubFormatEmitsEscapedAnnotations) {
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 3, "raw-memory", "50% more\nnew"},
+      {"missing.cpp", 0, "io-error", "no such file or directory"}};
+  EXPECT_EQ(render(findings, Format::kGithub),
+            "::error file=src/a.cpp,line=3,title=raw-memory::50%25 "
+            "more%0Anew\n"
+            "::error file=missing.cpp,title=io-error::no such file or "
+            "directory\n");
+}
+
+TEST(MlcrLint, ParseFormatAcceptsAllFourAndRejectsJunk) {
+  EXPECT_TRUE(parse_format("text").has_value());
+  EXPECT_TRUE(parse_format("json").has_value());
+  EXPECT_TRUE(parse_format("sarif").has_value());
+  EXPECT_TRUE(parse_format("github").has_value());
+  EXPECT_FALSE(parse_format("xml").has_value());
+}
+
+// --- baseline --------------------------------------------------------------
+
+TEST(MlcrLint, BaselineRoundTripAndRatchet) {
+  const std::vector<Finding> old_findings = {
+      {"src/a.cpp", 3, "raw-memory", "avoid `new`"},
+      {"src/b.cpp", 9, "lock-order", "cycle"}};
+  const std::string path = testing::TempDir() + "mlcr_lint_baseline.txt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << serialize_baseline(old_findings);
+  }
+  const auto baseline = load_baseline(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(baseline.has_value());
+  // Known findings are filtered even if they moved lines; new ones survive.
+  std::vector<Finding> now = {
+      {"src/a.cpp", 30, "raw-memory", "avoid `new`"},
+      {"src/c.cpp", 1, "raw-memory", "avoid `new`"}};
+  apply_baseline(*baseline, &now);
+  ASSERT_EQ(now.size(), 1u);
+  EXPECT_EQ(now[0].path, "src/c.cpp");
+  EXPECT_FALSE(load_baseline(path + ".missing").has_value());
+}
+
+TEST(MlcrLint, CommittedGraphBaselineIsEmpty) {
+  // The acceptance bar: real findings get fixed, not baselined away.
+  const auto baseline = load_baseline(tree("tools/mlcr-lint/baseline.txt"));
+  ASSERT_TRUE(baseline.has_value());
+  EXPECT_TRUE(baseline->empty());
+}
+
+TEST(MlcrLint, GraphRuleTableCoversGraphRules) {
+  std::vector<std::string> ids;
+  for (const RuleInfo& rule : graph_rules_info()) ids.push_back(rule.id);
+  for (const char* expected : {"blocking-call-transitive", "determinism-taint",
+                               "lock-order", "metric-name-drift"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
+        << expected;
+  }
 }
 
 }  // namespace

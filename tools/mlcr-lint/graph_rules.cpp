@@ -1,0 +1,441 @@
+#include "graph_rules.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+namespace mlcr::lint {
+
+namespace {
+
+struct GraphContext {
+  const Index* index = nullptr;
+  const Options* options = nullptr;
+  std::vector<Finding>* findings = nullptr;
+  /// Resolved call-graph adjacency: fn id -> sorted unique callee ids.
+  std::vector<std::vector<std::size_t>> callees;
+};
+
+bool rule_disabled(const GraphContext& ctx, const char* rule) {
+  for (const std::string& d : ctx.options->disabled_rules) {
+    if (d == rule) return true;
+  }
+  return false;
+}
+
+void emit(const GraphContext& ctx, std::size_t file, int line,
+          const char* rule, std::string message) {
+  if (rule_disabled(ctx, rule)) return;
+  const IndexedFile& f = ctx.index->files[file];
+  const auto at = f.allowed.find(line);
+  if (at != f.allowed.end() && at->second.count(rule) != 0) return;
+  ctx.findings->push_back({f.path, line, rule, std::move(message)});
+}
+
+/// Strips a leading "mlcr::" so witness chains stay readable; fixture
+/// namespaces pass through unchanged.
+std::string short_name(const std::string& qualified) {
+  if (qualified.rfind("mlcr::", 0) == 0) return qualified.substr(6);
+  return qualified;
+}
+
+std::string join_chain(const std::vector<std::size_t>& chain,
+                       const Index& index) {
+  std::string out;
+  for (std::size_t id : chain) {
+    if (!out.empty()) out += " -> ";
+    out += short_name(index.functions[id].name);
+  }
+  return out;
+}
+
+/// Shortest-path BFS from `sources` over ctx.callees; parent[fn] = the fn we
+/// arrived from (SIZE_MAX for sources / unreached).  Deterministic: sources
+/// and neighbors are visited in ascending id order.
+std::vector<std::size_t> bfs(const GraphContext& ctx,
+                             const std::vector<std::size_t>& sources,
+                             std::vector<bool>* reached) {
+  const std::size_t n = ctx.index->functions.size();
+  std::vector<std::size_t> parent(n, SIZE_MAX);
+  reached->assign(n, false);
+  std::deque<std::size_t> queue;
+  for (std::size_t s : sources) {
+    if (!(*reached)[s]) {
+      (*reached)[s] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t at = queue.front();
+    queue.pop_front();
+    for (std::size_t next : ctx.callees[at]) {
+      if ((*reached)[next]) continue;
+      (*reached)[next] = true;
+      parent[next] = at;
+      queue.push_back(next);
+    }
+  }
+  return parent;
+}
+
+std::vector<std::size_t> chain_to(const std::vector<std::size_t>& parent,
+                                  std::size_t fn) {
+  std::vector<std::size_t> chain = {fn};
+  while (parent[chain.back()] != SIZE_MAX) chain.push_back(parent[chain.back()]);
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+// --- blocking-call-transitive ---------------------------------------------
+
+/// Files already policed by the per-file net-blocking-call rule; direct
+/// facts there are that rule's findings, not this one's.
+bool per_file_blocking_scope(const std::string& norm) {
+  return norm.find("src/net/reactor") != std::string::npos ||
+         norm.find("src/net/server") != std::string::npos ||
+         norm.find("src/ctrl") != std::string::npos;
+}
+
+bool is_reactor_entry(const Index& index, const FunctionInfo& fn) {
+  const std::string& norm = index.files[fn.file].norm;
+  if (norm.find("src/net/") != std::string::npos &&
+      (fn.name.find("Reactor::") != std::string::npos ||
+       fn.name.find("Server::") != std::string::npos)) {
+    return true;
+  }
+  // A lambda handed straight to post(...) is deferred onto the reactor loop.
+  if (fn.posted_lambda && norm.find("src/net/") != std::string::npos) {
+    return true;
+  }
+  if (norm.find("src/ctrl") != std::string::npos &&
+      fn.name.find("Replanner::ingest") != std::string::npos) {
+    return true;
+  }
+  return false;
+}
+
+void rule_blocking_transitive(const GraphContext& ctx) {
+  const Index& index = *ctx.index;
+  std::vector<std::size_t> entries;
+  for (std::size_t id = 0; id < index.functions.size(); ++id) {
+    if (is_reactor_entry(index, index.functions[id])) entries.push_back(id);
+  }
+  if (entries.empty()) return;
+  std::vector<bool> reached;
+  const std::vector<std::size_t> parent = bfs(ctx, entries, &reached);
+  for (std::size_t id = 0; id < index.functions.size(); ++id) {
+    if (!reached[id]) continue;
+    const FunctionInfo& fn = index.functions[id];
+    if (fn.blocking.empty()) continue;
+    if (per_file_blocking_scope(index.files[fn.file].norm)) continue;
+    const std::vector<std::size_t> chain = chain_to(parent, id);
+    if (chain.size() < 2) continue;  // direct facts in entries: per-file rule
+    const std::string chain_text = join_chain(chain, index);
+    for (const SourceFact& fact : fn.blocking) {
+      emit(ctx, fn.file, fact.line, "blocking-call-transitive",
+           "blocking `" + fact.what + "` reachable from reactor entry `" +
+               short_name(index.functions[chain.front()].name) + "` via " +
+               chain_text +
+               "; use the non-blocking socket.cpp helpers or post() off the "
+               "loop");
+    }
+  }
+}
+
+// --- determinism-taint -----------------------------------------------------
+
+bool is_determinism_sink(const Index& index, const FunctionInfo& fn) {
+  if (fn.base == "canonical_key" || fn.base == "deterministic_fingerprint") {
+    return true;
+  }
+  return fn.base.rfind("encode_", 0) == 0 &&
+         index.files[fn.file].norm.find("src/net/") != std::string::npos;
+}
+
+void rule_determinism_taint(const GraphContext& ctx) {
+  const Index& index = *ctx.index;
+  std::vector<std::size_t> sinks;
+  for (std::size_t id = 0; id < index.functions.size(); ++id) {
+    if (is_determinism_sink(index, index.functions[id])) sinks.push_back(id);
+  }
+  if (sinks.empty()) return;
+  // A tainted function is a finding when it can REACH a sink, so the BFS
+  // walks the reversed call graph outward from the sinks.
+  GraphContext reversed = ctx;
+  reversed.callees.assign(index.functions.size(), {});
+  for (std::size_t id = 0; id < ctx.callees.size(); ++id) {
+    for (std::size_t callee : ctx.callees[id]) {
+      reversed.callees[callee].push_back(id);
+    }
+  }
+  for (auto& edges : reversed.callees) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+  std::vector<bool> reached;
+  const std::vector<std::size_t> parent = bfs(reversed, sinks, &reached);
+  for (std::size_t id = 0; id < index.functions.size(); ++id) {
+    if (!reached[id]) continue;
+    const FunctionInfo& fn = index.functions[id];
+    if (fn.taints.empty()) continue;
+    // parent chains run sink -> ... -> fn; flip so the witness reads in
+    // data-flow direction (tainted fn -> ... -> sink).
+    std::vector<std::size_t> chain = chain_to(parent, id);
+    std::reverse(chain.begin(), chain.end());
+    const std::string chain_text = join_chain(chain, index);
+    for (const SourceFact& fact : fn.taints) {
+      emit(ctx, fn.file, fact.line, "determinism-taint",
+           "nondeterminism source (" + fact.what +
+               ") flows into determinism sink `" +
+               short_name(index.functions[chain.back()].name) + "` via " +
+               chain_text +
+               "; canonical keys, fingerprints and wire payloads must be "
+               "bit-stable");
+    }
+  }
+}
+
+// --- lock-order ------------------------------------------------------------
+
+struct EdgeWitness {
+  std::size_t file = 0;
+  int line = 0;                     ///< acquisition site of the `to` mutex
+  std::vector<std::size_t> chain;   ///< caller -> ... -> acquiring fn
+};
+
+void rule_lock_order(const GraphContext& ctx) {
+  const Index& index = *ctx.index;
+  const std::size_t n = index.functions.size();
+
+  // Transitive acquisition sets with witness pointers: for (fn, mutex),
+  // either a direct LockSite or (call line, callee) that leads to one.
+  struct Via {
+    bool direct = false;
+    int line = 0;          ///< direct: acquisition line; else call line
+    std::size_t callee = SIZE_MAX;
+  };
+  std::vector<std::map<std::string, Via>> acquires(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    for (const LockSite& site : index.functions[id].locks) {
+      acquires[id].emplace(site.mutex, Via{true, site.line, SIZE_MAX});
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t id = 0; id < n; ++id) {
+      for (const CallSite& call : index.functions[id].calls) {
+        for (std::size_t callee :
+             resolve_call(index, index.functions[id], call)) {
+          for (const auto& [mutex, via] : acquires[callee]) {
+            (void)via;
+            if (acquires[id].count(mutex) == 0) {
+              acquires[id].emplace(mutex, Via{false, call.line, callee});
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Reconstructs fn-chain + final acquisition site for (fn, mutex).
+  auto witness_for = [&](std::size_t fn, const std::string& mutex) {
+    EdgeWitness w;
+    std::size_t at = fn;
+    for (std::size_t hops = 0; hops <= n; ++hops) {
+      w.chain.push_back(at);
+      const Via& via = acquires[at].at(mutex);
+      if (via.direct) {
+        w.file = index.functions[at].file;
+        w.line = via.line;
+        return w;
+      }
+      at = via.callee;
+    }
+    return w;  // unreachable: the fixpoint only adds resolvable paths
+  };
+
+  // Acquisition-order edges.
+  std::map<std::pair<std::string, std::string>, EdgeWitness> edges;
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      EdgeWitness w) {
+    edges.emplace(std::make_pair(from, to), std::move(w));
+  };
+  for (std::size_t id = 0; id < n; ++id) {
+    const FunctionInfo& fn = index.functions[id];
+    for (const LockSite& site : fn.locks) {
+      for (const std::string& held : site.held) {
+        if (held == site.mutex) continue;
+        add_edge(held, site.mutex, EdgeWitness{fn.file, site.line, {id}});
+      }
+    }
+    for (const CallSite& call : fn.calls) {
+      if (call.held.empty()) continue;
+      for (std::size_t callee : resolve_call(index, fn, call)) {
+        for (const auto& [mutex, via] : acquires[callee]) {
+          (void)via;
+          for (const std::string& held : call.held) {
+            if (held == mutex) continue;
+            if (edges.count({held, mutex}) != 0) continue;
+            EdgeWitness w = witness_for(callee, mutex);
+            w.chain.insert(w.chain.begin(), id);
+            add_edge(held, mutex, std::move(w));
+          }
+        }
+      }
+    }
+  }
+
+  // Cycle detection over the mutex digraph (deterministic DFS).
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, w] : edges) {
+    (void)w;
+    adj[key.first].push_back(key.second);
+    adj.emplace(key.second, std::vector<std::string>());
+  }
+  std::set<std::vector<std::string>> reported;
+  std::map<std::string, int> color;  // 0 white, 1 on stack, 2 done
+  std::vector<std::string> stack;
+
+  auto report_cycle = [&](std::size_t loop_start) {
+    std::vector<std::string> cycle(stack.begin() + loop_start, stack.end());
+    // Canonical rotation: smallest mutex first.
+    const auto min_it = std::min_element(cycle.begin(), cycle.end());
+    std::rotate(cycle.begin(), min_it, cycle.end());
+    if (!reported.insert(cycle).second) return;
+    std::string names;
+    for (const std::string& m : cycle) names += "`" + m + "` -> ";
+    names += "`" + cycle.front() + "`";
+    std::string detail;
+    for (std::size_t e = 0; e < cycle.size(); ++e) {
+      const std::string& from = cycle[e];
+      const std::string& to = cycle[(e + 1) % cycle.size()];
+      const EdgeWitness& w = edges.at({from, to});
+      detail += "; `" + to + "` acquired with `" + from + "` held at " +
+                index.files[w.file].path + ":" + std::to_string(w.line) +
+                " (" + join_chain(w.chain, index) + ")";
+    }
+    const EdgeWitness& first =
+        edges.at({cycle.front(), cycle[1 % cycle.size()]});
+    emit(ctx, first.file, first.line, "lock-order",
+         "mutex acquisition-order cycle: " + names + detail +
+             "; acquire in one global order or use std::scoped_lock");
+  };
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& at) {
+    color[at] = 1;
+    stack.push_back(at);
+    for (const std::string& next : adj[at]) {
+      if (color[next] == 1) {
+        const auto it = std::find(stack.begin(), stack.end(), next);
+        report_cycle(static_cast<std::size_t>(it - stack.begin()));
+      } else if (color[next] == 0) {
+        dfs(next);
+      }
+    }
+    stack.pop_back();
+    color[at] = 2;
+  };
+  for (const auto& [node, nexts] : adj) {
+    (void)nexts;
+    if (color[node] == 0) dfs(node);
+  }
+  // Self-edges (relocking a held mutex) are cycles of length one.
+  for (const auto& [key, w] : edges) {
+    if (key.first != key.second) continue;
+    emit(ctx, w.file, w.line, "lock-order",
+         "mutex `" + key.first +
+             "` re-acquired while already held (self-deadlock on a "
+             "non-recursive mutex) at " + index.files[w.file].path + ":" +
+             std::to_string(w.line) + " (" + join_chain(w.chain, index) + ")");
+  }
+}
+
+// --- metric-name-drift -----------------------------------------------------
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  const std::size_t la = a.size();
+  const std::size_t lb = b.size();
+  if (la > lb + 1 || lb > la + 1) return 2;  // only distance <= 1 matters
+  std::vector<std::size_t> row(lb + 1);
+  for (std::size_t j = 0; j <= lb; ++j) row[j] = j;
+  for (std::size_t i = 1; i <= la; ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= lb; ++j) {
+      const std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[lb];
+}
+
+void rule_metric_name_drift(const GraphContext& ctx) {
+  const Index& index = *ctx.index;
+  std::map<std::string, std::vector<const MetricUse*>> by_name;
+  for (const MetricUse& use : index.metrics) {
+    if (use.prefix) continue;  // dynamic `"net.shard." + i` style names
+    by_name[use.name].push_back(&use);
+  }
+  for (const auto& [name, uses] : by_name) {
+    const MetricUse* best = nullptr;
+    std::string best_sibling;
+    std::size_t best_count = uses.size();
+    for (const auto& [other, other_uses] : by_name) {
+      if (other == name) continue;
+      if (other_uses.size() <= uses.size()) continue;  // strictly rarer only
+      if (edit_distance(name, other) != 1) continue;
+      if (other_uses.size() > best_count ||
+          (other_uses.size() == best_count && other < best_sibling)) {
+        best = other_uses.front();
+        best_sibling = other;
+        best_count = other_uses.size();
+      }
+    }
+    if (best == nullptr) continue;
+    for (const MetricUse* use : uses) {
+      emit(ctx, use->file, use->line, "metric-name-drift",
+           "metric name `" + name + "` (used " +
+               std::to_string(uses.size()) + "x) is one edit from `" +
+               best_sibling + "` (used " + std::to_string(best_count) +
+               "x); unify the spelling or allow if intentional");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_graph_rules(const Index& index,
+                                     const Options& options) {
+  std::vector<Finding> findings;
+  GraphContext ctx;
+  ctx.index = &index;
+  ctx.options = &options;
+  ctx.findings = &findings;
+  ctx.callees.resize(index.functions.size());
+  for (std::size_t id = 0; id < index.functions.size(); ++id) {
+    std::vector<std::size_t>& out = ctx.callees[id];
+    for (const CallSite& call : index.functions[id].calls) {
+      const std::vector<std::size_t> resolved =
+          resolve_call(index, index.functions[id], call);
+      out.insert(out.end(), resolved.begin(), resolved.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  rule_blocking_transitive(ctx);
+  rule_determinism_taint(ctx);
+  rule_lock_order(ctx);
+  rule_metric_name_drift(ctx);
+  sort_findings(&findings);
+  return findings;
+}
+
+}  // namespace mlcr::lint

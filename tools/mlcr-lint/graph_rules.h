@@ -1,0 +1,33 @@
+// Pass 2 of the --graph analysis: whole-repo rules over the pass-1 index.
+//
+//   lock-order                mutex acquisition-order cycles (held-lock sets
+//                             propagated through the call graph; each edge
+//                             carries a witness acquisition site + chain)
+//   blocking-call-transitive  blocking syscalls reachable from reactor/shard
+//                             entry points (Reactor::*, Server::* in src/net,
+//                             Replanner::ingest in src/ctrl), reported with
+//                             the shortest call chain
+//   determinism-taint         nondeterminism sources reachable from
+//                             canonical_key / deterministic_fingerprint /
+//                             src/net encode_* payload encoders
+//   metric-name-drift         metric-name literals one edit away from a
+//                             strictly more common sibling
+//
+// Findings honor the same inline `// mlcr-lint: allow(rule)` comments as the
+// per-file rules, applied at the finding's own line, and the same
+// Options::disabled_rules list.  All output is deterministic: functions are
+// visited in index order, neighbors in ascending id order, and every message
+// embeds its witness path so a human can check the finding by hand.
+#pragma once
+
+#include <vector>
+
+#include "index.h"
+#include "lint.h"
+
+namespace mlcr::lint {
+
+[[nodiscard]] std::vector<Finding> run_graph_rules(const Index& index,
+                                                   const Options& options = {});
+
+}  // namespace mlcr::lint

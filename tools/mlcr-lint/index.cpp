@@ -1,0 +1,1027 @@
+#include "index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <tuple>
+
+#include "common/thread_pool.h"
+
+namespace mlcr::lint {
+
+namespace {
+
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> kSet = {
+      "if",        "else",     "for",       "while",     "do",
+      "switch",    "case",     "return",    "break",     "continue",
+      "goto",      "sizeof",   "alignof",   "alignas",   "decltype",
+      "static_assert", "new",  "delete",    "throw",     "try",
+      "catch",     "const_cast", "static_cast", "dynamic_cast",
+      "reinterpret_cast", "operator", "template", "typename", "using",
+      "namespace", "class",    "struct",    "enum",      "union",
+      "public",    "private",  "protected", "virtual",   "override",
+      "final",     "const",    "constexpr", "consteval", "constinit",
+      "inline",    "static",   "extern",    "mutable",   "volatile",
+      "friend",    "typedef",  "auto",      "void",      "bool",
+      "char",      "short",    "int",       "long",      "float",
+      "double",    "signed",   "unsigned",  "true",      "false",
+      "nullptr",   "this",     "noexcept",  "default",   "explicit",
+      "co_await",  "co_return", "co_yield", "and",       "or",
+      "not",       "requires", "concept"};
+  return kSet;
+}
+
+bool is_keyword(const std::string& text) {
+  return keywords().count(text) != 0;
+}
+
+bool tok_is(const std::vector<Token>& toks, std::size_t i, const char* text) {
+  return i < toks.size() && toks[i].kind == Token::Kind::kPunct &&
+         toks[i].text == text;
+}
+
+bool tok_ident(const std::vector<Token>& toks, std::size_t i) {
+  return i < toks.size() && toks[i].kind == Token::Kind::kIdent;
+}
+
+/// Index of the token after the group closer matching the opener at `open`
+/// (which must be "(" / "{" / "["), or toks.size() when unbalanced.
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open) {
+  const std::string& o = toks[open].text;
+  const char* c = o == "(" ? ")" : o == "{" ? "}" : "]";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (tok_is(toks, i, o.c_str())) ++depth;
+    if (tok_is(toks, i, c) && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+/// Index after the `>` matching the `<` at `open` (template argument lists;
+/// the lexer emits single-char `<`/`>` so nested closers are two tokens).
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (tok_is(toks, i, "<")) ++depth;
+    if (tok_is(toks, i, ">") && --depth == 0) return i + 1;
+    // Bail out of obvious non-template uses (comparisons don't span these).
+    if (tok_is(toks, i, ";") || tok_is(toks, i, "{")) return toks.size();
+  }
+  return toks.size();
+}
+
+struct Scope {
+  enum class Kind { kNamespace, kClass, kFunction, kBlock };
+  Kind kind = Kind::kBlock;
+  std::string name;           ///< namespace / class component(s)
+  std::size_t fn = SIZE_MAX;  ///< kFunction: index into Index::functions
+  int fn_depth = 0;           ///< kFunction: open braces inside the body
+  /// kFunction: guards.size() on entry.  Guards below the floor belong to
+  /// an enclosing function and do not apply inside (lambdas run later).
+  std::size_t guard_floor = 0;
+};
+
+struct Guard {
+  int depth = 0;  ///< fn_depth at declaration; popped when the block closes
+  std::string key;
+};
+
+/// Extraction state for one file.
+struct Extractor {
+  const ScanResult* scanned = nullptr;
+  std::size_t file = 0;
+  Index* index = nullptr;
+  std::vector<Scope> scopes;
+  std::vector<Guard> guards;
+
+  std::string scope_prefix() const {
+    std::string out;
+    for (const Scope& s : scopes) {
+      if (s.kind == Scope::Kind::kFunction || s.kind == Scope::Kind::kBlock) {
+        continue;
+      }
+      if (s.name.empty()) continue;
+      if (!out.empty()) out += "::";
+      out += s.name;
+    }
+    return out;
+  }
+
+  FunctionInfo* current_fn() {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::Kind::kFunction) {
+        return &index->functions[it->fn];
+      }
+    }
+    return nullptr;
+  }
+
+  bool in_function() const {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::Kind::kFunction) return true;
+    }
+    return false;
+  }
+
+  std::vector<std::string> held_keys() const {
+    std::size_t floor = 0;
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::Kind::kFunction) {
+        floor = it->guard_floor;
+        break;
+      }
+    }
+    std::vector<std::string> out;
+    for (std::size_t g = floor; g < guards.size(); ++g) {
+      out.push_back(guards[g].key);
+    }
+    return out;
+  }
+
+  bool allowed_here(int line, const char* rule) const {
+    const auto at = scanned->allowed.find(line);
+    return at != scanned->allowed.end() && at->second.count(rule) != 0;
+  }
+};
+
+/// Canonicalizes a mutex expression (`this->mu_`, `shard.m`, `qs_[i]->m`)
+/// into a stable key under the enclosing function's owner scope.
+std::string canon_mutex_key(const std::vector<Token>& expr,
+                            const std::string& owner) {
+  std::string out;
+  for (std::size_t i = 0; i < expr.size(); ++i) {
+    const Token& t = expr[i];
+    if (t.kind == Token::Kind::kIdent) {
+      if (t.text == "this" && tok_is(expr, i + 1, "->")) {
+        ++i;  // drop `this->`
+        continue;
+      }
+      out += t.text;
+      continue;
+    }
+    if (t.kind == Token::Kind::kPunct) {
+      if (t.text == "." || t.text == "->") {
+        out += ".";
+      } else if (t.text == "::") {
+        out += "::";
+      } else if (t.text == "[") {
+        out += "[]";
+        int depth = 0;
+        while (i < expr.size()) {
+          if (expr[i].text == "[") ++depth;
+          if (expr[i].text == "]" && --depth == 0) break;
+          ++i;
+        }
+      }
+      // `*`, `&`, parens: dereference / grouping noise — dropped.
+    }
+  }
+  if (out.empty()) out = "<unknown>";
+  return owner.empty() ? out : owner + "::" + out;
+}
+
+/// The blocking-syscall name set shared with the per-file rule.
+const std::set<std::string>& blocking_names() {
+  static const std::set<std::string> kSet = {
+      "accept", "accept4", "connect",  "read",   "write",
+      "recv",   "send",    "recvfrom", "sendto", "recvmsg",
+      "sendmsg"};
+  return kSet;
+}
+
+const std::set<std::string>& nondet_call_names() {
+  static const std::set<std::string> kSet = {
+      "rand",   "srand",        "rand_r",       "drand48", "lrand48",
+      "random", "gettimeofday", "clock_gettime", "time",   "clock"};
+  return kSet;
+}
+
+}  // namespace
+
+void index_scanned(const std::string& path, const ScanResult& scanned,
+                   Index* index) {
+  const std::size_t file_id = index->files.size();
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  index->files.push_back(
+      {path, norm, scanned.includes, scanned.allowed, scanned.tokens.size()});
+
+  Extractor ex;
+  ex.scanned = &scanned;
+  ex.file = file_id;
+  ex.index = index;
+
+  const std::vector<Token>& toks = scanned.tokens;
+  const std::size_t n = toks.size();
+
+  // --- declaration collectors (scope-independent heuristics) ---------------
+
+  // Variable/member name -> idents seen in its type tokens; pruned against
+  // class_names in finalize_index.
+  auto collect_var_decl = [&](std::size_t v) {
+    if (!tok_ident(toks, v) || is_keyword(toks[v].text)) return;
+    // `Class::name(` is a qualified definition/call, not a declaration.
+    if (v >= 1 && tok_is(toks, v - 1, "::")) return;
+    std::set<std::string>* types = nullptr;
+    std::size_t k = v;
+    while (k > 0) {
+      const Token& t = toks[k - 1];
+      const bool type_punct =
+          t.kind == Token::Kind::kPunct &&
+          (t.text == "::" || t.text == "<" || t.text == ">" ||
+           t.text == "*" || t.text == "&" || t.text == ",");
+      if (t.kind == Token::Kind::kIdent) {
+        if (!is_keyword(t.text)) {
+          if (types == nullptr) {
+            types = &index->raw_var_types[toks[v].text];
+          }
+          types->insert(t.text);
+        }
+        --k;
+        continue;
+      }
+      if (type_punct) {
+        --k;
+        continue;
+      }
+      break;
+    }
+  };
+
+  // unordered_*/pointer-keyed map declarations: the declared name's
+  // iteration order is nondeterministic.
+  auto collect_unordered_decl = [&](std::size_t i) {
+    static const std::set<std::string> kUnordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    static const std::set<std::string> kOrdered = {
+        "map",      "multimap", "set",   "multiset",
+        "vector",   "list",     "deque", "array"};
+    const std::string& name = toks[i].text;
+    const bool unordered = kUnordered.count(name) != 0;
+    const bool ordered = kOrdered.count(name) != 0;
+    if (!unordered && !ordered) return;
+    if (!tok_is(toks, i + 1, "<")) return;
+    bool pointer_key = false;
+    int depth = 0;
+    std::size_t j = i + 1;
+    for (; j < n; ++j) {
+      if (tok_is(toks, j, "<")) ++depth;
+      if (tok_is(toks, j, ">") && --depth == 0) {
+        ++j;
+        break;
+      }
+      if (depth == 1 && tok_is(toks, j, "*")) {
+        // `*` at depth 1 before the first top-level comma = pointer key.
+        bool before_comma = true;
+        for (std::size_t b = i + 2; b < j; ++b) {
+          if (tok_is(toks, b, ",")) {
+            before_comma = false;
+            break;
+          }
+        }
+        if (before_comma) pointer_key = true;
+      }
+      if (tok_is(toks, j, ";") || tok_is(toks, j, "{")) return;
+    }
+    const bool nondet =
+        unordered || ((name == "map" || name == "multimap") && pointer_key);
+    while (tok_is(toks, j, "&") || tok_is(toks, j, "*")) ++j;
+    if (tok_ident(toks, j) && !is_keyword(toks[j].text)) {
+      if (nondet) {
+        index->unordered_decls[toks[j].text].insert(file_id);
+      } else {
+        index->ordered_decls.insert({file_id, toks[j].text});
+      }
+    }
+  };
+
+  // --- main walk -----------------------------------------------------------
+
+  std::size_t i = 0;
+  while (i < n) {
+    const Token& tok = toks[i];
+
+    // Scope-independent collectors run on every token.
+    if (tok.kind == Token::Kind::kIdent) {
+      collect_unordered_decl(i);
+      if (i + 1 < n &&
+          (tok_is(toks, i + 1, ";") || tok_is(toks, i + 1, "=") ||
+           tok_is(toks, i + 1, "{") || tok_is(toks, i + 1, "(") ||
+           tok_is(toks, i + 1, ",") || tok_is(toks, i + 1, ")"))) {
+        collect_var_decl(i);
+      }
+    }
+
+    FunctionInfo* fn = ex.current_fn();
+    if (fn == nullptr) {
+      i = [&]() -> std::size_t {
+        // ---- declaration context ----
+        if (tok.kind == Token::Kind::kIdent && tok.text == "namespace") {
+          std::size_t j = i + 1;
+          std::string name;
+          if (tok_ident(toks, j)) {
+            name = toks[j].text;
+            ++j;
+            while (tok_is(toks, j, "::") && tok_ident(toks, j + 1)) {
+              name += "::" + toks[j + 1].text;
+              j += 2;
+            }
+          }
+          if (tok_is(toks, j, "{")) {
+            ex.scopes.push_back({Scope::Kind::kNamespace, name, SIZE_MAX, 0});
+            return j + 1;
+          }
+          return j;  // alias / using namespace: no scope
+        }
+        if (tok.kind == Token::Kind::kIdent &&
+            (tok.text == "class" || tok.text == "struct" ||
+             tok.text == "union")) {
+          // `template <class T>` parameters are not class definitions.
+          if (i > 0 && (tok_is(toks, i - 1, "<") || tok_is(toks, i - 1, ","))) {
+            return i + 1;
+          }
+          if (i > 0 && tok_ident(toks, i - 1) && toks[i - 1].text == "enum") {
+            return i + 1;
+          }
+          if (!tok_ident(toks, i + 1)) return i + 1;
+          const std::string name = toks[i + 1].text;
+          std::size_t p = i + 2;
+          while (p < n) {
+            if (tok_is(toks, p, "{")) {
+              ex.scopes.push_back({Scope::Kind::kClass, name, SIZE_MAX, 0});
+              ex.index->class_names.insert(name);
+              return p + 1;
+            }
+            if (tok_is(toks, p, ";")) return p + 1;  // forward declaration
+            const Token& t = toks[p];
+            const bool ok =
+                t.kind == Token::Kind::kIdent ||
+                (t.kind == Token::Kind::kPunct &&
+                 (t.text == ":" || t.text == "::" || t.text == "<" ||
+                  t.text == ">" || t.text == ","));
+            if (!ok) return i + 1;
+            ++p;
+          }
+          return i + 1;
+        }
+        if (tok.kind == Token::Kind::kIdent && tok.text == "enum") {
+          // Skip the whole enum body so enumerators don't look like decls.
+          std::size_t p = i + 1;
+          while (p < n && !tok_is(toks, p, "{") && !tok_is(toks, p, ";")) ++p;
+          if (p < n && tok_is(toks, p, "{")) return skip_balanced(toks, p);
+          return p + 1;
+        }
+        if (tok_is(toks, i, "(")) {
+          // Candidate function definition: name-chain `(` params `)`
+          // trailer `{`.
+          if (i == 0 || !tok_ident(toks, i - 1)) return i + 1;
+          std::size_t k = i - 1;
+          std::vector<std::string> chain = {toks[k].text};
+          while (k >= 2 && tok_is(toks, k - 1, "::") && tok_ident(toks, k - 2)) {
+            chain.insert(chain.begin(), toks[k - 2].text);
+            k -= 2;
+          }
+          for (const std::string& c : chain) {
+            if (is_keyword(c)) return i + 1;
+          }
+          if (k > 0 && (tok_is(toks, k - 1, ".") || tok_is(toks, k - 1, "->"))) {
+            return i + 1;
+          }
+          const std::size_t after_params = skip_balanced(toks, i);
+          if (after_params >= n) return i + 1;
+          // Parameters are declarations too — an unordered map passed by
+          // reference must taint range-fors over it in the body, and a
+          // typed parameter narrows member-call resolution.  Run the
+          // collectors only once this proves to be a definition, so plain
+          // expression arguments never register as declarations.
+          auto collect_param_decls = [&] {
+            for (std::size_t a = i + 1; a + 1 < after_params; ++a) {
+              if (!tok_ident(toks, a)) continue;
+              collect_unordered_decl(a);
+              if (tok_is(toks, a + 1, ",") || tok_is(toks, a + 1, ")")) {
+                collect_var_decl(a);
+              }
+            }
+          };
+          // Trailer: const/noexcept/override/ref-qualifiers/trailing return
+          // until `{` (definition), `;` (declaration) or a giveaway that
+          // this was an expression or variable declaration.
+          std::size_t p = after_params;
+          int angle = 0;
+          while (p < n) {
+            if (tok_is(toks, p, "{") && angle == 0) {
+              // Definition.
+              std::string qualified = ex.scope_prefix();
+              for (const std::string& c : chain) {
+                if (!qualified.empty()) qualified += "::";
+                qualified += c;
+              }
+              if (chain.size() > 1) {
+                for (std::size_t ci = 0; ci + 1 < chain.size(); ++ci) {
+                  ex.index->class_names.insert(chain[ci]);
+                }
+              }
+              FunctionInfo info;
+              info.name = qualified;
+              info.base = chain.back();
+              info.file = file_id;
+              info.line = toks[p].line;
+              ex.index->functions.push_back(std::move(info));
+              ex.scopes.push_back({Scope::Kind::kFunction, chain.back(),
+                                   ex.index->functions.size() - 1, 1,
+                                   ex.guards.size()});
+              collect_param_decls();
+              return p + 1;
+            }
+            if (tok_is(toks, p, ";")) return p + 1;  // declaration
+            if (tok_is(toks, p, "=")) {
+              // `= default` / `= delete` / `= 0` / variable init: not a body.
+              while (p < n && !tok_is(toks, p, ";")) ++p;
+              return p + 1;
+            }
+            if (tok_is(toks, p, ":") && angle == 0) {
+              // Constructor init list: skip initializers to the body brace.
+              std::size_t q = p + 1;
+              while (q < n) {
+                if (tok_is(toks, q, "(")) {
+                  q = skip_balanced(toks, q);
+                  continue;
+                }
+                if (tok_is(toks, q, "{")) {
+                  const bool init_brace =
+                      q > 0 && (tok_ident(toks, q - 1) ||
+                                tok_is(toks, q - 1, ">"));
+                  if (init_brace) {
+                    q = skip_balanced(toks, q);
+                    continue;
+                  }
+                  std::string qualified = ex.scope_prefix();
+                  for (const std::string& c : chain) {
+                    if (!qualified.empty()) qualified += "::";
+                    qualified += c;
+                  }
+                  if (chain.size() > 1) {
+                    for (std::size_t ci = 0; ci + 1 < chain.size(); ++ci) {
+                      ex.index->class_names.insert(chain[ci]);
+                    }
+                  }
+                  FunctionInfo info;
+                  info.name = qualified;
+                  info.base = chain.back();
+                  info.file = file_id;
+                  info.line = toks[q].line;
+                  ex.index->functions.push_back(std::move(info));
+                  ex.scopes.push_back({Scope::Kind::kFunction, chain.back(),
+                                       ex.index->functions.size() - 1, 1,
+                                       ex.guards.size()});
+                  collect_param_decls();
+                  return q + 1;
+                }
+                if (tok_is(toks, q, ";")) return q + 1;
+                ++q;
+              }
+              return i + 1;
+            }
+            if (tok_is(toks, p, "(")) {
+              p = skip_balanced(toks, p);
+              continue;
+            }
+            if (tok_is(toks, p, "<")) ++angle;
+            if (tok_is(toks, p, ">") && angle > 0) --angle;
+            if (tok_is(toks, p, ",") && angle == 0) return i + 1;
+            const Token& t = toks[p];
+            const bool ok =
+                t.kind == Token::Kind::kIdent ||
+                (t.kind == Token::Kind::kPunct &&
+                 (t.text == "&" || t.text == "*" || t.text == "::" ||
+                  t.text == "<" || t.text == ">" || t.text == "->" ||
+                  t.text == "[" || t.text == "]" || t.text == ","));
+            if (!ok) return i + 1;
+            ++p;
+          }
+          return i + 1;
+        }
+        if (tok_is(toks, i, "{")) {
+          ex.scopes.push_back({Scope::Kind::kBlock, "", SIZE_MAX, 0});
+          return i + 1;
+        }
+        if (tok_is(toks, i, "}")) {
+          if (!ex.scopes.empty()) ex.scopes.pop_back();
+          return i + 1;
+        }
+        return i + 1;
+      }();
+      continue;
+    }
+
+    // ---- function body context ----
+    Scope& fs = ex.scopes.back().kind == Scope::Kind::kFunction
+                    ? ex.scopes.back()
+                    : [&]() -> Scope& {
+                        for (auto it = ex.scopes.rbegin();
+                             it != ex.scopes.rend(); ++it) {
+                          if (it->kind == Scope::Kind::kFunction) return *it;
+                        }
+                        return ex.scopes.back();
+                      }();
+
+    if (tok_is(toks, i, "{")) {
+      ++fs.fn_depth;
+      ++i;
+      continue;
+    }
+    if (tok_is(toks, i, "}")) {
+      while (ex.guards.size() > fs.guard_floor &&
+             ex.guards.back().depth == fs.fn_depth) {
+        ex.guards.pop_back();
+      }
+      --fs.fn_depth;
+      if (fs.fn_depth <= 0) {
+        ex.guards.resize(fs.guard_floor);
+        while (!ex.scopes.empty() &&
+               ex.scopes.back().kind != Scope::Kind::kFunction) {
+          ex.scopes.pop_back();
+        }
+        if (!ex.scopes.empty()) ex.scopes.pop_back();
+      }
+      ++i;
+      continue;
+    }
+
+    // Lambda introducer: the body is a separate anonymous function — it runs
+    // later, possibly on another thread, so calls inside it must not inherit
+    // the enclosing function's identity or held locks.  A lambda passed
+    // directly to `post(...)` runs on the reactor loop and is marked as an
+    // entry point for blocking-call-transitive.
+    if (tok_is(toks, i, "[") && i > 0) {
+      const Token& prev = toks[i - 1];
+      const bool subscript =
+          (prev.kind == Token::Kind::kIdent && !is_keyword(prev.text)) ||
+          prev.kind == Token::Kind::kNumber ||
+          prev.kind == Token::Kind::kString ||
+          (prev.kind == Token::Kind::kPunct &&
+           (prev.text == ")" || prev.text == "]"));
+      if (!subscript) {
+        std::size_t body = skip_balanced(toks, i);  // captures
+        if (tok_is(toks, body, "(")) body = skip_balanced(toks, body);
+        bool lambda = false;
+        while (body < toks.size()) {
+          if (tok_is(toks, body, "{")) {
+            lambda = true;
+            break;
+          }
+          const Token& t = toks[body];
+          const bool specifier =
+              t.kind == Token::Kind::kIdent ||
+              (t.kind == Token::Kind::kPunct &&
+               (t.text == "->" || t.text == "::" || t.text == "<" ||
+                t.text == ">" || t.text == "&" || t.text == "*" ||
+                t.text == ","));
+          if (!specifier) break;
+          ++body;
+        }
+        if (lambda) {
+          const bool posted = tok_is(toks, i - 1, "(") && i >= 2 &&
+                              tok_ident(toks, i - 2) &&
+                              toks[i - 2].text == "post";
+          FunctionInfo info;
+          info.base = "{lambda:" + std::to_string(toks[i].line) + "}";
+          info.name = fn->name + "::" + info.base;
+          info.file = file_id;
+          info.line = toks[body].line;
+          info.posted_lambda = posted;
+          ex.index->functions.push_back(std::move(info));
+          ex.scopes.push_back({Scope::Kind::kFunction, "",
+                               ex.index->functions.size() - 1, 1,
+                               ex.guards.size()});
+          i = body + 1;
+          continue;
+        }
+      }
+    }
+
+    if (tok.kind != Token::Kind::kIdent) {
+      ++i;
+      continue;
+    }
+
+    const std::string owner = [&] {
+      const std::string& name = fn->name;
+      const std::size_t cut = name.rfind("::");
+      return cut == std::string::npos ? std::string() : name.substr(0, cut);
+    }();
+
+    // RAII guard acquisition.
+    static const std::set<std::string> kGuards = {
+        "lock_guard", "scoped_lock", "unique_lock", "shared_lock"};
+    if (kGuards.count(tok.text) != 0 && i > 0 &&
+        !(tok_is(toks, i - 1, ".") || tok_is(toks, i - 1, "->"))) {
+      std::size_t j = i + 1;
+      if (tok_is(toks, j, "<")) j = skip_angles(toks, j);
+      if (tok_ident(toks, j) && !is_keyword(toks[j].text) &&
+          (tok_is(toks, j + 1, "(") || tok_is(toks, j + 1, "{"))) {
+        const std::size_t open = j + 1;
+        const std::size_t after = skip_balanced(toks, open);
+        // Split args on top-level commas.
+        std::vector<std::vector<Token>> args(1);
+        int depth = 0;
+        for (std::size_t a = open; a + 1 < after; ++a) {
+          if (tok_is(toks, a, "(") || tok_is(toks, a, "{") ||
+              tok_is(toks, a, "[")) {
+            ++depth;
+            if (depth == 1) continue;  // the opener itself
+          }
+          if (tok_is(toks, a, ")") || tok_is(toks, a, "}") ||
+              tok_is(toks, a, "]")) {
+            --depth;
+          }
+          if (depth == 1 && tok_is(toks, a, ",")) {
+            args.emplace_back();
+            continue;
+          }
+          if (depth >= 1 && a != open) args.back().push_back(toks[a]);
+        }
+        const std::vector<std::string> held = ex.held_keys();
+        std::vector<std::string> acquired;
+        for (const std::vector<Token>& arg : args) {
+          if (arg.empty()) continue;
+          bool tag = false;
+          for (const Token& t : arg) {
+            if (t.kind == Token::Kind::kIdent &&
+                (t.text == "defer_lock" || t.text == "adopt_lock" ||
+                 t.text == "try_to_lock")) {
+              tag = true;
+            }
+          }
+          if (tag) continue;
+          acquired.push_back(canon_mutex_key(arg, owner));
+        }
+        for (const std::string& key : acquired) {
+          fn->locks.push_back({key, toks[j].line, held});
+        }
+        for (const std::string& key : acquired) {
+          ex.guards.push_back({fs.fn_depth, key});
+        }
+        i = after;
+        continue;
+      }
+    }
+
+    // Range-for over an unordered container (resolved in finalize).
+    if (tok.text == "for" && tok_is(toks, i + 1, "(")) {
+      int depth = 0;
+      std::size_t colon = 0;
+      const std::size_t close = skip_balanced(toks, i + 1);
+      for (std::size_t p = i + 1; p + 1 < close; ++p) {
+        if (tok_is(toks, p, "(")) ++depth;
+        if (tok_is(toks, p, ")")) --depth;
+        if (depth == 1 && tok_is(toks, p, ":")) {
+          colon = p;
+          break;
+        }
+      }
+      if (colon != 0) {
+        for (std::size_t p = colon + 1; p + 1 < close; ++p) {
+          if (tok_ident(toks, p) && !is_keyword(toks[p].text)) {
+            index->pending_iterations.push_back(
+                {ex.index->functions.size() == 0
+                     ? SIZE_MAX
+                     : static_cast<std::size_t>(fn - index->functions.data()),
+                 toks[p].text, toks[p].line});
+          }
+        }
+      }
+      ++i;
+      continue;
+    }
+
+    // std::hash over a pointer type.
+    if (tok.text == "hash" && tok_is(toks, i + 1, "<")) {
+      const std::size_t end = skip_angles(toks, i + 1);
+      for (std::size_t p = i + 1; p < end; ++p) {
+        if (tok_is(toks, p, "*")) {
+          if (!ex.allowed_here(tok.line, "determinism-taint")) {
+            fn->taints.push_back({"std::hash over a pointer type", tok.line});
+          }
+          break;
+        }
+      }
+      ++i;
+      continue;
+    }
+
+    // Nondeterminism sources that are bare identifiers.
+    if (tok.text == "random_device") {
+      if (!ex.allowed_here(tok.line, "determinism-taint")) {
+        fn->taints.push_back({"std::random_device", tok.line});
+      }
+      ++i;
+      continue;
+    }
+
+    // Call sites (ident or qualified chain followed by `(`).
+    if (tok_is(toks, i + 1, "(") && !is_keyword(tok.text)) {
+      std::size_t k = i;
+      std::vector<std::string> chain = {toks[k].text};
+      while (k >= 2 && tok_is(toks, k - 1, "::") && tok_ident(toks, k - 2)) {
+        chain.insert(chain.begin(), toks[k - 2].text);
+        k -= 2;
+      }
+      const bool global_qualified = k >= 1 && tok_is(toks, k - 1, "::") &&
+                                    (k < 2 || !tok_ident(toks, k - 2));
+      const bool member = k > 0 && (tok_is(toks, k - 1, ".") ||
+                                    tok_is(toks, k - 1, "->"));
+      std::string receiver;
+      if (member && k >= 2 && tok_ident(toks, k - 2)) {
+        receiver = toks[k - 2].text;
+      }
+      std::string joined;
+      for (const std::string& c : chain) {
+        if (!joined.empty()) joined += "::";
+        joined += c;
+      }
+      fn->calls.push_back(
+          {joined, receiver, member, tok.line, ex.held_keys()});
+
+      // Blocking-syscall facts: bare or `::`-global spellings only.
+      if (chain.size() == 1 && blocking_names().count(tok.text) != 0 &&
+          !member &&
+          (global_qualified || (k == 0 || !tok_is(toks, k - 1, "::"))) &&
+          fn->base.find("nonblocking") == std::string::npos &&
+          !ex.allowed_here(tok.line, "net-blocking-call") &&
+          !ex.allowed_here(tok.line, "blocking-call-transitive")) {
+        fn->blocking.push_back(
+            {"::" + tok.text + "()", tok.line});
+      }
+
+      // Nondeterminism sources that are calls.
+      if (!ex.allowed_here(tok.line, "determinism-taint")) {
+        if (tok.text == "get_id") {
+          fn->taints.push_back({"std::this_thread::get_id()", tok.line});
+        } else if (tok.text == "now" && k >= 1 && tok_is(toks, k - 1, "::")) {
+          fn->taints.push_back({"clock `now()`", tok.line});
+        } else if (chain.size() == 1 && !member &&
+                   nondet_call_names().count(tok.text) != 0) {
+          fn->taints.push_back({"`" + tok.text + "()`", tok.line});
+        }
+      }
+
+      // Metric-name literals: first string argument of registry calls.
+      if (member &&
+          (tok.text == "counter" || tok.text == "gauge" ||
+           tok.text == "timer")) {
+        std::string low;
+        for (char c : receiver) {
+          low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        if (low.find("metric") != std::string::npos ||
+            low.find("registr") != std::string::npos) {
+          if (i + 2 < n && toks[i + 2].kind == Token::Kind::kString) {
+            const bool prefix = tok_is(toks, i + 3, "+");
+            index->metrics.push_back(
+                {toks[i + 2].text, file_id, toks[i + 2].line, prefix});
+          }
+        }
+      }
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+}
+
+void finalize_index(Index* index) {
+  index->by_base.clear();
+  index->class_members.clear();
+  for (std::size_t id = 0; id < index->functions.size(); ++id) {
+    const FunctionInfo& fn = index->functions[id];
+    index->by_base[fn.base].push_back(id);
+    const std::size_t cut = fn.name.rfind("::");
+    if (cut != std::string::npos) {
+      const std::size_t prev = fn.name.rfind("::", cut - 1);
+      const std::string owner =
+          prev == std::string::npos ? fn.name.substr(0, cut)
+                                    : fn.name.substr(prev + 2, cut - prev - 2);
+      if (index->class_names.count(owner) != 0) {
+        index->class_members[owner].insert(fn.base);
+      }
+    }
+  }
+  // Prune raw declared-type guesses against the known class set.
+  index->var_types.clear();
+  for (const auto& [var, types] : index->raw_var_types) {
+    std::set<std::string> pruned;
+    for (const std::string& t : types) {
+      if (index->class_names.count(t) != 0) pruned.insert(t);
+    }
+    if (!pruned.empty()) index->var_types[var] = std::move(pruned);
+  }
+  // Include closure: resolve quoted targets to indexed files by suffix
+  // match ("net/server.h" matches ".../src/net/server.h"), then take the
+  // transitive reachable set per file (self included).
+  const std::size_t nf = index->files.size();
+  std::vector<std::vector<std::size_t>> inc_edges(nf);
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (const Include& inc : index->files[f].includes) {
+      if (inc.angled) continue;
+      for (std::size_t g = 0; g < nf; ++g) {
+        const std::string& norm = index->files[g].norm;
+        const bool match =
+            norm == inc.target ||
+            (norm.size() > inc.target.size() &&
+             norm[norm.size() - inc.target.size() - 1] == '/' &&
+             norm.compare(norm.size() - inc.target.size(), std::string::npos,
+                          inc.target) == 0);
+        if (match) inc_edges[f].push_back(g);
+      }
+    }
+  }
+  index->include_closure.assign(nf, {});
+  for (std::size_t f = 0; f < nf; ++f) {
+    std::set<std::size_t>& closure = index->include_closure[f];
+    std::vector<std::size_t> stack = {f};
+    closure.insert(f);
+    while (!stack.empty()) {
+      const std::size_t at = stack.back();
+      stack.pop_back();
+      for (std::size_t g : inc_edges[at]) {
+        if (closure.insert(g).second) stack.push_back(g);
+      }
+    }
+  }
+  // Resolve pending range-for iterations against unordered declarations,
+  // scoped to the declaring file's include closure: a local std::vector
+  // named like an unordered member in some other header must not taint.
+  for (const auto& [fn_id, ident, line] : index->pending_iterations) {
+    if (fn_id >= index->functions.size()) continue;
+    const auto decl = index->unordered_decls.find(ident);
+    if (decl == index->unordered_decls.end()) continue;
+    FunctionInfo& fn = index->functions[fn_id];
+    const std::size_t file = fn.file;
+    if (decl->second.count(file) == 0) {
+      // Declared unordered elsewhere only: an ordered same-file declaration
+      // shadows it, and the declaring header must actually be included.
+      if (index->ordered_decls.count({file, ident}) != 0) continue;
+      bool included = false;
+      for (std::size_t g : index->include_closure[file]) {
+        if (decl->second.count(g) != 0) {
+          included = true;
+          break;
+        }
+      }
+      if (!included) continue;
+    }
+    bool dup = false;
+    for (const SourceFact& f : fn.taints) {
+      if (f.line == line &&
+          f.what == "iteration over unordered `" + ident + "`") {
+        dup = true;
+      }
+    }
+    if (!dup) {
+      fn.taints.push_back({"iteration over unordered `" + ident + "`", line});
+    }
+  }
+  index->pending_iterations.clear();
+  index->stats.files = index->files.size();
+  index->stats.functions = index->functions.size();
+  index->stats.tokens = 0;
+  index->stats.calls = 0;
+  index->stats.includes = 0;
+  for (const IndexedFile& f : index->files) {
+    index->stats.tokens += f.tokens;
+    index->stats.includes += f.includes.size();
+  }
+  for (const FunctionInfo& fn : index->functions) {
+    index->stats.calls += fn.calls.size();
+  }
+}
+
+namespace {
+
+std::string owner_of(const FunctionInfo& fn,
+                     const std::set<std::string>& class_names) {
+  const std::size_t cut = fn.name.rfind("::");
+  if (cut == std::string::npos) return {};
+  const std::size_t prev = fn.name.rfind("::", cut - 1);
+  const std::string owner = prev == std::string::npos
+                                ? fn.name.substr(0, cut)
+                                : fn.name.substr(prev + 2, cut - prev - 2);
+  return class_names.count(owner) != 0 ? owner : std::string();
+}
+
+}  // namespace
+
+std::vector<std::size_t> resolve_call(const Index& index,
+                                      const FunctionInfo& caller,
+                                      const CallSite& call) {
+  const std::size_t sep = call.name.rfind("::");
+  if (sep != std::string::npos) {
+    const std::string base = call.name.substr(sep + 2);
+    const auto it = index.by_base.find(base);
+    if (it == index.by_base.end()) return {};
+    std::vector<std::size_t> out;
+    for (std::size_t id : it->second) {
+      const std::string& full = index.functions[id].name;
+      if (full == call.name || (full.size() > call.name.size() &&
+                                full.compare(full.size() - call.name.size() - 2,
+                                             2, "::") == 0 &&
+                                full.compare(full.size() - call.name.size(),
+                                             call.name.size(),
+                                             call.name) == 0)) {
+        out.push_back(id);
+      }
+    }
+    return out;
+  }
+  const auto it = index.by_base.find(call.name);
+  if (it == index.by_base.end()) return {};
+  const std::vector<std::size_t>& candidates = it->second;
+  if (call.member && !call.receiver.empty()) {
+    const auto vt = index.var_types.find(call.receiver);
+    if (vt != index.var_types.end()) {
+      std::vector<std::size_t> narrowed;
+      for (std::size_t id : candidates) {
+        if (vt->second.count(owner_of(index.functions[id],
+                                      index.class_names)) != 0) {
+          narrowed.push_back(id);
+        }
+      }
+      if (!narrowed.empty()) return narrowed;
+    }
+  }
+  // Prefer same-class members (implicit this->) and same-file definitions.
+  const std::string caller_owner = owner_of(caller, index.class_names);
+  std::vector<std::size_t> preferred;
+  for (std::size_t id : candidates) {
+    const FunctionInfo& fn = index.functions[id];
+    const bool same_owner = !caller_owner.empty() &&
+                            owner_of(fn, index.class_names) == caller_owner;
+    if (same_owner || fn.file == caller.file) preferred.push_back(id);
+  }
+  if (!preferred.empty()) return preferred;
+  return candidates;
+}
+
+Index build_index(const std::vector<std::string>& files, std::size_t threads,
+                  std::vector<Finding>* findings,
+                  const Options* per_file_options) {
+  Index index;
+  const auto lex_start = std::chrono::steady_clock::now();
+
+  struct Slot {
+    bool ok = false;
+    ScanResult scanned;
+  };
+  std::vector<Slot> slots(files.size());
+  {
+    common::ThreadPool pool(threads);
+    index.stats.threads = pool.size();
+    std::vector<std::future<void>> pending;
+    pending.reserve(files.size());
+    for (std::size_t s = 0; s < files.size(); ++s) {
+      pending.push_back(pool.submit([&files, &slots, s] {
+        std::ifstream in(files[s], std::ios::binary);
+        if (!in) return;
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        slots[s].scanned = scan(buffer.str());
+        slots[s].ok = true;
+      }));
+    }
+    for (std::future<void>& f : pending) f.get();
+  }
+  const auto lex_end = std::chrono::steady_clock::now();
+  index.stats.lex_seconds =
+      std::chrono::duration<double>(lex_end - lex_start).count();
+
+  for (std::size_t s = 0; s < files.size(); ++s) {
+    if (!slots[s].ok) {
+      if (findings != nullptr) {
+        findings->push_back({files[s], 0, "io-error", "cannot open file"});
+      }
+      continue;
+    }
+    if (findings != nullptr && per_file_options != nullptr) {
+      std::vector<Finding> per_file =
+          lint_scanned(files[s], slots[s].scanned, *per_file_options);
+      findings->insert(findings->end(),
+                       std::make_move_iterator(per_file.begin()),
+                       std::make_move_iterator(per_file.end()));
+    }
+    index_scanned(files[s], slots[s].scanned, &index);
+    slots[s].scanned = ScanResult{};  // release tokens early
+  }
+  finalize_index(&index);
+  const auto index_end = std::chrono::steady_clock::now();
+  index.stats.index_seconds =
+      std::chrono::duration<double>(index_end - lex_end).count();
+  return index;
+}
+
+}  // namespace mlcr::lint

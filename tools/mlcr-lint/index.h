@@ -1,0 +1,172 @@
+// Pass 1 of the --graph analysis: a whole-repo index built from the shared
+// token lexer (lint.h scan()).  One parse per file extracts:
+//
+//   - the include graph (quoted + angled #include targets),
+//   - every function *definition* with its fully qualified name (namespace
+//     stack + class stack + explicit Class:: qualifiers on out-of-line
+//     definitions),
+//   - per-function call sites (name as written, receiver identifier for
+//     member calls, and the set of mutex keys held at the call),
+//   - per-function lock acquisitions (std::lock_guard / scoped_lock /
+//     unique_lock / shared_lock targets, canonicalized to
+//     `Enclosing::Scope::expr` keys, with the keys already held),
+//   - blocking-syscall and nondeterminism-source facts (inputs to the
+//     blocking-call-transitive and determinism-taint graph rules),
+//   - metric-name string literals (first argument of .counter/.gauge/.timer
+//     registry calls),
+//   - declared variable/member names -> candidate class types (narrows
+//     member-call resolution) and names declared with unordered_* types,
+//     scoped by declaring file + include closure (iteration over those is a
+//     nondeterminism source; a same-file ordered declaration shadows them).
+//
+// The extractor is token-level and heuristic: it over-approximates calls
+// (every `name(` that isn't a keyword or declaration it recognizes) and
+// resolves them by base name, narrowed by receiver type and same-file
+// preference in graph_rules.cpp.  That bias is deliberate — over-approximate
+// reachability, then let witness paths make each finding checkable by hand.
+//
+// Lexing is parallel (common::ThreadPool, one task per file, results in
+// deterministic slot order); extraction is single-threaded and cheap.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "lint.h"
+
+namespace mlcr::lint {
+
+/// A call site inside a function body.
+struct CallSite {
+  std::string name;      ///< as written: "helper" or "ns::helper"
+  std::string receiver;  ///< last receiver identifier for member calls
+  bool member = false;   ///< preceded by `.` or `->`
+  int line = 0;
+  std::vector<std::string> held;  ///< mutex keys held at the call
+};
+
+/// A RAII guard acquisition inside a function body.
+struct LockSite {
+  std::string mutex;  ///< canonical key, e.g. "mlcr::net::Server::subs_mutex_"
+  int line = 0;
+  std::vector<std::string> held;  ///< keys already held when this is acquired
+};
+
+/// A direct blocking-syscall or nondeterminism-source fact.
+struct SourceFact {
+  std::string what;  ///< e.g. "::recv()" or "iteration over unordered `conns`"
+  int line = 0;
+};
+
+struct FunctionInfo {
+  std::string name;  ///< fully qualified, e.g. "mlcr::net::Server::flush"
+  std::string base;  ///< last component, e.g. "flush"
+  std::size_t file = 0;  ///< index into Index::files
+  int line = 0;          ///< line of the definition's opening brace
+  /// Lambda passed directly to a `post(...)` call: it runs on the reactor
+  /// loop later, so blocking-call-transitive treats it as an entry point.
+  bool posted_lambda = false;
+  std::vector<CallSite> calls;
+  std::vector<LockSite> locks;
+  std::vector<SourceFact> blocking;  ///< blocking-call-transitive inputs
+  std::vector<SourceFact> taints;    ///< determinism-taint inputs
+};
+
+/// A metric-name literal use: first string argument of a registry call.
+struct MetricUse {
+  std::string name;
+  std::size_t file = 0;
+  int line = 0;
+  bool prefix = false;  ///< literal is concatenated with `+` (dynamic name)
+};
+
+struct IndexedFile {
+  std::string path;  ///< as given (diagnostics)
+  std::string norm;  ///< forward-slash normalized (rule scoping)
+  std::vector<Include> includes;
+  /// line -> rule ids suppressed on that line, kept so graph rules honor
+  /// inline allow() comments at the finding site.
+  std::map<int, std::set<std::string>> allowed;
+  std::size_t tokens = 0;
+};
+
+struct IndexStats {
+  std::size_t files = 0;
+  std::size_t tokens = 0;
+  std::size_t functions = 0;
+  std::size_t calls = 0;
+  std::size_t includes = 0;
+  std::size_t threads = 1;     ///< lexing pool size
+  double lex_seconds = 0.0;    ///< wall time of the parallel lex phase
+  double index_seconds = 0.0;  ///< wall time of the extraction phase
+};
+
+struct Index {
+  std::vector<IndexedFile> files;
+  std::vector<FunctionInfo> functions;
+  /// base name -> function ids (the call-resolution table).
+  std::map<std::string, std::vector<std::size_t>> by_base;
+  /// class name -> base names of its member functions.
+  std::map<std::string, std::set<std::string>> class_members;
+  /// declared variable/member name -> class names seen in its type tokens
+  /// (pruned against class_names by finalize_index).
+  std::map<std::string, std::set<std::string>> var_types;
+  std::set<std::string> class_names;
+  /// name -> files declaring it with an unordered_* (or pointer-keyed map)
+  /// type.  Iteration findings only fire in the declaring file or a file
+  /// that transitively includes it, so same-name locals elsewhere stay quiet.
+  std::map<std::string, std::set<std::size_t>> unordered_decls;
+  /// (file, name) declared with an ordered/sequence container: shadows a
+  /// same-name unordered member coming in from an included header.
+  std::set<std::pair<std::size_t, std::string>> ordered_decls;
+  /// file -> files transitively reachable through quoted #includes (self
+  /// included); targets are resolved against indexed paths by suffix match.
+  std::vector<std::set<std::size_t>> include_closure;
+  std::vector<MetricUse> metrics;
+  IndexStats stats;
+
+  // Intermediate extraction state, consumed by finalize_index:
+  /// declared name -> every ident seen in its type tokens (unpruned).
+  std::map<std::string, std::set<std::string>> raw_var_types;
+  /// (function id, iterated ident, line) from range-for statements; turned
+  /// into determinism-taint facts when an unordered declaration of the
+  /// ident is visible (same file, or through the include closure and not
+  /// shadowed by a same-file ordered declaration).
+  std::vector<std::tuple<std::size_t, std::string, int>> pending_iterations;
+};
+
+/// Extracts one already-scanned file into the index (single-threaded).
+/// Exposed for fixture-level tests; build_index is the normal entry point.
+void index_scanned(const std::string& path, const ScanResult& scanned,
+                   Index* index);
+
+/// Finalizes cross-file tables (by_base, class_members, var_types pruning).
+/// Called once after every file is extracted.
+void finalize_index(Index* index);
+
+/// Pass 1: reads and lexes `files` in parallel on a ThreadPool of `threads`
+/// workers (0 = hardware concurrency), extracts each into the index in
+/// deterministic file order, and finalizes.  Unreadable files append
+/// io-error findings.  When `per_file_options` is non-null the per-file
+/// rules also run on each scanned file (one lex serves both passes) and
+/// their findings are appended too.
+[[nodiscard]] Index build_index(const std::vector<std::string>& files,
+                                std::size_t threads,
+                                std::vector<Finding>* findings,
+                                const Options* per_file_options = nullptr);
+
+/// Resolves a call site to candidate function ids: qualified suffix match
+/// when the name has `::`, else base-name lookup narrowed by the receiver's
+/// declared type (member calls) and by same-file candidates.  Deterministic
+/// (ids ascending).  Exposed for tests.
+[[nodiscard]] std::vector<std::size_t> resolve_call(const Index& index,
+                                                    const FunctionInfo& caller,
+                                                    const CallSite& call);
+
+}  // namespace mlcr::lint

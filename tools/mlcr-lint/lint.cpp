@@ -2,31 +2,17 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <map>
-#include <set>
 #include <sstream>
+#include <tuple>
 
 namespace mlcr::lint {
 
 namespace {
 
 // --- lexer -----------------------------------------------------------------
-
-struct Token {
-  enum class Kind { kIdent, kNumber, kString, kPunct };
-  Kind kind = Kind::kPunct;
-  std::string text;
-  int line = 0;
-};
-
-struct ScanResult {
-  std::vector<Token> tokens;
-  /// line -> rule ids suppressed on that line (from allow() directives).
-  std::map<int, std::set<std::string>> allowed;
-  bool has_pragma_once = false;
-};
 
 bool ident_start(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
@@ -37,6 +23,7 @@ bool ident_char(char c) {
 
 /// Parses "mlcr-lint: allow(rule-a, rule-b)" out of a comment body and
 /// registers the ids against `line` (the line the suppression applies to).
+/// Rule ids may be separated by commas, whitespace, or both.
 void parse_allow(const std::string& comment, int line, ScanResult* result) {
   const std::string tag = "mlcr-lint:";
   std::size_t at = comment.find(tag);
@@ -45,21 +32,48 @@ void parse_allow(const std::string& comment, int line, ScanResult* result) {
   if (at == std::string::npos) return;
   const std::size_t close = comment.find(')', at);
   if (close == std::string::npos) return;
-  std::string ids = comment.substr(at + 6, close - at - 6);
+  const std::string ids = comment.substr(at + 6, close - at - 6);
   std::string id;
-  std::istringstream stream(ids);
-  while (std::getline(stream, id, ',')) {
-    const std::size_t first = id.find_first_not_of(" \t");
-    const std::size_t last = id.find_last_not_of(" \t");
-    if (first == std::string::npos) continue;
-    result->allowed[line].insert(id.substr(first, last - first + 1));
+  auto flush = [&] {
+    if (!id.empty()) result->allowed[line].insert(id);
+    id.clear();
+  };
+  for (char c : ids) {
+    if (c == ',' || c == ' ' || c == '\t') {
+      flush();
+    } else {
+      id += c;
+    }
   }
+  flush();
 }
 
-/// Token-level scan: emits identifiers/numbers/strings/punctuation, strips
-/// comments (harvesting allow() directives) and preprocessor lines
-/// (detecting #pragma once).  Good enough for invariant scanning; not a
-/// real C++ front end and not trying to be one.
+/// Extracts the target of an `#include` directive from the squeezed
+/// directive text ("#include \"x.h\"" or "#include <x>").
+void parse_include(const std::string& squeezed, int line, ScanResult* result) {
+  static const char* kForms[] = {"#include", "# include"};
+  std::size_t after = std::string::npos;
+  for (const char* form : kForms) {
+    if (squeezed.rfind(form, 0) == 0) {
+      after = std::string(form).size();
+      break;
+    }
+  }
+  if (after == std::string::npos) return;
+  std::size_t i = after;
+  while (i < squeezed.size() && squeezed[i] == ' ') ++i;
+  if (i >= squeezed.size()) return;
+  const char open = squeezed[i];
+  const char close = open == '<' ? '>' : '"';
+  if (open != '<' && open != '"') return;
+  const std::size_t end = squeezed.find(close, i + 1);
+  if (end == std::string::npos) return;
+  result->includes.push_back(
+      {squeezed.substr(i + 1, end - i - 1), open == '<', line});
+}
+
+}  // namespace
+
 ScanResult scan(std::string_view text) {
   ScanResult result;
   int line = 1;
@@ -113,6 +127,7 @@ ScanResult scan(std::string_view text) {
     // Preprocessor directive: swallow the logical line (incl. continuations).
     if (c == '#' && !line_has_code) {
       const std::size_t start = i;
+      const int directive_line = line;
       while (i < n) {
         if (text[i] == '\n') {
           if (i > 0 && text[i - 1] == '\\') {
@@ -138,6 +153,7 @@ ScanResult scan(std::string_view text) {
           squeezed.rfind("#pragma once", 0) == 0) {
         result.has_pragma_once = true;
       }
+      parse_include(squeezed, directive_line, &result);
       continue;
     }
     // String literal (including raw strings and encoding prefixes handled
@@ -250,6 +266,8 @@ ScanResult scan(std::string_view text) {
 }
 
 // --- rule machinery --------------------------------------------------------
+
+namespace {
 
 struct FileContext {
   std::string path;        ///< as given (diagnostics)
@@ -477,6 +495,8 @@ void rule_net_blocking_call(const FileContext& ctx) {
   // *_nonblocking helpers); reactor-managed code calls those instead.
   // src/ctrl is included because Replanner::ingest runs inline on shard
   // threads (server.cpp handle_ingest) — it must stay pure arithmetic.
+  // The --graph rule blocking-call-transitive extends this through the call
+  // graph to helpers defined elsewhere.
   if (!in_dir(ctx, "src/net/reactor") && !in_dir(ctx, "src/net/server") &&
       !in_dir(ctx, "src/ctrl")) {
     return;
@@ -548,11 +568,29 @@ const std::vector<RuleInfo>& rules() {
   return kRules;
 }
 
-std::vector<Finding> lint_file(const std::string& path,
-                               std::string_view contents,
-                               const Options& options) {
+const std::vector<RuleInfo>& graph_rules_info() {
+  static const std::vector<RuleInfo> kRules = {
+      {"blocking-call-transitive",
+       "no blocking syscall reachable from reactor/shard entry points "
+       "through the call graph (reported with the call chain)"},
+      {"determinism-taint",
+       "no nondeterminism source (unordered iteration, get_id, clocks) "
+       "reachable from canonical_key / deterministic_fingerprint / net "
+       "encoders"},
+      {"lock-order",
+       "the global mutex acquisition-order graph must be acyclic "
+       "(cycles are potential deadlocks; reported with a witness path)"},
+      {"metric-name-drift",
+       "metric-name string literals must not be one edit away from a more "
+       "common sibling (catches typo'd registry names)"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> lint_scanned(const std::string& path,
+                                  const ScanResult& scanned,
+                                  const Options& options) {
   std::vector<Finding> findings;
-  const ScanResult scanned = scan(contents);
   std::string norm = path;
   std::replace(norm.begin(), norm.end(), '\\', '/');
   FileContext ctx{path, norm, &scanned, &options, &findings};
@@ -569,6 +607,12 @@ std::vector<Finding> lint_file(const std::string& path,
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
             });
   return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               std::string_view contents,
+                               const Options& options) {
+  return lint_scanned(path, scan(contents), options);
 }
 
 namespace {
@@ -605,10 +649,9 @@ void collect(const std::filesystem::path& root,
 
 }  // namespace
 
-std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
-                                const Options& options) {
+std::vector<std::string> expand_paths(const std::vector<std::string>& paths,
+                                      std::vector<Finding>* io_errors) {
   std::vector<std::string> files;
-  std::vector<Finding> findings;
   for (const std::string& path : paths) {
     std::error_code ec;
     if (std::filesystem::is_directory(path, ec)) {
@@ -616,11 +659,18 @@ std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
     } else if (std::filesystem::is_regular_file(path, ec)) {
       files.push_back(path);
     } else {
-      findings.push_back({path, 0, "io-error", "no such file or directory"});
+      io_errors->push_back({path, 0, "io-error", "no such file or directory"});
     }
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
+                                const Options& options) {
+  std::vector<Finding> findings;
+  const std::vector<std::string> files = expand_paths(paths, &findings);
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -636,6 +686,207 @@ std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
                     std::make_move_iterator(file_findings.end()));
   }
   return findings;
+}
+
+void sort_findings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.rule, b.message);
+            });
+}
+
+// --- output formats --------------------------------------------------------
+
+namespace {
+
+/// Minimal JSON string escaping (shared by kJson and kSarif output).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_text(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.path + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+std::string render_json(const std::vector<Finding>& findings) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "  {\"path\": \"" + json_escape(f.path) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           json_escape(f.rule) + "\", \"message\": \"" +
+           json_escape(f.message) + "\"}";
+    if (i + 1 < findings.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string render_sarif(const std::vector<Finding>& findings) {
+  // SARIF 2.1.0: one run, the full rule table in tool.driver.rules, one
+  // result per finding.  io-error findings carry line 0; SARIF regions
+  // require startLine >= 1, so those results omit the region.
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+      "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"mlcr-lint\",\n"
+      "          \"version\": \"2.0.0\",\n"
+      "          \"rules\": [\n";
+  std::vector<RuleInfo> all = rules();
+  const std::vector<RuleInfo>& graph = graph_rules_info();
+  all.insert(all.end(), graph.begin(), graph.end());
+  all.push_back({"io-error", "file could not be read"});
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    out += "            {\"id\": \"" + json_escape(all[i].id) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(all[i].summary) + "\"}}";
+    if (i + 1 < all.size()) out += ",";
+    out += "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "        {\"ruleId\": \"" + json_escape(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           json_escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(f.path) + "\"}";
+    if (f.line > 0) {
+      out += ", \"region\": {\"startLine\": " + std::to_string(f.line) + "}";
+    }
+    out += "}}]}";
+    if (i + 1 < findings.size()) out += ",";
+    out += "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+/// GitHub Actions workflow commands: %, CR and LF must be URL-escaped in
+/// annotation messages (https://docs.github.com/actions workflow commands).
+std::string github_escape(std::string_view text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\n': out += "%0A"; break;
+      case '\r': out += "%0D"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_github(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += "::error file=" + github_escape(f.path);
+    if (f.line > 0) out += ",line=" + std::to_string(f.line);
+    out += ",title=" + github_escape(f.rule) +
+           "::" + github_escape(f.message) + "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Format> parse_format(std::string_view name) {
+  if (name == "text") return Format::kText;
+  if (name == "json") return Format::kJson;
+  if (name == "sarif") return Format::kSarif;
+  if (name == "github") return Format::kGithub;
+  return std::nullopt;
+}
+
+std::string render(const std::vector<Finding>& findings, Format format) {
+  switch (format) {
+    case Format::kText: return render_text(findings);
+    case Format::kJson: return render_json(findings);
+    case Format::kSarif: return render_sarif(findings);
+    case Format::kGithub: return render_github(findings);
+  }
+  return {};
+}
+
+// --- baseline --------------------------------------------------------------
+
+std::string baseline_key(const Finding& finding) {
+  return finding.path + "|" + finding.rule + "|" + finding.message;
+}
+
+std::optional<std::set<std::string>> load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::set<std::string> keys;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    keys.insert(line);
+  }
+  return keys;
+}
+
+std::string serialize_baseline(const std::vector<Finding>& findings) {
+  std::set<std::string> keys;
+  for (const Finding& f : findings) keys.insert(baseline_key(f));
+  std::string out =
+      "# mlcr-lint baseline: one path|rule|message key per line.\n"
+      "# Regenerate with scripts/lint_baseline.sh; the graph-tree ctest\n"
+      "# fails when a finding is neither fixed nor listed here.\n";
+  for (const std::string& key : keys) out += key + "\n";
+  return out;
+}
+
+void apply_baseline(const std::set<std::string>& baseline,
+                    std::vector<Finding>* findings) {
+  findings->erase(std::remove_if(findings->begin(), findings->end(),
+                                 [&](const Finding& f) {
+                                   return baseline.count(baseline_key(f)) != 0;
+                                 }),
+                  findings->end());
 }
 
 }  // namespace mlcr::lint

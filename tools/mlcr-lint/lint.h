@@ -2,7 +2,9 @@
 //
 // A token-level scanner (no libclang) that enforces the repo's own coding
 // invariants as named, suppressible rules — the things -Wall and the
-// sanitizers cannot see because they are *conventions*, not language rules:
+// sanitizers cannot see because they are *conventions*, not language rules.
+//
+// Per-file rules (pass over one translation unit at a time):
 //
 //   raw-memory              no new/delete/malloc/free outside src/common
 //   naked-lock              no manual .lock()/.unlock(); RAII guards only
@@ -17,12 +19,27 @@
 //   pragma-once             every header starts with #pragma once
 //   using-namespace-header  no using namespace at header scope
 //
+// Graph rules (--graph: a two-pass whole-repo analysis; pass 1 builds a
+// symbol/call/lock index over every file — see index.h — pass 2 walks it):
+//
+//   lock-order              mutex acquisition-order cycles across the call
+//                           graph (potential deadlock), with witness path
+//   blocking-call-transitive blocking syscalls reachable from reactor/shard
+//                           entry points through helpers, with call chain
+//   determinism-taint       nondeterminism sources (unordered iteration,
+//                           get_id, clocks) reachable from canonical_key /
+//                           deterministic_fingerprint / net encoders
+//   metric-name-drift       near-duplicate metric-name literals repo-wide
+//
 // Diagnostics are `file:line: rule-id: message`.  A finding on a line that
-// carries `// mlcr-lint: allow(rule-id)` — or whose previous line is only
-// that comment — is suppressed.  See DESIGN.md §10 for the rule rationale
-// and how to add a rule.
+// carries `// mlcr-lint: allow(rule-a, rule-b)` — comma- or space-separated
+// ids — or whose previous line is only that comment — is suppressed.  See
+// DESIGN.md §10 for the rule rationale, index schema, and how to add a rule.
 #pragma once
 
+#include <map>
+#include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,8 +58,44 @@ struct RuleInfo {
   const char* summary;
 };
 
-/// The rule table, in diagnostic-id order.
+/// The per-file rule table, in diagnostic-id order.
 [[nodiscard]] const std::vector<RuleInfo>& rules();
+
+/// The graph rule table (--graph), in diagnostic-id order.
+[[nodiscard]] const std::vector<RuleInfo>& graph_rules_info();
+
+// --- lexer -----------------------------------------------------------------
+// Exposed so the pass-1 indexer (index.cpp) shares one tokenizer with the
+// per-file rules; tests drive it directly for suppression-parsing coverage.
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+struct Include {
+  std::string target;  ///< as written between the quotes / angle brackets
+  bool angled = false;
+  int line = 0;
+};
+
+struct ScanResult {
+  std::vector<Token> tokens;
+  /// line -> rule ids suppressed on that line (from allow() directives).
+  std::map<int, std::set<std::string>> allowed;
+  /// #include directives, in file order (the pass-1 include graph).
+  std::vector<Include> includes;
+  bool has_pragma_once = false;
+};
+
+/// Token-level scan: identifiers/numbers/strings/punctuation; strips
+/// comments (harvesting allow() directives) and preprocessor lines
+/// (detecting #pragma once, collecting #include targets).
+[[nodiscard]] ScanResult scan(std::string_view text);
+
+// --- driving ---------------------------------------------------------------
 
 struct Options {
   /// Rule ids disabled for this run (--disable on the CLI).
@@ -57,6 +110,12 @@ struct Options {
                                              std::string_view contents,
                                              const Options& options = {});
 
+/// Runs the per-file rules over an already-scanned file (shared by
+/// lint_file and the --graph driver, which lexes each file exactly once).
+[[nodiscard]] std::vector<Finding> lint_scanned(const std::string& path,
+                                                const ScanResult& scanned,
+                                                const Options& options = {});
+
 /// Lints files and directory trees.  Directories are walked recursively for
 /// .h/.hpp/.cpp/.cc files in sorted order; build trees, .git, and
 /// lint_fixtures directories are skipped during the walk (explicitly named
@@ -64,5 +123,49 @@ struct Options {
 /// rule "io-error" so a truncated run can never look clean.
 [[nodiscard]] std::vector<Finding> lint_paths(
     const std::vector<std::string>& paths, const Options& options = {});
+
+/// Expands `paths` to the sorted, deduplicated lintable file list using the
+/// same walk as lint_paths.  Missing paths append io-error findings.
+[[nodiscard]] std::vector<std::string> expand_paths(
+    const std::vector<std::string>& paths, std::vector<Finding>* io_errors);
+
+/// Stable ordering for reports and baselines: (path, line, rule, message).
+void sort_findings(std::vector<Finding>* findings);
+
+// --- output formats --------------------------------------------------------
+
+enum class Format { kText, kJson, kSarif, kGithub };
+
+/// Parses a --format= value; nullopt on unknown names.
+[[nodiscard]] std::optional<Format> parse_format(std::string_view name);
+
+/// Renders findings in the given format.  kText is the classic
+/// `file:line: rule: message` lines; kJson a stable JSON array; kSarif a
+/// SARIF 2.1.0 log (one run, one result per finding); kGithub GitHub
+/// Actions `::error file=...` workflow annotations.
+[[nodiscard]] std::string render(const std::vector<Finding>& findings,
+                                 Format format);
+
+// --- baseline / ratchet ----------------------------------------------------
+// A baseline file holds one `path|rule|message` key per line (line numbers
+// are deliberately excluded so unrelated edits don't invalidate entries).
+// `#` comment lines and blank lines are ignored.  Findings whose key is in
+// the baseline are dropped, which lets a new rule land with existing debt
+// ratcheted: the debt cannot grow, and scripts/lint_baseline.sh fails CI
+// when the committed baseline goes stale.
+
+[[nodiscard]] std::string baseline_key(const Finding& finding);
+
+/// Loads a baseline file; nullopt when it cannot be read.
+[[nodiscard]] std::optional<std::set<std::string>> load_baseline(
+    const std::string& path);
+
+/// Serializes findings as sorted, deduplicated baseline lines.
+[[nodiscard]] std::string serialize_baseline(
+    const std::vector<Finding>& findings);
+
+/// Removes findings whose baseline_key is present in `baseline`.
+void apply_baseline(const std::set<std::string>& baseline,
+                    std::vector<Finding>* findings);
 
 }  // namespace mlcr::lint

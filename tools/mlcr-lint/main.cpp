@@ -1,21 +1,31 @@
 // CLI for mlcr-lint.  See lint.h for the rule set.
 //
 //   ./build/tools/mlcr-lint src examples bench tests
+//   ./build/tools/mlcr-lint --graph --baseline tools/mlcr-lint/baseline.txt
+//       src examples bench tests
 //
-// Prints `file:line: rule-id: message` per finding; exits 0 on a clean
-// tree, 1 when there are findings, 2 on usage errors.
+// Default output is `file:line: rule-id: message` per finding; --format
+// selects json / sarif / github renderings.  Exits 0 on a clean tree, 1
+// when there are findings, 2 on usage or baseline IO errors.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "graph_rules.h"
+#include "index.h"
 #include "lint.h"
 
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--list-rules] [--disable <rule-id>] <path>...\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--list-rules] [--disable <rule-id>] [--graph]\n"
+      "          [--format=text|json|sarif|github] [--baseline <file>]\n"
+      "          [--write-baseline <file>] [--jobs <n>] <path>...\n",
+      argv0);
   return 2;
 }
 
@@ -24,17 +34,51 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   mlcr::lint::Options options;
   std::vector<std::string> paths;
+  bool graph = false;
+  mlcr::lint::Format format = mlcr::lint::Format::kText;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
       for (const auto& rule : mlcr::lint::rules()) {
-        std::printf("%-24s %s\n", rule.id, rule.summary);
+        std::printf("%-26s %s\n", rule.id, rule.summary);
+      }
+      for (const auto& rule : mlcr::lint::graph_rules_info()) {
+        std::printf("%-26s [graph] %s\n", rule.id, rule.summary);
       }
       return 0;
     }
     if (arg == "--disable") {
       if (i + 1 >= argc) return usage(argv[0]);
       options.disabled_rules.push_back(argv[++i]);
+      continue;
+    }
+    if (arg == "--graph") {
+      graph = true;
+      continue;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      const auto parsed = mlcr::lint::parse_format(arg.substr(9));
+      if (!parsed) return usage(argv[0]);
+      format = *parsed;
+      continue;
+    }
+    if (arg == "--baseline") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      baseline_path = argv[++i];
+      continue;
+    }
+    if (arg == "--write-baseline") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      write_baseline_path = argv[++i];
+      continue;
+    }
+    if (arg == "--jobs") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
       continue;
     }
     if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
@@ -44,12 +88,55 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) return usage(argv[0]);
 
-  const std::vector<mlcr::lint::Finding> findings =
-      mlcr::lint::lint_paths(paths, options);
-  for (const auto& finding : findings) {
-    std::printf("%s:%d: %s: %s\n", finding.path.c_str(), finding.line,
-                finding.rule.c_str(), finding.message.c_str());
+  std::vector<mlcr::lint::Finding> findings;
+  if (graph) {
+    const std::vector<std::string> files =
+        mlcr::lint::expand_paths(paths, &findings);
+    const mlcr::lint::Index index =
+        mlcr::lint::build_index(files, jobs, &findings, &options);
+    std::vector<mlcr::lint::Finding> graph_findings =
+        mlcr::lint::run_graph_rules(index, options);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(graph_findings.begin()),
+                    std::make_move_iterator(graph_findings.end()));
+    std::fprintf(stderr,
+                 "mlcr-lint: indexed %zu files (%zu tokens, %zu functions, "
+                 "%zu calls, %zu includes) — lex %.3fs on %zu thread(s), "
+                 "extract+rules %.3fs\n",
+                 index.stats.files, index.stats.tokens, index.stats.functions,
+                 index.stats.calls, index.stats.includes,
+                 index.stats.lex_seconds, index.stats.threads,
+                 index.stats.index_seconds);
+  } else {
+    findings = mlcr::lint::lint_paths(paths, options);
   }
+  mlcr::lint::sort_findings(&findings);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "mlcr-lint: cannot write baseline %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    out << mlcr::lint::serialize_baseline(findings);
+    std::fprintf(stderr, "mlcr-lint: wrote %zu finding(s) to %s\n",
+                 findings.size(), write_baseline_path.c_str());
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    const auto baseline = mlcr::lint::load_baseline(baseline_path);
+    if (!baseline) {
+      std::fprintf(stderr, "mlcr-lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    mlcr::lint::apply_baseline(*baseline, &findings);
+  }
+
+  const std::string rendered = mlcr::lint::render(findings, format);
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
   if (!findings.empty()) {
     std::fprintf(stderr, "mlcr-lint: %zu finding(s)\n", findings.size());
     return 1;
