@@ -258,9 +258,15 @@ int main(int argc, char** argv) {
         push_ms, push_ok ? "" : "  PUSH LOOP FAILED");
   }
 
+  // Machine-readable mirror of every prose SKIP above, so tooling can tell
+  // "passed" from "not measured" without parsing stdout.
+  net::json::Array skips;
+  if (!push_measured) skips.push_back(std::string("push_latency"));
+
   const net::json::Value summary = net::json::Object{
       {"bench", "bench_ctrl"},
       {"v", kArtifactVersion},
+      {"skips", std::move(skips)},
       {"batches", static_cast<long>(batches)},
       {"hardware_threads", static_cast<long>(hardware_threads)},
       {"ingest",

@@ -14,10 +14,18 @@
 //   serial       serial throughput vs the recorded pre-vectorization
 //                baseline — an absolute number from the reference host, so
 //                informational unless --strict (perf-tracking hosts).
-// Results go to stdout and to BENCH_sim.json (artifact version "v": 2,
+//   des error    the DES backend's model-vs-simulated error must sit in the
+//                same < 5% band (fewer replicas — the rank-level replay is
+//                orders of magnitude more expensive per run).
+// Results go to stdout and to BENCH_sim.json (artifact version "v": 3,
 // written with the daemon's JSON writer so the file parses with the same
-// codec it serves).  An existing artifact with a newer "v", or one recorded
-// on a wider host, is never clobbered — rerun with --out elsewhere.
+// codec it serves).  v3 adds per-backend throughput legs ("backends"), the
+// model-vs-DES error table ("des_cases"), and a machine-readable "skips"
+// array mirroring every prose SKIP line, so tooling can tell "passed" from
+// "not measured" without parsing stdout.  An existing artifact with a newer
+// "v", or one recorded on a wider host, is never clobbered — rerun with
+// --out elsewhere.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -27,8 +35,10 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "net/json.h"
 #include "net/protocol.h"
+#include "sim/backend.h"
 #include "svc/sim_request.h"
 #include "svc/sweep_engine.h"
 
@@ -36,7 +46,7 @@ namespace {
 
 using namespace mlcr;
 
-constexpr long kArtifactVersion = 2;
+constexpr long kArtifactVersion = 3;
 
 /// Serial replicas/s recorded by the v1 bench on the reference host before
 /// the kernel was vectorized (fresh Rng + scalar Welford per replica).  The
@@ -55,6 +65,7 @@ std::vector<svc::SimRequest> working_set(int runs) {
         opt::Solution::kMultilevelOptScale,
         {},
         {},
+        svc::SimBackend::kCoarse,
         failure_case.name};
     request.monte_carlo.runs = runs;
     request.monte_carlo.seed = 24141;
@@ -63,22 +74,23 @@ std::vector<svc::SimRequest> working_set(int runs) {
   return requests;
 }
 
-/// Replicas per second at the given width: best of repeated timed
-/// monte_carlo calls (>= 3 reps, >= 0.3 s total), so a scheduler stall on a
-/// noisy CI box cannot masquerade as a kernel regression.  The best rep
+/// Replicas per second through the given backend: best of repeated timed
+/// Backend::run calls (>= 3 reps, >= 0.3 s total), so a scheduler stall on
+/// a noisy CI box cannot masquerade as a kernel regression.  The best rep
 /// measures capability; the mean would measure the box's load average.
-double replica_throughput(const model::SystemConfig& cfg,
+/// `pool == nullptr` measures the serial path.
+double replica_throughput(const sim::Backend& backend,
+                          const model::SystemConfig& cfg,
                           const sim::Schedule& schedule, int runs,
-                          std::size_t threads) {
+                          common::ThreadPool* pool) {
   sim::MonteCarloOptions options;
   options.runs = runs;
   options.seed = 24141;
-  options.threads = threads;
   double best = 0.0;
   double total_seconds = 0.0;
   for (int rep = 0; rep < 3 || total_seconds < 0.3; ++rep) {
     const auto start = std::chrono::steady_clock::now();
-    const auto result = sim::monte_carlo(cfg, schedule, options);
+    const auto result = backend.run(cfg, schedule, options, pool);
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -227,20 +239,82 @@ int main(int argc, char** argv) {
         {"incomplete_runs", report->incomplete_runs}});
   }
 
-  // --- replica throughput: serial vs 8-way fan-out ----------------------
+  // --- model-vs-DES error legs ------------------------------------------
+  // The same working set through the DES backend: the rank-level replay
+  // costs orders of magnitude more per replica, so these legs run a reduced
+  // replica count.  The gate is the same 5% band, and the 1-vs-8-thread
+  // fingerprint comparison extends the determinism gate to the DES driver.
+  const int des_runs = std::min(runs, 16);
+  std::printf("\n  %-12s %-14s %-14s %-9s %-10s\n", "case (des)",
+              "analytic E(Tw)", "des simulated", "err(wct)", "vs coarse");
+  double worst_des_error = 0.0;
+  net::json::Array des_cases_json;
+  for (const auto& request : requests) {
+    svc::SimRequest des = request;
+    des.backend = svc::SimBackend::kDes;
+    des.monte_carlo.runs = des_runs;
+    const auto a = narrow.validate_one(des);
+    const auto b = wide.validate_one(des);
+    const bool same =
+        a.has_value() && b.has_value() && a->ok() &&
+        net::deterministic_fingerprint(*a) == net::deterministic_fingerprint(*b);
+    deterministic = deterministic && same;
+    if (!a.has_value() || !a->ok()) {
+      std::printf("  %-12s FAILED: %s\n", des.label.c_str(),
+                  a.has_value() ? a->message.c_str() : "expired");
+      worst_des_error = 1.0;
+      continue;
+    }
+    worst_des_error = std::max(worst_des_error, std::abs(a->wallclock_error));
+    // The coarse report for the same case is already cached in `narrow`.
+    const auto coarse = narrow.validate_one(request);
+    const double vs_coarse =
+        coarse.has_value() && coarse->wallclock.mean > 0.0
+            ? a->wallclock.mean / coarse->wallclock.mean
+            : 0.0;
+    std::printf("  %-12s %-14.6e %-14.6e %+8.2f%% %9.4fx%s\n",
+                a->label.c_str(), a->plan.wallclock(), a->wallclock.mean,
+                100.0 * a->wallclock_error, vs_coarse,
+                same ? "" : "  NONDETERMINISTIC");
+    des_cases_json.push_back(net::json::Object{
+        {"case", a->label},
+        {"analytic_wallclock", a->plan.wallclock()},
+        {"simulated_wallclock", a->wallclock.mean},
+        {"wallclock_error", a->wallclock_error},
+        {"vs_coarse_ratio", vs_coarse},
+        {"incomplete_runs", a->incomplete_runs}});
+  }
+
+  // --- per-backend replica throughput: serial vs 8-way fan-out ----------
   const auto& probe = requests.front();
   const auto planned = *narrow.plan_one(probe.plan_request());
   const auto schedule = sim::Schedule::from_plan(
       probe.config, planned.planned.full_plan, planned.planned.level_enabled);
-  const double serial_rps =
-      replica_throughput(probe.config, schedule, runs, 1);
-  const double parallel_rps =
-      replica_throughput(probe.config, schedule, runs, 8);
+  common::ThreadPool pool(8);
+  const double serial_rps = replica_throughput(
+      sim::coarse_backend(), probe.config, schedule, runs, nullptr);
+  const double parallel_rps = replica_throughput(
+      sim::coarse_backend(), probe.config, schedule, runs, &pool);
   const double speedup = serial_rps > 0.0 ? parallel_rps / serial_rps : 0.0;
   std::printf(
-      "\n  replica throughput: serial %8.1f runs/s   8 threads %8.1f "
+      "\n  coarse throughput: serial %8.1f runs/s   8 threads %8.1f "
       "runs/s   speedup %.2fx\n",
       serial_rps, parallel_rps, speedup);
+  const double des_serial_rps = replica_throughput(
+      sim::des_backend(), probe.config, schedule, des_runs, nullptr);
+  const double des_parallel_rps = replica_throughput(
+      sim::des_backend(), probe.config, schedule, des_runs, &pool);
+  const double des_speedup =
+      des_serial_rps > 0.0 ? des_parallel_rps / des_serial_rps : 0.0;
+  std::printf(
+      "  des    throughput: serial %8.1f runs/s   8 threads %8.1f "
+      "runs/s   speedup %.2fx\n",
+      des_serial_rps, des_parallel_rps, des_speedup);
+
+  // Machine-readable mirror of every prose SKIP below: gates this run did
+  // not measure, so tooling can tell "passed" from "not measured".
+  net::json::Array skips;
+  if (hw <= 1) skips.push_back(std::string("speedup_gate"));
 
   const net::json::Value summary = net::json::Object{
       {"v", kArtifactVersion},
@@ -249,11 +323,27 @@ int main(int argc, char** argv) {
       {"hardware_threads", static_cast<long>(hw)},
       {"deterministic", deterministic},
       {"worst_abs_wallclock_error", worst_error},
+      {"worst_abs_des_wallclock_error", worst_des_error},
       {"serial_replicas_per_second", serial_rps},
       {"serial_baseline_replicas_per_second", kSerialBaselineRps},
       {"parallel_replicas_per_second", parallel_rps},
       {"speedup_8_threads", speedup},
-      {"cases", std::move(cases_json)}};
+      {"backends",
+       net::json::Object{
+           {"coarse",
+            net::json::Object{{"runs", static_cast<long>(runs)},
+                              {"serial_replicas_per_second", serial_rps},
+                              {"parallel_replicas_per_second", parallel_rps},
+                              {"speedup_8_threads", speedup}}},
+           {"des",
+            net::json::Object{
+                {"runs", static_cast<long>(des_runs)},
+                {"serial_replicas_per_second", des_serial_rps},
+                {"parallel_replicas_per_second", des_parallel_rps},
+                {"speedup_8_threads", des_speedup}}}}},
+      {"cases", std::move(cases_json)},
+      {"des_cases", std::move(des_cases_json)},
+      {"skips", std::move(skips)}};
   std::FILE* file = std::fopen(out.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "bench_sim: cannot write %s\n", out.c_str());
@@ -266,10 +356,14 @@ int main(int argc, char** argv) {
   std::printf("\nwrote %s\n", out.c_str());
 
   const bool error_ok = worst_error < 0.05;
-  std::printf("  gates: determinism %s   worst error %.2f%% (< 5%%) %s\n",
-              deterministic ? "ok" : "FAIL", 100.0 * worst_error,
-              error_ok ? "ok" : "FAIL");
-  bool ok = deterministic && error_ok;
+  const bool des_error_ok = worst_des_error < 0.05;
+  std::printf(
+      "  gates: determinism %s   worst coarse error %.2f%% (< 5%%) %s   "
+      "worst des error %.2f%% (< 5%%) %s\n",
+      deterministic ? "ok" : "FAIL", 100.0 * worst_error,
+      error_ok ? "ok" : "FAIL", 100.0 * worst_des_error,
+      des_error_ok ? "ok" : "FAIL");
+  bool ok = deterministic && error_ok && des_error_ok;
 
   // Speedup is a hardware property: a hard gate where 8 real threads
   // exist, a visible SKIP (never a silent pass) where there is no parallel

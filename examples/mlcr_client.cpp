@@ -4,6 +4,7 @@
 //   ./mlcr_client --port 7070 --solution "ML(opt-scale)" --deadline-ms 500
 //   ./mlcr_client --port 7070 --codec binary --check-local
 //   ./mlcr_client --port 7070 --validate --runs 100 --seed 24141
+//   ./mlcr_client --port 7070 --validate --backend des --check-local
 //   ./mlcr_client --port 7070 --ping
 //   ./mlcr_client --port 7070 --metrics
 //
@@ -69,6 +70,7 @@ struct Options {
   // Monte-Carlo knobs for --validate.
   int runs = 100;
   unsigned long long seed = 0x5eed;
+  svc::SimBackend backend = svc::SimBackend::kCoarse;
   // System flags, plan_cli defaults (the paper's Figure 5 headline case).
   double te_core_days = 3e6;
   double kappa = 0.46;
@@ -88,13 +90,17 @@ void usage() {
       "                   [--rates r1,r2,...] [--costs c1,c2,...]\n"
       "                   [--pfs-slope S] [--allocation A]\n"
       "                   [--validate] [--runs N] [--seed S]\n"
+      "                   [--backend coarse|des]\n"
       "                   [--subscribe] [--events N] [--ingest FILE]\n"
       "                   [--observed-seconds S] [--observed-scale N]\n"
       "                   [--ping] [--metrics] [--check-local]\n"
       "Plans one request against a running mlcrd; --validate additionally\n"
       "fault-injects the plan N times and prints the plan-vs-simulated\n"
-      "error per time portion.  --check-local verifies the daemon's report\n"
-      "is identical to an in-process solve (exit 2 on mismatch).\n"
+      "error per time portion.  --backend picks the validation engine:\n"
+      "'coarse' (default, the paper's closed-form kernel) or 'des' (the\n"
+      "rank-level checkpoint-replay simulator; slower, higher fidelity).\n"
+      "--check-local verifies the daemon's report is identical to an\n"
+      "in-process solve (exit 2 on mismatch).\n"
       "--codec picks the wire framing (reports are bit-identical either\n"
       "way).  deadline_ms < 0 is already expired (load-shed probe).\n"
       "--subscribe waits for pushed re-plans on this request's stream and\n"
@@ -134,6 +140,17 @@ bool parse(int argc, char** argv, Options* options) {
       else if (flag == "--runs") options->runs = std::atoi(value);
       else if (flag == "--seed")
         options->seed = std::strtoull(value, nullptr, 10);
+      else if (flag == "--backend") {
+        const auto backend = svc::backend_from_string(value);
+        if (!backend.has_value()) {
+          std::fprintf(stderr,
+                       "mlcr_client: unknown backend \"%s\" "
+                       "(accepted: coarse, des)\n",
+                       value);
+          return false;
+        }
+        options->backend = *backend;
+      }
       else if (flag == "--te") options->te_core_days = std::atof(value);
       else if (flag == "--kappa") options->kappa = std::atof(value);
       else if (flag == "--nstar") options->n_star = std::atof(value);
@@ -195,7 +212,8 @@ void print_report(const svc::PlanReport& report) {
 
 void print_sim_report(const svc::SimReport& report) {
   print_report(report.plan);
-  std::printf("runs:      %d (%ld incomplete)\n", report.runs,
+  std::printf("backend:   %s\nruns:      %d (%ld incomplete)\n",
+              svc::to_string(report.backend), report.runs,
               report.incomplete_runs);
   if (!report.ok()) {
     std::printf("validate:  %s\nmessage:   %s\n",
@@ -261,8 +279,8 @@ int main(int argc, char** argv) {
     }
 
     if (options.validate) {
-      svc::SimRequest request{build_system(options), solution, {}, {},
-                              options.label};
+      svc::SimRequest request{build_system(options), solution,        {}, {},
+                              options.backend,       options.label};
       request.monte_carlo.runs = options.runs;
       request.monte_carlo.seed = options.seed;
       const net::SimResponse response =

@@ -91,6 +91,13 @@ daemon_smoke() {
     --validate --runs 20 --check-local \
     --te 30 --kappa 0.46 --nstar 1024 --rates 24,18,12,6 \
     --costs 0.9,2.5,3.9,5.5 --pfs-slope 0.0212 --allocation 60
+  # Same round trip through the DES backend (few replicas — the rank-level
+  # replay is orders of magnitude slower): the served report must still be
+  # bit-identical to the in-process answer under this codec.
+  "$dir"/examples/mlcr_client --port "$port" --codec "$codec" \
+    --validate --backend des --runs 8 --check-local \
+    --te 30 --kappa 0.46 --nstar 1024 --rates 24,18,12,6 \
+    --costs 0.9,2.5,3.9,5.5 --pfs-slope 0.0212 --allocation 60
   kill -TERM "$mlcrd_pid"
   drained=""
   for _ in $(seq 1 300); do
@@ -288,7 +295,7 @@ scripts/run_tidy.sh build
 
 echo "== tier-1: ThreadSanitizer pass (thread pool + sweep engine + metrics + net + ctrl + sim fan-out) =="
 build_and_test build-tsan thread \
-  'ThreadPool|SweepEngine|ShardedLruCache|Metrics|LruCache|AdmissionQueue|NetServer|NetProtocol|NetJson|NetCodec|NetReactor|MonteCarloParallel|MonteCarloChunks|ValidatePipeline|CtrlReplanner|IngestOp|SubscribeOp'
+  'ThreadPool|SweepEngine|ShardedLruCache|Metrics|LruCache|AdmissionQueue|NetServer|NetProtocol|NetJson|NetCodec|NetReactor|MonteCarloParallel|MonteCarloChunks|ValidatePipeline|CtrlReplanner|IngestOp|SubscribeOp|DesBackend|BackendRegistry'
 
 echo "== tier-1: mlcrd daemon smoke (TSan build, json codec) =="
 daemon_smoke build-tsan json

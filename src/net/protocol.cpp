@@ -364,6 +364,96 @@ svc::SimSummary decode_summary(const json::Value& value, const char* field) {
   return summary;
 }
 
+// --- validation backend ------------------------------------------------
+
+std::string accepted_backends() {
+  std::string joined;
+  for (const auto backend : {svc::SimBackend::kCoarse, svc::SimBackend::kDes}) {
+    if (!joined.empty()) joined += ", ";
+    joined += '"';
+    joined += svc::to_string(backend);
+    joined += '"';
+  }
+  return joined;
+}
+
+/// "backend" member of a validate request / sim_report: absent means
+/// coarse (the pre-v2 meaning), anything unrecognised is a structured
+/// bad_request naming the accepted spellings.
+svc::SimBackend decode_backend(const json::Value& envelope) {
+  const json::Value* member = envelope.find("backend");
+  if (member == nullptr) return svc::SimBackend::kCoarse;
+  if (!member->is_string()) {
+    decode_fail("backend", "must be a string (accepted: " +
+                               accepted_backends() + ")");
+  }
+  const auto backend = svc::backend_from_string(member->as_string());
+  if (!backend.has_value()) {
+    decode_fail("backend", "unknown backend '" + member->as_string() +
+                               "' (accepted: " + accepted_backends() + ")");
+  }
+  return *backend;
+}
+
+// --- shared op envelope ------------------------------------------------
+
+/// The request fields every op shares — op tag, version, and the plan
+/// problem (solution/config/options/label).  plan, validate, ingest and
+/// subscribe all encode through here, so an envelope-level addition (like
+/// v2's "backend") is a one-line emplace at the call site, not a fourth
+/// copy of the field list.
+json::Object encode_op_envelope(const char* op,
+                                const svc::PlanRequest& request) {
+  json::Object envelope{{"op", op},
+                        {"v", kProtocolVersion},
+                        {"solution", opt::to_string(request.solution)},
+                        {"config", encode_config(request.config)},
+                        {"options", encode_options(request.options)}};
+  if (!request.label.empty()) envelope.emplace("label", request.label);
+  return envelope;
+}
+
+/// Decode twin of encode_op_envelope: the plan fields shared by every op
+/// body (identical grammar across plan/validate/ingest/subscribe).
+svc::PlanRequest decode_plan_fields(const json::Value& envelope) {
+  const std::string solution_text = require(envelope, "solution").as_string();
+  opt::Solution solution = opt::Solution::kMultilevelOptScale;
+  if (!solution_from_string(solution_text, &solution)) {
+    decode_fail("solution", "unknown solution '" + solution_text + "'");
+  }
+  model::SystemConfig config = decode_config(require(envelope, "config"));
+  opt::Algorithm1Options options;
+  if (const json::Value* member = envelope.find("options")) {
+    options = decode_options(*member);
+  }
+  std::string label = get_string_or(envelope, "label", "");
+  return svc::PlanRequest{std::move(config), solution, options,
+                          std::move(label)};
+}
+
+void check_envelope(const json::Value& envelope, const char* expected_op) {
+  if (!envelope.is_object()) decode_fail("request", "must be a JSON object");
+  std::string version_error;
+  if (!envelope_version_ok(envelope, &version_error)) {
+    common::fail("protocol: " + version_error);
+  }
+  const std::string op = get_string_or(envelope, "op", expected_op);
+  if (op != expected_op) {
+    decode_fail("op", "expected '" + std::string(expected_op) + "', got '" +
+                          op + "'");
+  }
+}
+
+bool decode_rejection_fields(const json::Value& envelope, Reject* reject,
+                             std::string* message) {
+  const std::string reason = require(envelope, "rejected").as_string();
+  if (!reject_from_string(reason, reject)) {
+    decode_fail("rejected", "unknown reason '" + reason + "'");
+  }
+  *message = get_string_or(envelope, "message", "");
+  return true;
+}
+
 }  // namespace
 
 const std::vector<std::string>& supported_ops() {
@@ -377,7 +467,9 @@ bool envelope_version_ok(const json::Value& envelope, std::string* error) {
   if (version == nullptr) return true;  // absent means 1 (pre-versioning)
   if (version->is_number()) {
     const double value = version->as_number();
-    if (value == static_cast<double>(kProtocolVersion)) return true;
+    for (long v = kMinProtocolVersion; v <= kProtocolVersion; ++v) {
+      if (value == static_cast<double>(v)) return true;
+    }
   }
   if (error != nullptr) {
     std::string received = "non-numeric";
@@ -385,9 +477,17 @@ bool envelope_version_ok(const json::Value& envelope, std::string* error) {
       received = dec(static_cast<long long>(version->as_number()));
     }
     *error = "v: unsupported protocol version " + received +
-             " (this build speaks " + dec(kProtocolVersion) + ")";
+             " (this build speaks " + dec(kMinProtocolVersion) + ".." +
+             dec(kProtocolVersion) + ")";
   }
   return false;
+}
+
+long envelope_version(const json::Value& envelope) {
+  const json::Value* version =
+      envelope.is_object() ? envelope.find("v") : nullptr;
+  if (version == nullptr || !version->is_number()) return 1;
+  return static_cast<long>(version->as_number());
 }
 
 std::string to_string(Reject reason) {
@@ -470,12 +570,7 @@ bool status_from_string(const std::string& text, opt::Status* out) {
 }
 
 json::Value encode_request(const svc::PlanRequest& request, long deadline_ms) {
-  json::Object envelope{{"op", "plan"},
-                        {"v", kProtocolVersion},
-                        {"solution", opt::to_string(request.solution)},
-                        {"config", encode_config(request.config)},
-                        {"options", encode_options(request.options)}};
-  if (!request.label.empty()) envelope.emplace("label", request.label);
+  json::Object envelope = encode_op_envelope("plan", request);
   if (deadline_ms != 0) envelope.emplace("deadline_ms", json::Value(deadline_ms));
   return json::Value(std::move(envelope));
 }
@@ -489,27 +584,10 @@ std::optional<svc::PlanRequest> decode_request(const json::Value& envelope,
                                                long* deadline_ms,
                                                std::string* error) {
   try {
-    if (!envelope.is_object()) decode_fail("request", "must be a JSON object");
-    std::string version_error;
-    if (!envelope_version_ok(envelope, &version_error)) {
-      common::fail("protocol: " + version_error);
-    }
-    const std::string op = get_string_or(envelope, "op", "plan");
-    if (op != "plan") decode_fail("op", "expected 'plan', got '" + op + "'");
-    const std::string solution_text = require(envelope, "solution").as_string();
-    opt::Solution solution = opt::Solution::kMultilevelOptScale;
-    if (!solution_from_string(solution_text, &solution)) {
-      decode_fail("solution", "unknown solution '" + solution_text + "'");
-    }
-    model::SystemConfig config = decode_config(require(envelope, "config"));
-    opt::Algorithm1Options options;
-    if (const json::Value* member = envelope.find("options")) {
-      options = decode_options(*member);
-    }
-    std::string label = get_string_or(envelope, "label", "");
+    check_envelope(envelope, "plan");
+    svc::PlanRequest request = decode_plan_fields(envelope);
     *deadline_ms = get_long_or(envelope, "deadline_ms", 0);
-    return svc::PlanRequest{std::move(config), solution, options,
-                            std::move(label)};
+    return request;
   } catch (const common::Error& e) {
     if (error != nullptr) *error = e.what();
     return std::nullopt;
@@ -545,10 +623,9 @@ json::Value encode_report(const svc::PlanReport& report) {
       {"cache_hit", report.cache_hit}};
 }
 
-std::string encode_report_line(const svc::PlanReport& report) {
-  return json::dump(json::Object{{"ok", true},
-                                 {"report", encode_report(report)},
-                                 {"v", kProtocolVersion}});
+std::string encode_report_line(const svc::PlanReport& report, long version) {
+  return json::dump(json::Object{
+      {"ok", true}, {"report", encode_report(report)}, {"v", version}});
 }
 
 bool decode_report(const json::Value& value, svc::PlanReport* out,
@@ -600,14 +677,15 @@ bool decode_report(const json::Value& value, svc::PlanReport* out,
   }
 }
 
-std::string encode_rejection_line(Reject reason, const std::string& message) {
+std::string encode_rejection_line(Reject reason, const std::string& message,
+                                  long version) {
   return json::dump(json::Object{{"ok", false},
                                  {"rejected", to_string(reason)},
                                  {"message", message},
-                                 {"v", kProtocolVersion}});
+                                 {"v", version}});
 }
 
-std::string encode_unknown_op_line(const std::string& op) {
+std::string encode_unknown_op_line(const std::string& op, long version) {
   std::string joined;
   json::Array supported;
   for (const std::string& known : supported_ops()) {
@@ -621,7 +699,7 @@ std::string encode_unknown_op_line(const std::string& op) {
                    {"message", "op: unknown \"" + op + "\" (supported: " +
                                    joined + ")"},
                    {"supported", std::move(supported)},
-                   {"v", kProtocolVersion}});
+                   {"v", version}});
 }
 
 bool decode_response(const std::string& line, Response* out,
@@ -650,13 +728,13 @@ bool decode_response(const std::string& line, Response* out,
 
 json::Value encode_sim_request(const svc::SimRequest& request,
                                long deadline_ms) {
-  json::Object envelope{{"op", "validate"},
-                        {"v", kProtocolVersion},
-                        {"solution", opt::to_string(request.solution)},
-                        {"config", encode_config(request.config)},
-                        {"options", encode_options(request.plan_options)},
-                        {"monte_carlo", encode_monte_carlo(request.monte_carlo)}};
-  if (!request.label.empty()) envelope.emplace("label", request.label);
+  json::Object envelope = encode_op_envelope("validate", request.plan_request());
+  envelope.emplace("monte_carlo", encode_monte_carlo(request.monte_carlo));
+  // The coarse default stays implicit so pre-backend peers decode the same
+  // request they always did.
+  if (request.backend != svc::SimBackend::kCoarse) {
+    envelope.emplace("backend", svc::to_string(request.backend));
+  }
   if (deadline_ms != 0) {
     envelope.emplace("deadline_ms", json::Value(deadline_ms));
   }
@@ -672,25 +750,8 @@ std::optional<svc::SimRequest> decode_sim_request(const json::Value& envelope,
                                                   long* deadline_ms,
                                                   std::string* error) {
   try {
-    if (!envelope.is_object()) decode_fail("request", "must be a JSON object");
-    std::string version_error;
-    if (!envelope_version_ok(envelope, &version_error)) {
-      common::fail("protocol: " + version_error);
-    }
-    const std::string op = get_string_or(envelope, "op", "validate");
-    if (op != "validate") {
-      decode_fail("op", "expected 'validate', got '" + op + "'");
-    }
-    const std::string solution_text = require(envelope, "solution").as_string();
-    opt::Solution solution = opt::Solution::kMultilevelOptScale;
-    if (!solution_from_string(solution_text, &solution)) {
-      decode_fail("solution", "unknown solution '" + solution_text + "'");
-    }
-    model::SystemConfig config = decode_config(require(envelope, "config"));
-    opt::Algorithm1Options options;
-    if (const json::Value* member = envelope.find("options")) {
-      options = decode_options(*member);
-    }
+    check_envelope(envelope, "validate");
+    svc::PlanRequest base = decode_plan_fields(envelope);
     sim::MonteCarloOptions monte_carlo;
     if (const json::Value* member = envelope.find("monte_carlo")) {
       if (!member->is_object()) {
@@ -701,10 +762,11 @@ std::optional<svc::SimRequest> decode_sim_request(const json::Value& envelope,
     // Surface invalid Monte-Carlo options (runs <= 0, sentinel seed,
     // non-finite sim horizons) as a structured bad_request right here.
     sim::validate(monte_carlo);
-    std::string label = get_string_or(envelope, "label", "");
+    const svc::SimBackend backend = decode_backend(envelope);
     *deadline_ms = get_long_or(envelope, "deadline_ms", 0);
-    return svc::SimRequest{std::move(config), solution, options, monte_carlo,
-                           std::move(label)};
+    return svc::SimRequest{std::move(base.config), base.solution,
+                           base.options,           monte_carlo,
+                           backend,                std::move(base.label)};
   } catch (const common::Error& e) {
     if (error != nullptr) *error = e.what();
     return std::nullopt;
@@ -712,7 +774,7 @@ std::optional<svc::SimRequest> decode_sim_request(const json::Value& envelope,
 }
 
 json::Value encode_sim_report(const svc::SimReport& report) {
-  return json::Object{
+  json::Object out{
       {"label", report.label},
       {"key", report.key},
       {"status", opt::to_string(report.status)},
@@ -727,18 +789,25 @@ json::Value encode_sim_report(const svc::SimReport& report) {
                     {"efficiency", encode_summary(report.efficiency)},
                     {"failures", encode_summary(report.failures)}}},
       {"runs", static_cast<long>(report.runs)},
-      {"incomplete_runs", static_cast<long>(report.incomplete_runs)},
-      {"error",
-       json::Object{{"wallclock", encode_double(report.wallclock_error)},
-                    {"portions", encode_portions(report.portion_errors)}}},
-      {"sim_seconds", encode_double(report.sim_seconds)},
-      {"cache_hit", report.cache_hit}};
+      {"incomplete_runs", static_cast<long>(report.incomplete_runs)}};
+  // Emitted only for non-default backends: a coarse report's bytes are
+  // identical to what a v1 build produced (decoders read absent as coarse).
+  if (report.backend != svc::SimBackend::kCoarse) {
+    out.emplace("backend", svc::to_string(report.backend));
+  }
+  out.emplace("error",
+              json::Object{{"wallclock", encode_double(report.wallclock_error)},
+                           {"portions", encode_portions(report.portion_errors)}});
+  out.emplace("sim_seconds", encode_double(report.sim_seconds));
+  out.emplace("cache_hit", report.cache_hit);
+  return out;
 }
 
-std::string encode_sim_report_line(const svc::SimReport& report) {
+std::string encode_sim_report_line(const svc::SimReport& report,
+                                   long version) {
   return json::dump(json::Object{{"ok", true},
                                  {"sim_report", encode_sim_report(report)},
-                                 {"v", kProtocolVersion}});
+                                 {"v", version}});
 }
 
 bool decode_sim_report(const json::Value& value, svc::SimReport* out,
@@ -776,6 +845,7 @@ bool decode_sim_report(const json::Value& value, svc::SimReport* out,
         decode_summary(require(simulated, "failures"), "simulated.failures");
     report.runs = static_cast<int>(get_long(value, "runs"));
     report.incomplete_runs = get_long(value, "incomplete_runs");
+    report.backend = decode_backend(value);
     const json::Value& errors = require(value, "error");
     report.wallclock_error = get_double(errors, "wallclock");
     report.portion_errors = decode_portions(require(errors, "portions"));
@@ -814,63 +884,8 @@ bool decode_sim_response(const std::string& line, SimResponse* out,
   }
 }
 
-namespace {
-
-/// The plan fields shared by the "ingest" and "subscribe" envelopes —
-/// identical grammar to the "plan" op body (solution/config/options/label).
-svc::PlanRequest decode_plan_fields(const json::Value& envelope) {
-  const std::string solution_text = require(envelope, "solution").as_string();
-  opt::Solution solution = opt::Solution::kMultilevelOptScale;
-  if (!solution_from_string(solution_text, &solution)) {
-    decode_fail("solution", "unknown solution '" + solution_text + "'");
-  }
-  model::SystemConfig config = decode_config(require(envelope, "config"));
-  opt::Algorithm1Options options;
-  if (const json::Value* member = envelope.find("options")) {
-    options = decode_options(*member);
-  }
-  std::string label = get_string_or(envelope, "label", "");
-  return svc::PlanRequest{std::move(config), solution, options,
-                          std::move(label)};
-}
-
-json::Object encode_plan_fields(const svc::PlanRequest& request) {
-  json::Object fields{{"v", kProtocolVersion},
-                      {"solution", opt::to_string(request.solution)},
-                      {"config", encode_config(request.config)},
-                      {"options", encode_options(request.options)}};
-  if (!request.label.empty()) fields.emplace("label", request.label);
-  return fields;
-}
-
-void check_envelope(const json::Value& envelope, const char* expected_op) {
-  if (!envelope.is_object()) decode_fail("request", "must be a JSON object");
-  std::string version_error;
-  if (!envelope_version_ok(envelope, &version_error)) {
-    common::fail("protocol: " + version_error);
-  }
-  const std::string op = get_string_or(envelope, "op", expected_op);
-  if (op != expected_op) {
-    decode_fail("op", "expected '" + std::string(expected_op) + "', got '" +
-                          op + "'");
-  }
-}
-
-bool decode_rejection_fields(const json::Value& envelope, Reject* reject,
-                             std::string* message) {
-  const std::string reason = require(envelope, "rejected").as_string();
-  if (!reject_from_string(reason, reject)) {
-    decode_fail("rejected", "unknown reason '" + reason + "'");
-  }
-  *message = get_string_or(envelope, "message", "");
-  return true;
-}
-
-}  // namespace
-
 json::Value encode_ingest_request(const ctrl::IngestRequest& request) {
-  json::Object envelope = encode_plan_fields(request.base);
-  envelope.emplace("op", "ingest");
+  json::Object envelope = encode_op_envelope("ingest", request.base);
   envelope.emplace("trace", sim::trace_to_string(request.trace));
   if (request.observed_seconds > 0.0) {
     envelope.emplace("observed_seconds",
@@ -939,10 +954,11 @@ json::Value encode_ingest_report(const ctrl::IngestReport& report) {
                       {"plan_epoch", static_cast<long>(report.plan_epoch)}};
 }
 
-std::string encode_ingest_report_line(const ctrl::IngestReport& report) {
+std::string encode_ingest_report_line(const ctrl::IngestReport& report,
+                                      long version) {
   return json::dump(json::Object{{"ok", true},
                                  {"ingest", encode_ingest_report(report)},
-                                 {"v", kProtocolVersion}});
+                                 {"v", version}});
 }
 
 bool decode_ingest_report(const json::Value& value, ctrl::IngestReport* out,
@@ -1001,9 +1017,7 @@ bool decode_ingest_response(const std::string& line, IngestResponse* out,
 }
 
 std::string encode_subscribe_request_line(const svc::PlanRequest& request) {
-  json::Object envelope = encode_plan_fields(request);
-  envelope.emplace("op", "subscribe");
-  return json::dump(json::Value(std::move(envelope)));
+  return json::dump(json::Value(encode_op_envelope("subscribe", request)));
 }
 
 std::optional<svc::PlanRequest> decode_subscribe_request(
@@ -1018,12 +1032,13 @@ std::optional<svc::PlanRequest> decode_subscribe_request(
 }
 
 std::string encode_subscribe_ack_line(const std::string& key,
-                                      std::uint64_t plan_epoch) {
+                                      std::uint64_t plan_epoch,
+                                      long version) {
   return json::dump(json::Object{{"ok", true},
                                  {"subscribed", true},
                                  {"key", key},
                                  {"plan_epoch", static_cast<long>(plan_epoch)},
-                                 {"v", kProtocolVersion}});
+                                 {"v", version}});
 }
 
 bool decode_subscribe_response(const std::string& line, SubscribeResponse* out,
@@ -1053,17 +1068,17 @@ bool decode_subscribe_response(const std::string& line, SubscribeResponse* out,
 
 std::string encode_plan_event_line(const std::string& key,
                                    std::uint64_t plan_epoch,
-                                   const svc::PlanReport& report) {
+                                   const svc::PlanReport& report,
+                                   long version) {
   return json::dump(json::Object{{"event", "plan"},
                                  {"key", key},
                                  {"plan_epoch", static_cast<long>(plan_epoch)},
                                  {"report", encode_report(report)},
-                                 {"v", kProtocolVersion}});
+                                 {"v", version}});
 }
 
-std::string encode_drained_event_line() {
-  return json::dump(
-      json::Object{{"event", "drained"}, {"v", kProtocolVersion}});
+std::string encode_drained_event_line(long version) {
+  return json::dump(json::Object{{"event", "drained"}, {"v", version}});
 }
 
 bool decode_push_event(const std::string& line, PushEvent* out,

@@ -4,36 +4,47 @@
 //
 // Requests ({"op": ...}; op defaults to "plan" when absent):
 //   {"op":"plan","solution":"ML(opt-scale)","config":{...},
-//    "options":{...},"label":"...","deadline_ms":500,"v":1}
-//   {"op":"validate",...plan fields...,"monte_carlo":{...},"v":1}
-//   {"op":"ping","v":1}
-//   {"op":"metrics","v":1}
+//    "options":{...},"label":"...","deadline_ms":500,"v":2}
+//   {"op":"validate",...plan fields...,"monte_carlo":{...},
+//    "backend":"coarse"|"des","v":2}
+//   {"op":"ping","v":2}
+//   {"op":"metrics","v":2}
 //   {"op":"ingest",...plan fields...,"trace":"<trace text>",
-//    "observed_seconds":"0x...","observed_scale":"0x...","v":1}
-//   {"op":"subscribe",...plan fields...,"v":1}
+//    "observed_seconds":"0x...","observed_scale":"0x...","v":2}
+//   {"op":"subscribe",...plan fields...,"v":2}
 //
-// Responses (one line, except metrics):
-//   {"ok":true,"report":{...},"v":1}                 — planned
-//   {"ok":true,"sim_report":{...},"v":1}             — validated
-//   {"ok":false,"rejected":"<reason>","message":..,"v":1}
-//   {"ok":true,"pong":true,"v":1}                    — ping
-//   {"ok":true,"metrics_lines":N,"v":1}\n<N registry JSONL lines>
-//   {"ok":true,"ingest":{...}, "v":1}                — ingest accepted
-//   {"ok":true,"subscribed":true,"key":..,"plan_epoch":E,"v":1}
+// Responses (one line, except metrics; "v" echoes the request's version):
+//   {"ok":true,"report":{...},"v":V}                 — planned
+//   {"ok":true,"sim_report":{...},"v":V}             — validated
+//   {"ok":false,"rejected":"<reason>","message":..,"v":V}
+//   {"ok":true,"pong":true,"v":V}                    — ping
+//   {"ok":true,"metrics_lines":N,"v":V}\n<N registry JSONL lines>
+//   {"ok":true,"ingest":{...}, "v":V}                — ingest accepted
+//   {"ok":true,"subscribed":true,"key":..,"plan_epoch":E,"v":V}
 //
 // Push events (to subscribed connections only, any time after the ack;
-// the control loop is in DESIGN.md §13):
-//   {"event":"plan","key":..,"plan_epoch":E,"report":{...},"v":1}
-//   {"event":"drained","v":1}                        — last line before close
+// the control loop is in DESIGN.md §13; "v" echoes the subscribe's version):
+//   {"event":"plan","key":..,"plan_epoch":E,"report":{...},"v":V}
+//   {"event":"drained","v":V}                        — last line before close
 //
 // Versioning / compatibility rule: every request and response envelope
-// carries "v": kProtocolVersion.  An absent "v" means 1 (pre-versioning
-// peers stay compatible); a peer receiving a version it does not implement
-// must answer a structured bad_request naming the version — never silently
-// drop or misparse the line.  Adding fields is allowed within a version
-// (decoders ignore unknown members); removing or re-typing a field requires
-// a bump.  An unknown "op" is likewise answered with a structured
-// bad_request listing the supported ops (see supported_ops()).
+// carries "v".  An absent "v" means 1 (pre-versioning peers stay
+// compatible); the daemon accepts every version in
+// [kMinProtocolVersion, kProtocolVersion] and answers in the version the
+// request used — so a v1 peer keeps receiving byte-identical v1 lines.  A
+// peer receiving a version it does not implement must answer a structured
+// bad_request naming the version — never silently drop or misparse the
+// line.  Adding fields is allowed within a version (decoders ignore
+// unknown members); removing or re-typing a field requires a bump.  An
+// unknown "op" is likewise answered with a structured bad_request listing
+// the supported ops (see supported_ops()).
+//
+// v1 -> v2: the "validate" request gained the optional "backend" member
+// ("coarse" | "des", see svc::SimBackend).  Absent decodes as "coarse", so
+// every v1 validate request keeps its pre-backend meaning; an unknown
+// backend string is a structured bad_request naming the accepted values.
+// The sim_report echoes the backend, emitted only when != "coarse" so
+// coarse reports stay byte-identical to v1.
 //
 // Exactness: every double crosses the wire as a hex-float *string*
 // ("0x1.8p+1"), the same canonical rendering svc::canonical_key uses, so a
@@ -57,18 +68,29 @@
 
 namespace mlcr::net {
 
-/// The protocol version this build speaks (see the compatibility rule in
-/// the file comment).
-inline constexpr long kProtocolVersion = 1;
+/// The newest protocol version this build speaks (see the compatibility
+/// rule in the file comment).
+inline constexpr long kProtocolVersion = 2;
 
-/// The ops the daemon implements, in documentation order.
+/// The oldest version still accepted; requests in
+/// [kMinProtocolVersion, kProtocolVersion] are served in their own version.
+inline constexpr long kMinProtocolVersion = 1;
+
+/// The ops the daemon implements, in documentation order.  This is the one
+/// op table: the server's dispatch and the unknown-op hint list are both
+/// derived from it (see encode_unknown_op_line).
 [[nodiscard]] const std::vector<std::string>& supported_ops();
 
-/// Checks the envelope's "v" member: absent or kProtocolVersion passes;
-/// anything else fails with a message naming the received and supported
-/// versions.
+/// Checks the envelope's "v" member: absent (meaning 1) or any version in
+/// [kMinProtocolVersion, kProtocolVersion] passes; anything else fails with
+/// a message naming the received and supported versions.
 [[nodiscard]] bool envelope_version_ok(const json::Value& envelope,
                                        std::string* error);
+
+/// The envelope's "v" member as a long (absent or non-numeric means 1).
+/// Meaningful after envelope_version_ok passed; the server threads this
+/// through every response encoder so replies echo the request's version.
+[[nodiscard]] long envelope_version(const json::Value& envelope);
 
 /// Rejection taxonomy: every request the daemon refuses names one of these
 /// reasons, each with its own metrics counter (net.rejected.<reason>).
@@ -110,8 +132,10 @@ enum class Reject {
 // --- plan report ------------------------------------------------------
 
 [[nodiscard]] json::Value encode_report(const svc::PlanReport& report);
-/// The full accepted-response line {"ok":true,"report":{...},"v":1}.
-[[nodiscard]] std::string encode_report_line(const svc::PlanReport& report);
+/// The full accepted-response line {"ok":true,"report":{...},"v":V};
+/// `version` is the envelope version to stamp (the request's, echoed).
+[[nodiscard]] std::string encode_report_line(const svc::PlanReport& report,
+                                             long version = kProtocolVersion);
 
 [[nodiscard]] bool decode_report(const json::Value& value,
                                  svc::PlanReport* out, std::string* error);
@@ -121,6 +145,7 @@ enum class Reject {
 /// Renders the full "validate" op envelope.  The monte_carlo.threads field
 /// never crosses the wire: parallel degree is a server-side resource
 /// decision and, by the determinism contract, cannot change the report.
+/// The backend is emitted only when != coarse (v1-compatible default).
 [[nodiscard]] json::Value encode_sim_request(const svc::SimRequest& request,
                                              long deadline_ms = 0);
 [[nodiscard]] std::string encode_sim_request_line(
@@ -133,8 +158,9 @@ enum class Reject {
     const json::Value& envelope, long* deadline_ms, std::string* error);
 
 [[nodiscard]] json::Value encode_sim_report(const svc::SimReport& report);
-/// The full accepted-response line {"ok":true,"sim_report":{...},"v":1}.
-[[nodiscard]] std::string encode_sim_report_line(const svc::SimReport& report);
+/// The full accepted-response line {"ok":true,"sim_report":{...},"v":V}.
+[[nodiscard]] std::string encode_sim_report_line(
+    const svc::SimReport& report, long version = kProtocolVersion);
 
 [[nodiscard]] bool decode_sim_report(const json::Value& value,
                                      svc::SimReport* out, std::string* error);
@@ -158,9 +184,9 @@ enum class Reject {
 
 [[nodiscard]] json::Value encode_ingest_report(
     const ctrl::IngestReport& report);
-/// The full accepted-response line {"ok":true,"ingest":{...},"v":1}.
+/// The full accepted-response line {"ok":true,"ingest":{...},"v":V}.
 [[nodiscard]] std::string encode_ingest_report_line(
-    const ctrl::IngestReport& report);
+    const ctrl::IngestReport& report, long version = kProtocolVersion);
 [[nodiscard]] bool decode_ingest_report(const json::Value& value,
                                         ctrl::IngestReport* out,
                                         std::string* error);
@@ -186,9 +212,10 @@ struct IngestResponse {
     const json::Value& envelope, std::string* error);
 
 /// The acknowledgement {"ok":true,"subscribed":true,"key":..,
-/// "plan_epoch":E,"v":1} sent before any push event.
-[[nodiscard]] std::string encode_subscribe_ack_line(const std::string& key,
-                                                    std::uint64_t plan_epoch);
+/// "plan_epoch":E,"v":V} sent before any push event.
+[[nodiscard]] std::string encode_subscribe_ack_line(
+    const std::string& key, std::uint64_t plan_epoch,
+    long version = kProtocolVersion);
 
 /// One decoded response to a "subscribe" op.
 struct SubscribeResponse {
@@ -217,8 +244,9 @@ struct PushEvent {
 
 [[nodiscard]] std::string encode_plan_event_line(
     const std::string& key, std::uint64_t plan_epoch,
-    const svc::PlanReport& report);
-[[nodiscard]] std::string encode_drained_event_line();
+    const svc::PlanReport& report, long version = kProtocolVersion);
+[[nodiscard]] std::string encode_drained_event_line(
+    long version = kProtocolVersion);
 
 /// Parses one push-event line.  False = not a push event (transport-level
 /// failure or a non-event line).
@@ -227,12 +255,15 @@ struct PushEvent {
 
 // --- response envelopes -----------------------------------------------
 
-[[nodiscard]] std::string encode_rejection_line(Reject reason,
-                                                const std::string& message);
+[[nodiscard]] std::string encode_rejection_line(
+    Reject reason, const std::string& message,
+    long version = kProtocolVersion);
 
-/// The structured unknown-op rejection: a bad_request whose envelope also
-/// carries `"supported": [...]` listing supported_ops().
-[[nodiscard]] std::string encode_unknown_op_line(const std::string& op);
+/// The structured unknown-op rejection: a bad_request whose message and
+/// `"supported": [...]` array are both generated from supported_ops() — the
+/// hint list is never hand-kept anywhere else.
+[[nodiscard]] std::string encode_unknown_op_line(
+    const std::string& op, long version = kProtocolVersion);
 
 /// One decoded response to a "plan" op: either an accepted report or a
 /// structured rejection.

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <functional>
 #include <future>
+#include <map>
 #include <utility>
 
 #include "common/error.h"
@@ -370,8 +371,11 @@ void Server::on_readable(Shard* shard, Conn* conn) {
       metrics_.counter("net.rejected." + to_string(Reject::kBadRequest))
           .increment();
       conn->close_after_flush = true;
+      // No envelope to echo a version from; the oldest version is the one
+      // every peer can parse.
       send_payload(shard, conn,
-                   encode_rejection_line(Reject::kBadRequest, frame_error));
+                   encode_rejection_line(Reject::kBadRequest, frame_error,
+                                         kMinProtocolVersion));
     }
     break;
   }
@@ -454,9 +458,10 @@ void Server::respond(Shard* shard, Conn* conn, Clock::time_point started,
 
 void Server::reject_request(Shard* shard, Conn* conn,
                             Clock::time_point started, Reject reason,
-                            const std::string& message) {
+                            const std::string& message, long version) {
   metrics_.counter("net.rejected." + to_string(reason)).increment();
-  respond(shard, conn, started, encode_rejection_line(reason, message));
+  respond(shard, conn, started,
+          encode_rejection_line(reason, message, version));
 }
 
 void Server::handle_payload(Shard* shard, Conn* conn,
@@ -477,46 +482,56 @@ void Server::handle_payload(Shard* shard, Conn* conn,
     reject_request(shard, conn, started, Reject::kBadRequest, version_error);
     return;
   }
+  // Accepted versions echo back on every response line; rejections above
+  // fall back to kMinProtocolVersion, which every peer parses.
+  const long version = envelope_version(*envelope);
 
   std::string op = "plan";
   if (const json::Value* member = envelope->find("op")) {
     if (!member->is_string()) {
       reject_request(shard, conn, started, Reject::kBadRequest,
-                     "op: expected string");
+                     "op: expected string", version);
       return;
     }
     op = member->as_string();
   }
 
-  if (op == "ping") {
-    metrics_.counter("net.pings").increment();
-    respond(shard, conn, started, R"({"ok":true,"pong":true,"v":1})");
-    return;
-  }
-  if (op == "metrics") {
-    write_metrics(shard, conn, started);
-    return;
-  }
-  if (op == "plan") {
-    handle_plan(shard, conn, started, *envelope);
-    return;
-  }
-  if (op == "validate") {
-    handle_validate(shard, conn, started, *envelope);
-    return;
-  }
-  if (op == "ingest") {
-    handle_ingest(shard, conn, started, *envelope);
-    return;
-  }
-  if (op == "subscribe") {
-    handle_subscribe(shard, conn, started, *envelope);
-    return;
+  // The one op table (same order as supported_ops()): dispatch and the
+  // unknown-op hint list both derive from tables generated in one place
+  // instead of hand-kept string chains.
+  using Handler = void (Server::*)(Shard*, Conn*, Clock::time_point,
+                                   const json::Value&, long);
+  static constexpr std::pair<std::string_view, Handler> kOpTable[] = {
+      {"plan", &Server::handle_plan},
+      {"validate", &Server::handle_validate},
+      {"ping", &Server::handle_ping},
+      {"metrics", &Server::handle_metrics},
+      {"ingest", &Server::handle_ingest},
+      {"subscribe", &Server::handle_subscribe},
+  };
+  for (const auto& [name, handler] : kOpTable) {
+    if (op == name) {
+      (this->*handler)(shard, conn, started, *envelope, version);
+      return;
+    }
   }
   // Unknown op: structured bad_request listing the supported ops.
   metrics_.counter("net.rejected." + to_string(Reject::kBadRequest))
       .increment();
-  respond(shard, conn, started, encode_unknown_op_line(op));
+  respond(shard, conn, started, encode_unknown_op_line(op, version));
+}
+
+void Server::handle_ping(Shard* shard, Conn* conn, Clock::time_point started,
+                         const json::Value& /*envelope*/, long version) {
+  metrics_.counter("net.pings").increment();
+  respond(shard, conn, started,
+          R"({"ok":true,"pong":true,"v":)" + dec(version) + "}");
+}
+
+void Server::handle_metrics(Shard* shard, Conn* conn,
+                            Clock::time_point started,
+                            const json::Value& /*envelope*/, long version) {
+  write_metrics(shard, conn, started, version);
 }
 
 std::optional<Server::Clock::time_point> Server::resolve_deadline(
@@ -530,18 +545,18 @@ std::optional<Server::Clock::time_point> Server::resolve_deadline(
 }
 
 void Server::handle_plan(Shard* shard, Conn* conn, Clock::time_point started,
-                         const json::Value& envelope) {
+                         const json::Value& envelope, long version) {
   std::string error;
   long deadline_ms = 0;
   std::optional<svc::PlanRequest> request =
       decode_request(envelope, &deadline_ms, &error);
   if (!request.has_value()) {
-    reject_request(shard, conn, started, Reject::kBadRequest, error);
+    reject_request(shard, conn, started, Reject::kBadRequest, error, version);
     return;
   }
   if (draining_.load(std::memory_order_acquire)) {
     reject_request(shard, conn, started, Reject::kDraining,
-                   "server is draining");
+                   "server is draining", version);
     return;
   }
 
@@ -552,7 +567,7 @@ void Server::handle_plan(Shard* shard, Conn* conn, Clock::time_point started,
     cached.queue_wait_seconds = 0.0;
     cached.label = request->label;
     metrics_.counter("net.planned").increment();
-    respond(shard, conn, started, encode_report_line(cached));
+    respond(shard, conn, started, encode_report_line(cached, version));
     return;
   }
 
@@ -565,7 +580,8 @@ void Server::handle_plan(Shard* shard, Conn* conn, Clock::time_point started,
   if (deadline.has_value() && Clock::now() >= *deadline) {
     reject_request(shard, conn, started, Reject::kDeadline,
                    "deadline expired before solve (budget " + dec(budget_ms) +
-                       " ms)");
+                       " ms)",
+                   version);
     return;
   }
 
@@ -576,7 +592,7 @@ void Server::handle_plan(Shard* shard, Conn* conn, Clock::time_point started,
   // leader publishes the solve, so a waiter observing false is a genuine
   // follower (its report is by definition a coalesced copy -> cache_hit).
   auto leader_flag = std::make_shared<std::atomic<bool>>(false);
-  auto waiter = [this, shard, fd, conn_id, started, leader_flag,
+  auto waiter = [this, shard, fd, conn_id, started, leader_flag, version,
                  label = request->label](const svc::PlanReport* finished) {
     // The report pointer is only valid during this call; copy before
     // posting to the owning shard.
@@ -589,8 +605,8 @@ void Server::handle_plan(Shard* shard, Conn* conn, Clock::time_point started,
         copy->queue_wait_seconds = 0.0;
       }
     }
-    shard->reactor.post([this, shard, fd, conn_id, copy, started] {
-      deliver_plan(shard, fd, conn_id, copy.get(), started);
+    shard->reactor.post([this, shard, fd, conn_id, copy, started, version] {
+      deliver_plan(shard, fd, conn_id, copy.get(), started, version);
       outstanding_.fetch_sub(1, std::memory_order_acq_rel);
     });
   };
@@ -621,33 +637,34 @@ void Server::handle_plan(Shard* shard, Conn* conn, Clock::time_point started,
 
 void Server::deliver_plan(Shard* shard, int fd, std::uint64_t conn_id,
                           const svc::PlanReport* report,
-                          Clock::time_point started) {
+                          Clock::time_point started, long version) {
   Conn* conn = find_conn(shard, fd, conn_id);
   if (conn == nullptr) return;  // client left while the solve ran
   if (report == nullptr) {
     reject_request(shard, conn, started, Reject::kOverloaded,
                    "admission queue full (capacity " +
-                       dec(static_cast<long long>(queue_.capacity())) + ")");
+                       dec(static_cast<long long>(queue_.capacity())) + ")",
+                   version);
     return;
   }
   metrics_.counter("net.planned").increment();
-  respond(shard, conn, started, encode_report_line(*report));
+  respond(shard, conn, started, encode_report_line(*report, version));
 }
 
 void Server::handle_validate(Shard* shard, Conn* conn,
                              Clock::time_point started,
-                             const json::Value& envelope) {
+                             const json::Value& envelope, long version) {
   std::string error;
   long deadline_ms = 0;
   std::optional<svc::SimRequest> request =
       decode_sim_request(envelope, &deadline_ms, &error);
   if (!request.has_value()) {
-    reject_request(shard, conn, started, Reject::kBadRequest, error);
+    reject_request(shard, conn, started, Reject::kBadRequest, error, version);
     return;
   }
   if (draining_.load(std::memory_order_acquire)) {
     reject_request(shard, conn, started, Reject::kDraining,
-                   "server is draining");
+                   "server is draining", version);
     return;
   }
 
@@ -657,7 +674,7 @@ void Server::handle_validate(Shard* shard, Conn* conn,
     cached.cache_hit = true;
     cached.label = request->label;
     metrics_.counter("net.validated").increment();
-    respond(shard, conn, started, encode_sim_report_line(cached));
+    respond(shard, conn, started, encode_sim_report_line(cached, version));
     return;
   }
 
@@ -667,7 +684,8 @@ void Server::handle_validate(Shard* shard, Conn* conn,
   if (deadline.has_value() && Clock::now() >= *deadline) {
     reject_request(shard, conn, started, Reject::kDeadline,
                    "deadline expired before simulation (budget " +
-                       dec(budget_ms) + " ms)");
+                       dec(budget_ms) + " ms)",
+                   version);
     return;
   }
 
@@ -675,7 +693,7 @@ void Server::handle_validate(Shard* shard, Conn* conn,
   const int fd = conn->socket.fd();
   const std::uint64_t conn_id = conn->id;
   auto leader_flag = std::make_shared<std::atomic<bool>>(false);
-  auto waiter = [this, shard, fd, conn_id, started, leader_flag,
+  auto waiter = [this, shard, fd, conn_id, started, leader_flag, version,
                  label = request->label](const svc::SimReport* finished) {
     std::shared_ptr<svc::SimReport> copy;
     if (finished != nullptr) {
@@ -685,8 +703,8 @@ void Server::handle_validate(Shard* shard, Conn* conn,
         copy->cache_hit = true;
       }
     }
-    shard->reactor.post([this, shard, fd, conn_id, copy, started] {
-      deliver_validate(shard, fd, conn_id, copy.get(), started);
+    shard->reactor.post([this, shard, fd, conn_id, copy, started, version] {
+      deliver_validate(shard, fd, conn_id, copy.get(), started, version);
       outstanding_.fetch_sub(1, std::memory_order_acq_rel);
     });
   };
@@ -716,32 +734,33 @@ void Server::handle_validate(Shard* shard, Conn* conn,
 
 void Server::deliver_validate(Shard* shard, int fd, std::uint64_t conn_id,
                               const svc::SimReport* report,
-                              Clock::time_point started) {
+                              Clock::time_point started, long version) {
   Conn* conn = find_conn(shard, fd, conn_id);
   if (conn == nullptr) return;
   if (report == nullptr) {
     reject_request(shard, conn, started, Reject::kOverloaded,
                    "admission queue full (capacity " +
-                       dec(static_cast<long long>(queue_.capacity())) + ")");
+                       dec(static_cast<long long>(queue_.capacity())) + ")",
+                   version);
     return;
   }
   metrics_.counter("net.validated").increment();
-  respond(shard, conn, started, encode_sim_report_line(*report));
+  respond(shard, conn, started, encode_sim_report_line(*report, version));
 }
 
 void Server::handle_ingest(Shard* shard, Conn* conn,
                            Clock::time_point started,
-                           const json::Value& envelope) {
+                           const json::Value& envelope, long version) {
   std::string error;
   std::optional<ctrl::IngestRequest> request =
       decode_ingest_request(envelope, &error);
   if (!request.has_value()) {
-    reject_request(shard, conn, started, Reject::kBadRequest, error);
+    reject_request(shard, conn, started, Reject::kBadRequest, error, version);
     return;
   }
   if (draining_.load(std::memory_order_acquire)) {
     reject_request(shard, conn, started, Reject::kDraining,
-                   "server is draining");
+                   "server is draining", version);
     return;
   }
 
@@ -752,10 +771,12 @@ void Server::handle_ingest(Shard* shard, Conn* conn,
   try {
     outcome = replanner_.ingest(*request);
   } catch (const common::Error& e) {
-    reject_request(shard, conn, started, Reject::kBadRequest, e.what());
+    reject_request(shard, conn, started, Reject::kBadRequest, e.what(),
+                   version);
     return;
   }
-  respond(shard, conn, started, encode_ingest_report_line(outcome.report));
+  respond(shard, conn, started,
+          encode_ingest_report_line(outcome.report, version));
   if (!outcome.revised.has_value()) return;
 
   // Drift crossed the threshold: re-solve the revised request through the
@@ -785,54 +806,61 @@ void Server::handle_ingest(Shard* shard, Conn* conn,
 
 void Server::handle_subscribe(Shard* shard, Conn* conn,
                               Clock::time_point started,
-                              const json::Value& envelope) {
+                              const json::Value& envelope, long version) {
   std::string error;
   std::optional<svc::PlanRequest> request =
       decode_subscribe_request(envelope, &error);
   if (!request.has_value()) {
-    reject_request(shard, conn, started, Reject::kBadRequest, error);
+    reject_request(shard, conn, started, Reject::kBadRequest, error, version);
     return;
   }
   if (draining_.load(std::memory_order_acquire)) {
     reject_request(shard, conn, started, Reject::kDraining,
-                   "server is draining");
+                   "server is draining", version);
     return;
   }
   if (conn->subscribed) {
     reject_request(shard, conn, started, Reject::kBadRequest,
-                   "connection already subscribed");
+                   "connection already subscribed", version);
     return;
   }
 
   const std::string key = svc::canonical_key(*request);
   conn->subscribed = true;
   conn->sub_key = key;
+  conn->sub_version = version;
   {
     std::lock_guard<std::mutex> lock(subs_mutex_);
     subscribers_[key].push_back(
-        Subscriber{shard->index, conn->socket.fd(), conn->id});
+        Subscriber{shard->index, conn->socket.fd(), conn->id, version});
   }
   const auto count =
       subscriber_count_.fetch_add(1, std::memory_order_acq_rel) + 1;
   metrics_.counter("net.subscriptions").increment();
   metrics_.gauge("net.subscribers").set(static_cast<double>(count));
   respond(shard, conn, started,
-          encode_subscribe_ack_line(key, replanner_.epoch(key)));
+          encode_subscribe_ack_line(key, replanner_.epoch(key), version));
 }
 
 void Server::publish_plan(const std::string& key,
                           const ctrl::RevisedPlan& plan) {
-  // Encode once, share the line across subscribers; each send runs on the
-  // subscriber's owning shard so connection state stays single-threaded.
-  auto line = std::make_shared<const std::string>(
-      encode_plan_event_line(key, plan.plan_epoch, plan.report));
+  // Encode once per envelope version in use (push events echo the version
+  // each subscriber spoke at subscribe time), share the line across the
+  // subscribers of that version; each send runs on the subscriber's owning
+  // shard so connection state stays single-threaded.
   std::vector<Subscriber> targets;
   {
     std::lock_guard<std::mutex> lock(subs_mutex_);
     const auto it = subscribers_.find(key);
     if (it != subscribers_.end()) targets = it->second;
   }
+  std::map<long, std::shared_ptr<const std::string>> lines;
   for (const Subscriber& target : targets) {
+    auto& line = lines[target.version];
+    if (line == nullptr) {
+      line = std::make_shared<const std::string>(encode_plan_event_line(
+          key, plan.plan_epoch, plan.report, target.version));
+    }
     Shard* shard = shards_[target.shard].get();
     shard->reactor.post([this, shard, target, line] {
       Conn* conn = find_conn(shard, target.fd, target.conn_id);
@@ -861,12 +889,12 @@ void Server::push_drained(Shard* shard) {
     if (it == shard->conns.end()) continue;
     Conn* conn = it->second.get();
     conn->close_after_flush = true;
-    send_payload(shard, conn, encode_drained_event_line());
+    send_payload(shard, conn, encode_drained_event_line(conn->sub_version));
   }
 }
 
 void Server::write_metrics(Shard* shard, Conn* conn,
-                           Clock::time_point started) {
+                           Clock::time_point started, long version) {
   metrics_.counter("net.metrics_requests").increment();
   metrics_.gauge("net.queue.depth").set(static_cast<double>(queue_.size()));
   // Daemon counters, engine (cache/solver), and control-plane instruments,
@@ -882,8 +910,9 @@ void Server::write_metrics(Shard* shard, Conn* conn,
   const int fd = conn->socket.fd();
   const std::uint64_t conn_id = conn->id;
   const Codec codec = conn->reader.codec().value_or(Codec::kJson);
-  respond(shard, conn, started,
-          R"({"ok":true,"metrics_lines":)" + dec(lines) + R"(,"v":1})");
+  respond(shard, conn, started, R"({"ok":true,"metrics_lines":)" +
+                                    dec(lines) + R"(,"v":)" + dec(version) +
+                                    "}");
   // A send can close the conn on transport error; re-resolve before each
   // body write.
   conn = find_conn(shard, fd, conn_id);

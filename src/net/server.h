@@ -163,6 +163,9 @@ class Server {
     bool close_after_flush = false;
     bool subscribed = false;  ///< long-lived push subscriber (op "subscribe")
     std::string sub_key;      ///< canonical plan key the conn subscribed to
+    /// Envelope version of the subscribe request; push events echo it so a
+    /// v1 subscriber keeps receiving lines it can parse.
+    long sub_version = kMinProtocolVersion;
   };
 
   struct Shard {
@@ -179,19 +182,25 @@ class Server {
   /// Runs on the owning shard's loop: registers the socket and conn state.
   void adopt(Shard* shard, Socket socket);
   void on_readable(Shard* shard, Conn* conn);
-  /// Routes one decoded payload (any codec; the payload is the JSON text).
+  /// Routes one decoded payload (any codec; the payload is the JSON text)
+  /// through the op table (see kOpTable in server.cpp).  Every handler
+  /// receives the request's envelope version and echoes it on the response.
   void handle_payload(Shard* shard, Conn* conn, const std::string& payload);
+  void handle_ping(Shard* shard, Conn* conn, Clock::time_point started,
+                   const json::Value& envelope, long version);
+  void handle_metrics(Shard* shard, Conn* conn, Clock::time_point started,
+                      const json::Value& envelope, long version);
   void handle_plan(Shard* shard, Conn* conn, Clock::time_point started,
-                   const json::Value& envelope);
+                   const json::Value& envelope, long version);
   void handle_validate(Shard* shard, Conn* conn, Clock::time_point started,
-                       const json::Value& envelope);
+                       const json::Value& envelope, long version);
   /// Folds one observed-failure batch into the replanner, answers inline,
   /// and schedules the drift re-solve when the batch crossed the threshold.
   void handle_ingest(Shard* shard, Conn* conn, Clock::time_point started,
-                     const json::Value& envelope);
+                     const json::Value& envelope, long version);
   /// Upgrades the connection to a long-lived subscriber of its plan key.
   void handle_subscribe(Shard* shard, Conn* conn, Clock::time_point started,
-                        const json::Value& envelope);
+                        const json::Value& envelope, long version);
   /// Called on a solver worker after the revised solve: posts the
   /// epoch-stamped plan event to every subscriber of `key` (on their owning
   /// shards).
@@ -202,15 +211,20 @@ class Server {
   /// Subscribed fds on `shard`, sorted ascending so drain traffic leaves in
   /// a reproducible order (conns is hash-ordered).
   [[nodiscard]] static std::vector<int> subscribed_fds(const Shard* shard);
-  void write_metrics(Shard* shard, Conn* conn, Clock::time_point started);
+  void write_metrics(Shard* shard, Conn* conn, Clock::time_point started,
+                     long version);
   /// Frames `payload` in the connection's codec and queues/flushes it.
   void send_payload(Shard* shard, Conn* conn, std::string_view payload);
   /// Observes net.request.seconds and sends one response payload.
   void respond(Shard* shard, Conn* conn, Clock::time_point started,
                std::string_view payload);
-  /// Counts net.rejected.<reason> and responds with a rejection line.
+  /// Counts net.rejected.<reason> and responds with a rejection line
+  /// stamped with `version` (the request's envelope version, or
+  /// kMinProtocolVersion when the request was unparseable — every peer
+  /// parses the oldest version).
   void reject_request(Shard* shard, Conn* conn, Clock::time_point started,
-                      Reject reason, const std::string& message);
+                      Reject reason, const std::string& message,
+                      long version = kMinProtocolVersion);
   /// Flushes outbuf as far as the kernel allows; toggles EPOLLOUT interest
   /// and the unflushed_ accounting; may close the conn on transport error.
   void flush(Shard* shard, Conn* conn);
@@ -220,12 +234,14 @@ class Server {
   void force_close_stalled(Shard* shard);
   [[nodiscard]] Conn* find_conn(Shard* shard, int fd,
                                 std::uint64_t conn_id) const;
-  /// Posted back to the owning shard by a solver/singleflight completion.
+  /// Posted back to the owning shard by a solver/singleflight completion;
+  /// `version` is the originating request's envelope version.
   void deliver_plan(Shard* shard, int fd, std::uint64_t conn_id,
-                    const svc::PlanReport* report, Clock::time_point started);
+                    const svc::PlanReport* report, Clock::time_point started,
+                    long version);
   void deliver_validate(Shard* shard, int fd, std::uint64_t conn_id,
                         const svc::SimReport* report,
-                        Clock::time_point started);
+                        Clock::time_point started, long version);
   /// Resolves the effective solve deadline: the request's deadline_ms wins,
   /// 0 falls back to the server default, and a fully unbounded request maps
   /// to nullopt ("never expires").  *budget_ms receives the winning budget
@@ -256,6 +272,7 @@ class Server {
     std::size_t shard = 0;
     int fd = -1;
     std::uint64_t conn_id = 0;
+    long version = kMinProtocolVersion;  ///< subscribe envelope version
   };
   mutable std::mutex subs_mutex_;
   std::unordered_map<std::string, std::vector<Subscriber>> subscribers_;

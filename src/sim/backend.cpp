@@ -1,0 +1,35 @@
+#include "sim/backend.h"
+
+#include "sim/des_backend.h"
+
+namespace mlcr::sim {
+
+namespace {
+
+class CoarseBackend final : public Backend {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "coarse"; }
+  [[nodiscard]] MonteCarloResult run(const model::SystemConfig& cfg,
+                                     const Schedule& schedule,
+                                     const MonteCarloOptions& options,
+                                     common::ThreadPool* pool) const override {
+    if (pool != nullptr) return monte_carlo(cfg, schedule, options, *pool);
+    MonteCarloOptions serial = options;
+    serial.threads = 1;
+    return monte_carlo(cfg, schedule, serial);
+  }
+};
+
+}  // namespace
+
+const Backend& coarse_backend() noexcept {
+  static const CoarseBackend backend;
+  return backend;
+}
+
+const Backend& des_backend() noexcept {
+  static const DesBackend backend;
+  return backend;
+}
+
+}  // namespace mlcr::sim

@@ -1,0 +1,46 @@
+// Pluggable validation backends (DESIGN.md §14).  A Backend turns one
+// planned schedule into an aggregated Monte-Carlo result; the two
+// implementations share the replica driver (chunk partition, span claiming,
+// ascending Welford merges) and therefore the same determinism contract:
+//
+//   coarse  the closed per-level position array of event_sim.cpp — fast,
+//           and exactly the paper's Section IV-A simulator;
+//   des     the same event loop, but checkpoint commit/rollback answered by
+//           the rank-level DES stack (vmpi/cluster/fti with real partner
+//           copies and Reed-Solomon rebuilds) via sim::CheckpointMechanics.
+//
+// Both are pure functions of (config, schedule, options.runs, options.seed,
+// options.sim): thread counts and pool sizes never change a bit of the
+// result, so service layers can cache reports by request key alone.
+#pragma once
+
+#include "common/thread_pool.h"
+#include "sim/monte_carlo.h"
+
+namespace mlcr::sim {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Stable lowercase identifier ("coarse", "des"); used in wire payloads,
+  /// cache keys and per-backend metric names.
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Runs options.runs replicas of `schedule` and aggregates them.  `pool`
+  /// may be null (serial).  Throws common::Error on invalid options, like
+  /// sim::validate.
+  [[nodiscard]] virtual MonteCarloResult run(const model::SystemConfig& cfg,
+                                             const Schedule& schedule,
+                                             const MonteCarloOptions& options,
+                                             common::ThreadPool* pool) const = 0;
+};
+
+/// The coarse Monte-Carlo kernel as a Backend (shared instance).
+[[nodiscard]] const Backend& coarse_backend() noexcept;
+
+/// The high-fidelity DES replay as a Backend (shared instance); see
+/// sim/des_backend.h for the replay semantics.
+[[nodiscard]] const Backend& des_backend() noexcept;
+
+}  // namespace mlcr::sim

@@ -1,0 +1,223 @@
+#include "sim/des_backend.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "fti/fti.h"
+#include "vmpi/engine.h"
+#include "vmpi/task.h"
+
+namespace mlcr::sim {
+
+namespace {
+
+/// Internal replay system: one RS group of 4 nodes x 2 ranks.  Four parity
+/// shards (one per node) keep level 3 recoverable after the adjacent-pair
+/// kill of a class-3 failure: the pair costs 2 data + 2 parity shards and
+/// the surviving 4 of 8 suffice for the k=4 Reed-Solomon rebuild.
+constexpr int kNodes = 4;
+constexpr int kRanksPerNode = 2;
+constexpr int kParityShards = 4;
+
+cluster::ClusterConfig replay_cluster() {
+  cluster::ClusterConfig config;
+  config.nodes = kNodes;
+  config.ranks_per_node = kRanksPerNode;
+  config.rs_group_size = kNodes;
+  return config;
+}
+
+fti::FtiConfig replay_fti() {
+  fti::FtiConfig config;
+  config.parity_shards = kParityShards;
+  return config;
+}
+
+vmpi::RankTask checkpoint_task(fti::Fti& fti, int rank, int level,
+                               cluster::Payload payload) {
+  co_await fti.checkpoint(rank, level, std::move(payload));
+}
+
+vmpi::RankTask restore_task(fti::Fti& fti, int rank,
+                            fti::CheckpointRecord record,
+                            std::optional<cluster::Payload>* out) {
+  *out = co_await fti.restore_record(rank, record);
+}
+
+/// One replica's physical checkpoint state, driven by the event loop
+/// through the CheckpointMechanics callbacks.
+class DesMechanics final : public CheckpointMechanics {
+ public:
+  DesMechanics(std::size_t levels, std::uint64_t seed, std::uint64_t run)
+      : levels_(levels),
+        seed_(seed),
+        run_(run),
+        cluster_(replay_cluster()),
+        fti_(engine_, cluster_, replay_fti()) {}
+
+  void committed(std::size_t level, double position) override {
+    const int flevel = fti_level(level);
+    const int version = next_version_++;
+    const cluster::Payload payload =
+        encode_replica_payload(seed_, run_, flevel, version);
+    for (int rank = 0; rank < cluster_.rank_count(); ++rank) {
+      engine_.spawn(checkpoint_task(fti_, rank, flevel, payload));
+    }
+    engine_.run();
+    ledger_.push_back({fti_.records().back(), payload, position});
+  }
+
+  double failed(std::size_t level) override {
+    damage(fti_level(level));
+    // Coordinated restart: candidates in descending work-position order
+    // (newest version first on ties), first record every rank restores
+    // bit-exactly wins.  Position 0 — the initial state — always survives.
+    std::vector<std::size_t> order(ledger_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       if (ledger_[a].position != ledger_[b].position) {
+                         return ledger_[a].position > ledger_[b].position;
+                       }
+                       return ledger_[a].record.version >
+                              ledger_[b].record.version;
+                     });
+    double restore = 0.0;
+    std::vector<char> dead(ledger_.size(), 0);
+    for (const std::size_t idx : order) {
+      if (recoverable(ledger_[idx])) {
+        restore = ledger_[idx].position;
+        break;
+      }
+      dead[idx] = 1;
+    }
+    // Records proven unrecoverable stay so (their objects are wiped); drop
+    // them so later failures don't re-try the restores.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < ledger_.size(); ++i) {
+      if (dead[i] != 0) continue;
+      if (kept != i) ledger_[kept] = std::move(ledger_[i]);
+      ++kept;
+    }
+    ledger_.resize(kept);
+    return restore;
+  }
+
+ private:
+  struct Entry {
+    fti::CheckpointRecord record;
+    cluster::Payload payload;  ///< expected restore bytes (all ranks equal)
+    double position = 0.0;
+  };
+
+  /// Config level -> FTI protection level: the top level writes to the PFS
+  /// (4); the others map one-based and cap at the RS level (3).
+  [[nodiscard]] int fti_level(std::size_t level) const noexcept {
+    if (level + 1 == levels_) return 4;
+    return std::min(static_cast<int>(level) + 1, 3);
+  }
+
+  /// Applies the physical damage of a failure class: the nodes it kills
+  /// lose their local stores (level-by-level survivability then falls out
+  /// of what fti:: can actually rebuild).  Victims rotate deterministically
+  /// — no rng draws, so the replica's failure stream stays untouched.
+  void damage(int flevel) {
+    const int nodes = cluster_.node_count();
+    switch (flevel) {
+      case 1:
+        return;  // software fault: storage intact
+      case 2: {
+        const int victim = next_kill_++ % nodes;
+        cluster_.kill_node(victim);
+        cluster_.revive_node(victim);
+        return;
+      }
+      case 3: {
+        const int victim = next_kill_++ % nodes;
+        const int partner = cluster_.partner_of(victim);
+        cluster_.kill_node(victim);
+        if (partner != victim) cluster_.kill_node(partner);
+        cluster_.revive_node(victim);
+        if (partner != victim) cluster_.revive_node(partner);
+        return;
+      }
+      default: {
+        for (int id = 0; id < nodes; ++id) cluster_.kill_node(id);
+        for (int id = 0; id < nodes; ++id) cluster_.revive_node(id);
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool recoverable(const Entry& entry) {
+    const int ranks = cluster_.rank_count();
+    std::vector<std::optional<cluster::Payload>> got(
+        static_cast<std::size_t>(ranks));
+    for (int rank = 0; rank < ranks; ++rank) {
+      engine_.spawn(restore_task(fti_, rank, entry.record,
+                                 &got[static_cast<std::size_t>(rank)]));
+    }
+    engine_.run();
+    for (const auto& payload : got) {
+      if (!payload.has_value() || payload->bytes != entry.payload.bytes) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::size_t levels_;
+  std::uint64_t seed_;
+  std::uint64_t run_;
+  vmpi::Engine engine_;
+  cluster::Cluster cluster_;
+  fti::Fti fti_;
+  std::vector<Entry> ledger_;
+  int next_kill_ = 0;
+  int next_version_ = 1;
+};
+
+}  // namespace
+
+cluster::Payload encode_replica_payload(std::uint64_t seed, std::uint64_t run,
+                                        int level, int version) {
+  cluster::Payload payload;
+  payload.bytes.resize(64);
+  // splitmix64-style mix of the identifying tuple: distinct content per
+  // (replica, checkpoint), reproducible forever — these bytes are compared
+  // on every restore.
+  std::uint64_t x = seed ^ (run * 0x9e3779b97f4a7c15ULL) ^
+                    (static_cast<std::uint64_t>(level) << 56) ^
+                    (static_cast<std::uint64_t>(version) * 0xbf58476d1ce4e5b9ULL);
+  for (std::size_t i = 0; i < payload.bytes.size(); ++i) {
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    payload.bytes[i] = static_cast<std::uint8_t>(x);
+  }
+  payload.logical_size = payload.bytes.size();
+  return payload;
+}
+
+MonteCarloResult DesBackend::run(const model::SystemConfig& cfg,
+                                 const Schedule& schedule,
+                                 const MonteCarloOptions& options,
+                                 common::ThreadPool* pool) const {
+  const std::uint64_t seed = options.seed;
+  const std::size_t levels = cfg.levels();
+  const SimOptions& sim = options.sim;
+  const ReplicaKernel kernel =
+      [&cfg, &schedule, &sim, seed, levels](
+          std::uint64_t run, common::Rng& rng,
+          SimWorkspace& ws) -> const RunResult& {
+    DesMechanics mechanics(levels, seed, run);
+    return simulate_mechanics_into(cfg, schedule, rng, sim, ws, &mechanics);
+  };
+  return monte_carlo_kernel(cfg, schedule, options, kernel, pool);
+}
+
+}  // namespace mlcr::sim

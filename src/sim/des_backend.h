@@ -1,0 +1,54 @@
+// The DES validation backend: replays the coarse event loop's checkpoint
+// commit / failure rollback sequence through the rank-level stack — a
+// vmpi::Engine-driven cluster::Cluster with an fti::Fti library doing real
+// partner copies and GF(2^8) Reed-Solomon group encodings — instead of the
+// closed per-level position array (DESIGN.md §14).
+//
+// Per replica, a fresh internal system (4 nodes x 2 ranks, one RS group,
+// parity_shards = 4 so an adjacent-pair node loss stays L3-recoverable) is
+// built, and:
+//
+//   * each committed checkpoint runs a collective fti::checkpoint of every
+//     rank at the mapped FTI level (config level i -> i+1, capped at 3,
+//     with the top config level -> 4/PFS), carrying a payload that encodes
+//     (seed, run, level, version) so restores are verified bit-exactly;
+//   * each level-j failure deterministically kills the nodes that failure
+//     class physically costs (1: none; 2: one node; 3: an adjacent partner
+//     pair; top: every node), then performs a coordinated restart: the
+//     stored records are tried in descending work-position order and the
+//     first one that EVERY rank restores bit-exactly wins.  Records proven
+//     unrecoverable are dropped.
+//
+// Wall-clock cost stays with the analytic cost model exactly as in the
+// coarse kernel (the engine's virtual time only orders the storage
+// mechanics), and the replica consumes the identical counter-based rng
+// stream — so serial==parallel bit-identity holds and coarse-vs-des
+// differences isolate genuine mechanics divergence, not noise.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/storage.h"
+#include "sim/backend.h"
+
+namespace mlcr::sim {
+
+class DesBackend final : public Backend {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "des"; }
+  [[nodiscard]] MonteCarloResult run(const model::SystemConfig& cfg,
+                                     const Schedule& schedule,
+                                     const MonteCarloOptions& options,
+                                     common::ThreadPool* pool) const override;
+};
+
+/// Deterministic checkpoint payload for replica `run` of stream `seed`:
+/// 64 bytes mixed from (seed, run, level, version), identical for every
+/// rank of the collective.  Bit-stable by construction — the restore path
+/// compares restored bytes against a recomputation, so any lossy storage
+/// round-trip (or a restore answering with the wrong record) is caught.
+[[nodiscard]] cluster::Payload encode_replica_payload(std::uint64_t seed,
+                                                      std::uint64_t run,
+                                                      int level, int version);
+
+}  // namespace mlcr::sim

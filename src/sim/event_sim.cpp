@@ -42,7 +42,8 @@ enum class Portion { kExecution, kCheckpoint, kRestart };
 const RunResult& simulate_impl(const model::SystemConfig& cfg,
                                const Schedule& schedule, common::Rng& rng,
                                const SimOptions& options,
-                               const FailureTrace* trace, SimWorkspace& ws) {
+                               const FailureTrace* trace, SimWorkspace& ws,
+                               CheckpointMechanics* mechanics = nullptr) {
   const std::size_t levels = cfg.levels();
   MLCR_EXPECT(schedule.period_seconds.size() == levels,
               "simulate: schedule/config level mismatch");
@@ -304,14 +305,20 @@ const RunResult& simulate_impl(const model::SystemConfig& cfg,
       ++pending_head;
       const std::size_t j = failure.level;
       ++result.failures_per_level[j];
-      // Roll back to the best surviving checkpoint of level >= j.
       double restore = 0.0;
-      for (std::size_t k = j; k < levels; ++k) {
-        restore = std::max(restore, ws.cp_position[k]);
-      }
-      // Checkpoints of levels below j are lost by this failure.
-      for (std::size_t k = 0; k < j; ++k) {
-        ws.cp_position[k] = std::min(ws.cp_position[k], restore);
+      if (mechanics != nullptr) {
+        // The mechanics backend owns the record state: it damages the
+        // stored objects and reports what is actually recoverable.
+        restore = mechanics->failed(j);
+      } else {
+        // Roll back to the best surviving checkpoint of level >= j.
+        for (std::size_t k = j; k < levels; ++k) {
+          restore = std::max(restore, ws.cp_position[k]);
+        }
+        // Checkpoints of levels below j are lost by this failure.
+        for (std::size_t k = 0; k < j; ++k) {
+          ws.cp_position[k] = std::min(ws.cp_position[k], restore);
+        }
       }
       position = restore;
       // The position moved backwards: re-derive the trigger multiples.
@@ -355,17 +362,21 @@ const RunResult& simulate_impl(const model::SystemConfig& cfg,
     // Take the checkpoint at `trigger_level`.
     ++result.checkpoints_per_level[trigger_level];
     if (position < high_water - 1e-9) ++result.rolled_back_checkpoints;
+    auto commit = [&](std::size_t level) {
+      if (mechanics != nullptr) mechanics->committed(level, position);
+      else ws.cp_position[level] = position;
+    };
     const double cost = ws.ckpt_cost[trigger_level] * jitter();
     if (options.atomic_checkpoints) {
       // Paper-faithful: the write runs to completion at full cost; failures
       // that arrived meanwhile are handled right after (and recover from
       // this very checkpoint when its level covers them).
       elapse_uninterruptible(cost, Portion::kCheckpoint);
-      ws.cp_position[trigger_level] = position;
+      commit(trigger_level);
     } else {
       // Strict mode: a failure interrupts and discards the in-flight write.
       if (elapse_interruptible(cost, Portion::kCheckpoint, false)) {
-        ws.cp_position[trigger_level] = position;
+        commit(trigger_level);
       }
     }
   }
@@ -394,6 +405,15 @@ const RunResult& simulate_into(const model::SystemConfig& cfg,
                                const Schedule& schedule, common::Rng& rng,
                                const SimOptions& options, SimWorkspace& ws) {
   return simulate_impl(cfg, schedule, rng, options, nullptr, ws);
+}
+
+const RunResult& simulate_mechanics_into(const model::SystemConfig& cfg,
+                                         const Schedule& schedule,
+                                         common::Rng& rng,
+                                         const SimOptions& options,
+                                         SimWorkspace& ws,
+                                         CheckpointMechanics* mechanics) {
+  return simulate_impl(cfg, schedule, rng, options, nullptr, ws, mechanics);
 }
 
 RunResult simulate_trace(const model::SystemConfig& cfg,

@@ -82,6 +82,26 @@ struct FailureTrace {
   std::vector<std::vector<double>> arrivals_per_level;  ///< each ascending
 };
 
+/// Physical checkpoint/recovery mechanics plugged into the event loop.
+///
+/// The coarse kernel tracks one surviving checkpoint position per level in a
+/// flat array; a high-fidelity backend (sim::DesBackend) replays the same
+/// committed/failed call sequence through real fti::/cluster:: storage —
+/// partner copies, Reed-Solomon rebuilds, PFS objects — and answers the
+/// rollback question from what is actually recoverable.  The contract:
+/// `committed(level, position)` records a durable checkpoint of `level`
+/// taken at work position `position`; `failed(level)` applies the damage a
+/// level-`level` failure does to the stored records and returns the work
+/// position execution restarts from (0.0 — the initial state — when nothing
+/// survives).  Implementations must be pure functions of the call sequence:
+/// the replica driver relies on that for serial==parallel bit-identity.
+class CheckpointMechanics {
+ public:
+  virtual ~CheckpointMechanics() = default;
+  virtual void committed(std::size_t level, double position) = 0;
+  [[nodiscard]] virtual double failed(std::size_t level) = 0;
+};
+
 struct RunResult {
   bool completed = false;
   double wallclock = 0.0;
@@ -135,6 +155,19 @@ struct SimWorkspace {
 const RunResult& simulate_into(const model::SystemConfig& cfg,
                                const Schedule& schedule, common::Rng& rng,
                                const SimOptions& options, SimWorkspace& ws);
+
+/// The hot form with pluggable checkpoint mechanics: when `mechanics` is
+/// non-null the per-level record array is replaced by the callbacks (see
+/// CheckpointMechanics); a null `mechanics` behaves exactly like
+/// simulate_into.  The rng draw sequence is identical either way, so a
+/// mechanics backend consumes the same counter-based failure stream as the
+/// coarse kernel.
+const RunResult& simulate_mechanics_into(const model::SystemConfig& cfg,
+                                         const Schedule& schedule,
+                                         common::Rng& rng,
+                                         const SimOptions& options,
+                                         SimWorkspace& ws,
+                                         CheckpointMechanics* mechanics);
 
 /// Same execution but with failures replayed from `trace` instead of being
 /// sampled (rng is still used for checkpoint/recovery jitter).

@@ -28,6 +28,19 @@ struct ChunkBuffers {
   std::array<double, kMinChunk> failures;
 };
 
+/// The coarse replica kernel: stateless, so the driver's worker sharing is
+/// trivially safe, and a direct simulate_into call keeps the serial hot
+/// path free of any std::function indirection.
+struct CoarseKernel {
+  const model::SystemConfig& cfg;
+  const Schedule& schedule;
+  const SimOptions& sim;
+  const RunResult& operator()(std::uint64_t /*run*/, common::Rng& rng,
+                              SimWorkspace& ws) const {
+    return simulate_into(cfg, schedule, rng, sim, ws);
+  }
+};
+
 /// Runs chunks [first_chunk, last_chunk) into their fixed slots of
 /// `chunks`, reusing one generator, one simulator workspace, and one set of
 /// staging buffers across every replica of the span.  Replica `run` always
@@ -35,9 +48,10 @@ struct ChunkBuffers {
 /// generator is bit-identical to constructing Rng(seed, run) — so the span
 /// grouping can follow the thread count while each chunk's accumulator
 /// stays a pure function of its replicas.
+template <typename Kernel>
 void run_span(const model::SystemConfig& cfg, const Schedule& schedule,
-              const MonteCarloOptions& options, int first_chunk,
-              int last_chunk, MonteCarloResult* chunks) {
+              const MonteCarloOptions& options, const Kernel& kernel,
+              int first_chunk, int last_chunk, MonteCarloResult* chunks) {
   common::Rng rng;
   SimWorkspace ws;
   ChunkBuffers buf;
@@ -48,7 +62,7 @@ void run_span(const model::SystemConfig& cfg, const Schedule& schedule,
     int completed = 0;
     for (int run = begin; run < end; ++run) {
       rng.reseed(options.seed, static_cast<std::uint64_t>(run));
-      const RunResult& r = simulate_into(cfg, schedule, rng, options.sim, ws);
+      const RunResult& r = kernel(static_cast<std::uint64_t>(run), rng, ws);
       if (!r.completed) {
         ++chunk.incomplete_runs;
         continue;
@@ -92,12 +106,14 @@ void merge_chunk(MonteCarloResult* into, const MonteCarloResult& chunk) {
 /// Serial execution of the full partition: same chunks, same ascending
 /// merge order as any parallel run — bit-identical by construction.
 /// Callers validate `options` before entering.
+template <typename Kernel>
 MonteCarloResult monte_carlo_serial(const model::SystemConfig& cfg,
                                     const Schedule& schedule,
-                                    const MonteCarloOptions& options) {
+                                    const MonteCarloOptions& options,
+                                    const Kernel& kernel) {
   const int nchunks = chunk_count(options.runs);
   std::vector<MonteCarloResult> chunks(static_cast<std::size_t>(nchunks));
-  run_span(cfg, schedule, options, 0, nchunks, chunks.data());
+  run_span(cfg, schedule, options, kernel, 0, nchunks, chunks.data());
   MonteCarloResult result;
   for (const MonteCarloResult& chunk : chunks) merge_chunk(&result, chunk);
   return result;
@@ -108,9 +124,11 @@ MonteCarloResult monte_carlo_serial(const model::SystemConfig& cfg,
 /// its chunks into fixed slots; the merge then walks slots in ascending
 /// order.  Callers validate `options` and short-circuit trivial widths
 /// before entering.
+template <typename Kernel>
 MonteCarloResult monte_carlo_pooled(const model::SystemConfig& cfg,
                                     const Schedule& schedule,
                                     const MonteCarloOptions& options,
+                                    const Kernel& kernel,
                                     common::ThreadPool& pool) {
   // Several spans per worker keep the pool busy when replica durations vary
   // (a span that drains early steals nothing — it just finishes), while a
@@ -126,9 +144,9 @@ MonteCarloResult monte_carlo_pooled(const model::SystemConfig& cfg,
   for (int s = 0; s < spans; ++s) {
     const int first = s * nchunks / spans;
     const int last = (s + 1) * nchunks / spans;
-    tasks.push_back(
-        pool.submit([&cfg, &schedule, &options, first, last, &chunks] {
-          run_span(cfg, schedule, options, first, last, chunks.data());
+    tasks.push_back(pool.submit(
+        [&cfg, &schedule, &options, &kernel, first, last, &chunks] {
+          run_span(cfg, schedule, options, kernel, first, last, chunks.data());
         }));
   }
   for (std::future<void>& task : tasks) task.get();
@@ -171,15 +189,16 @@ MonteCarloResult monte_carlo(const model::SystemConfig& cfg,
                              const Schedule& schedule,
                              const MonteCarloOptions& options) {
   validate(options);
+  const CoarseKernel kernel{cfg, schedule, options.sim};
   std::size_t threads = options.threads;
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   if (threads == 1 || options.runs <= kMinChunk) {
-    return monte_carlo_serial(cfg, schedule, options);
+    return monte_carlo_serial(cfg, schedule, options, kernel);
   }
   common::ThreadPool pool(threads);
-  return monte_carlo_pooled(cfg, schedule, options, pool);
+  return monte_carlo_pooled(cfg, schedule, options, kernel, pool);
 }
 
 MonteCarloResult monte_carlo(const model::SystemConfig& cfg,
@@ -187,10 +206,23 @@ MonteCarloResult monte_carlo(const model::SystemConfig& cfg,
                              const MonteCarloOptions& options,
                              common::ThreadPool& pool) {
   validate(options);
+  const CoarseKernel kernel{cfg, schedule, options.sim};
   if (pool.size() == 1 || options.runs <= kMinChunk) {
-    return monte_carlo_serial(cfg, schedule, options);
+    return monte_carlo_serial(cfg, schedule, options, kernel);
   }
-  return monte_carlo_pooled(cfg, schedule, options, pool);
+  return monte_carlo_pooled(cfg, schedule, options, kernel, pool);
+}
+
+MonteCarloResult monte_carlo_kernel(const model::SystemConfig& cfg,
+                                    const Schedule& schedule,
+                                    const MonteCarloOptions& options,
+                                    const ReplicaKernel& kernel,
+                                    common::ThreadPool* pool) {
+  validate(options);
+  if (pool == nullptr || pool->size() == 1 || options.runs <= kMinChunk) {
+    return monte_carlo_serial(cfg, schedule, options, kernel);
+  }
+  return monte_carlo_pooled(cfg, schedule, options, kernel, *pool);
 }
 
 }  // namespace mlcr::sim

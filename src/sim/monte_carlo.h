@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "common/thread_pool.h"
 #include "model/wallclock.h"
@@ -90,5 +91,24 @@ void validate(const MonteCarloOptions& options);
                                            const Schedule& schedule,
                                            const MonteCarloOptions& options,
                                            common::ThreadPool& pool);
+
+/// Per-replica simulation kernel for the generic driver below.  Called once
+/// per replica with the shared generator already reseeded to the
+/// counter-based stream (seed, run) and a worker-local workspace; returns
+/// the replica's result (typically ws.result).  A kernel must be a pure
+/// function of (run, stream) and safe to invoke concurrently from several
+/// workers — the chunk/span/merge driver then extends the serial==parallel
+/// bit-identity contract to any backend, not just the coarse one.
+using ReplicaKernel = std::function<const RunResult&(
+    std::uint64_t run, common::Rng& rng, SimWorkspace& ws)>;
+
+/// Backend-agnostic replica driver: identical validation, chunk partition,
+/// span claiming and ascending-order merge tree as monte_carlo, with the
+/// per-replica simulation supplied by `kernel`.  A null `pool` — or a
+/// 1-worker pool, or a request of at most kMinChunk runs — runs inline.
+[[nodiscard]] MonteCarloResult monte_carlo_kernel(
+    const model::SystemConfig& cfg, const Schedule& schedule,
+    const MonteCarloOptions& options, const ReplicaKernel& kernel,
+    common::ThreadPool* pool = nullptr);
 
 }  // namespace mlcr::sim

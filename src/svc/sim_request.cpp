@@ -16,6 +16,20 @@ void append_hex(std::string* out, double v) {
 
 }  // namespace
 
+const char* to_string(SimBackend backend) noexcept {
+  switch (backend) {
+    case SimBackend::kDes: return "des";
+    case SimBackend::kCoarse: break;
+  }
+  return "coarse";
+}
+
+std::optional<SimBackend> backend_from_string(std::string_view name) noexcept {
+  if (name == "coarse") return SimBackend::kCoarse;
+  if (name == "des") return SimBackend::kDes;
+  return std::nullopt;
+}
+
 SimSummary flatten(const stat::Summary& summary) {
   SimSummary flat;
   flat.count = summary.count();
@@ -38,6 +52,12 @@ std::string canonical_key(const SimRequest& request) {
   key += "|mc.serrec=" + std::to_string(sim.serial_recovery ? 1 : 0);
   key += "|mc.wshape=";
   append_hex(&key, sim.weibull_shape);
+  // Appended only for non-default backends: every coarse key predating the
+  // backend axis stays byte-identical, so warm caches survive the upgrade.
+  if (request.backend != SimBackend::kCoarse) {
+    key += "|backend=";
+    key += to_string(request.backend);
+  }
   // monte_carlo.threads and label are intentionally absent: neither changes
   // the report (see file comment).
   return key;

@@ -20,7 +20,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "model/system.h"
 #include "model/wallclock.h"
@@ -32,6 +34,23 @@
 
 namespace mlcr::svc {
 
+/// Which validation engine runs the replicas (DESIGN.md §14): the coarse
+/// closed-form kernel or the rank-level DES replay.  Result-influencing, so
+/// it is part of the cache key (appended only for non-default backends to
+/// keep pre-existing coarse keys byte-identical) and echoed on the report.
+enum class SimBackend {
+  kCoarse = 0,  ///< sim::coarse_backend() — the paper's Section IV-A kernel
+  kDes = 1,     ///< sim::des_backend() — vmpi/cluster/fti checkpoint replay
+};
+
+[[nodiscard]] const char* to_string(SimBackend backend) noexcept;
+
+/// Parses the wire spelling ("coarse" / "des"); nullopt for anything else —
+/// callers turn that into a structured bad_request naming the accepted
+/// values rather than guessing.
+[[nodiscard]] std::optional<SimBackend> backend_from_string(
+    std::string_view name) noexcept;
+
 struct SimRequest {
   model::SystemConfig config;
   opt::Solution solution = opt::Solution::kMultilevelOptScale;
@@ -39,6 +58,8 @@ struct SimRequest {
   opt::Algorithm1Options plan_options;
   /// Replica count, RNG seed, fan-out width, and simulator semantics.
   sim::MonteCarloOptions monte_carlo;
+  /// Validation engine for the replicas; part of the cache key.
+  SimBackend backend = SimBackend::kCoarse;
   /// Free-form tag echoed into the report; NOT part of the cache key.
   std::string label;
 
@@ -85,6 +106,8 @@ struct SimReport {
 
   int runs = 0;              ///< replicas requested
   long incomplete_runs = 0;  ///< replicas hitting the max_events guard
+  /// The backend that produced the replica statistics (request echo).
+  SimBackend backend = SimBackend::kCoarse;
 
   /// (simulated mean - analytic E(T_w)) / analytic E(T_w).
   double wallclock_error = 0.0;

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "sim/backend.h"
 #include "sim/event_sim.h"
 
 namespace mlcr::svc {
@@ -19,6 +20,12 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The sim::Backend implementing a request's backend axis.
+const sim::Backend& backend_for(SimBackend backend) {
+  return backend == SimBackend::kDes ? sim::des_backend()
+                                     : sim::coarse_backend();
 }
 
 }  // namespace
@@ -261,6 +268,7 @@ SimReport SweepEngine::simulate_request(const SimRequest& request,
   report.label = request.label;
   report.key = key;
   report.runs = request.monte_carlo.runs;
+  report.backend = request.backend;
   const auto start = Clock::now();
   try {
     // Fail fast on malformed Monte-Carlo options before paying for the
@@ -274,8 +282,8 @@ SimReport SweepEngine::simulate_request(const SimRequest& request,
       const sim::Schedule schedule = sim::Schedule::from_plan(
           request.config, report.plan.plan(),
           report.plan.planned.level_enabled);
-      const sim::MonteCarloResult mc = sim::monte_carlo(
-          request.config, schedule, request.monte_carlo, pool_);
+      const sim::MonteCarloResult mc = backend_for(request.backend)
+          .run(request.config, schedule, request.monte_carlo, &pool_);
       report.wallclock = flatten(mc.wallclock);
       report.productive = flatten(mc.productive);
       report.checkpoint = flatten(mc.checkpoint);
@@ -307,19 +315,29 @@ SimReport SweepEngine::simulate_request(const SimRequest& request,
   }
   report.sim_seconds = seconds_since(start);
 
+  // Aggregate instruments keep their pre-backend names; the per-backend
+  // twins live under a `sim.<backend>.` / `validate.<backend>.` namespace.
+  const std::string bname = to_string(request.backend);
   metrics_.counter("validate.status." + opt::to_string(report.status))
       .increment();
   metrics_.timer("sim.seconds").observe(report.sim_seconds);
+  metrics_.timer("sim." + bname + ".seconds").observe(report.sim_seconds);
   if (report.ok()) {
     metrics_.counter("sim.replicas")
+        .increment(static_cast<std::uint64_t>(report.runs));
+    metrics_.counter("sim." + bname + ".replicas")
         .increment(static_cast<std::uint64_t>(report.runs));
     metrics_.counter("sim.incomplete")
         .increment(static_cast<std::uint64_t>(report.incomplete_runs));
     if (report.sim_seconds > 0.0) {
       metrics_.gauge("sim.replicas_per_second")
           .set(static_cast<double>(report.runs) / report.sim_seconds);
+      metrics_.gauge("sim." + bname + ".replicas_per_second")
+          .set(static_cast<double>(report.runs) / report.sim_seconds);
     }
     metrics_.gauge("validate.error.wallclock").set(report.wallclock_error);
+    metrics_.gauge("validate." + bname + ".error.wallclock")
+        .set(report.wallclock_error);
     metrics_.timer("validate.error.abs")
         .observe(std::abs(report.wallclock_error));
   }
@@ -329,13 +347,17 @@ SimReport SweepEngine::simulate_request(const SimRequest& request,
 std::optional<SimReport> SweepEngine::validate_one(
     const SimRequest& request, std::optional<Deadline> deadline) {
   const std::string key = canonical_key(request);
+  const std::string bname = to_string(request.backend);
   metrics_.counter("validate.requests").increment();
+  metrics_.counter("validate." + bname + ".requests").increment();
   SimReport report;
   if (sim_cache_lookup(key, &report)) {
+    metrics_.counter("validate." + bname + ".cache.hits").increment();
     report.cache_hit = true;
     report.label = request.label;
     return report;
   }
+  metrics_.counter("validate." + bname + ".cache.misses").increment();
   if (deadline.has_value() && Clock::now() >= *deadline) {
     metrics_.counter("validate.expired").increment();
     return std::nullopt;

@@ -1,0 +1,170 @@
+// The DES validation backend (DESIGN.md §14): replays the coarse kernel's
+// checkpoint commit / failure rollback sequence through the rank-level
+// vmpi/cluster/fti stack.  The contracts pinned here:
+//
+//   * serial == pooled bit-identity — the DES replica kernel rides the same
+//     chunk/span/merge driver as the coarse kernel, so the thread count can
+//     never change a bit of the aggregate;
+//   * fidelity — at the paper's Figure 4 fusion regime the DES mean
+//     wall-clock tracks both the analytic model and the coarse kernel
+//     within the validation band;
+//   * the registry — backend names are wire strings and metric suffixes,
+//     and the coarse backend is exactly the monte_carlo kernel.
+#include "sim/des_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "exp/cases.h"
+#include "opt/planner.h"
+#include "sim/backend.h"
+#include "sim/monte_carlo.h"
+
+namespace {
+
+using namespace mlcr;
+using namespace mlcr::sim;
+
+struct Planned {
+  model::SystemConfig cfg;
+  Schedule schedule;
+};
+
+// The paper's Figure 4 / Table 2 baseline regime: fusion-scale FTI system,
+// 30 core-days, 1024 nodes, 24-18-12-6 failures/day.
+Planned fusion_plan() {
+  auto cfg = exp::make_fti_system(
+      30.0, exp::FailureCase{"fusion", {24, 18, 12, 6}}, 1024.0);
+  const auto planned = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
+  auto schedule =
+      Schedule::from_plan(cfg, planned.full_plan, planned.level_enabled);
+  return {cfg, schedule};
+}
+
+void expect_bit_identical(const stat::Summary& a, const stat::Summary& b,
+                          const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.stddev(), b.stddev()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+}
+
+TEST(DesBackend, SerialAndPooledRunsAreBitIdentical) {
+  const Planned p = fusion_plan();
+  MonteCarloOptions options;
+  options.runs = 12;
+  options.seed = 0x5eed;
+  const MonteCarloResult serial =
+      des_backend().run(p.cfg, p.schedule, options, nullptr);
+  common::ThreadPool pool(8);
+  const MonteCarloResult pooled =
+      des_backend().run(p.cfg, p.schedule, options, &pool);
+  expect_bit_identical(serial.wallclock, pooled.wallclock, "wallclock");
+  expect_bit_identical(serial.productive, pooled.productive, "productive");
+  expect_bit_identical(serial.checkpoint, pooled.checkpoint, "checkpoint");
+  expect_bit_identical(serial.restart, pooled.restart, "restart");
+  expect_bit_identical(serial.rollback, pooled.rollback, "rollback");
+  expect_bit_identical(serial.efficiency, pooled.efficiency, "efficiency");
+  expect_bit_identical(serial.failures, pooled.failures, "failures");
+  EXPECT_EQ(serial.incomplete_runs, pooled.incomplete_runs);
+}
+
+TEST(DesBackend, WallclockTracksAnalyticModelAtFusionScale) {
+  // The acceptance gate: model-vs-DES error within 5% at the paper's
+  // baseline (the coarse kernel's Figure 4 claim, extended to the DES
+  // replay).  Measured ~0.6% in practice; 5% is the published band.
+  auto cfg = exp::make_fti_system(
+      30.0, exp::FailureCase{"fusion", {24, 18, 12, 6}}, 1024.0);
+  const auto planned = opt::plan(opt::Solution::kMultilevelOptScale, cfg);
+  const auto schedule =
+      Schedule::from_plan(cfg, planned.full_plan, planned.level_enabled);
+  MonteCarloOptions options;
+  options.runs = 16;
+  const MonteCarloResult r =
+      des_backend().run(cfg, schedule, options, nullptr);
+  ASSERT_EQ(r.incomplete_runs, 0);
+  const double analytic = planned.optimization.wallclock;
+  EXPECT_NEAR(r.wallclock.mean() / analytic, 1.0, 0.05)
+      << "des " << r.wallclock.mean() << " analytic " << analytic;
+}
+
+TEST(DesBackend, AgreesWithTheCoarseKernelAtFusionScale) {
+  // Both backends consume the identical counter-based failure stream, so
+  // the residual gap isolates mechanics differences (restart anchoring,
+  // recovery level selection) — a few percent, not tens.
+  const Planned p = fusion_plan();
+  MonteCarloOptions options;
+  options.runs = 16;
+  const MonteCarloResult coarse =
+      coarse_backend().run(p.cfg, p.schedule, options, nullptr);
+  const MonteCarloResult des =
+      des_backend().run(p.cfg, p.schedule, options, nullptr);
+  ASSERT_EQ(coarse.incomplete_runs, 0);
+  ASSERT_EQ(des.incomplete_runs, 0);
+  EXPECT_NEAR(des.wallclock.mean() / coarse.wallclock.mean(), 1.0, 0.05);
+  // Failure counts are a pure function of the shared stream: identical.
+  EXPECT_EQ(des.failures.mean(), coarse.failures.mean());
+}
+
+TEST(DesBackend, RepeatedRunsAreBitIdentical) {
+  const Planned p = fusion_plan();
+  MonteCarloOptions options;
+  options.runs = 8;
+  const MonteCarloResult a =
+      des_backend().run(p.cfg, p.schedule, options, nullptr);
+  const MonteCarloResult b =
+      des_backend().run(p.cfg, p.schedule, options, nullptr);
+  expect_bit_identical(a.wallclock, b.wallclock, "wallclock");
+  expect_bit_identical(a.efficiency, b.efficiency, "efficiency");
+}
+
+TEST(DesBackend, ReplicaPayloadIsDeterministicAndStreamSpecific) {
+  const cluster::Payload a = encode_replica_payload(11, 3, 2, 5);
+  const cluster::Payload b = encode_replica_payload(11, 3, 2, 5);
+  ASSERT_EQ(a.bytes.size(), 64u);
+  EXPECT_EQ(a, b);
+  // Any coordinate change must change the bytes — the restore verification
+  // compares payloads bit-exactly, so collisions would mask wrong-record
+  // restores.
+  EXPECT_NE(a, encode_replica_payload(12, 3, 2, 5));
+  EXPECT_NE(a, encode_replica_payload(11, 4, 2, 5));
+  EXPECT_NE(a, encode_replica_payload(11, 3, 3, 5));
+  EXPECT_NE(a, encode_replica_payload(11, 3, 2, 6));
+}
+
+TEST(BackendRegistry, NamesAreWireStable) {
+  // These strings appear in wire payloads, canonical keys and metric names;
+  // changing one is a protocol break.
+  EXPECT_STREQ(coarse_backend().name(), "coarse");
+  EXPECT_STREQ(des_backend().name(), "des");
+}
+
+TEST(BackendRegistry, CoarseBackendIsTheMonteCarloKernel) {
+  const Planned p = fusion_plan();
+  MonteCarloOptions options;
+  options.runs = 12;
+  const MonteCarloResult direct = monte_carlo(p.cfg, p.schedule, options);
+  const MonteCarloResult via_backend =
+      coarse_backend().run(p.cfg, p.schedule, options, nullptr);
+  expect_bit_identical(direct.wallclock, via_backend.wallclock, "wallclock");
+  expect_bit_identical(direct.efficiency, via_backend.efficiency,
+                       "efficiency");
+  EXPECT_EQ(direct.incomplete_runs, via_backend.incomplete_runs);
+}
+
+TEST(BackendRegistry, InvalidOptionsThrowThroughEveryBackend) {
+  const Planned p = fusion_plan();
+  MonteCarloOptions options;
+  options.runs = 0;
+  EXPECT_THROW(
+      (void)coarse_backend().run(p.cfg, p.schedule, options, nullptr),
+      common::Error);
+  EXPECT_THROW((void)des_backend().run(p.cfg, p.schedule, options, nullptr),
+               common::Error);
+}
+
+}  // namespace

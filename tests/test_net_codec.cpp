@@ -208,6 +208,7 @@ TEST(NetCodec, BinaryValidateMatchesJsonValidate) {
       opt::Solution::kMultilevelOptScale,
       {},
       {},
+      svc::SimBackend::kCoarse,
       "codec-sim"};
   request.monte_carlo.runs = 24;
   request.monte_carlo.seed = 1234;
@@ -220,6 +221,39 @@ TEST(NetCodec, BinaryValidateMatchesJsonValidate) {
   ASSERT_TRUE(via_binary.accepted) << via_binary.message;
   EXPECT_EQ(deterministic_fingerprint(via_json.report),
             deterministic_fingerprint(via_binary.report));
+}
+
+TEST(NetCodec, DesValidateIsBitIdenticalAcrossCodecs) {
+  // The codecs are framing-only, so the DES backend's report — like every
+  // payload — must be bit-identical over json and binary transport and
+  // against the in-process engine.
+  Server server(small_server());
+  server.start();
+
+  svc::SimRequest request{
+      exp::make_fti_system(30.0, exp::FailureCase{"fusion", {24, 18, 12, 6}},
+                           1024.0),
+      opt::Solution::kMultilevelOptScale,
+      {},
+      {},
+      svc::SimBackend::kDes,
+      "codec-des"};
+  request.monte_carlo.runs = 8;
+  request.monte_carlo.seed = 1234;
+
+  Client json_client({.port = server.port(), .codec = Codec::kJson});
+  Client binary_client({.port = server.port(), .codec = Codec::kBinary});
+  const SimResponse via_json = json_client.validate(request);
+  const SimResponse via_binary = binary_client.validate(request);
+  ASSERT_TRUE(via_json.accepted) << via_json.message;
+  ASSERT_TRUE(via_binary.accepted) << via_binary.message;
+  EXPECT_EQ(via_json.report.backend, svc::SimBackend::kDes);
+  EXPECT_EQ(deterministic_fingerprint(via_json.report),
+            deterministic_fingerprint(via_binary.report));
+
+  svc::SweepEngine engine({.threads = 1});
+  EXPECT_EQ(deterministic_fingerprint(via_binary.report),
+            deterministic_fingerprint(*engine.validate_one(request)));
 }
 
 TEST(NetCodec, BinaryPingAndMetricsWork) {

@@ -318,6 +318,7 @@ svc::SimRequest wire_sim_request() {
       opt::Solution::kMultilevelOptScale,
       {},
       {},
+      svc::SimBackend::kCoarse,
       "sim"};
   request.monte_carlo.runs = 16;
   request.monte_carlo.seed = 0xdeadbeefULL;
@@ -364,6 +365,78 @@ TEST(NetProtocol, SimRequestInvalidMonteCarloOptionsAreBadRequests) {
   EXPECT_NE(error.find("sentinel"), std::string::npos) << error;
 }
 
+TEST(NetProtocol, SimRequestBackendRoundTripsAndCoarseIsOmitted) {
+  // A coarse request never renders the field — the encoding is byte-for-
+  // byte what a pre-backend client would have produced.
+  const std::string coarse_line = encode_sim_request_line(wire_sim_request());
+  EXPECT_EQ(coarse_line.find("backend"), std::string::npos) << coarse_line;
+
+  svc::SimRequest request = wire_sim_request();
+  request.backend = svc::SimBackend::kDes;
+  const std::string des_line = encode_sim_request_line(request, 250);
+  EXPECT_NE(des_line.find("\"backend\":\"des\""), std::string::npos)
+      << des_line;
+  long deadline_ms = 0;
+  std::string error;
+  const auto decoded =
+      decode_sim_request(parse_ok(des_line), &deadline_ms, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->backend, svc::SimBackend::kDes);
+  EXPECT_EQ(encode_sim_request_line(*decoded, 250), des_line);
+
+  // Absent backend (every v1 client) decodes as the coarse default.
+  const auto old_client =
+      decode_sim_request(parse_ok(coarse_line), &deadline_ms, &error);
+  ASSERT_TRUE(old_client.has_value()) << error;
+  EXPECT_EQ(old_client->backend, svc::SimBackend::kCoarse);
+}
+
+TEST(NetProtocol, UnknownBackendIsAStructuredBadRequest) {
+  json::Object envelope =
+      parse_ok(encode_sim_request_line(wire_sim_request())).as_object();
+  envelope["backend"] = json::Value("turbo");
+  long deadline_ms = 0;
+  std::string error;
+  EXPECT_FALSE(decode_sim_request(json::Value(envelope), &deadline_ms, &error)
+                   .has_value());
+  // The error names the field and every accepted value, so a client can fix
+  // its spelling without reading the server source.
+  EXPECT_NE(error.find("backend"), std::string::npos) << error;
+  EXPECT_NE(error.find("coarse"), std::string::npos) << error;
+  EXPECT_NE(error.find("des"), std::string::npos) << error;
+
+  // Non-string backend values get the same structured refusal.
+  envelope["backend"] = json::Value(7.0);
+  error.clear();
+  EXPECT_FALSE(decode_sim_request(json::Value(envelope), &deadline_ms, &error)
+                   .has_value());
+  EXPECT_NE(error.find("backend"), std::string::npos) << error;
+}
+
+TEST(NetProtocol, SimReportEchoesTheBackend) {
+  svc::SweepEngine engine({.threads = 1});
+  const svc::SimReport coarse = *engine.validate_one(wire_sim_request());
+  ASSERT_TRUE(coarse.ok()) << coarse.message;
+  // Coarse reports omit the field: v1 clients see byte-identical lines.
+  EXPECT_EQ(json::dump(encode_sim_report(coarse)).find("backend"),
+            std::string::npos);
+
+  svc::SimRequest request = wire_sim_request();
+  request.backend = svc::SimBackend::kDes;
+  request.monte_carlo.runs = 8;  // keep the DES leg cheap
+  const svc::SimReport des = *engine.validate_one(request);
+  ASSERT_TRUE(des.ok()) << des.message;
+  EXPECT_EQ(des.backend, svc::SimBackend::kDes);
+  const std::string line = json::dump(encode_sim_report(des));
+  EXPECT_NE(line.find("\"backend\":\"des\""), std::string::npos) << line;
+  svc::SimReport decoded;
+  std::string error;
+  ASSERT_TRUE(decode_sim_report(parse_ok(line), &decoded, &error)) << error;
+  EXPECT_EQ(decoded.backend, svc::SimBackend::kDes);
+  EXPECT_EQ(deterministic_fingerprint(decoded),
+            deterministic_fingerprint(des));
+}
+
 TEST(NetProtocol, SimReportRoundTripIsByteIdentical) {
   svc::SweepEngine engine({.threads = 1});
   const svc::SimReport report = *engine.validate_one(wire_sim_request());
@@ -407,28 +480,36 @@ TEST(NetProtocol, SimResponseLinesDecodeToReportOrRejection) {
 
 // --- versioning & op discovery -----------------------------------------
 
-TEST(NetProtocol, EveryEnvelopeCarriesVersionOne) {
-  EXPECT_NE(encode_request_line(wire_requests().front()).find("\"v\":1"),
+TEST(NetProtocol, FreshEnvelopesCarryTheCurrentVersion) {
+  EXPECT_NE(encode_request_line(wire_requests().front()).find("\"v\":2"),
             std::string::npos);
-  EXPECT_NE(encode_sim_request_line(wire_sim_request()).find("\"v\":1"),
+  EXPECT_NE(encode_sim_request_line(wire_sim_request()).find("\"v\":2"),
             std::string::npos);
   svc::SweepEngine engine({.threads = 1});
   const auto report = *engine.plan_one(wire_requests().front());
-  EXPECT_NE(encode_report_line(report).find("\"v\":1"), std::string::npos);
-  EXPECT_NE(encode_rejection_line(Reject::kDraining, "bye").find("\"v\":1"),
+  EXPECT_NE(encode_report_line(report).find("\"v\":2"), std::string::npos);
+  EXPECT_NE(encode_rejection_line(Reject::kDraining, "bye").find("\"v\":2"),
             std::string::npos);
-  EXPECT_NE(encode_unknown_op_line("nope").find("\"v\":1"),
+  EXPECT_NE(encode_unknown_op_line("nope").find("\"v\":2"),
+            std::string::npos);
+  // Response encoders echo whichever version the request spoke, so v1
+  // clients keep receiving byte-identical v1 lines.
+  EXPECT_NE(encode_report_line(report, 1).find("\"v\":1"), std::string::npos);
+  EXPECT_NE(encode_rejection_line(Reject::kDraining, "bye", 1).find("\"v\":1"),
+            std::string::npos);
+  EXPECT_NE(encode_unknown_op_line("nope", 1).find("\"v\":1"),
             std::string::npos);
 }
 
-TEST(NetProtocol, VersionCheckAcceptsAbsentOrOneRejectsOthers) {
+TEST(NetProtocol, VersionCheckAcceptsSpokenRangeRejectsOthers) {
   std::string error;
   EXPECT_TRUE(envelope_version_ok(parse_ok(R"({"op":"ping"})"), &error));
   EXPECT_TRUE(envelope_version_ok(parse_ok(R"({"op":"ping","v":1})"), &error));
-  EXPECT_FALSE(envelope_version_ok(parse_ok(R"({"op":"ping","v":2})"), &error));
-  EXPECT_NE(error.find("unsupported protocol version 2"), std::string::npos)
+  EXPECT_TRUE(envelope_version_ok(parse_ok(R"({"op":"ping","v":2})"), &error));
+  EXPECT_FALSE(envelope_version_ok(parse_ok(R"({"op":"ping","v":3})"), &error));
+  EXPECT_NE(error.find("unsupported protocol version 3"), std::string::npos)
       << error;
-  EXPECT_NE(error.find("1"), std::string::npos) << error;
+  EXPECT_NE(error.find("1..2"), std::string::npos) << error;
   error.clear();
   EXPECT_FALSE(
       envelope_version_ok(parse_ok(R"({"op":"ping","v":"x"})"), &error));

@@ -136,6 +136,7 @@ std::string slow_validate_line() {
       opt::Solution::kMultilevelOptScale,
       {},
       {},
+      svc::SimBackend::kCoarse,
       "occupier"};
   request.monte_carlo.runs = 100;
   request.monte_carlo.seed = 99;

@@ -342,6 +342,7 @@ svc::SimRequest paper_sim_request(int runs = 24) {
       opt::Solution::kMultilevelOptScale,
       {},
       {},
+      svc::SimBackend::kCoarse,
       "sim-test"};
   request.monte_carlo.runs = runs;
   request.monte_carlo.seed = 1234;
@@ -365,6 +366,80 @@ TEST(NetServer, ValidateReportMatchesInProcessValidateOne) {
             deterministic_fingerprint(local));
   EXPECT_EQ(response.report.wallclock.mean, local.wallclock.mean);
   EXPECT_EQ(server.metrics().counter("net.validated").value(), 1u);
+}
+
+TEST(NetServer, DesValidateOverTheWireMatchesInProcessBitExactly) {
+  Server server(small_server());
+  server.start();
+  Client client({.port = server.port()});
+
+  svc::SimRequest request = paper_sim_request(12);
+  request.backend = svc::SimBackend::kDes;
+  const SimResponse response = client.validate(request);
+  ASSERT_TRUE(response.accepted) << response.message;
+  ASSERT_TRUE(response.report.ok()) << response.report.message;
+  EXPECT_EQ(response.report.backend, svc::SimBackend::kDes);
+
+  svc::SweepEngine engine({.threads = 1});
+  const svc::SimReport local = *engine.validate_one(request);
+  EXPECT_EQ(deterministic_fingerprint(response.report),
+            deterministic_fingerprint(local));
+}
+
+TEST(NetServer, LegacyV1ValidateIsServedByteIdentically) {
+  // A pre-backend (v1) client sends no "v" or "v":1 and no backend field;
+  // the response must speak v1 and omit the backend member, so the line is
+  // byte-for-byte what the v1 daemon produced.
+  Server server(small_server());
+  server.start();
+  Connection conn(connect_to("127.0.0.1", server.port(), 5000));
+
+  const svc::SimRequest request = paper_sim_request(12);
+  json::Object envelope =
+      json::parse(encode_sim_request_line(request), nullptr).value().as_object();
+  envelope.erase("v");
+  ASSERT_TRUE(conn.write_line(json::dump(json::Value(envelope))));
+  std::string line;
+  ASSERT_EQ(conn.read_line(&line, 20000), Connection::ReadResult::kLine);
+  EXPECT_NE(line.find("\"v\":1"), std::string::npos) << line;
+  EXPECT_EQ(line.find("\"v\":2"), std::string::npos) << line;
+  EXPECT_EQ(line.find("backend"), std::string::npos) << line;
+  SimResponse response;
+  std::string error;
+  ASSERT_TRUE(decode_sim_response(line, &response, &error)) << error;
+  ASSERT_TRUE(response.accepted) << response.message;
+
+  // The same request spoken at v2 gets a v2 answer with the same payload.
+  ASSERT_TRUE(conn.write_line(encode_sim_request_line(request)));
+  ASSERT_EQ(conn.read_line(&line, 20000), Connection::ReadResult::kLine);
+  EXPECT_NE(line.find("\"v\":2"), std::string::npos) << line;
+  SimResponse modern;
+  ASSERT_TRUE(decode_sim_response(line, &modern, &error)) << error;
+  EXPECT_EQ(deterministic_fingerprint(modern.report),
+            deterministic_fingerprint(response.report));
+}
+
+TEST(NetServer, UnknownBackendOverTheWireIsABadRequest) {
+  Server server(small_server());
+  server.start();
+  Connection conn(connect_to("127.0.0.1", server.port(), 5000));
+  json::Object envelope =
+      json::parse(encode_sim_request_line(paper_sim_request(4)), nullptr)
+          .value()
+          .as_object();
+  envelope["backend"] = json::Value("turbo");
+  ASSERT_TRUE(conn.write_line(json::dump(json::Value(envelope))));
+  std::string line;
+  ASSERT_EQ(conn.read_line(&line, 5000), Connection::ReadResult::kLine);
+  Response response;
+  std::string error;
+  ASSERT_TRUE(decode_response(line, &response, &error)) << error;
+  EXPECT_FALSE(response.accepted);
+  EXPECT_EQ(response.reject, Reject::kBadRequest);
+  EXPECT_NE(response.message.find("coarse"), std::string::npos)
+      << response.message;
+  EXPECT_NE(response.message.find("des"), std::string::npos)
+      << response.message;
 }
 
 TEST(NetServer, UnknownOpAnswersStructuredErrorListingSupportedOps) {
@@ -402,7 +477,7 @@ TEST(NetServer, UnsupportedProtocolVersionIsRejected) {
   Server server(small_server());
   server.start();
   Connection conn(connect_to("127.0.0.1", server.port(), 5000));
-  ASSERT_TRUE(conn.write_line(R"({"op":"ping","v":2})"));
+  ASSERT_TRUE(conn.write_line(R"({"op":"ping","v":3})"));
   std::string line;
   ASSERT_EQ(conn.read_line(&line, 5000), Connection::ReadResult::kLine);
   Response response;

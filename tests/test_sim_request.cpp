@@ -20,6 +20,7 @@ SimRequest base_request() {
       opt::Solution::kMultilevelOptScale,
       {},
       {},
+      SimBackend::kCoarse,
       "tag"};
   request.monte_carlo.runs = 40;
   request.monte_carlo.seed = 11;
@@ -74,6 +75,34 @@ TEST(SimRequest, EveryResultInfluencingFieldChangesTheKey) {
   SimRequest other_options = base_request();
   other_options.plan_options.delta = 1e-9;
   EXPECT_NE(canonical_key(other_options), key);
+}
+
+TEST(SimRequest, BackendSplitsOtherwiseIdenticalRequests) {
+  const SimRequest coarse = base_request();
+  SimRequest des = base_request();
+  des.backend = SimBackend::kDes;
+  // The two backends legitimately produce different replica statistics, so
+  // a shared cache entry would serve DES answers to coarse callers.
+  EXPECT_NE(canonical_key(des), canonical_key(coarse));
+  EXPECT_NE(canonical_key(des).find("backend=des"), std::string::npos)
+      << canonical_key(des);
+}
+
+TEST(SimRequest, CoarseKeyIsByteIdenticalToPreBackendKey) {
+  // The coarse default is never rendered into the key, so every key minted
+  // before the backend axis existed still hits the same cache entries.
+  const std::string key = canonical_key(base_request());
+  EXPECT_EQ(key.find("backend"), std::string::npos) << key;
+}
+
+TEST(SimRequest, BackendSpellingsRoundTrip) {
+  EXPECT_STREQ(to_string(SimBackend::kCoarse), "coarse");
+  EXPECT_STREQ(to_string(SimBackend::kDes), "des");
+  EXPECT_EQ(backend_from_string("coarse"), SimBackend::kCoarse);
+  EXPECT_EQ(backend_from_string("des"), SimBackend::kDes);
+  EXPECT_FALSE(backend_from_string("DES").has_value());
+  EXPECT_FALSE(backend_from_string("").has_value());
+  EXPECT_FALSE(backend_from_string("high-fidelity").has_value());
 }
 
 TEST(SimRequest, LabelAndThreadsDoNotSplitTheCache) {

@@ -32,6 +32,7 @@ SimRequest fusion_request(int runs = 40, std::uint64_t seed = 11) {
       opt::Solution::kMultilevelOptScale,
       {},
       {},
+      SimBackend::kCoarse,
       "fusion"};
   request.monte_carlo.runs = runs;
   request.monte_carlo.seed = seed;
@@ -130,6 +131,7 @@ TEST(ValidatePipeline, FailedPlanPropagatesWithPlanPrefix) {
       opt::Solution::kMultilevelOriScale,
       {},
       {},
+      SimBackend::kCoarse,
       "diverging"};
   request.monte_carlo.runs = 4;
   SweepEngine engine({.threads = 1});
@@ -188,6 +190,87 @@ TEST(ValidatePipeline, SweepKeepsOrderAndAccountsForEveryRequest) {
   EXPECT_GE(stats.sim_seconds_max, 0.0);
   EXPECT_GT(stats.worst_abs_error, 0.0);
   EXPECT_LT(stats.worst_abs_error, 0.10);
+}
+
+SimRequest des_request(int runs = 12, std::uint64_t seed = 11) {
+  SimRequest request = fusion_request(runs, seed);
+  request.backend = SimBackend::kDes;
+  return request;
+}
+
+TEST(ValidatePipeline, DesReportsAreBitIdenticalAcrossThreadCounts) {
+  // The DES replica kernel rides the same chunk/span/merge driver as the
+  // coarse kernel, so the full pipeline stays a pure function of the
+  // request at every pool width.
+  SweepEngine narrow({.threads = 1});
+  SweepEngine wide({.threads = 8});
+  const auto a = narrow.validate_one(des_request());
+  const auto b = wide.validate_one(des_request());
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  ASSERT_TRUE(a->ok()) << a->message;
+  EXPECT_EQ(a->backend, SimBackend::kDes);
+  EXPECT_EQ(net::deterministic_fingerprint(*a),
+            net::deterministic_fingerprint(*b));
+  EXPECT_EQ(a->wallclock.mean, b->wallclock.mean);
+  EXPECT_EQ(a->wallclock.stddev, b->wallclock.stddev);
+}
+
+TEST(ValidatePipeline, DesErrorWithinFivePercentAtFusionScale) {
+  // The cross-backend golden gate: at the paper's Figure 4 baseline both
+  // backends must sit inside the 5% validation band, and within a few
+  // percent of each other.
+  SweepEngine engine({.threads = 2});
+  const auto des = engine.validate_one(des_request(16));
+  const auto coarse = engine.validate_one(fusion_request(16));
+  ASSERT_TRUE(des.has_value() && coarse.has_value());
+  ASSERT_TRUE(des->ok()) << des->message;
+  ASSERT_EQ(des->incomplete_runs, 0);
+  EXPECT_LT(std::abs(des->wallclock_error), 0.05)
+      << "des " << des->wallclock.mean << " analytic "
+      << des->plan.wallclock();
+  EXPECT_NEAR(des->wallclock.mean / coarse->wallclock.mean, 1.0, 0.05);
+}
+
+TEST(ValidatePipeline, BackendsSplitTheCacheButShareThePlanHalf) {
+  SweepEngine engine({.threads = 2});
+  const auto coarse = engine.validate_one(fusion_request(12));
+  ASSERT_TRUE(coarse.has_value());
+  EXPECT_FALSE(coarse->cache_hit);
+  // Same problem, different backend: a genuine miss, not a cache hit
+  // serving coarse numbers to a DES caller.
+  const auto des = engine.validate_one(des_request(12));
+  ASSERT_TRUE(des.has_value());
+  EXPECT_FALSE(des->cache_hit);
+  EXPECT_NE(des->key, coarse->key);
+  EXPECT_EQ(engine.sim_cache_size(), 2u);
+  // But the plan half is backend-independent and shared: the DES leg hit
+  // the plan cache warmed by the coarse one.
+  EXPECT_EQ(engine.metrics().counter("cache.hits").value(), 1u);
+
+  const auto again = engine.validate_one(des_request(12));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->cache_hit);
+  EXPECT_EQ(again->wallclock.mean, des->wallclock.mean);
+}
+
+TEST(ValidatePipeline, PerBackendMetricsSplitTheAggregates) {
+  SweepEngine engine({.threads = 2});
+  ASSERT_TRUE(engine.validate_one(fusion_request(12))->ok());
+  ASSERT_TRUE(engine.validate_one(des_request(12))->ok());
+  auto& metrics = engine.metrics();
+  // Aggregates cover both backends; the per-backend twins split them.
+  EXPECT_EQ(metrics.counter("validate.requests").value(), 2u);
+  EXPECT_EQ(metrics.counter("validate.coarse.requests").value(), 1u);
+  EXPECT_EQ(metrics.counter("validate.des.requests").value(), 1u);
+  EXPECT_EQ(metrics.counter("sim.replicas").value(), 24u);
+  EXPECT_EQ(metrics.counter("sim.coarse.replicas").value(), 12u);
+  EXPECT_EQ(metrics.counter("sim.des.replicas").value(), 12u);
+  EXPECT_EQ(metrics.counter("validate.coarse.cache.misses").value(), 1u);
+  EXPECT_EQ(metrics.counter("validate.des.cache.misses").value(), 1u);
+  EXPECT_EQ(metrics.timer("sim.des.seconds").snapshot().count, 1u);
+  EXPECT_LT(std::abs(metrics.gauge("validate.des.error.wallclock").value()),
+            0.05);
+  EXPECT_GT(metrics.gauge("sim.des.replicas_per_second").value(), 0.0);
 }
 
 TEST(ValidatePipeline, MetricsCoverThePipeline) {

@@ -152,8 +152,13 @@ bool is_determinism_sink(const Index& index, const FunctionInfo& fn) {
   if (fn.base == "canonical_key" || fn.base == "deterministic_fingerprint") {
     return true;
   }
-  return fn.base.rfind("encode_", 0) == 0 &&
-         index.files[fn.file].norm.find("src/net/") != std::string::npos;
+  // Wire encoders (src/net/) and the DES backend's payload/fingerprint
+  // encoders (src/sim/) are both replayed bit-exactly: anything
+  // nondeterministic feeding them breaks cache keys or restore checks.
+  if (fn.base.rfind("encode_", 0) != 0) return false;
+  const std::string& file = index.files[fn.file].norm;
+  return file.find("src/net/") != std::string::npos ||
+         file.find("src/sim/") != std::string::npos;
 }
 
 void rule_determinism_taint(const GraphContext& ctx) {
